@@ -1,0 +1,122 @@
+// ABL-3: §2.3 physical clustering — "the parent keyword in the make
+// statement is used also for clustering purposes ... clustering is only
+// performed if the classes of the two objects are stored in the same
+// physical segment."
+//
+// Measurements: a composite-object traversal (root + all parts) charged at
+// page granularity.  Clustered placement (parts land on/near the parent's
+// page) touches a near-constant number of pages per vehicle; scattered
+// placement (parts in their own segment, interleaved across vehicles by
+// creation order) touches one page per part in the worst case.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "query/traversal.h"
+#include "workloads.h"
+
+namespace orion::bench {
+namespace {
+
+/// Builds a fleet where parts of all vehicles interleave, defeating
+/// locality: vehicle i's parts are created round-robin.
+FleetWorkload BuildInterleavedFleet(Database& db, int num_vehicles,
+                                    int parts_per_vehicle) {
+  FleetWorkload w;
+  w.vehicle = *db.MakeClass(ClassSpec{.name = "BenchVehicle"});
+  // Separate segment: the §2.3 precondition fails, no clustering.
+  w.part = *db.MakeClass(ClassSpec{.name = "BenchPart"});
+  (void)db.schema().AddAttribute(
+      w.vehicle, CompositeAttr("Parts", "BenchPart", true, false, true));
+  for (int v = 0; v < num_vehicles; ++v) {
+    w.vehicles.push_back(*db.objects().Make(w.vehicle, {}, {}));
+    w.parts.emplace_back();
+  }
+  for (int p = 0; p < parts_per_vehicle; ++p) {
+    for (int v = 0; v < num_vehicles; ++v) {
+      w.parts[v].push_back(
+          *db.objects().Make(w.part, {{w.vehicles[v], "Parts"}}, {}));
+    }
+  }
+  return w;
+}
+
+size_t TraverseAndCountPages(Database& db, const FleetWorkload& fleet,
+                             size_t vehicle) {
+  db.store().tracker().Reset();
+  (void)db.objects().Access(fleet.vehicles[vehicle]);
+  for (Uid part : fleet.parts[vehicle]) {
+    (void)db.objects().Access(part);
+  }
+  return db.store().tracker().distinct_pages();
+}
+
+void PrintScenario() {
+  constexpr int kVehicles = 32;
+  constexpr int kParts = 24;
+  Database clustered_db(/*objects_per_page=*/16);
+  FleetWorkload clustered = BuildFleet(clustered_db, kVehicles, kParts,
+                                       /*cluster=*/true);
+  Database scattered_db(/*objects_per_page=*/16);
+  FleetWorkload scattered =
+      BuildInterleavedFleet(scattered_db, kVehicles, kParts);
+
+  size_t clustered_pages = 0, scattered_pages = 0;
+  for (int v = 0; v < kVehicles; ++v) {
+    clustered_pages += TraverseAndCountPages(clustered_db, clustered, v);
+    scattered_pages += TraverseAndCountPages(scattered_db, scattered, v);
+  }
+  std::printf("=== ABL-3: clustering with the first parent (§2.3) ===\n");
+  std::printf("%d vehicles x %d parts, 16 objects/page:\n", kVehicles,
+              kParts);
+  std::printf("  clustered (same segment):   %.2f pages per composite "
+              "traversal\n",
+              static_cast<double>(clustered_pages) / kVehicles);
+  std::printf("  scattered (own segments):   %.2f pages per composite "
+              "traversal\n",
+              static_cast<double>(scattered_pages) / kVehicles);
+  std::printf("  locality factor:            %.1fx fewer pages\n\n",
+              static_cast<double>(scattered_pages) /
+                  static_cast<double>(clustered_pages));
+}
+
+void BM_TraverseClustered(benchmark::State& state) {
+  Database db(16);
+  FleetWorkload fleet = BuildFleet(db, 32, static_cast<int>(state.range(0)),
+                                   /*cluster=*/true);
+  size_t v = 0;
+  size_t pages = 0, rounds = 0;
+  for (auto _ : state) {
+    pages += TraverseAndCountPages(db, fleet, v++ % fleet.vehicles.size());
+    ++rounds;
+  }
+  state.counters["pages_per_traversal"] =
+      static_cast<double>(pages) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_TraverseClustered)->Arg(8)->Arg(64)->Iterations(5000);
+
+void BM_TraverseScattered(benchmark::State& state) {
+  Database db(16);
+  FleetWorkload fleet =
+      BuildInterleavedFleet(db, 32, static_cast<int>(state.range(0)));
+  size_t v = 0;
+  size_t pages = 0, rounds = 0;
+  for (auto _ : state) {
+    pages += TraverseAndCountPages(db, fleet, v++ % fleet.vehicles.size());
+    ++rounds;
+  }
+  state.counters["pages_per_traversal"] =
+      static_cast<double>(pages) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_TraverseScattered)->Arg(8)->Arg(64)->Iterations(5000);
+
+}  // namespace
+}  // namespace orion::bench
+
+int main(int argc, char** argv) {
+  orion::bench::PrintScenario();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

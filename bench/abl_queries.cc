@@ -1,0 +1,128 @@
+// ABL-6: associative access over composite objects — attribute indexes vs
+// extent scans, and path expressions through the part hierarchy.
+//
+// ORION pairs the navigational operations of §3 with associative queries
+// over class extents; this harness measures the classic trade-off on this
+// reimplementation: an equality lookup through an incrementally maintained
+// index is O(log keys), an extent scan is O(instances); path expressions
+// ("books with a chapter over N pages") pay one hop per reference.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workloads.h"
+
+namespace orion::bench {
+namespace {
+
+struct Corpus {
+  Database db;
+  ClassId chapter = kInvalidClass;
+  ClassId book = kInvalidClass;
+
+  explicit Corpus(int books, bool with_index = false) {
+    chapter = *db.MakeClass(ClassSpec{
+        .name = "Chapter", .attributes = {WeakAttr("Pages", "integer")}});
+    book = *db.MakeClass(ClassSpec{
+        .name = "Book",
+        .attributes = {
+            WeakAttr("Title", "string"),
+            WeakAttr("Price", "real"),
+            CompositeAttr("Chapters", "Chapter", true, true, true)}});
+    if (with_index) {
+      (void)db.indexes().CreateIndex(book, "Title");
+    }
+    Rng rng(7);
+    for (int i = 0; i < books; ++i) {
+      Uid b = *db.objects().Make(
+          book, {},
+          {{"Title", Value::String("book-" + std::to_string(i))},
+           {"Price", Value::Real(static_cast<double>(rng.Below(100)))}});
+      for (int c = 0; c < 3; ++c) {
+        (void)*db.objects().Make(
+            chapter, {{b, "Chapters"}},
+            {{"Pages",
+              Value::Integer(static_cast<int64_t>(rng.Below(60)))}});
+      }
+    }
+  }
+};
+
+void PrintScenario() {
+  Corpus corpus(2000, /*with_index=*/true);
+  SelectStats indexed, scanned;
+  auto q = Compare("Title", CompareOp::kEq, Value::String("book-999"));
+  (void)SelectWithStats(corpus.db.objects(), corpus.book, q,
+                        &corpus.db.indexes(), &indexed);
+  (void)SelectWithStats(corpus.db.objects(), corpus.book, q, nullptr,
+                        &scanned);
+  std::printf("=== ABL-6: associative access ===\n");
+  std::printf("equality lookup over 2000 books: index examines %zu "
+              "candidate(s), scan examines %zu.\n\n",
+              indexed.candidates, scanned.candidates);
+}
+
+void BM_SelectEqualityScan(benchmark::State& state) {
+  Corpus corpus(static_cast<int>(state.range(0)));
+  auto q = Compare("Title", CompareOp::kEq, Value::String("book-7"));
+  for (auto _ : state) {
+    auto hits = Select(corpus.db.objects(), corpus.book, q);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SelectEqualityScan)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(500);
+
+void BM_SelectEqualityIndexed(benchmark::State& state) {
+  Corpus corpus(static_cast<int>(state.range(0)), /*with_index=*/true);
+  auto q = Compare("Title", CompareOp::kEq, Value::String("book-7"));
+  for (auto _ : state) {
+    auto hits = Select(corpus.db.objects(), corpus.book, q,
+                       &corpus.db.indexes());
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_SelectEqualityIndexed)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(5000);
+
+void BM_IndexMaintenanceOverhead(benchmark::State& state) {
+  // The price of the index: every SetAttribute updates the postings.
+  const bool with_index = state.range(0) == 1;
+  Corpus corpus(1000, with_index);
+  const Uid target = corpus.db.objects().InstancesOf(corpus.book).front();
+  int i = 0;
+  for (auto _ : state) {
+    Status s = corpus.db.objects().SetAttribute(
+        target, "Title", Value::String("retitled-" + std::to_string(i++)));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_IndexMaintenanceOverhead)->Arg(0)->Arg(1)->Iterations(20000);
+
+void BM_PathExpression(benchmark::State& state) {
+  Corpus corpus(static_cast<int>(state.range(0)));
+  auto q = Path({"Chapters", "Pages"}, CompareOp::kGt, Value::Integer(55));
+  for (auto _ : state) {
+    auto hits = Select(corpus.db.objects(), corpus.book, q);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_PathExpression)->Arg(100)->Arg(1000)->Iterations(200);
+
+}  // namespace
+}  // namespace orion::bench
+
+int main(int argc, char** argv) {
+  orion::bench::PrintScenario();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// ABL-2: §4.3 — immediate versus deferred execution of state-independent
+// attribute-type changes.
+//
+// "The 'deferred' implementation ... involves keeping an operation log of
+// changes": the change itself becomes O(1), and the flag rewrites are paid
+// at access time by whoever touches an instance (CC catch-up).
+//
+// Measurements: cost of issuing the change (immediate pays O(instances),
+// deferred pays O(1)); cost of subsequently accessing a fraction of the
+// instances (deferred pays the catch-up there).  The crossover the paper
+// implies: deferred wins when few instances are ever touched.
+//
+// The change toggled here is I3/I4 (dependent <-> independent), which can
+// be flipped repeatedly without changing the reference topology.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads.h"
+
+namespace orion::bench {
+namespace {
+
+struct EvolutionSetup {
+  Database db;
+  CorpusWorkload corpus;
+  // The corpus builds Sections as *dependent* shared references, so the
+  // first toggle flips to independent (I3), the next back (I4), ...
+  bool to_dependent = true;
+
+  explicit EvolutionSetup(int documents)
+      : corpus(BuildCorpus(db, documents, /*sections_per_document=*/4,
+                           /*paragraphs_per_section=*/1, /*share_pct=*/0)) {}
+
+  Status Toggle(ChangeMode mode) {
+    to_dependent = !to_dependent;
+    return db.ChangeAttributeType(corpus.document, "Sections",
+                                  /*to_composite=*/true,
+                                  /*to_exclusive=*/false, to_dependent, mode);
+  }
+};
+
+void PrintScenario() {
+  EvolutionSetup setup(256);
+  std::printf("=== ABL-2: immediate vs deferred type changes (I3/I4) ===\n");
+  std::printf("%zu sections carry reverse references from Document.Sections."
+              "\n",
+              setup.corpus.sections.size());
+  (void)setup.Toggle(ChangeMode::kDeferred);
+  const Uid probe = setup.corpus.sections.front();
+  std::printf("after a DEFERRED I3, an untouched instance still shows "
+              "dependent=%d; ",
+              setup.db.objects().Peek(probe)->reverse_refs()[0].dependent);
+  (void)setup.db.objects().Access(probe);
+  std::printf("after access, dependent=%d (CC catch-up applied).\n\n",
+              setup.db.objects().Peek(probe)->reverse_refs()[0].dependent);
+}
+
+void BM_ImmediateChange(benchmark::State& state) {
+  EvolutionSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Status s = setup.Toggle(ChangeMode::kImmediate);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["instances"] =
+      static_cast<double>(setup.corpus.sections.size());
+}
+BENCHMARK(BM_ImmediateChange)->Arg(64)->Arg(512)->Arg(4096)->Iterations(50);
+
+void BM_DeferredChangeOnly(benchmark::State& state) {
+  // The paper's win: the schema change itself no longer touches instances.
+  EvolutionSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Status s = setup.Toggle(ChangeMode::kDeferred);
+    benchmark::DoNotOptimize(s);
+  }
+  state.counters["instances"] =
+      static_cast<double>(setup.corpus.sections.size());
+}
+BENCHMARK(BM_DeferredChangeOnly)->Arg(64)->Arg(512)->Arg(4096)->Iterations(50);
+
+void BM_DeferredChangeThenAccessFraction(benchmark::State& state) {
+  // Deferred change followed by touching `pct`% of the instances: the
+  // catch-up cost migrates to the accesses.
+  const int pct = static_cast<int>(state.range(1));
+  EvolutionSetup setup(static_cast<int>(state.range(0)));
+  const size_t touch =
+      setup.corpus.sections.size() * static_cast<size_t>(pct) / 100;
+  for (auto _ : state) {
+    Status s = setup.Toggle(ChangeMode::kDeferred);
+    benchmark::DoNotOptimize(s);
+    for (size_t i = 0; i < touch; ++i) {
+      auto obj = setup.db.objects().Access(setup.corpus.sections[i]);
+      benchmark::DoNotOptimize(obj);
+    }
+  }
+  state.counters["touched"] = static_cast<double>(touch);
+}
+BENCHMARK(BM_DeferredChangeThenAccessFraction)
+    ->Args({512, 1})
+    ->Args({512, 10})
+    ->Args({512, 100})
+    ->Iterations(50);
+
+}  // namespace
+}  // namespace orion::bench
+
+int main(int argc, char** argv) {
+  orion::bench::PrintScenario();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// FIG-2: "Versioned versionable composite objects" (paper Figure 2).
+//
+// Artifact: probes the CV-2X legality space the figure illustrates —
+// distinct version instances of one generic may hold exclusive references
+// to distinct version instances of another generic, while a second
+// exclusive reference to the *same* version instance, or exclusive
+// references from a different version-derivation hierarchy, are rejected.
+//
+// Measurements: cost of the legality check (CheckAttach) and of an
+// attach/detach cycle between version instances.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workloads.h"
+
+namespace orion::bench {
+namespace {
+
+struct Topology {
+  Database db;
+  ClassId c_cls, d_cls;
+  VersionedHandle c1, d1;
+  Uid c1v1, d1v1;
+
+  Topology() {
+    d_cls = *db.MakeClass(ClassSpec{.name = "D", .versionable = true});
+    c_cls = *db.MakeClass(ClassSpec{
+        .name = "C",
+        .attributes = {CompositeAttr("Part", "D", /*exclusive=*/true,
+                                     /*dependent=*/false)},
+        .versionable = true});
+    d1 = *db.versions().MakeVersioned(d_cls, {}, {});
+    d1v1 = *db.versions().Derive(d1.version);
+    c1 = *db.versions().MakeVersioned(c_cls, {}, {});
+    c1v1 = *db.versions().Derive(c1.version);
+  }
+};
+
+void PrintScenario() {
+  std::printf("=== FIG-2: legal and illegal version-level topologies ===\n");
+  {
+    Topology t;
+    Status a = t.db.objects().MakeComponent(t.d1.version, t.c1.version,
+                                            "Part");
+    Status b = t.db.objects().MakeComponent(t.d1v1, t.c1v1, "Part");
+    std::printf(
+        "c.v0 -> d.v0 and c.v1 -> d.v1 (each exclusive):  %s, %s  "
+        "[paper: legal]\n",
+        a.ok() ? "granted" : a.ToString().c_str(),
+        b.ok() ? "granted" : b.ToString().c_str());
+  }
+  {
+    Topology t;
+    (void)t.db.objects().MakeComponent(t.d1.version, t.c1.version, "Part");
+    Status second =
+        t.db.objects().MakeComponent(t.d1.version, t.c1v1, "Part");
+    std::printf(
+        "second exclusive reference to the SAME version instance:  %s  "
+        "[paper: illegal, CV-2X]\n",
+        second.ToString().c_str());
+  }
+  {
+    Topology t;
+    auto c2 = *t.db.versions().MakeVersioned(t.c_cls, {}, {});
+    (void)t.db.objects().MakeComponent(t.d1.version, t.c1.version, "Part");
+    Status cross = t.db.objects().MakeComponent(t.d1v1, c2.version, "Part");
+    std::printf(
+        "exclusive refs to versions of one object from two hierarchies: %s "
+        " [paper: illegal, CV-2X+CV-3X]\n\n",
+        cross.ToString().c_str());
+  }
+}
+
+void BM_CheckAttachVersionRef(benchmark::State& state) {
+  Topology t;
+  AttributeSpec spec = *t.db.schema().ResolveAttribute(t.c_cls, "Part");
+  for (auto _ : state) {
+    Status s = t.db.objects().CheckAttach(spec, t.d1.version, t.c1.version);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_CheckAttachVersionRef)->Iterations(100000);
+
+void BM_AttachDetachVersionRef(benchmark::State& state) {
+  Topology t;
+  for (auto _ : state) {
+    Status a = t.db.objects().MakeComponent(t.d1.version, t.c1.version,
+                                            "Part");
+    benchmark::DoNotOptimize(a);
+    Status r = t.db.objects().RemoveComponent(t.d1.version, t.c1.version,
+                                              "Part");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AttachDetachVersionRef)->Iterations(50000);
+
+void BM_RejectedCrossHierarchyAttach(benchmark::State& state) {
+  Topology t;
+  auto c2 = *t.db.versions().MakeVersioned(t.c_cls, {}, {});
+  (void)t.db.objects().MakeComponent(t.d1.version, t.c1.version, "Part");
+  for (auto _ : state) {
+    Status s = t.db.objects().MakeComponent(t.d1v1, c2.version, "Part");
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_RejectedCrossHierarchyAttach)->Iterations(50000);
+
+}  // namespace
+}  // namespace orion::bench
+
+int main(int argc, char** argv) {
+  orion::bench::PrintScenario();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "workloads.h"
+
+#include <cassert>
+#include <deque>
+#include <string>
+
+namespace orion::bench {
+
+namespace {
+
+void Require(const Status& status) {
+  assert(status.ok());
+  (void)status;
+}
+
+template <typename T>
+T Require(Result<T> result) {
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace
+
+FleetWorkload BuildFleet(Database& db, int num_vehicles,
+                         int parts_per_vehicle, bool cluster) {
+  FleetWorkload w;
+  ClassSpec vehicle_spec{.name = "BenchVehicle"};
+  w.vehicle = Require(db.MakeClass(vehicle_spec));
+  ClassSpec part_spec{.name = "BenchPart"};
+  if (cluster) {
+    part_spec.segment = db.schema().GetClass(w.vehicle)->segment;
+  }
+  w.part = Require(db.MakeClass(part_spec));
+  Require(db.schema().AddAttribute(
+      w.vehicle, CompositeAttr("Parts", "BenchPart", /*exclusive=*/true,
+                               /*dependent=*/false, /*is_set=*/true)));
+  for (int v = 0; v < num_vehicles; ++v) {
+    const Uid root = Require(db.objects().Make(w.vehicle, {}, {}));
+    w.vehicles.push_back(root);
+    std::vector<Uid> parts;
+    for (int p = 0; p < parts_per_vehicle; ++p) {
+      parts.push_back(
+          Require(db.objects().Make(w.part, {{root, "Parts"}}, {})));
+    }
+    w.parts.push_back(std::move(parts));
+  }
+  return w;
+}
+
+CorpusWorkload BuildCorpus(Database& db, int num_documents,
+                           int sections_per_document,
+                           int paragraphs_per_section, uint32_t share_pct,
+                           uint64_t seed) {
+  CorpusWorkload w;
+  w.paragraph = Require(db.MakeClass(ClassSpec{.name = "BenchParagraph"}));
+  w.section = Require(db.MakeClass(ClassSpec{
+      .name = "BenchSection",
+      .attributes = {CompositeAttr("Content", "BenchParagraph",
+                                   /*exclusive=*/false, /*dependent=*/true,
+                                   /*is_set=*/true)}}));
+  w.document = Require(db.MakeClass(ClassSpec{
+      .name = "BenchDocument",
+      .attributes = {CompositeAttr("Sections", "BenchSection",
+                                   /*exclusive=*/false, /*dependent=*/true,
+                                   /*is_set=*/true)}}));
+  Rng rng(seed);
+  for (int d = 0; d < num_documents; ++d) {
+    w.documents.push_back(Require(db.objects().Make(w.document, {}, {})));
+  }
+  for (int d = 0; d < num_documents; ++d) {
+    for (int s = 0; s < sections_per_document; ++s) {
+      std::vector<ParentBinding> parents = {
+          ParentBinding{w.documents[d], "Sections"}};
+      if (num_documents > 1 && rng.Percent(share_pct)) {
+        // Share with one other random document.
+        uint64_t other = rng.Below(num_documents - 1);
+        if (other >= static_cast<uint64_t>(d)) {
+          ++other;
+        }
+        parents.push_back(ParentBinding{w.documents[other], "Sections"});
+      }
+      const Uid sec = Require(db.objects().Make(w.section, parents, {}));
+      w.sections.push_back(sec);
+      for (int p = 0; p < paragraphs_per_section; ++p) {
+        w.paragraphs.push_back(Require(
+            db.objects().Make(w.paragraph, {{sec, "Content"}}, {})));
+      }
+    }
+  }
+  return w;
+}
+
+TreeWorkload BuildTree(Database& db, int depth, int fanout, bool exclusive,
+                       bool dependent) {
+  TreeWorkload w;
+  static int counter = 0;
+  const std::string cls_name = "BenchNode" + std::to_string(counter++);
+  w.node = Require(db.MakeClass(ClassSpec{
+      .name = cls_name,
+      .attributes = {CompositeAttr("Kids", cls_name, exclusive, dependent,
+                                   /*is_set=*/true)}}));
+  w.root = Require(db.objects().Make(w.node, {}, {}));
+  w.all.push_back(w.root);
+  std::deque<std::pair<Uid, int>> frontier{{w.root, 0}};
+  while (!frontier.empty()) {
+    auto [node, level] = frontier.front();
+    frontier.pop_front();
+    if (level >= depth) {
+      continue;
+    }
+    for (int f = 0; f < fanout; ++f) {
+      const Uid child =
+          Require(db.objects().Make(w.node, {{node, "Kids"}}, {}));
+      w.all.push_back(child);
+      frontier.emplace_back(child, level + 1);
+    }
+  }
+  return w;
+}
+
+}  // namespace orion::bench

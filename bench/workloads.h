@@ -1,0 +1,75 @@
+#ifndef ORION_BENCH_WORKLOADS_H_
+#define ORION_BENCH_WORKLOADS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+
+namespace orion::bench {
+
+/// Deterministic linear-congruential generator (std::mt19937 would be fine
+/// too, but a fixed tiny LCG keeps runs byte-for-byte reproducible across
+/// platforms and standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  /// True with probability pct/100.
+  bool Percent(uint32_t pct) { return Below(100) < pct; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A Vehicle-fleet workload (Example 1 shape): physical part hierarchies
+/// with independent exclusive composite references.
+struct FleetWorkload {
+  ClassId vehicle = kInvalidClass;
+  ClassId part = kInvalidClass;
+  std::vector<Uid> vehicles;               // composite roots
+  std::vector<std::vector<Uid>> parts;     // parts[i] = components of i
+};
+
+/// Builds `num_vehicles` vehicles with `parts_per_vehicle` parts each.
+/// When `cluster` is true, Vehicle and Part share one segment so §2.3
+/// clustering applies.
+FleetWorkload BuildFleet(Database& db, int num_vehicles,
+                         int parts_per_vehicle, bool cluster = true);
+
+/// A document-corpus workload (Example 2 shape): logical hierarchies with
+/// shared dependent references; `share_pct` percent of sections are shared
+/// with a second document.
+struct CorpusWorkload {
+  ClassId document = kInvalidClass;
+  ClassId section = kInvalidClass;
+  ClassId paragraph = kInvalidClass;
+  std::vector<Uid> documents;
+  std::vector<Uid> sections;
+  std::vector<Uid> paragraphs;
+};
+
+CorpusWorkload BuildCorpus(Database& db, int num_documents,
+                           int sections_per_document,
+                           int paragraphs_per_section, uint32_t share_pct,
+                           uint64_t seed = 42);
+
+/// A uniform part tree of the given depth and fanout under one root, with
+/// every edge of the given kind.  Returns all created objects, root first.
+struct TreeWorkload {
+  ClassId node = kInvalidClass;
+  Uid root;
+  std::vector<Uid> all;
+};
+
+TreeWorkload BuildTree(Database& db, int depth, int fanout, bool exclusive,
+                       bool dependent);
+
+}  // namespace orion::bench
+
+#endif  // ORION_BENCH_WORKLOADS_H_

@@ -1,0 +1,123 @@
+// Authorization demo: §6 — composite objects as a unit of authorization.
+//
+// A small engineering team shares a design database.  Grants are made on
+// whole composite objects and on composite classes; the subsystem derives
+// the implicit authorizations, combines implications from multiple roots
+// (Figure 5), rejects conflicting grants, and prints the full Figure 6
+// conflict matrix.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+
+namespace {
+
+void Check(const orion::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(orion::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace
+
+int main() {
+  using orion::AuthSpec;
+  using orion::AuthType;
+  orion::Database db;
+
+  orion::ClassId part = Unwrap(
+      db.MakeClass(orion::ClassSpec{.name = "Part"}), "Part");
+  (void)part;
+  orion::ClassId module_cls = Unwrap(
+      db.MakeClass(orion::ClassSpec{
+          .name = "Module",
+          .superclasses = {"Part"},
+          .attributes = {orion::CompositeAttr("Parts", "Part",
+                                              /*exclusive=*/false,
+                                              /*dependent=*/false,
+                                              /*is_set=*/true)}}),
+      "Module");
+
+  // Figure 5's shape: two modules sharing one part.
+  orion::Uid mod_j = Unwrap(db.objects().Make(module_cls, {}, {}), "j");
+  orion::Uid mod_k = Unwrap(db.objects().Make(module_cls, {}, {}), "k");
+  orion::Uid shared = Unwrap(db.Make("Part"), "shared part");
+  orion::Uid private_j = Unwrap(db.Make("Part"), "private part");
+  Check(db.objects().MakeComponent(shared, mod_j, "Parts"), "attach");
+  Check(db.objects().MakeComponent(shared, mod_k, "Parts"), "attach");
+  Check(db.objects().MakeComponent(private_j, mod_j, "Parts"), "attach");
+
+  orion::AuthorizationManager& authz = db.authz();
+  const AuthSpec strong_read{true, true, AuthType::kRead};
+  const AuthSpec strong_write{true, true, AuthType::kWrite};
+  const AuthSpec strong_neg_read{true, false, AuthType::kRead};
+  const AuthSpec weak_write{false, true, AuthType::kWrite};
+
+  // One grant on the composite object covers every component.
+  Check(authz.GrantOnObject("alice", mod_j, strong_read), "grant alice");
+  std::cout << "Granted alice sR on module j (one grant, "
+            << 1 + Unwrap(ComponentsOf(db.objects(), mod_j), "c").size()
+            << " objects covered):\n";
+  std::cout << "  alice reads the shared part:  "
+            << YesNo(*authz.CheckAccess("alice", shared, AuthType::kRead))
+            << "\n";
+  std::cout << "  alice reads j's private part: "
+            << YesNo(*authz.CheckAccess("alice", private_j,
+                                        AuthType::kRead))
+            << "\n";
+  std::cout << "  alice writes the shared part: "
+            << YesNo(*authz.CheckAccess("alice", shared, AuthType::kWrite))
+            << "\n";
+
+  // Figure 5/6: a second grant through the other root combines on the
+  // shared component — sR + sW => sW.
+  Check(authz.GrantOnObject("alice", mod_k, strong_write), "grant 2");
+  std::cout << "\nAfter also granting sW via module k, the implied "
+               "authorization on the shared part is "
+            << Unwrap(authz.ImpliedOn("alice", shared), "implied").ToString()
+            << " (the paper's sR + sW => sW cell).\n";
+
+  // The paper's conflict example: s~R via j blocks a later sW via k.
+  Check(authz.GrantOnObject("bob", mod_j, strong_neg_read), "grant bob");
+  orion::Status conflict = authz.GrantOnObject("bob", mod_k, strong_write);
+  std::cout << "\nbob holds s~R via module j; granting him sW via module k "
+               "is rejected:\n  "
+            << conflict.ToString() << "\n";
+  // A weak authorization is overridden rather than conflicting.
+  Check(authz.GrantOnObject("bob", mod_k, weak_write), "weak grant");
+  std::cout << "A weak wW via module k is accepted but overridden: bob "
+               "writes the shared part: "
+            << YesNo(*authz.CheckAccess("bob", shared, AuthType::kWrite))
+            << "\n";
+
+  // Class-level implicit authorization.
+  Check(authz.GrantOnClass("carol", module_cls, strong_read),
+        "class grant");
+  orion::Uid stray = Unwrap(db.Make("Part"), "stray");
+  std::cout << "\ncarol has sR on the composite class Module:\n";
+  std::cout << "  reads any module instance:      "
+            << YesNo(*authz.CheckAccess("carol", mod_k, AuthType::kRead))
+            << "\n";
+  std::cout << "  reads components of modules:    "
+            << YesNo(*authz.CheckAccess("carol", shared, AuthType::kRead))
+            << "\n";
+  std::cout << "  reads a part outside any module:"
+            << YesNo(*authz.CheckAccess("carol", stray, AuthType::kRead))
+            << "  (class authorization does not cover non-components)\n";
+
+  std::cout << "\n" << orion::RenderFigure6Matrix() << "\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Document store: the paper's §2.3 Example 2 — a *logical* part hierarchy
+// where "an identical chapter may be a part of two different books."
+//
+// Demonstrates: shared dependent composite references (Sections,
+// Paragraphs), independent references (Figures), exclusive annotations,
+// the full Deletion Rule across shared components, the §3 query messages,
+// and a §4 schema change run against live instances.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/database.h"
+#include "lang/interpreter.h"
+
+namespace {
+
+void Check(const orion::Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Unwrap(orion::Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::cerr << what << ": " << result.status().ToString() << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  orion::Database db;
+  orion::Interpreter repl(&db);
+
+  Check(repl.EvalString(R"(
+    (make-class 'Paragraph)
+    (make-class 'Image)
+    (make-class 'Section :superclasses nil
+      :attribute '(
+        (Heading :domain string)
+        (Content :domain (set-of Paragraph)
+                 :composite true :exclusive nil :dependent true)))
+    (make-class 'Document :superclasses nil
+      :attribute '(
+        (Title    :domain string)
+        (Authors  :domain (set-of string))
+        (Sections :domain (set-of Section)
+                  :composite true :exclusive nil :dependent true)
+        (Figures  :domain (set-of Image)
+                  :composite true :exclusive nil :dependent nil)
+        (Annotations :domain (set-of Paragraph)
+                  :composite true :exclusive true :dependent true)))
+  )").status(), "schema");
+  std::cout << "Defined Document/Section/Paragraph/Image (Example 2).\n";
+
+  // Two books sharing a chapter, sharing a figure, one private annotation.
+  Check(repl.EvalString(R"(
+    (define handbook (make Document :Title "The ORION Handbook"))
+    (define cookbook (make Document :Title "Composite Object Cookbook"))
+
+    ; The shared chapter belongs to BOTH documents from birth (§2.3 multi-
+    ; parent make through shared composite attributes).
+    (define shared-chapter
+      (make Section :parent ((handbook Sections) (cookbook Sections))
+                    :Heading "Part Hierarchies"))
+    (define p1 (make Paragraph :parent ((shared-chapter Content))))
+    (define p2 (make Paragraph :parent ((shared-chapter Content))))
+
+    (define intro (make Section :parent ((handbook Sections))
+                                :Heading "Introduction"))
+    (define p3 (make Paragraph :parent ((intro Content))))
+
+    (define fig (make Image))
+    (set handbook Figures (set-of fig))
+    (set cookbook Figures (set-of fig))
+
+    (define note (make Paragraph :parent ((handbook Annotations))))
+  )").status(), "population");
+
+  auto eval = [&](const char* src) {
+    return Unwrap(repl.EvalString(src), src).ToString();
+  };
+  std::cout << "(components-of handbook)            => "
+            << eval("(components-of handbook)") << "\n";
+  std::cout << "(components-of handbook :level 1)   => "
+            << eval("(components-of handbook :level 1)") << "\n";
+  std::cout << "(components-of handbook :exclusive true) => "
+            << eval("(components-of handbook :exclusive true)")
+            << "  ; the annotation\n";
+  std::cout << "(parents-of shared-chapter)         => "
+            << eval("(parents-of shared-chapter)") << "  ; both books\n";
+  std::cout << "(shared-component-of shared-chapter cookbook) => "
+            << eval("(shared-component-of shared-chapter cookbook)") << "\n";
+
+  // Annotations are exclusive: the cookbook cannot claim the handbook's.
+  auto steal = repl.EvalString(
+      "(make Document :Title \"thief\" :Annotations (set-of note))");
+  std::cout << "Claiming the annotation for another document is rejected: "
+            << steal.status().ToString() << "\n";
+
+  // --- The Deletion Rule across a shared logical hierarchy. ----------------
+  orion::Uid handbook = repl.Lookup("handbook")->ref();
+  orion::Uid cookbook = repl.Lookup("cookbook")->ref();
+  orion::Uid chapter = repl.Lookup("shared-chapter")->ref();
+  orion::Uid intro = repl.Lookup("intro")->ref();
+  orion::Uid note = repl.Lookup("note")->ref();
+  orion::Uid fig = repl.Lookup("fig")->ref();
+
+  Check(db.DeleteObject(handbook), "delete handbook");
+  std::cout << "\nDeleted the handbook:\n";
+  std::cout << "  its private section died:       "
+            << !db.objects().Exists(intro) << "\n";
+  std::cout << "  its exclusive annotation died:  "
+            << !db.objects().Exists(note) << "\n";
+  std::cout << "  the shared chapter survived:    "
+            << db.objects().Exists(chapter)
+            << "  (\"a section exists if it belongs to at least one "
+               "document\")\n";
+  std::cout << "  the independent figure survived:"
+            << db.objects().Exists(fig) << "\n";
+
+  Check(db.DeleteObject(cookbook), "delete cookbook");
+  std::cout << "Deleted the cookbook too:\n";
+  std::cout << "  the shared chapter now died:    "
+            << !db.objects().Exists(chapter) << "\n";
+  std::cout << "  the figure still exists:        "
+            << db.objects().Exists(fig)
+            << "  (independent of any document)\n";
+
+  // --- A live schema change (§4.2, change I3). ------------------------------
+  orion::ClassId doc_cls = Unwrap(db.schema().FindClass("Document"), "class");
+  Check(repl.EvalString(R"(
+    (define d (make Document :Title "Living document"))
+    (define s (make Section :parent ((d Sections)) :Heading "Only section"))
+  )").status(), "repopulate");
+  Check(db.ChangeAttributeType(doc_cls, "Sections", /*to_composite=*/true,
+                               /*to_exclusive=*/false, /*to_dependent=*/false,
+                               orion::ChangeMode::kImmediate),
+        "I3 type change");
+  orion::Uid d = repl.Lookup("d")->ref();
+  orion::Uid s = repl.Lookup("s")->ref();
+  Check(db.DeleteObject(d), "delete d");
+  std::cout << "\nAfter changing Document.Sections to an *independent* "
+               "composite reference (I3),\ndeleting a document spares its "
+               "sections: section exists = "
+            << db.objects().Exists(s) << "\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+// orion_repl: an interactive (or scripted) shell for the ORION message
+// syntax — the paper's class definitions and operations typed live.
+//
+// Usage:
+//   ./build/examples/orion_repl                 # interactive
+//   ./build/examples/orion_repl script.orion    # run script(s), then exit
+//
+// Forms: see src/lang/interpreter.h.  Extra REPL niceties: `(help)` and
+// `(quit)`.  A sample script lives in examples/scripts/library.orion.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "lang/interpreter.h"
+
+namespace {
+
+constexpr const char* kHelp = R"(Forms:
+  (make-class 'Name [:superclasses (A B)] [:versionable true]
+              [:attributes ((Attr :domain D|(set-of D) [:composite true]
+                             [:exclusive true|nil] [:dependent true|nil]
+                             [:init v]) ...)])
+  (make Class [:parent ((obj attr) ...)] [:Attr value ...])
+  (define name expr)   (get obj attr)   (set obj attr value)   (delete obj)
+  (components-of obj [:classes (C)] [:exclusive true] [:shared true]
+                 [:level n])
+  (parents-of obj) (ancestors-of obj) (component-of a b) (child-of a b)
+  (exclusive-component-of a b) (shared-component-of a b)
+  (compositep C [attr]) (exclusive-compositep C [attr])
+  (shared-compositep C [attr]) (dependent-compositep C [attr])
+  (derive v) (versions-of g) (generic-of v) (resolve ref)
+  (set-default-version g v) (default-version g)
+  (grant-on-object "user" obj "sR") (grant-on-class "user" C "w~W")
+  (check-access "user" obj R|W)
+  (save-snapshot "path") (load-snapshot "path")
+  (print expr) (exists obj) (help) (quit)
+)";
+
+int RunFile(orion::Interpreter& repl, const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto result = repl.EvalString(buffer.str());
+  if (!result.ok()) {
+    std::cerr << path << ": " << result.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "=> " << result->ToString() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orion::Database db;
+  orion::Interpreter repl(&db);
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      const int rc = RunFile(repl, argv[i]);
+      if (rc != 0) {
+        return rc;
+      }
+    }
+    return 0;
+  }
+
+  std::cout << "orion-composite repl — (help) for forms, (quit) to exit\n";
+  std::string line;
+  std::string pending;
+  while (true) {
+    std::cout << (pending.empty() ? "orion> " : "  ...> ") << std::flush;
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    pending += line + "\n";
+    // Balance parentheses (outside strings) before evaluating.
+    int depth = 0;
+    bool in_string = false;
+    for (size_t i = 0; i < pending.size(); ++i) {
+      const char c = pending[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        --depth;
+      }
+    }
+    if (depth > 0 || in_string) {
+      continue;  // read more lines
+    }
+    const std::string input = pending;
+    pending.clear();
+    if (input.find("(quit)") != std::string::npos) {
+      break;
+    }
+    if (input.find("(help)") != std::string::npos) {
+      std::cout << kHelp;
+      continue;
+    }
+    if (input.find_first_not_of(" \t\n") == std::string::npos) {
+      continue;
+    }
+    auto result = repl.EvalString(input);
+    if (result.ok()) {
+      std::cout << "=> " << result->ToString() << "\n";
+    } else {
+      std::cout << "error: " << result.status().ToString() << "\n";
+    }
+  }
+  return 0;
+}

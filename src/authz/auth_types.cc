@@ -1,0 +1,174 @@
+#include "authz/auth_types.h"
+
+#include <sstream>
+
+namespace orion {
+
+std::string AuthSpec::ToString() const {
+  std::string out;
+  out += strong ? 's' : 'w';
+  if (!positive) {
+    out += '~';
+  }
+  out += type == AuthType::kRead ? 'R' : 'W';
+  return out;
+}
+
+std::vector<AuthSpec> AllAuthSpecs() {
+  // Figure 6 order: sR, sW, s~R, s~W, wR, wW, w~R, w~W.
+  return {
+      {true, true, AuthType::kRead},   {true, true, AuthType::kWrite},
+      {true, false, AuthType::kRead},  {true, false, AuthType::kWrite},
+      {false, true, AuthType::kRead},  {false, true, AuthType::kWrite},
+      {false, false, AuthType::kRead}, {false, false, AuthType::kWrite},
+  };
+}
+
+namespace {
+
+/// Folds one literal (sign, strength) into the per-type decision.
+void FoldLiteral(bool positive, bool strong, Decision& decision,
+                 bool& decision_strong, bool& conflict) {
+  const Decision incoming = positive ? Decision::kGranted : Decision::kDenied;
+  if (decision == Decision::kNone) {
+    decision = incoming;
+    decision_strong = strong;
+    return;
+  }
+  if (decision == incoming) {
+    decision_strong = decision_strong || strong;
+    return;
+  }
+  // Contradictory signs on the same type.
+  if (decision_strong && strong) {
+    conflict = true;  // two strong authorizations cannot be overridden
+    return;
+  }
+  if (strong) {
+    // A strong authorization overrides the existing weak one.
+    decision = incoming;
+    decision_strong = true;
+    return;
+  }
+  if (decision_strong) {
+    return;  // the existing strong authorization overrides the weak one
+  }
+  // Two contradictory weak authorizations of equal specificity.
+  conflict = true;
+}
+
+}  // namespace
+
+void FoldAuth(const AuthSpec& auth, AuthState& state) {
+  // Implication closure: +W => +R, ~R => ~W (same strength).
+  struct Literal {
+    AuthType type;
+    bool positive;
+  };
+  std::vector<Literal> literals = {{auth.type, auth.positive}};
+  if (auth.type == AuthType::kWrite && auth.positive) {
+    literals.push_back({AuthType::kRead, true});
+  }
+  if (auth.type == AuthType::kRead && !auth.positive) {
+    literals.push_back({AuthType::kWrite, false});
+  }
+  for (const Literal& lit : literals) {
+    if (lit.type == AuthType::kRead) {
+      FoldLiteral(lit.positive, auth.strong, state.read, state.read_strong,
+                  state.conflict);
+    } else {
+      FoldLiteral(lit.positive, auth.strong, state.write, state.write_strong,
+                  state.conflict);
+    }
+  }
+}
+
+AuthState Combine(const std::vector<AuthSpec>& auths) {
+  AuthState state;
+  // Strong authorizations first: "a strong authorization and all
+  // authorizations implied by it cannot be overridden", so they must win
+  // over weak ones regardless of arrival order.
+  for (const AuthSpec& a : auths) {
+    if (a.strong) {
+      FoldAuth(a, state);
+    }
+  }
+  for (const AuthSpec& a : auths) {
+    if (!a.strong) {
+      FoldAuth(a, state);
+    }
+  }
+  if (state.conflict) {
+    // Normalize: a conflicted state carries no usable decisions, and the
+    // residue would otherwise depend on fold order.
+    state = AuthState{};
+    state.conflict = true;
+  }
+  return state;
+}
+
+std::string AuthState::ToString() const {
+  if (conflict) {
+    return "Conflict";
+  }
+  auto literal = [](Decision d, bool strong, AuthType t) -> std::string {
+    AuthSpec spec{strong, d == Decision::kGranted, t};
+    return spec.ToString();
+  };
+  // Dominant display: +W implies +R (show sW alone); ~R implies ~W (show
+  // s~R alone).  Independent leftovers are shown comma-separated.
+  std::vector<std::string> parts;
+  if (write == Decision::kGranted) {
+    parts.push_back(literal(write, write_strong, AuthType::kWrite));
+    if (read == Decision::kGranted && read_strong && !write_strong) {
+      parts.push_back(literal(read, read_strong, AuthType::kRead));
+    }
+  } else {
+    if (read == Decision::kGranted) {
+      parts.push_back(literal(read, read_strong, AuthType::kRead));
+    }
+    if (read == Decision::kDenied) {
+      parts.push_back(literal(read, read_strong, AuthType::kRead));
+      if (write == Decision::kDenied && write_strong && !read_strong) {
+        parts.push_back(literal(write, write_strong, AuthType::kWrite));
+      }
+    } else if (write == Decision::kDenied) {
+      parts.push_back(literal(write, write_strong, AuthType::kWrite));
+    }
+  }
+  if (parts.empty()) {
+    return "-";
+  }
+  std::string out = parts[0];
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out += "," + parts[i];
+  }
+  return out;
+}
+
+std::string RenderFigure6Matrix() {
+  const std::vector<AuthSpec> specs = AllAuthSpecs();
+  std::ostringstream os;
+  os << "Figure 6: implicit authorization on a component shared by two\n"
+     << "composite objects (rows: authorization via Instance[j]; columns:\n"
+     << "authorization via Instance[k]).\n\n";
+  os << "        ";
+  for (const AuthSpec& col : specs) {
+    os << "|" << col.ToString();
+    for (size_t p = col.ToString().size(); p < 9; ++p) os << ' ';
+  }
+  os << "\n";
+  for (const AuthSpec& row : specs) {
+    os << row.ToString();
+    for (size_t p = row.ToString().size(); p < 8; ++p) os << ' ';
+    for (const AuthSpec& col : specs) {
+      const std::string cell = Combine({row, col}).ToString();
+      os << "|" << cell;
+      for (size_t p = cell.size(); p < 9; ++p) os << ' ';
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace orion

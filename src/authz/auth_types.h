@@ -1,0 +1,89 @@
+#ifndef ORION_AUTHZ_AUTH_TYPES_H_
+#define ORION_AUTHZ_AUTH_TYPES_H_
+
+#include <string>
+#include <vector>
+
+namespace orion {
+
+/// The two authorization types of §6: Read and Write.
+/// Implications ([RABI88], restated in the paper): a positive W implies a
+/// positive R; a negative R implies a negative W.
+enum class AuthType { kRead = 0, kWrite = 1 };
+
+/// One authorization atom: {strong, weak} x {positive, negative} x {R, W}.
+///
+/// "The second concept is the positive and negative authorizations which
+/// differentiate between prohibition and absence of an authorization. ...
+/// A weak authorization can be overridden by other authorizations, while a
+/// strong authorization and all authorizations implied by it cannot be
+/// overridden."
+struct AuthSpec {
+  bool strong = true;
+  bool positive = true;
+  AuthType type = AuthType::kRead;
+
+  friend bool operator==(const AuthSpec&, const AuthSpec&) = default;
+
+  /// Paper notation: "sR", "sW", "s~R", "w~W", ...  ('~' stands in for the
+  /// paper's negation sign).
+  std::string ToString() const;
+};
+
+/// All eight atoms in the row/column order of Figure 6:
+/// sR, sW, s~R, s~W, wR, wW, w~R, w~W.
+std::vector<AuthSpec> AllAuthSpecs();
+
+/// Outcome for one authorization type after combination.
+enum class Decision {
+  kNone = 0,   // no authorization derived
+  kGranted,
+  kDenied,
+};
+
+/// The combined implied authorization on one object for one user: a
+/// decision (with strength) per authorization type, or a conflict.
+struct AuthState {
+  bool conflict = false;
+  Decision read = Decision::kNone;
+  bool read_strong = false;
+  Decision write = Decision::kNone;
+  bool write_strong = false;
+
+  bool Allows(AuthType type) const {
+    if (conflict) {
+      return false;
+    }
+    return (type == AuthType::kRead ? read : write) == Decision::kGranted;
+  }
+
+  friend bool operator==(const AuthState&, const AuthState&) = default;
+
+  /// Compact cell text for the Figure 6 matrix: "Conflict", "-" (none), or
+  /// the dominant literals, e.g. "sW" (which implies sR), "s~R" (which
+  /// implies s~W), or a compound like "sR,w~W".
+  std::string ToString() const;
+};
+
+/// Expands an atom into its implication closure and folds it into `state`
+/// literal by literal:
+///  * +W adds +R with the same strength;  ~R adds ~W with the same strength;
+///  * a strong literal overrides any weak literal on the same type;
+///  * two strong contradictory literals on one type conflict;
+///  * two weak contradictory literals (with no strong override) conflict —
+///    the same-specificity case the paper's matrix marks 'Conflict'.
+void FoldAuth(const AuthSpec& auth, AuthState& state);
+
+/// Combines a set of implied authorizations (the [i,j] cell computation of
+/// Figure 6, generalized to any number of roots).
+AuthState Combine(const std::vector<AuthSpec>& auths);
+
+/// Renders the full Figure 6 matrix: rows are the authorization granted on
+/// the composite object rooted at Instance[j], columns the one granted on
+/// Instance[k]; each cell is the resulting authorization on the shared
+/// component Instance[o'].
+std::string RenderFigure6Matrix();
+
+}  // namespace orion
+
+#endif  // ORION_AUTHZ_AUTH_TYPES_H_

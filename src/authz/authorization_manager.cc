@@ -1,0 +1,300 @@
+#include "authz/authorization_manager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "query/traversal.h"
+
+namespace orion {
+
+namespace {
+
+bool TargetsMatch(const AuthTarget& a, const AuthTarget& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  return a.kind == AuthTargetKind::kObject ? a.object == b.object
+                                           : a.cls == b.cls;
+}
+
+}  // namespace
+
+Result<std::vector<AuthSpec>> AuthorizationManager::CollectAuths(
+    const std::string& user, Uid object, const GrantRecord* extra) {
+  if (objects_->Peek(object) == nullptr) {
+    return Status::NotFound("object " + object.ToString());
+  }
+  // The objects whose grants reach `object`: itself plus every composite
+  // ancestor ("an authorization on a composite object implies the same
+  // authorization on each component").
+  ORION_ASSIGN_OR_RETURN(std::vector<Uid> ancestors,
+                         AncestorsOf(*objects_, object));
+  std::vector<Uid> reach = {object};
+  reach.insert(reach.end(), ancestors.begin(), ancestors.end());
+
+  // Grants to the user and to every group it (transitively) belongs to
+  // apply ([RABI88]'s subject dimension of implicit authorization).
+  std::vector<const GrantRecord*> records;
+  for (const std::string& subject : SubjectClosure(user)) {
+    auto it = grants_.find(subject);
+    if (it != grants_.end()) {
+      for (const GrantRecord& r : it->second) {
+        records.push_back(&r);
+      }
+    }
+  }
+  if (extra != nullptr) {
+    records.push_back(extra);
+  }
+
+  std::vector<AuthSpec> out;
+  for (const GrantRecord* r : records) {
+    bool applies = false;
+    if (r->target.kind == AuthTargetKind::kObject) {
+      applies = std::find(reach.begin(), reach.end(), r->target.object) !=
+                reach.end();
+    } else {
+      // A grant on a composite class covers instances of the class (and its
+      // subclasses) and all components of those instances.
+      for (Uid x : reach) {
+        const Object* obj = objects_->Peek(x);
+        if (obj != nullptr &&
+            schema_->IsSubclassOf(obj->class_id(), r->target.cls)) {
+          applies = true;
+          break;
+        }
+      }
+    }
+    if (applies) {
+      out.push_back(r->spec);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Uid>> AuthorizationManager::CoveredObjects(
+    const AuthTarget& target) {
+  std::vector<Uid> out;
+  if (target.kind == AuthTargetKind::kObject) {
+    if (objects_->Peek(target.object) == nullptr) {
+      return Status::NotFound("object " + target.object.ToString());
+    }
+    out.push_back(target.object);
+    ORION_ASSIGN_OR_RETURN(std::vector<Uid> comps,
+                           ComponentsOf(*objects_, target.object));
+    out.insert(out.end(), comps.begin(), comps.end());
+    return out;
+  }
+  if (schema_->GetClass(target.cls) == nullptr) {
+    return Status::NotFound("class id " + std::to_string(target.cls));
+  }
+  for (Uid inst : objects_->InstancesOfDeep(target.cls)) {
+    out.push_back(inst);
+    auto comps = ComponentsOf(*objects_, inst);
+    if (comps.ok()) {
+      for (Uid c : *comps) {
+        if (std::find(out.begin(), out.end(), c) == out.end()) {
+          out.push_back(c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Status AuthorizationManager::CheckNoConflict(const GrantRecord& record) {
+  ORION_ASSIGN_OR_RETURN(std::vector<Uid> covered,
+                         CoveredObjects(record.target));
+  // A grant to a group changes the effective authorizations of every
+  // (transitive) member; all of them must stay conflict-free.
+  for (const std::string& subject : MemberClosure(record.user)) {
+    for (Uid obj : covered) {
+      ORION_ASSIGN_OR_RETURN(std::vector<AuthSpec> auths,
+                             CollectAuths(subject, obj, &record));
+      if (Combine(auths).conflict) {
+        return Status::AuthorizationConflict(
+            "granting " + record.spec.ToString() + " to '" + record.user +
+            "' would conflict with an existing (explicit or implicit) "
+            "authorization of '" + subject + "' on object " +
+            obj.ToString());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> AuthorizationManager::SubjectClosure(
+    const std::string& subject) const {
+  std::vector<std::string> out{subject};
+  std::unordered_set<std::string> visited{subject};
+  for (size_t i = 0; i < out.size(); ++i) {
+    auto it = memberships_.find(out[i]);
+    if (it == memberships_.end()) {
+      continue;
+    }
+    for (const std::string& group : it->second) {
+      if (visited.insert(group).second) {
+        out.push_back(group);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AuthorizationManager::MemberClosure(
+    const std::string& subject) const {
+  std::vector<std::string> out{subject};
+  std::unordered_set<std::string> visited{subject};
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (const auto& [member, groups] : memberships_) {
+      if (groups.count(out[i]) > 0 && visited.insert(member).second) {
+        out.push_back(member);
+      }
+    }
+  }
+  return out;
+}
+
+Status AuthorizationManager::AddToGroup(const std::string& member,
+                                        const std::string& group) {
+  if (member.empty() || group.empty()) {
+    return Status::InvalidArgument("subject names must not be empty");
+  }
+  if (member == group) {
+    return Status::InvalidArgument("a subject cannot be its own group");
+  }
+  // Cycle check: group must not already be (transitively) a member of
+  // `member`.
+  const std::vector<std::string> below = MemberClosure(member);
+  if (std::find(below.begin(), below.end(), group) != below.end()) {
+    return Status::FailedPrecondition(
+        "membership would create a cycle in the subject hierarchy");
+  }
+  if (!memberships_[member].insert(group).second) {
+    return Status::AlreadyExists("'" + member + "' is already a member of '" +
+                                 group + "'");
+  }
+  // The member now inherits the group's grants; reject if that mixture
+  // conflicts anywhere the group's grants reach.
+  for (const std::string& subject : SubjectClosure(group)) {
+    auto it = grants_.find(subject);
+    if (it == grants_.end()) {
+      continue;
+    }
+    for (const GrantRecord& r : it->second) {
+      auto covered = CoveredObjects(r.target);
+      if (!covered.ok()) {
+        continue;
+      }
+      for (Uid obj : *covered) {
+        auto auths = CollectAuths(member, obj, nullptr);
+        if (auths.ok() && Combine(*auths).conflict) {
+          memberships_[member].erase(group);
+          return Status::AuthorizationConflict(
+              "adding '" + member + "' to '" + group +
+              "' would create conflicting authorizations on object " +
+              obj.ToString());
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuthorizationManager::RemoveFromGroup(const std::string& member,
+                                             const std::string& group) {
+  auto it = memberships_.find(member);
+  if (it == memberships_.end() || it->second.erase(group) == 0) {
+    return Status::NotFound("'" + member + "' is not a member of '" + group +
+                            "'");
+  }
+  if (it->second.empty()) {
+    memberships_.erase(it);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::string, std::string>>
+AuthorizationManager::DumpMemberships() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [member, groups] : memberships_) {
+    for (const std::string& group : groups) {
+      out.emplace_back(member, group);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status AuthorizationManager::GrantOnObject(const std::string& user,
+                                           Uid object, AuthSpec spec) {
+  GrantRecord record{user, AuthTarget::Object(object), spec};
+  ORION_RETURN_IF_ERROR(CheckNoConflict(record));
+  grants_[user].push_back(std::move(record));
+  return Status::Ok();
+}
+
+Status AuthorizationManager::GrantOnClass(const std::string& user,
+                                          ClassId cls, AuthSpec spec) {
+  GrantRecord record{user, AuthTarget::Class(cls), spec};
+  ORION_RETURN_IF_ERROR(CheckNoConflict(record));
+  grants_[user].push_back(std::move(record));
+  return Status::Ok();
+}
+
+Status AuthorizationManager::Revoke(const std::string& user,
+                                    const AuthTarget& target, AuthSpec spec) {
+  auto it = grants_.find(user);
+  if (it == grants_.end()) {
+    return Status::NotFound("no grants for user '" + user + "'");
+  }
+  auto& records = it->second;
+  auto found = std::find_if(records.begin(), records.end(),
+                            [&](const GrantRecord& r) {
+                              return TargetsMatch(r.target, target) &&
+                                     r.spec == spec;
+                            });
+  if (found == records.end()) {
+    return Status::NotFound("no matching grant");
+  }
+  records.erase(found);
+  return Status::Ok();
+}
+
+Result<AuthState> AuthorizationManager::ImpliedOn(const std::string& user,
+                                                  Uid object) {
+  ORION_ASSIGN_OR_RETURN(std::vector<AuthSpec> auths,
+                         CollectAuths(user, object, nullptr));
+  return Combine(auths);
+}
+
+Result<bool> AuthorizationManager::CheckAccess(const std::string& user,
+                                               Uid object, AuthType type) {
+  ORION_ASSIGN_OR_RETURN(AuthState state, ImpliedOn(user, object));
+  return state.Allows(type);
+}
+
+size_t AuthorizationManager::grant_count() const {
+  size_t n = 0;
+  for (const auto& [user, records] : grants_) {
+    n += records.size();
+  }
+  return n;
+}
+
+std::vector<GrantRecord> AuthorizationManager::DumpGrants() const {
+  std::vector<std::string> users;
+  users.reserve(grants_.size());
+  for (const auto& [user, records] : grants_) {
+    users.push_back(user);
+  }
+  std::sort(users.begin(), users.end());
+  std::vector<GrantRecord> out;
+  for (const std::string& user : users) {
+    const auto& records = grants_.at(user);
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+}  // namespace orion

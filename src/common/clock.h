@@ -1,0 +1,36 @@
+#ifndef ORION_COMMON_CLOCK_H_
+#define ORION_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace orion {
+
+/// Monotonic logical timestamps.
+///
+/// §5.1: in the absence of a user-specified default version, "the system
+/// determines the system default on the basis of a timestamp ordering of the
+/// creation of the version instances."  A logical counter gives that ordering
+/// deterministically (wall-clock time would make tests flaky and benches
+/// noisy).
+class LogicalClock {
+ public:
+  /// Returns a strictly increasing timestamp.
+  uint64_t Tick() { return ++now_; }
+
+  /// The most recently issued timestamp (0 before the first Tick).
+  uint64_t Now() const { return now_; }
+
+  /// Moves the clock forward to at least `t` (snapshot restore).
+  void AdvanceTo(uint64_t t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_CLOCK_H_

@@ -1,0 +1,75 @@
+#ifndef ORION_COMMON_RESULT_H_
+#define ORION_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace orion {
+
+/// A value-or-Status union (the StatusOr idiom).
+///
+/// `Result<T>` is returned by operations that produce a value but may be
+/// rejected by a model rule, e.g. `ObjectManager::Make` (Topology Rule 3 may
+/// forbid the requested parents) or `VersionManager::Derive`.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Failure; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define ORION_RESULT_CONCAT_INNER_(a, b) a##b
+#define ORION_RESULT_CONCAT_(a, b) ORION_RESULT_CONCAT_INNER_(a, b)
+#define ORION_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) {                                   \
+    return tmp.status();                             \
+  }                                                  \
+  lhs = std::move(tmp).value()
+#define ORION_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  ORION_ASSIGN_OR_RETURN_IMPL_(                                            \
+      ORION_RESULT_CONCAT_(orion_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_RESULT_H_

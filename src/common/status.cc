@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace orion {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kTopologyViolation:
+      return "TopologyViolation";
+    case StatusCode::kSchemaChangeRejected:
+      return "SchemaChangeRejected";
+    case StatusCode::kAuthorizationConflict:
+      return "AuthorizationConflict";
+    case StatusCode::kAccessDenied:
+      return "AccessDenied";
+    case StatusCode::kLockTimeout:
+      return "LockTimeout";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kTransactionInvalid:
+      return "TransactionInvalid";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace orion

@@ -1,0 +1,120 @@
+#ifndef ORION_COMMON_STATUS_H_
+#define ORION_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace orion {
+
+/// Outcome classification for every fallible operation in the library.
+///
+/// The composite-object model is full of operations whose *normal* behaviour
+/// includes rejection — a Make-Component request that would violate a
+/// Topology Rule, a schema change rejected by state-dependent verification,
+/// an authorization grant that conflicts with an implied authorization, a
+/// lock request that deadlocks.  Those are reported through `Status`
+/// (RocksDB/Arrow idiom), never through exceptions.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed request: unknown class/attribute, wrong value type, etc.
+  kInvalidArgument,
+  /// Referenced entity (object, class, attribute, user) does not exist.
+  kNotFound,
+  /// Entity with this identity already exists.
+  kAlreadyExists,
+  /// Operation is valid in general but not in the current state.
+  kFailedPrecondition,
+  /// Attaching the object would violate Topology Rules 1-3 or the
+  /// Make-Component Rule (paper §2.2), or a version rule CV-1X..CV-4X (§5.2).
+  kTopologyViolation,
+  /// A state-dependent schema change (D1-D3, §4.2) failed verification.
+  kSchemaChangeRejected,
+  /// Granting the authorization would conflict with an existing explicit or
+  /// implicit authorization (§6).
+  kAuthorizationConflict,
+  /// Access denied by the authorization subsystem.
+  kAccessDenied,
+  /// Lock request timed out waiting for an incompatible holder.
+  kLockTimeout,
+  /// Lock request aborted by deadlock detection.
+  kDeadlock,
+  /// Operation attempted outside of / on a finished transaction.
+  kTransactionInvalid,
+  /// Internal invariant violation (a bug, not a user error).
+  kInternal,
+};
+
+/// Human-readable name of a status code, e.g. "TopologyViolation".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or a coded error with a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status TopologyViolation(std::string msg) {
+    return Status(StatusCode::kTopologyViolation, std::move(msg));
+  }
+  static Status SchemaChangeRejected(std::string msg) {
+    return Status(StatusCode::kSchemaChangeRejected, std::move(msg));
+  }
+  static Status AuthorizationConflict(std::string msg) {
+    return Status(StatusCode::kAuthorizationConflict, std::move(msg));
+  }
+  static Status AccessDenied(std::string msg) {
+    return Status(StatusCode::kAccessDenied, std::move(msg));
+  }
+  static Status LockTimeout(std::string msg) {
+    return Status(StatusCode::kLockTimeout, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status TransactionInvalid(std::string msg) {
+    return Status(StatusCode::kTransactionInvalid, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define ORION_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::orion::Status orion_status_tmp_ = (expr);    \
+    if (!orion_status_tmp_.ok()) {                 \
+      return orion_status_tmp_;                    \
+    }                                              \
+  } while (false)
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+#ifndef ORION_COMMON_UID_H_
+#define ORION_COMMON_UID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace orion {
+
+/// Object identifier (the paper's "UID", §2.1).
+///
+/// Every object — instance, generic instance, version instance, and class
+/// object — is addressed by a Uid.  "An object O' has a reference to another
+/// object O if O' contains the object identifier (UID) of O."
+struct Uid {
+  uint64_t raw = 0;
+
+  constexpr Uid() = default;
+  constexpr explicit Uid(uint64_t v) : raw(v) {}
+
+  constexpr bool valid() const { return raw != 0; }
+
+  friend constexpr bool operator==(Uid a, Uid b) { return a.raw == b.raw; }
+  friend constexpr bool operator!=(Uid a, Uid b) { return a.raw != b.raw; }
+  friend constexpr bool operator<(Uid a, Uid b) { return a.raw < b.raw; }
+
+  std::string ToString() const { return "#" + std::to_string(raw); }
+};
+
+/// The null reference ("Nil" in the paper's Lisp syntax).
+inline constexpr Uid kNilUid{};
+
+}  // namespace orion
+
+template <>
+struct std::hash<orion::Uid> {
+  size_t operator()(orion::Uid u) const noexcept {
+    return std::hash<uint64_t>{}(u.raw);
+  }
+};
+
+#endif  // ORION_COMMON_UID_H_

@@ -1,0 +1,111 @@
+#include "common/value.h"
+
+#include <algorithm>
+
+namespace orion {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInteger:
+      return "integer";
+    case ValueType::kReal:
+      return "real";
+    case ValueType::kString:
+      return "string";
+    case ValueType::kRef:
+      return "ref";
+    case ValueType::kSet:
+      return "set";
+  }
+  return "unknown";
+}
+
+Value Value::RefSet(const std::vector<Uid>& uids) {
+  std::vector<Value> elems;
+  elems.reserve(uids.size());
+  for (Uid u : uids) {
+    elems.push_back(Value::Ref(u));
+  }
+  return Value::Set(std::move(elems));
+}
+
+std::vector<Uid> Value::ReferencedUids() const {
+  std::vector<Uid> out;
+  if (is_ref()) {
+    if (ref().valid()) {
+      out.push_back(ref());
+    }
+  } else if (is_set()) {
+    for (const Value& e : set()) {
+      if (e.is_ref() && e.ref().valid()) {
+        out.push_back(e.ref());
+      }
+    }
+  }
+  return out;
+}
+
+bool Value::References(Uid target) const {
+  if (is_ref()) {
+    return ref() == target;
+  }
+  if (is_set()) {
+    for (const Value& e : set()) {
+      if (e.is_ref() && e.ref() == target) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int Value::RemoveReference(Uid target) {
+  if (is_ref() && ref() == target) {
+    *this = Value::Null();
+    return 1;
+  }
+  if (is_set()) {
+    auto& elems = mutable_set();
+    const auto old_size = elems.size();
+    elems.erase(std::remove_if(elems.begin(), elems.end(),
+                               [target](const Value& e) {
+                                 return e.is_ref() && e.ref() == target;
+                               }),
+                elems.end());
+    return static_cast<int>(old_size - elems.size());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "nil";
+    case ValueType::kInteger:
+      return std::to_string(integer());
+    case ValueType::kReal:
+      return std::to_string(real());
+    case ValueType::kString:
+      return "\"" + string() + "\"";
+    case ValueType::kRef:
+      return ref().ToString();
+    case ValueType::kSet: {
+      std::string out = "{";
+      bool first = true;
+      for (const Value& e : set()) {
+        if (!first) {
+          out += ", ";
+        }
+        first = false;
+        out += e.ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace orion

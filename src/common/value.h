@@ -1,0 +1,99 @@
+#ifndef ORION_COMMON_VALUE_H_
+#define ORION_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/uid.h"
+
+namespace orion {
+
+/// Runtime type tag of a `Value`.
+enum class ValueType {
+  kNull = 0,
+  kInteger,
+  kReal,
+  kString,
+  kRef,
+  kSet,
+};
+
+std::string_view ValueTypeName(ValueType type);
+
+/// The value of an attribute (paper §1): either an instance of a primitive
+/// class (integer, real, string), a reference to another object (a UID), a
+/// set of values (the paper's `set-of` domains), or Nil.
+///
+/// `Value` is a regular, copyable type.  Reference-valued and set-of-ref
+/// attributes are the carriers of weak and composite references; the
+/// reference *kind* lives in the schema (`AttributeSpec`), not in the value.
+class Value {
+ public:
+  /// Nil.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Integer(int64_t v) { return Value(Data(v)); }
+  static Value Real(double v) { return Value(Data(v)); }
+  static Value String(std::string v) { return Value(Data(std::move(v))); }
+  static Value Ref(Uid u) { return Value(Data(u)); }
+  static Value Set(std::vector<Value> elems) {
+    return Value(Data(std::move(elems)));
+  }
+  /// Convenience: a set of references.
+  static Value RefSet(const std::vector<Uid>& uids);
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_ref() const { return type() == ValueType::kRef; }
+  bool is_set() const { return type() == ValueType::kSet; }
+
+  int64_t integer() const { return std::get<int64_t>(data_); }
+  double real() const { return std::get<double>(data_); }
+  const std::string& string() const { return std::get<std::string>(data_); }
+  Uid ref() const { return std::get<Uid>(data_); }
+  const std::vector<Value>& set() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+  std::vector<Value>& mutable_set() {
+    return std::get<std::vector<Value>>(data_);
+  }
+
+  /// All UIDs referenced by this value: the ref itself, or every ref element
+  /// of a set (sets are flattened one level; ORION sets are not nested).
+  std::vector<Uid> ReferencedUids() const;
+
+  /// True if this value references `target` (directly or as a set element).
+  bool References(Uid target) const;
+
+  /// Removes every occurrence of a reference to `target`.  A plain ref
+  /// becomes Nil; set elements are erased.  Returns the number removed.
+  int RemoveReference(Uid target);
+
+  /// Appends a reference to a set value (requires is_set()).
+  void AddSetRef(Uid target) { mutable_set().push_back(Value::Ref(target)); }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return !(a == b);
+  }
+
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, int64_t, double, std::string, Uid,
+                            std::vector<Value>>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_VALUE_H_

@@ -1,0 +1,450 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace orion {
+
+Database::Database(uint32_t objects_per_page)
+    : store_(objects_per_page),
+      schema_(&store_),
+      objects_(&schema_, &store_, &clock_),
+      versions_(&schema_, &objects_),
+      authz_(&schema_, &objects_),
+      locks_(),
+      protocol_(&schema_, &objects_, &locks_),
+      indexes_(&objects_) {}
+
+Result<Uid> Database::Make(const std::string& class_name,
+                           const std::vector<ParentBinding>& parents,
+                           const AttrValues& attrs) {
+  ORION_ASSIGN_OR_RETURN(ClassId cls, schema_.FindClass(class_name));
+  const ClassDef* def = schema_.GetClass(cls);
+  if (def->versionable) {
+    ORION_ASSIGN_OR_RETURN(VersionedHandle handle,
+                           versions_.MakeVersioned(cls, parents, attrs));
+    return handle.version;
+  }
+  return objects_.Make(cls, parents, attrs);
+}
+
+Status Database::DeleteObject(Uid uid) {
+  const Object* obj = objects_.Peek(uid);
+  if (obj == nullptr) {
+    return Status::NotFound("object " + uid.ToString());
+  }
+  switch (obj->role()) {
+    case ObjectRole::kNormal:
+      return objects_.Delete(uid);
+    case ObjectRole::kVersion:
+      return versions_.DeleteVersion(uid);
+    case ObjectRole::kGeneric:
+      return versions_.DeleteGeneric(uid);
+  }
+  return Status::Internal("unknown object role");
+}
+
+Status Database::DropAttributeInstances(const std::vector<ClassId>& classes,
+                                        const AttributeSpec& spec) {
+  struct Detached {
+    Uid child;
+    bool was_dependent;
+    bool was_exclusive;
+  };
+  std::vector<Detached> detached;
+  for (ClassId c : classes) {
+    for (Uid uid : objects_.InstancesOf(c)) {
+      Object* obj = objects_.Peek(uid);
+      if (obj == nullptr) {
+        continue;
+      }
+      if (spec.is_composite()) {
+        for (Uid child : obj->Get(spec.name).ReferencedUids()) {
+          Status removed = objects_.RemoveComponent(child, uid, spec.name);
+          if (removed.ok()) {
+            detached.push_back(
+                Detached{child, spec.dependent, spec.exclusive});
+          }
+        }
+      }
+      (void)objects_.EraseValue(uid, spec.name);
+    }
+  }
+  // "Objects that are referenced through A are deleted in accordance with
+  // the Deletion Rule": dependent-exclusive components die; dependent-shared
+  // components die when this removed their last dependent reference.
+  std::unordered_set<Uid> doomed;
+  for (const Detached& d : detached) {
+    Object* child = objects_.Peek(d.child);
+    if (child == nullptr || !d.was_dependent) {
+      continue;
+    }
+    if (d.was_exclusive || child->DsSet().empty()) {
+      doomed.insert(d.child);
+    }
+  }
+  for (Uid uid : doomed) {
+    if (objects_.Exists(uid)) {
+      ORION_RETURN_IF_ERROR(DeleteObject(uid));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::DropAttribute(ClassId cls, const std::string& name) {
+  const ClassDef* def = schema_.GetClass(cls);
+  if (def == nullptr) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  const AttributeSpec* own = def->FindOwnAttribute(name);
+  if (own == nullptr) {
+    auto defining = schema_.DefiningClass(cls, name);
+    if (defining.ok()) {
+      return Status::FailedPrecondition(
+          "attribute '" + name + "' is inherited; drop it from class '" +
+          schema_.GetClass(*defining)->name + "'");
+    }
+    return Status::NotFound("class '" + def->name +
+                            "' has no attribute '" + name + "'");
+  }
+  const AttributeSpec spec = *own;
+  // Instances of subclasses that *redefine* the attribute keep their
+  // values; everything that resolves it to `cls` loses them.
+  std::vector<ClassId> affected;
+  for (ClassId c : schema_.SelfAndSubclasses(cls)) {
+    auto defining = schema_.DefiningClass(c, name);
+    if (defining.ok() && *defining == cls) {
+      affected.push_back(c);
+    }
+  }
+  ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
+  return schema_.DropAttributeSchemaOnly(cls, name);
+}
+
+Status Database::RemoveSuperclass(ClassId cls, ClassId superclass) {
+  ORION_ASSIGN_OR_RETURN(std::vector<AttributeSpec> before,
+                         schema_.ResolvedAttributes(cls));
+  ORION_RETURN_IF_ERROR(schema_.RemoveSuperclassSchemaOnly(cls, superclass));
+  std::unordered_set<std::string> after;
+  auto after_attrs = schema_.ResolvedAttributes(cls);
+  if (after_attrs.ok()) {
+    for (const AttributeSpec& spec : *after_attrs) {
+      after.insert(spec.name);
+    }
+  }
+  // "If this operation causes class C to lose a composite attribute A,
+  // objects that are recursively referenced by instances of C and its
+  // subclasses through A are deleted according to (1)."
+  for (const AttributeSpec& spec : before) {
+    if (after.count(spec.name) > 0) {
+      continue;
+    }
+    std::vector<ClassId> affected;
+    for (ClassId c : schema_.SelfAndSubclasses(cls)) {
+      if (!schema_.ResolveAttribute(c, spec.name).ok()) {
+        affected.push_back(c);  // the subclass lost the attribute too
+      }
+    }
+    ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
+  }
+  return Status::Ok();
+}
+
+Status Database::ChangeAttributeInheritance(ClassId cls,
+                                            const std::string& name,
+                                            ClassId source) {
+  ORION_ASSIGN_OR_RETURN(AttributeSpec old_spec,
+                         schema_.ResolveAttribute(cls, name));
+  ORION_ASSIGN_OR_RETURN(ClassId old_owner, schema_.DefiningClass(cls, name));
+  // Which classes currently resolve `name` to the same definition as `cls`
+  // (their instances' values live under the old definition)?
+  std::vector<ClassId> affected;
+  for (ClassId c : schema_.SelfAndSubclasses(cls)) {
+    auto owner = schema_.DefiningClass(c, name);
+    if (owner.ok() && *owner == old_owner) {
+      affected.push_back(c);
+    }
+  }
+  ORION_RETURN_IF_ERROR(
+      schema_.SetAttributeInheritanceSchemaOnly(cls, name, source));
+  if (*schema_.DefiningClass(cls, name) == old_owner) {
+    return Status::Ok();  // resolution unchanged; values stay
+  }
+  // "Objects that are referenced through A are deleted in accordance with
+  // the Deletion Rule" — same as dropping the old attribute from the
+  // affected classes.
+  return DropAttributeInstances(affected, old_spec);
+}
+
+Status Database::DropClass(ClassId cls) {
+  const ClassDef* def = schema_.GetClass(cls);
+  if (def == nullptr) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  // Delete the direct extent (subclass instances keep their own class).
+  // Deletions cascade, so re-fetch until the extent drains.
+  while (true) {
+    std::vector<Uid> extent = objects_.InstancesOf(cls);
+    if (extent.empty()) {
+      break;
+    }
+    bool progressed = false;
+    for (Uid uid : extent) {
+      if (!objects_.Exists(uid)) {
+        continue;  // removed by an earlier cascade this round
+      }
+      ORION_RETURN_IF_ERROR(DeleteObject(uid));
+      progressed = true;
+    }
+    if (!progressed) {
+      break;
+    }
+  }
+  return schema_.DropClassSchemaOnly(cls);
+}
+
+namespace {
+
+/// True if adding the prospective composite edges (parent -> child pairs)
+/// on top of the existing composite references would close a cycle.
+bool EdgesWouldCycle(
+    ObjectManager& objects,
+    const std::vector<std::pair<Uid, Uid>>& new_edges) {
+  // Adjacency: existing composite edges of involved nodes plus new edges.
+  std::unordered_map<Uid, std::vector<Uid>> extra;
+  for (const auto& [parent, child] : new_edges) {
+    extra[parent].push_back(child);
+  }
+  auto children_of = [&](Uid node, std::vector<Uid>& out) {
+    auto comps = objects.DirectComponents(node);
+    if (comps.ok()) {
+      for (const auto& [uid, spec] : *comps) {
+        out.push_back(uid);
+      }
+    }
+    auto it = extra.find(node);
+    if (it != extra.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  };
+  // For each new edge parent -> child, parent must not be reachable from
+  // child in the combined graph.
+  for (const auto& [parent, child] : new_edges) {
+    if (parent == child) {
+      return true;
+    }
+    std::unordered_set<Uid> visited;
+    std::deque<Uid> frontier{child};
+    while (!frontier.empty()) {
+      const Uid cur = frontier.front();
+      frontier.pop_front();
+      if (cur == parent) {
+        return true;
+      }
+      if (!visited.insert(cur).second) {
+        continue;
+      }
+      std::vector<Uid> next;
+      children_of(cur, next);
+      for (Uid n : next) {
+        frontier.push_back(n);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Database::PromoteWeakToComposite(ClassId cls,
+                                        const AttributeSpec& old_spec,
+                                        AttributeSpec new_spec) {
+  ORION_ASSIGN_OR_RETURN(ClassId defining,
+                         schema_.DefiningClass(cls, old_spec.name));
+  // Collect every (holder, target) pair reached through the attribute.
+  // "Step 2 above may be very expensive, since there is no reverse
+  // reference corresponding to a weak reference" — this is that scan.
+  std::vector<std::pair<Uid, Uid>> pairs;
+  for (Uid holder : objects_.InstancesOfDeep(defining)) {
+    Object* obj = objects_.Peek(holder);
+    if (obj == nullptr) {
+      continue;
+    }
+    for (Uid target : obj->Get(old_spec.name).ReferencedUids()) {
+      pairs.emplace_back(holder, target);
+    }
+  }
+  // Verification (D1: no composite references at all; D2: no exclusive
+  // references) — delegated to the Make-Component Rule check, which also
+  // covers domains, version rules, and pairwise cycles.
+  if (new_spec.is_exclusive_composite()) {
+    std::unordered_set<Uid> seen;
+    for (const auto& [holder, target] : pairs) {
+      if (!seen.insert(target).second) {
+        return Status::SchemaChangeRejected(
+            "object " + target.ToString() +
+            " is weakly referenced more than once; it cannot become an "
+            "exclusive component (D1)");
+      }
+    }
+  }
+  for (const auto& [holder, target] : pairs) {
+    Status check = objects_.CheckAttach(new_spec, target, holder);
+    if (!check.ok()) {
+      return Status::SchemaChangeRejected(
+          "promoting attribute '" + new_spec.name + "': " + check.message());
+    }
+  }
+  if (EdgesWouldCycle(objects_, pairs)) {
+    return Status::SchemaChangeRejected(
+        "promoting attribute '" + new_spec.name +
+        "' would create a cycle in the part hierarchy");
+  }
+  // Apply: add the reverse references, log the change, rewrite the schema.
+  for (const auto& [holder, target] : pairs) {
+    ORION_RETURN_IF_ERROR(objects_.AttachBacklink(target, holder, new_spec));
+  }
+  auto domain = schema_.FindClass(new_spec.domain);
+  if (domain.ok()) {
+    LogEntry entry;
+    entry.cc = schema_.NextCc();
+    entry.change = new_spec.exclusive ? TypeChange::kToDependent
+                                      : TypeChange::kToShared;
+    entry.referencing_class = defining;
+    entry.attribute = new_spec.name;
+    entry.to_composite = true;
+    entry.to_exclusive = new_spec.exclusive;
+    entry.to_dependent = new_spec.dependent;
+    schema_.LogForDomain(*domain).Append(entry);
+    for (const auto& [holder, target] : pairs) {
+      Object* child = objects_.Peek(target);
+      if (child != nullptr) {
+        ORION_RETURN_IF_ERROR(objects_.CatchUp(child));
+      }
+    }
+  }
+  return schema_.ApplyTypeChangeSchemaOnly(cls, new_spec.name,
+                                           new_spec.composite,
+                                           new_spec.exclusive,
+                                           new_spec.dependent);
+}
+
+Status Database::TightenSharedToExclusive(ClassId cls,
+                                          const AttributeSpec& old_spec,
+                                          AttributeSpec new_spec) {
+  ORION_ASSIGN_OR_RETURN(ClassId defining,
+                         schema_.DefiningClass(cls, old_spec.name));
+  std::vector<std::pair<Uid, Uid>> pairs;
+  for (Uid holder : objects_.InstancesOfDeep(defining)) {
+    Object* obj = objects_.Peek(holder);
+    if (obj == nullptr) {
+      continue;
+    }
+    for (Uid target : obj->Get(old_spec.name).ReferencedUids()) {
+      pairs.emplace_back(holder, target);
+    }
+  }
+  // D3 verification: "reject the change if an instance O exists such that O
+  // has more than one reverse composite reference, and at least one of the
+  // reverse composite references is from an instance of the class C'."
+  for (const auto& [holder, target] : pairs) {
+    Object* child = objects_.Peek(target);
+    if (child == nullptr) {
+      continue;
+    }
+    ORION_RETURN_IF_ERROR(objects_.CatchUp(child));
+    const size_t refs = child->is_generic() ? child->generic_refs().size()
+                                            : child->reverse_refs().size();
+    if (refs > 1) {
+      return Status::SchemaChangeRejected(
+          "object " + target.ToString() +
+          " has more than one composite reference; attribute '" +
+          new_spec.name + "' cannot become exclusive (D3)");
+    }
+  }
+  // Apply via the operation-log machinery: log the absolute target flags
+  // and catch the referenced instances up immediately.
+  auto domain = schema_.FindClass(new_spec.domain);
+  if (!domain.ok()) {
+    return Status::SchemaChangeRejected(
+        "attribute '" + new_spec.name +
+        "' needs a class domain for a composite type change");
+  }
+  LogEntry entry;
+  entry.cc = schema_.NextCc();
+  entry.change = TypeChange::kToDependent;  // display only; flags below rule
+  entry.referencing_class = defining;
+  entry.attribute = new_spec.name;
+  entry.to_composite = true;
+  entry.to_exclusive = true;
+  entry.to_dependent = new_spec.dependent;
+  schema_.LogForDomain(*domain).Append(entry);
+  ORION_RETURN_IF_ERROR(schema_.ApplyTypeChangeSchemaOnly(
+      cls, new_spec.name, true, true, new_spec.dependent));
+  for (const auto& [holder, target] : pairs) {
+    Object* child = objects_.Peek(target);
+    if (child != nullptr) {
+      ORION_RETURN_IF_ERROR(objects_.CatchUp(child));
+    }
+  }
+  return Status::Ok();
+}
+
+Status Database::ChangeAttributeType(ClassId cls, const std::string& attr,
+                                     bool to_composite, bool to_exclusive,
+                                     bool to_dependent, ChangeMode mode) {
+  ORION_ASSIGN_OR_RETURN(
+      TypeChangeClass klass,
+      schema_.ClassifyTypeChange(cls, attr, to_composite, to_exclusive,
+                                 to_dependent));
+  ORION_ASSIGN_OR_RETURN(AttributeSpec old_spec,
+                         schema_.ResolveAttribute(cls, attr));
+
+  AttributeSpec new_spec = old_spec;
+  new_spec.composite = to_composite;
+  new_spec.exclusive = to_exclusive;
+  new_spec.dependent = to_dependent;
+
+  if (klass.state_dependent) {
+    // D1/D2: weak -> composite; D3: shared -> exclusive.
+    if (!old_spec.is_composite()) {
+      return PromoteWeakToComposite(cls, old_spec, new_spec);
+    }
+    return TightenSharedToExclusive(cls, old_spec, new_spec);
+  }
+
+  // State-independent (I1-I4): record in the operation log of the domain
+  // class; apply now or at access time.
+  auto domain = schema_.FindClass(old_spec.domain);
+  if (!domain.ok()) {
+    return Status::SchemaChangeRejected(
+        "attribute '" + attr +
+        "' needs a class domain for a composite type change");
+  }
+  ORION_ASSIGN_OR_RETURN(ClassId defining, schema_.DefiningClass(cls, attr));
+  LogEntry entry;
+  entry.cc = schema_.NextCc();
+  entry.change = *klass.independent_kind;
+  entry.referencing_class = defining;
+  entry.attribute = attr;
+  entry.to_composite = to_composite;
+  entry.to_exclusive = to_exclusive;
+  entry.to_dependent = to_dependent;
+  schema_.LogForDomain(*domain).Append(entry);
+  ORION_RETURN_IF_ERROR(schema_.ApplyTypeChangeSchemaOnly(
+      cls, attr, to_composite, to_exclusive, to_dependent));
+  if (mode == ChangeMode::kImmediate) {
+    // "This is implemented by accessing all instances of the class C ..."
+    for (Uid uid : objects_.InstancesOfDeep(*domain)) {
+      auto access = objects_.Access(uid);
+      if (!access.ok()) {
+        return access.status();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace orion

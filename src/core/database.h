@@ -1,0 +1,135 @@
+#ifndef ORION_CORE_DATABASE_H_
+#define ORION_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authz/authorization_manager.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "lock/composite_locking.h"
+#include "lock/lock_manager.h"
+#include "object/object_manager.h"
+#include "query/index.h"
+#include "query/query.h"
+#include "query/traversal.h"
+#include "schema/schema_manager.h"
+#include "storage/object_store.h"
+#include "version/version_manager.h"
+
+namespace orion {
+
+/// Execution mode for state-independent attribute-type changes (§4.3):
+/// "the changes may be made 'immediately' or 'deferred' until the objects
+/// actually need to be accessed."
+enum class ChangeMode { kImmediate, kDeferred };
+
+/// The ORION-style database facade: one object owning every subsystem, plus
+/// the operations whose semantics span subsystems — instance creation that
+/// routes versionable classes through the version manager, deletion that
+/// routes by object role, and the full §4 schema-evolution taxonomy with
+/// its instance-level effects.
+class Database {
+ public:
+  explicit Database(uint32_t objects_per_page = 16);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  SchemaManager& schema() { return schema_; }
+  ObjectManager& objects() { return objects_; }
+  VersionManager& versions() { return versions_; }
+  AuthorizationManager& authz() { return authz_; }
+  LockManager& locks() { return locks_; }
+  CompositeLockProtocol& protocol() { return protocol_; }
+  IndexManager& indexes() { return indexes_; }
+  ObjectStore& store() { return store_; }
+  LogicalClock& clock() { return clock_; }
+
+  // --- Paper-message conveniences -------------------------------------------
+
+  /// `make-class` by spec.
+  Result<ClassId> MakeClass(const ClassSpec& spec) {
+    return schema_.MakeClass(spec);
+  }
+
+  /// `make` by class name.  For a versionable class this creates the
+  /// generic and first version instance and returns the *version* instance
+  /// (its generic is reachable via `Object::generic()`).
+  Result<Uid> Make(const std::string& class_name,
+                   const std::vector<ParentBinding>& parents = {},
+                   const AttrValues& attrs = {});
+
+  /// Deletes by role: normal objects through the Deletion Rule, version
+  /// instances and generics through the §5 rules.
+  Status DeleteObject(Uid uid);
+
+  // --- §4 schema evolution with instance semantics ---------------------------
+
+  /// Drop attribute `name` from class `cls` (must be locally defined).
+  /// Instances of `cls` and of subclasses that inherit the attribute lose
+  /// their values; objects referenced through a composite attribute are
+  /// deleted "in accordance with the Deletion Rule": dependent-exclusive
+  /// components die, dependent-shared components die when this removes
+  /// their last dependent reference, independent components are detached.
+  Status DropAttribute(ClassId cls, const std::string& name);
+
+  /// Remove `superclass` from `cls`.  Attributes `cls` loses through the
+  /// change are handled like DropAttribute over `cls` and its subclasses.
+  Status RemoveSuperclass(ClassId cls, ClassId superclass);
+
+  /// §4.1 change (2): "change the inheritance (parent) of an attribute
+  /// (inherit another attribute with the same name)."  Existing values held
+  /// under the old definition are dropped with DropAttribute semantics
+  /// (composite components per the Deletion Rule) on every class whose
+  /// resolution changes; afterwards `cls` resolves `name` from `source`.
+  Status ChangeAttributeInheritance(ClassId cls, const std::string& name,
+                                    ClassId source);
+
+  /// Drop class `cls`: its direct instances are deleted (Deletion Rule /
+  /// version rules), subclasses re-attach to its superclasses.
+  Status DropClass(ClassId cls);
+
+  /// Attribute-type change (§4.2/§4.3).  State-independent changes (I1-I4)
+  /// are logged with a fresh CC and either applied to all instances now
+  /// (kImmediate) or left for access-time catch-up (kDeferred).
+  /// State-dependent changes (D1-D3) verify the reverse-reference state
+  /// immediately and are rejected with kSchemaChangeRejected on violation;
+  /// `mode` is ignored for them ("state-dependent changes require
+  /// 'immediate' verification").  Composite type changes require the
+  /// attribute's domain to be a class.
+  Status ChangeAttributeType(ClassId cls, const std::string& attr,
+                             bool to_composite, bool to_exclusive,
+                             bool to_dependent,
+                             ChangeMode mode = ChangeMode::kImmediate);
+
+ private:
+  /// Detaches every composite reference held through `spec` by instances of
+  /// `classes` and deletes the components the Deletion Rule dooms.  Values
+  /// for the attribute are erased.
+  Status DropAttributeInstances(const std::vector<ClassId>& classes,
+                                const AttributeSpec& spec);
+
+  /// D1/D2: promote weak references through `attr` to composite ones.
+  Status PromoteWeakToComposite(ClassId cls, const AttributeSpec& old_spec,
+                                AttributeSpec new_spec);
+  /// D3: shared -> exclusive verification and X-flag rewrite.
+  Status TightenSharedToExclusive(ClassId cls, const AttributeSpec& old_spec,
+                                  AttributeSpec new_spec);
+
+  ObjectStore store_;
+  LogicalClock clock_;
+  SchemaManager schema_;
+  ObjectManager objects_;
+  VersionManager versions_;
+  AuthorizationManager authz_;
+  LockManager locks_;
+  CompositeLockProtocol protocol_;
+  IndexManager indexes_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CORE_DATABASE_H_

@@ -1,0 +1,516 @@
+#include "core/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace orion {
+
+namespace {
+
+// ---------- token helpers ----------------------------------------------------
+
+std::string EncodeString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Splits a line into tokens; double-quoted tokens may contain spaces and
+/// the escapes \" \\ \n.
+Result<std::vector<std::string>> Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (line[i] == ' ') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '"') {
+      std::string tok;
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          ++i;
+          tok += line[i] == 'n' ? '\n' : line[i];
+        } else {
+          tok += line[i];
+        }
+        ++i;
+      }
+      if (i >= line.size()) {
+        return Status::InvalidArgument("unterminated string in snapshot");
+      }
+      ++i;  // closing quote
+      out.push_back(std::move(tok));
+      continue;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ') {
+      ++i;
+    }
+    out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+// Inner value encoding: a single string (later wrapped by EncodeString so
+// it survives tokenization as one token).  The structural characters
+// , { } \ and newlines inside string payloads are escaped so set splitting
+// stays trivial.
+std::string EscapeStringPayload(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case ',':
+        out += "\\c";
+        break;
+      case '{':
+        out += "\\o";
+        break;
+      case '}':
+        out += "\\e";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeStringPayload(const std::string& s) {
+  std::string out;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case 'c':
+        out += ',';
+        break;
+      case 'o':
+        out += '{';
+        break;
+      case 'e':
+        out += '}';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      default:
+        out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string EncodeValueInner(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "n";
+    case ValueType::kInteger:
+      return "i" + std::to_string(v.integer());
+    case ValueType::kReal: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "r%.17g", v.real());
+      return buf;
+    }
+    case ValueType::kString:
+      return "s" + EscapeStringPayload(v.string());
+    case ValueType::kRef:
+      return "#" + std::to_string(v.ref().raw);
+    case ValueType::kSet: {
+      std::string out = "{";
+      for (size_t i = 0; i < v.set().size(); ++i) {
+        if (i > 0) {
+          out += ",";
+        }
+        out += EncodeValueInner(v.set()[i]);
+      }
+      return out + "}";
+    }
+  }
+  return "n";
+}
+
+std::string EncodeValue(const Value& v) {
+  return EncodeString(EncodeValueInner(v));
+}
+
+Result<Value> DecodeValue(const std::string& tok) {
+  if (tok.empty()) {
+    return Status::InvalidArgument("empty value token");
+  }
+  switch (tok[0]) {
+    case 'n':
+      return Value::Null();
+    case 'i':
+      try {
+        return Value::Integer(std::stoll(tok.substr(1)));
+      } catch (...) {
+        return Status::InvalidArgument("bad integer value " + tok);
+      }
+    case 'r':
+      try {
+        return Value::Real(std::stod(tok.substr(1)));
+      } catch (...) {
+        return Status::InvalidArgument("bad real value " + tok);
+      }
+    case 's':
+      return Value::String(UnescapeStringPayload(tok.substr(1)));
+    case '#':
+      try {
+        return Value::Ref(Uid{std::stoull(tok.substr(1))});
+      } catch (...) {
+        return Status::InvalidArgument("bad ref value " + tok);
+      }
+    case '{': {
+      if (tok.back() != '}') {
+        return Status::InvalidArgument("bad set value " + tok);
+      }
+      std::vector<Value> elems;
+      const std::string body = tok.substr(1, tok.size() - 2);
+      std::string cur;
+      int depth = 0;
+      auto flush = [&]() -> Status {
+        if (cur.empty()) {
+          return Status::Ok();
+        }
+        ORION_ASSIGN_OR_RETURN(Value v, DecodeValue(cur));
+        elems.push_back(std::move(v));
+        cur.clear();
+        return Status::Ok();
+      };
+      for (size_t i = 0; i < body.size(); ++i) {
+        const char c = body[i];
+        if (c == '\\' && i + 1 < body.size()) {
+          cur += c;
+          cur += body[++i];
+        } else if (c == '{') {
+          ++depth;
+          cur += c;
+        } else if (c == '}') {
+          --depth;
+          cur += c;
+        } else if (c == ',' && depth == 0) {
+          ORION_RETURN_IF_ERROR(flush());
+        } else {
+          cur += c;
+        }
+      }
+      ORION_RETURN_IF_ERROR(flush());
+      return Value::Set(std::move(elems));
+    }
+    default:
+      return Status::InvalidArgument("bad value token " + tok);
+  }
+}
+
+uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
+int ParseInt(const std::string& s) { return static_cast<int>(std::strtol(s.c_str(), nullptr, 10)); }
+
+}  // namespace
+
+std::string SaveSnapshot(Database& db) {
+  std::ostringstream os;
+  os << "orion-snapshot 1\n";
+  os << "counters " << db.clock().Now() << " " << db.schema().CurrentCc()
+     << "\n";
+  os << "segments " << db.store().segment_count() << "\n";
+
+  // Classes in id order, dropped slots included (ids must stay dense).
+  SchemaManager& schema = db.schema();
+  for (ClassId id = 1; id <= schema.allocated_class_count(); ++id) {
+    const ClassDef* def = schema.GetClassRaw(id);
+    if (def == nullptr) {
+      continue;
+    }
+    os << "class " << id << " " << (def->dropped ? 1 : 0) << " "
+       << (def->versionable ? 1 : 0) << " " << def->segment << " "
+       << EncodeString(def->name);
+    for (ClassId super : def->superclasses) {
+      os << " " << super;
+    }
+    os << "\n";
+    for (const AttributeSpec& a : def->own_attributes) {
+      os << "attr " << id << " " << EncodeString(a.name) << " "
+         << EncodeString(a.domain) << " " << (a.is_set ? 1 : 0) << " "
+         << (a.composite ? 1 : 0) << " " << (a.exclusive ? 1 : 0) << " "
+         << (a.dependent ? 1 : 0) << " " << EncodeString(a.documentation)
+         << " " << EncodeValue(a.initial) << "\n";
+    }
+    for (const auto& [name, source] : def->inheritance_overrides) {
+      os << "override " << id << " " << EncodeString(name) << " " << source
+         << "\n";
+    }
+  }
+
+  // Deferred-change logs.
+  for (const auto& [domain, log] : schema.all_logs()) {
+    for (const LogEntry& e : log.entries()) {
+      os << "log " << domain << " " << e.cc << " "
+         << static_cast<int>(e.change) << " " << e.referencing_class << " "
+         << EncodeString(e.attribute) << " " << (e.to_composite ? 1 : 0)
+         << " " << (e.to_exclusive ? 1 : 0) << " " << (e.to_dependent ? 1 : 0)
+         << "\n";
+    }
+  }
+
+  // Objects (uid order for determinism).
+  uint64_t max_uid = 0;
+  for (Uid uid : db.objects().AllUids()) {
+    const Object* obj = db.objects().Peek(uid);
+    max_uid = std::max(max_uid, uid.raw);
+    os << "object " << uid.raw << " " << obj->class_id() << " "
+       << static_cast<int>(obj->role()) << " " << obj->generic().raw << " "
+       << obj->derived_from().raw << " " << obj->created_at() << " "
+       << obj->cc() << "\n";
+    // Values in attribute-name order for determinism.
+    std::map<std::string, const Value*> ordered;
+    for (const auto& [name, value] : obj->values()) {
+      ordered[name] = &value;
+    }
+    for (const auto& [name, value] : ordered) {
+      os << "val " << uid.raw << " " << EncodeString(name) << " "
+         << EncodeValue(*value) << "\n";
+    }
+    for (const ReverseRef& r : obj->reverse_refs()) {
+      os << "rref " << uid.raw << " " << r.parent.raw << " "
+         << (r.dependent ? 1 : 0) << " " << (r.exclusive ? 1 : 0) << " "
+         << EncodeString(r.attribute) << "\n";
+    }
+    for (const GenericRef& g : obj->generic_refs()) {
+      os << "gref " << uid.raw << " " << g.parent.raw << " "
+         << (g.dependent ? 1 : 0) << " " << (g.exclusive ? 1 : 0) << " "
+         << g.ref_count << " " << EncodeString(g.attribute) << "\n";
+    }
+  }
+  os << "next-uid " << max_uid << "\n";
+
+  // Version registry.
+  auto generics = db.versions().DumpGenerics();
+  std::sort(generics.begin(), generics.end());
+  for (const auto& [generic, versions, user_default] : generics) {
+    os << "generic " << generic.raw << " " << user_default.raw;
+    for (Uid v : versions) {
+      os << " " << v.raw;
+    }
+    os << "\n";
+  }
+
+  // Subject hierarchy, then grants.
+  for (const auto& [member, group] : db.authz().DumpMemberships()) {
+    os << "member " << EncodeString(member) << " " << EncodeString(group)
+       << "\n";
+  }
+  for (const GrantRecord& g : db.authz().DumpGrants()) {
+    os << "grant " << EncodeString(g.user) << " "
+       << static_cast<int>(g.target.kind) << " " << g.target.object.raw
+       << " " << g.target.cls << " " << (g.spec.strong ? 1 : 0) << " "
+       << (g.spec.positive ? 1 : 0) << " " << static_cast<int>(g.spec.type)
+       << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Status SaveSnapshotToFile(Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << SaveSnapshot(db);
+  return out.good() ? Status::Ok()
+                    : Status::Internal("write to '" + path + "' failed");
+}
+
+Status LoadSnapshot(Database& db, const std::string& text) {
+  if (db.schema().live_class_count() != 0 ||
+      db.objects().object_count() != 0) {
+    return Status::FailedPrecondition(
+        "snapshots must be loaded into a fresh database");
+  }
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "orion-snapshot 1") {
+    return Status::InvalidArgument("not an orion snapshot (bad header)");
+  }
+
+  // Staging: classes and objects are applied in id order after parsing.
+  std::map<ClassId, ClassDef> classes;
+  std::map<Uid, Object> objects;
+  uint64_t clock_now = 0, global_cc = 0, next_uid = 0;
+  bool saw_end = false;
+
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    ORION_ASSIGN_OR_RETURN(std::vector<std::string> tok, Tokenize(line));
+    if (tok.empty()) {
+      continue;
+    }
+    const std::string& kind = tok[0];
+    if (kind == "counters" && tok.size() == 3) {
+      clock_now = ParseU64(tok[1]);
+      global_cc = ParseU64(tok[2]);
+    } else if (kind == "segments" && tok.size() == 2) {
+      const size_t want = ParseU64(tok[1]);
+      while (db.store().segment_count() < want) {
+        db.store().CreateSegment("restored");
+      }
+    } else if (kind == "class" && tok.size() >= 6) {
+      ClassDef def;
+      def.id = static_cast<ClassId>(ParseU64(tok[1]));
+      def.dropped = ParseInt(tok[2]) != 0;
+      def.versionable = ParseInt(tok[3]) != 0;
+      def.segment = static_cast<SegmentId>(ParseU64(tok[4]));
+      def.name = tok[5];
+      for (size_t i = 6; i < tok.size(); ++i) {
+        def.superclasses.push_back(static_cast<ClassId>(ParseU64(tok[i])));
+      }
+      classes[def.id] = std::move(def);
+    } else if (kind == "attr" && tok.size() == 10) {
+      auto it = classes.find(static_cast<ClassId>(ParseU64(tok[1])));
+      if (it == classes.end()) {
+        return Status::InvalidArgument("attr before class in snapshot");
+      }
+      AttributeSpec a;
+      a.name = tok[2];
+      a.domain = tok[3];
+      a.is_set = ParseInt(tok[4]) != 0;
+      a.composite = ParseInt(tok[5]) != 0;
+      a.exclusive = ParseInt(tok[6]) != 0;
+      a.dependent = ParseInt(tok[7]) != 0;
+      a.documentation = tok[8];
+      ORION_ASSIGN_OR_RETURN(a.initial, DecodeValue(tok[9]));
+      it->second.own_attributes.push_back(std::move(a));
+    } else if (kind == "override" && tok.size() == 4) {
+      auto it = classes.find(static_cast<ClassId>(ParseU64(tok[1])));
+      if (it == classes.end()) {
+        return Status::InvalidArgument("override before class in snapshot");
+      }
+      it->second.inheritance_overrides.emplace_back(
+          tok[2], static_cast<ClassId>(ParseU64(tok[3])));
+    } else if (kind == "log" && tok.size() == 9) {
+      LogEntry e;
+      const ClassId domain = static_cast<ClassId>(ParseU64(tok[1]));
+      e.cc = ParseU64(tok[2]);
+      e.change = static_cast<TypeChange>(ParseInt(tok[3]));
+      e.referencing_class = static_cast<ClassId>(ParseU64(tok[4]));
+      e.attribute = tok[5];
+      e.to_composite = ParseInt(tok[6]) != 0;
+      e.to_exclusive = ParseInt(tok[7]) != 0;
+      e.to_dependent = ParseInt(tok[8]) != 0;
+      db.schema().RestoreLogEntry(domain, std::move(e));
+    } else if (kind == "object" && tok.size() == 8) {
+      const Uid uid{ParseU64(tok[1])};
+      Object obj(uid, static_cast<ClassId>(ParseU64(tok[2])),
+                 static_cast<ObjectRole>(ParseInt(tok[3])), ParseU64(tok[7]));
+      obj.set_generic(Uid{ParseU64(tok[4])});
+      obj.set_derived_from(Uid{ParseU64(tok[5])});
+      obj.set_created_at(ParseU64(tok[6]));
+      objects.emplace(uid, std::move(obj));
+    } else if (kind == "val" && tok.size() == 4) {
+      auto it = objects.find(Uid{ParseU64(tok[1])});
+      if (it == objects.end()) {
+        return Status::InvalidArgument("val before object in snapshot");
+      }
+      ORION_ASSIGN_OR_RETURN(Value v, DecodeValue(tok[3]));
+      it->second.Set(tok[2], std::move(v));
+    } else if (kind == "rref" && tok.size() == 6) {
+      auto it = objects.find(Uid{ParseU64(tok[1])});
+      if (it == objects.end()) {
+        return Status::InvalidArgument("rref before object in snapshot");
+      }
+      it->second.AddReverseRef(ReverseRef{Uid{ParseU64(tok[2])}, tok[5],
+                                          ParseInt(tok[3]) != 0,
+                                          ParseInt(tok[4]) != 0});
+    } else if (kind == "gref" && tok.size() == 7) {
+      auto it = objects.find(Uid{ParseU64(tok[1])});
+      if (it == objects.end()) {
+        return Status::InvalidArgument("gref before object in snapshot");
+      }
+      it->second.mutable_generic_refs().push_back(
+          GenericRef{Uid{ParseU64(tok[2])}, tok[6], ParseInt(tok[3]) != 0,
+                     ParseInt(tok[4]) != 0, ParseInt(tok[5])});
+    } else if (kind == "generic" && tok.size() >= 3) {
+      std::vector<Uid> versions;
+      for (size_t i = 3; i < tok.size(); ++i) {
+        versions.push_back(Uid{ParseU64(tok[i])});
+      }
+      db.versions().RestoreGeneric(Uid{ParseU64(tok[1])},
+                                   std::move(versions),
+                                   Uid{ParseU64(tok[2])});
+    } else if (kind == "member" && tok.size() == 3) {
+      db.authz().RestoreMembership(tok[1], tok[2]);
+    } else if (kind == "grant" && tok.size() == 8) {
+      GrantRecord g;
+      g.user = tok[1];
+      g.target.kind = static_cast<AuthTargetKind>(ParseInt(tok[2]));
+      g.target.object = Uid{ParseU64(tok[3])};
+      g.target.cls = static_cast<ClassId>(ParseU64(tok[4]));
+      g.spec.strong = ParseInt(tok[5]) != 0;
+      g.spec.positive = ParseInt(tok[6]) != 0;
+      g.spec.type = static_cast<AuthType>(ParseInt(tok[7]));
+      db.authz().RestoreGrant(std::move(g));
+    } else if (kind == "next-uid" && tok.size() == 2) {
+      next_uid = ParseU64(tok[1]);
+    } else if (kind == "end") {
+      saw_end = true;
+    } else {
+      return Status::InvalidArgument("unrecognized snapshot line: " + line);
+    }
+  }
+  if (!saw_end) {
+    return Status::InvalidArgument("truncated snapshot (missing 'end')");
+  }
+
+  for (auto& [id, def] : classes) {
+    ORION_RETURN_IF_ERROR(db.schema().RestoreClass(std::move(def)));
+  }
+  for (auto& [uid, obj] : objects) {
+    ORION_RETURN_IF_ERROR(db.objects().RestoreObject(std::move(obj)));
+  }
+  db.objects().RestoreNextUid(next_uid);
+  db.clock().AdvanceTo(clock_now);
+  db.schema().RestoreGlobalCc(global_cc);
+  return Status::Ok();
+}
+
+Status LoadSnapshotFromFile(Database& db, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSnapshot(db, buffer.str());
+}
+
+}  // namespace orion

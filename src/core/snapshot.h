@@ -1,0 +1,34 @@
+#ifndef ORION_CORE_SNAPSHOT_H_
+#define ORION_CORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/database.h"
+
+namespace orion {
+
+/// Serializes the full database state — class lattice (including dropped
+/// id slots), deferred-change logs, objects with values, reverse and
+/// generic references, version registry, authorization grants, and the
+/// allocator/clock counters — to a line-oriented text format.
+///
+/// Round-trip guarantee: `LoadSnapshot(SaveSnapshot(db))` reproduces a
+/// database that is observationally equivalent (same query results, same
+/// rule outcomes, same UIDs).  The one deliberate exception is physical
+/// placement: restored objects are appended to their class segments, so
+/// §2.3 clustering locality is not preserved across snapshots.
+std::string SaveSnapshot(Database& db);
+
+/// Writes `SaveSnapshot(db)` to `path`.
+Status SaveSnapshotToFile(Database& db, const std::string& path);
+
+/// Restores a snapshot into `db`, which must be freshly constructed
+/// (empty schema, no objects).
+Status LoadSnapshot(Database& db, const std::string& text);
+
+/// Reads `path` and restores it into `db`.
+Status LoadSnapshotFromFile(Database& db, const std::string& path);
+
+}  // namespace orion
+
+#endif  // ORION_CORE_SNAPSHOT_H_

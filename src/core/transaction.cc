@@ -1,0 +1,315 @@
+#include "core/transaction.h"
+
+#include <algorithm>
+
+namespace orion {
+
+TransactionContext::TransactionContext(Database* db,
+                                       std::chrono::milliseconds lock_timeout,
+                                       std::string user)
+    : db_(db),
+      txn_(db->locks().Begin()),
+      timeout_(lock_timeout),
+      user_(std::move(user)) {}
+
+TransactionContext::~TransactionContext() {
+  if (active_) {
+    (void)Abort();
+  }
+}
+
+Status TransactionContext::RequireActive() const {
+  if (!active_) {
+    return Status::TransactionInvalid("transaction " + std::to_string(txn_) +
+                                      " has finished");
+  }
+  return Status::Ok();
+}
+
+Status TransactionContext::CheckAccess(Uid uid, bool write) {
+  if (user_.empty()) {
+    return Status::Ok();
+  }
+  ORION_ASSIGN_OR_RETURN(
+      bool allowed,
+      db_->authz().CheckAccess(user_, uid,
+                               write ? AuthType::kWrite : AuthType::kRead));
+  if (!allowed) {
+    return Status::AccessDenied("user '" + user_ + "' may not " +
+                                (write ? "write" : "read") + " object " +
+                                uid.ToString());
+  }
+  return Status::Ok();
+}
+
+Status TransactionContext::LockWrite(Uid uid) {
+  return db_->protocol().LockInstance(txn_, uid, /*write=*/true, timeout_);
+}
+
+void TransactionContext::Journal(Uid uid) {
+  if (journal_.count(uid) > 0) {
+    return;
+  }
+  const Object* obj = db_->objects().Peek(uid);
+  if (obj == nullptr) {
+    journal_.emplace(uid, std::nullopt);
+  } else {
+    journal_.emplace(uid, *obj);
+  }
+}
+
+void TransactionContext::JournalGeneric(Uid generic) {
+  if (generic_journal_.count(generic) > 0) {
+    return;
+  }
+  auto info = db_->versions().GenericInfoOf(generic);
+  if (info.ok()) {
+    generic_journal_.emplace(generic, *info);
+  } else {
+    generic_journal_.emplace(generic, std::nullopt);
+  }
+}
+
+void TransactionContext::JournalDeletion(Uid uid) {
+  auto closure = db_->objects().ComputeDeletionClosure(uid);
+  std::vector<Uid> doomed =
+      closure.ok() ? *closure : std::vector<Uid>{uid};
+  for (Uid d : doomed) {
+    Journal(d);
+    Object* obj = db_->objects().Peek(d);
+    if (obj == nullptr) {
+      continue;
+    }
+    // Deleting d mutates its surviving parents (forward refs cleared), its
+    // surviving components (backlinks removed), and — for versioned
+    // objects — the generic bookkeeping on both sides.
+    for (const ReverseRef& r : obj->reverse_refs()) {
+      Journal(r.parent);
+    }
+    auto comps = db_->objects().DirectComponents(d);
+    if (comps.ok()) {
+      for (const auto& [child, spec] : *comps) {
+        Journal(child);
+        const Object* child_obj = db_->objects().Peek(child);
+        if (child_obj != nullptr && child_obj->is_version()) {
+          Journal(child_obj->generic());
+        }
+      }
+    }
+    if (obj->is_version()) {
+      Journal(obj->generic());
+      JournalGeneric(obj->generic());
+    }
+    if (obj->is_generic()) {
+      JournalGeneric(d);
+      // Deleting a generic also touches the holders of references to it
+      // and may cascade to dependent generics; journal conservatively via
+      // its generic refs.
+      for (const GenericRef& g : obj->generic_refs()) {
+        Journal(g.parent);
+        auto info = db_->versions().GenericInfoOf(g.parent);
+        if (info.ok()) {
+          JournalGeneric(g.parent);
+          for (Uid v : info->first) {
+            Journal(v);
+          }
+        }
+      }
+      auto own = db_->versions().GenericInfoOf(d);
+      if (own.ok()) {
+        for (Uid v : own->first) {
+          JournalDeletion(v);
+        }
+      }
+    }
+  }
+}
+
+Result<const Object*> TransactionContext::Read(Uid uid) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/false));
+  ORION_RETURN_IF_ERROR(
+      db_->protocol().LockInstance(txn_, uid, /*write=*/false, timeout_));
+  ORION_ASSIGN_OR_RETURN(Object * obj, db_->objects().Access(uid));
+  return static_cast<const Object*>(obj);
+}
+
+Status TransactionContext::LockCompositeForRead(Uid root) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(root, /*write=*/false));
+  return db_->protocol().LockComposite(txn_, root, /*write=*/false,
+                                       timeout_);
+}
+
+Result<Uid> TransactionContext::Make(const std::string& class_name,
+                                     const std::vector<ParentBinding>& parents,
+                                     const AttrValues& attrs) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_ASSIGN_OR_RETURN(ClassId cls, db_->schema().FindClass(class_name));
+  ORION_RETURN_IF_ERROR(db_->locks().Acquire(
+      txn_, LockResource::Class(cls), LockMode::kIX, timeout_));
+  for (const ParentBinding& pb : parents) {
+    ORION_RETURN_IF_ERROR(CheckAccess(pb.parent, /*write=*/true));
+    ORION_RETURN_IF_ERROR(LockWrite(pb.parent));
+    Journal(pb.parent);
+  }
+  // Bottom-up assembly mutates the referenced components too.
+  for (const auto& [name, value] : attrs) {
+    for (Uid target : value.ReferencedUids()) {
+      ORION_RETURN_IF_ERROR(LockWrite(target));
+      Journal(target);
+      const Object* t = db_->objects().Peek(target);
+      if (t != nullptr && (t->is_version() || t->is_generic())) {
+        Journal(t->is_version() ? t->generic() : target);
+      }
+    }
+  }
+  ORION_ASSIGN_OR_RETURN(Uid uid, db_->Make(class_name, parents, attrs));
+  journal_.emplace(uid, std::nullopt);  // created: erase on abort
+  const Object* obj = db_->objects().Peek(uid);
+  if (obj != nullptr && obj->is_version()) {
+    // make on a versionable class created a generic too.
+    journal_.emplace(obj->generic(), std::nullopt);
+    generic_journal_.emplace(obj->generic(), std::nullopt);
+  }
+  (void)db_->locks().Acquire(txn_, LockResource::Instance(uid), LockMode::kX,
+                             timeout_);
+  return uid;
+}
+
+Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
+                                        Value value) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/true));
+  ORION_RETURN_IF_ERROR(LockWrite(uid));
+  Journal(uid);
+  // Composite assignment touches attached/detached targets and, for
+  // versioned targets, their generics.
+  Object* obj = db_->objects().Peek(uid);
+  if (obj != nullptr) {
+    for (Uid target : obj->Get(attribute).ReferencedUids()) {
+      Journal(target);
+      const Object* t = db_->objects().Peek(target);
+      if (t != nullptr && t->is_version()) {
+        Journal(t->generic());
+      }
+    }
+  }
+  for (Uid target : value.ReferencedUids()) {
+    ORION_RETURN_IF_ERROR(LockWrite(target));
+    Journal(target);
+    const Object* t = db_->objects().Peek(target);
+    if (t != nullptr && t->is_version()) {
+      Journal(t->generic());
+    }
+  }
+  return db_->objects().SetAttribute(uid, attribute, std::move(value));
+}
+
+Status TransactionContext::MakeComponent(Uid child, Uid parent,
+                                         const std::string& attribute) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(parent, /*write=*/true));
+  ORION_RETURN_IF_ERROR(LockWrite(parent));
+  ORION_RETURN_IF_ERROR(LockWrite(child));
+  Journal(parent);
+  Journal(child);
+  const Object* c = db_->objects().Peek(child);
+  if (c != nullptr && (c->is_version() || c->is_generic())) {
+    Journal(c->is_version() ? c->generic() : child);
+  }
+  return db_->objects().MakeComponent(child, parent, attribute);
+}
+
+Status TransactionContext::RemoveComponent(Uid child, Uid parent,
+                                           const std::string& attribute) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(parent, /*write=*/true));
+  ORION_RETURN_IF_ERROR(LockWrite(parent));
+  ORION_RETURN_IF_ERROR(LockWrite(child));
+  Journal(parent);
+  Journal(child);
+  const Object* c = db_->objects().Peek(child);
+  if (c != nullptr && (c->is_version() || c->is_generic())) {
+    Journal(c->is_version() ? c->generic() : child);
+  }
+  return db_->objects().RemoveComponent(child, parent, attribute);
+}
+
+Status TransactionContext::Delete(Uid uid) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/true));
+  ORION_RETURN_IF_ERROR(
+      db_->protocol().LockComposite(txn_, uid, /*write=*/true, timeout_));
+  JournalDeletion(uid);
+  return db_->DeleteObject(uid);
+}
+
+Result<Uid> TransactionContext::Derive(Uid version) {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  ORION_RETURN_IF_ERROR(CheckAccess(version, /*write=*/false));
+  const Object* src = db_->objects().Peek(version);
+  if (src == nullptr) {
+    return Status::NotFound("object " + version.ToString());
+  }
+  ORION_RETURN_IF_ERROR(
+      db_->protocol().LockInstance(txn_, version, /*write=*/false, timeout_));
+  JournalGeneric(src->generic());
+  Journal(src->generic());
+  // The copy re-attaches to the targets of the source's composite refs.
+  auto comps = db_->objects().DirectComponents(version);
+  if (comps.ok()) {
+    for (const auto& [child, spec] : *comps) {
+      Journal(child);
+      const Object* c = db_->objects().Peek(child);
+      if (c != nullptr && (c->is_version() || c->is_generic())) {
+        Journal(c->is_version() ? c->generic() : child);
+      }
+    }
+  }
+  ORION_ASSIGN_OR_RETURN(Uid derived, db_->versions().Derive(version));
+  journal_.emplace(derived, std::nullopt);
+  (void)db_->locks().Acquire(txn_, LockResource::Instance(derived),
+                             LockMode::kX, timeout_);
+  return derived;
+}
+
+Status TransactionContext::Commit() {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  active_ = false;
+  journal_.clear();
+  generic_journal_.clear();
+  return db_->locks().Release(txn_);
+}
+
+Status TransactionContext::Abort() {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  active_ = false;
+  // Pass 1: remove objects created by this transaction.
+  for (const auto& [uid, before] : journal_) {
+    if (!before.has_value()) {
+      db_->objects().EraseRaw(uid);
+    }
+  }
+  // Pass 2: restore every before-image (covers deleted and mutated
+  // objects, including all side effects on neighbours, because every
+  // mutated neighbour was journaled too).
+  for (const auto& [uid, before] : journal_) {
+    if (before.has_value()) {
+      db_->objects().OverwriteRaw(*before);
+    }
+  }
+  // Pass 3: the version registry.
+  for (const auto& [generic, before] : generic_journal_) {
+    if (before.has_value()) {
+      db_->versions().RestoreGeneric(generic, before->first, before->second);
+    } else {
+      db_->versions().ForgetGeneric(generic);
+    }
+  }
+  journal_.clear();
+  generic_journal_.clear();
+  return db_->locks().Release(txn_);
+}
+
+}  // namespace orion

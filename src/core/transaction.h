@@ -1,0 +1,119 @@
+#ifndef ORION_CORE_TRANSACTION_H_
+#define ORION_CORE_TRANSACTION_H_
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/database.h"
+
+namespace orion {
+
+/// A transactional scope over the database: strict 2PL through the §7 lock
+/// protocols, optional §6 access checks, and full rollback on abort.
+///
+/// Every mutating operation first acquires the appropriate locks (class
+/// intention lock + instance lock, or a whole-composite lock via
+/// `LockComposite`) and journals before-images of every object it will
+/// touch.  `Abort()` — also invoked by the destructor if neither Commit nor
+/// Abort ran — erases objects created by the transaction and restores every
+/// journaled before-image, then releases all locks.  `Commit()` discards
+/// the journal and releases the locks.
+///
+/// Scope notes: schema changes (DDL) are not transactional, matching
+/// ORION's behaviour; the §7 protocols this layers on are "appropriate
+/// largely for conventional short transactions" (the paper defers
+/// long-duration transactions to future work — see LockInstance-based
+/// component locking for that style).
+class TransactionContext {
+ public:
+  /// Starts a transaction.  `lock_timeout` bounds each lock wait (0 =
+  /// try-lock).  If `user` is non-empty, every read checks Read access and
+  /// every mutation checks Write access through the authorization
+  /// subsystem before acquiring locks.
+  explicit TransactionContext(Database* db,
+                              std::chrono::milliseconds lock_timeout =
+                                  std::chrono::milliseconds(0),
+                              std::string user = "");
+  ~TransactionContext();
+
+  TransactionContext(const TransactionContext&) = delete;
+  TransactionContext& operator=(const TransactionContext&) = delete;
+
+  TxnId id() const { return txn_; }
+  bool active() const { return active_; }
+
+  // --- Reads -----------------------------------------------------------------
+
+  /// Locks the instance for reading (IS on class, S on instance) and
+  /// returns it.
+  Result<const Object*> Read(Uid uid);
+
+  /// Locks the whole composite object rooted at `root` for reading with
+  /// the extended §7 protocol.
+  Status LockCompositeForRead(Uid root);
+
+  // --- Mutations (all journaled) ----------------------------------------------
+
+  /// Creates an instance (IX on the class; parents locked X).
+  Result<Uid> Make(const std::string& class_name,
+                   const std::vector<ParentBinding>& parents = {},
+                   const AttrValues& attrs = {});
+
+  /// Locks `uid` for writing and assigns the attribute.
+  Status SetAttribute(Uid uid, const std::string& attribute, Value value);
+
+  /// Locks both objects for writing and attaches.
+  Status MakeComponent(Uid child, Uid parent, const std::string& attribute);
+
+  /// Locks both objects for writing and detaches.
+  Status RemoveComponent(Uid child, Uid parent, const std::string& attribute);
+
+  /// Locks the composite rooted at `uid` for writing and deletes it with
+  /// the role-appropriate deletion rule.
+  Status Delete(Uid uid);
+
+  /// Derives a new version instance from `version` (§5), journaled.
+  Result<Uid> Derive(Uid version);
+
+  // --- Outcome ------------------------------------------------------------------
+
+  /// Makes every change durable-in-memory and releases the locks.
+  Status Commit();
+
+  /// Restores every touched object to its before-image, removes created
+  /// objects, restores the version registry, and releases the locks.
+  Status Abort();
+
+  /// Number of distinct objects journaled so far.
+  size_t journal_size() const { return journal_.size(); }
+
+ private:
+  Status RequireActive() const;
+  Status CheckAccess(Uid uid, bool write);
+  Status LockWrite(Uid uid);
+  /// Journals `uid` (before-image, or "did not exist") exactly once.
+  void Journal(Uid uid);
+  /// Journals every object the deletion closure of `uid` will touch.
+  void JournalDeletion(Uid uid);
+  /// Journals the version-registry entry of `generic` exactly once.
+  void JournalGeneric(Uid generic);
+
+  Database* db_;
+  TxnId txn_;
+  std::chrono::milliseconds timeout_;
+  std::string user_;
+  bool active_ = true;
+  /// uid -> before-image; nullopt = the object did not exist before.
+  std::unordered_map<Uid, std::optional<Object>> journal_;
+  /// generic uid -> (versions, user default) before; nullopt = unregistered.
+  std::unordered_map<Uid, std::optional<std::pair<std::vector<Uid>, Uid>>>
+      generic_journal_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CORE_TRANSACTION_H_

@@ -1,0 +1,605 @@
+#include "lang/interpreter.h"
+
+#include <iostream>
+#include <optional>
+
+#include "core/snapshot.h"
+
+namespace orion {
+
+namespace {
+
+bool IsTruthSymbol(const Sexpr& e) {
+  return e.is_symbol("true") || e.is_symbol("t");
+}
+
+Result<bool> AsBool(const Sexpr& e) {
+  if (IsTruthSymbol(e)) {
+    return true;
+  }
+  if (e.is_symbol("nil") || e.is_symbol("false")) {
+    return false;
+  }
+  return Status::InvalidArgument("expected true/nil, got " + e.ToString());
+}
+
+/// Normalizes primitive domain spellings: the paper writes both `String`
+/// and `string`.
+std::string NormalizeDomain(const std::string& name) {
+  if (name == "String" || name == "STRING") return "string";
+  if (name == "Integer" || name == "INTEGER") return "integer";
+  if (name == "Real" || name == "REAL") return "real";
+  if (name == "Any" || name == "ANY") return "any";
+  return name;
+}
+
+Result<AuthSpec> ParseAuthSpec(const std::string& text) {
+  // "sR", "w~W", "s~R" ...
+  AuthSpec spec;
+  size_t i = 0;
+  if (i >= text.size() || (text[i] != 's' && text[i] != 'w')) {
+    return Status::InvalidArgument("bad authorization spec '" + text + "'");
+  }
+  spec.strong = text[i++] == 's';
+  if (i < text.size() && (text[i] == '~' || text[i] == '-')) {
+    spec.positive = false;
+    ++i;
+  }
+  if (i >= text.size() || (text[i] != 'R' && text[i] != 'W')) {
+    return Status::InvalidArgument("bad authorization spec '" + text + "'");
+  }
+  spec.type = text[i] == 'R' ? AuthType::kRead : AuthType::kWrite;
+  return spec;
+}
+
+}  // namespace
+
+Result<Value> Interpreter::EvalString(std::string_view source) {
+  ORION_ASSIGN_OR_RETURN(std::vector<Sexpr> program, ParseProgram(source));
+  Value last;
+  for (const Sexpr& form : program) {
+    ORION_ASSIGN_OR_RETURN(last, Eval(form));
+  }
+  return last;
+}
+
+Result<Value> Interpreter::Lookup(const std::string& name) const {
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return Status::NotFound("unbound variable '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Uid> Interpreter::EvalToUid(const Sexpr& expr) {
+  ORION_ASSIGN_OR_RETURN(Value v, Eval(expr));
+  if (!v.is_ref()) {
+    return Status::InvalidArgument("expected an object reference, got " +
+                                   v.ToString());
+  }
+  return v.ref();
+}
+
+Result<ClassId> Interpreter::EvalToClass(const Sexpr& expr) {
+  if (expr.is_symbol()) {
+    return db_->schema().FindClass(expr.text);
+  }
+  if (expr.kind == Sexpr::Kind::kString) {
+    return db_->schema().FindClass(expr.text);
+  }
+  return Status::InvalidArgument("expected a class name, got " +
+                                 expr.ToString());
+}
+
+Result<Value> Interpreter::Eval(const Sexpr& expr) {
+  switch (expr.kind) {
+    case Sexpr::Kind::kInteger:
+      return Value::Integer(expr.integer);
+    case Sexpr::Kind::kReal:
+      return Value::Real(expr.real);
+    case Sexpr::Kind::kString:
+      return Value::String(expr.text);
+    case Sexpr::Kind::kSymbol: {
+      if (expr.is_symbol("nil") || expr.is_symbol("false")) {
+        return Value::Null();
+      }
+      if (IsTruthSymbol(expr)) {
+        return Value::Integer(1);
+      }
+      return Lookup(expr.text);
+    }
+    case Sexpr::Kind::kList:
+      break;
+  }
+  if (expr.list.empty()) {
+    return Value::Null();
+  }
+  const Sexpr& head = expr.list.front();
+  if (!head.is_symbol()) {
+    return Status::InvalidArgument("cannot apply " + head.ToString());
+  }
+  const std::string& op = head.text;
+  auto require_args = [&](size_t n) -> Status {
+    if (expr.list.size() != n + 1) {
+      return Status::InvalidArgument("form '" + op + "' expects " +
+                                     std::to_string(n) + " argument(s)");
+    }
+    return Status::Ok();
+  };
+
+  if (op == "make-class") {
+    return EvalMakeClass(expr);
+  }
+  if (op == "make") {
+    return EvalMake(expr);
+  }
+  if (op == "define") {
+    if (expr.list.size() != 3 || !expr.list[1].is_symbol()) {
+      return Status::InvalidArgument("usage: (define name expr)");
+    }
+    ORION_ASSIGN_OR_RETURN(Value v, Eval(expr.list[2]));
+    env_[expr.list[1].text] = v;
+    return v;
+  }
+  if (op == "set-of") {
+    std::vector<Value> elems;
+    for (size_t i = 1; i < expr.list.size(); ++i) {
+      ORION_ASSIGN_OR_RETURN(Value v, Eval(expr.list[i]));
+      elems.push_back(std::move(v));
+    }
+    return Value::Set(std::move(elems));
+  }
+  if (op == "get") {
+    if (expr.list.size() != 3 || !expr.list[2].is_symbol()) {
+      return Status::InvalidArgument("usage: (get obj attr)");
+    }
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Object * obj, db_->objects().Access(uid));
+    return obj->Get(expr.list[2].text);
+  }
+  if (op == "set") {
+    if (expr.list.size() != 4 || !expr.list[2].is_symbol()) {
+      return Status::InvalidArgument("usage: (set obj attr value)");
+    }
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Value v, Eval(expr.list[3]));
+    ORION_RETURN_IF_ERROR(
+        db_->objects().SetAttribute(uid, expr.list[2].text, v));
+    return v;
+  }
+  if (op == "delete") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_RETURN_IF_ERROR(db_->DeleteObject(uid));
+    return Value::Null();
+  }
+  if (op == "exists") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Value v, Eval(expr.list[1]));
+    if (!v.is_ref()) {
+      return Value::Null();
+    }
+    return db_->objects().Exists(v.ref()) ? Value::Integer(1) : Value::Null();
+  }
+  if (op == "components-of" || op == "parents-of" || op == "ancestors-of") {
+    return EvalTraversal(expr, op);
+  }
+  if (op == "component-of" || op == "child-of" ||
+      op == "exclusive-component-of" || op == "shared-component-of") {
+    return EvalPredicate(expr, op);
+  }
+  if (op == "compositep" || op == "exclusive-compositep" ||
+      op == "shared-compositep" || op == "dependent-compositep") {
+    return EvalClassPredicate(expr, op);
+  }
+  if (op == "derive") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Uid derived, db_->versions().Derive(uid));
+    return Value::Ref(derived);
+  }
+  if (op == "generic-of") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    const Object* obj = db_->objects().Peek(uid);
+    if (obj == nullptr) {
+      return Status::NotFound("object " + uid.ToString());
+    }
+    return obj->generic().valid() ? Value::Ref(obj->generic())
+                                  : Value::Null();
+  }
+  if (op == "versions-of") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(std::vector<Uid> versions,
+                           db_->versions().VersionsOf(uid));
+    return Value::RefSet(versions);
+  }
+  if (op == "resolve") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Uid resolved, db_->versions().ResolveBinding(uid));
+    return Value::Ref(resolved);
+  }
+  if (op == "set-default-version") {
+    ORION_RETURN_IF_ERROR(require_args(2));
+    ORION_ASSIGN_OR_RETURN(Uid g, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Uid v, EvalToUid(expr.list[2]));
+    ORION_RETURN_IF_ERROR(db_->versions().SetDefaultVersion(g, v));
+    return Value::Ref(v);
+  }
+  if (op == "default-version") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Uid g, EvalToUid(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(Uid v, db_->versions().DefaultVersion(g));
+    return Value::Ref(v);
+  }
+  if (op == "grant-on-object" || op == "grant-on-class") {
+    if (expr.list.size() != 4) {
+      return Status::InvalidArgument("usage: (" + op +
+                                     " user target spec)");
+    }
+    ORION_ASSIGN_OR_RETURN(Value user, Eval(expr.list[1]));
+    if (user.type() != ValueType::kString) {
+      return Status::InvalidArgument("user must be a string");
+    }
+    ORION_ASSIGN_OR_RETURN(Value spec_text, Eval(expr.list[3]));
+    if (spec_text.type() != ValueType::kString) {
+      return Status::InvalidArgument("authorization spec must be a string");
+    }
+    ORION_ASSIGN_OR_RETURN(AuthSpec spec, ParseAuthSpec(spec_text.string()));
+    if (op == "grant-on-object") {
+      ORION_ASSIGN_OR_RETURN(Uid obj, EvalToUid(expr.list[2]));
+      ORION_RETURN_IF_ERROR(
+          db_->authz().GrantOnObject(user.string(), obj, spec));
+    } else {
+      ORION_ASSIGN_OR_RETURN(ClassId cls, EvalToClass(expr.list[2]));
+      ORION_RETURN_IF_ERROR(
+          db_->authz().GrantOnClass(user.string(), cls, spec));
+    }
+    return Value::Integer(1);
+  }
+  if (op == "check-access") {
+    if (expr.list.size() != 4 || !expr.list[3].is_symbol()) {
+      return Status::InvalidArgument("usage: (check-access user obj R|W)");
+    }
+    ORION_ASSIGN_OR_RETURN(Value user, Eval(expr.list[1]));
+    if (user.type() != ValueType::kString) {
+      return Status::InvalidArgument("user must be a string");
+    }
+    ORION_ASSIGN_OR_RETURN(Uid obj, EvalToUid(expr.list[2]));
+    const AuthType type = expr.list[3].is_symbol("W") ? AuthType::kWrite
+                                                      : AuthType::kRead;
+    ORION_ASSIGN_OR_RETURN(bool ok,
+                           db_->authz().CheckAccess(user.string(), obj,
+                                                    type));
+    return ok ? Value::Integer(1) : Value::Null();
+  }
+  if (op == "print") {
+    ORION_RETURN_IF_ERROR(require_args(1));
+    ORION_ASSIGN_OR_RETURN(Value v, Eval(expr.list[1]));
+    std::cout << v.ToString() << "\n";
+    return v;
+  }
+  if (op == "select") {
+    // (select Class expr) with expr in a small predicate language:
+    //   (= attr value) (!= ...) (< ...) (<= ...) (> ...) (>= ...)
+    //   (and e...) (or e...) (not e)
+    //   (path (a b c) OP value)      path expression
+    //   (part-of obj)                IS-PART-OF predicate
+    if (expr.list.size() != 3) {
+      return Status::InvalidArgument("usage: (select Class expr)");
+    }
+    ORION_ASSIGN_OR_RETURN(ClassId cls, EvalToClass(expr.list[1]));
+    ORION_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(expr.list[2]));
+    ORION_ASSIGN_OR_RETURN(
+        std::vector<Uid> hits,
+        Select(db_->objects(), cls, q, &db_->indexes()));
+    return Value::RefSet(hits);
+  }
+  if (op == "create-index") {
+    if (expr.list.size() != 3 || !expr.list[2].is_symbol()) {
+      return Status::InvalidArgument("usage: (create-index Class attr)");
+    }
+    ORION_ASSIGN_OR_RETURN(ClassId cls, EvalToClass(expr.list[1]));
+    ORION_RETURN_IF_ERROR(
+        db_->indexes().CreateIndex(cls, expr.list[2].text));
+    return Value::Integer(1);
+  }
+  if (op == "save-snapshot" || op == "load-snapshot") {
+    if (expr.list.size() != 2) {
+      return Status::InvalidArgument("usage: (" + op + " \"path\")");
+    }
+    ORION_ASSIGN_OR_RETURN(Value path, Eval(expr.list[1]));
+    if (path.type() != ValueType::kString) {
+      return Status::InvalidArgument("snapshot path must be a string");
+    }
+    if (op == "save-snapshot") {
+      ORION_RETURN_IF_ERROR(SaveSnapshotToFile(*db_, path.string()));
+    } else {
+      ORION_RETURN_IF_ERROR(LoadSnapshotFromFile(*db_, path.string()));
+    }
+    return Value::Integer(1);
+  }
+  return Status::InvalidArgument("unknown form '" + op + "'");
+}
+
+Result<QueryPtr> Interpreter::ParseQuery(const Sexpr& expr) {
+  if (!expr.is_list() || expr.list.empty() || !expr.list[0].is_symbol()) {
+    return Status::InvalidArgument("bad query expression " + expr.ToString());
+  }
+  const std::string& op = expr.list[0].text;
+  auto compare_op = [](const std::string& s) -> Result<CompareOp> {
+    if (s == "=") return CompareOp::kEq;
+    if (s == "!=") return CompareOp::kNe;
+    if (s == "<") return CompareOp::kLt;
+    if (s == "<=") return CompareOp::kLe;
+    if (s == ">") return CompareOp::kGt;
+    if (s == ">=") return CompareOp::kGe;
+    return Status::InvalidArgument("unknown comparison '" + s + "'");
+  };
+  if (op == "and" || op == "or") {
+    std::vector<QueryPtr> operands;
+    for (size_t i = 1; i < expr.list.size(); ++i) {
+      ORION_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(expr.list[i]));
+      operands.push_back(std::move(q));
+    }
+    return op == "and" ? And(std::move(operands)) : Or(std::move(operands));
+  }
+  if (op == "not") {
+    if (expr.list.size() != 2) {
+      return Status::InvalidArgument("usage: (not expr)");
+    }
+    ORION_ASSIGN_OR_RETURN(QueryPtr q, ParseQuery(expr.list[1]));
+    return Not(std::move(q));
+  }
+  if (op == "part-of") {
+    if (expr.list.size() != 2) {
+      return Status::InvalidArgument("usage: (part-of obj)");
+    }
+    ORION_ASSIGN_OR_RETURN(Uid ancestor, EvalToUid(expr.list[1]));
+    return ComponentOfExpr(ancestor);
+  }
+  if (op == "path") {
+    if (expr.list.size() != 4 || !expr.list[1].is_list() ||
+        !expr.list[2].is_symbol()) {
+      return Status::InvalidArgument("usage: (path (a b c) OP value)");
+    }
+    std::vector<std::string> path;
+    for (const Sexpr& step : expr.list[1].list) {
+      if (!step.is_symbol()) {
+        return Status::InvalidArgument("path steps must be attribute names");
+      }
+      path.push_back(step.text);
+    }
+    ORION_ASSIGN_OR_RETURN(CompareOp cmp, compare_op(expr.list[2].text));
+    ORION_ASSIGN_OR_RETURN(Value value, Eval(expr.list[3]));
+    return Path(std::move(path), cmp, std::move(value));
+  }
+  // Plain comparison: (OP attr value).
+  if (expr.list.size() != 3 || !expr.list[1].is_symbol()) {
+    return Status::InvalidArgument("usage: (OP attr value)");
+  }
+  ORION_ASSIGN_OR_RETURN(CompareOp cmp, compare_op(op));
+  ORION_ASSIGN_OR_RETURN(Value value, Eval(expr.list[2]));
+  return Compare(expr.list[1].text, cmp, std::move(value));
+}
+
+Result<Value> Interpreter::EvalMakeClass(const Sexpr& form) {
+  if (form.list.size() < 2 || !form.list[1].is_symbol()) {
+    return Status::InvalidArgument("usage: (make-class 'Name ...)");
+  }
+  ClassSpec spec;
+  spec.name = form.list[1].text;
+  for (size_t i = 2; i + 1 < form.list.size(); i += 2) {
+    const Sexpr& key = form.list[i];
+    const Sexpr& val = form.list[i + 1];
+    if (key.is_symbol(":superclasses")) {
+      if (val.is_nil()) {
+        continue;
+      }
+      if (!val.is_list()) {
+        return Status::InvalidArgument(":superclasses expects a list or nil");
+      }
+      for (const Sexpr& super : val.list) {
+        if (!super.is_symbol()) {
+          return Status::InvalidArgument("superclass names must be symbols");
+        }
+        spec.superclasses.push_back(super.text);
+      }
+    } else if (key.is_symbol(":versionable")) {
+      ORION_ASSIGN_OR_RETURN(spec.versionable, AsBool(val));
+    } else if (key.is_symbol(":attributes") || key.is_symbol(":attribute")) {
+      if (val.is_nil()) {
+        continue;
+      }
+      if (!val.is_list()) {
+        return Status::InvalidArgument(":attributes expects a list");
+      }
+      for (const Sexpr& attr_form : val.list) {
+        if (!attr_form.is_list() || attr_form.list.empty() ||
+            !attr_form.list[0].is_symbol()) {
+          return Status::InvalidArgument("bad attribute spec " +
+                                         attr_form.ToString());
+        }
+        AttributeSpec attr;
+        attr.name = attr_form.list[0].text;
+        for (size_t j = 1; j + 1 < attr_form.list.size(); j += 2) {
+          const Sexpr& akey = attr_form.list[j];
+          const Sexpr& aval = attr_form.list[j + 1];
+          if (akey.is_symbol(":domain")) {
+            if (aval.is_symbol()) {
+              attr.domain = NormalizeDomain(aval.text);
+            } else if (aval.is_list() && aval.list.size() == 2 &&
+                       aval.list[0].is_symbol("set-of") &&
+                       aval.list[1].is_symbol()) {
+              attr.is_set = true;
+              attr.domain = NormalizeDomain(aval.list[1].text);
+            } else {
+              return Status::InvalidArgument("bad :domain " +
+                                             aval.ToString());
+            }
+          } else if (akey.is_symbol(":composite")) {
+            ORION_ASSIGN_OR_RETURN(attr.composite, AsBool(aval));
+          } else if (akey.is_symbol(":exclusive")) {
+            ORION_ASSIGN_OR_RETURN(attr.exclusive, AsBool(aval));
+          } else if (akey.is_symbol(":dependent")) {
+            ORION_ASSIGN_OR_RETURN(attr.dependent, AsBool(aval));
+          } else if (akey.is_symbol(":init")) {
+            ORION_ASSIGN_OR_RETURN(attr.initial, Eval(aval));
+          } else if (akey.is_symbol(":document")) {
+            attr.documentation =
+                aval.kind == Sexpr::Kind::kString ? aval.text
+                                                  : aval.ToString();
+          } else {
+            return Status::InvalidArgument("unknown attribute keyword " +
+                                           akey.ToString());
+          }
+        }
+        spec.attributes.push_back(std::move(attr));
+      }
+    } else {
+      return Status::InvalidArgument("unknown make-class keyword " +
+                                     key.ToString());
+    }
+  }
+  ORION_ASSIGN_OR_RETURN(ClassId cls, db_->MakeClass(spec));
+  return Value::Integer(static_cast<int64_t>(cls));
+}
+
+Result<Value> Interpreter::EvalMake(const Sexpr& form) {
+  if (form.list.size() < 2 || !form.list[1].is_symbol()) {
+    return Status::InvalidArgument("usage: (make Class ...)");
+  }
+  const std::string& class_name = form.list[1].text;
+  std::vector<ParentBinding> parents;
+  AttrValues attrs;
+  for (size_t i = 2; i + 1 < form.list.size(); i += 2) {
+    const Sexpr& key = form.list[i];
+    const Sexpr& val = form.list[i + 1];
+    if (!key.is_symbol() || key.text.empty() || key.text[0] != ':') {
+      return Status::InvalidArgument("expected a keyword, got " +
+                                     key.ToString());
+    }
+    if (key.is_symbol(":parent")) {
+      if (!val.is_list()) {
+        return Status::InvalidArgument(":parent expects a list of "
+                                       "(object attribute) pairs");
+      }
+      for (const Sexpr& pair : val.list) {
+        if (!pair.is_list() || pair.list.size() != 2 ||
+            !pair.list[1].is_symbol()) {
+          return Status::InvalidArgument("bad parent binding " +
+                                         pair.ToString());
+        }
+        ORION_ASSIGN_OR_RETURN(Uid parent, EvalToUid(pair.list[0]));
+        parents.push_back(ParentBinding{parent, pair.list[1].text});
+      }
+    } else {
+      ORION_ASSIGN_OR_RETURN(Value v, Eval(val));
+      attrs.emplace_back(key.text.substr(1), std::move(v));
+    }
+  }
+  ORION_ASSIGN_OR_RETURN(Uid uid, db_->Make(class_name, parents, attrs));
+  return Value::Ref(uid);
+}
+
+Result<Value> Interpreter::EvalTraversal(const Sexpr& form,
+                                         const std::string& op) {
+  if (form.list.size() < 2) {
+    return Status::InvalidArgument("usage: (" + op + " obj ...)");
+  }
+  ORION_ASSIGN_OR_RETURN(Uid uid, EvalToUid(form.list[1]));
+  TraversalOptions opts;
+  for (size_t i = 2; i + 1 < form.list.size(); i += 2) {
+    const Sexpr& key = form.list[i];
+    const Sexpr& val = form.list[i + 1];
+    if (key.is_symbol(":classes")) {
+      if (!val.is_list()) {
+        return Status::InvalidArgument(":classes expects a list");
+      }
+      for (const Sexpr& cls : val.list) {
+        ORION_ASSIGN_OR_RETURN(ClassId id, EvalToClass(cls));
+        opts.classes.push_back(id);
+      }
+    } else if (key.is_symbol(":exclusive")) {
+      ORION_ASSIGN_OR_RETURN(opts.exclusive, AsBool(val));
+    } else if (key.is_symbol(":shared")) {
+      ORION_ASSIGN_OR_RETURN(opts.shared, AsBool(val));
+    } else if (key.is_symbol(":level")) {
+      if (val.kind != Sexpr::Kind::kInteger) {
+        return Status::InvalidArgument(":level expects an integer");
+      }
+      opts.level = static_cast<int>(val.integer);
+    } else {
+      return Status::InvalidArgument("unknown keyword " + key.ToString());
+    }
+  }
+  Result<std::vector<Uid>> out = Status::Internal("unreachable");
+  if (op == "components-of") {
+    out = ComponentsOf(db_->objects(), uid, opts);
+  } else if (op == "parents-of") {
+    out = ParentsOf(db_->objects(), uid, opts);
+  } else {
+    out = AncestorsOf(db_->objects(), uid, opts);
+  }
+  if (!out.ok()) {
+    return out.status();
+  }
+  return Value::RefSet(*out);
+}
+
+Result<Value> Interpreter::EvalPredicate(const Sexpr& form,
+                                         const std::string& op) {
+  if (form.list.size() != 3) {
+    return Status::InvalidArgument("usage: (" + op + " obj1 obj2)");
+  }
+  ORION_ASSIGN_OR_RETURN(Uid o1, EvalToUid(form.list[1]));
+  ORION_ASSIGN_OR_RETURN(Uid o2, EvalToUid(form.list[2]));
+  Result<bool> out = Status::Internal("unreachable");
+  if (op == "component-of") {
+    out = ComponentOf(db_->objects(), o1, o2);
+  } else if (op == "child-of") {
+    out = ChildOf(db_->objects(), o1, o2);
+  } else if (op == "exclusive-component-of") {
+    out = ExclusiveComponentOf(db_->objects(), o1, o2);
+  } else {
+    out = SharedComponentOf(db_->objects(), o1, o2);
+  }
+  if (!out.ok()) {
+    return out.status();
+  }
+  return *out ? Value::Integer(1) : Value::Null();
+}
+
+Result<Value> Interpreter::EvalClassPredicate(const Sexpr& form,
+                                              const std::string& op) {
+  if (form.list.size() < 2 || form.list.size() > 3) {
+    return Status::InvalidArgument("usage: (" + op + " Class [attr])");
+  }
+  ORION_ASSIGN_OR_RETURN(ClassId cls, EvalToClass(form.list[1]));
+  std::optional<std::string> attr;
+  if (form.list.size() == 3) {
+    if (!form.list[2].is_symbol()) {
+      return Status::InvalidArgument("attribute name must be a symbol");
+    }
+    attr = form.list[2].text;
+  }
+  Result<bool> out = Status::Internal("unreachable");
+  SchemaManager& schema = db_->schema();
+  if (op == "compositep") {
+    out = schema.CompositeP(cls, attr);
+  } else if (op == "exclusive-compositep") {
+    out = schema.ExclusiveCompositeP(cls, attr);
+  } else if (op == "shared-compositep") {
+    out = schema.SharedCompositeP(cls, attr);
+  } else {
+    out = schema.DependentCompositeP(cls, attr);
+  }
+  if (!out.ok()) {
+    return out.status();
+  }
+  return *out ? Value::Integer(1) : Value::Null();
+}
+
+}  // namespace orion

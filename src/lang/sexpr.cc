@@ -1,0 +1,168 @@
+#include "lang/sexpr.h"
+
+#include <cctype>
+
+namespace orion {
+
+std::string Sexpr::ToString() const {
+  switch (kind) {
+    case Kind::kSymbol:
+      return text;
+    case Kind::kString:
+      return "\"" + text + "\"";
+    case Kind::kInteger:
+      return std::to_string(integer);
+    case Kind::kReal:
+      return std::to_string(real);
+    case Kind::kList: {
+      std::string out = "(";
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (i > 0) {
+          out += " ";
+        }
+        out += list[i].ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Sexpr> ParseOne() {
+    SkipSpace();
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unexpected end of input");
+    }
+    const char c = input_[pos_];
+    if (c == '\'') {  // quote is transparent
+      ++pos_;
+      return ParseOne();
+    }
+    if (c == '(') {
+      ++pos_;
+      std::vector<Sexpr> elems;
+      while (true) {
+        SkipSpace();
+        if (pos_ >= input_.size()) {
+          return Status::InvalidArgument("unterminated list");
+        }
+        if (input_[pos_] == ')') {
+          ++pos_;
+          return Sexpr::List(std::move(elems));
+        }
+        ORION_ASSIGN_OR_RETURN(Sexpr elem, ParseOne());
+        elems.push_back(std::move(elem));
+      }
+    }
+    if (c == ')') {
+      return Status::InvalidArgument("unexpected ')'");
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string out;
+      while (pos_ < input_.size() && input_[pos_] != '"') {
+        if (input_[pos_] == '\\' && pos_ + 1 < input_.size()) {
+          ++pos_;
+        }
+        out += input_[pos_++];
+      }
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("unterminated string literal");
+      }
+      ++pos_;  // closing quote
+      return Sexpr::String(std::move(out));
+    }
+    // Atom: number or symbol.
+    const size_t start = pos_;
+    while (pos_ < input_.size() && !IsDelimiter(input_[pos_])) {
+      ++pos_;
+    }
+    std::string token(input_.substr(start, pos_ - start));
+    if (token.empty()) {
+      return Status::InvalidArgument("empty token");
+    }
+    if (LooksNumeric(token)) {
+      if (token.find('.') != std::string::npos ||
+          token.find('e') != std::string::npos ||
+          token.find('E') != std::string::npos) {
+        try {
+          return Sexpr::Real(std::stod(token));
+        } catch (...) {
+          return Status::InvalidArgument("bad real literal '" + token + "'");
+        }
+      }
+      try {
+        return Sexpr::Integer(std::stoll(token));
+      } catch (...) {
+        return Status::InvalidArgument("bad integer literal '" + token +
+                                       "'");
+      }
+    }
+    return Sexpr::Symbol(std::move(token));
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= input_.size();
+  }
+
+ private:
+  static bool IsDelimiter(char c) {
+    return std::isspace(static_cast<unsigned char>(c)) || c == '(' ||
+           c == ')' || c == '"' || c == ';' || c == '\'';
+  }
+
+  static bool LooksNumeric(const std::string& token) {
+    size_t i = 0;
+    if (token[0] == '-' || token[0] == '+') {
+      if (token.size() == 1) {
+        return false;
+      }
+      i = 1;
+    }
+    return std::isdigit(static_cast<unsigned char>(token[i])) != 0;
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == ';') {
+        while (pos_ < input_.size() && input_[pos_] != '\n') {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Sexpr> ParseSexpr(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseOne();
+}
+
+Result<std::vector<Sexpr>> ParseProgram(std::string_view input) {
+  Parser parser(input);
+  std::vector<Sexpr> out;
+  while (!parser.AtEnd()) {
+    ORION_ASSIGN_OR_RETURN(Sexpr e, parser.ParseOne());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace orion

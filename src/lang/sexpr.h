@@ -1,0 +1,76 @@
+#ifndef ORION_LANG_SEXPR_H_
+#define ORION_LANG_SEXPR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace orion {
+
+/// A parsed s-expression — the surface syntax of the paper's ORION
+/// messages (`make-class`, `make`, `components-of`, ...).
+struct Sexpr {
+  enum class Kind { kSymbol, kString, kInteger, kReal, kList };
+
+  Kind kind = Kind::kList;
+  std::string text;          // kSymbol / kString
+  int64_t integer = 0;       // kInteger
+  double real = 0.0;         // kReal
+  std::vector<Sexpr> list;   // kList
+
+  static Sexpr Symbol(std::string s) {
+    Sexpr e;
+    e.kind = Kind::kSymbol;
+    e.text = std::move(s);
+    return e;
+  }
+  static Sexpr String(std::string s) {
+    Sexpr e;
+    e.kind = Kind::kString;
+    e.text = std::move(s);
+    return e;
+  }
+  static Sexpr Integer(int64_t v) {
+    Sexpr e;
+    e.kind = Kind::kInteger;
+    e.integer = v;
+    return e;
+  }
+  static Sexpr Real(double v) {
+    Sexpr e;
+    e.kind = Kind::kReal;
+    e.real = v;
+    return e;
+  }
+  static Sexpr List(std::vector<Sexpr> elems) {
+    Sexpr e;
+    e.kind = Kind::kList;
+    e.list = std::move(elems);
+    return e;
+  }
+
+  bool is_symbol() const { return kind == Kind::kSymbol; }
+  bool is_symbol(std::string_view s) const {
+    return kind == Kind::kSymbol && text == s;
+  }
+  bool is_list() const { return kind == Kind::kList; }
+  bool is_nil() const { return is_symbol("nil"); }
+
+  std::string ToString() const;
+};
+
+/// Parses one s-expression from `input`.  Quote characters (') are
+/// transparent — the paper quotes class names and attribute lists, but the
+/// interpreter treats data and code contexts explicitly.  Comments run from
+/// ';' to end of line.
+Result<Sexpr> ParseSexpr(std::string_view input);
+
+/// Parses a whole program: a sequence of s-expressions.
+Result<std::vector<Sexpr>> ParseProgram(std::string_view input);
+
+}  // namespace orion
+
+#endif  // ORION_LANG_SEXPR_H_

@@ -1,0 +1,174 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+namespace orion {
+
+std::string LockResource::ToString() const {
+  return (kind == Kind::kClass ? "class:" : "instance:") +
+         std::to_string(id);
+}
+
+TxnId LockManager::Begin() {
+  std::lock_guard<std::mutex> g(mu_);
+  return ++next_txn_;
+}
+
+std::vector<TxnId> LockManager::Blockers(const ResourceEntry& entry,
+                                         TxnId txn, LockMode mode) const {
+  std::vector<TxnId> blockers;
+  for (const auto& [holder, modes] : entry.holders) {
+    if (holder == txn) {
+      continue;  // a transaction never conflicts with itself
+    }
+    for (LockMode held : modes) {
+      if (!Compatible(held, mode)) {
+        blockers.push_back(holder);
+        break;
+      }
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::WouldDeadlock(TxnId txn,
+                                const std::vector<TxnId>& blockers) {
+  // DFS from each blocker through waits_for_; a path back to txn means the
+  // new edges txn -> blocker would close a cycle.
+  std::vector<TxnId> stack(blockers.begin(), blockers.end());
+  std::unordered_set<TxnId> visited;
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == txn) {
+      return true;
+    }
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    auto it = waits_for_.find(cur);
+    if (it != waits_for_.end()) {
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, const LockResource& resource,
+                            LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  if (txn == 0) {
+    return Status::TransactionInvalid("invalid transaction id 0");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (txn > next_txn_) {
+    return Status::TransactionInvalid("unknown transaction " +
+                                      std::to_string(txn));
+  }
+  {
+    ResourceEntry& entry = table_[resource];
+    auto held = entry.holders.find(txn);
+    if (held != entry.holders.end() && held->second.count(mode) > 0) {
+      return Status::Ok();  // already held
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    // Re-fetch on every round: while this thread waited, other threads may
+    // have erased the entry (Release) or rehashed the table (new
+    // resources), invalidating any reference taken before the wait.
+    ResourceEntry& entry = table_[resource];
+    std::vector<TxnId> blockers = Blockers(entry, txn, mode);
+    if (blockers.empty()) {
+      entry.holders[txn].insert(mode);
+      txn_resources_[txn].push_back(resource);
+      waits_for_.erase(txn);
+      ++total_acquisitions_;
+      return Status::Ok();
+    }
+    if (WouldDeadlock(txn, blockers)) {
+      waits_for_.erase(txn);
+      return Status::Deadlock(
+          "waiting for " + resource.ToString() + " in " +
+          std::string(LockModeName(mode)) + " would deadlock transaction " +
+          std::to_string(txn));
+    }
+    if (timeout.count() <= 0) {
+      return Status::LockTimeout(
+          resource.ToString() + " is held in an incompatible mode (" +
+          std::string(LockModeName(mode)) + " requested)");
+    }
+    waits_for_[txn].insert(blockers.begin(), blockers.end());
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
+      waits_for_.erase(txn);
+      return Status::LockTimeout(
+          "timed out waiting for " + resource.ToString() + " in " +
+          std::string(LockModeName(mode)));
+    }
+    // Re-evaluate blockers after wake-up; stale edges are rebuilt each
+    // round.
+    waits_for_.erase(txn);
+  }
+}
+
+Status LockManager::Release(TxnId txn) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = txn_resources_.find(txn);
+  if (it != txn_resources_.end()) {
+    for (const LockResource& r : it->second) {
+      auto entry = table_.find(r);
+      if (entry != table_.end()) {
+        entry->second.holders.erase(txn);
+        if (entry->second.holders.empty()) {
+          table_.erase(entry);
+        }
+      }
+    }
+    txn_resources_.erase(it);
+  }
+  waits_for_.erase(txn);
+  for (auto& [waiter, blockers] : waits_for_) {
+    blockers.erase(txn);
+  }
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+std::vector<LockMode> LockManager::HeldModes(TxnId txn,
+                                             const LockResource& resource) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto entry = table_.find(resource);
+  if (entry == table_.end()) {
+    return {};
+  }
+  auto held = entry->second.holders.find(txn);
+  if (held == entry->second.holders.end()) {
+    return {};
+  }
+  return std::vector<LockMode>(held->second.begin(), held->second.end());
+}
+
+bool LockManager::IsLocked(const LockResource& resource) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto entry = table_.find(resource);
+  return entry != table_.end() && !entry->second.holders.empty();
+}
+
+size_t LockManager::grant_count() {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [r, entry] : table_) {
+    for (const auto& [txn, modes] : entry.holders) {
+      n += modes.size();
+    }
+  }
+  return n;
+}
+
+uint64_t LockManager::total_acquisitions() {
+  std::lock_guard<std::mutex> g(mu_);
+  return total_acquisitions_;
+}
+
+}  // namespace orion

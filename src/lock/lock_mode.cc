@@ -1,0 +1,106 @@
+#include "lock/lock_mode.h"
+
+#include <array>
+#include <sstream>
+
+namespace orion {
+
+std::string_view LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+    case LockMode::kISO:
+      return "ISO";
+    case LockMode::kIXO:
+      return "IXO";
+    case LockMode::kSIXO:
+      return "SIXO";
+    case LockMode::kISOS:
+      return "ISOS";
+    case LockMode::kIXOS:
+      return "IXOS";
+    case LockMode::kSIXOS:
+      return "SIXOS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Row/column order: IS IX S SIX X ISO IXO SIXO ISOS IXOS SIXOS.
+// 1 = compatible.  The table is symmetric; see Compatible() for the
+// derivation sources.
+constexpr std::array<std::array<int, kNumLockModes>, kNumLockModes>
+    kCompatibility = {{
+        //             IS IX  S SIX  X ISO IXO SIXO ISOS IXOS SIXOS
+        /* IS    */ {{1, 1, 1, 1, 0, 1, 0, 0, 1, 0, 0}},
+        /* IX    */ {{1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+        /* S     */ {{1, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0}},
+        /* SIX   */ {{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+        /* X     */ {{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+        /* ISO   */ {{1, 0, 1, 0, 0, 1, 1, 1, 1, 1, 1}},
+        /* IXO   */ {{0, 0, 0, 0, 0, 1, 1, 0, 1, 0, 0}},
+        /* SIXO  */ {{0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0}},
+        /* ISOS  */ {{1, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0}},
+        /* IXOS  */ {{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0}},
+        /* SIXOS */ {{0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0}},
+    }};
+
+std::string RenderMatrix(int n) {
+  std::ostringstream os;
+  os << "        ";
+  const std::vector<LockMode> modes = AllLockModes();
+  for (int j = 0; j < n; ++j) {
+    os << "|";
+    std::string name(LockModeName(modes[j]));
+    os << name;
+    for (size_t p = name.size(); p < 6; ++p) os << ' ';
+  }
+  os << "\n";
+  for (int i = 0; i < n; ++i) {
+    std::string row(LockModeName(modes[i]));
+    os << row;
+    for (size_t p = row.size(); p < 8; ++p) os << ' ';
+    for (int j = 0; j < n; ++j) {
+      os << "|" << (kCompatibility[i][j] ? "  v   " : "  No  ");
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+bool Compatible(LockMode held, LockMode requested) {
+  return kCompatibility[static_cast<int>(held)]
+                       [static_cast<int>(requested)] != 0;
+}
+
+std::vector<LockMode> AllLockModes() {
+  return {LockMode::kIS,   LockMode::kIX,   LockMode::kS,
+          LockMode::kSIX,  LockMode::kX,    LockMode::kISO,
+          LockMode::kIXO,  LockMode::kSIXO, LockMode::kISOS,
+          LockMode::kIXOS, LockMode::kSIXOS};
+}
+
+std::string RenderFigure7Matrix() {
+  return "Figure 7: compatibility matrix for granularity locking and "
+         "exclusive\ncomposite object locking.\n\n" +
+         RenderMatrix(kNumFigure7Modes);
+}
+
+std::string RenderFigure8Matrix() {
+  return "Figure 8: compatibility matrix for granularity locking and "
+         "shared/\nexclusive composite object locking.\n\n" +
+         RenderMatrix(kNumLockModes);
+}
+
+}  // namespace orion

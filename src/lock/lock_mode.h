@@ -1,0 +1,69 @@
+#ifndef ORION_LOCK_LOCK_MODE_H_
+#define ORION_LOCK_LOCK_MODE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orion {
+
+/// Lock modes of §7.
+///
+/// IS/IX/S/SIX/X are classical granularity modes [GRAY78].  ISO/IXO/SIXO are
+/// the [KIM87b] composite-object modes for component classes reached through
+/// *exclusive* composite references; ISOS/IXOS/SIXOS are this paper's modes
+/// for component classes reached through *shared* composite references.
+enum class LockMode {
+  kIS = 0,
+  kIX,
+  kS,
+  kSIX,
+  kX,
+  kISO,
+  kIXO,
+  kSIXO,
+  kISOS,
+  kIXOS,
+  kSIXOS,
+};
+
+inline constexpr int kNumLockModes = 11;
+/// Figure 7 covers the first 8 modes (no shared composite references).
+inline constexpr int kNumFigure7Modes = 8;
+
+std::string_view LockModeName(LockMode mode);
+
+/// True if a lock in `requested` can be granted while another transaction
+/// holds `held` on the same resource.  The matrix is symmetric.
+///
+/// Derivation (DESIGN.md; the paper's scanned matrices are illegible, so
+/// every entry comes from a stated constraint):
+///  * plain x plain is [GRAY78];
+///  * "while IS and IX modes do not conflict, the ISO mode conflicts with IX
+///    mode, and IXO and SIXO modes conflict with both IS and IX modes";
+///  * O-modes are mutually compatible the way IS/IX are (the protocol
+///    "allows multiple users to read and update different composite objects
+///    that share the same composite class hierarchy" — root instance locks
+///    arbitrate), except where a SIXO's S component reads what an IXO
+///    writes;
+///  * for shared-reference component classes the protocol allows "several
+///    readers and one writer": ISOS-ISOS is compatible, IXOS conflicts with
+///    ISOS/IXOS (a shared component can belong to several composites, so
+///    root locks no longer arbitrate);
+///  * the §7 worked examples force ISOS-IXO compatible (examples 1 and 2)
+///    and IXOS-IXO incompatible (example 3 vs 1).
+bool Compatible(LockMode held, LockMode requested);
+
+/// All modes in matrix order.
+std::vector<LockMode> AllLockModes();
+
+/// Renders the Figure 7 matrix (8x8: granularity + exclusive composite
+/// modes).
+std::string RenderFigure7Matrix();
+
+/// Renders the Figure 8 matrix (11x11: adds the shared composite modes).
+std::string RenderFigure8Matrix();
+
+}  // namespace orion
+
+#endif  // ORION_LOCK_LOCK_MODE_H_

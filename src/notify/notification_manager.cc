@@ -1,0 +1,158 @@
+#include "notify/notification_manager.h"
+
+#include <algorithm>
+
+#include "query/traversal.h"
+
+namespace orion {
+
+std::string_view ChangeKindName(ChangeKind kind) {
+  switch (kind) {
+    case ChangeKind::kUpdated:
+      return "updated";
+    case ChangeKind::kDeleted:
+      return "deleted";
+  }
+  return "?";
+}
+
+NotificationManager::NotificationManager(ObjectManager* objects)
+    : objects_(objects) {
+  objects_->AddObserver(this);
+}
+
+NotificationManager::~NotificationManager() {
+  objects_->RemoveObserver(this);
+}
+
+Status NotificationManager::Subscribe(const std::string& subscriber,
+                                      Uid object, bool include_components) {
+  if (subscriber.empty()) {
+    return Status::InvalidArgument("subscriber name must not be empty");
+  }
+  if (objects_->Peek(object) == nullptr) {
+    return Status::NotFound("object " + object.ToString());
+  }
+  for (const Subscription& s : subscriptions_) {
+    if (s.subscriber == subscriber && s.root == object) {
+      return Status::AlreadyExists("already subscribed");
+    }
+  }
+  subscriptions_.push_back(
+      Subscription{subscriber, object, include_components});
+  return Status::Ok();
+}
+
+Status NotificationManager::Unsubscribe(const std::string& subscriber,
+                                        Uid object) {
+  Prune();
+  auto it = std::find_if(subscriptions_.begin(), subscriptions_.end(),
+                         [&](const Subscription& s) {
+                           return s.subscriber == subscriber &&
+                                  s.root == object;
+                         });
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("no such subscription");
+  }
+  subscriptions_.erase(it);
+  return Status::Ok();
+}
+
+std::vector<ChangeEvent> NotificationManager::Drain(
+    const std::string& subscriber) {
+  auto it = queues_.find(subscriber);
+  if (it == queues_.end()) {
+    return {};
+  }
+  std::vector<ChangeEvent> out = std::move(it->second);
+  queues_.erase(it);
+  return out;
+}
+
+size_t NotificationManager::Pending(const std::string& subscriber) const {
+  auto it = queues_.find(subscriber);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+bool NotificationManager::IsFlagged(const std::string& subscriber,
+                                    Uid object) const {
+  auto it = flags_.find(subscriber);
+  return it != flags_.end() && it->second.count(object) > 0;
+}
+
+void NotificationManager::ClearFlag(const std::string& subscriber,
+                                    Uid object) {
+  auto it = flags_.find(subscriber);
+  if (it != flags_.end()) {
+    it->second.erase(object);
+  }
+}
+
+std::vector<const NotificationManager::Subscription*>
+NotificationManager::Reached(Uid object) const {
+  std::vector<const Subscription*> out;
+  // Ancestors of the changed object (for composite subscriptions).
+  std::vector<Uid> chain{object};
+  auto ancestors = AncestorsOf(*objects_, object);
+  if (ancestors.ok()) {
+    chain.insert(chain.end(), ancestors->begin(), ancestors->end());
+  }
+  for (const Subscription& s : subscriptions_) {
+    if (s.root == object) {
+      out.push_back(&s);
+      continue;
+    }
+    if (s.include_components &&
+        std::find(chain.begin(), chain.end(), s.root) != chain.end()) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+void NotificationManager::Deliver(const Object& object, ChangeKind kind,
+                                  const std::string& attribute) {
+  if (delivering_) {
+    return;  // guard against re-entrant traversal side effects
+  }
+  delivering_ = true;
+  for (const Subscription* s : Reached(object.uid())) {
+    ChangeEvent event;
+    event.seq = ++next_seq_;
+    event.object = object.uid();
+    event.subscription_root = s->root;
+    event.kind = kind;
+    event.attribute = attribute;
+    queues_[s->subscriber].push_back(std::move(event));
+    flags_[s->subscriber].insert(s->root);
+  }
+  delivering_ = false;
+  // A deleted subscription root takes its subscriptions with it — but only
+  // once the object is physically gone.  Deletion closures pre-notify
+  // every doomed object while the graph is intact, so within that batch
+  // the root still exists and later component events must still reach its
+  // composite subscriptions (Prune is a no-op until the physical removal).
+  Prune();
+}
+
+void NotificationManager::Prune() {
+  subscriptions_.erase(
+      std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                     [&](const Subscription& s) {
+                       return objects_->Peek(s.root) == nullptr;
+                     }),
+      subscriptions_.end());
+}
+
+void NotificationManager::OnUpdate(const Object& object,
+                                   const std::string& attribute,
+                                   const Value& old_value) {
+  (void)old_value;
+  Deliver(object, ChangeKind::kUpdated, attribute);
+}
+
+void NotificationManager::OnDelete(const Object& object) {
+  Deliver(object, ChangeKind::kDeleted, "");
+}
+
+}  // namespace orion

@@ -1,0 +1,109 @@
+#ifndef ORION_NOTIFY_NOTIFICATION_MANAGER_H_
+#define ORION_NOTIFY_NOTIFICATION_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_manager.h"
+
+namespace orion {
+
+/// Kind of change observed on a watched object.
+enum class ChangeKind {
+  kUpdated = 0,  // an attribute value changed
+  kDeleted,      // the object was deleted
+};
+
+std::string_view ChangeKindName(ChangeKind kind);
+
+/// One delivered change event (message-based notification).
+struct ChangeEvent {
+  uint64_t seq = 0;          // global delivery order
+  Uid object;                // the object that changed
+  Uid subscription_root;     // the watched object the event reached through
+  ChangeKind kind = ChangeKind::kUpdated;
+  std::string attribute;     // for kUpdated
+};
+
+/// Change notification in the style the paper cites as [CHOU88] ("Versions
+/// and Change Notification in an Object-Oriented Database System"),
+/// extended to composite objects: a subscription on the root of a
+/// composite object may cover every component, so a change deep in the
+/// part hierarchy notifies the owner of the whole design.
+///
+/// Both of CHOU88's mechanisms are provided:
+///  * flag-based: the watched object is marked changed; the subscriber
+///    polls `IsFlagged` and clears with `ClearFlag`;
+///  * message-based: events queue per subscriber and are read with
+///    `Drain`.
+///
+/// The manager observes the object manager; reverse-reference bookkeeping
+/// and CC catch-up do not notify (they are not value changes).
+class NotificationManager : public ObjectObserver {
+ public:
+  explicit NotificationManager(ObjectManager* objects);
+  ~NotificationManager() override;
+
+  NotificationManager(const NotificationManager&) = delete;
+  NotificationManager& operator=(const NotificationManager&) = delete;
+
+  /// Subscribes `subscriber` to changes of `object`; with
+  /// `include_components` the subscription covers the whole composite
+  /// object rooted there (current and future components).
+  Status Subscribe(const std::string& subscriber, Uid object,
+                   bool include_components);
+
+  /// Removes the subscription.
+  Status Unsubscribe(const std::string& subscriber, Uid object);
+
+  /// Message-based: removes and returns the queued events of `subscriber`
+  /// in delivery order.
+  std::vector<ChangeEvent> Drain(const std::string& subscriber);
+
+  /// Number of queued events for `subscriber`.
+  size_t Pending(const std::string& subscriber) const;
+
+  /// Flag-based: true if the subscription root `object` has seen a change
+  /// since the last ClearFlag.
+  bool IsFlagged(const std::string& subscriber, Uid object) const;
+  void ClearFlag(const std::string& subscriber, Uid object);
+
+  // --- ObjectObserver --------------------------------------------------------
+  void OnUpdate(const Object& object, const std::string& attribute,
+                const Value& old_value) override;
+  void OnDelete(const Object& object) override;
+
+ private:
+  struct Subscription {
+    std::string subscriber;
+    Uid root;
+    bool include_components = false;
+  };
+
+  /// Subscriptions reached by a change to `object`: direct watches plus
+  /// composite watches on any ancestor.
+  std::vector<const Subscription*> Reached(Uid object) const;
+
+  void Deliver(const Object& object, ChangeKind kind,
+               const std::string& attribute);
+
+  /// Drops subscriptions whose root object no longer exists.
+  void Prune();
+
+  ObjectManager* objects_;
+  std::vector<Subscription> subscriptions_;
+  std::unordered_map<std::string, std::vector<ChangeEvent>> queues_;
+  /// (subscriber, root) pairs currently flagged.
+  std::unordered_map<std::string, std::unordered_set<Uid>> flags_;
+  uint64_t next_seq_ = 0;
+  /// Re-entrancy guard: deliveries triggered while computing ancestors.
+  bool delivering_ = false;
+};
+
+}  // namespace orion
+
+#endif  // ORION_NOTIFY_NOTIFICATION_MANAGER_H_

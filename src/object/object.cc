@@ -1,0 +1,76 @@
+#include "object/object.h"
+
+#include <algorithm>
+
+namespace orion {
+
+std::string_view ObjectRoleName(ObjectRole role) {
+  switch (role) {
+    case ObjectRole::kNormal:
+      return "normal";
+    case ObjectRole::kGeneric:
+      return "generic";
+    case ObjectRole::kVersion:
+      return "version";
+  }
+  return "unknown";
+}
+
+const Value& Object::Get(const std::string& attribute) const {
+  static const Value kNull;
+  auto it = values_.find(attribute);
+  return it == values_.end() ? kNull : it->second;
+}
+
+bool Object::RemoveReverseRef(Uid parent, const std::string& attribute) {
+  auto it = std::find_if(reverse_refs_.begin(), reverse_refs_.end(),
+                         [&](const ReverseRef& r) {
+                           return r.parent == parent &&
+                                  r.attribute == attribute;
+                         });
+  if (it == reverse_refs_.end()) {
+    return false;
+  }
+  reverse_refs_.erase(it);
+  return true;
+}
+
+bool Object::HasExclusiveParent() const {
+  return std::any_of(reverse_refs_.begin(), reverse_refs_.end(),
+                     [](const ReverseRef& r) { return r.exclusive; }) ||
+         std::any_of(generic_refs_.begin(), generic_refs_.end(),
+                     [](const GenericRef& g) { return g.exclusive; });
+}
+
+namespace {
+
+std::vector<Uid> Filter(const std::vector<ReverseRef>& refs, bool dependent,
+                        bool exclusive) {
+  std::vector<Uid> out;
+  for (const ReverseRef& r : refs) {
+    if (r.dependent == dependent && r.exclusive == exclusive) {
+      out.push_back(r.parent);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Uid> Object::DsSet() const {
+  return Filter(reverse_refs_, /*dependent=*/true, /*exclusive=*/false);
+}
+
+std::vector<Uid> Object::DxSet() const {
+  return Filter(reverse_refs_, /*dependent=*/true, /*exclusive=*/true);
+}
+
+std::vector<Uid> Object::IxSet() const {
+  return Filter(reverse_refs_, /*dependent=*/false, /*exclusive=*/true);
+}
+
+std::vector<Uid> Object::IsSet() const {
+  return Filter(reverse_refs_, /*dependent=*/false, /*exclusive=*/false);
+}
+
+}  // namespace orion

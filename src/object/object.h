@@ -1,0 +1,165 @@
+#ifndef ORION_OBJECT_OBJECT_H_
+#define ORION_OBJECT_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/uid.h"
+#include "common/value.h"
+#include "schema/class_def.h"
+
+namespace orion {
+
+/// Role of an object with respect to the version model (§5.1).
+enum class ObjectRole {
+  /// An ordinary instance of a non-versionable class.
+  kNormal = 0,
+  /// "The history of derivation of version instances for a versionable
+  /// object is maintained in a generic instance."
+  kGeneric,
+  /// One version instance in a version-derivation hierarchy.
+  kVersion,
+};
+
+std::string_view ObjectRoleName(ObjectRole role);
+
+/// A reverse composite reference (§2.4).
+///
+/// "A reverse composite reference actually consists of a couple of flags in
+/// addition to the object identifier of a parent.  One flag (D) indicates
+/// whether the object is a dependent component of the parent; while the
+/// other flag (X) indicates whether the object is an exclusive component."
+/// We also record the parent attribute holding the forward reference, which
+/// lets deletion and deferred schema maintenance find the matching forward
+/// reference without scanning every attribute of the parent.
+struct ReverseRef {
+  Uid parent;
+  std::string attribute;
+  bool dependent = false;  // the D flag
+  bool exclusive = false;  // the X flag
+};
+
+/// A reverse composite *generic* reference (§5.3), stored in generic
+/// instances only.
+///
+/// "A reverse composite reference from g of O to g' of O' ... has associated
+/// with it a counter, called ref-count, which keeps track of the number of
+/// composite references from version instances of O' to version instances
+/// of O.  The ref count is used to determine when a reverse composite
+/// generic reference must be removed."
+struct GenericRef {
+  /// The referencing side: g' of O' if O' is versionable, otherwise O'.
+  Uid parent;
+  std::string attribute;
+  bool dependent = false;
+  bool exclusive = false;
+  int ref_count = 1;
+};
+
+/// An object: attribute values plus the bookkeeping the model needs —
+/// reverse composite references, the deferred-maintenance CC (§4.3), and
+/// version metadata (§5).
+///
+/// Objects are passive; every semantic rule is enforced by `ObjectManager`
+/// (and `VersionManager` for the §5 rules).
+class Object {
+ public:
+  Object(Uid uid, ClassId cls, ObjectRole role, uint64_t cc)
+      : uid_(uid), class_id_(cls), role_(role), cc_(cc) {}
+
+  Uid uid() const { return uid_; }
+  ClassId class_id() const { return class_id_; }
+  ObjectRole role() const { return role_; }
+
+  bool is_generic() const { return role_ == ObjectRole::kGeneric; }
+  bool is_version() const { return role_ == ObjectRole::kVersion; }
+
+  // --- Attribute values ---------------------------------------------------
+
+  const Value& Get(const std::string& attribute) const;
+  void Set(const std::string& attribute, Value value) {
+    values_[attribute] = std::move(value);
+  }
+  void Erase(const std::string& attribute) { values_.erase(attribute); }
+  const std::unordered_map<std::string, Value>& values() const {
+    return values_;
+  }
+  std::unordered_map<std::string, Value>& mutable_values() { return values_; }
+
+  // --- Reverse composite references ----------------------------------------
+
+  const std::vector<ReverseRef>& reverse_refs() const { return reverse_refs_; }
+  std::vector<ReverseRef>& mutable_reverse_refs() { return reverse_refs_; }
+
+  void AddReverseRef(ReverseRef ref) {
+    reverse_refs_.push_back(std::move(ref));
+  }
+
+  /// Removes the reverse reference from `parent` via `attribute`; returns
+  /// whether one was removed.
+  bool RemoveReverseRef(Uid parent, const std::string& attribute);
+
+  /// True if the object has at least one composite reference to it.  For a
+  /// generic instance the (ref-counted) generic references count (§5.3).
+  bool HasCompositeParent() const {
+    return !reverse_refs_.empty() || !generic_refs_.empty();
+  }
+
+  /// True if some reverse (or generic) reference has the X flag set.
+  bool HasExclusiveParent() const;
+
+  /// Parents via dependent shared references — the set DS(O) of
+  /// Definition 1.
+  std::vector<Uid> DsSet() const;
+  /// DX(O): parents via dependent exclusive references.
+  std::vector<Uid> DxSet() const;
+  /// IX(O): parents via independent exclusive references.
+  std::vector<Uid> IxSet() const;
+  /// IS(O): parents via independent shared references.
+  std::vector<Uid> IsSet() const;
+
+  // --- Generic references (generic instances only, §5.3) -------------------
+
+  const std::vector<GenericRef>& generic_refs() const { return generic_refs_; }
+  std::vector<GenericRef>& mutable_generic_refs() { return generic_refs_; }
+
+  // --- Version metadata -----------------------------------------------------
+
+  /// For a version instance: its generic instance.  For a generic instance:
+  /// kNilUid.
+  Uid generic() const { return generic_; }
+  void set_generic(Uid g) { generic_ = g; }
+
+  /// For a version instance: the version it was derived from (kNilUid for
+  /// the first version).
+  Uid derived_from() const { return derived_from_; }
+  void set_derived_from(Uid v) { derived_from_ = v; }
+
+  /// Creation timestamp (logical) — orders version instances for the
+  /// system-default rule of §5.1.
+  uint64_t created_at() const { return created_at_; }
+  void set_created_at(uint64_t t) { created_at_ = t; }
+
+  // --- Deferred maintenance (§4.3) ------------------------------------------
+
+  uint64_t cc() const { return cc_; }
+  void set_cc(uint64_t cc) { cc_ = cc; }
+
+ private:
+  Uid uid_;
+  ClassId class_id_;
+  ObjectRole role_;
+  std::unordered_map<std::string, Value> values_;
+  std::vector<ReverseRef> reverse_refs_;
+  std::vector<GenericRef> generic_refs_;
+  Uid generic_;
+  Uid derived_from_;
+  uint64_t created_at_ = 0;
+  uint64_t cc_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_OBJECT_OBJECT_H_

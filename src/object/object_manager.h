@@ -1,0 +1,251 @@
+#ifndef ORION_OBJECT_OBJECT_MANAGER_H_
+#define ORION_OBJECT_OBJECT_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "object/object.h"
+#include "schema/schema_manager.h"
+#include "storage/object_store.h"
+
+namespace orion {
+
+/// One `(ParentObject.i ParentAttributeName.i)` pair of the `make` message
+/// (§2.3).
+struct ParentBinding {
+  Uid parent;
+  std::string attribute;
+};
+
+/// Hook into object lifecycle and value changes.  Observers power the
+/// attribute indexes (src/query/index.h) and the change-notification
+/// subsystem (src/notify) without coupling them into the manager.
+///
+/// Contract: OnCreate fires after the object is registered (values may
+/// still be empty; subsequent installs arrive as OnUpdate); OnUpdate fires
+/// after the new value is stored, with the previous value; OnDelete fires
+/// just before removal, with the object still intact.  Reverse-reference
+/// bookkeeping and CC catch-up are not value changes and do not notify.
+class ObjectObserver {
+ public:
+  virtual ~ObjectObserver() = default;
+  virtual void OnCreate(const Object& object) { (void)object; }
+  virtual void OnUpdate(const Object& object, const std::string& attribute,
+                        const Value& old_value) {
+    (void)object;
+    (void)attribute;
+    (void)old_value;
+  }
+  virtual void OnDelete(const Object& object) { (void)object; }
+};
+
+/// Named attribute values for `make` / `SetAttribute`.
+using AttrValues = std::vector<std::pair<std::string, Value>>;
+
+/// Owner of all instances; enforces the §2.2 semantics.
+///
+/// Everything the paper formalizes about non-versioned composite objects
+/// lives here:
+///  * Topology Rules 1-4 and the Make-Component Rule, via `CheckAttach`
+///    (implemented with the reverse-reference flag test of §2.4);
+///  * the Deletion Rule, via `Delete` / `ComputeDeletionClosure`;
+///  * bottom-up creation and multi-parent `make` (§2.3), including physical
+///    clustering with the first parent when segments permit;
+///  * deferred schema-change maintenance (§4.3), via `CatchUp` applied on
+///    every `Access`.
+///
+/// Version-model rules (§5) are layered on top by `VersionManager`, which
+/// uses the raw primitives exposed here.
+class ObjectManager {
+ public:
+  ObjectManager(SchemaManager* schema, ObjectStore* store,
+                LogicalClock* clock)
+      : schema_(schema), store_(store), clock_(clock) {}
+
+  ObjectManager(const ObjectManager&) = delete;
+  ObjectManager& operator=(const ObjectManager&) = delete;
+
+  // --- Creation -------------------------------------------------------------
+
+  /// The `make` message: creates an instance of `cls`, optionally as a part
+  /// of one or more existing composite objects.
+  ///
+  /// Rules enforced (§2.3): if more than one parent binding names a
+  /// composite attribute, all of them must be *shared* composite attributes
+  /// (Topology Rule 3); every binding is validated with the Make-Component
+  /// Rule; the new object is clustered with the first parent when both
+  /// classes share a segment.  Composite attributes listed in `attrs` attach
+  /// the referenced objects as components (bottom-up assembly).
+  Result<Uid> Make(ClassId cls, const std::vector<ParentBinding>& parents,
+                   const AttrValues& attrs);
+
+  /// Allocates a bare object of `role` with no parents and no values —
+  /// the building block `VersionManager` composes generics and versions
+  /// from.  Placement: appended to the class segment.
+  Result<Uid> CreateRaw(ClassId cls, ObjectRole role);
+
+  // --- Attachment ------------------------------------------------------------
+
+  /// Makes existing object `child` a part of `parent` through `attribute`
+  /// (the §2.4 algorithm).  Rejects weak attributes (use SetAttribute).
+  Status MakeComponent(Uid child, Uid parent, const std::string& attribute);
+
+  /// Detaches `child` from `parent.attribute`: the forward reference and
+  /// the reverse reference are removed.  Detachment never deletes the child
+  /// (that is the dismantle-and-reuse behaviour of Example 1); deletion
+  /// semantics apply only to `Delete`.
+  Status RemoveComponent(Uid child, Uid parent, const std::string& attribute);
+
+  /// Assigns an attribute.  For composite attributes the value diff is
+  /// applied with full attach/detach semantics (every newly referenced
+  /// object passes the Make-Component Rule first; removed references are
+  /// detached).
+  Status SetAttribute(Uid obj, const std::string& attribute, Value value);
+
+  /// Checks whether `child` may become a component of `parent` through an
+  /// attribute with `spec` — the Make-Component Rule, the part-hierarchy
+  /// acyclicity requirement, and the domain constraint.  Does not mutate.
+  Status CheckAttach(const AttributeSpec& spec, Uid child, Uid parent);
+
+  /// Adds only the reverse bookkeeping for an *already stored* forward
+  /// reference parent.attribute -> child.  Used by the D1/D2 schema changes
+  /// (§4.3), which promote existing weak references to composite ones and
+  /// must "add reverse composite references to the instances of C".
+  Status AttachBacklink(Uid child, Uid parent, const AttributeSpec& spec);
+
+  // --- Deletion (§2.2 Deletion Rule) -----------------------------------------
+
+  /// Deletes `uid` and, recursively, every component the Deletion Rule
+  /// dooms: components held through dependent exclusive references, and
+  /// components whose *entire* DS set is being deleted.  Components held
+  /// through independent references, and shared components with a surviving
+  /// dependent parent, are detached instead.  Version-role objects are
+  /// rejected here (VersionManager implements §5 deletion).
+  Status Delete(Uid uid);
+
+  /// The set `Delete(root)` would remove, in discovery order starting with
+  /// `root`.  Exposed for tests and the deletion benchmark.
+  Result<std::vector<Uid>> ComputeDeletionClosure(Uid root);
+
+  /// Physically removes exactly one object: detaches its reverse references
+  /// (clearing the parents' forward references), clears reverse references
+  /// in its surviving components, and frees placement and extent.  No
+  /// recursion — VersionManager drives §5 deletion with this.
+  /// With `notify` false the OnDelete event is suppressed (the caller
+  /// already pre-notified the whole deletion closure while the composite
+  /// graph was still intact).
+  Status DeleteSingle(Uid uid, bool notify = true);
+
+  /// Fires OnDelete for every listed object *before* physical deletion, so
+  /// observers (e.g. composite-subscription notification) still see the
+  /// intact part hierarchy.  Callers then delete with notify=false.
+  void PreNotifyDeletions(const std::vector<Uid>& doomed);
+
+  // --- Access ------------------------------------------------------------------
+
+  /// Fetches the object, first applying any pending deferred type changes
+  /// (§4.3 catch-up) and charging a page access.
+  Result<Object*> Access(Uid uid);
+
+  /// Raw lookup without catch-up or accounting; nullptr if missing.
+  Object* Peek(Uid uid);
+  const Object* Peek(Uid uid) const;
+
+  bool Exists(Uid uid) const { return objects_.count(uid) > 0; }
+
+  /// Applies all pending operation-log entries to `o` and stamps its CC.
+  Status CatchUp(Object* o);
+
+  // --- Extents -------------------------------------------------------------------
+
+  /// UIDs of direct instances of `cls` (sorted for determinism).
+  std::vector<Uid> InstancesOf(ClassId cls) const;
+
+  /// Instances of `cls` and all its subclasses.
+  std::vector<Uid> InstancesOfDeep(ClassId cls) const;
+
+  /// Every live object, sorted by UID (diagnostics / invariant checks).
+  std::vector<Uid> AllUids() const;
+
+  size_t object_count() const { return objects_.size(); }
+
+  // --- Snapshot restore (src/core/snapshot.cc) ------------------------------
+
+  /// Re-inserts a fully formed object (values, reverse references, version
+  /// metadata intact).  The object is appended to its class segment;
+  /// physical clustering is not preserved across snapshots.
+  Status RestoreObject(Object obj);
+
+  /// Fast-forwards the UID allocator past `uid`.
+  void RestoreNextUid(uint64_t uid) {
+    if (uid > next_uid_) {
+      next_uid_ = uid;
+    }
+  }
+
+  // --- Observers --------------------------------------------------------------
+
+  /// Registers an observer (not owned); fires for all subsequent events.
+  void AddObserver(ObjectObserver* observer) {
+    observers_.push_back(observer);
+  }
+  void RemoveObserver(ObjectObserver* observer);
+
+  /// Erases the stored value of `attribute` on `uid`, notifying observers
+  /// (schema evolution drops values this way).
+  Status EraseValue(Uid uid, const std::string& attribute);
+
+  /// Removes `uid` without touching any other object (no backlink or
+  /// forward-reference cleanup).  Transaction rollback uses this to unwind
+  /// creations: every object the creation mutated carries a journaled
+  /// before-image that is restored separately.
+  void EraseRaw(Uid uid);
+
+  /// Overwrites the stored state of `obj.uid()` with `obj`, re-inserting
+  /// it if it was deleted (transaction rollback).
+  void OverwriteRaw(Object obj);
+
+  SchemaManager* schema() { return schema_; }
+  const SchemaManager* schema() const { return schema_; }
+  ObjectStore* store() { return store_; }
+
+  /// Direct components of `parent`: every object referenced through a
+  /// composite attribute, with the spec in effect.  (Weak references are
+  /// not components.)
+  Result<std::vector<std::pair<Uid, AttributeSpec>>> DirectComponents(
+      Uid parent);
+
+ private:
+  Result<Uid> AllocateAndPlace(ClassId cls, ObjectRole role,
+                               Uid cluster_with);
+  Status CheckValueAgainstSpec(const AttributeSpec& spec, const Value& value);
+  /// Adds the forward reference parent.attribute -> child.  Single-valued
+  /// attributes must currently be Nil.
+  Status AddForwardRef(Object* parent, const AttributeSpec& spec, Uid child);
+  void ApplyLogEntry(Object* o, const LogEntry& entry);
+
+  /// Stores a value and notifies observers with the previous one.
+  void SetValueNotify(Object* obj, const std::string& attribute, Value value);
+  void NotifyCreate(const Object& obj);
+  void NotifyUpdate(const Object& obj, const std::string& attribute,
+                    const Value& old_value);
+  void NotifyDelete(const Object& obj);
+
+  SchemaManager* schema_;
+  ObjectStore* store_;
+  LogicalClock* clock_;
+  std::unordered_map<Uid, Object> objects_;
+  std::unordered_map<ClassId, std::unordered_set<Uid>> extents_;
+  std::vector<ObjectObserver*> observers_;
+  uint64_t next_uid_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_OBJECT_OBJECT_MANAGER_H_

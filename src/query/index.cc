@@ -1,0 +1,160 @@
+#include "query/index.h"
+
+#include <algorithm>
+
+namespace orion {
+
+namespace {
+
+std::string KeyOf(const Value& value) { return value.ToString(); }
+
+}  // namespace
+
+AttributeIndex::AttributeIndex(ObjectManager* objects, ClassId cls,
+                               std::string attribute)
+    : objects_(objects), cls_(cls), attribute_(std::move(attribute)) {
+  for (Uid uid : objects_->InstancesOfDeep(cls_)) {
+    const Object* obj = objects_->Peek(uid);
+    if (obj != nullptr) {
+      IndexValue(uid, obj->Get(attribute_));
+    }
+  }
+  objects_->AddObserver(this);
+}
+
+AttributeIndex::~AttributeIndex() { objects_->RemoveObserver(this); }
+
+bool AttributeIndex::Covers(const Object& object) const {
+  return objects_->schema()->IsSubclassOf(object.class_id(), cls_);
+}
+
+void AttributeIndex::IndexValue(Uid uid, const Value& value) {
+  if (value.is_null()) {
+    return;
+  }
+  if (value.is_set()) {
+    for (const Value& e : value.set()) {
+      if (!e.is_null()) {
+        postings_[KeyOf(e)].insert(uid);
+      }
+    }
+    return;
+  }
+  postings_[KeyOf(value)].insert(uid);
+}
+
+void AttributeIndex::UnindexValue(Uid uid, const Value& value) {
+  auto drop = [&](const Value& v) {
+    auto it = postings_.find(KeyOf(v));
+    if (it != postings_.end()) {
+      it->second.erase(uid);
+      if (it->second.empty()) {
+        postings_.erase(it);
+      }
+    }
+  };
+  if (value.is_null()) {
+    return;
+  }
+  if (value.is_set()) {
+    for (const Value& e : value.set()) {
+      if (!e.is_null()) {
+        drop(e);
+      }
+    }
+    return;
+  }
+  drop(value);
+}
+
+std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
+  auto it = postings_.find(KeyOf(value));
+  if (it == postings_.end()) {
+    return {};
+  }
+  return std::vector<Uid>(it->second.begin(), it->second.end());
+}
+
+size_t AttributeIndex::entry_count() const {
+  size_t n = 0;
+  for (const auto& [key, uids] : postings_) {
+    n += uids.size();
+  }
+  return n;
+}
+
+void AttributeIndex::OnCreate(const Object& object) {
+  if (Covers(object)) {
+    IndexValue(object.uid(), object.Get(attribute_));
+  }
+}
+
+void AttributeIndex::OnUpdate(const Object& object,
+                              const std::string& attribute,
+                              const Value& old_value) {
+  if (attribute != attribute_ || !Covers(object)) {
+    return;
+  }
+  UnindexValue(object.uid(), old_value);
+  IndexValue(object.uid(), object.Get(attribute_));
+}
+
+void AttributeIndex::OnDelete(const Object& object) {
+  if (Covers(object)) {
+    UnindexValue(object.uid(), object.Get(attribute_));
+  }
+}
+
+Status IndexManager::CreateIndex(ClassId cls, const std::string& attribute) {
+  const SchemaManager* schema = objects_->schema();
+  if (schema->GetClass(cls) == nullptr) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  auto spec = schema->ResolveAttribute(cls, attribute);
+  if (!spec.ok()) {
+    return spec.status();
+  }
+  for (const auto& index : indexes_) {
+    if (index->cls() == cls && index->attribute() == attribute) {
+      return Status::AlreadyExists("index on (" +
+                                   schema->GetClass(cls)->name + ", " +
+                                   attribute + ") already exists");
+    }
+  }
+  indexes_.push_back(std::make_unique<AttributeIndex>(objects_, cls,
+                                                      attribute));
+  return Status::Ok();
+}
+
+Status IndexManager::DropIndex(ClassId cls, const std::string& attribute) {
+  auto it = std::find_if(indexes_.begin(), indexes_.end(),
+                         [&](const std::unique_ptr<AttributeIndex>& index) {
+                           return index->cls() == cls &&
+                                  index->attribute() == attribute;
+                         });
+  if (it == indexes_.end()) {
+    return Status::NotFound("no such index");
+  }
+  indexes_.erase(it);
+  return Status::Ok();
+}
+
+const AttributeIndex* IndexManager::FindIndex(
+    ClassId cls, const std::string& attribute) const {
+  const SchemaManager* schema = objects_->schema();
+  const AttributeIndex* best = nullptr;
+  for (const auto& index : indexes_) {
+    if (index->attribute() != attribute) {
+      continue;
+    }
+    // The index covers `cls` if it was built on `cls` or a superclass.
+    if (schema->IsSubclassOf(cls, index->cls())) {
+      if (best == nullptr || schema->IsSubclassOf(index->cls(), best->cls())) {
+        best = index.get();  // prefer the most specific covering index
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace orion

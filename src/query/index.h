@@ -1,0 +1,90 @@
+#ifndef ORION_QUERY_INDEX_H_
+#define ORION_QUERY_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_manager.h"
+
+namespace orion {
+
+/// An equality index over one attribute of one class (and its subclasses),
+/// maintained incrementally through the ObjectManager observer hook.
+///
+/// Keys are scalar values; a set-valued attribute indexes every element
+/// (multi-key), so equality lookups have "contains" semantics for sets,
+/// matching the query engine.  Nil values are not indexed.
+class AttributeIndex : public ObjectObserver {
+ public:
+  /// Builds the index from the current extent and registers for updates.
+  AttributeIndex(ObjectManager* objects, ClassId cls, std::string attribute);
+  ~AttributeIndex() override;
+
+  AttributeIndex(const AttributeIndex&) = delete;
+  AttributeIndex& operator=(const AttributeIndex&) = delete;
+
+  ClassId cls() const { return cls_; }
+  const std::string& attribute() const { return attribute_; }
+
+  /// UIDs of instances whose attribute equals `value` (or, for set-valued
+  /// attributes, contains it), sorted.
+  std::vector<Uid> Lookup(const Value& value) const;
+
+  /// Number of (key, uid) postings.
+  size_t entry_count() const;
+
+  /// Distinct keys.
+  size_t key_count() const { return postings_.size(); }
+
+  // --- ObjectObserver --------------------------------------------------------
+  void OnCreate(const Object& object) override;
+  void OnUpdate(const Object& object, const std::string& attribute,
+                const Value& old_value) override;
+  void OnDelete(const Object& object) override;
+
+ private:
+  bool Covers(const Object& object) const;
+  void IndexValue(Uid uid, const Value& value);
+  void UnindexValue(Uid uid, const Value& value);
+
+  ObjectManager* objects_;
+  ClassId cls_;
+  std::string attribute_;
+  /// Canonical key encoding -> posting set.  Value lacks operator< and
+  /// hashing; the deterministic ToString encoding is the key.
+  std::map<std::string, std::set<Uid>> postings_;
+};
+
+/// Owns the indexes of one database and picks them up for query planning.
+class IndexManager {
+ public:
+  explicit IndexManager(ObjectManager* objects) : objects_(objects) {}
+
+  /// Creates an index on (cls, attribute).  Rejects duplicates and unknown
+  /// classes/attributes.
+  Status CreateIndex(ClassId cls, const std::string& attribute);
+
+  /// Drops an index.
+  Status DropIndex(ClassId cls, const std::string& attribute);
+
+  /// The index exactly matching (cls, attribute), or one on a superclass
+  /// of `cls` for the same attribute (its postings cover the subclass
+  /// extent too); nullptr if none.
+  const AttributeIndex* FindIndex(ClassId cls,
+                                  const std::string& attribute) const;
+
+  size_t index_count() const { return indexes_.size(); }
+
+ private:
+  ObjectManager* objects_;
+  std::vector<std::unique_ptr<AttributeIndex>> indexes_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_QUERY_INDEX_H_

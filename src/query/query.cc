@@ -1,0 +1,313 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "query/traversal.h"
+
+namespace orion {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Three-valued scalar comparison; nullopt when the values are not
+/// comparable (different types; only integer/real cross-compare).
+std::optional<int> CompareScalars(const Value& a, const Value& b) {
+  auto cmp = [](auto x, auto y) { return x < y ? -1 : (x > y ? 1 : 0); };
+  if (a.type() == ValueType::kInteger && b.type() == ValueType::kInteger) {
+    return cmp(a.integer(), b.integer());
+  }
+  if ((a.type() == ValueType::kInteger || a.type() == ValueType::kReal) &&
+      (b.type() == ValueType::kInteger || b.type() == ValueType::kReal)) {
+    const double x = a.type() == ValueType::kInteger
+                         ? static_cast<double>(a.integer())
+                         : a.real();
+    const double y = b.type() == ValueType::kInteger
+                         ? static_cast<double>(b.integer())
+                         : b.real();
+    return cmp(x, y);
+  }
+  if (a.type() == ValueType::kString && b.type() == ValueType::kString) {
+    return cmp(a.string(), b.string());
+  }
+  if (a.type() == ValueType::kRef && b.type() == ValueType::kRef) {
+    return cmp(a.ref().raw, b.ref().raw);
+  }
+  return std::nullopt;
+}
+
+bool ScalarSatisfies(const Value& lhs, CompareOp op, const Value& rhs) {
+  const std::optional<int> c = CompareScalars(lhs, rhs);
+  if (!c.has_value()) {
+    // Incomparable values satisfy only inequality.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return *c == 0;
+    case CompareOp::kNe:
+      return *c != 0;
+    case CompareOp::kLt:
+      return *c < 0;
+    case CompareOp::kLe:
+      return *c <= 0;
+    case CompareOp::kGt:
+      return *c > 0;
+    case CompareOp::kGe:
+      return *c >= 0;
+  }
+  return false;
+}
+
+/// Exists-semantics over possibly-set values: a set satisfies if any
+/// element does; Nil satisfies nothing (not even !=).
+bool ValueSatisfies(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null()) {
+    return false;
+  }
+  if (lhs.is_set()) {
+    return std::any_of(lhs.set().begin(), lhs.set().end(),
+                       [&](const Value& e) {
+                         return !e.is_null() && ScalarSatisfies(e, op, rhs);
+                       });
+  }
+  return ScalarSatisfies(lhs, op, rhs);
+}
+
+class CompareExpr final : public QueryExpr {
+ public:
+  CompareExpr(std::string attribute, CompareOp op, Value value)
+      : attribute_(std::move(attribute)), op_(op), value_(std::move(value)) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    (void)om;
+    return ValueSatisfies(obj.Get(attribute_), op_, value_);
+  }
+
+  const std::string& attribute() const { return attribute_; }
+  CompareOp op() const { return op_; }
+  const Value& value() const { return value_; }
+
+ private:
+  std::string attribute_;
+  CompareOp op_;
+  Value value_;
+};
+
+class PathExpr final : public QueryExpr {
+ public:
+  PathExpr(std::vector<std::string> path, CompareOp op, Value value)
+      : path_(std::move(path)), op_(op), value_(std::move(value)) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    if (path_.empty()) {
+      return Status::InvalidArgument("empty query path");
+    }
+    return MatchesFrom(om, obj, 0);
+  }
+
+ private:
+  Result<bool> MatchesFrom(ObjectManager& om, const Object& obj,
+                           size_t step) const {
+    if (step + 1 == path_.size()) {
+      return ValueSatisfies(obj.Get(path_[step]), op_, value_);
+    }
+    // Intermediate step: follow every reference (exists semantics).
+    for (Uid next : obj.Get(path_[step]).ReferencedUids()) {
+      const Object* target = om.Peek(next);
+      if (target == nullptr) {
+        continue;
+      }
+      ORION_ASSIGN_OR_RETURN(bool hit, MatchesFrom(om, *target, step + 1));
+      if (hit) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::string> path_;
+  CompareOp op_;
+  Value value_;
+};
+
+class ComponentOfQuery final : public QueryExpr {
+ public:
+  explicit ComponentOfQuery(Uid ancestor) : ancestor_(ancestor) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    return ComponentOf(om, obj.uid(), ancestor_);
+  }
+
+ private:
+  Uid ancestor_;
+};
+
+class AndExpr final : public QueryExpr {
+ public:
+  explicit AndExpr(std::vector<QueryPtr> operands)
+      : operands_(std::move(operands)) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    for (const QueryPtr& operand : operands_) {
+      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(om, obj));
+      if (!hit) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::vector<QueryPtr>& operands() const { return operands_; }
+
+ private:
+  std::vector<QueryPtr> operands_;
+};
+
+class OrExpr final : public QueryExpr {
+ public:
+  explicit OrExpr(std::vector<QueryPtr> operands)
+      : operands_(std::move(operands)) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    for (const QueryPtr& operand : operands_) {
+      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(om, obj));
+      if (hit) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<QueryPtr> operands_;
+};
+
+class NotExpr final : public QueryExpr {
+ public:
+  explicit NotExpr(QueryPtr operand) : operand_(std::move(operand)) {}
+
+  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+    ORION_ASSIGN_OR_RETURN(bool hit, operand_->Matches(om, obj));
+    return !hit;
+  }
+
+ private:
+  QueryPtr operand_;
+};
+
+/// Finds an indexable equality comparison in `expr` (the expression itself
+/// or a direct conjunct).
+const CompareExpr* FindIndexableEquality(const QueryExpr* expr) {
+  if (const auto* cmp = dynamic_cast<const CompareExpr*>(expr)) {
+    return cmp->op() == CompareOp::kEq ? cmp : nullptr;
+  }
+  if (const auto* conj = dynamic_cast<const AndExpr*>(expr)) {
+    for (const QueryPtr& operand : conj->operands()) {
+      if (const auto* hit = FindIndexableEquality(operand.get())) {
+        return hit;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+QueryPtr Compare(std::string attribute, CompareOp op, Value value) {
+  return std::make_shared<CompareExpr>(std::move(attribute), op,
+                                       std::move(value));
+}
+
+QueryPtr Path(std::vector<std::string> path, CompareOp op, Value value) {
+  return std::make_shared<PathExpr>(std::move(path), op, std::move(value));
+}
+
+QueryPtr ComponentOfExpr(Uid ancestor) {
+  return std::make_shared<ComponentOfQuery>(ancestor);
+}
+
+QueryPtr And(std::vector<QueryPtr> operands) {
+  return std::make_shared<AndExpr>(std::move(operands));
+}
+
+QueryPtr Or(std::vector<QueryPtr> operands) {
+  return std::make_shared<OrExpr>(std::move(operands));
+}
+
+QueryPtr Not(QueryPtr operand) {
+  return std::make_shared<NotExpr>(std::move(operand));
+}
+
+Result<std::vector<Uid>> SelectWithStats(ObjectManager& om, ClassId cls,
+                                         const QueryPtr& expr,
+                                         const IndexManager* indexes,
+                                         SelectStats* stats) {
+  if (om.schema()->GetClass(cls) == nullptr) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null query expression");
+  }
+  std::vector<Uid> candidates;
+  bool used_index = false;
+  if (indexes != nullptr) {
+    if (const CompareExpr* eq = FindIndexableEquality(expr.get())) {
+      const AttributeIndex* index = indexes->FindIndex(cls, eq->attribute());
+      if (index != nullptr) {
+        candidates = index->Lookup(eq->value());
+        used_index = true;
+      }
+    }
+  }
+  if (!used_index) {
+    candidates = om.InstancesOfDeep(cls);
+  }
+  if (stats != nullptr) {
+    stats->used_index = used_index;
+    stats->candidates = candidates.size();
+  }
+  std::vector<Uid> out;
+  const SchemaManager* schema = om.schema();
+  for (Uid uid : candidates) {
+    const Object* obj = om.Peek(uid);
+    if (obj == nullptr) {
+      continue;
+    }
+    // A superclass index may return siblings outside the queried class.
+    if (used_index && !schema->IsSubclassOf(obj->class_id(), cls)) {
+      continue;
+    }
+    ORION_ASSIGN_OR_RETURN(bool hit, expr->Matches(om, *obj));
+    if (hit) {
+      out.push_back(uid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<std::vector<Uid>> Select(ObjectManager& om, ClassId cls,
+                                const QueryPtr& expr,
+                                const IndexManager* indexes) {
+  return SelectWithStats(om, cls, expr, indexes, nullptr);
+}
+
+}  // namespace orion

@@ -1,0 +1,81 @@
+#ifndef ORION_QUERY_QUERY_H_
+#define ORION_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_manager.h"
+#include "query/index.h"
+
+namespace orion {
+
+/// Comparison operators for attribute predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string_view CompareOpName(CompareOp op);
+
+/// A predicate over one object — the associative half of an ORION-style
+/// query (the navigational half is §3's components-of family).
+///
+/// Expressions form a small algebra:
+///   Compare(attr, op, value)       attribute comparison; set-valued
+///                                  attributes use exists-semantics (true
+///                                  if any element satisfies)
+///   Path({a1, a2, ...}, op, value) path expression: follow references
+///                                  a1, a2, ... (weak or composite; sets
+///                                  fan out) and compare the final
+///                                  attribute — the classic OODB
+///                                  "implicit join"
+///   ComponentOfExpr(ancestor)      true if the object is a direct or
+///                                  indirect component of `ancestor` —
+///                                  ties the query engine to the
+///                                  IS-PART-OF semantics
+///   And / Or / Not                 boolean combinators
+class QueryExpr {
+ public:
+  virtual ~QueryExpr() = default;
+  /// Evaluates against one object.
+  virtual Result<bool> Matches(ObjectManager& om, const Object& obj) const = 0;
+};
+
+using QueryPtr = std::shared_ptr<const QueryExpr>;
+
+/// Attribute comparison.
+QueryPtr Compare(std::string attribute, CompareOp op, Value value);
+/// Path expression: the last element of `path` is the compared attribute;
+/// the preceding elements are reference attributes to traverse.
+QueryPtr Path(std::vector<std::string> path, CompareOp op, Value value);
+/// IS-PART-OF predicate.
+QueryPtr ComponentOfExpr(Uid ancestor);
+QueryPtr And(std::vector<QueryPtr> operands);
+QueryPtr Or(std::vector<QueryPtr> operands);
+QueryPtr Not(QueryPtr operand);
+
+/// Associative query over the extent of `cls` (subclass instances
+/// included): returns the UIDs of instances matching `expr`, sorted.
+///
+/// Planning: when `indexes` is given and `expr` is — or conjoins — an
+/// equality comparison with an index on (cls-or-superclass, attribute),
+/// the candidate set comes from the index and only the residual predicate
+/// is evaluated; otherwise the extent is scanned.
+Result<std::vector<Uid>> Select(ObjectManager& om, ClassId cls,
+                                const QueryPtr& expr,
+                                const IndexManager* indexes = nullptr);
+
+/// Statistics of the last planning decision (testing/bench aid).
+struct SelectStats {
+  bool used_index = false;
+  size_t candidates = 0;
+};
+
+/// Select with planning statistics reported.
+Result<std::vector<Uid>> SelectWithStats(ObjectManager& om, ClassId cls,
+                                         const QueryPtr& expr,
+                                         const IndexManager* indexes,
+                                         SelectStats* stats);
+
+}  // namespace orion
+
+#endif  // ORION_QUERY_QUERY_H_

@@ -1,0 +1,205 @@
+#include "query/traversal.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace orion {
+
+namespace {
+
+bool EdgePasses(const TraversalOptions& opts, bool edge_exclusive) {
+  if (opts.exclusive && !opts.shared) {
+    return edge_exclusive;
+  }
+  if (opts.shared && !opts.exclusive) {
+    return !edge_exclusive;
+  }
+  return true;
+}
+
+bool ClassPasses(const ObjectManager& om, const TraversalOptions& opts,
+                 Uid uid) {
+  if (opts.classes.empty()) {
+    return true;
+  }
+  const Object* obj = om.Peek(uid);
+  if (obj == nullptr) {
+    return false;
+  }
+  const SchemaManager* schema = om.schema();
+  return std::any_of(opts.classes.begin(), opts.classes.end(),
+                     [&](ClassId c) {
+                       return schema->IsSubclassOf(obj->class_id(), c);
+                     });
+}
+
+/// Composite parents of one object, with the edge kind.  Includes the
+/// generic references of a generic instance (§5.3).
+std::vector<std::pair<Uid, bool /*exclusive*/>> ParentEdges(
+    ObjectManager& om, Uid uid) {
+  std::vector<std::pair<Uid, bool>> out;
+  Object* obj = om.Peek(uid);
+  if (obj == nullptr) {
+    return out;
+  }
+  (void)om.CatchUp(obj);
+  for (const ReverseRef& r : obj->reverse_refs()) {
+    out.emplace_back(r.parent, r.exclusive);
+  }
+  for (const GenericRef& g : obj->generic_refs()) {
+    out.emplace_back(g.parent, g.exclusive);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
+                                      const TraversalOptions& opts) {
+  if (om.Peek(object) == nullptr) {
+    return Status::NotFound("object " + object.ToString());
+  }
+  std::vector<Uid> out;
+  std::unordered_set<Uid> visited{object};
+  // (uid, depth) pairs; depth of direct components is 1.
+  std::deque<std::pair<Uid, int>> frontier{{object, 0}};
+  while (!frontier.empty()) {
+    auto [cur, depth] = frontier.front();
+    frontier.pop_front();
+    if (opts.level.has_value() && depth >= *opts.level) {
+      continue;
+    }
+    auto comps = om.DirectComponents(cur);
+    if (!comps.ok()) {
+      continue;
+    }
+    for (const auto& [child, spec] : *comps) {
+      if (!EdgePasses(opts, spec.exclusive)) {
+        continue;
+      }
+      if (!visited.insert(child).second) {
+        continue;
+      }
+      if (ClassPasses(om, opts, child)) {
+        out.push_back(child);
+      }
+      frontier.emplace_back(child, depth + 1);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Uid>> ParentsOf(ObjectManager& om, Uid object,
+                                   const TraversalOptions& opts) {
+  if (om.Peek(object) == nullptr) {
+    return Status::NotFound("object " + object.ToString());
+  }
+  std::vector<Uid> out;
+  std::unordered_set<Uid> seen;
+  for (const auto& [parent, exclusive] : ParentEdges(om, object)) {
+    if (!EdgePasses(opts, exclusive)) {
+      continue;
+    }
+    if (!seen.insert(parent).second) {
+      continue;
+    }
+    if (ClassPasses(om, opts, parent)) {
+      out.push_back(parent);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
+                                     const TraversalOptions& opts) {
+  if (om.Peek(object) == nullptr) {
+    return Status::NotFound("object " + object.ToString());
+  }
+  std::vector<Uid> out;
+  std::unordered_set<Uid> visited{object};
+  std::deque<Uid> frontier{object};
+  while (!frontier.empty()) {
+    const Uid cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [parent, exclusive] : ParentEdges(om, cur)) {
+      if (!EdgePasses(opts, exclusive)) {
+        continue;
+      }
+      if (!visited.insert(parent).second) {
+        continue;
+      }
+      if (ClassPasses(om, opts, parent)) {
+        out.push_back(parent);
+      }
+      frontier.push_back(parent);
+    }
+  }
+  return out;
+}
+
+Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
+                                          Uid ancestor) {
+  if (om.Peek(component) == nullptr || om.Peek(ancestor) == nullptr) {
+    return Status::NotFound("object does not exist");
+  }
+  // Breadth-first upward from the component gives the shortest path in
+  // composite references.
+  std::unordered_set<Uid> visited{component};
+  std::deque<std::pair<Uid, int>> frontier{{component, 0}};
+  while (!frontier.empty()) {
+    auto [cur, depth] = frontier.front();
+    frontier.pop_front();
+    if (cur == ancestor) {
+      return std::optional<int>(depth);
+    }
+    for (const auto& [parent, exclusive] : ParentEdges(om, cur)) {
+      (void)exclusive;
+      if (visited.insert(parent).second) {
+        frontier.emplace_back(parent, depth + 1);
+      }
+    }
+  }
+  return std::optional<int>(std::nullopt);
+}
+
+Result<bool> ComponentOf(ObjectManager& om, Uid object1, Uid object2) {
+  ORION_ASSIGN_OR_RETURN(std::optional<int> level,
+                         ComponentLevel(om, object1, object2));
+  return level.has_value() && *level > 0;
+}
+
+Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2) {
+  Object* obj = om.Peek(object1);
+  if (obj == nullptr || om.Peek(object2) == nullptr) {
+    return Status::NotFound("object does not exist");
+  }
+  for (const auto& [parent, exclusive] : ParentEdges(om, object1)) {
+    (void)exclusive;
+    if (parent == object2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> ExclusiveComponentOf(ObjectManager& om, Uid object1,
+                                  Uid object2) {
+  ORION_ASSIGN_OR_RETURN(bool is_component, ComponentOf(om, object1, object2));
+  if (!is_component) {
+    return false;
+  }
+  Object* obj = om.Peek(object1);
+  return obj != nullptr && obj->HasExclusiveParent();
+}
+
+Result<bool> SharedComponentOf(ObjectManager& om, Uid object1, Uid object2) {
+  ORION_ASSIGN_OR_RETURN(bool is_component, ComponentOf(om, object1, object2));
+  if (!is_component) {
+    return false;
+  }
+  Object* obj = om.Peek(object1);
+  return obj != nullptr && !obj->HasExclusiveParent();
+}
+
+}  // namespace orion

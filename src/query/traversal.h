@@ -1,0 +1,78 @@
+#ifndef ORION_QUERY_TRAVERSAL_H_
+#define ORION_QUERY_TRAVERSAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_manager.h"
+
+namespace orion {
+
+/// Optional arguments of the §3.1 messages.
+struct TraversalOptions {
+  /// `ListofClasses`: restrict the result to instances of these classes
+  /// (reflexive subclass test).  Empty = no restriction.
+  std::vector<ClassId> classes;
+  /// `Exclusive`: only follow / report exclusive composite references.
+  bool exclusive = false;
+  /// `Shared`: only follow / report shared composite references.
+  /// "If both Exclusive and Shared are Nil, all components are retrieved."
+  bool shared = false;
+  /// `Level`: "return components of a given object up to the specified
+  /// Level" (1 = direct children).  nullopt = unlimited.
+  std::optional<int> level;
+};
+
+/// `(components-of Object [ListofClasses] [Exclusive] [Shared] [Level])`.
+///
+/// Breadth-first over composite forward references; an edge is traversed
+/// only if its exclusive/shared kind passes the filter, so with
+/// `exclusive = true` the result is the exclusive part hierarchy.
+/// The class filter applies to reported objects, not to traversal.
+Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
+                                      const TraversalOptions& opts = {});
+
+/// `(parents-of Object [ListofClasses] [Exclusive] [Shared])`.
+///
+/// Parents come from the reverse composite references; for a generic
+/// instance the reverse composite *generic* references contribute as well —
+/// "if the operation parents-of is applied on the generic instance b1 in
+/// Figure 3.b, the result would be the instance a1, even if all composite
+/// references are statically bound" (§5.3).
+Result<std::vector<Uid>> ParentsOf(ObjectManager& om, Uid object,
+                                   const TraversalOptions& opts = {});
+
+/// `(ancestors-of Object [ListofClasses] [Exclusive] [Shared])`.
+Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
+                                     const TraversalOptions& opts = {});
+
+/// §2.2: "we say that O is a level-n component of O' if the shortest path
+/// between O and O' has n composite references."  nullopt if `component`
+/// is not a component of `ancestor`.
+Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
+                                          Uid ancestor);
+
+// --- §3.2 instance predicates -----------------------------------------------
+
+/// `(component-of Object1 Object2)`: true if Object1 is a direct or
+/// indirect component of Object2.
+Result<bool> ComponentOf(ObjectManager& om, Uid object1, Uid object2);
+
+/// `(child-of Object1 Object2)`: true if Object1 is a direct component.
+Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2);
+
+/// `(exclusive-component-of Object1 Object2)`: "True if Object1 is an
+/// exclusive component of Object2; Nil if either Object1 is not a component
+/// of Object2, or it is a shared component."  (Topology Rule 3 makes an
+/// object's attachment uniformly exclusive or shared, so the object's own
+/// reverse references decide the kind.)
+Result<bool> ExclusiveComponentOf(ObjectManager& om, Uid object1,
+                                  Uid object2);
+
+/// `(shared-component-of Object1 Object2)`.
+Result<bool> SharedComponentOf(ObjectManager& om, Uid object1, Uid object2);
+
+}  // namespace orion
+
+#endif  // ORION_QUERY_TRAVERSAL_H_

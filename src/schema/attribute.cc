@@ -1,0 +1,42 @@
+#include "schema/attribute.h"
+
+namespace orion {
+
+std::string_view RefKindName(RefKind kind) {
+  switch (kind) {
+    case RefKind::kWeak:
+      return "weak";
+    case RefKind::kDependentExclusive:
+      return "dependent-exclusive";
+    case RefKind::kIndependentExclusive:
+      return "independent-exclusive";
+    case RefKind::kDependentShared:
+      return "dependent-shared";
+    case RefKind::kIndependentShared:
+      return "independent-shared";
+  }
+  return "unknown";
+}
+
+AttributeSpec WeakAttr(std::string name, std::string domain, bool is_set) {
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.domain = std::move(domain);
+  spec.is_set = is_set;
+  spec.composite = false;
+  return spec;
+}
+
+AttributeSpec CompositeAttr(std::string name, std::string domain,
+                            bool exclusive, bool dependent, bool is_set) {
+  AttributeSpec spec;
+  spec.name = std::move(name);
+  spec.domain = std::move(domain);
+  spec.is_set = is_set;
+  spec.composite = true;
+  spec.exclusive = exclusive;
+  spec.dependent = dependent;
+  return spec;
+}
+
+}  // namespace orion

@@ -1,0 +1,87 @@
+#ifndef ORION_SCHEMA_ATTRIBUTE_H_
+#define ORION_SCHEMA_ATTRIBUTE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/value.h"
+
+namespace orion {
+
+/// The five reference kinds of §2.1.
+///
+/// "A weak reference is the standard reference in object-oriented systems
+/// and carries no special semantics.  A composite reference is a weak
+/// reference augmented with the IS-PART-OF relationship", refined by
+/// exclusive/shared and dependent/independent.
+enum class RefKind {
+  kWeak = 0,
+  kDependentExclusive,    // the only kind supported by [KIM87b]
+  kIndependentExclusive,
+  kDependentShared,
+  kIndependentShared,
+};
+
+std::string_view RefKindName(RefKind kind);
+
+/// Attribute specification (§2.3 syntax extensions).
+///
+/// Mirrors the extended ORION attribute keywords:
+/// `:domain`, `set-of`, `:composite`, `:exclusive`, `:dependent`, with the
+/// paper's defaults — "The default value for both the exclusive and
+/// dependent keywords is True (to be compatible with ... ORION)."
+struct AttributeSpec {
+  std::string name;
+  /// Domain class name.  The primitive domains are "integer", "real" and
+  /// "string"; "any" is unconstrained.  Non-primitive domains may name a
+  /// class defined later (Example 2 defines Document before Section).
+  std::string domain = "any";
+  /// True for `(set-of Domain)` attributes.
+  bool is_set = false;
+  /// True if the reference is composite (carries IS-PART-OF).
+  bool composite = false;
+  /// Exclusive vs shared composite reference (ignored unless composite).
+  bool exclusive = true;
+  /// Dependent vs independent composite reference (ignored unless composite).
+  bool dependent = true;
+  /// `:init` default value for new instances.
+  Value initial = Value::Null();
+  /// `:document` free-form documentation string.
+  std::string documentation;
+
+  /// The §2.1 reference kind encoded by the flags.
+  RefKind kind() const {
+    if (!composite) {
+      return RefKind::kWeak;
+    }
+    if (exclusive) {
+      return dependent ? RefKind::kDependentExclusive
+                       : RefKind::kIndependentExclusive;
+    }
+    return dependent ? RefKind::kDependentShared
+                     : RefKind::kIndependentShared;
+  }
+
+  bool is_composite() const { return composite; }
+  bool is_exclusive_composite() const { return composite && exclusive; }
+  bool is_shared_composite() const { return composite && !exclusive; }
+  bool is_dependent_composite() const { return composite && dependent; }
+
+  /// True if `domain` is one of the primitive class names.
+  bool has_primitive_domain() const {
+    return domain == "integer" || domain == "real" || domain == "string" ||
+           domain == "any";
+  }
+};
+
+/// Convenience builders so call sites read like the paper's class
+/// definitions.
+AttributeSpec WeakAttr(std::string name, std::string domain,
+                       bool is_set = false);
+AttributeSpec CompositeAttr(std::string name, std::string domain,
+                            bool exclusive, bool dependent,
+                            bool is_set = false);
+
+}  // namespace orion
+
+#endif  // ORION_SCHEMA_ATTRIBUTE_H_

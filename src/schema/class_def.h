@@ -1,0 +1,65 @@
+#ifndef ORION_SCHEMA_CLASS_DEF_H_
+#define ORION_SCHEMA_CLASS_DEF_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "schema/attribute.h"
+#include "storage/object_store.h"
+
+namespace orion {
+
+/// Identifier of a class in the lattice.  0 is invalid.
+using ClassId = uint32_t;
+
+inline constexpr ClassId kInvalidClass = 0;
+
+/// A class in the ORION class lattice.
+///
+/// Carries the locally defined attributes; inherited attributes are resolved
+/// by `SchemaManager::ResolvedAttributes` following the superclass order
+/// (first superclass wins on a name conflict, the ORION default rule).
+struct ClassDef {
+  ClassId id = kInvalidClass;
+  std::string name;
+  /// Direct superclasses, in declaration order.
+  std::vector<ClassId> superclasses;
+  /// Attributes defined directly on this class.
+  std::vector<AttributeSpec> own_attributes;
+  /// §5.1: "ORION allows the user to optionally declare a class to be
+  /// versionable, in which case an instance of the class is a versionable
+  /// object."
+  bool versionable = false;
+  /// Segment holding instances of this class (clustering precondition §2.3).
+  SegmentId segment = kInvalidSegment;
+  /// True once the class has been dropped (ids are never reused).
+  bool dropped = false;
+  /// §4.1 change (2): "change the inheritance (parent) of an attribute" —
+  /// for each listed name, resolution takes the definition from the given
+  /// superclass instead of following the default first-superclass order.
+  std::vector<std::pair<std::string, ClassId>> inheritance_overrides;
+
+  /// Pointer to the locally defined attribute, or nullptr.
+  const AttributeSpec* FindOwnAttribute(const std::string& attr_name) const {
+    for (const AttributeSpec& spec : own_attributes) {
+      if (spec.name == attr_name) {
+        return &spec;
+      }
+    }
+    return nullptr;
+  }
+  AttributeSpec* FindOwnAttribute(const std::string& attr_name) {
+    for (AttributeSpec& spec : own_attributes) {
+      if (spec.name == attr_name) {
+        return &spec;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace orion
+
+#endif  // ORION_SCHEMA_CLASS_DEF_H_

@@ -1,0 +1,19 @@
+#include "schema/operation_log.h"
+
+namespace orion {
+
+std::string_view TypeChangeName(TypeChange change) {
+  switch (change) {
+    case TypeChange::kToWeak:
+      return "I1:composite->weak";
+    case TypeChange::kToShared:
+      return "I2:exclusive->shared";
+    case TypeChange::kToIndependent:
+      return "I3:dependent->independent";
+    case TypeChange::kToDependent:
+      return "I4:independent->dependent";
+  }
+  return "unknown";
+}
+
+}  // namespace orion

@@ -1,0 +1,90 @@
+#ifndef ORION_SCHEMA_OPERATION_LOG_H_
+#define ORION_SCHEMA_OPERATION_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/class_def.h"
+
+namespace orion {
+
+/// The four state-independent attribute-type changes of §4.2.
+enum class TypeChange {
+  /// I1: composite attribute -> non-composite attribute.
+  kToWeak,
+  /// I2: exclusive composite -> shared composite.
+  kToShared,
+  /// I3: dependent composite -> independent composite.
+  kToIndependent,
+  /// I4: independent composite -> dependent composite.
+  kToDependent,
+};
+
+std::string_view TypeChangeName(TypeChange change);
+
+/// One deferred change recorded against a domain class (§4.3).
+///
+/// "An operation log for a class C maintains, for each change, the change
+/// type and change count (CC), as well as the identifier of the class of
+/// whose attribute C is the domain."  We additionally record the attribute
+/// name (reverse references carry it, so two attributes of one referencing
+/// class with the same domain stay distinct) and the complete target flags,
+/// so replay is idempotent even when one change folds several flag updates.
+struct LogEntry {
+  uint64_t cc = 0;
+  TypeChange change = TypeChange::kToWeak;
+  /// The class C' whose attribute was changed.
+  ClassId referencing_class = kInvalidClass;
+  /// The attribute A of C' that was changed.
+  std::string attribute;
+  /// Target reference flags of A after the change.
+  bool to_composite = false;
+  bool to_exclusive = false;
+  bool to_dependent = false;
+};
+
+/// Deferred-maintenance log for one domain class C (§4.3).
+///
+/// "The CC is also a system-defined attribute of the class C; each instance
+/// of C carries a value for CC ... When an instance of C is accessed, the CC
+/// of the instance is checked against the CC in the operation log: if
+/// CC(instance) < CC(class), then the flags in the reverse composite
+/// references in the instance must be modified."
+///
+/// CC values are issued by `SchemaManager` from one global counter so that a
+/// single per-instance CC orders entries across the logs of a class and all
+/// its superclasses.
+class OperationLog {
+ public:
+  /// Appends a change stamped with `cc` (strictly increasing per manager).
+  void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// The latest CC recorded (0 if the log is empty).
+  uint64_t current_cc() const {
+    return entries_.empty() ? 0 : entries_.back().cc;
+  }
+
+  /// Entries with CC strictly greater than `instance_cc`, in CC order —
+  /// "the changes that must be made are the ones with a CC which is greater
+  /// than the CC of the instance."
+  std::vector<const LogEntry*> PendingSince(uint64_t instance_cc) const {
+    std::vector<const LogEntry*> out;
+    for (const LogEntry& e : entries_) {
+      if (e.cc > instance_cc) {
+        out.push_back(&e);
+      }
+    }
+    return out;
+  }
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SCHEMA_OPERATION_LOG_H_

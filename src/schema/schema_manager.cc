@@ -1,0 +1,527 @@
+#include "schema/schema_manager.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace orion {
+
+namespace {
+
+bool IsPrimitiveDomain(const std::string& name) {
+  return name == "integer" || name == "real" || name == "string" ||
+         name == "any";
+}
+
+}  // namespace
+
+Result<ClassId> SchemaManager::MakeClass(const ClassSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("class name must not be empty");
+  }
+  if (IsPrimitiveDomain(spec.name)) {
+    return Status::InvalidArgument("'" + spec.name +
+                                   "' is a reserved primitive class name");
+  }
+  if (by_name_.count(spec.name) > 0) {
+    return Status::AlreadyExists("class '" + spec.name + "' already exists");
+  }
+  std::vector<ClassId> supers;
+  for (const std::string& super_name : spec.superclasses) {
+    auto super = FindClass(super_name);
+    if (!super.ok()) {
+      return Status::NotFound("superclass '" + super_name + "' of '" +
+                              spec.name + "' does not exist");
+    }
+    supers.push_back(*super);
+  }
+  std::unordered_set<std::string> seen;
+  for (const AttributeSpec& attr : spec.attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + attr.name +
+                                     "' on class '" + spec.name + "'");
+    }
+  }
+
+  ClassDef def;
+  def.id = static_cast<ClassId>(classes_.size() + 1);
+  def.name = spec.name;
+  def.superclasses = std::move(supers);
+  def.own_attributes = spec.attributes;
+  def.versionable = spec.versionable;
+  if (spec.segment != kInvalidSegment) {
+    def.segment = spec.segment;
+  } else if (store_ != nullptr) {
+    def.segment = store_->CreateSegment("seg:" + spec.name);
+  }
+  by_name_[def.name] = def.id;
+  classes_.push_back(std::move(def));
+  return classes_.back().id;
+}
+
+Result<ClassId> SchemaManager::FindClass(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("class '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+const ClassDef* SchemaManager::GetClass(ClassId id) const {
+  if (id == kInvalidClass || id > classes_.size()) {
+    return nullptr;
+  }
+  const ClassDef& def = classes_[id - 1];
+  return def.dropped ? nullptr : &def;
+}
+
+ClassDef* SchemaManager::MutableClass(ClassId id) {
+  if (id == kInvalidClass || id > classes_.size()) {
+    return nullptr;
+  }
+  ClassDef& def = classes_[id - 1];
+  return def.dropped ? nullptr : &def;
+}
+
+size_t SchemaManager::live_class_count() const {
+  size_t n = 0;
+  for (const ClassDef& def : classes_) {
+    if (!def.dropped) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool SchemaManager::IsSubclassOf(ClassId sub, ClassId super) const {
+  if (GetClass(sub) == nullptr || GetClass(super) == nullptr) {
+    return false;
+  }
+  if (sub == super) {
+    return true;
+  }
+  const ClassDef* def = GetClass(sub);
+  for (ClassId parent : def->superclasses) {
+    if (IsSubclassOf(parent, super)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ClassId> SchemaManager::DirectSubclasses(ClassId id) const {
+  std::vector<ClassId> out;
+  for (const ClassDef& def : classes_) {
+    if (def.dropped) {
+      continue;
+    }
+    if (std::find(def.superclasses.begin(), def.superclasses.end(), id) !=
+        def.superclasses.end()) {
+      out.push_back(def.id);
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> SchemaManager::SelfAndSubclasses(ClassId id) const {
+  std::vector<ClassId> out;
+  if (GetClass(id) == nullptr) {
+    return out;
+  }
+  std::unordered_set<ClassId> visited;
+  std::vector<ClassId> stack = {id};
+  while (!stack.empty()) {
+    ClassId cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    out.push_back(cur);
+    for (ClassId sub : DirectSubclasses(cur)) {
+      stack.push_back(sub);
+    }
+  }
+  return out;
+}
+
+bool SchemaManager::SatisfiesDomain(ClassId cls,
+                                    const std::string& domain_name) const {
+  if (domain_name == "any") {
+    return true;
+  }
+  auto domain = FindClass(domain_name);
+  if (!domain.ok()) {
+    return false;  // primitive or unknown domains admit no object instances
+  }
+  return IsSubclassOf(cls, *domain);
+}
+
+namespace {
+
+/// Recursive resolution honoring inheritance overrides: own attributes
+/// first, then overridden names from their designated superclasses, then
+/// the superclasses depth-first in declaration order.  The first
+/// definition of a name wins.
+void CollectResolved(const SchemaManager& schema, ClassId id,
+                     std::unordered_set<std::string>& seen,
+                     std::vector<std::pair<AttributeSpec, ClassId>>& out) {
+  const ClassDef* def = schema.GetClass(id);
+  if (def == nullptr) {
+    return;
+  }
+  for (const AttributeSpec& spec : def->own_attributes) {
+    if (seen.insert(spec.name).second) {
+      out.emplace_back(spec, id);
+    }
+  }
+  for (const auto& [name, source] : def->inheritance_overrides) {
+    if (seen.count(name) > 0) {
+      continue;
+    }
+    std::unordered_set<std::string> sub_seen;
+    std::vector<std::pair<AttributeSpec, ClassId>> sub;
+    CollectResolved(schema, source, sub_seen, sub);
+    for (auto& [spec, owner] : sub) {
+      if (spec.name == name) {
+        seen.insert(name);
+        out.emplace_back(std::move(spec), owner);
+        break;
+      }
+    }
+  }
+  for (ClassId super : def->superclasses) {
+    CollectResolved(schema, super, seen, out);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributes(
+    ClassId id) const {
+  if (GetClass(id) == nullptr) {
+    return Status::NotFound("class id " + std::to_string(id));
+  }
+  std::unordered_set<std::string> seen;
+  std::vector<std::pair<AttributeSpec, ClassId>> collected;
+  CollectResolved(*this, id, seen, collected);
+  std::vector<AttributeSpec> out;
+  out.reserve(collected.size());
+  for (auto& [spec, owner] : collected) {
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+Result<AttributeSpec> SchemaManager::ResolveAttribute(
+    ClassId id, const std::string& name) const {
+  ORION_ASSIGN_OR_RETURN(std::vector<AttributeSpec> attrs,
+                         ResolvedAttributes(id));
+  for (AttributeSpec& spec : attrs) {
+    if (spec.name == name) {
+      return std::move(spec);
+    }
+  }
+  const ClassDef* def = GetClass(id);
+  return Status::NotFound("class '" + (def ? def->name : "?") +
+                          "' has no attribute '" + name + "'");
+}
+
+Result<ClassId> SchemaManager::DefiningClass(ClassId id,
+                                             const std::string& name) const {
+  const ClassDef* def = GetClass(id);
+  if (def == nullptr) {
+    return Status::NotFound("class id " + std::to_string(id));
+  }
+  std::unordered_set<std::string> seen;
+  std::vector<std::pair<AttributeSpec, ClassId>> collected;
+  CollectResolved(*this, id, seen, collected);
+  for (const auto& [spec, owner] : collected) {
+    if (spec.name == name) {
+      return owner;
+    }
+  }
+  return Status::NotFound("class '" + def->name + "' has no attribute '" +
+                          name + "'");
+}
+
+namespace {
+
+Result<bool> PredicateOver(
+    const SchemaManager& schema, ClassId id,
+    const std::optional<std::string>& attr,
+    bool (*pred)(const AttributeSpec&)) {
+  if (attr.has_value()) {
+    auto spec = schema.ResolveAttribute(id, *attr);
+    if (!spec.ok()) {
+      return spec.status();
+    }
+    return pred(*spec);
+  }
+  auto attrs = schema.ResolvedAttributes(id);
+  if (!attrs.ok()) {
+    return attrs.status();
+  }
+  for (const AttributeSpec& spec : *attrs) {
+    if (pred(spec)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> SchemaManager::CompositeP(
+    ClassId id, const std::optional<std::string>& attr) const {
+  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+    return s.is_composite();
+  });
+}
+
+Result<bool> SchemaManager::ExclusiveCompositeP(
+    ClassId id, const std::optional<std::string>& attr) const {
+  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+    return s.is_exclusive_composite();
+  });
+}
+
+Result<bool> SchemaManager::SharedCompositeP(
+    ClassId id, const std::optional<std::string>& attr) const {
+  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+    return s.is_shared_composite();
+  });
+}
+
+Result<bool> SchemaManager::DependentCompositeP(
+    ClassId id, const std::optional<std::string>& attr) const {
+  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+    return s.is_dependent_composite();
+  });
+}
+
+Status SchemaManager::AddAttribute(ClassId id, AttributeSpec spec) {
+  ClassDef* def = MutableClass(id);
+  if (def == nullptr) {
+    return Status::NotFound("class id " + std::to_string(id));
+  }
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (def->FindOwnAttribute(spec.name) != nullptr) {
+    return Status::AlreadyExists("class '" + def->name +
+                                 "' already defines attribute '" + spec.name +
+                                 "'");
+  }
+  def->own_attributes.push_back(std::move(spec));
+  return Status::Ok();
+}
+
+Status SchemaManager::DropAttributeSchemaOnly(ClassId id,
+                                              const std::string& name) {
+  ClassDef* def = MutableClass(id);
+  if (def == nullptr) {
+    return Status::NotFound("class id " + std::to_string(id));
+  }
+  auto it = std::find_if(
+      def->own_attributes.begin(), def->own_attributes.end(),
+      [&name](const AttributeSpec& s) { return s.name == name; });
+  if (it == def->own_attributes.end()) {
+    return Status::NotFound("class '" + def->name +
+                            "' does not define attribute '" + name + "'");
+  }
+  def->own_attributes.erase(it);
+  return Status::Ok();
+}
+
+Status SchemaManager::CheckNoCycle(ClassId cls, ClassId new_superclass) const {
+  // Adding cls -> new_superclass creates a cycle iff cls is already an
+  // ancestor of new_superclass.
+  if (IsSubclassOf(new_superclass, cls)) {
+    return Status::FailedPrecondition(
+        "adding this superclass would create a cycle in the class lattice");
+  }
+  return Status::Ok();
+}
+
+Status SchemaManager::AddSuperclass(ClassId cls, ClassId superclass) {
+  ClassDef* def = MutableClass(cls);
+  if (def == nullptr || GetClass(superclass) == nullptr) {
+    return Status::NotFound("class does not exist");
+  }
+  if (std::find(def->superclasses.begin(), def->superclasses.end(),
+                superclass) != def->superclasses.end()) {
+    return Status::AlreadyExists("already a superclass");
+  }
+  ORION_RETURN_IF_ERROR(CheckNoCycle(cls, superclass));
+  def->superclasses.push_back(superclass);
+  return Status::Ok();
+}
+
+Status SchemaManager::RemoveSuperclassSchemaOnly(ClassId cls,
+                                                 ClassId superclass) {
+  ClassDef* def = MutableClass(cls);
+  if (def == nullptr) {
+    return Status::NotFound("class does not exist");
+  }
+  auto it =
+      std::find(def->superclasses.begin(), def->superclasses.end(), superclass);
+  if (it == def->superclasses.end()) {
+    return Status::NotFound("not a superclass");
+  }
+  def->superclasses.erase(it);
+  return Status::Ok();
+}
+
+Status SchemaManager::DropClassSchemaOnly(ClassId cls) {
+  ClassDef* def = MutableClass(cls);
+  if (def == nullptr) {
+    return Status::NotFound("class does not exist");
+  }
+  // "All subclasses of C become immediate subclasses of the superclasses
+  // of C."
+  for (ClassId sub_id : DirectSubclasses(cls)) {
+    ClassDef* sub = MutableClass(sub_id);
+    if (sub == nullptr) {
+      continue;
+    }
+    auto it = std::find(sub->superclasses.begin(), sub->superclasses.end(),
+                        cls);
+    if (it != sub->superclasses.end()) {
+      sub->superclasses.erase(it);
+    }
+    for (ClassId super : def->superclasses) {
+      if (super != sub_id &&
+          std::find(sub->superclasses.begin(), sub->superclasses.end(),
+                    super) == sub->superclasses.end()) {
+        sub->superclasses.push_back(super);
+      }
+    }
+  }
+  by_name_.erase(def->name);
+  def->dropped = true;
+  return Status::Ok();
+}
+
+Status SchemaManager::SetAttributeInheritanceSchemaOnly(
+    ClassId cls, const std::string& name, ClassId source) {
+  ClassDef* def = MutableClass(cls);
+  if (def == nullptr || GetClass(source) == nullptr) {
+    return Status::NotFound("class does not exist");
+  }
+  if (def->FindOwnAttribute(name) != nullptr) {
+    return Status::FailedPrecondition(
+        "class '" + def->name + "' defines '" + name +
+        "' locally; inheritance does not apply");
+  }
+  if (cls == source || !IsSubclassOf(cls, source)) {
+    return Status::InvalidArgument(
+        "the inheritance source must be a (transitive) superclass");
+  }
+  auto spec = ResolveAttribute(source, name);
+  if (!spec.ok()) {
+    return Status::NotFound("class '" + GetClass(source)->name +
+                            "' does not provide attribute '" + name + "'");
+  }
+  for (auto& [existing_name, existing_source] : def->inheritance_overrides) {
+    if (existing_name == name) {
+      existing_source = source;
+      return Status::Ok();
+    }
+  }
+  def->inheritance_overrides.emplace_back(name, source);
+  return Status::Ok();
+}
+
+Result<TypeChangeClass> SchemaManager::ClassifyTypeChange(
+    ClassId id, const std::string& attr, bool to_composite, bool to_exclusive,
+    bool to_dependent) const {
+  ORION_ASSIGN_OR_RETURN(AttributeSpec spec, ResolveAttribute(id, attr));
+  const bool from_composite = spec.composite;
+  const bool from_exclusive = spec.exclusive;
+  const bool from_dependent = spec.dependent;
+  if (from_composite == to_composite &&
+      (!to_composite || (from_exclusive == to_exclusive &&
+                         from_dependent == to_dependent))) {
+    return Status::InvalidArgument("attribute '" + attr +
+                                   "' already has the requested type");
+  }
+  TypeChangeClass out;
+  if (!to_composite) {
+    // I1: composite -> weak removes all constraints.
+    out.state_dependent = false;
+    out.independent_kind = TypeChange::kToWeak;
+    return out;
+  }
+  if (!from_composite) {
+    // D1 (weak -> exclusive composite) / D2 (weak -> shared composite): the
+    // new constraint must be verified against existing references.
+    out.state_dependent = true;
+    return out;
+  }
+  if (from_exclusive != to_exclusive) {
+    if (to_exclusive) {
+      // D3: shared -> exclusive adds a constraint (at most one reference).
+      out.state_dependent = true;
+      return out;
+    }
+    // I2: exclusive -> shared removes a constraint.  (A simultaneous
+    // dependent-flag change is folded in; the X-flag rewrite dominates.)
+    out.state_dependent = false;
+    out.independent_kind = TypeChange::kToShared;
+    return out;
+  }
+  // Only the dependent flag changes: I3 / I4.
+  out.state_dependent = false;
+  out.independent_kind =
+      to_dependent ? TypeChange::kToDependent : TypeChange::kToIndependent;
+  return out;
+}
+
+Status SchemaManager::ApplyTypeChangeSchemaOnly(ClassId id,
+                                                const std::string& attr,
+                                                bool to_composite,
+                                                bool to_exclusive,
+                                                bool to_dependent) {
+  ORION_ASSIGN_OR_RETURN(ClassId owner, DefiningClass(id, attr));
+  ClassDef* def = MutableClass(owner);
+  if (def == nullptr) {
+    return Status::Internal("defining class vanished");
+  }
+  AttributeSpec* spec = def->FindOwnAttribute(attr);
+  if (spec == nullptr) {
+    return Status::Internal("attribute vanished from defining class");
+  }
+  spec->composite = to_composite;
+  spec->exclusive = to_exclusive;
+  spec->dependent = to_dependent;
+  return Status::Ok();
+}
+
+Status SchemaManager::RestoreClass(ClassDef def) {
+  if (def.id != classes_.size() + 1) {
+    return Status::InvalidArgument(
+        "snapshot classes must be restored in id order");
+  }
+  if (!def.dropped) {
+    if (by_name_.count(def.name) > 0) {
+      return Status::AlreadyExists("class '" + def.name +
+                                   "' already exists");
+    }
+    by_name_[def.name] = def.id;
+  }
+  classes_.push_back(std::move(def));
+  return Status::Ok();
+}
+
+OperationLog& SchemaManager::LogForDomain(ClassId domain_class) {
+  return logs_[domain_class];
+}
+
+const OperationLog* SchemaManager::FindLog(ClassId domain_class) const {
+  auto it = logs_.find(domain_class);
+  return it == logs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace orion

@@ -1,0 +1,225 @@
+#ifndef ORION_SCHEMA_SCHEMA_MANAGER_H_
+#define ORION_SCHEMA_SCHEMA_MANAGER_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "schema/class_def.h"
+#include "schema/operation_log.h"
+#include "storage/object_store.h"
+
+namespace orion {
+
+/// Input to `SchemaManager::MakeClass` — the `make-class` message (§2.3).
+struct ClassSpec {
+  std::string name;
+  std::vector<std::string> superclasses;
+  std::vector<AttributeSpec> attributes;
+  bool versionable = false;
+  /// Segment for instances; kInvalidSegment creates a fresh one.  Classes
+  /// sharing a segment are eligible for parent clustering (§2.3).
+  SegmentId segment = kInvalidSegment;
+};
+
+/// Classification of an attribute-type change (§4.2).
+struct TypeChangeClass {
+  /// True for D1-D3: "a state-dependent change adds a constraint to a
+  /// reference" and requires immediate verification of the X flags.
+  bool state_dependent = false;
+  /// For state-independent changes (I1-I4), the kind for the operation log.
+  std::optional<TypeChange> independent_kind;
+};
+
+/// The ORION class lattice plus the schema-only halves of the §4 evolution
+/// taxonomy.
+///
+/// Evolution operations that must also touch instances (deleting dependent
+/// components when a composite attribute is dropped, rewriting reverse-
+/// reference flags) are orchestrated by `Database` in src/core; this class
+/// owns everything that is purely schema: the lattice, attribute resolution
+/// with multiple inheritance, the operation logs for deferred type changes,
+/// and the class-level predicates of §3.2.
+class SchemaManager {
+ public:
+  /// `store` (may be null for schema-only tests) is used to create one
+  /// segment per class when the spec does not name one.
+  explicit SchemaManager(ObjectStore* store = nullptr) : store_(store) {}
+
+  SchemaManager(const SchemaManager&) = delete;
+  SchemaManager& operator=(const SchemaManager&) = delete;
+
+  // --- Lattice construction -------------------------------------------
+
+  /// `make-class`.  Rejects duplicate names, unknown superclasses, duplicate
+  /// attribute names (after resolution the first definition would win, but a
+  /// local duplicate is always a mistake).
+  Result<ClassId> MakeClass(const ClassSpec& spec);
+
+  /// Id of a live class by name.
+  Result<ClassId> FindClass(const std::string& name) const;
+
+  /// Definition of a live class; nullptr for invalid or dropped ids.
+  const ClassDef* GetClass(ClassId id) const;
+
+  /// Definition including dropped classes (snapshot dump); nullptr only
+  /// for never-allocated ids.
+  const ClassDef* GetClassRaw(ClassId id) const {
+    return id == kInvalidClass || id > classes_.size() ? nullptr
+                                                       : &classes_[id - 1];
+  }
+
+  /// Number of allocated class ids (live + dropped).
+  size_t allocated_class_count() const { return classes_.size(); }
+
+  /// Number of live (not dropped) classes.
+  size_t live_class_count() const;
+
+  // --- Lattice queries --------------------------------------------------
+
+  /// Reflexive-transitive subclass test.
+  bool IsSubclassOf(ClassId sub, ClassId super) const;
+
+  /// Direct subclasses of `id`.
+  std::vector<ClassId> DirectSubclasses(ClassId id) const;
+
+  /// `id` plus all transitive subclasses.
+  std::vector<ClassId> SelfAndSubclasses(ClassId id) const;
+
+  /// True if an instance of `cls` may be stored in an attribute whose domain
+  /// is `domain_name`: primitive "any" always, otherwise the domain must
+  /// name a live class of which `cls` is a (reflexive) subclass.
+  bool SatisfiesDomain(ClassId cls, const std::string& domain_name) const;
+
+  // --- Attribute resolution ---------------------------------------------
+
+  /// All attributes visible on `id`: own first, then inherited depth-first
+  /// in superclass declaration order; the first definition of a name wins.
+  Result<std::vector<AttributeSpec>> ResolvedAttributes(ClassId id) const;
+
+  /// The effective spec of one attribute, or NotFound.
+  Result<AttributeSpec> ResolveAttribute(ClassId id,
+                                         const std::string& name) const;
+
+  /// The class (self or ancestor) whose own_attributes define `name` for
+  /// `id`, following the same first-wins order as ResolvedAttributes.
+  Result<ClassId> DefiningClass(ClassId id, const std::string& name) const;
+
+  // --- §3.2 class-level predicates ---------------------------------------
+
+  /// `compositep`: with an attribute name, is that attribute composite;
+  /// without, does the class have at least one composite attribute.
+  Result<bool> CompositeP(ClassId id,
+                          const std::optional<std::string>& attr) const;
+  /// `exclusive-compositep`.
+  Result<bool> ExclusiveCompositeP(ClassId id,
+                                   const std::optional<std::string>& attr) const;
+  /// `shared-compositep`.
+  Result<bool> SharedCompositeP(ClassId id,
+                                const std::optional<std::string>& attr) const;
+  /// `dependent-compositep`.
+  Result<bool> DependentCompositeP(
+      ClassId id, const std::optional<std::string>& attr) const;
+
+  // --- Schema-only evolution primitives (§4.1) ---------------------------
+
+  Status AddAttribute(ClassId id, AttributeSpec spec);
+
+  /// Removes `name` from the defining class.  Subclasses lose it through
+  /// resolution ("the attribute must also be dropped from all subclasses
+  /// that inherit it") unless they redefine it locally.
+  Status DropAttributeSchemaOnly(ClassId id, const std::string& name);
+
+  Status AddSuperclass(ClassId cls, ClassId superclass);
+
+  /// Detaches `superclass` from `cls`.
+  Status RemoveSuperclassSchemaOnly(ClassId cls, ClassId superclass);
+
+  /// Drops `cls`; "all subclasses of C become immediate subclasses of the
+  /// superclasses of C."
+  Status DropClassSchemaOnly(ClassId cls);
+
+  /// §4.1 change (2), schema half: makes `cls` inherit `name` from
+  /// `source` (one of its superclasses, direct or transitive) instead of
+  /// the default first-superclass resolution.  Rejected if `cls` defines
+  /// the attribute locally or `source` does not provide it.
+  Status SetAttributeInheritanceSchemaOnly(ClassId cls,
+                                           const std::string& name,
+                                           ClassId source);
+
+  // --- Attribute-type changes (§4.2) --------------------------------------
+
+  /// Classifies changing `(composite, exclusive, dependent)` of `attr` on
+  /// class `id` to the given new flags.  Identity changes are rejected.
+  Result<TypeChangeClass> ClassifyTypeChange(ClassId id,
+                                             const std::string& attr,
+                                             bool to_composite,
+                                             bool to_exclusive,
+                                             bool to_dependent) const;
+
+  /// Rewrites the stored flags of `attr` on its defining class.  Does not
+  /// touch instances — callers run verification / reverse-reference fixes
+  /// first (Database does).
+  Status ApplyTypeChangeSchemaOnly(ClassId id, const std::string& attr,
+                                   bool to_composite, bool to_exclusive,
+                                   bool to_dependent);
+
+  // --- Operation logs (§4.3, deferred maintenance) -------------------------
+
+  /// The log of deferred changes whose *domain* is `domain_class`; created
+  /// on first use.
+  OperationLog& LogForDomain(ClassId domain_class);
+
+  /// Read-only view, or nullptr if no change was ever logged.
+  const OperationLog* FindLog(ClassId domain_class) const;
+
+  /// All operation logs keyed by domain class (catch-up consults the logs
+  /// of an instance's class and every superclass).
+  const std::unordered_map<ClassId, OperationLog>& all_logs() const {
+    return logs_;
+  }
+
+  /// Issues the next change count.  CCs are global so a single per-instance
+  /// CC orders entries across the logs of a class and its superclasses.
+  uint64_t NextCc() { return ++global_cc_; }
+
+  /// CC a freshly created instance must carry — "when a new instance of the
+  /// class C is created, the CC of the instance is set to the current value
+  /// of the CC of the class" (here: the global counter, a superset).
+  uint64_t CurrentCc() const { return global_cc_; }
+
+  // --- Snapshot restore (src/core/snapshot.cc) ----------------------------
+
+  /// Re-inserts a class definition with its original id.  Definitions must
+  /// arrive in id order (dropped classes included, to preserve id slots).
+  Status RestoreClass(ClassDef def);
+
+  /// Re-inserts a deferred-change log entry.
+  void RestoreLogEntry(ClassId domain, LogEntry entry) {
+    logs_[domain].Append(std::move(entry));
+  }
+
+  /// Fast-forwards the global change counter.
+  void RestoreGlobalCc(uint64_t cc) {
+    if (cc > global_cc_) {
+      global_cc_ = cc;
+    }
+  }
+
+ private:
+  ClassDef* MutableClass(ClassId id);
+  Status CheckNoCycle(ClassId cls, ClassId new_superclass) const;
+
+  ObjectStore* store_;
+  std::vector<ClassDef> classes_;  // index = id - 1; dropped stay in place
+  std::unordered_map<std::string, ClassId> by_name_;
+  std::unordered_map<ClassId, OperationLog> logs_;
+  uint64_t global_cc_ = 0;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SCHEMA_SCHEMA_MANAGER_H_

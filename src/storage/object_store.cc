@@ -1,0 +1,118 @@
+#include "storage/object_store.h"
+
+namespace orion {
+
+ObjectStore::ObjectStore(uint32_t objects_per_page)
+    : objects_per_page_(objects_per_page == 0 ? 1 : objects_per_page) {}
+
+SegmentId ObjectStore::CreateSegment(std::string name) {
+  segments_.push_back(Segment{std::move(name), {}});
+  return static_cast<SegmentId>(segments_.size());
+}
+
+ObjectStore::Segment* ObjectStore::FindSegment(SegmentId id) {
+  if (id == kInvalidSegment || id > segments_.size()) {
+    return nullptr;
+  }
+  return &segments_[id - 1];
+}
+
+const ObjectStore::Segment* ObjectStore::FindSegment(SegmentId id) const {
+  if (id == kInvalidSegment || id > segments_.size()) {
+    return nullptr;
+  }
+  return &segments_[id - 1];
+}
+
+Status ObjectStore::Place(Uid uid, SegmentId segment) {
+  Segment* seg = FindSegment(segment);
+  if (seg == nullptr) {
+    return Status::NotFound("segment " + std::to_string(segment));
+  }
+  if (placements_.count(uid) > 0) {
+    return Status::AlreadyExists("object " + uid.ToString() +
+                                 " is already placed");
+  }
+  if (seg->pages.empty() || seg->pages.back().live >= objects_per_page_) {
+    seg->pages.push_back(Page{});
+  }
+  Page& page = seg->pages.back();
+  const uint32_t page_index = static_cast<uint32_t>(seg->pages.size() - 1);
+  placements_[uid] = Placement{segment, page_index, page.live};
+  ++page.live;
+  return Status::Ok();
+}
+
+Status ObjectStore::PlaceNear(Uid uid, Uid neighbor) {
+  auto it = placements_.find(neighbor);
+  if (it == placements_.end()) {
+    return Status::FailedPrecondition("neighbor " + neighbor.ToString() +
+                                      " is not placed");
+  }
+  if (placements_.count(uid) > 0) {
+    return Status::AlreadyExists("object " + uid.ToString() +
+                                 " is already placed");
+  }
+  const Placement& near = it->second;
+  Segment* seg = FindSegment(near.segment);
+  if (seg == nullptr) {
+    return Status::Internal("placement references missing segment");
+  }
+  // Neighbor's page first, then the nearest following page with room.
+  uint32_t page_index = near.page;
+  while (page_index < seg->pages.size() &&
+         seg->pages[page_index].live >= objects_per_page_) {
+    ++page_index;
+  }
+  if (page_index >= seg->pages.size()) {
+    seg->pages.push_back(Page{});
+    page_index = static_cast<uint32_t>(seg->pages.size() - 1);
+  }
+  Page& page = seg->pages[page_index];
+  placements_[uid] = Placement{near.segment, page_index, page.live};
+  ++page.live;
+  return Status::Ok();
+}
+
+Status ObjectStore::Remove(Uid uid) {
+  auto it = placements_.find(uid);
+  if (it == placements_.end()) {
+    return Status::NotFound("object " + uid.ToString() + " is not placed");
+  }
+  Segment* seg = FindSegment(it->second.segment);
+  if (seg != nullptr && it->second.page < seg->pages.size() &&
+      seg->pages[it->second.page].live > 0) {
+    --seg->pages[it->second.page].live;
+  }
+  placements_.erase(it);
+  return Status::Ok();
+}
+
+Result<Placement> ObjectStore::Find(Uid uid) const {
+  auto it = placements_.find(uid);
+  if (it == placements_.end()) {
+    return Status::NotFound("object " + uid.ToString() + " is not placed");
+  }
+  return it->second;
+}
+
+bool ObjectStore::SameSegment(Uid a, Uid b) const {
+  auto ia = placements_.find(a);
+  auto ib = placements_.find(b);
+  return ia != placements_.end() && ib != placements_.end() &&
+         ia->second.segment == ib->second.segment;
+}
+
+void ObjectStore::RecordAccess(Uid uid) {
+  auto it = placements_.find(uid);
+  if (it != placements_.end()) {
+    tracker_.Touch(it->second.segment, it->second.page);
+  }
+}
+
+size_t ObjectStore::PageCount(SegmentId segment) const {
+  const Segment* seg = FindSegment(segment);
+  return seg == nullptr ? 0 : seg->pages.size();
+}
+
+}  // namespace orion

@@ -1,0 +1,130 @@
+#ifndef ORION_STORAGE_OBJECT_STORE_H_
+#define ORION_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/uid.h"
+
+namespace orion {
+
+/// Identifier of a physical segment.
+using SegmentId = uint32_t;
+
+inline constexpr SegmentId kInvalidSegment = 0;
+
+/// Physical placement of an object: segment and page within it.
+struct Placement {
+  SegmentId segment = kInvalidSegment;
+  /// Index of the page within the segment's page chain.
+  uint32_t page = 0;
+  /// Slot within the page (scan order).
+  uint32_t slot = 0;
+};
+
+/// Counts page touches so the clustering benchmark (DESIGN.md ABL-3) can
+/// report locality: a composite traversal over well-clustered components
+/// touches few distinct pages; a scattered one touches many.
+class PageAccessTracker {
+ public:
+  void Reset() {
+    touched_.clear();
+    total_ = 0;
+  }
+  void Touch(SegmentId segment, uint32_t page) {
+    ++total_;
+    touched_.insert((static_cast<uint64_t>(segment) << 32) | page);
+  }
+  /// Number of distinct (segment, page) pairs touched since Reset().
+  size_t distinct_pages() const { return touched_.size(); }
+  /// Total accesses since Reset().
+  size_t total_touches() const { return total_; }
+
+ private:
+  std::unordered_set<uint64_t> touched_;
+  size_t total_ = 0;
+};
+
+/// Segment- and page-granular placement of objects (paper §2.3).
+///
+/// ORION clusters a newly created object with its first parent, "only ...
+/// if the classes of the two objects are stored in the same physical
+/// segment."  This store models exactly what that claim is about: objects
+/// are assigned to fixed-capacity pages inside named segments, a clustered
+/// insert lands on (or adjacent to) the parent's page, and every logical
+/// access is charged to the owning page.  Payloads live in the object
+/// manager; the store tracks placement only, which is all the locality
+/// experiments need.
+class ObjectStore {
+ public:
+  /// `objects_per_page` is the page capacity (a stand-in for page-size /
+  /// object-size); must be >= 1.
+  explicit ObjectStore(uint32_t objects_per_page = 16);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Creates a new segment; names need not be unique.
+  SegmentId CreateSegment(std::string name);
+
+  /// Number of segments created.
+  size_t segment_count() const { return segments_.size(); }
+
+  /// Places `uid` on the last page of `segment` (append placement).
+  Status Place(Uid uid, SegmentId segment);
+
+  /// Places `uid` as close as possible to `neighbor`: on the neighbor's page
+  /// if it has a free slot, otherwise on the nearest following page with
+  /// room, otherwise on a fresh page at the end of the same segment.
+  /// Fails with FailedPrecondition if `neighbor` is not placed anywhere.
+  Status PlaceNear(Uid uid, Uid neighbor);
+
+  /// Removes `uid` from its page (the slot is reusable).
+  Status Remove(Uid uid);
+
+  /// Placement of `uid`, or NotFound.
+  Result<Placement> Find(Uid uid) const;
+
+  /// True if both objects are placed in the same segment — the §2.3
+  /// precondition for clustering.
+  bool SameSegment(Uid a, Uid b) const;
+
+  /// Charges one access to the page holding `uid` (no-op if unplaced).
+  void RecordAccess(Uid uid);
+
+  /// Number of pages allocated in `segment`.
+  size_t PageCount(SegmentId segment) const;
+
+  /// Total number of placed objects.
+  size_t object_count() const { return placements_.size(); }
+
+  PageAccessTracker& tracker() { return tracker_; }
+  const PageAccessTracker& tracker() const { return tracker_; }
+
+ private:
+  struct Page {
+    uint32_t live = 0;  // occupied slots
+  };
+  struct Segment {
+    std::string name;
+    std::vector<Page> pages;
+  };
+
+  Segment* FindSegment(SegmentId id);
+  const Segment* FindSegment(SegmentId id) const;
+
+  uint32_t objects_per_page_;
+  // Segment ids are 1-based; index = id - 1.
+  std::vector<Segment> segments_;
+  std::unordered_map<Uid, Placement> placements_;
+  PageAccessTracker tracker_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_STORAGE_OBJECT_STORE_H_

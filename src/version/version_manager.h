@@ -1,0 +1,150 @@
+#ifndef ORION_VERSION_VERSION_MANAGER_H_
+#define ORION_VERSION_VERSION_MANAGER_H_
+
+#include <string>
+#include <tuple>
+#include <unordered_set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "object/object_manager.h"
+
+namespace orion {
+
+/// The generic and first version instance created for a versionable object.
+struct VersionedHandle {
+  Uid generic;
+  Uid version;
+};
+
+/// Versions of composite objects (§5).
+///
+/// Implements the ORION version model (§5.1) — versionable classes, generic
+/// instances, version-derivation hierarchies, static/dynamic binding,
+/// timestamp-ordered default versions — extended with the paper's rules for
+/// composite references between versioned objects:
+///
+///  * CV-1X: a composite reference at the generic level licenses any number
+///    of version-level references (dynamic binding is always legal);
+///  * CV-2X: a version instance tolerates one exclusive or many shared
+///    references; a generic instance tolerates several exclusive references
+///    only from one version-derivation hierarchy (enforced by
+///    `ObjectManager::CheckAttach`);
+///  * CV-3X: every version-to-version reference is mirrored by a
+///    ref-counted reverse composite generic reference (maintained by the
+///    backlink helpers in ObjectManager; Figure 3);
+///  * CV-4X: deleting a generic deletes its versions and recursively the
+///    generics it holds dependent-exclusive references to; deleting the
+///    last version deletes the generic.
+///
+/// Interpretation notes (DESIGN.md): on `Derive`, exclusive references to
+/// *non-versionable* objects cannot legally be copied (the target would gain
+/// a second exclusive parent), so they are set to Nil like dependent
+/// references — the paper only discusses versionable targets.
+class VersionManager {
+ public:
+  VersionManager(SchemaManager* schema, ObjectManager* objects)
+      : schema_(schema), objects_(objects) {}
+
+  VersionManager(const VersionManager&) = delete;
+  VersionManager& operator=(const VersionManager&) = delete;
+
+  /// True if `cls` was declared `:versionable`.
+  bool IsVersionableClass(ClassId cls) const;
+
+  /// `make` on a versionable class: creates the generic instance and the
+  /// first version instance.  `parents` and `attrs` apply to the version
+  /// instance (static binding; bind to the generic afterwards for dynamic
+  /// binding).  Multi-parent legality is enforced by the sequential
+  /// attaches, exactly as for normal objects.
+  Result<VersionedHandle> MakeVersioned(
+      ClassId cls, const std::vector<ParentBinding>& parents,
+      const AttrValues& attrs);
+
+  /// Derives a new version instance from `version` (Figure 1).  Attribute
+  /// values are copied with the rebinding rules: references to version
+  /// instances become references to their generic (dynamic) if independent,
+  /// Nil if dependent; references to generic instances are copied;
+  /// exclusive references to non-versionable objects become Nil; shared
+  /// references to non-versionable objects are copied.
+  Result<Uid> Derive(Uid version);
+
+  /// Deletes one version instance.  Cascades over statically bound
+  /// dependent components (versions and normal objects) per CV-2X/CV-4X;
+  /// if the last version of a generic dies, the generic dies too.
+  Status DeleteVersion(Uid version);
+
+  /// Deletes a generic instance: all its versions, then — rule CV-4X —
+  /// recursively every generic it holds dependent-exclusive generic-level
+  /// references to (a dependent-shared target dies only when its last
+  /// dependent generic reference is released).
+  Status DeleteGeneric(Uid generic);
+
+  /// Declares `version` the user default of its generic (§5.1).
+  Status SetDefaultVersion(Uid generic, Uid version);
+
+  /// The default version: the user-specified one if set, otherwise the
+  /// version instance with the latest creation timestamp.
+  Result<Uid> DefaultVersion(Uid generic) const;
+
+  /// Dynamic-binding resolution: a reference to a generic instance resolves
+  /// to its default version; any other reference resolves to itself.
+  Result<Uid> ResolveBinding(Uid ref) const;
+
+  /// True if `ref` names a generic instance (i.e. the binding is dynamic).
+  bool IsDynamicBinding(Uid ref) const;
+
+  /// Version instances of `generic` in creation order.
+  Result<std::vector<Uid>> VersionsOf(Uid generic) const;
+
+  /// Number of live generic instances.
+  size_t generic_count() const { return generics_.size(); }
+
+  /// All generic instances with their version lists and user defaults, in
+  /// unspecified order (snapshot dump).
+  std::vector<std::tuple<Uid, std::vector<Uid>, Uid>> DumpGenerics() const;
+
+  /// Re-registers a generic instance (snapshot restore / transaction
+  /// rollback); the objects must already exist in the object manager.
+  void RestoreGeneric(Uid generic, std::vector<Uid> versions,
+                      Uid user_default) {
+    generics_[generic] = GenericInfo{std::move(versions), user_default};
+  }
+
+  /// Drops a registry entry without touching objects (transaction
+  /// rollback of a MakeVersioned).
+  void ForgetGeneric(Uid generic) { generics_.erase(generic); }
+
+  /// The registry entry of `generic`: (versions, user default).
+  Result<std::pair<std::vector<Uid>, Uid>> GenericInfoOf(Uid generic) const {
+    auto it = generics_.find(generic);
+    if (it == generics_.end()) {
+      return Status::NotFound("generic instance " + generic.ToString());
+    }
+    return std::make_pair(it->second.versions, it->second.user_default);
+  }
+
+ private:
+  struct GenericInfo {
+    std::vector<Uid> versions;
+    Uid user_default;  // kNilUid when unset
+  };
+
+  /// Deletes the version closure rooted at `version` and reaps any generic
+  /// that lost its last version (unless suppressed by DeleteGeneric).
+  Status DeleteVersionClosure(Uid version);
+
+  SchemaManager* schema_;
+  ObjectManager* objects_;
+  std::unordered_map<Uid, GenericInfo> generics_;
+  /// Generics currently being deleted by DeleteGeneric; the last-version
+  /// reap in DeleteVersionClosure skips these to avoid re-entry.
+  std::unordered_set<Uid> reap_suppressed_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_VERSION_VERSION_MANAGER_H_

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "authz/auth_types.h"
+
+namespace orion {
+namespace {
+
+AuthSpec S(bool positive, AuthType t) { return AuthSpec{true, positive, t}; }
+AuthSpec W(bool positive, AuthType t) { return AuthSpec{false, positive, t}; }
+
+constexpr AuthType R = AuthType::kRead;
+constexpr AuthType Wr = AuthType::kWrite;
+
+TEST(AuthSpecTest, Notation) {
+  EXPECT_EQ(S(true, R).ToString(), "sR");
+  EXPECT_EQ(S(false, Wr).ToString(), "s~W");
+  EXPECT_EQ(W(true, Wr).ToString(), "wW");
+  EXPECT_EQ(W(false, R).ToString(), "w~R");
+}
+
+TEST(AuthSpecTest, AllEightAtoms) {
+  auto all = AllAuthSpecs();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].ToString(), "sR");
+  EXPECT_EQ(all[7].ToString(), "w~W");
+}
+
+TEST(AuthCombineTest, ImplicationClosurePositiveWrite) {
+  // +W implies +R.
+  AuthState state = Combine({S(true, Wr)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_EQ(state.write, Decision::kGranted);
+  EXPECT_EQ(state.read, Decision::kGranted);
+  EXPECT_TRUE(state.Allows(R));
+  EXPECT_TRUE(state.Allows(Wr));
+}
+
+TEST(AuthCombineTest, ImplicationClosureNegativeRead) {
+  // ~R implies ~W.
+  AuthState state = Combine({S(false, R)});
+  EXPECT_EQ(state.read, Decision::kDenied);
+  EXPECT_EQ(state.write, Decision::kDenied);
+  EXPECT_FALSE(state.Allows(R));
+  EXPECT_FALSE(state.Allows(Wr));
+}
+
+TEST(AuthCombineTest, PositiveReadSaysNothingAboutWrite) {
+  AuthState state = Combine({S(true, R)});
+  EXPECT_EQ(state.read, Decision::kGranted);
+  EXPECT_EQ(state.write, Decision::kNone);
+  EXPECT_TRUE(state.Allows(R));
+  EXPECT_FALSE(state.Allows(Wr));  // closed world
+}
+
+TEST(AuthCombineTest, PaperExampleStrongRPlusStrongW) {
+  // "If a user receives a strong R authorization from Instance[j] and a
+  // strong W authorization from Instance[k], the authorization implied on
+  // Instance[o'] is a strong W authorization, which in turn implies a
+  // strong R authorization."
+  AuthState state = Combine({S(true, R), S(true, Wr)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_EQ(state.write, Decision::kGranted);
+  EXPECT_TRUE(state.write_strong);
+  EXPECT_EQ(state.read, Decision::kGranted);
+  EXPECT_TRUE(state.read_strong);
+  EXPECT_EQ(state.ToString(), "sW");
+}
+
+TEST(AuthCombineTest, PaperExampleStrongNegRPlusStrongNegW) {
+  // "If a user receives a strong ~R authorization from Instance[j] and a
+  // strong ~W authorization from Instance[k], the authorization implied on
+  // Instance[o'] is a strong ~R authorization, which implies a strong ~W."
+  AuthState state = Combine({S(false, R), S(false, Wr)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_EQ(state.read, Decision::kDenied);
+  EXPECT_TRUE(state.read_strong);
+  EXPECT_EQ(state.write, Decision::kDenied);
+  EXPECT_EQ(state.ToString(), "s~R");
+}
+
+TEST(AuthCombineTest, StrongContradictionConflicts) {
+  // s~R implies s~W, contradicting sW.
+  EXPECT_TRUE(Combine({S(false, R), S(true, Wr)}).conflict);
+  EXPECT_TRUE(Combine({S(true, R), S(false, R)}).conflict);
+  EXPECT_EQ(Combine({S(true, R), S(false, R)}).ToString(), "Conflict");
+}
+
+TEST(AuthCombineTest, StrongReadAndNegativeWriteAreConsistent) {
+  // sR and s~W do not contradict: reading allowed, writing prohibited.
+  AuthState state = Combine({S(true, R), S(false, Wr)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_TRUE(state.Allows(R));
+  EXPECT_FALSE(state.Allows(Wr));
+  EXPECT_EQ(state.ToString(), "sR,s~W");
+}
+
+TEST(AuthCombineTest, StrongOverridesWeak) {
+  AuthState state = Combine({W(false, R), S(true, R)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_EQ(state.read, Decision::kGranted);
+  EXPECT_TRUE(state.read_strong);
+  // Order must not matter.
+  EXPECT_EQ(Combine({S(true, R), W(false, R)}), state);
+}
+
+TEST(AuthCombineTest, WeakContradictionConflicts) {
+  EXPECT_TRUE(Combine({W(true, R), W(false, R)}).conflict);
+  // But a weak contradiction resolved by a strong grant does not conflict.
+  EXPECT_FALSE(Combine({W(true, R), W(false, R), S(true, R)}).conflict);
+}
+
+TEST(AuthCombineTest, WeakAuthorizationsCombine) {
+  AuthState state = Combine({W(true, R), W(true, Wr)});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_TRUE(state.Allows(Wr));
+  EXPECT_FALSE(state.read_strong);
+  EXPECT_EQ(state.ToString(), "wW");
+}
+
+TEST(AuthCombineTest, EmptyIsNone) {
+  AuthState state = Combine({});
+  EXPECT_FALSE(state.conflict);
+  EXPECT_EQ(state.read, Decision::kNone);
+  EXPECT_EQ(state.write, Decision::kNone);
+  EXPECT_EQ(state.ToString(), "-");
+  EXPECT_FALSE(state.Allows(R));
+}
+
+TEST(AuthCombineTest, CombineIsOrderInsensitive) {
+  // Property over all pairs: Combine({a,b}) == Combine({b,a}).
+  for (const AuthSpec& a : AllAuthSpecs()) {
+    for (const AuthSpec& b : AllAuthSpecs()) {
+      EXPECT_EQ(Combine({a, b}), Combine({b, a}))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(AuthCombineTest, CombineIsIdempotentPerAtom) {
+  for (const AuthSpec& a : AllAuthSpecs()) {
+    EXPECT_EQ(Combine({a}), Combine({a, a})) << a.ToString();
+  }
+}
+
+TEST(AuthCombineTest, ConflictsAreExactlyStrengthMatchedContradictions) {
+  // Property: Combine({a, b}) conflicts iff the closures of a and b contain
+  // contradictory literals of equal strength on some type, with no stronger
+  // resolution.  For two atoms, that reduces to: same strength and the
+  // closures contradict.
+  auto closure = [](const AuthSpec& s) {
+    // Returns per-type signs: -1 deny, +1 grant, 0 none.
+    int read = 0, write = 0;
+    if (s.type == R) {
+      read = s.positive ? 1 : -1;
+      if (!s.positive) {
+        write = -1;  // ~R implies ~W
+      }
+    } else {
+      write = s.positive ? 1 : -1;
+      if (s.positive) {
+        read = 1;  // +W implies +R
+      }
+    }
+    return std::make_pair(read, write);
+  };
+  for (const AuthSpec& a : AllAuthSpecs()) {
+    for (const AuthSpec& b : AllAuthSpecs()) {
+      auto [ar, aw] = closure(a);
+      auto [br, bw] = closure(b);
+      const bool contradiction =
+          (ar * br == -1) || (aw * bw == -1);
+      const bool expect_conflict = contradiction && a.strong == b.strong;
+      EXPECT_EQ(Combine({a, b}).conflict, expect_conflict)
+          << a.ToString() << " + " << b.ToString();
+    }
+  }
+}
+
+TEST(Figure6Test, MatrixRendersAllCells) {
+  const std::string matrix = RenderFigure6Matrix();
+  // 8 rows + header; spot-check the paper's worked cells.
+  EXPECT_NE(matrix.find("sR"), std::string::npos);
+  EXPECT_NE(matrix.find("Conflict"), std::string::npos);
+  // Count rows.
+  size_t rows = 0;
+  for (char c : matrix) {
+    if (c == '\n') {
+      ++rows;
+    }
+  }
+  EXPECT_GE(rows, 9u);
+}
+
+}  // namespace
+}  // namespace orion

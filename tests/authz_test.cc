@@ -1,0 +1,275 @@
+#include "authz/authorization_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+
+namespace orion {
+namespace {
+
+constexpr AuthType R = AuthType::kRead;
+constexpr AuthType W = AuthType::kWrite;
+
+AuthSpec Strong(bool positive, AuthType t) {
+  return AuthSpec{true, positive, t};
+}
+AuthSpec Weak(bool positive, AuthType t) {
+  return AuthSpec{false, positive, t};
+}
+
+/// Builds the Figure 4 / Figure 5 object graphs on a generic part schema.
+class AuthzTest : public ::testing::Test {
+ protected:
+  AuthzTest() {
+    part_ = *db_.MakeClass(ClassSpec{.name = "Part"});
+    node_ = *db_.MakeClass(ClassSpec{
+        .name = "Node",
+        .superclasses = {"Part"},
+        .attributes = {CompositeAttr("Parts", "Part", /*exclusive=*/false,
+                                     /*dependent=*/false, /*is_set=*/true)}});
+  }
+
+  Uid MakeNode() { return *db_.objects().Make(node_, {}, {}); }
+  Uid MakePart() { return *db_.objects().Make(part_, {}, {}); }
+  void Attach(Uid child, Uid parent) {
+    ASSERT_TRUE(db_.objects().MakeComponent(child, parent, "Parts").ok());
+  }
+
+  AuthorizationManager& authz() { return db_.authz(); }
+
+  Database db_;
+  ClassId part_, node_;
+};
+
+TEST_F(AuthzTest, Figure4GrantOnRootImpliesOnAllComponents) {
+  // Figure 4: Instance[i] -> {Instance[k], Instance[j]},
+  // Instance[j] -> Instance[m] -> ..., grant Read on the root.
+  Uid i = MakeNode();
+  Uid k = MakeNode();
+  Uid j = MakeNode();
+  Uid m = MakeNode();
+  Uid n = MakeNode();
+  Uid o = MakePart();
+  Attach(k, i);
+  Attach(j, i);
+  Attach(m, j);
+  Attach(n, m);
+  Attach(o, n);
+
+  ASSERT_TRUE(authz().GrantOnObject("sam", i, Strong(true, R)).ok());
+  for (Uid obj : {i, k, j, m, n, o}) {
+    EXPECT_TRUE(*authz().CheckAccess("sam", obj, R)) << obj.ToString();
+    EXPECT_FALSE(*authz().CheckAccess("sam", obj, W)) << obj.ToString();
+  }
+  // Another user has nothing.
+  EXPECT_FALSE(*authz().CheckAccess("eve", o, R));
+}
+
+TEST_F(AuthzTest, GrantOnComponentDoesNotFlowUpward) {
+  Uid root = MakeNode();
+  Uid child = MakePart();
+  Attach(child, root);
+  ASSERT_TRUE(authz().GrantOnObject("sam", child, Strong(true, R)).ok());
+  EXPECT_TRUE(*authz().CheckAccess("sam", child, R));
+  EXPECT_FALSE(*authz().CheckAccess("sam", root, R));
+}
+
+TEST_F(AuthzTest, Figure5SharedComponentReceivesBothImplications) {
+  // Figure 5: Instance[j] and Instance[k] share Instance[o'].
+  Uid j = MakeNode();
+  Uid k = MakeNode();
+  Uid o_prime = MakePart();
+  Attach(o_prime, j);
+  Attach(o_prime, k);
+
+  ASSERT_TRUE(authz().GrantOnObject("sam", j, Strong(true, R)).ok());
+  ASSERT_TRUE(authz().GrantOnObject("sam", k, Strong(true, W)).ok());
+  // "The resulting authorization on O is the strongest of all the implied
+  // authorizations": sR + sW => sW (implies sR).
+  AuthState state = *authz().ImpliedOn("sam", o_prime);
+  EXPECT_TRUE(state.Allows(W));
+  EXPECT_TRUE(state.Allows(R));
+  EXPECT_EQ(state.ToString(), "sW");
+}
+
+TEST_F(AuthzTest, PaperConflictExampleRejectsSecondGrant) {
+  // "If a user receives a strong ~R authorization from Instance[j], a later
+  // attempt to grant the user a strong W authorization on Instance[k] will
+  // fail.  This is because a ~R implies a ~W, which contradicts the
+  // positive strong W being granted."
+  Uid j = MakeNode();
+  Uid k = MakeNode();
+  Uid o_prime = MakePart();
+  Attach(o_prime, j);
+  Attach(o_prime, k);
+
+  ASSERT_TRUE(authz().GrantOnObject("sam", j, Strong(false, R)).ok());
+  Status w = authz().GrantOnObject("sam", k, Strong(true, W));
+  EXPECT_EQ(w.code(), StatusCode::kAuthorizationConflict);
+  // The rejected grant must not be stored.
+  EXPECT_EQ(authz().grant_count(), 1u);
+  // A weak W on k is overridden by the strong ~R implication — no conflict.
+  EXPECT_TRUE(authz().GrantOnObject("sam", k, Weak(true, W)).ok());
+  EXPECT_FALSE(*authz().CheckAccess("sam", o_prime, W));
+}
+
+TEST_F(AuthzTest, GrantOnClassImpliesOnInstancesAndTheirComponents) {
+  Uid root = MakeNode();
+  Uid child = MakePart();
+  Attach(child, root);
+  Uid stray = MakePart();  // not a component of any Node instance
+
+  ASSERT_TRUE(authz().GrantOnClass("sam", node_, Strong(true, R)).ok());
+  EXPECT_TRUE(*authz().CheckAccess("sam", root, R));
+  EXPECT_TRUE(*authz().CheckAccess("sam", child, R));
+  // "The authorization on Vehicle does not imply the same authorization on
+  // all instances of Autobody ... since not all instances ... may be
+  // components of Vehicle."
+  EXPECT_FALSE(*authz().CheckAccess("sam", stray, R));
+}
+
+TEST_F(AuthzTest, ClassGrantCoversSubclassInstances) {
+  ASSERT_TRUE(authz().GrantOnClass("sam", part_, Strong(true, R)).ok());
+  Uid node = MakeNode();  // Node is a subclass of Part
+  EXPECT_TRUE(*authz().CheckAccess("sam", node, R));
+}
+
+TEST_F(AuthzTest, NegativeClassGrantBlocksLaterObjectGrant) {
+  // "Because of negative authorizations, a new authorization issued on a
+  // component class may conflict with an authorization on the class which
+  // is implied by a previously granted authorization."
+  Uid root = MakeNode();
+  Uid child = MakePart();
+  Attach(child, root);
+  ASSERT_TRUE(authz().GrantOnClass("sam", part_, Strong(false, W)).ok());
+  // Granting sW on the root would imply sW on child, contradicting s~W.
+  EXPECT_EQ(authz().GrantOnObject("sam", root, Strong(true, W)).code(),
+            StatusCode::kAuthorizationConflict);
+  // Read on the root is fine: s~W does not deny reading.
+  EXPECT_TRUE(authz().GrantOnObject("sam", root, Strong(true, R)).ok());
+}
+
+TEST_F(AuthzTest, MultipleImplicitAuthorizationsAccumulate) {
+  // "If the user is later granted a Read authorization on the composite
+  // object rooted at Instance[k], the user again receives an implicit
+  // authorization on Instance[o']."
+  Uid j = MakeNode();
+  Uid k = MakeNode();
+  Uid o_prime = MakePart();
+  Attach(o_prime, j);
+  Attach(o_prime, k);
+  ASSERT_TRUE(authz().GrantOnObject("sam", j, Strong(true, R)).ok());
+  ASSERT_TRUE(authz().GrantOnObject("sam", k, Strong(true, R)).ok());
+  EXPECT_TRUE(*authz().CheckAccess("sam", o_prime, R));
+  // Revoking one still leaves the other implication.
+  ASSERT_TRUE(
+      authz().Revoke("sam", AuthTarget::Object(j), Strong(true, R)).ok());
+  EXPECT_TRUE(*authz().CheckAccess("sam", o_prime, R));
+  ASSERT_TRUE(
+      authz().Revoke("sam", AuthTarget::Object(k), Strong(true, R)).ok());
+  EXPECT_FALSE(*authz().CheckAccess("sam", o_prime, R));
+}
+
+TEST_F(AuthzTest, WeakGrantCanBeOverriddenByLaterStrongGrant) {
+  Uid root = MakeNode();
+  ASSERT_TRUE(authz().GrantOnObject("sam", root, Weak(true, R)).ok());
+  // A strong negative on the same object overrides the weak positive
+  // rather than conflicting.
+  ASSERT_TRUE(authz().GrantOnObject("sam", root, Strong(false, R)).ok());
+  EXPECT_FALSE(*authz().CheckAccess("sam", root, R));
+}
+
+TEST_F(AuthzTest, RevokeRequiresExactMatch) {
+  Uid root = MakeNode();
+  ASSERT_TRUE(authz().GrantOnObject("sam", root, Strong(true, R)).ok());
+  EXPECT_EQ(authz()
+                .Revoke("sam", AuthTarget::Object(root), Strong(true, W))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(authz()
+                .Revoke("eve", AuthTarget::Object(root), Strong(true, R))
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// --- Subject hierarchy (groups/roles, the [RABI88] subject dimension) -------
+
+TEST_F(AuthzTest, GroupGrantsFlowToMembers) {
+  Uid root = MakeNode();
+  Uid child = MakePart();
+  Attach(child, root);
+  ASSERT_TRUE(authz().AddToGroup("sam", "designers").ok());
+  ASSERT_TRUE(
+      authz().GrantOnObject("designers", root, Strong(true, R)).ok());
+  // Both the composite dimension and the subject dimension apply.
+  EXPECT_TRUE(*authz().CheckAccess("sam", child, R));
+  EXPECT_FALSE(*authz().CheckAccess("outsider", child, R));
+}
+
+TEST_F(AuthzTest, GroupMembershipIsTransitive) {
+  Uid obj = MakePart();
+  ASSERT_TRUE(authz().AddToGroup("sam", "designers").ok());
+  ASSERT_TRUE(authz().AddToGroup("designers", "engineering").ok());
+  ASSERT_TRUE(
+      authz().GrantOnObject("engineering", obj, Strong(true, R)).ok());
+  EXPECT_TRUE(*authz().CheckAccess("sam", obj, R));
+  auto closure = authz().SubjectClosure("sam");
+  EXPECT_EQ(closure.size(), 3u);
+}
+
+TEST_F(AuthzTest, MembershipCyclesRejected) {
+  ASSERT_TRUE(authz().AddToGroup("a", "b").ok());
+  ASSERT_TRUE(authz().AddToGroup("b", "c").ok());
+  EXPECT_EQ(authz().AddToGroup("c", "a").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(authz().AddToGroup("a", "a").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(authz().AddToGroup("a", "b").code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(AuthzTest, GroupGrantConflictsWithMembersExisting) {
+  Uid obj = MakePart();
+  ASSERT_TRUE(authz().AddToGroup("sam", "designers").ok());
+  ASSERT_TRUE(authz().GrantOnObject("sam", obj, Strong(false, R)).ok());
+  // Granting sW to the group would imply sW (hence sR) for sam -> conflict
+  // with sam's personal s~R.
+  EXPECT_EQ(authz().GrantOnObject("designers", obj, Strong(true, W)).code(),
+            StatusCode::kAuthorizationConflict);
+  // A weak group grant is overridden by the member's strong one instead.
+  EXPECT_TRUE(authz().GrantOnObject("designers", obj, Weak(true, W)).ok());
+  EXPECT_FALSE(*authz().CheckAccess("sam", obj, W));
+}
+
+TEST_F(AuthzTest, JoiningAGroupWithConflictingGrantsRejected) {
+  Uid obj = MakePart();
+  ASSERT_TRUE(
+      authz().GrantOnObject("designers", obj, Strong(true, W)).ok());
+  ASSERT_TRUE(authz().GrantOnObject("bob", obj, Strong(false, R)).ok());
+  EXPECT_EQ(authz().AddToGroup("bob", "designers").code(),
+            StatusCode::kAuthorizationConflict);
+  // The failed join left no membership behind.
+  EXPECT_EQ(authz().SubjectClosure("bob").size(), 1u);
+}
+
+TEST_F(AuthzTest, RemoveFromGroupStopsImplication) {
+  Uid obj = MakePart();
+  ASSERT_TRUE(authz().AddToGroup("sam", "designers").ok());
+  ASSERT_TRUE(
+      authz().GrantOnObject("designers", obj, Strong(true, R)).ok());
+  ASSERT_TRUE(*authz().CheckAccess("sam", obj, R));
+  ASSERT_TRUE(authz().RemoveFromGroup("sam", "designers").ok());
+  EXPECT_FALSE(*authz().CheckAccess("sam", obj, R));
+  EXPECT_EQ(authz().RemoveFromGroup("sam", "designers").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(AuthzTest, ChecksOnMissingObjectsFail) {
+  EXPECT_EQ(authz().CheckAccess("sam", Uid{999}, R).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(authz().GrantOnObject("sam", Uid{999}, Strong(true, R)).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace orion

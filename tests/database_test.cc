@@ -1,0 +1,419 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+/// Document/Section/Paragraph schema from Example 2 plus helpers.
+class DatabaseTest : public ::testing::Test {
+ protected:
+  DatabaseTest() {
+    para_ = *db_.MakeClass(ClassSpec{.name = "Paragraph"});
+    image_ = *db_.MakeClass(ClassSpec{.name = "Image"});
+    sec_ = *db_.MakeClass(ClassSpec{
+        .name = "Section",
+        .attributes = {CompositeAttr("Content", "Paragraph", false, true,
+                                     true)}});
+    doc_ = *db_.MakeClass(ClassSpec{
+        .name = "Document",
+        .attributes = {
+            WeakAttr("Title", "string"),
+            CompositeAttr("Sections", "Section", false, true, true),
+            CompositeAttr("Figures", "Image", false, false, true),
+            CompositeAttr("Annotations", "Paragraph", true, true, true),
+            WeakAttr("Related", "Document", true),
+        }});
+  }
+
+  Uid Make(ClassId c) { return *db_.objects().Make(c, {}, {}); }
+
+  Database db_;
+  ClassId doc_, sec_, para_, image_;
+};
+
+TEST_F(DatabaseTest, MakeByNameAndVersionRouting) {
+  ClassId design = *db_.MakeClass(
+      ClassSpec{.name = "Design", .versionable = true});
+  (void)design;
+  Uid doc = *db_.Make("Document", {}, {{"Title", Value::String("d")}});
+  EXPECT_EQ(db_.objects().Peek(doc)->role(), ObjectRole::kNormal);
+
+  Uid v = *db_.Make("Design");
+  const Object* vo = db_.objects().Peek(v);
+  ASSERT_NE(vo, nullptr);
+  EXPECT_TRUE(vo->is_version());
+  EXPECT_TRUE(db_.objects().Peek(vo->generic())->is_generic());
+
+  EXPECT_EQ(db_.Make("NoSuchClass").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, DeleteObjectRoutesByRole) {
+  Uid doc = Make(doc_);
+  ASSERT_TRUE(db_.DeleteObject(doc).ok());
+  EXPECT_FALSE(db_.objects().Exists(doc));
+
+  ClassId design = *db_.MakeClass(
+      ClassSpec{.name = "Design", .versionable = true});
+  (void)design;
+  Uid v = *db_.Make("Design");
+  Uid g = db_.objects().Peek(v)->generic();
+  ASSERT_TRUE(db_.DeleteObject(v).ok());
+  EXPECT_FALSE(db_.objects().Exists(v));
+  EXPECT_FALSE(db_.objects().Exists(g));  // last version reaps the generic
+
+  EXPECT_EQ(db_.DeleteObject(Uid{999}).code(), StatusCode::kNotFound);
+}
+
+// --- §4.1 Drop attribute / superclass / class --------------------------------
+
+TEST_F(DatabaseTest, DropCompositeAttributeDeletesDependentComponents) {
+  Uid doc = Make(doc_);
+  Uid sec = *db_.objects().Make(sec_, {{doc, "Sections"}}, {});
+  Uid img = *db_.objects().Make(image_, {{doc, "Figures"}}, {});
+
+  ASSERT_TRUE(db_.DropAttribute(doc_, "Sections").ok());
+  // Dependent-shared section had only this parent: deleted.
+  EXPECT_FALSE(db_.objects().Exists(sec));
+  // Schema no longer has the attribute.
+  EXPECT_FALSE(db_.schema().ResolveAttribute(doc_, "Sections").ok());
+  EXPECT_TRUE(db_.objects().Peek(doc)->Get("Sections").is_null());
+
+  // Independent figures survive a drop of their attribute.
+  ASSERT_TRUE(db_.DropAttribute(doc_, "Figures").ok());
+  EXPECT_TRUE(db_.objects().Exists(img));
+  EXPECT_TRUE(db_.objects().Peek(img)->reverse_refs().empty());
+}
+
+TEST_F(DatabaseTest, DropSharedAttributeKeepsComponentsWithOtherParents) {
+  Uid d1 = Make(doc_);
+  Uid sec_cls_holder = Make(sec_);
+  Uid shared_para = *db_.objects().Make(
+      para_, {{sec_cls_holder, "Content"}}, {});
+  // Attach the paragraph also as a (shared) section content of another
+  // section, then drop Section.Content: paragraph loses both refs at once
+  // and dies; but one referenced from elsewhere must survive.
+  Uid s2 = Make(sec_);
+  Uid para2 = *db_.objects().Make(para_,
+                                  {{sec_cls_holder, "Content"},
+                                   {s2, "Content"}}, {});
+  (void)d1;
+  (void)para2;
+  ASSERT_TRUE(db_.DropAttribute(sec_, "Content").ok());
+  // All Content references are gone; both paragraphs lost every dependent
+  // parent, so the Deletion Rule dooms them.
+  EXPECT_FALSE(db_.objects().Exists(shared_para));
+  EXPECT_FALSE(db_.objects().Exists(para2));
+}
+
+TEST_F(DatabaseTest, DropWeakAttributeJustErasesValues) {
+  Uid doc = *db_.Make("Document", {}, {{"Title", Value::String("x")}});
+  ASSERT_TRUE(db_.DropAttribute(doc_, "Title").ok());
+  EXPECT_TRUE(db_.objects().Peek(doc)->Get("Title").is_null());
+}
+
+TEST_F(DatabaseTest, DropInheritedAttributeMustTargetDefiningClass) {
+  ClassId memo = *db_.MakeClass(
+      ClassSpec{.name = "Memo", .superclasses = {"Document"}});
+  EXPECT_EQ(db_.DropAttribute(memo, "Title").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(db_.DropAttribute(memo, "NoSuch").code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, DropAttributeSparesRedefiningSubclasses) {
+  ClassId memo = *db_.MakeClass(ClassSpec{
+      .name = "Memo",
+      .superclasses = {"Document"},
+      .attributes = {WeakAttr("Title", "string")}});  // redefines
+  Uid m = *db_.objects().Make(memo, {}, {{"Title", Value::String("keep")}});
+  ASSERT_TRUE(db_.DropAttribute(doc_, "Title").ok());
+  EXPECT_EQ(db_.objects().Peek(m)->Get("Title"), Value::String("keep"));
+}
+
+TEST_F(DatabaseTest, RemoveSuperclassDropsLostCompositeAttributes) {
+  ClassId memo = *db_.MakeClass(
+      ClassSpec{.name = "Memo", .superclasses = {"Document"}});
+  Uid m = *db_.objects().Make(memo, {}, {});
+  Uid note = *db_.objects().Make(para_, {{m, "Annotations"}}, {});
+  ASSERT_TRUE(db_.RemoveSuperclass(memo, doc_).ok());
+  // Memo lost Annotations; the dependent-exclusive note dies.
+  EXPECT_FALSE(db_.objects().Exists(note));
+  EXPECT_FALSE(db_.schema().ResolveAttribute(memo, "Annotations").ok());
+  // Document keeps its own attribute and instances untouched.
+  EXPECT_TRUE(db_.schema().ResolveAttribute(doc_, "Annotations").ok());
+}
+
+TEST_F(DatabaseTest, DropClassDeletesInstancesWithDeletionRule) {
+  Uid doc = Make(doc_);
+  Uid note = *db_.objects().Make(para_, {{doc, "Annotations"}}, {});
+  Uid img = *db_.objects().Make(image_, {{doc, "Figures"}}, {});
+  ASSERT_TRUE(db_.DropClass(doc_).ok());
+  EXPECT_FALSE(db_.objects().Exists(doc));
+  EXPECT_FALSE(db_.objects().Exists(note));  // dependent exclusive
+  EXPECT_TRUE(db_.objects().Exists(img));    // independent shared
+  EXPECT_EQ(db_.schema().GetClass(doc_), nullptr);
+}
+
+// --- §4.2/§4.3 attribute-type changes ----------------------------------------
+
+TEST_F(DatabaseTest, I1CompositeToWeakDropsReverseRefsImmediate) {
+  Uid doc = Make(doc_);
+  Uid sec = *db_.objects().Make(sec_, {{doc, "Sections"}}, {});
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Sections", false, false, false,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  EXPECT_TRUE(db_.objects().Peek(sec)->reverse_refs().empty());
+  // The forward reference survives as a weak reference.
+  EXPECT_TRUE(db_.objects().Peek(doc)->Get("Sections").References(sec));
+  EXPECT_FALSE(*db_.schema().CompositeP(doc_, "Sections"));
+}
+
+TEST_F(DatabaseTest, I2ExclusiveToSharedDeferredAppliesOnAccess) {
+  Uid doc = Make(doc_);
+  Uid note = *db_.objects().Make(para_, {{doc, "Annotations"}}, {});
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Annotations", true, false, true,
+                                      ChangeMode::kDeferred)
+                  .ok());
+  // Stored flag is stale until the object is accessed.
+  EXPECT_TRUE(db_.objects().Peek(note)->reverse_refs()[0].exclusive);
+  ASSERT_TRUE(db_.objects().Access(note).ok());
+  EXPECT_FALSE(db_.objects().Peek(note)->reverse_refs()[0].exclusive);
+  // Semantics: the paragraph can now be shared with a section.
+  Uid s = Make(sec_);
+  EXPECT_TRUE(db_.objects().MakeComponent(note, s, "Content").ok());
+}
+
+TEST_F(DatabaseTest, I3I4DependencyFlagRoundTrip) {
+  Uid doc = Make(doc_);
+  Uid sec = *db_.objects().Make(sec_, {{doc, "Sections"}}, {});
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Sections", true, false, false,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  EXPECT_FALSE(db_.objects().Peek(sec)->reverse_refs()[0].dependent);
+  // Now the section survives its document (independent).
+  ASSERT_TRUE(db_.DeleteObject(doc).ok());
+  EXPECT_TRUE(db_.objects().Exists(sec));
+
+  // I4 back to dependent on a fresh pair.
+  Uid doc2 = Make(doc_);
+  Uid sec2 = *db_.objects().Make(sec_, {{doc2, "Sections"}}, {});
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Sections", true, false, true,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  EXPECT_TRUE(db_.objects().Peek(sec2)->reverse_refs()[0].dependent);
+  ASSERT_TRUE(db_.DeleteObject(doc2).ok());
+  EXPECT_FALSE(db_.objects().Exists(sec2));
+}
+
+TEST_F(DatabaseTest, DeferredAndImmediateAgree) {
+  // Property: after full access, deferred and immediate execution of the
+  // same change leave identical reverse-reference states.
+  auto build = [](Database& db, ClassId* doc_cls, std::vector<Uid>* secs) {
+    ClassId para = *db.MakeClass(ClassSpec{.name = "P"});
+    (void)para;
+    ClassId sec = *db.MakeClass(ClassSpec{.name = "S"});
+    *doc_cls = *db.MakeClass(ClassSpec{
+        .name = "D",
+        .attributes = {CompositeAttr("Kids", "S", false, true, true)}});
+    for (int i = 0; i < 8; ++i) {
+      Uid d = *db.objects().Make(*doc_cls, {}, {});
+      secs->push_back(*db.objects().Make(sec, {{d, "Kids"}}, {}));
+    }
+  };
+  Database imm, def;
+  ClassId imm_doc, def_doc;
+  std::vector<Uid> imm_secs, def_secs;
+  build(imm, &imm_doc, &imm_secs);
+  build(def, &def_doc, &def_secs);
+  ASSERT_TRUE(imm.ChangeAttributeType(imm_doc, "Kids", true, false, false,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  ASSERT_TRUE(def.ChangeAttributeType(def_doc, "Kids", true, false, false,
+                                      ChangeMode::kDeferred)
+                  .ok());
+  for (size_t i = 0; i < imm_secs.size(); ++i) {
+    ASSERT_TRUE(def.objects().Access(def_secs[i]).ok());
+    const auto& a = imm.objects().Peek(imm_secs[i])->reverse_refs();
+    const auto& b = def.objects().Peek(def_secs[i])->reverse_refs();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t r = 0; r < a.size(); ++r) {
+      EXPECT_EQ(a[r].dependent, b[r].dependent);
+      EXPECT_EQ(a[r].exclusive, b[r].exclusive);
+    }
+  }
+}
+
+TEST_F(DatabaseTest, D1WeakToExclusivePromotionAddsReverseRefs) {
+  Uid d1 = Make(doc_);
+  Uid d2 = Make(doc_);
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d1, "Related", Value::RefSet({d2}))
+                  .ok());
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Related", true, true, false,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  ASSERT_EQ(db_.objects().Peek(d2)->reverse_refs().size(), 1u);
+  EXPECT_TRUE(db_.objects().Peek(d2)->reverse_refs()[0].exclusive);
+  EXPECT_TRUE(*db_.schema().ExclusiveCompositeP(doc_, "Related"));
+}
+
+TEST_F(DatabaseTest, D1RejectedWhenTargetAlreadyOwned) {
+  Uid d1 = Make(doc_);
+  Uid sec = *db_.objects().Make(sec_, {{d1, "Sections"}}, {});
+  (void)sec;
+  // d1 is clean, but make the weak target a composite component first.
+  Uid d2 = Make(doc_);
+  Uid d3 = Make(doc_);
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d2, "Related", Value::RefSet({d3}))
+                  .ok());
+  // Also reference d3 from a second holder: exclusive promotion must fail.
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d1, "Related", Value::RefSet({d3}))
+                  .ok());
+  Status s = db_.ChangeAttributeType(doc_, "Related", true, true, false,
+                                     ChangeMode::kImmediate);
+  EXPECT_EQ(s.code(), StatusCode::kSchemaChangeRejected);
+  // Nothing half-applied.
+  EXPECT_TRUE(db_.objects().Peek(d3)->reverse_refs().empty());
+  EXPECT_FALSE(*db_.schema().CompositeP(doc_, "Related"));
+}
+
+TEST_F(DatabaseTest, D2WeakToSharedPromotion) {
+  Uid d1 = Make(doc_);
+  Uid d2 = Make(doc_);
+  Uid d3 = Make(doc_);
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d1, "Related", Value::RefSet({d3}))
+                  .ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d2, "Related", Value::RefSet({d3}))
+                  .ok());
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Related", true, false, false,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  EXPECT_EQ(db_.objects().Peek(d3)->reverse_refs().size(), 2u);
+}
+
+TEST_F(DatabaseTest, D2RejectedWhenTargetExclusivelyOwned) {
+  Uid d1 = Make(doc_);
+  Uid note = *db_.objects().Make(para_, {{d1, "Annotations"}}, {});
+  ClassId holder = *db_.MakeClass(ClassSpec{
+      .name = "Holder",
+      .attributes = {WeakAttr("Refs", "Paragraph", true)}});
+  Uid h = *db_.objects().Make(holder, {}, {});
+  ASSERT_TRUE(
+      db_.objects().SetAttribute(h, "Refs", Value::RefSet({note})).ok());
+  // note has an exclusive composite reference (Annotations): D2 must fail.
+  EXPECT_EQ(db_.ChangeAttributeType(holder, "Refs", true, false, false,
+                                    ChangeMode::kImmediate)
+                .code(),
+            StatusCode::kSchemaChangeRejected);
+}
+
+TEST_F(DatabaseTest, D3SharedToExclusiveTightening) {
+  Uid d1 = Make(doc_);
+  Uid sec = *db_.objects().Make(sec_, {{d1, "Sections"}}, {});
+  ASSERT_TRUE(db_.ChangeAttributeType(doc_, "Sections", true, true, true,
+                                      ChangeMode::kImmediate)
+                  .ok());
+  EXPECT_TRUE(db_.objects().Peek(sec)->reverse_refs()[0].exclusive);
+  EXPECT_TRUE(*db_.schema().ExclusiveCompositeP(doc_, "Sections"));
+}
+
+TEST_F(DatabaseTest, D3RejectedWhenComponentShared) {
+  Uid d1 = Make(doc_);
+  Uid d2 = Make(doc_);
+  Uid sec = *db_.objects().Make(
+      sec_, {{d1, "Sections"}, {d2, "Sections"}}, {});
+  Status s = db_.ChangeAttributeType(doc_, "Sections", true, true, true,
+                                     ChangeMode::kImmediate);
+  EXPECT_EQ(s.code(), StatusCode::kSchemaChangeRejected);
+  // Unchanged.
+  EXPECT_FALSE(db_.objects().Peek(sec)->reverse_refs()[0].exclusive);
+  EXPECT_FALSE(*db_.schema().ExclusiveCompositeP(doc_, "Sections"));
+}
+
+TEST_F(DatabaseTest, D1RejectsCyclesFormedBySimultaneousPromotion) {
+  Uid d1 = Make(doc_);
+  Uid d2 = Make(doc_);
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d1, "Related", Value::RefSet({d2}))
+                  .ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(d2, "Related", Value::RefSet({d1}))
+                  .ok());
+  // Promoting the weak cycle to composite would create a part-hierarchy
+  // cycle regardless of exclusivity.
+  EXPECT_EQ(db_.ChangeAttributeType(doc_, "Related", true, false, false,
+                                    ChangeMode::kImmediate)
+                .code(),
+            StatusCode::kSchemaChangeRejected);
+}
+
+// --- §4.1 change (2): attribute inheritance --------------------------------
+
+TEST_F(DatabaseTest, ChangeAttributeInheritanceSwitchesDefinition) {
+  // Two parents both define "Body" with different reference semantics; the
+  // child initially inherits from the first, then switches to the second.
+  ClassId part = *db_.MakeClass(ClassSpec{.name = "Part"});
+  (void)part;
+  ClassId p1 = *db_.MakeClass(ClassSpec{
+      .name = "P1",
+      .attributes = {CompositeAttr("Body", "Part", /*exclusive=*/true,
+                                   /*dependent=*/true)}});
+  ClassId p2 = *db_.MakeClass(ClassSpec{
+      .name = "P2",
+      .attributes = {CompositeAttr("Body", "Part", /*exclusive=*/false,
+                                   /*dependent=*/false)}});
+  ClassId child =
+      *db_.MakeClass(ClassSpec{.name = "Child", .superclasses = {"P1", "P2"}});
+  EXPECT_EQ(*db_.schema().DefiningClass(child, "Body"), p1);
+
+  Uid c = *db_.objects().Make(child, {}, {});
+  Uid body = *db_.objects().Make(part, {}, {});
+  ASSERT_TRUE(db_.objects().MakeComponent(body, c, "Body").ok());
+
+  ASSERT_TRUE(db_.ChangeAttributeInheritance(child, "Body", p2).ok());
+  EXPECT_EQ(*db_.schema().DefiningClass(child, "Body"), p2);
+  EXPECT_EQ(db_.schema().ResolveAttribute(child, "Body")->kind(),
+            RefKind::kIndependentShared);
+  // The value held under the old (dependent-exclusive) definition was
+  // dropped with Deletion-Rule semantics: the dependent body died.
+  EXPECT_TRUE(db_.objects().Peek(c)->Get("Body").is_null());
+  EXPECT_FALSE(db_.objects().Exists(body));
+  // New attachments follow the new (shared) semantics.
+  Uid b2 = *db_.objects().Make(part, {}, {});
+  ASSERT_TRUE(db_.objects().MakeComponent(b2, c, "Body").ok());
+  EXPECT_FALSE(db_.objects().Peek(b2)->reverse_refs()[0].exclusive);
+}
+
+TEST_F(DatabaseTest, ChangeAttributeInheritanceValidation) {
+  ClassId p1 = *db_.MakeClass(ClassSpec{
+      .name = "P1", .attributes = {WeakAttr("x", "integer")}});
+  ClassId p2 = *db_.MakeClass(ClassSpec{.name = "P2"});
+  ClassId child = *db_.MakeClass(ClassSpec{
+      .name = "Child",
+      .superclasses = {"P1", "P2"},
+      .attributes = {WeakAttr("own", "integer")}});
+  ClassId stranger = *db_.MakeClass(ClassSpec{
+      .name = "Stranger", .attributes = {WeakAttr("x", "integer")}});
+  // Locally defined attributes have no inheritance to change.
+  EXPECT_EQ(db_.ChangeAttributeInheritance(child, "own", p1).code(),
+            StatusCode::kFailedPrecondition);
+  // The source must be a superclass...
+  EXPECT_EQ(db_.ChangeAttributeInheritance(child, "x", stranger).code(),
+            StatusCode::kInvalidArgument);
+  // ...and must actually provide the attribute.
+  EXPECT_EQ(db_.ChangeAttributeInheritance(child, "x", p2).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, IdentityTypeChangeRejected) {
+  EXPECT_EQ(db_.ChangeAttributeType(doc_, "Sections", true, false, true)
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,207 @@
+#include "invariants.h"
+
+#include <algorithm>
+
+namespace orion::testing {
+
+namespace {
+
+std::string Describe(Uid uid) { return uid.ToString(); }
+
+}  // namespace
+
+std::vector<std::string> CheckInvariants(Database& db) {
+  std::vector<std::string> violations;
+  ObjectManager& om = db.objects();
+  SchemaManager& schema = db.schema();
+  const std::vector<Uid> uids = om.AllUids();
+
+  // Bring every object up to date first so flag checks (I5) see the
+  // schema-current state.
+  for (Uid uid : uids) {
+    Object* obj = om.Peek(uid);
+    if (obj != nullptr) {
+      (void)om.CatchUp(obj);
+    }
+  }
+
+  // Expected generic ref counts, aggregated while walking forward refs:
+  // (generic uid, parent key, attribute) -> count.
+  struct GenericKey {
+    Uid generic;
+    Uid parent;
+    std::string attribute;
+    bool operator==(const GenericKey&) const = default;
+  };
+  struct GenericKeyHash {
+    size_t operator()(const GenericKey& k) const {
+      return std::hash<Uid>{}(k.generic) ^ (std::hash<Uid>{}(k.parent) << 1) ^
+             std::hash<std::string>{}(k.attribute);
+    }
+  };
+  std::unordered_map<GenericKey, int, GenericKeyHash> expected_counts;
+
+  for (Uid uid : uids) {
+    Object* obj = om.Peek(uid);
+    if (obj == nullptr) {
+      continue;
+    }
+    // --- I1: reverse references are backed by live forward references. ---
+    for (const ReverseRef& r : obj->reverse_refs()) {
+      const Object* parent = om.Peek(r.parent);
+      if (parent == nullptr) {
+        violations.push_back("I1: " + Describe(uid) +
+                             " has a reverse reference to dead parent " +
+                             Describe(r.parent));
+        continue;
+      }
+      if (!parent->Get(r.attribute).References(uid)) {
+        violations.push_back("I1: " + Describe(uid) + " claims parent " +
+                             Describe(r.parent) + " via '" + r.attribute +
+                             "' but the forward reference is missing");
+      }
+    }
+
+    // --- I3: Topology Rules. ---
+    int exclusive_refs = 0;
+    int shared_refs = 0;
+    for (const ReverseRef& r : obj->reverse_refs()) {
+      (r.exclusive ? exclusive_refs : shared_refs) += 1;
+    }
+    for (const GenericRef& g : obj->generic_refs()) {
+      (g.exclusive ? exclusive_refs : shared_refs) += g.ref_count;
+    }
+    if (!obj->is_generic() && exclusive_refs > 1) {
+      violations.push_back("I3: " + Describe(uid) +
+                           " has more than one exclusive composite "
+                           "reference");
+    }
+    // Generic instances aggregate references to all their versions; CV-2X
+    // explicitly allows exclusive (same-hierarchy) and shared references
+    // to coexist there, so the mix check applies to the other roles only.
+    if (!obj->is_generic() && exclusive_refs > 0 && shared_refs > 0) {
+      violations.push_back("I3: " + Describe(uid) +
+                           " mixes exclusive and shared composite "
+                           "references");
+    }
+
+    // --- I2 (+ collect expected generic ref counts). ---
+    auto comps = om.DirectComponents(uid);
+    if (comps.ok()) {
+      for (const auto& [child, spec] : *comps) {
+        Object* child_obj = om.Peek(child);
+        if (child_obj == nullptr) {
+          violations.push_back("I2: " + Describe(uid) + "." + spec.name +
+                               " references dead object " + Describe(child));
+          continue;
+        }
+        const Uid parent_key =
+            obj->is_version() ? obj->generic() : obj->uid();
+        if (child_obj->is_generic()) {
+          expected_counts[GenericKey{child, parent_key, spec.name}] += 1;
+        } else {
+          bool found = false;
+          for (const ReverseRef& r : child_obj->reverse_refs()) {
+            if (r.parent == uid && r.attribute == spec.name) {
+              found = true;
+              // --- I5: flags agree with the schema. ---
+              if (r.exclusive != spec.exclusive ||
+                  r.dependent != spec.dependent) {
+                violations.push_back(
+                    "I5: reverse-reference flags on " + Describe(child) +
+                    " for '" + spec.name + "' disagree with the schema");
+              }
+              break;
+            }
+          }
+          if (!found) {
+            violations.push_back("I2: composite reference " + Describe(uid) +
+                                 "." + spec.name + " -> " + Describe(child) +
+                                 " lacks a reverse reference");
+          }
+          if (child_obj->is_version()) {
+            expected_counts[GenericKey{child_obj->generic(), parent_key,
+                                       spec.name}] += 1;
+          }
+        }
+      }
+    }
+  }
+
+  // --- I6: generic ref counts match the walked forward references. ---
+  for (Uid uid : uids) {
+    const Object* obj = om.Peek(uid);
+    if (obj == nullptr || !obj->is_generic()) {
+      continue;
+    }
+    for (const GenericRef& g : obj->generic_refs()) {
+      auto it =
+          expected_counts.find(GenericKey{uid, g.parent, g.attribute});
+      const int expected = it == expected_counts.end() ? 0 : it->second;
+      if (expected != g.ref_count) {
+        violations.push_back(
+            "I6: generic " + Describe(uid) + " records ref_count " +
+            std::to_string(g.ref_count) + " from " + Describe(g.parent) +
+            " via '" + g.attribute + "' but " + std::to_string(expected) +
+            " live references exist");
+      }
+      expected_counts.erase(GenericKey{uid, g.parent, g.attribute});
+    }
+  }
+  for (const auto& [key, count] : expected_counts) {
+    if (count > 0) {
+      violations.push_back("I6: " + std::to_string(count) +
+                           " references into versions of " +
+                           Describe(key.generic) + " from " +
+                           Describe(key.parent) + " via '" + key.attribute +
+                           "' have no generic reference entry");
+    }
+  }
+
+  // --- I4: acyclicity of the composite graph (Kahn's algorithm). ---
+  std::unordered_map<Uid, int> indegree;
+  std::unordered_map<Uid, std::vector<Uid>> children;
+  for (Uid uid : uids) {
+    auto comps = om.DirectComponents(uid);
+    if (!comps.ok()) {
+      continue;
+    }
+    for (const auto& [child, spec] : *comps) {
+      if (om.Peek(child) == nullptr) {
+        continue;
+      }
+      children[uid].push_back(child);
+      ++indegree[child];
+    }
+  }
+  std::deque<Uid> queue;
+  size_t processed = 0, nodes = uids.size();
+  for (Uid uid : uids) {
+    if (indegree.count(uid) == 0) {
+      queue.push_back(uid);
+    }
+  }
+  while (!queue.empty()) {
+    const Uid cur = queue.front();
+    queue.pop_front();
+    ++processed;
+    auto it = children.find(cur);
+    if (it == children.end()) {
+      continue;
+    }
+    for (Uid child : it->second) {
+      if (--indegree[child] == 0) {
+        queue.push_back(child);
+      }
+    }
+  }
+  if (processed != nodes) {
+    violations.push_back("I4: the composite reference graph contains a "
+                         "cycle");
+  }
+
+  (void)schema;
+  return violations;
+}
+
+}  // namespace orion::testing

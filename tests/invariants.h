@@ -1,0 +1,49 @@
+#ifndef ORION_TESTS_INVARIANTS_H_
+#define ORION_TESTS_INVARIANTS_H_
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/database.h"
+
+namespace orion::testing {
+
+/// Whole-database structural invariants implied by the paper's model.
+/// Returns a human-readable list of violations (empty = consistent).
+///
+/// Checked invariants:
+///  I1  every reverse reference points at a live parent whose attribute
+///      value holds the matching forward reference;
+///  I2  every composite forward reference target is live and carries the
+///      matching reverse bookkeeping (reverse ref, or generic ref for
+///      versioned targets);
+///  I3  Topology Rules 1-3: at most one exclusive composite reference per
+///      object, and exclusive excludes shared;
+///  I4  the composite reference graph is acyclic (part *hierarchy*);
+///  I5  reverse-reference flags agree with the schema's current attribute
+///      flags once the object is caught up (§4.3);
+///  I6  generic-instance ref counts equal the number of live composite
+///      references to the object's version instances (plus direct
+///      references to the generic), aggregated by referencing hierarchy.
+std::vector<std::string> CheckInvariants(Database& db);
+
+/// gtest helper: EXPECT that the database is consistent, printing all
+/// violations on failure.
+#define ORION_EXPECT_CONSISTENT(db)                                   \
+  do {                                                                \
+    auto violations = ::orion::testing::CheckInvariants(db);          \
+    EXPECT_TRUE(violations.empty()) << [&] {                          \
+      std::string all;                                                \
+      for (const auto& v : violations) {                              \
+        all += v + "\n";                                              \
+      }                                                               \
+      return all;                                                     \
+    }();                                                              \
+  } while (false)
+
+}  // namespace orion::testing
+
+#endif  // ORION_TESTS_INVARIANTS_H_

@@ -1,0 +1,252 @@
+#include "lang/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/sexpr.h"
+
+namespace orion {
+namespace {
+
+// --- Reader -------------------------------------------------------------------
+
+TEST(SexprTest, ParsesAtoms) {
+  EXPECT_EQ(ParseSexpr("hello")->text, "hello");
+  EXPECT_EQ(ParseSexpr("42")->integer, 42);
+  EXPECT_EQ(ParseSexpr("-7")->integer, -7);
+  EXPECT_DOUBLE_EQ(ParseSexpr("2.5")->real, 2.5);
+  EXPECT_EQ(ParseSexpr("\"a string\"")->text, "a string");
+  EXPECT_EQ(ParseSexpr(":keyword")->text, ":keyword");
+  // '-' alone is a symbol, not a number.
+  EXPECT_EQ(ParseSexpr("-")->kind, Sexpr::Kind::kSymbol);
+}
+
+TEST(SexprTest, ParsesNestedLists) {
+  auto e = ParseSexpr("(a (b 1) \"s\")");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->list.size(), 3u);
+  EXPECT_TRUE(e->list[0].is_symbol("a"));
+  EXPECT_EQ(e->list[1].list.size(), 2u);
+  EXPECT_EQ(e->list[1].list[1].integer, 1);
+  EXPECT_EQ(e->ToString(), "(a (b 1) \"s\")");
+}
+
+TEST(SexprTest, QuoteIsTransparentAndCommentsSkip) {
+  auto e = ParseSexpr("'(Vehicle) ; trailing comment");
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(e->list.size(), 1u);
+  EXPECT_TRUE(e->list[0].is_symbol("Vehicle"));
+
+  auto program = ParseProgram("; leading comment\n(a) 'b (c)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 3u);
+}
+
+TEST(SexprTest, Errors) {
+  EXPECT_FALSE(ParseSexpr("(unterminated").ok());
+  EXPECT_FALSE(ParseSexpr(")").ok());
+  EXPECT_FALSE(ParseSexpr("\"open").ok());
+  EXPECT_FALSE(ParseSexpr("").ok());
+}
+
+// --- Interpreter -----------------------------------------------------------------
+
+class InterpreterTest : public ::testing::Test {
+ protected:
+  InterpreterTest() : interp_(&db_) {}
+
+  Value Run(const std::string& src) {
+    auto out = interp_.EvalString(src);
+    EXPECT_TRUE(out.ok()) << src << " -> " << out.status().ToString();
+    return out.ok() ? *out : Value::Null();
+  }
+
+  Database db_;
+  Interpreter interp_;
+};
+
+TEST_F(InterpreterTest, PaperExample1VehicleRunsVerbatim) {
+  // §2.3 Example 1, modulo OCR repair.
+  Run(R"(
+    (make-class 'Company)
+    (make-class 'AutoBody)
+    (make-class 'AutoDrivetrain)
+    (make-class 'AutoTires)
+    (make-class 'Vehicle :superclasses nil
+      :attributes '(
+        (Manufacturer :domain Company)
+        (Body       :domain AutoBody
+                    :composite true :exclusive true :dependent nil)
+        (Drivetrain :domain AutoDrivetrain
+                    :composite true :exclusive true :dependent nil)
+        (Tires      :domain (set-of AutoTires)
+                    :composite true :exclusive true :dependent nil)
+        (Color      :domain String)))
+  )");
+  ClassId vehicle = *db_.schema().FindClass("Vehicle");
+  EXPECT_TRUE(*db_.schema().CompositeP(vehicle, "Body"));
+  EXPECT_TRUE(*db_.schema().ExclusiveCompositeP(vehicle, "Tires"));
+  EXPECT_FALSE(*db_.schema().DependentCompositeP(vehicle, "Body"));
+  auto tires = db_.schema().ResolveAttribute(vehicle, "Tires");
+  EXPECT_TRUE(tires->is_set);
+  EXPECT_EQ(tires->domain, "AutoTires");
+  EXPECT_EQ(db_.schema().ResolveAttribute(vehicle, "Color")->domain,
+            "string");
+}
+
+TEST_F(InterpreterTest, PaperExample2DocumentRunsVerbatim) {
+  Run(R"(
+    (make-class 'Paragraph)
+    (make-class 'Image)
+    (make-class 'Section :superclasses nil
+      :attribute '(
+        (Content :domain (set-of Paragraph)
+                 :composite true :exclusive nil :dependent true)))
+    (make-class 'Document :superclasses nil
+      :attribute '(
+        (Title    :domain string)
+        (Authors  :domain (set-of string))
+        (Sections :domain (set-of Section)
+                  :composite true :exclusive nil :dependent true)
+        (Figures  :domain (set-of Image)
+                  :composite true :exclusive nil :dependent nil)
+        (Annotations :domain (set-of Paragraph)
+                  :composite true :exclusive true :dependent true)))
+  )");
+  ClassId doc = *db_.schema().FindClass("Document");
+  EXPECT_TRUE(*db_.schema().SharedCompositeP(doc, "Sections"));
+  EXPECT_TRUE(*db_.schema().DependentCompositeP(doc, "Sections"));
+  EXPECT_FALSE(*db_.schema().DependentCompositeP(doc, "Figures"));
+  EXPECT_TRUE(*db_.schema().ExclusiveCompositeP(doc, "Annotations"));
+}
+
+TEST_F(InterpreterTest, MakeWithParentAndQueries) {
+  Run(R"(
+    (make-class 'Paragraph)
+    (make-class 'Section
+      :attributes '((Content :domain (set-of Paragraph)
+                             :composite true :exclusive nil
+                             :dependent true)))
+    (make-class 'Document
+      :attributes '((Sections :domain (set-of Section)
+                              :composite true :exclusive nil
+                              :dependent true)))
+    (define doc (make Document))
+    (define sec (make Section :parent ((doc Sections))))
+    (define para (make Paragraph :parent ((sec Content))))
+  )");
+  Value components = Run("(components-of doc)");
+  ASSERT_TRUE(components.is_set());
+  EXPECT_EQ(components.set().size(), 2u);
+  EXPECT_EQ(Run("(components-of doc :level 1)").set().size(), 1u);
+  EXPECT_EQ(Run("(component-of para doc)"), Value::Integer(1));
+  EXPECT_EQ(Run("(child-of para doc)"), Value::Null());
+  EXPECT_EQ(Run("(shared-component-of sec doc)"), Value::Integer(1));
+  EXPECT_EQ(Run("(exclusive-component-of sec doc)"), Value::Null());
+  EXPECT_EQ(Run("(compositep Document)"), Value::Integer(1));
+  EXPECT_EQ(Run("(dependent-compositep Document Sections)"),
+            Value::Integer(1));
+  Value parents = Run("(parents-of para)");
+  ASSERT_TRUE(parents.is_set());
+  EXPECT_EQ(parents.set().size(), 1u);
+}
+
+TEST_F(InterpreterTest, SetGetAndDelete) {
+  Run(R"(
+    (make-class 'Doc :attributes '((Title :domain string)))
+    (define d (make Doc :Title "hello"))
+  )");
+  EXPECT_EQ(Run("(get d Title)"), Value::String("hello"));
+  Run("(set d Title \"bye\")");
+  EXPECT_EQ(Run("(get d Title)"), Value::String("bye"));
+  EXPECT_EQ(Run("(exists d)"), Value::Integer(1));
+  Run("(delete d)");
+  EXPECT_EQ(Run("(exists d)"), Value::Null());
+}
+
+TEST_F(InterpreterTest, VersionForms) {
+  Run(R"(
+    (make-class 'Design :versionable true
+                :attributes '((Label :domain string)))
+    (define v0 (make Design :Label "rev0"))
+    (define g (generic-of v0))
+    (define v1 (derive v0))
+  )");
+  EXPECT_EQ(Run("(get v1 Label)"), Value::String("rev0"));
+  EXPECT_EQ(Run("(versions-of g)").set().size(), 2u);
+  // Dynamic binding resolves to the newest version.
+  Value v1 = *interp_.Lookup("v1");
+  EXPECT_EQ(Run("(resolve g)"), v1);
+  Run("(set-default-version g v0)");
+  EXPECT_EQ(Run("(resolve g)"), *interp_.Lookup("v0"));
+  EXPECT_EQ(Run("(default-version g)"), *interp_.Lookup("v0"));
+}
+
+TEST_F(InterpreterTest, AuthorizationForms) {
+  Run(R"(
+    (make-class 'Part)
+    (make-class 'Node
+      :attributes '((Parts :domain (set-of Part)
+                           :composite true :exclusive nil :dependent nil)))
+    (define root (make Node))
+    (define child (make Part :parent ((root Parts))))
+    (grant-on-object "sam" root "sR")
+  )");
+  EXPECT_EQ(Run("(check-access \"sam\" child R)"), Value::Integer(1));
+  EXPECT_EQ(Run("(check-access \"sam\" child W)"), Value::Null());
+  // Conflicting grant is rejected.
+  auto conflict = interp_.EvalString("(grant-on-object \"sam\" root \"s~R\")");
+  EXPECT_EQ(conflict.status().code(), StatusCode::kAuthorizationConflict);
+  Run("(grant-on-class \"eve\" Node \"w~W\")");
+  EXPECT_EQ(Run("(check-access \"eve\" root W)"), Value::Null());
+}
+
+TEST_F(InterpreterTest, SelectForms) {
+  Run(R"(
+    (make-class 'Chapter :attributes '((Pages :domain integer)))
+    (make-class 'Book
+      :attributes '((Title :domain string)
+                    (Price :domain real)
+                    (Chapters :domain (set-of Chapter)
+                              :composite true :exclusive true
+                              :dependent true)))
+    (define b1 (make Book :Title "A" :Price 10.0))
+    (define b2 (make Book :Title "B" :Price 50.0))
+    (define c1 (make Chapter :parent ((b2 Chapters)) :Pages 99))
+  )");
+  EXPECT_EQ(Run("(select Book (= Title \"A\"))").set().size(), 1u);
+  EXPECT_EQ(Run("(select Book (> Price 20.0))").set().size(), 1u);
+  EXPECT_EQ(Run("(select Book (and (> Price 0.0) (not (= Title \"A\"))))")
+                .set()
+                .size(),
+            1u);
+  EXPECT_EQ(Run("(select Book (path (Chapters Pages) > 50))").set().size(),
+            1u);
+  EXPECT_EQ(Run("(select Chapter (part-of b2))").set().size(), 1u);
+  // Indexed equality gives the same answer.
+  Run("(create-index Book Title)");
+  EXPECT_EQ(Run("(select Book (= Title \"A\"))").set().size(), 1u);
+  EXPECT_FALSE(interp_.EvalString("(select Book (?? Title 1))").ok());
+  EXPECT_FALSE(interp_.EvalString("(select NoClass (= x 1))").ok());
+}
+
+TEST_F(InterpreterTest, Errors) {
+  EXPECT_FALSE(interp_.EvalString("(no-such-form 1)").ok());
+  EXPECT_FALSE(interp_.EvalString("unbound").ok());
+  EXPECT_FALSE(interp_.EvalString("(make NoSuchClass)").ok());
+  EXPECT_FALSE(interp_.EvalString("(make-class)").ok());
+  EXPECT_FALSE(interp_.EvalString("(define 3 4)").ok());
+  // Violations surface as statuses, not crashes.
+  Run(R"(
+    (make-class 'Part)
+    (make-class 'Holder
+      :attributes '((P :domain Part :composite true :exclusive true
+                       :dependent nil)))
+    (define p (make Part))
+    (define h1 (make Holder :P p))
+  )");
+  auto second = interp_.EvalString("(make Holder :P p)");
+  EXPECT_EQ(second.status().code(), StatusCode::kTopologyViolation);
+}
+
+}  // namespace
+}  // namespace orion

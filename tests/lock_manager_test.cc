@@ -1,0 +1,156 @@
+#include "lock/lock_manager.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+using std::chrono::milliseconds;
+
+const LockResource kRes = LockResource::Instance(Uid{1});
+const LockResource kOther = LockResource::Instance(Uid{2});
+
+TEST(LockManagerTest, GrantAndReacquire) {
+  LockManager lm;
+  TxnId t = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t, kRes, LockMode::kS).ok());
+  // Re-acquiring the same mode is a no-op.
+  ASSERT_TRUE(lm.Acquire(t, kRes, LockMode::kS).ok());
+  EXPECT_EQ(lm.HeldModes(t, kRes), std::vector<LockMode>{LockMode::kS});
+  EXPECT_TRUE(lm.IsLocked(kRes));
+  EXPECT_EQ(lm.grant_count(), 1u);
+}
+
+TEST(LockManagerTest, CompatibleModesShareAResource) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kIS).ok());
+  ASSERT_TRUE(lm.Acquire(t2, kRes, LockMode::kIX).ok());
+  EXPECT_EQ(lm.grant_count(), 2u);
+}
+
+TEST(LockManagerTest, IncompatibleRequestTimesOutImmediately) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kX).ok());
+  Status s = lm.Acquire(t2, kRes, LockMode::kS);
+  EXPECT_EQ(s.code(), StatusCode::kLockTimeout);
+}
+
+TEST(LockManagerTest, OwnModesNeverConflict) {
+  LockManager lm;
+  TxnId t = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t, kRes, LockMode::kS).ok());
+  // Upgrade-style second mode on the same resource by the same txn.
+  ASSERT_TRUE(lm.Acquire(t, kRes, LockMode::kX).ok());
+  EXPECT_EQ(lm.HeldModes(t, kRes).size(), 2u);
+}
+
+TEST(LockManagerTest, ReleaseFreesEverything) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(t1, kOther, LockMode::kS).ok());
+  ASSERT_TRUE(lm.Release(t1).ok());
+  EXPECT_FALSE(lm.IsLocked(kRes));
+  EXPECT_FALSE(lm.IsLocked(kOther));
+  TxnId t2 = lm.Begin();
+  EXPECT_TRUE(lm.Acquire(t2, kRes, LockMode::kX).ok());
+}
+
+TEST(LockManagerTest, InvalidTransactionRejected) {
+  LockManager lm;
+  EXPECT_EQ(lm.Acquire(0, kRes, LockMode::kS).code(),
+            StatusCode::kTransactionInvalid);
+  EXPECT_EQ(lm.Acquire(42, kRes, LockMode::kS).code(),
+            StatusCode::kTransactionInvalid);
+}
+
+TEST(LockManagerTest, BlockedRequestWakesOnRelease) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kX).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&] {
+    Status s = lm.Acquire(t2, kRes, LockMode::kS, milliseconds(2000));
+    granted = s.ok();
+  });
+  std::this_thread::sleep_for(milliseconds(50));
+  EXPECT_FALSE(granted.load());
+  ASSERT_TRUE(lm.Release(t1).ok());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, TimeoutExpires) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kX).ok());
+  const auto start = std::chrono::steady_clock::now();
+  Status s = lm.Acquire(t2, kRes, LockMode::kS, milliseconds(50));
+  EXPECT_EQ(s.code(), StatusCode::kLockTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - start, milliseconds(45));
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(lm.Acquire(t1, kRes, LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(t2, kOther, LockMode::kX).ok());
+
+  // t1 blocks on kOther; t2 then requests kRes -> cycle -> deadlock.
+  std::atomic<int> t1_result{-1};
+  std::thread blocked([&] {
+    Status s = lm.Acquire(t1, kOther, LockMode::kX, milliseconds(5000));
+    t1_result = static_cast<int>(s.code());
+  });
+  std::this_thread::sleep_for(milliseconds(100));
+  Status s2 = lm.Acquire(t2, kRes, LockMode::kX, milliseconds(5000));
+  EXPECT_EQ(s2.code(), StatusCode::kDeadlock);
+  // Resolve: t2 aborts, t1 proceeds.
+  ASSERT_TRUE(lm.Release(t2).ok());
+  blocked.join();
+  EXPECT_EQ(t1_result.load(), static_cast<int>(StatusCode::kOk));
+}
+
+TEST(LockManagerTest, ManyReadersOneWriterSerialization) {
+  LockManager lm;
+  constexpr int kReaders = 8;
+  std::vector<TxnId> readers;
+  for (int i = 0; i < kReaders; ++i) {
+    TxnId t = lm.Begin();
+    readers.push_back(t);
+    ASSERT_TRUE(lm.Acquire(t, kRes, LockMode::kS).ok());
+  }
+  TxnId writer = lm.Begin();
+  EXPECT_EQ(lm.Acquire(writer, kRes, LockMode::kX).code(),
+            StatusCode::kLockTimeout);
+  for (TxnId t : readers) {
+    ASSERT_TRUE(lm.Release(t).ok());
+  }
+  EXPECT_TRUE(lm.Acquire(writer, kRes, LockMode::kX).ok());
+  EXPECT_GE(lm.total_acquisitions(), static_cast<uint64_t>(kReaders + 1));
+}
+
+TEST(LockManagerTest, ClassAndInstanceResourcesAreDistinct) {
+  LockManager lm;
+  TxnId t1 = lm.Begin();
+  TxnId t2 = lm.Begin();
+  ASSERT_TRUE(
+      lm.Acquire(t1, LockResource::Class(7), LockMode::kX).ok());
+  // Same numeric id, different kind: no conflict.
+  EXPECT_TRUE(
+      lm.Acquire(t2, LockResource::Instance(Uid{7}), LockMode::kX).ok());
+}
+
+}  // namespace
+}  // namespace orion

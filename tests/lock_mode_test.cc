@@ -1,0 +1,139 @@
+#include "lock/lock_mode.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+using enum LockMode;
+
+TEST(LockModeTest, Names) {
+  EXPECT_EQ(LockModeName(kIS), "IS");
+  EXPECT_EQ(LockModeName(kSIXOS), "SIXOS");
+  EXPECT_EQ(AllLockModes().size(), static_cast<size_t>(kNumLockModes));
+}
+
+TEST(LockModeTest, MatrixIsSymmetric) {
+  for (LockMode a : AllLockModes()) {
+    for (LockMode b : AllLockModes()) {
+      EXPECT_EQ(Compatible(a, b), Compatible(b, a))
+          << LockModeName(a) << " vs " << LockModeName(b);
+    }
+  }
+}
+
+TEST(LockModeTest, ClassicalGranularityMatrix) {
+  // [GRAY78] entries.
+  EXPECT_TRUE(Compatible(kIS, kIS));
+  EXPECT_TRUE(Compatible(kIS, kIX));
+  EXPECT_TRUE(Compatible(kIS, kS));
+  EXPECT_TRUE(Compatible(kIS, kSIX));
+  EXPECT_FALSE(Compatible(kIS, kX));
+  EXPECT_TRUE(Compatible(kIX, kIX));
+  EXPECT_FALSE(Compatible(kIX, kS));
+  EXPECT_FALSE(Compatible(kIX, kSIX));
+  EXPECT_TRUE(Compatible(kS, kS));
+  EXPECT_FALSE(Compatible(kS, kSIX));
+  EXPECT_FALSE(Compatible(kSIX, kSIX));
+  for (LockMode m : AllLockModes()) {
+    EXPECT_FALSE(Compatible(kX, m)) << LockModeName(m);
+  }
+}
+
+TEST(LockModeTest, PaperProseConstraints) {
+  // "While IS and IX modes do not conflict, the ISO mode conflicts with IX
+  // mode, and IXO and SIXO modes conflict with both IS and IX modes."
+  EXPECT_TRUE(Compatible(kIS, kIX));
+  EXPECT_FALSE(Compatible(kISO, kIX));
+  EXPECT_FALSE(Compatible(kIXO, kIS));
+  EXPECT_FALSE(Compatible(kIXO, kIX));
+  EXPECT_FALSE(Compatible(kSIXO, kIS));
+  EXPECT_FALSE(Compatible(kSIXO, kIX));
+  // ISO is a reader: compatible with direct readers.
+  EXPECT_TRUE(Compatible(kISO, kIS));
+  EXPECT_TRUE(Compatible(kISO, kS));
+}
+
+TEST(LockModeTest, DifferentCompositesMayBeReadAndUpdatedConcurrently) {
+  // "This protocol allows multiple users to read and update different
+  // composite objects that share the same composite class hierarchy" —
+  // the O-modes taken on component classes must not block each other (root
+  // instance locks arbitrate instead).
+  EXPECT_TRUE(Compatible(kISO, kISO));
+  EXPECT_TRUE(Compatible(kISO, kIXO));
+  EXPECT_TRUE(Compatible(kIXO, kIXO));
+  EXPECT_TRUE(Compatible(kISO, kSIXO));
+  // SIXO reads every instance of the class, so a second composite writer
+  // conflicts (same reasoning as classical SIX vs IX).
+  EXPECT_FALSE(Compatible(kSIXO, kIXO));
+  EXPECT_FALSE(Compatible(kSIXO, kSIXO));
+}
+
+TEST(LockModeTest, SharedReferenceModesSeveralReadersOneWriter) {
+  // "This protocol allows us to have ... several readers and one writer on
+  // a component class of shared references."
+  EXPECT_TRUE(Compatible(kISOS, kISOS));
+  EXPECT_FALSE(Compatible(kIXOS, kISOS));
+  EXPECT_FALSE(Compatible(kIXOS, kIXOS));
+  EXPECT_FALSE(Compatible(kSIXOS, kIXOS));
+}
+
+TEST(LockModeTest, PaperWorkedExamples) {
+  // Example 1 locks class C in IXO (exclusive refs from Instance[i]'s
+  // hierarchy); example 2 locks class C in ISOS; example 3 locks class C in
+  // IXOS and class W in IXO.
+  // "Examples 1 and 2 are compatible":
+  EXPECT_TRUE(Compatible(kIXO, kISOS));
+  // "Example 3 is incompatible with both 1 and 2":
+  EXPECT_FALSE(Compatible(kIXOS, kIXO));   // 3 vs 1 on class C
+  EXPECT_FALSE(Compatible(kIXOS, kISOS));  // 3 vs 2 on class C
+  // (W: IXO vs ISO is compatible, so the conflict indeed comes from C.)
+  EXPECT_TRUE(Compatible(kIXO, kISO));
+}
+
+TEST(LockModeTest, SharedWritersConflictWithEverythingButISO) {
+  // A writer through shared references cannot rely on root locks at all:
+  // only composite readers over *exclusive* references (disjoint objects by
+  // Topology Rule 3) are safe concurrently.
+  for (LockMode m : AllLockModes()) {
+    if (m == LockMode::kISO) {
+      EXPECT_TRUE(Compatible(kIXOS, m));
+    } else {
+      EXPECT_FALSE(Compatible(kIXOS, m)) << LockModeName(m);
+    }
+  }
+}
+
+TEST(LockModeTest, Figure7MatrixRenders) {
+  const std::string m = RenderFigure7Matrix();
+  EXPECT_NE(m.find("SIXO"), std::string::npos);
+  EXPECT_EQ(m.find("SIXOS"), std::string::npos);  // figure 7 excludes OS
+}
+
+TEST(LockModeTest, Figure8MatrixRenders) {
+  const std::string m = RenderFigure8Matrix();
+  EXPECT_NE(m.find("SIXOS"), std::string::npos);
+  EXPECT_NE(m.find("No"), std::string::npos);
+}
+
+/// Property sweep: every mode that is a "writer" (contains an X or IXO*
+/// component) must conflict with S (read-all) except the O-family cases
+/// where root locks arbitrate are explicitly exempted.
+class LockModePairTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LockModePairTest, IntentionModesNeverBeatX) {
+  const LockMode a = AllLockModes()[std::get<0>(GetParam())];
+  const LockMode b = AllLockModes()[std::get<1>(GetParam())];
+  if (a == kX || b == kX) {
+    EXPECT_FALSE(Compatible(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, LockModePairTest,
+    ::testing::Combine(::testing::Range(0, kNumLockModes),
+                       ::testing::Range(0, kNumLockModes)));
+
+}  // namespace
+}  // namespace orion

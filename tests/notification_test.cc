@@ -1,0 +1,177 @@
+#include "notify/notification_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/transaction.h"
+
+namespace orion {
+namespace {
+
+class NotificationTest : public ::testing::Test {
+ protected:
+  NotificationTest() : notify_(&db_.objects()) {
+    part_ = *db_.MakeClass(ClassSpec{
+        .name = "Part", .attributes = {WeakAttr("Name", "string")}});
+    node_ = *db_.MakeClass(ClassSpec{
+        .name = "Node",
+        .attributes = {CompositeAttr("Parts", "Part", /*exclusive=*/false,
+                                     /*dependent=*/false, /*is_set=*/true),
+                       WeakAttr("Label", "string")}});
+    root_ = *db_.objects().Make(node_, {}, {});
+    child_ = *db_.objects().Make(part_, {{root_, "Parts"}}, {});
+  }
+
+  Database db_;
+  NotificationManager notify_;
+  ClassId node_, part_;
+  Uid root_, child_;
+};
+
+TEST_F(NotificationTest, DirectSubscriptionSeesUpdates) {
+  ASSERT_TRUE(notify_.Subscribe("sam", child_, false).ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(child_, "Name", Value::String("bolt"))
+                  .ok());
+  auto events = notify_.Drain("sam");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object, child_);
+  EXPECT_EQ(events[0].kind, ChangeKind::kUpdated);
+  EXPECT_EQ(events[0].attribute, "Name");
+  EXPECT_EQ(events[0].subscription_root, child_);
+  // Drained: nothing pending.
+  EXPECT_EQ(notify_.Pending("sam"), 0u);
+}
+
+TEST_F(NotificationTest, CompositeSubscriptionSeesComponentChanges) {
+  // The CHOU88-style use the paper motivates: watch a whole design.
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, /*include_components=*/true)
+                  .ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(child_, "Name", Value::String("gear"))
+                  .ok());
+  auto events = notify_.Drain("sam");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object, child_);
+  EXPECT_EQ(events[0].subscription_root, root_);
+}
+
+TEST_F(NotificationTest, NonCompositeSubscriptionIgnoresComponents) {
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, /*include_components=*/false)
+                  .ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(child_, "Name", Value::String("x"))
+                  .ok());
+  EXPECT_EQ(notify_.Pending("sam"), 0u);
+  // Changes to the root itself still arrive.
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(root_, "Label", Value::String("r"))
+                  .ok());
+  EXPECT_EQ(notify_.Pending("sam"), 1u);
+}
+
+TEST_F(NotificationTest, NewComponentsAreCoveredAutomatically) {
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, true).ok());
+  // Attaching a new component to the watched composite is itself a change
+  // (the root's Parts value), and future changes to it are covered.
+  Uid late = *db_.objects().Make(part_, {{root_, "Parts"}}, {});
+  (void)notify_.Drain("sam");
+  ASSERT_TRUE(
+      db_.objects().SetAttribute(late, "Name", Value::String("new")).ok());
+  auto events = notify_.Drain("sam");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].object, late);
+}
+
+TEST_F(NotificationTest, DeletionNotifiesAndDropsSubscription) {
+  ASSERT_TRUE(notify_.Subscribe("sam", child_, false).ok());
+  ASSERT_TRUE(db_.DeleteObject(child_).ok());
+  auto events = notify_.Drain("sam");
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind, ChangeKind::kDeleted);
+  EXPECT_EQ(events.back().object, child_);
+  // The subscription died with the object: no NotFound surprises later.
+  EXPECT_EQ(notify_.Unsubscribe("sam", child_).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NotificationTest, CascadeDeletionsReachCompositeWatchers) {
+  ClassId owner_cls = *db_.MakeClass(ClassSpec{
+      .name = "Owner",
+      .attributes = {CompositeAttr("Dep", "Part", /*exclusive=*/true,
+                                   /*dependent=*/true, /*is_set=*/true)}});
+  Uid owner = *db_.objects().Make(owner_cls, {}, {});
+  Uid dep = *db_.objects().Make(part_, {{owner, "Dep"}}, {});
+  ASSERT_TRUE(notify_.Subscribe("sam", owner, true).ok());
+  ASSERT_TRUE(db_.DeleteObject(owner).ok());
+  auto events = notify_.Drain("sam");
+  // Both the root and its dependent component report deletion.
+  size_t deletions = 0;
+  bool saw_dep = false;
+  for (const ChangeEvent& e : events) {
+    if (e.kind == ChangeKind::kDeleted) {
+      ++deletions;
+      saw_dep |= e.object == dep;
+    }
+  }
+  EXPECT_GE(deletions, 2u);
+  EXPECT_TRUE(saw_dep);
+}
+
+TEST_F(NotificationTest, FlagBasedInterface) {
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, true).ok());
+  EXPECT_FALSE(notify_.IsFlagged("sam", root_));
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(child_, "Name", Value::String("f"))
+                  .ok());
+  EXPECT_TRUE(notify_.IsFlagged("sam", root_));
+  notify_.ClearFlag("sam", root_);
+  EXPECT_FALSE(notify_.IsFlagged("sam", root_));
+}
+
+TEST_F(NotificationTest, MultipleSubscribersGetIndependentQueues) {
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, true).ok());
+  ASSERT_TRUE(notify_.Subscribe("eve", child_, false).ok());
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(child_, "Name", Value::String("m"))
+                  .ok());
+  EXPECT_EQ(notify_.Pending("sam"), 1u);
+  EXPECT_EQ(notify_.Pending("eve"), 1u);
+  (void)notify_.Drain("sam");
+  EXPECT_EQ(notify_.Pending("eve"), 1u);
+}
+
+TEST_F(NotificationTest, SubscriptionValidation) {
+  EXPECT_EQ(notify_.Subscribe("", root_, false).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(notify_.Subscribe("sam", Uid{999}, false).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(notify_.Subscribe("sam", root_, false).ok());
+  EXPECT_EQ(notify_.Subscribe("sam", root_, false).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(notify_.Unsubscribe("sam", root_).ok());
+  EXPECT_EQ(notify_.Unsubscribe("sam", root_).code(), StatusCode::kNotFound);
+}
+
+TEST_F(NotificationTest, VersionDerivationNotifiesWatchers) {
+  ClassId design = *db_.MakeClass(ClassSpec{
+      .name = "Design",
+      .attributes = {WeakAttr("Label", "string")},
+      .versionable = true});
+  (void)design;
+  Uid v0 = *db_.Make("Design", {}, {{"Label", Value::String("r0")}});
+  ASSERT_TRUE(notify_.Subscribe("sam", v0, false).ok());
+  // Deriving copies values into the new version; the source is untouched,
+  // so the watcher stays quiet...
+  Uid v1 = *db_.versions().Derive(v0);
+  (void)v1;
+  EXPECT_EQ(notify_.Pending("sam"), 0u);
+  // ...until the source itself changes.
+  ASSERT_TRUE(db_.objects()
+                  .SetAttribute(v0, "Label", Value::String("r0b"))
+                  .ok());
+  EXPECT_EQ(notify_.Pending("sam"), 1u);
+}
+
+}  // namespace
+}  // namespace orion

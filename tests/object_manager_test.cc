@@ -1,0 +1,485 @@
+#include "object/object_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+/// Fixture wiring the substrate the object manager needs, plus the paper's
+/// two running examples (§2.3): the Vehicle physical hierarchy and the
+/// Document logical hierarchy.
+class ObjectManagerTest : public ::testing::Test {
+ protected:
+  ObjectManagerTest() : schema_(&store_), objects_(&schema_, &store_, &clock_) {
+    // Example 1: all Vehicle composite attributes are exclusive and
+    // independent ("the components can be re-used for other vehicles").
+    ClassSpec body{.name = "AutoBody"};
+    ClassSpec drivetrain{.name = "AutoDrivetrain"};
+    ClassSpec tires{.name = "AutoTires"};
+    body_ = *schema_.MakeClass(body);
+    drivetrain_ = *schema_.MakeClass(drivetrain);
+    tires_ = *schema_.MakeClass(tires);
+    ClassSpec vehicle{
+        .name = "Vehicle",
+        .attributes = {
+            CompositeAttr("Body", "AutoBody", /*exclusive=*/true,
+                          /*dependent=*/false),
+            CompositeAttr("Drivetrain", "AutoDrivetrain", /*exclusive=*/true,
+                          /*dependent=*/false),
+            CompositeAttr("Tires", "AutoTires", /*exclusive=*/true,
+                          /*dependent=*/false, /*is_set=*/true),
+            WeakAttr("Color", "string"),
+        }};
+    vehicle_ = *schema_.MakeClass(vehicle);
+
+    // Example 2: Document with shared-dependent Sections, shared-independent
+    // Figures, exclusive-dependent Annotations; Section with
+    // shared-dependent Paragraphs.
+    paragraph_ = *schema_.MakeClass(ClassSpec{.name = "Paragraph"});
+    image_ = *schema_.MakeClass(ClassSpec{.name = "Image"});
+    ClassSpec section{
+        .name = "Section",
+        .attributes = {CompositeAttr("Content", "Paragraph",
+                                     /*exclusive=*/false, /*dependent=*/true,
+                                     /*is_set=*/true)}};
+    section_ = *schema_.MakeClass(section);
+    ClassSpec document{
+        .name = "Document",
+        .attributes = {
+            WeakAttr("Title", "string"),
+            CompositeAttr("Sections", "Section", /*exclusive=*/false,
+                          /*dependent=*/true, /*is_set=*/true),
+            CompositeAttr("Figures", "Image", /*exclusive=*/false,
+                          /*dependent=*/false, /*is_set=*/true),
+            CompositeAttr("Annotations", "Paragraph", /*exclusive=*/true,
+                          /*dependent=*/true, /*is_set=*/true),
+        }};
+    document_ = *schema_.MakeClass(document);
+  }
+
+  Uid MakePlain(ClassId cls) { return *objects_.Make(cls, {}, {}); }
+
+  ObjectStore store_;
+  LogicalClock clock_;
+  SchemaManager schema_;
+  ObjectManager objects_;
+  ClassId vehicle_, body_, drivetrain_, tires_;
+  ClassId document_, section_, paragraph_, image_;
+};
+
+TEST_F(ObjectManagerTest, MakeSimpleObjectWithValues) {
+  auto uid = objects_.Make(vehicle_, {},
+                           {{"Color", Value::String("red")}});
+  ASSERT_TRUE(uid.ok());
+  Object* obj = objects_.Peek(*uid);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->Get("Color"), Value::String("red"));
+  EXPECT_EQ(obj->class_id(), vehicle_);
+  EXPECT_EQ(obj->role(), ObjectRole::kNormal);
+  EXPECT_TRUE(store_.Find(*uid).ok());
+}
+
+TEST_F(ObjectManagerTest, MakeRejectsUnknownClassAttributeAndBadType) {
+  EXPECT_EQ(objects_.Make(9999, {}, {}).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(objects_.Make(vehicle_, {}, {{"NoSuch", Value::Integer(1)}})
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(objects_.Make(vehicle_, {}, {{"Color", Value::Integer(1)}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectManagerTest, BottomUpAssemblyAttachesComponents) {
+  // "This prevents a bottom-up creation of objects by assembling already
+  // existing objects" — the old model's flaw; the extended model allows it.
+  Uid body = MakePlain(body_);
+  Uid t1 = MakePlain(tires_);
+  Uid t2 = MakePlain(tires_);
+  auto vehicle = objects_.Make(
+      vehicle_, {},
+      {{"Body", Value::Ref(body)}, {"Tires", Value::RefSet({t1, t2})}});
+  ASSERT_TRUE(vehicle.ok());
+  const Object* b = objects_.Peek(body);
+  ASSERT_EQ(b->reverse_refs().size(), 1u);
+  EXPECT_EQ(b->reverse_refs()[0].parent, *vehicle);
+  EXPECT_TRUE(b->reverse_refs()[0].exclusive);
+  EXPECT_FALSE(b->reverse_refs()[0].dependent);
+  EXPECT_EQ(objects_.Peek(t1)->reverse_refs().size(), 1u);
+}
+
+TEST_F(ObjectManagerTest, ExclusiveComponentCannotServeTwoVehicles) {
+  Uid body = MakePlain(body_);
+  ASSERT_TRUE(
+      objects_.Make(vehicle_, {}, {{"Body", Value::Ref(body)}}).ok());
+  auto second = objects_.Make(vehicle_, {}, {{"Body", Value::Ref(body)}});
+  EXPECT_EQ(second.status().code(), StatusCode::kTopologyViolation);
+}
+
+TEST_F(ObjectManagerTest, DismantleAndReuseIndependentComponents) {
+  // Example 1: "the components can be re-used for other vehicles, if the
+  // vehicle which they constitute is dismantled later."
+  Uid body = MakePlain(body_);
+  Uid v1 = *objects_.Make(vehicle_, {}, {{"Body", Value::Ref(body)}});
+  ASSERT_TRUE(objects_.RemoveComponent(body, v1, "Body").ok());
+  EXPECT_TRUE(objects_.Peek(body)->reverse_refs().empty());
+  EXPECT_TRUE(objects_.Peek(v1)->Get("Body").is_null());
+  // Now the body is free for another vehicle.
+  EXPECT_TRUE(objects_.Make(vehicle_, {}, {{"Body", Value::Ref(body)}}).ok());
+}
+
+TEST_F(ObjectManagerTest, MakeWithParentBindingCreatesPartOf) {
+  Uid doc = MakePlain(document_);
+  auto section = objects_.Make(section_, {{doc, "Sections"}}, {});
+  ASSERT_TRUE(section.ok());
+  EXPECT_TRUE(objects_.Peek(doc)->Get("Sections").References(*section));
+  const Object* s = objects_.Peek(*section);
+  ASSERT_EQ(s->reverse_refs().size(), 1u);
+  EXPECT_EQ(s->reverse_refs()[0].parent, doc);
+  EXPECT_TRUE(s->reverse_refs()[0].dependent);
+  EXPECT_FALSE(s->reverse_refs()[0].exclusive);
+}
+
+TEST_F(ObjectManagerTest, MultiParentMakeRequiresSharedAttributes) {
+  Uid d1 = MakePlain(document_);
+  Uid d2 = MakePlain(document_);
+  // Shared composite attributes: simultaneous membership is legal.
+  auto shared = objects_.Make(section_,
+                              {{d1, "Sections"}, {d2, "Sections"}}, {});
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ(objects_.Peek(*shared)->reverse_refs().size(), 2u);
+
+  // An exclusive attribute in a multi-parent make violates Topology Rule 3.
+  Uid sec = MakePlain(section_);
+  auto mixed = objects_.Make(paragraph_,
+                             {{d1, "Annotations"}, {sec, "Content"}}, {});
+  EXPECT_EQ(mixed.status().code(), StatusCode::kTopologyViolation);
+}
+
+TEST_F(ObjectManagerTest, MakeRejectsParentDomainMismatch) {
+  Uid doc = MakePlain(document_);
+  auto bad = objects_.Make(image_, {{doc, "Sections"}}, {});
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectManagerTest, SingleValuedParentAttributeMustBeFree) {
+  Uid v = MakePlain(vehicle_);
+  ASSERT_TRUE(objects_.Make(body_, {{v, "Body"}}, {}).ok());
+  auto second = objects_.Make(body_, {{v, "Body"}}, {});
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Make-Component Rule (§2.2, §2.4 algorithm) -----------------------------
+
+TEST_F(ObjectManagerTest, MakeComponentRule1ExclusiveNeedsFreeObject) {
+  Uid doc = MakePlain(document_);
+  Uid para = *objects_.Make(paragraph_, {{doc, "Annotations"}}, {});
+  // para already has an exclusive composite reference; a second composite
+  // reference of any kind is illegal.
+  Uid doc2 = MakePlain(document_);
+  EXPECT_EQ(objects_.MakeComponent(para, doc2, "Annotations").code(),
+            StatusCode::kTopologyViolation);
+  EXPECT_EQ(objects_.MakeComponent(para, doc2, "Sections").code(),
+            StatusCode::kInvalidArgument);  // domain: Sections wants Section
+  Uid sec = MakePlain(section_);
+  EXPECT_EQ(objects_.MakeComponent(para, sec, "Content").code(),
+            StatusCode::kTopologyViolation);
+}
+
+TEST_F(ObjectManagerTest, MakeComponentRule2SharedForbidsExclusivelyOwned) {
+  Uid sec = MakePlain(section_);
+  Uid para = MakePlain(paragraph_);
+  // Shared attach first is fine; several shared parents are fine.
+  ASSERT_TRUE(objects_.MakeComponent(para, sec, "Content").ok());
+  Uid sec2 = MakePlain(section_);
+  ASSERT_TRUE(objects_.MakeComponent(para, sec2, "Content").ok());
+  // But once shared, an exclusive attach is illegal (Topology Rule 3).
+  Uid doc = MakePlain(document_);
+  EXPECT_EQ(objects_.MakeComponent(para, doc, "Annotations").code(),
+            StatusCode::kTopologyViolation);
+}
+
+TEST_F(ObjectManagerTest, MakeComponentRejectsWeakAttribute) {
+  Uid v = MakePlain(vehicle_);
+  Uid b = MakePlain(body_);
+  EXPECT_EQ(objects_.MakeComponent(b, v, "Color").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectManagerTest, MakeComponentRejectsCycle) {
+  Uid s1 = MakePlain(section_);
+  Uid p = MakePlain(paragraph_);
+  ASSERT_TRUE(objects_.MakeComponent(p, s1, "Content").ok());
+  // Self-part is rejected.
+  EXPECT_EQ(objects_.MakeComponent(s1, s1, "Content").code(),
+            StatusCode::kInvalidArgument);  // domain mismatch fires first
+  // Build Section -> Paragraph, then try to close a cycle via a class that
+  // could hold sections.  Use Document -> Section -> ... -> Document: not
+  // expressible with these domains, so test the direct cycle guard with a
+  // recursive schema.
+  ClassSpec node{.name = "Node",
+                 .attributes = {CompositeAttr("Parts", "Node",
+                                              /*exclusive=*/false,
+                                              /*dependent=*/false,
+                                              /*is_set=*/true)}};
+  ClassId node_cls = *schema_.MakeClass(node);
+  Uid n1 = MakePlain(node_cls);
+  Uid n2 = MakePlain(node_cls);
+  Uid n3 = MakePlain(node_cls);
+  ASSERT_TRUE(objects_.MakeComponent(n2, n1, "Parts").ok());
+  ASSERT_TRUE(objects_.MakeComponent(n3, n2, "Parts").ok());
+  EXPECT_EQ(objects_.MakeComponent(n1, n3, "Parts").code(),
+            StatusCode::kTopologyViolation);
+  EXPECT_EQ(objects_.MakeComponent(n1, n1, "Parts").code(),
+            StatusCode::kTopologyViolation);
+}
+
+// --- Deletion Rule (§2.2) -----------------------------------------------------
+
+TEST_F(ObjectManagerTest, DeleteCascadesDependentExclusive) {
+  Uid doc = MakePlain(document_);
+  Uid note = *objects_.Make(paragraph_, {{doc, "Annotations"}}, {});
+  ASSERT_TRUE(objects_.Delete(doc).ok());
+  EXPECT_FALSE(objects_.Exists(doc));
+  EXPECT_FALSE(objects_.Exists(note));  // dependent exclusive dies with it
+}
+
+TEST_F(ObjectManagerTest, DeleteDetachesIndependentComponents) {
+  Uid body = MakePlain(body_);
+  Uid v = *objects_.Make(vehicle_, {}, {{"Body", Value::Ref(body)}});
+  ASSERT_TRUE(objects_.Delete(v).ok());
+  EXPECT_FALSE(objects_.Exists(v));
+  ASSERT_TRUE(objects_.Exists(body));  // independent exclusive survives
+  EXPECT_TRUE(objects_.Peek(body)->reverse_refs().empty());
+}
+
+TEST_F(ObjectManagerTest, DeleteSharedDependentOnlyWithLastParent) {
+  // "del(O') => del(O) only if DS(O) = {O'}; otherwise DS(O) = DS(O) - O'."
+  Uid d1 = MakePlain(document_);
+  Uid d2 = MakePlain(document_);
+  Uid sec = *objects_.Make(section_, {{d1, "Sections"}, {d2, "Sections"}}, {});
+  ASSERT_TRUE(objects_.Delete(d1).ok());
+  ASSERT_TRUE(objects_.Exists(sec));
+  EXPECT_EQ(objects_.Peek(sec)->DsSet(), std::vector<Uid>{d2});
+  ASSERT_TRUE(objects_.Delete(d2).ok());
+  EXPECT_FALSE(objects_.Exists(sec));  // last dependent parent gone
+}
+
+TEST_F(ObjectManagerTest, DeleteClosureCondition3Recursive) {
+  // Document -> Section (dep shared) -> Paragraph (dep shared): deleting the
+  // document kills the section, which in turn kills the paragraph (condition
+  // 3 of the Deletion Rule).
+  Uid doc = MakePlain(document_);
+  Uid sec = *objects_.Make(section_, {{doc, "Sections"}}, {});
+  Uid para = *objects_.Make(paragraph_, {{sec, "Content"}}, {});
+  auto closure = objects_.ComputeDeletionClosure(doc);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(closure->size(), 3u);
+  ASSERT_TRUE(objects_.Delete(doc).ok());
+  EXPECT_FALSE(objects_.Exists(sec));
+  EXPECT_FALSE(objects_.Exists(para));
+}
+
+TEST_F(ObjectManagerTest, SharedParagraphSurvivesOneDocumentsDeletion) {
+  // Example 2's motivation: "an identical chapter may be a part of two
+  // different books."
+  Uid d1 = MakePlain(document_);
+  Uid d2 = MakePlain(document_);
+  Uid s1 = *objects_.Make(section_, {{d1, "Sections"}}, {});
+  Uid s2 = *objects_.Make(section_, {{d2, "Sections"}}, {});
+  Uid para = *objects_.Make(paragraph_,
+                            {{s1, "Content"}, {s2, "Content"}}, {});
+  ASSERT_TRUE(objects_.Delete(d1).ok());
+  EXPECT_FALSE(objects_.Exists(s1));
+  EXPECT_TRUE(objects_.Exists(para));  // still part of s2
+  ASSERT_TRUE(objects_.Delete(d2).ok());
+  EXPECT_FALSE(objects_.Exists(para));  // "for a paragraph to exist, there
+                                        // must be at least one section"
+}
+
+TEST_F(ObjectManagerTest, IndependentSharedFiguresSurviveAllDocuments) {
+  Uid img = MakePlain(image_);
+  Uid d1 = *objects_.Make(document_, {},
+                          {{"Figures", Value::RefSet({img})}});
+  Uid d2 = *objects_.Make(document_, {},
+                          {{"Figures", Value::RefSet({img})}});
+  ASSERT_TRUE(objects_.Delete(d1).ok());
+  ASSERT_TRUE(objects_.Delete(d2).ok());
+  EXPECT_TRUE(objects_.Exists(img));
+  EXPECT_TRUE(objects_.Peek(img)->reverse_refs().empty());
+}
+
+TEST_F(ObjectManagerTest, DeleteDetachesFromSurvivingParents) {
+  // Deleting a shared component must clear the forward references held by
+  // its surviving parents.
+  Uid d1 = MakePlain(document_);
+  Uid sec = *objects_.Make(section_, {{d1, "Sections"}}, {});
+  ASSERT_TRUE(objects_.Delete(sec).ok());
+  EXPECT_TRUE(objects_.Exists(d1));
+  EXPECT_FALSE(objects_.Peek(d1)->Get("Sections").References(sec));
+}
+
+TEST_F(ObjectManagerTest, DeletionSetsOfDefinition1) {
+  Uid doc = MakePlain(document_);
+  Uid img = MakePlain(image_);
+  ASSERT_TRUE(objects_.MakeComponent(img, doc, "Figures").ok());
+  const Object* o = objects_.Peek(img);
+  EXPECT_EQ(o->IsSet(), std::vector<Uid>{doc});  // independent shared
+  EXPECT_TRUE(o->DsSet().empty());
+  EXPECT_TRUE(o->DxSet().empty());
+  EXPECT_TRUE(o->IxSet().empty());
+}
+
+// --- SetAttribute with composite diff semantics -----------------------------
+
+TEST_F(ObjectManagerTest, SetAttributeDiffsCompositeSets) {
+  Uid doc = MakePlain(document_);
+  Uid s1 = *objects_.Make(section_, {{doc, "Sections"}}, {});
+  Uid s2 = MakePlain(section_);
+  // Replace {s1} by {s2}: s1 detached, s2 attached.
+  ASSERT_TRUE(
+      objects_.SetAttribute(doc, "Sections", Value::RefSet({s2})).ok());
+  EXPECT_TRUE(objects_.Peek(s1)->reverse_refs().empty());
+  EXPECT_EQ(objects_.Peek(s2)->reverse_refs().size(), 1u);
+  EXPECT_TRUE(objects_.Exists(s1));  // detach, not delete
+}
+
+TEST_F(ObjectManagerTest, SetAttributeRejectsIllegalAttach) {
+  Uid doc = MakePlain(document_);
+  Uid para = *objects_.Make(paragraph_, {{doc, "Annotations"}}, {});
+  Uid doc2 = MakePlain(document_);
+  // para is exclusively owned; doc2 cannot claim it.
+  EXPECT_EQ(objects_
+                .SetAttribute(doc2, "Annotations", Value::RefSet({para}))
+                .code(),
+            StatusCode::kTopologyViolation);
+  // And the failed call must not have touched anything.
+  EXPECT_TRUE(objects_.Peek(doc2)->Get("Annotations").is_null());
+  EXPECT_EQ(objects_.Peek(para)->reverse_refs().size(), 1u);
+}
+
+TEST_F(ObjectManagerTest, SetAttributeWeak) {
+  Uid v = MakePlain(vehicle_);
+  ASSERT_TRUE(objects_.SetAttribute(v, "Color", Value::String("blue")).ok());
+  EXPECT_EQ(objects_.Peek(v)->Get("Color"), Value::String("blue"));
+  EXPECT_EQ(objects_.SetAttribute(v, "Color", Value::Integer(1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectManagerTest, DuplicateComponentInExclusiveSetRejected) {
+  Uid t = MakePlain(tires_);
+  auto v = objects_.Make(vehicle_, {}, {{"Tires", Value::RefSet({t, t})}});
+  EXPECT_EQ(v.status().code(), StatusCode::kTopologyViolation);
+}
+
+// --- Extents, clustering, access --------------------------------------------
+
+TEST_F(ObjectManagerTest, ExtentsTrackInstances) {
+  Uid a = MakePlain(vehicle_);
+  Uid b = MakePlain(vehicle_);
+  EXPECT_EQ(objects_.InstancesOf(vehicle_), (std::vector<Uid>{a, b}));
+  ASSERT_TRUE(objects_.Delete(a).ok());
+  EXPECT_EQ(objects_.InstancesOf(vehicle_), (std::vector<Uid>{b}));
+}
+
+TEST_F(ObjectManagerTest, InstancesOfDeepIncludesSubclasses) {
+  ClassId sports = *schema_.MakeClass(
+      ClassSpec{.name = "SportsVehicle", .superclasses = {"Vehicle"}});
+  Uid v = MakePlain(vehicle_);
+  Uid s = MakePlain(sports);
+  auto deep = objects_.InstancesOfDeep(vehicle_);
+  EXPECT_EQ(deep, (std::vector<Uid>{v, s}));
+  EXPECT_EQ(objects_.InstancesOf(vehicle_), std::vector<Uid>{v});
+}
+
+TEST_F(ObjectManagerTest, ClusteringWithFirstParentSameSegment) {
+  // Put Part in the same segment as Assembly so §2.3 clustering applies.
+  ClassSpec assembly{.name = "Assembly"};
+  ClassId asm_cls = *schema_.MakeClass(assembly);
+  SegmentId seg = schema_.GetClass(asm_cls)->segment;
+  ClassSpec part{.name = "Part", .segment = seg};
+  ClassId part_cls = *schema_.MakeClass(part);
+  (void)part_cls;
+  ASSERT_TRUE(schema_.AddAttribute(
+                  asm_cls, CompositeAttr("Parts", "Part", false, false, true))
+                  .ok());
+  Uid a = MakePlain(asm_cls);
+  Uid p = *objects_.Make(part_cls, {{a, "Parts"}}, {});
+  auto pa = store_.Find(a);
+  auto pp = store_.Find(p);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pp.ok());
+  EXPECT_EQ(pa->segment, pp->segment);
+  EXPECT_EQ(pa->page, pp->page);  // clustered onto the parent's page
+}
+
+TEST_F(ObjectManagerTest, NoClusteringAcrossSegments) {
+  Uid doc = MakePlain(document_);
+  Uid sec = *objects_.Make(section_, {{doc, "Sections"}}, {});
+  // Document and Section classes got distinct segments.
+  EXPECT_NE(store_.Find(doc)->segment, store_.Find(sec)->segment);
+  EXPECT_FALSE(store_.SameSegment(doc, sec));
+  (void)sec;
+}
+
+TEST_F(ObjectManagerTest, AccessRecordsPageTouch) {
+  Uid v = MakePlain(vehicle_);
+  store_.tracker().Reset();
+  ASSERT_TRUE(objects_.Access(v).ok());
+  EXPECT_EQ(store_.tracker().total_touches(), 1u);
+  EXPECT_EQ(objects_.Access(Uid{424242}).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- Deferred maintenance (§4.3) ----------------------------------------------
+
+TEST_F(ObjectManagerTest, CatchUpAppliesPendingFlagChanges) {
+  Uid doc = MakePlain(document_);
+  Uid sec = *objects_.Make(section_, {{doc, "Sections"}}, {});
+
+  // Deferred I3 on Document.Sections: dependent -> independent.
+  LogEntry e;
+  e.cc = schema_.NextCc();
+  e.change = TypeChange::kToIndependent;
+  e.referencing_class = document_;
+  e.attribute = "Sections";
+  e.to_composite = true;
+  e.to_exclusive = false;
+  e.to_dependent = false;
+  schema_.LogForDomain(section_).Append(e);
+  ASSERT_TRUE(schema_
+                  .ApplyTypeChangeSchemaOnly(document_, "Sections", true,
+                                             false, false)
+                  .ok());
+
+  // Before access the stored flag is stale.
+  EXPECT_TRUE(objects_.Peek(sec)->reverse_refs()[0].dependent);
+  ASSERT_TRUE(objects_.Access(sec).ok());
+  EXPECT_FALSE(objects_.Peek(sec)->reverse_refs()[0].dependent);
+  EXPECT_EQ(objects_.Peek(sec)->cc(), schema_.CurrentCc());
+}
+
+TEST_F(ObjectManagerTest, NewInstancesAreBornCaughtUp) {
+  LogEntry e;
+  e.cc = schema_.NextCc();
+  e.change = TypeChange::kToShared;
+  e.referencing_class = document_;
+  e.attribute = "Sections";
+  e.to_composite = true;
+  schema_.LogForDomain(section_).Append(e);
+
+  Uid sec = MakePlain(section_);
+  // "The changes issued before the creation of the instance need not be
+  // applied to this instance."
+  EXPECT_EQ(objects_.Peek(sec)->cc(), schema_.CurrentCc());
+}
+
+TEST_F(ObjectManagerTest, DeleteSingleNotFound) {
+  EXPECT_EQ(objects_.DeleteSingle(Uid{777}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(objects_.Delete(Uid{777}).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,135 @@
+#include "storage/object_store.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+TEST(ObjectStoreTest, PlaceAndFind) {
+  ObjectStore store(/*objects_per_page=*/4);
+  SegmentId seg = store.CreateSegment("s");
+  ASSERT_TRUE(store.Place(Uid{1}, seg).ok());
+  auto p = store.Find(Uid{1});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->segment, seg);
+  EXPECT_EQ(p->page, 0u);
+  EXPECT_EQ(store.object_count(), 1u);
+}
+
+TEST(ObjectStoreTest, PlaceRejectsUnknownSegmentAndDuplicates) {
+  ObjectStore store;
+  EXPECT_EQ(store.Place(Uid{1}, 99).code(), StatusCode::kNotFound);
+  SegmentId seg = store.CreateSegment("s");
+  ASSERT_TRUE(store.Place(Uid{1}, seg).ok());
+  EXPECT_EQ(store.Place(Uid{1}, seg).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(ObjectStoreTest, AppendFillsPagesInOrder) {
+  ObjectStore store(/*objects_per_page=*/2);
+  SegmentId seg = store.CreateSegment("s");
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(store.Place(Uid{i}, seg).ok());
+  }
+  EXPECT_EQ(store.PageCount(seg), 3u);
+  EXPECT_EQ(store.Find(Uid{1})->page, 0u);
+  EXPECT_EQ(store.Find(Uid{2})->page, 0u);
+  EXPECT_EQ(store.Find(Uid{3})->page, 1u);
+  EXPECT_EQ(store.Find(Uid{5})->page, 2u);
+}
+
+TEST(ObjectStoreTest, PlaceNearLandsOnNeighborPage) {
+  ObjectStore store(/*objects_per_page=*/4);
+  SegmentId seg = store.CreateSegment("s");
+  ASSERT_TRUE(store.Place(Uid{1}, seg).ok());
+  ASSERT_TRUE(store.PlaceNear(Uid{2}, Uid{1}).ok());
+  EXPECT_EQ(store.Find(Uid{2})->page, store.Find(Uid{1})->page);
+}
+
+TEST(ObjectStoreTest, PlaceNearOverflowsToFollowingPage) {
+  ObjectStore store(/*objects_per_page=*/2);
+  SegmentId seg = store.CreateSegment("s");
+  ASSERT_TRUE(store.Place(Uid{1}, seg).ok());
+  ASSERT_TRUE(store.PlaceNear(Uid{2}, Uid{1}).ok());  // fills page 0
+  ASSERT_TRUE(store.PlaceNear(Uid{3}, Uid{1}).ok());  // overflows
+  EXPECT_EQ(store.Find(Uid{3})->page, 1u);
+}
+
+TEST(ObjectStoreTest, PlaceNearRequiresPlacedNeighbor) {
+  ObjectStore store;
+  EXPECT_EQ(store.PlaceNear(Uid{2}, Uid{1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ObjectStoreTest, RemoveFreesSlot) {
+  ObjectStore store(/*objects_per_page=*/1);
+  SegmentId seg = store.CreateSegment("s");
+  ASSERT_TRUE(store.Place(Uid{1}, seg).ok());
+  ASSERT_TRUE(store.Remove(Uid{1}).ok());
+  EXPECT_EQ(store.Find(Uid{1}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Remove(Uid{1}).code(), StatusCode::kNotFound);
+}
+
+TEST(ObjectStoreTest, SameSegment) {
+  ObjectStore store;
+  SegmentId a = store.CreateSegment("a");
+  SegmentId b = store.CreateSegment("b");
+  ASSERT_TRUE(store.Place(Uid{1}, a).ok());
+  ASSERT_TRUE(store.Place(Uid{2}, a).ok());
+  ASSERT_TRUE(store.Place(Uid{3}, b).ok());
+  EXPECT_TRUE(store.SameSegment(Uid{1}, Uid{2}));
+  EXPECT_FALSE(store.SameSegment(Uid{1}, Uid{3}));
+  EXPECT_FALSE(store.SameSegment(Uid{1}, Uid{99}));
+}
+
+TEST(ObjectStoreTest, TrackerCountsDistinctPages) {
+  ObjectStore store(/*objects_per_page=*/2);
+  SegmentId seg = store.CreateSegment("s");
+  for (uint64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(store.Place(Uid{i}, seg).ok());
+  }
+  store.tracker().Reset();
+  store.RecordAccess(Uid{1});
+  store.RecordAccess(Uid{2});  // same page as 1
+  store.RecordAccess(Uid{3});  // next page
+  store.RecordAccess(Uid{3});
+  EXPECT_EQ(store.tracker().total_touches(), 4u);
+  EXPECT_EQ(store.tracker().distinct_pages(), 2u);
+  store.tracker().Reset();
+  EXPECT_EQ(store.tracker().total_touches(), 0u);
+}
+
+TEST(ObjectStoreTest, ClusteredTraversalTouchesFewerPages) {
+  // The §2.3 clustering claim in miniature: placing children near the parent
+  // keeps a parent+children scan within fewer pages than scattering them.
+  constexpr int kChildren = 8;
+  ObjectStore clustered(/*objects_per_page=*/4);
+  SegmentId seg_c = clustered.CreateSegment("c");
+  ASSERT_TRUE(clustered.Place(Uid{1}, seg_c).ok());
+  for (uint64_t i = 0; i < kChildren; ++i) {
+    ASSERT_TRUE(clustered.PlaceNear(Uid{100 + i}, Uid{1}).ok());
+  }
+
+  ObjectStore scattered(/*objects_per_page=*/4);
+  SegmentId seg_s = scattered.CreateSegment("s");
+  ASSERT_TRUE(scattered.Place(Uid{1}, seg_s).ok());
+  for (uint64_t i = 0; i < kChildren; ++i) {
+    // Pad between children to simulate interleaved unrelated objects.
+    for (uint64_t p = 0; p < 4; ++p) {
+      ASSERT_TRUE(scattered.Place(Uid{1000 + i * 4 + p}, seg_s).ok());
+    }
+    ASSERT_TRUE(scattered.Place(Uid{100 + i}, seg_s).ok());
+  }
+
+  auto touched = [&](ObjectStore& store) {
+    store.tracker().Reset();
+    store.RecordAccess(Uid{1});
+    for (uint64_t i = 0; i < kChildren; ++i) {
+      store.RecordAccess(Uid{100 + i});
+    }
+    return store.tracker().distinct_pages();
+  };
+  EXPECT_LT(touched(clustered), touched(scattered));
+}
+
+}  // namespace
+}  // namespace orion

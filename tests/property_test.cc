@@ -1,0 +1,359 @@
+// Property-based suites: randomized operation sequences against the model,
+// with the full structural-invariant checker (tests/invariants.h) asserted
+// after every batch.  Seeds are parameterized so each TEST_P instance is an
+// independent trajectory.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+
+namespace orion {
+namespace {
+
+/// Small deterministic generator (mirrors bench/workloads.h).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 17;
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  bool Chance(uint32_t pct) { return Below(100) < pct; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A schema exercising all five §2.1 reference kinds on one Node class.
+ClassId MakeNodeSchema(Database& db) {
+  ClassId node = *db.MakeClass(ClassSpec{
+      .name = "Node",
+      .attributes = {
+          CompositeAttr("DX", "Node", /*exclusive=*/true, /*dependent=*/true,
+                        /*is_set=*/true),
+          CompositeAttr("IX", "Node", /*exclusive=*/true,
+                        /*dependent=*/false, /*is_set=*/true),
+          CompositeAttr("DS", "Node", /*exclusive=*/false,
+                        /*dependent=*/true, /*is_set=*/true),
+          CompositeAttr("IS", "Node", /*exclusive=*/false,
+                        /*dependent=*/false, /*is_set=*/true),
+          WeakAttr("Weak", "Node", /*is_set=*/true),
+      }});
+  return node;
+}
+
+const char* kAttrs[] = {"DX", "IX", "DS", "IS", "Weak"};
+
+class RandomOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomOpsTest, InvariantsHoldUnderRandomOperations) {
+  Database db;
+  ClassId node = MakeNodeSchema(db);
+  Rng rng(GetParam());
+  std::vector<Uid> live;
+
+  auto random_live = [&]() -> Uid {
+    return live.empty() ? kNilUid : live[rng.Below(live.size())];
+  };
+  auto prune = [&]() {
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](Uid u) { return !db.objects().Exists(u); }),
+               live.end());
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t op = rng.Below(100);
+    if (op < 35 || live.size() < 4) {
+      // Make, sometimes with a parent binding.
+      std::vector<ParentBinding> parents;
+      if (!live.empty() && rng.Chance(50)) {
+        parents.push_back(
+            ParentBinding{random_live(), kAttrs[rng.Below(4)]});
+      }
+      auto made = db.objects().Make(node, parents, {});
+      if (made.ok()) {
+        live.push_back(*made);
+      }
+    } else if (op < 60) {
+      // Attach an existing object somewhere (often rejected by the rules —
+      // rejection must be total, i.e. leave no partial state).
+      const Uid child = random_live();
+      const Uid parent = random_live();
+      (void)db.objects().MakeComponent(child, parent,
+                                       kAttrs[rng.Below(5)]);
+    } else if (op < 75) {
+      // Detach.
+      const Uid parent = random_live();
+      auto comps = db.objects().DirectComponents(parent);
+      if (comps.ok() && !comps->empty()) {
+        const auto& [child, spec] = (*comps)[rng.Below(comps->size())];
+        (void)db.objects().RemoveComponent(child, parent, spec.name);
+      }
+    } else if (op < 85) {
+      // Weak reference updates never affect the composite structure.
+      const Uid holder = random_live();
+      if (holder.valid()) {
+        (void)db.objects().SetAttribute(
+            holder, "Weak", Value::RefSet({random_live()}));
+      }
+    } else {
+      // Delete with the full Deletion Rule.
+      const Uid victim = random_live();
+      if (victim.valid()) {
+        (void)db.objects().Delete(victim);
+        prune();
+      }
+    }
+    if (step % 50 == 49) {
+      ORION_EXPECT_CONSISTENT(db);
+    }
+  }
+  ORION_EXPECT_CONSISTENT(db);
+  // Deleting everything leaves an empty, consistent store.
+  prune();
+  for (Uid uid : live) {
+    if (db.objects().Exists(uid)) {
+      ASSERT_TRUE(db.objects().Delete(uid).ok() ||
+                  !db.objects().Exists(uid));
+    }
+  }
+  ORION_EXPECT_CONSISTENT(db);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomOpsTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+class RandomVersionOpsTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomVersionOpsTest, VersionInvariantsHoldUnderRandomOperations) {
+  Database db;
+  ClassId part = *db.MakeClass(ClassSpec{.name = "VPart",
+                                         .versionable = true});
+  (void)part;
+  ClassId design = *db.MakeClass(ClassSpec{
+      .name = "VDesign",
+      .attributes = {
+          CompositeAttr("IXParts", "VPart", /*exclusive=*/true,
+                        /*dependent=*/false, /*is_set=*/true),
+          CompositeAttr("DSParts", "VPart", /*exclusive=*/false,
+                        /*dependent=*/true, /*is_set=*/true),
+      },
+      .versionable = true});
+  (void)design;
+  Rng rng(GetParam());
+  std::vector<Uid> versions;  // live version instances (any class)
+
+  auto random_version = [&]() -> Uid {
+    return versions.empty() ? kNilUid : versions[rng.Below(versions.size())];
+  };
+  auto prune = [&]() {
+    versions.erase(
+        std::remove_if(versions.begin(), versions.end(),
+                       [&](Uid u) { return !db.objects().Exists(u); }),
+        versions.end());
+  };
+
+  for (int step = 0; step < 250; ++step) {
+    const uint64_t op = rng.Below(100);
+    if (op < 25 || versions.size() < 3) {
+      auto made = db.Make(rng.Chance(50) ? "VPart" : "VDesign");
+      if (made.ok()) {
+        versions.push_back(*made);
+      }
+    } else if (op < 50) {
+      auto derived = db.versions().Derive(random_version());
+      if (derived.ok()) {
+        versions.push_back(*derived);
+      }
+    } else if (op < 75) {
+      // Attach: version -> version, or version -> generic (dynamic).
+      const Uid parent = random_version();
+      Uid child = random_version();
+      if (child.valid() && rng.Chance(40)) {
+        child = db.objects().Peek(child)->generic();
+      }
+      const char* attr = rng.Chance(50) ? "IXParts" : "DSParts";
+      (void)db.objects().MakeComponent(child, parent, attr);
+    } else if (op < 88) {
+      // Detach something.
+      const Uid parent = random_version();
+      auto comps = db.objects().DirectComponents(parent);
+      if (comps.ok() && !comps->empty()) {
+        const auto& [child, spec] = (*comps)[rng.Below(comps->size())];
+        (void)db.objects().RemoveComponent(child, parent, spec.name);
+      }
+    } else {
+      const Uid victim = random_version();
+      if (victim.valid()) {
+        if (rng.Chance(30)) {
+          (void)db.versions().DeleteGeneric(
+              db.objects().Peek(victim)->generic());
+        } else {
+          (void)db.versions().DeleteVersion(victim);
+        }
+        prune();
+      }
+    }
+    if (step % 50 == 49) {
+      ORION_EXPECT_CONSISTENT(db);
+    }
+  }
+  ORION_EXPECT_CONSISTENT(db);
+
+  // Every version's generic must be live and registered, and vice versa.
+  prune();
+  for (Uid v : versions) {
+    const Object* obj = db.objects().Peek(v);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_TRUE(db.objects().Exists(obj->generic()));
+    auto listed = db.versions().VersionsOf(obj->generic());
+    ASSERT_TRUE(listed.ok());
+    EXPECT_NE(std::find(listed->begin(), listed->end(), v), listed->end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomVersionOpsTest,
+                         ::testing::Values(7, 11, 17, 23, 31, 41));
+
+class RandomEvolutionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomEvolutionTest, TypeChangesKeepFlagsConsistent) {
+  // Random I2/I3/I4 toggles in random immediate/deferred modes, with
+  // random accesses interleaved: the invariant checker's I5 (flags agree
+  // with the schema after catch-up) must hold throughout.
+  Database db;
+  ClassId section = *db.MakeClass(ClassSpec{.name = "Sec"});
+  ClassId doc = *db.MakeClass(ClassSpec{
+      .name = "Doc",
+      .attributes = {CompositeAttr("Kids", "Sec", /*exclusive=*/true,
+                                   /*dependent=*/true, /*is_set=*/true)}});
+  Rng rng(GetParam());
+  std::vector<Uid> sections;
+  for (int i = 0; i < 24; ++i) {
+    Uid d = *db.objects().Make(doc, {}, {});
+    sections.push_back(*db.objects().Make(section, {{d, "Kids"}}, {}));
+  }
+  bool exclusive = true;
+  bool dependent = true;
+  for (int step = 0; step < 60; ++step) {
+    if (rng.Chance(50)) {
+      // Toggle a flag; respect the D3 restriction by only loosening
+      // exclusivity (I2) and toggling dependency (I3/I4) freely.
+      if (exclusive && rng.Chance(30)) {
+        exclusive = false;
+      } else {
+        dependent = !dependent;
+      }
+      const ChangeMode mode = rng.Chance(50) ? ChangeMode::kImmediate
+                                             : ChangeMode::kDeferred;
+      ASSERT_TRUE(db.ChangeAttributeType(doc, "Kids", true, exclusive,
+                                         dependent, mode)
+                      .ok());
+    } else {
+      (void)db.objects().Access(sections[rng.Below(sections.size())]);
+    }
+  }
+  ORION_EXPECT_CONSISTENT(db);
+  // After catching everything up, every reverse reference reflects the
+  // final flags.
+  for (Uid s : sections) {
+    ASSERT_TRUE(db.objects().Access(s).ok());
+    const auto& refs = db.objects().Peek(s)->reverse_refs();
+    ASSERT_EQ(refs.size(), 1u);
+    EXPECT_EQ(refs[0].exclusive, exclusive);
+    EXPECT_EQ(refs[0].dependent, dependent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomEvolutionTest,
+                         ::testing::Values(3, 9, 27, 81));
+
+TEST(DeletionClosureProperty, NoDependentOrphansSurvive) {
+  // After any Delete, no surviving object may have an empty dependent
+  // parent set if it previously depended on deleted objects — i.e. every
+  // survivor with a dependent-composite attachment has at least one live
+  // dependent parent.
+  Database db;
+  ClassId node = MakeNodeSchema(db);
+  Rng rng(12345);
+  std::vector<Uid> live;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<ParentBinding> parents;
+    if (!live.empty() && rng.Chance(70)) {
+      parents.push_back(ParentBinding{live[rng.Below(live.size())],
+                                      kAttrs[rng.Below(4)]});
+    }
+    auto made = db.objects().Make(node, parents, {});
+    if (made.ok()) {
+      live.push_back(*made);
+    }
+  }
+  for (int round = 0; round < 40 && !live.empty(); ++round) {
+    const Uid victim = live[rng.Below(live.size())];
+    if (db.objects().Exists(victim)) {
+      ASSERT_TRUE(db.objects().Delete(victim).ok());
+    }
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](Uid u) { return !db.objects().Exists(u); }),
+               live.end());
+    for (Uid u : live) {
+      const Object* obj = db.objects().Peek(u);
+      for (const ReverseRef& r : obj->reverse_refs()) {
+        EXPECT_TRUE(db.objects().Exists(r.parent))
+            << u.ToString() << " kept a reverse reference to a deleted "
+            << "parent";
+      }
+    }
+    ORION_EXPECT_CONSISTENT(db);
+  }
+}
+
+TEST(DeletionClosureProperty, ClosureMatchesActualDeletions) {
+  Database db;
+  ClassId node = MakeNodeSchema(db);
+  Rng rng(777);
+  std::vector<Uid> live;
+  for (int i = 0; i < 80; ++i) {
+    std::vector<ParentBinding> parents;
+    if (!live.empty() && rng.Chance(75)) {
+      parents.push_back(ParentBinding{live[rng.Below(live.size())],
+                                      kAttrs[rng.Below(4)]});
+    }
+    auto made = db.objects().Make(node, parents, {});
+    if (made.ok()) {
+      live.push_back(*made);
+    }
+  }
+  while (!live.empty()) {
+    const Uid victim = live[rng.Below(live.size())];
+    if (!db.objects().Exists(victim)) {
+      live.erase(std::remove(live.begin(), live.end(), victim), live.end());
+      continue;
+    }
+    auto predicted = db.objects().ComputeDeletionClosure(victim);
+    ASSERT_TRUE(predicted.ok());
+    ASSERT_TRUE(db.objects().Delete(victim).ok());
+    // Exactly the predicted set is gone.
+    for (Uid doomed : *predicted) {
+      EXPECT_FALSE(db.objects().Exists(doomed));
+    }
+    size_t gone = 0;
+    for (Uid u : live) {
+      if (!db.objects().Exists(u)) {
+        ++gone;
+      }
+    }
+    EXPECT_EQ(gone, predicted->size());
+    live.erase(std::remove_if(live.begin(), live.end(),
+                              [&](Uid u) { return !db.objects().Exists(u); }),
+               live.end());
+  }
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,275 @@
+#include "schema/schema_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+ClassSpec Spec(std::string name, std::vector<std::string> supers = {},
+               std::vector<AttributeSpec> attrs = {}) {
+  ClassSpec s;
+  s.name = std::move(name);
+  s.superclasses = std::move(supers);
+  s.attributes = std::move(attrs);
+  return s;
+}
+
+TEST(SchemaManagerTest, MakeAndFindClass) {
+  SchemaManager schema;
+  auto id = schema.MakeClass(Spec("Vehicle"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*schema.FindClass("Vehicle"), *id);
+  EXPECT_EQ(schema.GetClass(*id)->name, "Vehicle");
+  EXPECT_EQ(schema.live_class_count(), 1u);
+}
+
+TEST(SchemaManagerTest, RejectsDuplicatesAndReservedNames) {
+  SchemaManager schema;
+  ASSERT_TRUE(schema.MakeClass(Spec("A")).ok());
+  EXPECT_EQ(schema.MakeClass(Spec("A")).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.MakeClass(Spec("integer")).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.MakeClass(Spec("")).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaManagerTest, RejectsUnknownSuperclassAndDuplicateAttribute) {
+  SchemaManager schema;
+  EXPECT_EQ(schema.MakeClass(Spec("B", {"Missing"})).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema
+                .MakeClass(Spec("C", {},
+                                {WeakAttr("x", "integer"),
+                                 WeakAttr("x", "string")}))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaManagerTest, SubclassRelationIsReflexiveTransitive) {
+  SchemaManager schema;
+  ClassId a = *schema.MakeClass(Spec("A"));
+  ClassId b = *schema.MakeClass(Spec("B", {"A"}));
+  ClassId c = *schema.MakeClass(Spec("C", {"B"}));
+  EXPECT_TRUE(schema.IsSubclassOf(a, a));
+  EXPECT_TRUE(schema.IsSubclassOf(c, a));
+  EXPECT_FALSE(schema.IsSubclassOf(a, c));
+  EXPECT_EQ(schema.DirectSubclasses(a), std::vector<ClassId>{b});
+  auto all = schema.SelfAndSubclasses(a);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(SchemaManagerTest, AttributeResolutionFirstSuperclassWins) {
+  SchemaManager schema;
+  (void)*schema.MakeClass(Spec("P1", {}, {WeakAttr("color", "string"),
+                                          WeakAttr("p1only", "integer")}));
+  (void)*schema.MakeClass(Spec("P2", {}, {WeakAttr("color", "integer"),
+                                          WeakAttr("p2only", "integer")}));
+  ClassId child = *schema.MakeClass(Spec("Child", {"P1", "P2"}));
+  auto attrs = schema.ResolvedAttributes(child);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 3u);
+  auto color = schema.ResolveAttribute(child, "color");
+  ASSERT_TRUE(color.ok());
+  EXPECT_EQ(color->domain, "string");  // P1 wins
+  EXPECT_EQ(*schema.DefiningClass(child, "color"),
+            *schema.FindClass("P1"));
+}
+
+TEST(SchemaManagerTest, OwnAttributeShadowsInherited) {
+  SchemaManager schema;
+  (void)*schema.MakeClass(Spec("P", {}, {WeakAttr("x", "string")}));
+  ClassId child =
+      *schema.MakeClass(Spec("C", {"P"}, {WeakAttr("x", "integer")}));
+  EXPECT_EQ(schema.ResolveAttribute(child, "x")->domain, "integer");
+}
+
+TEST(SchemaManagerTest, SatisfiesDomain) {
+  SchemaManager schema;
+  ClassId a = *schema.MakeClass(Spec("A"));
+  ClassId b = *schema.MakeClass(Spec("B", {"A"}));
+  EXPECT_TRUE(schema.SatisfiesDomain(b, "A"));
+  EXPECT_TRUE(schema.SatisfiesDomain(a, "any"));
+  EXPECT_FALSE(schema.SatisfiesDomain(a, "B"));
+  EXPECT_FALSE(schema.SatisfiesDomain(a, "integer"));
+  EXPECT_FALSE(schema.SatisfiesDomain(a, "NoSuchClass"));
+}
+
+TEST(SchemaManagerTest, CompositePredicates) {
+  SchemaManager schema;
+  ClassId doc = *schema.MakeClass(
+      Spec("Document", {},
+           {WeakAttr("Title", "string"),
+            CompositeAttr("Sections", "any", /*exclusive=*/false,
+                          /*dependent=*/true, /*is_set=*/true),
+            CompositeAttr("Figures", "any", /*exclusive=*/false,
+                          /*dependent=*/false, /*is_set=*/true)}));
+  EXPECT_TRUE(*schema.CompositeP(doc, std::nullopt));
+  EXPECT_FALSE(*schema.CompositeP(doc, "Title"));
+  EXPECT_TRUE(*schema.CompositeP(doc, "Sections"));
+  EXPECT_FALSE(*schema.ExclusiveCompositeP(doc, "Sections"));
+  EXPECT_TRUE(*schema.SharedCompositeP(doc, "Sections"));
+  EXPECT_TRUE(*schema.DependentCompositeP(doc, "Sections"));
+  EXPECT_FALSE(*schema.DependentCompositeP(doc, "Figures"));
+  EXPECT_FALSE(*schema.ExclusiveCompositeP(doc, std::nullopt));
+  EXPECT_EQ(schema.CompositeP(doc, "NoSuch").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaManagerTest, PaperDefaultsAreExclusiveDependent) {
+  // §2.3: "The default value for both the exclusive and dependent keywords
+  // is True."
+  AttributeSpec spec;
+  spec.name = "part";
+  spec.composite = true;
+  EXPECT_EQ(spec.kind(), RefKind::kDependentExclusive);
+}
+
+TEST(SchemaManagerTest, AddAndDropAttribute) {
+  SchemaManager schema;
+  ClassId a = *schema.MakeClass(Spec("A"));
+  ASSERT_TRUE(schema.AddAttribute(a, WeakAttr("x", "integer")).ok());
+  EXPECT_EQ(schema.AddAttribute(a, WeakAttr("x", "integer")).code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(schema.DropAttributeSchemaOnly(a, "x").ok());
+  EXPECT_EQ(schema.ResolveAttribute(a, "x").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema.DropAttributeSchemaOnly(a, "x").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaManagerTest, DropAttributePropagatesToSubclassesViaResolution) {
+  SchemaManager schema;
+  ClassId p = *schema.MakeClass(Spec("P", {}, {WeakAttr("x", "integer")}));
+  ClassId c = *schema.MakeClass(Spec("C", {"P"}));
+  ASSERT_TRUE(schema.ResolveAttribute(c, "x").ok());
+  ASSERT_TRUE(schema.DropAttributeSchemaOnly(p, "x").ok());
+  EXPECT_FALSE(schema.ResolveAttribute(c, "x").ok());
+}
+
+TEST(SchemaManagerTest, AddSuperclassRejectsCycle) {
+  SchemaManager schema;
+  ClassId a = *schema.MakeClass(Spec("A"));
+  ClassId b = *schema.MakeClass(Spec("B", {"A"}));
+  EXPECT_EQ(schema.AddSuperclass(a, b).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(schema.AddSuperclass(a, a).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SchemaManagerTest, RemoveSuperclassDropsInheritedAttributes) {
+  SchemaManager schema;
+  ClassId p = *schema.MakeClass(Spec("P", {}, {WeakAttr("x", "integer")}));
+  ClassId c = *schema.MakeClass(Spec("C", {"P"}));
+  ASSERT_TRUE(schema.RemoveSuperclassSchemaOnly(c, p).ok());
+  EXPECT_FALSE(schema.ResolveAttribute(c, "x").ok());
+  EXPECT_EQ(schema.RemoveSuperclassSchemaOnly(c, p).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaManagerTest, DropClassReattachesSubclasses) {
+  SchemaManager schema;
+  ClassId a = *schema.MakeClass(Spec("A", {}, {WeakAttr("x", "integer")}));
+  ClassId b = *schema.MakeClass(Spec("B", {"A"}));
+  ClassId c = *schema.MakeClass(Spec("C", {"B"}));
+  ASSERT_TRUE(schema.DropClassSchemaOnly(b).ok());
+  EXPECT_EQ(schema.GetClass(b), nullptr);
+  EXPECT_FALSE(schema.FindClass("B").ok());
+  // "All subclasses of C become immediate subclasses of the superclasses."
+  EXPECT_TRUE(schema.IsSubclassOf(c, a));
+  ASSERT_TRUE(schema.ResolveAttribute(c, "x").ok());
+  // The name can be reused afterwards.
+  EXPECT_TRUE(schema.MakeClass(Spec("B")).ok());
+}
+
+TEST(SchemaManagerTest, ClassifyTypeChanges) {
+  SchemaManager schema;
+  ClassId c = *schema.MakeClass(Spec(
+      "C", {},
+      {WeakAttr("w", "any"),
+       CompositeAttr("xd", "any", /*exclusive=*/true, /*dependent=*/true),
+       CompositeAttr("si", "any", /*exclusive=*/false,
+                     /*dependent=*/false)}));
+
+  // I1: composite -> weak.
+  auto i1 = schema.ClassifyTypeChange(c, "xd", false, false, false);
+  ASSERT_TRUE(i1.ok());
+  EXPECT_FALSE(i1->state_dependent);
+  EXPECT_EQ(*i1->independent_kind, TypeChange::kToWeak);
+
+  // I2: exclusive -> shared.
+  auto i2 = schema.ClassifyTypeChange(c, "xd", true, false, true);
+  ASSERT_TRUE(i2.ok());
+  EXPECT_FALSE(i2->state_dependent);
+  EXPECT_EQ(*i2->independent_kind, TypeChange::kToShared);
+
+  // I3: dependent -> independent.
+  auto i3 = schema.ClassifyTypeChange(c, "xd", true, true, false);
+  ASSERT_TRUE(i3.ok());
+  EXPECT_EQ(*i3->independent_kind, TypeChange::kToIndependent);
+
+  // I4: independent -> dependent.
+  auto i4 = schema.ClassifyTypeChange(c, "si", true, false, true);
+  ASSERT_TRUE(i4.ok());
+  EXPECT_EQ(*i4->independent_kind, TypeChange::kToDependent);
+
+  // D1: weak -> exclusive composite.
+  auto d1 = schema.ClassifyTypeChange(c, "w", true, true, true);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_TRUE(d1->state_dependent);
+
+  // D2: weak -> shared composite.
+  auto d2 = schema.ClassifyTypeChange(c, "w", true, false, true);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_TRUE(d2->state_dependent);
+
+  // D3: shared -> exclusive.
+  auto d3 = schema.ClassifyTypeChange(c, "si", true, true, false);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_TRUE(d3->state_dependent);
+
+  // Identity change rejected.
+  EXPECT_EQ(schema.ClassifyTypeChange(c, "w", false, false, false)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaManagerTest, OperationLogPendingSince) {
+  SchemaManager schema;
+  ClassId c = *schema.MakeClass(Spec("C"));
+  OperationLog& log = schema.LogForDomain(c);
+  EXPECT_EQ(schema.FindLog(c)->current_cc(), 0u);
+  LogEntry e;
+  e.cc = schema.NextCc();
+  e.change = TypeChange::kToShared;
+  log.Append(e);
+  e.cc = schema.NextCc();
+  e.change = TypeChange::kToIndependent;
+  log.Append(e);
+  EXPECT_EQ(log.current_cc(), 2u);
+  EXPECT_EQ(log.PendingSince(0).size(), 2u);
+  EXPECT_EQ(log.PendingSince(1).size(), 1u);
+  EXPECT_EQ(log.PendingSince(2).size(), 0u);
+  EXPECT_EQ(schema.CurrentCc(), 2u);
+}
+
+TEST(SchemaManagerTest, ApplyTypeChangeSchemaOnlyRewritesDefiningClass) {
+  SchemaManager schema;
+  ClassId p = *schema.MakeClass(
+      Spec("P", {},
+           {CompositeAttr("part", "any", /*exclusive=*/true,
+                          /*dependent=*/true)}));
+  ClassId c = *schema.MakeClass(Spec("C", {"P"}));
+  ASSERT_TRUE(schema.ApplyTypeChangeSchemaOnly(c, "part", true, false, false)
+                  .ok());
+  // The change lands on the defining class and is visible everywhere.
+  EXPECT_EQ(schema.ResolveAttribute(p, "part")->kind(),
+            RefKind::kIndependentShared);
+  EXPECT_EQ(schema.ResolveAttribute(c, "part")->kind(),
+            RefKind::kIndependentShared);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace orion {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::TopologyViolation("object #3 already owned");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kTopologyViolation);
+  EXPECT_EQ(s.message(), "object #3 already owned");
+  EXPECT_EQ(s.ToString(), "TopologyViolation: object #3 already owned");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status {
+    ORION_RETURN_IF_ERROR(Status::NotFound("gone"));
+    return Status::Internal("unreachable");
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+
+  auto succeeds = []() -> Status {
+    ORION_RETURN_IF_ERROR(Status::Ok());
+    return Status::Ok();
+  };
+  EXPECT_TRUE(succeeds().ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, AssignOrReturnExtracts) {
+  auto chain = [](Result<int> in) -> Result<int> {
+    ORION_ASSIGN_OR_RETURN(int v, in);
+    return v * 2;
+  };
+  Result<int> ok = chain(Result<int>(21));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  Result<int> err = chain(Result<int>(Status::Deadlock("cycle")));
+  EXPECT_EQ(err.status().code(), StatusCode::kDeadlock);
+}
+
+TEST(ResultTest, MovesOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  std::string moved = std::move(r).value();
+  EXPECT_EQ(moved.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace orion

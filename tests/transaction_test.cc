@@ -1,0 +1,217 @@
+#include "core/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "invariants.h"
+#include "query/traversal.h"
+
+namespace orion {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest() {
+    part_ = *db_.MakeClass(ClassSpec{.name = "Part"});
+    node_ = *db_.MakeClass(ClassSpec{
+        .name = "Node",
+        .attributes = {
+            CompositeAttr("DepParts", "Part", /*exclusive=*/true,
+                          /*dependent=*/true, /*is_set=*/true),
+            CompositeAttr("Shared", "Part", /*exclusive=*/false,
+                          /*dependent=*/false, /*is_set=*/true),
+            WeakAttr("Name", "string")}});
+    design_ = *db_.MakeClass(ClassSpec{
+        .name = "Design",
+        .attributes = {WeakAttr("Label", "string")},
+        .versionable = true});
+  }
+
+  Database db_;
+  ClassId node_, part_, design_;
+};
+
+TEST_F(TransactionTest, CommitKeepsChanges) {
+  TransactionContext txn(&db_);
+  Uid root = *txn.Make("Node", {}, {{"Name", Value::String("r")}});
+  Uid child = *txn.Make("Part", {{root, "DepParts"}});
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_TRUE(db_.objects().Exists(root));
+  EXPECT_TRUE(db_.objects().Exists(child));
+  EXPECT_TRUE(db_.objects().Peek(root)->Get("DepParts").References(child));
+  // Locks were released: another transaction can write.
+  TransactionContext txn2(&db_);
+  EXPECT_TRUE(txn2.SetAttribute(root, "Name", Value::String("x")).ok());
+  EXPECT_TRUE(txn2.Commit().ok());
+}
+
+TEST_F(TransactionTest, AbortUnwindsCreations) {
+  const size_t before = db_.objects().object_count();
+  {
+    TransactionContext txn(&db_);
+    Uid root = *txn.Make("Node");
+    (void)*txn.Make("Part", {{root, "DepParts"}});
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(db_.objects().object_count(), before);
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
+TEST_F(TransactionTest, DestructorAbortsImplicitly) {
+  const size_t before = db_.objects().object_count();
+  {
+    TransactionContext txn(&db_);
+    (void)*txn.Make("Node");
+    // No Commit.
+  }
+  EXPECT_EQ(db_.objects().object_count(), before);
+}
+
+TEST_F(TransactionTest, AbortRestoresMutatedValues) {
+  Uid root = *db_.objects().Make(node_, {},
+                                 {{"Name", Value::String("original")}});
+  {
+    TransactionContext txn(&db_);
+    ASSERT_TRUE(
+        txn.SetAttribute(root, "Name", Value::String("changed")).ok());
+    EXPECT_EQ(db_.objects().Peek(root)->Get("Name"),
+              Value::String("changed"));
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(db_.objects().Peek(root)->Get("Name"),
+            Value::String("original"));
+}
+
+TEST_F(TransactionTest, AbortRestoresAttachments) {
+  Uid root = *db_.objects().Make(node_, {}, {});
+  Uid part = *db_.objects().Make(part_, {}, {});
+  {
+    TransactionContext txn(&db_);
+    ASSERT_TRUE(txn.MakeComponent(part, root, "DepParts").ok());
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_TRUE(db_.objects().Peek(part)->reverse_refs().empty());
+  EXPECT_TRUE(db_.objects().Peek(root)->Get("DepParts").is_null());
+  ORION_EXPECT_CONSISTENT(db_);
+  // The part is attachable again (no ghost exclusivity).
+  EXPECT_TRUE(db_.objects().MakeComponent(part, root, "DepParts").ok());
+}
+
+TEST_F(TransactionTest, AbortResurrectsDeletedComposite) {
+  Uid root = *db_.objects().Make(node_, {}, {});
+  Uid dep = *db_.objects().Make(part_, {{root, "DepParts"}}, {});
+  Uid shared = *db_.objects().Make(part_, {{root, "Shared"}}, {});
+  {
+    TransactionContext txn(&db_);
+    ASSERT_TRUE(txn.Delete(root).ok());
+    EXPECT_FALSE(db_.objects().Exists(root));
+    EXPECT_FALSE(db_.objects().Exists(dep));  // dependent died
+    EXPECT_TRUE(db_.objects().Exists(shared));  // detached survivor
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  // Everything is back, including the dependent component and the
+  // detached survivor's backlink.
+  EXPECT_TRUE(db_.objects().Exists(root));
+  EXPECT_TRUE(db_.objects().Exists(dep));
+  EXPECT_EQ(db_.objects().Peek(shared)->reverse_refs().size(), 1u);
+  EXPECT_TRUE(db_.objects().Peek(root)->Get("DepParts").References(dep));
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
+TEST_F(TransactionTest, AbortUnwindsDerive) {
+  Uid v0 = *db_.Make("Design", {}, {{"Label", Value::String("rev0")}});
+  const Uid generic = db_.objects().Peek(v0)->generic();
+  {
+    TransactionContext txn(&db_);
+    Uid v1 = *txn.Derive(v0);
+    EXPECT_EQ(db_.versions().VersionsOf(generic)->size(), 2u);
+    ASSERT_TRUE(txn.Abort().ok());
+    EXPECT_FALSE(db_.objects().Exists(v1));
+  }
+  EXPECT_EQ(db_.versions().VersionsOf(generic)->size(), 1u);
+  EXPECT_EQ(*db_.versions().DefaultVersion(generic), v0);
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
+TEST_F(TransactionTest, AbortUnwindsVersionedMake) {
+  const size_t before = db_.versions().generic_count();
+  {
+    TransactionContext txn(&db_);
+    (void)*txn.Make("Design");
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(db_.versions().generic_count(), before);
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
+TEST_F(TransactionTest, TwoPhaseLockingBlocksConflicts) {
+  Uid root = *db_.objects().Make(node_, {}, {});
+  TransactionContext writer(&db_);
+  ASSERT_TRUE(
+      writer.SetAttribute(root, "Name", Value::String("w")).ok());
+  TransactionContext reader(&db_);
+  EXPECT_EQ(reader.Read(root).status().code(), StatusCode::kLockTimeout);
+  ASSERT_TRUE(writer.Commit().ok());
+  EXPECT_TRUE(reader.Read(root).ok());
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
+TEST_F(TransactionTest, CompositeReadBlocksComponentWrite) {
+  Uid root = *db_.objects().Make(node_, {}, {});
+  Uid part = *db_.objects().Make(part_, {{root, "DepParts"}}, {});
+  TransactionContext reader(&db_);
+  ASSERT_TRUE(reader.LockCompositeForRead(root).ok());
+  TransactionContext writer(&db_);
+  EXPECT_EQ(writer.SetAttribute(part, "Name", Value::Null()).code(),
+            StatusCode::kLockTimeout);
+}
+
+TEST_F(TransactionTest, FinishedTransactionsRejectFurtherWork) {
+  TransactionContext txn(&db_);
+  ASSERT_TRUE(txn.Commit().ok());
+  EXPECT_EQ(txn.Make("Node").status().code(),
+            StatusCode::kTransactionInvalid);
+  EXPECT_EQ(txn.Commit().code(), StatusCode::kTransactionInvalid);
+  EXPECT_EQ(txn.Abort().code(), StatusCode::kTransactionInvalid);
+}
+
+TEST_F(TransactionTest, AuthorizationGatesTransactionalAccess) {
+  Uid root = *db_.objects().Make(node_, {}, {});
+  ASSERT_TRUE(db_.authz()
+                  .GrantOnObject("reader", root,
+                                 AuthSpec{true, true, AuthType::kRead})
+                  .ok());
+  TransactionContext txn(&db_, std::chrono::milliseconds(0), "reader");
+  EXPECT_TRUE(txn.Read(root).ok());
+  EXPECT_EQ(txn.SetAttribute(root, "Name", Value::String("x")).code(),
+            StatusCode::kAccessDenied);
+  EXPECT_EQ(txn.Delete(root).code(), StatusCode::kAccessDenied);
+  ASSERT_TRUE(txn.Commit().ok());
+  // A user with no grants reads nothing.
+  TransactionContext stranger(&db_, std::chrono::milliseconds(0), "nobody");
+  EXPECT_EQ(stranger.Read(root).status().code(), StatusCode::kAccessDenied);
+}
+
+TEST_F(TransactionTest, AbortAfterMixedOperationsIsExact) {
+  // Build some committed state, snapshot-compare after an aborted flurry.
+  Uid root = *db_.objects().Make(node_, {},
+                                 {{"Name", Value::String("stable")}});
+  Uid p1 = *db_.objects().Make(part_, {{root, "Shared"}}, {});
+  const size_t objects_before = db_.objects().object_count();
+  {
+    TransactionContext txn(&db_);
+    (void)txn.SetAttribute(root, "Name", Value::String("dirty"));
+    Uid n2 = *txn.Make("Node");
+    (void)txn.MakeComponent(p1, n2, "Shared");
+    (void)txn.RemoveComponent(p1, root, "Shared");
+    (void)*txn.Make("Part", {{n2, "DepParts"}});
+    ASSERT_TRUE(txn.Abort().ok());
+  }
+  EXPECT_EQ(db_.objects().object_count(), objects_before);
+  EXPECT_EQ(db_.objects().Peek(root)->Get("Name"), Value::String("stable"));
+  EXPECT_TRUE(db_.objects().Peek(root)->Get("Shared").References(p1));
+  EXPECT_EQ(db_.objects().Peek(p1)->reverse_refs().size(), 1u);
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,96 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace orion {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "nil");
+}
+
+TEST(ValueTest, ScalarRoundTrips) {
+  EXPECT_EQ(Value::Integer(-7).integer(), -7);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real(), 2.5);
+  EXPECT_EQ(Value::String("Vehicle").string(), "Vehicle");
+  EXPECT_EQ(Value::Ref(Uid{12}).ref(), Uid{12});
+}
+
+TEST(ValueTest, TypeTagsAreDistinct) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Integer(1).type(), ValueType::kInteger);
+  EXPECT_EQ(Value::Real(1.0).type(), ValueType::kReal);
+  EXPECT_EQ(Value::String("s").type(), ValueType::kString);
+  EXPECT_EQ(Value::Ref(Uid{1}).type(), ValueType::kRef);
+  EXPECT_EQ(Value::Set({}).type(), ValueType::kSet);
+}
+
+TEST(ValueTest, EqualityIsStructural) {
+  EXPECT_EQ(Value::Integer(3), Value::Integer(3));
+  EXPECT_NE(Value::Integer(3), Value::Integer(4));
+  EXPECT_NE(Value::Integer(3), Value::Real(3.0));
+  EXPECT_EQ(Value::RefSet({Uid{1}, Uid{2}}), Value::RefSet({Uid{1}, Uid{2}}));
+  EXPECT_NE(Value::RefSet({Uid{1}, Uid{2}}), Value::RefSet({Uid{2}, Uid{1}}));
+}
+
+TEST(ValueTest, ReferencedUidsOfScalarRef) {
+  EXPECT_EQ(Value::Ref(Uid{5}).ReferencedUids(), std::vector<Uid>{Uid{5}});
+  EXPECT_TRUE(Value::Integer(5).ReferencedUids().empty());
+  // A Nil reference contributes nothing.
+  EXPECT_TRUE(Value::Ref(kNilUid).ReferencedUids().empty());
+}
+
+TEST(ValueTest, ReferencedUidsOfSetSkipsNonRefs) {
+  Value v = Value::Set({Value::Ref(Uid{1}), Value::Integer(9),
+                        Value::Ref(Uid{2})});
+  EXPECT_EQ(v.ReferencedUids(), (std::vector<Uid>{Uid{1}, Uid{2}}));
+}
+
+TEST(ValueTest, ReferencesFindsTarget) {
+  EXPECT_TRUE(Value::Ref(Uid{3}).References(Uid{3}));
+  EXPECT_FALSE(Value::Ref(Uid{3}).References(Uid{4}));
+  Value set = Value::RefSet({Uid{1}, Uid{2}});
+  EXPECT_TRUE(set.References(Uid{2}));
+  EXPECT_FALSE(set.References(Uid{3}));
+  EXPECT_FALSE(Value::String("x").References(Uid{1}));
+}
+
+TEST(ValueTest, RemoveReferenceNullsScalar) {
+  Value v = Value::Ref(Uid{3});
+  EXPECT_EQ(v.RemoveReference(Uid{3}), 1);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.RemoveReference(Uid{3}), 0);
+}
+
+TEST(ValueTest, RemoveReferenceErasesAllSetOccurrences) {
+  Value v = Value::Set({Value::Ref(Uid{1}), Value::Ref(Uid{2}),
+                        Value::Ref(Uid{1})});
+  EXPECT_EQ(v.RemoveReference(Uid{1}), 2);
+  EXPECT_EQ(v, Value::RefSet({Uid{2}}));
+}
+
+TEST(ValueTest, AddSetRefAppends) {
+  Value v = Value::Set({});
+  v.AddSetRef(Uid{9});
+  EXPECT_TRUE(v.References(Uid{9}));
+  EXPECT_EQ(v.set().size(), 1u);
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value::Integer(5).ToString(), "5");
+  EXPECT_EQ(Value::String("a").ToString(), "\"a\"");
+  EXPECT_EQ(Value::Ref(Uid{7}).ToString(), "#7");
+  EXPECT_EQ(Value::RefSet({Uid{1}, Uid{2}}).ToString(), "{#1, #2}");
+}
+
+TEST(UidTest, OrderingAndValidity) {
+  EXPECT_FALSE(kNilUid.valid());
+  EXPECT_TRUE(Uid{1}.valid());
+  EXPECT_LT(Uid{1}, Uid{2});
+  EXPECT_EQ(std::hash<Uid>{}(Uid{42}), std::hash<Uid>{}(Uid{42}));
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,0 +1,346 @@
+#include "version/version_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "query/traversal.h"
+
+namespace orion {
+namespace {
+
+/// Schema for the §5 figures: two versionable classes A (with a composite
+/// attribute Part whose domain is B) and B, plus a non-versionable class.
+class VersionManagerTest : public ::testing::Test {
+ protected:
+  VersionManagerTest()
+      : schema_(&store_),
+        objects_(&schema_, &store_, &clock_),
+        versions_(&schema_, &objects_) {
+    b_ = *schema_.MakeClass(ClassSpec{.name = "B", .versionable = true});
+    a_ = *schema_.MakeClass(ClassSpec{
+        .name = "A",
+        .attributes =
+            {CompositeAttr("Part", "B", /*exclusive=*/true,
+                           /*dependent=*/false),
+             CompositeAttr("DepPart", "B", /*exclusive=*/true,
+                           /*dependent=*/true),
+             CompositeAttr("SharedParts", "B", /*exclusive=*/false,
+                           /*dependent=*/false, /*is_set=*/true),
+             WeakAttr("Label", "string")},
+        .versionable = true});
+    plain_ = *schema_.MakeClass(ClassSpec{
+        .name = "Plain",
+        .attributes = {CompositeAttr("Part", "B", /*exclusive=*/true,
+                                     /*dependent=*/false)}});
+  }
+
+  ObjectStore store_;
+  LogicalClock clock_;
+  SchemaManager schema_;
+  ObjectManager objects_;
+  VersionManager versions_;
+  ClassId a_, b_, plain_;
+};
+
+TEST_F(VersionManagerTest, MakeVersionedCreatesGenericAndFirstVersion) {
+  auto h = versions_.MakeVersioned(b_, {}, {});
+  ASSERT_TRUE(h.ok());
+  const Object* g = objects_.Peek(h->generic);
+  const Object* v = objects_.Peek(h->version);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(v, nullptr);
+  EXPECT_TRUE(g->is_generic());
+  EXPECT_TRUE(v->is_version());
+  EXPECT_EQ(v->generic(), h->generic);
+  EXPECT_EQ(*versions_.VersionsOf(h->generic), std::vector<Uid>{h->version});
+  EXPECT_EQ(versions_.generic_count(), 1u);
+}
+
+TEST_F(VersionManagerTest, MakeVersionedRejectsNonVersionableClass) {
+  EXPECT_EQ(versions_.MakeVersioned(plain_, {}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VersionManagerTest, DefaultVersionFollowsTimestamps) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  Uid v2 = *versions_.Derive(h.version);
+  EXPECT_EQ(*versions_.DefaultVersion(h.generic), v2);
+  // User default overrides the timestamp rule.
+  ASSERT_TRUE(versions_.SetDefaultVersion(h.generic, h.version).ok());
+  EXPECT_EQ(*versions_.DefaultVersion(h.generic), h.version);
+  EXPECT_EQ(versions_.SetDefaultVersion(h.generic, Uid{999}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VersionManagerTest, ResolveBindingDynamicVsStatic) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  Uid v2 = *versions_.Derive(h.version);
+  EXPECT_TRUE(versions_.IsDynamicBinding(h.generic));
+  EXPECT_FALSE(versions_.IsDynamicBinding(h.version));
+  EXPECT_EQ(*versions_.ResolveBinding(h.generic), v2);
+  EXPECT_EQ(*versions_.ResolveBinding(h.version), h.version);
+}
+
+// --- Figure 1: deriving a version rebinds composite references ---------------
+
+TEST_F(VersionManagerTest, DeriveRebindsIndependentExclusiveToGeneric) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "Part").ok());
+
+  Uid derived = *versions_.Derive(va.version);
+  const Object* d = objects_.Peek(derived);
+  // "The reference in the new copy is set to the generic instance g-d of
+  // the referenced version instance."
+  EXPECT_EQ(d->Get("Part"), Value::Ref(vb.generic));
+  // The original keeps its static binding.
+  EXPECT_EQ(objects_.Peek(va.version)->Get("Part"), Value::Ref(vb.version));
+}
+
+TEST_F(VersionManagerTest, DeriveSetsDependentReferencesToNil) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "DepPart").ok());
+
+  Uid derived = *versions_.Derive(va.version);
+  // "However, if the reference is a dependent composite reference, it is
+  // set to Nil."
+  EXPECT_TRUE(objects_.Peek(derived)->Get("DepPart").is_null());
+}
+
+TEST_F(VersionManagerTest, DeriveCopiesGenericReferencesAndWeakValues) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.generic, va.version, "Part").ok());
+  ASSERT_TRUE(objects_.SetAttribute(va.version, "Label",
+                                    Value::String("rev0"))
+                  .ok());
+
+  Uid derived = *versions_.Derive(va.version);
+  const Object* d = objects_.Peek(derived);
+  // CV-1X: any number of versions of g-c may reference g-d.
+  EXPECT_EQ(d->Get("Part"), Value::Ref(vb.generic));
+  EXPECT_EQ(d->Get("Label"), Value::String("rev0"));
+  EXPECT_EQ(d->derived_from(), va.version);
+}
+
+TEST_F(VersionManagerTest, DeriveDropsExclusiveRefToNonVersionableTarget) {
+  // Interpretation note in DESIGN.md: copying an exclusive reference to a
+  // non-versionable object would give it two exclusive parents.
+  ClassId part_cls = *schema_.MakeClass(ClassSpec{.name = "PlainPart"});
+  ClassId holder_cls = *schema_.MakeClass(ClassSpec{
+      .name = "Holder",
+      .attributes = {CompositeAttr("P", "PlainPart", /*exclusive=*/true,
+                                   /*dependent=*/false),
+                     CompositeAttr("S", "PlainPart", /*exclusive=*/false,
+                                   /*dependent=*/false, /*is_set=*/true)},
+      .versionable = true});
+  Uid part = *objects_.Make(part_cls, {}, {});
+  Uid shared_part = *objects_.Make(part_cls, {}, {});
+  auto vh = *versions_.MakeVersioned(holder_cls, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(part, vh.version, "P").ok());
+  ASSERT_TRUE(objects_.MakeComponent(shared_part, vh.version, "S").ok());
+
+  Uid derived = *versions_.Derive(vh.version);
+  const Object* d = objects_.Peek(derived);
+  EXPECT_TRUE(d->Get("P").is_null());
+  // Shared references to non-versionable targets are copied.
+  EXPECT_TRUE(d->Get("S").References(shared_part));
+  EXPECT_EQ(objects_.Peek(shared_part)->reverse_refs().size(), 2u);
+}
+
+// --- Figure 2 / CV-2X legality -----------------------------------------------
+
+TEST_F(VersionManagerTest, DistinctVersionsMayHoldDistinctVersionRefs) {
+  // Figure 2: c-i -> d-j and c-j -> d-k, each exclusive, is legal.
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  Uid vb2 = *versions_.Derive(vb.version);
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  Uid va2 = *versions_.Derive(va.version);
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "Part").ok());
+  EXPECT_TRUE(objects_.MakeComponent(vb2, va2, "Part").ok());
+}
+
+TEST_F(VersionManagerTest, VersionInstanceToleratesOneExclusiveRef) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  Uid va2 = *versions_.Derive(va.version);
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "Part").ok());
+  // CV-2X: "a version instance may have at most one composite reference to
+  // it, if the reference is exclusive."
+  EXPECT_EQ(objects_.MakeComponent(vb.version, va2, "Part").code(),
+            StatusCode::kTopologyViolation);
+}
+
+TEST_F(VersionManagerTest, CrossHierarchyExclusiveRefsToSameObjectRejected) {
+  // "Rules CV-2X and CV-3X together prevent version instances of different
+  // versionable objects 0' and 0'' from having exclusive composite
+  // references to different version instances of the same versionable
+  // object O."
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  Uid vb2 = *versions_.Derive(vb.version);
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  auto va_other = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "Part").ok());
+  EXPECT_EQ(
+      objects_.MakeComponent(vb2, va_other.version, "Part").code(),
+      StatusCode::kTopologyViolation);
+}
+
+TEST_F(VersionManagerTest, GenericExclusiveRefsOnlyFromOneHierarchy) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  Uid va2 = *versions_.Derive(va.version);
+  ASSERT_TRUE(objects_.MakeComponent(vb.generic, va.version, "Part").ok());
+  // Same hierarchy: allowed (CV-2X).
+  EXPECT_TRUE(objects_.MakeComponent(vb.generic, va2, "Part").ok());
+  // Different hierarchy: rejected.
+  auto va_other = *versions_.MakeVersioned(a_, {}, {});
+  EXPECT_EQ(
+      objects_.MakeComponent(vb.generic, va_other.version, "Part").code(),
+      StatusCode::kTopologyViolation);
+}
+
+// --- Figure 3: reverse composite generic references and ref counts ----------
+
+TEST_F(VersionManagerTest, Figure3RefCountLifecycle) {
+  // a1 and b1 are versionable; a1.v0 -> b1.v0 and a1.v1 -> b1.v1.
+  auto b1 = *versions_.MakeVersioned(b_, {}, {});
+  Uid b1v1 = *versions_.Derive(b1.version);
+  auto a1 = *versions_.MakeVersioned(a_, {}, {});
+  Uid a1v1 = *versions_.Derive(a1.version);
+  ASSERT_TRUE(objects_.MakeComponent(b1.version, a1.version, "Part").ok());
+  ASSERT_TRUE(objects_.MakeComponent(b1v1, a1v1, "Part").ok());
+
+  // "The ref-count associated with the reverse composite generic reference
+  // from object b1 to object a1 will have a value of ... 2."
+  const Object* g = objects_.Peek(b1.generic);
+  ASSERT_EQ(g->generic_refs().size(), 1u);
+  EXPECT_EQ(g->generic_refs()[0].parent, a1.generic);
+  EXPECT_EQ(g->generic_refs()[0].ref_count, 2);
+
+  // parents-of on the generic answers through the generic reference, "even
+  // if all composite references are statically bound."
+  EXPECT_EQ(*ParentsOf(objects_, b1.generic),
+            std::vector<Uid>{a1.generic});
+
+  // Remove a1.v0 -> b1.v0: the reverse reference goes, the generic
+  // reference only loses a count.
+  ASSERT_TRUE(objects_.RemoveComponent(b1.version, a1.version, "Part").ok());
+  EXPECT_TRUE(objects_.Peek(b1.version)->reverse_refs().empty());
+  ASSERT_EQ(g->generic_refs().size(), 1u);
+  EXPECT_EQ(g->generic_refs()[0].ref_count, 1);
+
+  // Remove a1.v1 -> b1.v1: count reaches zero, the generic reference goes.
+  ASSERT_TRUE(objects_.RemoveComponent(b1v1, a1v1, "Part").ok());
+  EXPECT_TRUE(g->generic_refs().empty());
+  EXPECT_TRUE(ParentsOf(objects_, b1.generic)->empty());
+}
+
+// --- Deletion (CV-4X) ---------------------------------------------------------
+
+TEST_F(VersionManagerTest, DeleteVersionCascadesDependentStaticComponents) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  Uid va2 = *versions_.Derive(va.version);  // keeps the generic alive
+  (void)va2;
+  ASSERT_TRUE(objects_.MakeComponent(vb.version, va.version, "DepPart").ok());
+
+  ASSERT_TRUE(versions_.DeleteVersion(va.version).ok());
+  EXPECT_FALSE(objects_.Exists(va.version));
+  // The statically bound dependent component version dies with it...
+  EXPECT_FALSE(objects_.Exists(vb.version));
+  // ...and since it was b1's last version, the generic dies too.
+  EXPECT_FALSE(objects_.Exists(vb.generic));
+  EXPECT_EQ(versions_.VersionsOf(vb.generic).status().code(),
+            StatusCode::kNotFound);
+  // a's generic survives through va2.
+  EXPECT_TRUE(objects_.Exists(va.generic));
+}
+
+TEST_F(VersionManagerTest, DeleteLastVersionReapsGeneric) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  ASSERT_TRUE(versions_.DeleteVersion(h.version).ok());
+  EXPECT_FALSE(objects_.Exists(h.version));
+  EXPECT_FALSE(objects_.Exists(h.generic));
+  EXPECT_EQ(versions_.generic_count(), 0u);
+}
+
+TEST_F(VersionManagerTest, DeleteGenericDeletesAllVersions) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  Uid v2 = *versions_.Derive(h.version);
+  Uid v3 = *versions_.Derive(v2);
+  ASSERT_TRUE(versions_.DeleteGeneric(h.generic).ok());
+  EXPECT_FALSE(objects_.Exists(h.version));
+  EXPECT_FALSE(objects_.Exists(v2));
+  EXPECT_FALSE(objects_.Exists(v3));
+  EXPECT_FALSE(objects_.Exists(h.generic));
+}
+
+TEST_F(VersionManagerTest, DeleteGenericCascadesDependentExclusiveGenerics) {
+  // CV-4X: "When a generic instance g-c is deleted, all generic instances
+  // to which it has [dependent] exclusive references are recursively
+  // deleted."
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.generic, va.version, "DepPart").ok());
+  ASSERT_TRUE(versions_.DeleteGeneric(va.generic).ok());
+  EXPECT_FALSE(objects_.Exists(va.generic));
+  EXPECT_FALSE(objects_.Exists(vb.generic));
+  EXPECT_FALSE(objects_.Exists(vb.version));
+}
+
+TEST_F(VersionManagerTest, DeleteGenericDetachesIndependentTargets) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  auto va = *versions_.MakeVersioned(a_, {}, {});
+  ASSERT_TRUE(objects_.MakeComponent(vb.generic, va.version, "Part").ok());
+  ASSERT_TRUE(versions_.DeleteGeneric(va.generic).ok());
+  EXPECT_TRUE(objects_.Exists(vb.generic));
+  EXPECT_TRUE(objects_.Peek(vb.generic)->generic_refs().empty());
+}
+
+TEST_F(VersionManagerTest, ObjectManagerRefusesRawDeleteOfVersionedObjects) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  EXPECT_EQ(objects_.Delete(h.version).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(objects_.Delete(h.generic).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VersionManagerTest, DeriveRequiresVersionInstance) {
+  auto h = *versions_.MakeVersioned(b_, {}, {});
+  EXPECT_EQ(versions_.Derive(h.generic).status().code(),
+            StatusCode::kInvalidArgument);
+  Uid plain = *objects_.Make(plain_, {}, {});
+  EXPECT_EQ(versions_.Derive(plain).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(VersionManagerTest, MakeVersionedWithParentBindsVersionStatically) {
+  auto vb = *versions_.MakeVersioned(b_, {}, {});
+  (void)vb;
+  Uid holder = *objects_.Make(plain_, {}, {});
+  auto h = versions_.MakeVersioned(b_, {{holder, "Part"}}, {});
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(objects_.Peek(holder)->Get("Part").References(h->version));
+  ASSERT_EQ(objects_.Peek(h->version)->reverse_refs().size(), 1u);
+  EXPECT_EQ(objects_.Peek(h->version)->reverse_refs()[0].parent, holder);
+  // The generic also records it (§5.3 case 1, non-versionable referencer).
+  ASSERT_EQ(objects_.Peek(h->generic)->generic_refs().size(), 1u);
+  EXPECT_EQ(objects_.Peek(h->generic)->generic_refs()[0].parent, holder);
+}
+
+TEST_F(VersionManagerTest, FailedMakeVersionedRollsBack) {
+  Uid holder = *objects_.Make(plain_, {}, {});
+  auto vb = *versions_.MakeVersioned(b_, {{holder, "Part"}}, {});
+  (void)vb;
+  const size_t before = objects_.object_count();
+  // Second attach to the now-occupied exclusive attribute must fail and
+  // leave no orphan generic/version behind.
+  auto h = versions_.MakeVersioned(b_, {{holder, "Part"}}, {});
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(objects_.object_count(), before);
+  EXPECT_EQ(versions_.generic_count(), 1u);
+}
+
+}  // namespace
+}  // namespace orion
