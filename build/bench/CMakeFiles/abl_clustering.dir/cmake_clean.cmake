@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_clustering.dir/abl_clustering.cc.o"
+  "CMakeFiles/abl_clustering.dir/abl_clustering.cc.o.d"
+  "abl_clustering"
+  "abl_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_deletion.dir/abl_deletion.cc.o"
+  "CMakeFiles/abl_deletion.dir/abl_deletion.cc.o.d"
+  "abl_deletion"
+  "abl_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

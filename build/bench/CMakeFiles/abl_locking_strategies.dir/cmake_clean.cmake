@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_locking_strategies.dir/abl_locking_strategies.cc.o"
+  "CMakeFiles/abl_locking_strategies.dir/abl_locking_strategies.cc.o.d"
+  "abl_locking_strategies"
+  "abl_locking_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_locking_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

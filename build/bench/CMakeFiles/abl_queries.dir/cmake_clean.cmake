@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_queries.dir/abl_queries.cc.o"
+  "CMakeFiles/abl_queries.dir/abl_queries.cc.o.d"
+  "abl_queries"
+  "abl_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

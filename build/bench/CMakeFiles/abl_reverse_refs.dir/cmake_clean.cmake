@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_reverse_refs.dir/abl_reverse_refs.cc.o"
+  "CMakeFiles/abl_reverse_refs.dir/abl_reverse_refs.cc.o.d"
+  "abl_reverse_refs"
+  "abl_reverse_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_reverse_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_schema_evolution.dir/abl_schema_evolution.cc.o"
+  "CMakeFiles/abl_schema_evolution.dir/abl_schema_evolution.cc.o.d"
+  "abl_schema_evolution"
+  "abl_schema_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_schema_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

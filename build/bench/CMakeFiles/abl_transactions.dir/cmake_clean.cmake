@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_transactions.dir/abl_transactions.cc.o"
+  "CMakeFiles/abl_transactions.dir/abl_transactions.cc.o.d"
+  "abl_transactions"
+  "abl_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

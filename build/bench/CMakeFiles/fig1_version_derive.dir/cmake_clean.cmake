@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_version_derive.dir/fig1_version_derive.cc.o"
+  "CMakeFiles/fig1_version_derive.dir/fig1_version_derive.cc.o.d"
+  "fig1_version_derive"
+  "fig1_version_derive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_version_derive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

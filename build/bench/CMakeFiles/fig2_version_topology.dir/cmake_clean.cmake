@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_version_topology.dir/fig2_version_topology.cc.o"
+  "CMakeFiles/fig2_version_topology.dir/fig2_version_topology.cc.o.d"
+  "fig2_version_topology"
+  "fig2_version_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_version_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

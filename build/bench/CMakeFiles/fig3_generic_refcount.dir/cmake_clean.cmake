@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_generic_refcount.dir/fig3_generic_refcount.cc.o"
+  "CMakeFiles/fig3_generic_refcount.dir/fig3_generic_refcount.cc.o.d"
+  "fig3_generic_refcount"
+  "fig3_generic_refcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_generic_refcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_auth_implicit.dir/fig4_auth_implicit.cc.o"
+  "CMakeFiles/fig4_auth_implicit.dir/fig4_auth_implicit.cc.o.d"
+  "fig4_auth_implicit"
+  "fig4_auth_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_auth_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_shared_component.dir/fig5_shared_component.cc.o"
+  "CMakeFiles/fig5_shared_component.dir/fig5_shared_component.cc.o.d"
+  "fig5_shared_component"
+  "fig5_shared_component.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_shared_component.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

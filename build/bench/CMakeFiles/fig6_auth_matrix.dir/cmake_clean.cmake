@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_auth_matrix.dir/fig6_auth_matrix.cc.o"
+  "CMakeFiles/fig6_auth_matrix.dir/fig6_auth_matrix.cc.o.d"
+  "fig6_auth_matrix"
+  "fig6_auth_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_auth_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

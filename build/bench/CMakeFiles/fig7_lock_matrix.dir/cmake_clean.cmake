@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lock_matrix.dir/fig7_lock_matrix.cc.o"
+  "CMakeFiles/fig7_lock_matrix.dir/fig7_lock_matrix.cc.o.d"
+  "fig7_lock_matrix"
+  "fig7_lock_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lock_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

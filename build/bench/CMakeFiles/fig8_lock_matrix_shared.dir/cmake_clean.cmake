@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lock_matrix_shared.dir/fig8_lock_matrix_shared.cc.o"
+  "CMakeFiles/fig8_lock_matrix_shared.dir/fig8_lock_matrix_shared.cc.o.d"
+  "fig8_lock_matrix_shared"
+  "fig8_lock_matrix_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lock_matrix_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

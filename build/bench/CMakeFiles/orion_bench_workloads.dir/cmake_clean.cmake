@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/liborion_bench_workloads.a"
+  "../lib/liborion_bench_workloads.pdb"
+  "CMakeFiles/orion_bench_workloads.dir/workloads.cc.o"
+  "CMakeFiles/orion_bench_workloads.dir/workloads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_bench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/liborion_bench_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authorization_demo.dir/authorization_demo.cpp.o"
+  "CMakeFiles/authorization_demo.dir/authorization_demo.cpp.o.d"
+  "authorization_demo"
+  "authorization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authorization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

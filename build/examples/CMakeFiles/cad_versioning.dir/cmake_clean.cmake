@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_versioning.dir/cad_versioning.cpp.o"
+  "CMakeFiles/cad_versioning.dir/cad_versioning.cpp.o.d"
+  "cad_versioning"
+  "cad_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_repl.dir/orion_repl.cpp.o"
+  "CMakeFiles/orion_repl.dir/orion_repl.cpp.o.d"
+  "orion_repl"
+  "orion_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_authz.dir/auth_types.cc.o"
+  "CMakeFiles/orion_authz.dir/auth_types.cc.o.d"
+  "CMakeFiles/orion_authz.dir/authorization_manager.cc.o"
+  "CMakeFiles/orion_authz.dir/authorization_manager.cc.o.d"
+  "liborion_authz.a"
+  "liborion_authz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_authz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_common.dir/status.cc.o"
+  "CMakeFiles/orion_common.dir/status.cc.o.d"
+  "CMakeFiles/orion_common.dir/value.cc.o"
+  "CMakeFiles/orion_common.dir/value.cc.o.d"
+  "liborion_common.a"
+  "liborion_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

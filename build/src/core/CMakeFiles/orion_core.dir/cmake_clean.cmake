@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_core.dir/database.cc.o"
+  "CMakeFiles/orion_core.dir/database.cc.o.d"
+  "CMakeFiles/orion_core.dir/snapshot.cc.o"
+  "CMakeFiles/orion_core.dir/snapshot.cc.o.d"
+  "CMakeFiles/orion_core.dir/transaction.cc.o"
+  "CMakeFiles/orion_core.dir/transaction.cc.o.d"
+  "liborion_core.a"
+  "liborion_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_lang.dir/interpreter.cc.o"
+  "CMakeFiles/orion_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/orion_lang.dir/sexpr.cc.o"
+  "CMakeFiles/orion_lang.dir/sexpr.cc.o.d"
+  "liborion_lang.a"
+  "liborion_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

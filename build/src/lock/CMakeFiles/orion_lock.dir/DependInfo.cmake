@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/composite_locking.cc" "src/lock/CMakeFiles/orion_lock.dir/composite_locking.cc.o" "gcc" "src/lock/CMakeFiles/orion_lock.dir/composite_locking.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/orion_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/orion_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/lock_mode.cc" "src/lock/CMakeFiles/orion_lock.dir/lock_mode.cc.o" "gcc" "src/lock/CMakeFiles/orion_lock.dir/lock_mode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/object/CMakeFiles/orion_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/orion_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/orion_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/orion_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

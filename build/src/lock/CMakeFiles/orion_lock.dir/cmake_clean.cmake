@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_lock.dir/composite_locking.cc.o"
+  "CMakeFiles/orion_lock.dir/composite_locking.cc.o.d"
+  "CMakeFiles/orion_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/orion_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/orion_lock.dir/lock_mode.cc.o"
+  "CMakeFiles/orion_lock.dir/lock_mode.cc.o.d"
+  "liborion_lock.a"
+  "liborion_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

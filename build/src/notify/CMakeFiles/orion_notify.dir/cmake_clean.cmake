@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_notify.dir/notification_manager.cc.o"
+  "CMakeFiles/orion_notify.dir/notification_manager.cc.o.d"
+  "liborion_notify.a"
+  "liborion_notify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_notify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_object.dir/object.cc.o"
+  "CMakeFiles/orion_object.dir/object.cc.o.d"
+  "CMakeFiles/orion_object.dir/object_manager.cc.o"
+  "CMakeFiles/orion_object.dir/object_manager.cc.o.d"
+  "liborion_object.a"
+  "liborion_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_query.dir/index.cc.o"
+  "CMakeFiles/orion_query.dir/index.cc.o.d"
+  "CMakeFiles/orion_query.dir/query.cc.o"
+  "CMakeFiles/orion_query.dir/query.cc.o.d"
+  "CMakeFiles/orion_query.dir/traversal.cc.o"
+  "CMakeFiles/orion_query.dir/traversal.cc.o.d"
+  "liborion_query.a"
+  "liborion_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

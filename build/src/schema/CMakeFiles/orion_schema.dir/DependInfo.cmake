@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/attribute.cc" "src/schema/CMakeFiles/orion_schema.dir/attribute.cc.o" "gcc" "src/schema/CMakeFiles/orion_schema.dir/attribute.cc.o.d"
+  "/root/repo/src/schema/operation_log.cc" "src/schema/CMakeFiles/orion_schema.dir/operation_log.cc.o" "gcc" "src/schema/CMakeFiles/orion_schema.dir/operation_log.cc.o.d"
+  "/root/repo/src/schema/schema_manager.cc" "src/schema/CMakeFiles/orion_schema.dir/schema_manager.cc.o" "gcc" "src/schema/CMakeFiles/orion_schema.dir/schema_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/orion_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/orion_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

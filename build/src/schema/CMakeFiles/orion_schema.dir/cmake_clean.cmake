@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_schema.dir/attribute.cc.o"
+  "CMakeFiles/orion_schema.dir/attribute.cc.o.d"
+  "CMakeFiles/orion_schema.dir/operation_log.cc.o"
+  "CMakeFiles/orion_schema.dir/operation_log.cc.o.d"
+  "CMakeFiles/orion_schema.dir/schema_manager.cc.o"
+  "CMakeFiles/orion_schema.dir/schema_manager.cc.o.d"
+  "liborion_schema.a"
+  "liborion_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

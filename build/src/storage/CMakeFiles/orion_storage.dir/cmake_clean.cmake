@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_storage.dir/object_store.cc.o"
+  "CMakeFiles/orion_storage.dir/object_store.cc.o.d"
+  "liborion_storage.a"
+  "liborion_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_version.dir/version_manager.cc.o"
+  "CMakeFiles/orion_version.dir/version_manager.cc.o.d"
+  "liborion_version.a"
+  "liborion_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

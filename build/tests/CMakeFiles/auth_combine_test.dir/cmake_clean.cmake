@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_combine_test.dir/auth_combine_test.cc.o"
+  "CMakeFiles/auth_combine_test.dir/auth_combine_test.cc.o.d"
+  "auth_combine_test"
+  "auth_combine_test.pdb"
+  "auth_combine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_combine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

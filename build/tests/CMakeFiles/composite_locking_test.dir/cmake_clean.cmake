@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_locking_test.dir/composite_locking_test.cc.o"
+  "CMakeFiles/composite_locking_test.dir/composite_locking_test.cc.o.d"
+  "composite_locking_test"
+  "composite_locking_test.pdb"
+  "composite_locking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

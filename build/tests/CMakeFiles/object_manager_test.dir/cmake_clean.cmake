@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_manager_test.dir/object_manager_test.cc.o"
+  "CMakeFiles/object_manager_test.dir/object_manager_test.cc.o.d"
+  "object_manager_test"
+  "object_manager_test.pdb"
+  "object_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orion_test_invariants.dir/invariants.cc.o"
+  "CMakeFiles/orion_test_invariants.dir/invariants.cc.o.d"
+  "liborion_test_invariants.a"
+  "liborion_test_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orion_test_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

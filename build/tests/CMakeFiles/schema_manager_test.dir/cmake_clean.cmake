@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_manager_test.dir/schema_manager_test.cc.o"
+  "CMakeFiles/schema_manager_test.dir/schema_manager_test.cc.o.d"
+  "schema_manager_test"
+  "schema_manager_test.pdb"
+  "schema_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_manager_test.dir/version_manager_test.cc.o"
+  "CMakeFiles/version_manager_test.dir/version_manager_test.cc.o.d"
+  "version_manager_test"
+  "version_manager_test.pdb"
+  "version_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/object_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/traversal_test[1]_include.cmake")
+include("/root/repo/build/tests/version_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/auth_combine_test[1]_include.cmake")
+include("/root/repo/build/tests/authz_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_mode_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/composite_locking_test[1]_include.cmake")
+include("/root/repo/build/tests/database_test[1]_include.cmake")
+include("/root/repo/build/tests/lang_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/notification_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
