@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: a Release build running the full suite, then a
+# ThreadSanitizer build running the concurrency-sensitive suites.
+# Usage: ./ci.sh            (both stages)
+#        ./ci.sh release    (stage 1 only)
+#        ./ci.sh tsan       (stage 2 only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+stage="${1:-all}"
+jobs="$(nproc)"
+
+if [[ "$stage" == "all" || "$stage" == "release" ]]; then
+  echo "=== stage 1: Release build, full test suite ==="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs"
+  ctest --test-dir build-release --output-on-failure -j "$jobs"
+fi
+
+if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
+  echo "=== stage 2: ThreadSanitizer build, concurrency suites ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DORION_SANITIZE=thread
+  cmake --build build-tsan -j "$jobs"
+  # TSan halts the process on the first report, so a pass here means zero
+  # data races in everything these suites execute.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress'
+fi
+
+echo "ci.sh: all requested stages passed."

@@ -1,6 +1,7 @@
 #ifndef ORION_COMMON_CLOCK_H_
 #define ORION_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace orion {
@@ -12,24 +13,35 @@ namespace orion {
 /// creation of the version instances."  A logical counter gives that ordering
 /// deterministically (wall-clock time would make tests flaky and benches
 /// noisy).
+///
+/// Thread-safe: concurrent sessions stamp object creations from worker
+/// threads, so the counter lives on a std::atomic.  `Tick` values are unique
+/// and strictly increasing across all threads; relaxed ordering suffices
+/// because the timestamp only orders version creation, it does not publish
+/// other memory.
 class LogicalClock {
  public:
-  /// Returns a strictly increasing timestamp.
-  uint64_t Tick() { return ++now_; }
+  /// Returns a strictly increasing timestamp, unique across threads.
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
 
   /// The most recently issued timestamp (0 before the first Tick).
-  uint64_t Now() const { return now_; }
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
 
   /// Moves the clock forward to at least `t` (snapshot restore).
   void AdvanceTo(uint64_t t) {
-    if (t > now_) {
-      now_ = t;
+    uint64_t cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_relaxed)) {
     }
   }
 
  private:
-  uint64_t now_ = 0;
+  std::atomic<uint64_t> now_{0};
 };
+
+/// The sessions layer names the clock by its contract; the alias keeps call
+/// sites explicit about why they can share one instance across threads.
+using ThreadSafeLogicalClock = LogicalClock;
 
 }  // namespace orion
 

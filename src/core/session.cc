@@ -1,0 +1,62 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace orion {
+
+Session::Session(Database* db, SessionOptions options)
+    : db_(db),
+      options_(options),
+      jitter_state_(reinterpret_cast<uintptr_t>(this) | 1) {}
+
+bool Session::IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kDeadlock ||
+         status.code() == StatusCode::kLockTimeout;
+}
+
+void Session::Backoff(int attempt) {
+  // Exponential base with ±50% deterministic jitter so two sessions that
+  // deadlocked each other do not re-collide in lockstep.
+  jitter_state_ = jitter_state_ * 6364136223846793005ULL +
+                  1442695040888963407ULL;
+  const uint64_t jitter = (jitter_state_ >> 33) % 100;  // [0, 100)
+  auto base = options_.backoff_base.count() << std::min(attempt, 12);
+  base = std::min<decltype(base)>(base, options_.backoff_cap.count());
+  const auto us = base / 2 + (base * jitter) / 100;
+  if (us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+}
+
+Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      Backoff(attempt - 1);
+    }
+    TransactionContext txn(db_, options_.lock_timeout, options_.user);
+    Status result = fn(txn);
+    if (result.ok()) {
+      result = txn.Commit();
+      if (result.ok()) {
+        ++stats_.commits;
+        return result;
+      }
+    } else {
+      (void)txn.Abort();
+    }
+    if (!IsRetryable(result)) {
+      ++stats_.failures;
+      return result;
+    }
+    last = result;
+  }
+  ++stats_.failures;
+  return Status::LockTimeout("session gave up after " +
+                             std::to_string(options_.max_retries) +
+                             " retries; last conflict: " + last.message());
+}
+
+}  // namespace orion

@@ -1,0 +1,80 @@
+#ifndef ORION_CORE_SESSION_H_
+#define ORION_CORE_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/transaction.h"
+
+namespace orion {
+
+/// Tuning knobs for one worker-thread session.
+struct SessionOptions {
+  /// Per-lock wait bound inside each transaction attempt.  Zero turns every
+  /// acquisition into a try-lock (no blocking), which under contention
+  /// shifts all conflict handling onto the retry loop.
+  std::chrono::milliseconds lock_timeout{50};
+  /// Retries after a deadlock/timeout abort before giving up.
+  int max_retries = 16;
+  /// First backoff; doubles per retry (plus jitter) up to `backoff_cap`.
+  std::chrono::microseconds backoff_base{100};
+  std::chrono::microseconds backoff_cap{20000};
+  /// Non-empty: run transactions with §6 authorization checks as this user.
+  std::string user;
+};
+
+/// Outcome counters of one session (single-threaded access: a session
+/// belongs to exactly one worker thread).
+struct SessionStats {
+  uint64_t commits = 0;
+  uint64_t retries = 0;    ///< deadlock/timeout aborts that were retried
+  uint64_t failures = 0;   ///< Run() calls that gave up or hit a real error
+};
+
+/// A per-worker-thread handle for driving one shared `Database`.
+///
+/// This is the layer that maps OS threads onto the paper's transactions
+/// (DESIGN.md §6): each worker owns a Session; `Run` brackets the closure
+/// in a `TransactionContext`, commits on success, and — when the lock
+/// manager refuses a wait with `kDeadlock` (the requester is the victim) or
+/// gives up with `kLockTimeout` — aborts, backs off exponentially with
+/// jitter, and re-runs the closure.  Strict 2PL plus full before-image
+/// rollback make the retry safe: an aborted attempt leaves no trace.
+///
+/// A Session is NOT thread-safe; create one per thread.  The Database it
+/// drives is.
+class Session {
+ public:
+  explicit Session(Database* db, SessionOptions options = {});
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs `fn` transactionally.  `fn` returning OK commits; kDeadlock /
+  /// kLockTimeout (from `fn` or from the commit) aborts and retries up to
+  /// `max_retries` times; any other error aborts and is returned as-is.
+  /// `fn` must be safe to re-execute (it sees a rolled-back database).
+  Status Run(const std::function<Status(TransactionContext&)>& fn);
+
+  const SessionStats& stats() const { return stats_; }
+  Database* db() { return db_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  /// True for the conflict outcomes the retry loop absorbs.
+  static bool IsRetryable(const Status& status);
+  void Backoff(int attempt);
+
+  Database* db_;
+  SessionOptions options_;
+  SessionStats stats_;
+  /// Deterministic per-session jitter state (split-mix style), seeded from
+  /// the session's address so two sessions never share a backoff pattern.
+  uint64_t jitter_state_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CORE_SESSION_H_

@@ -153,14 +153,17 @@ Result<Uid> TransactionContext::Make(const std::string& class_name,
     ORION_RETURN_IF_ERROR(LockWrite(pb.parent));
     Journal(pb.parent);
   }
-  // Bottom-up assembly mutates the referenced components too.
+  // Bottom-up assembly mutates the referenced components too — and, for
+  // versioned targets, the generic's reference bookkeeping.
   for (const auto& [name, value] : attrs) {
     for (Uid target : value.ReferencedUids()) {
       ORION_RETURN_IF_ERROR(LockWrite(target));
       Journal(target);
       const Object* t = db_->objects().Peek(target);
       if (t != nullptr && (t->is_version() || t->is_generic())) {
-        Journal(t->is_version() ? t->generic() : target);
+        const Uid generic = t->is_version() ? t->generic() : target;
+        ORION_RETURN_IF_ERROR(LockWrite(generic));
+        Journal(generic);
       }
     }
   }
@@ -184,13 +187,17 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
   ORION_RETURN_IF_ERROR(LockWrite(uid));
   Journal(uid);
   // Composite assignment touches attached/detached targets and, for
-  // versioned targets, their generics.
+  // versioned targets, their generics: X-lock each before journaling it
+  // (the journal copies the object, so an unlocked copy would race with a
+  // concurrent writer).
   Object* obj = db_->objects().Peek(uid);
   if (obj != nullptr) {
     for (Uid target : obj->Get(attribute).ReferencedUids()) {
+      ORION_RETURN_IF_ERROR(LockWrite(target));
       Journal(target);
       const Object* t = db_->objects().Peek(target);
       if (t != nullptr && t->is_version()) {
+        ORION_RETURN_IF_ERROR(LockWrite(t->generic()));
         Journal(t->generic());
       }
     }
@@ -200,6 +207,7 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
     Journal(target);
     const Object* t = db_->objects().Peek(target);
     if (t != nullptr && t->is_version()) {
+      ORION_RETURN_IF_ERROR(LockWrite(t->generic()));
       Journal(t->generic());
     }
   }
@@ -216,7 +224,9 @@ Status TransactionContext::MakeComponent(Uid child, Uid parent,
   Journal(child);
   const Object* c = db_->objects().Peek(child);
   if (c != nullptr && (c->is_version() || c->is_generic())) {
-    Journal(c->is_version() ? c->generic() : child);
+    const Uid generic = c->is_version() ? c->generic() : child;
+    ORION_RETURN_IF_ERROR(LockWrite(generic));
+    Journal(generic);
   }
   return db_->objects().MakeComponent(child, parent, attribute);
 }
@@ -231,7 +241,9 @@ Status TransactionContext::RemoveComponent(Uid child, Uid parent,
   Journal(child);
   const Object* c = db_->objects().Peek(child);
   if (c != nullptr && (c->is_version() || c->is_generic())) {
-    Journal(c->is_version() ? c->generic() : child);
+    const Uid generic = c->is_version() ? c->generic() : child;
+    ORION_RETURN_IF_ERROR(LockWrite(generic));
+    Journal(generic);
   }
   return db_->objects().RemoveComponent(child, parent, attribute);
 }
@@ -241,6 +253,28 @@ Status TransactionContext::Delete(Uid uid) {
   ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/true));
   ORION_RETURN_IF_ERROR(
       db_->protocol().LockComposite(txn_, uid, /*write=*/true, timeout_));
+  // The composite lock covers `uid` and everything below it, but deletion
+  // also clears forward references in the *surviving parents* of every
+  // doomed object — X-lock those too, or a concurrent writer on a parent
+  // races with the detach.  Child-then-parent ordering can deadlock against
+  // top-down writers; the lock manager detects that and the session layer
+  // retries.
+  auto closure = db_->objects().ComputeDeletionClosure(uid);
+  if (closure.ok()) {
+    for (Uid d : *closure) {
+      const Object* obj = db_->objects().Peek(d);
+      if (obj == nullptr) {
+        continue;
+      }
+      for (const ReverseRef& r : obj->reverse_refs()) {
+        ORION_RETURN_IF_ERROR(LockWrite(r.parent));
+      }
+      if (obj->is_version()) {
+        // Deleting a version mutates the generic's bookkeeping too.
+        ORION_RETURN_IF_ERROR(LockWrite(obj->generic()));
+      }
+    }
+  }
   JournalDeletion(uid);
   return db_->DeleteObject(uid);
 }
@@ -254,16 +288,21 @@ Result<Uid> TransactionContext::Derive(Uid version) {
   }
   ORION_RETURN_IF_ERROR(
       db_->protocol().LockInstance(txn_, version, /*write=*/false, timeout_));
+  // Deriving mutates the generic's registry entry and re-attaches the copy
+  // to the source's component targets: X-lock everything that changes.
+  ORION_RETURN_IF_ERROR(LockWrite(src->generic()));
   JournalGeneric(src->generic());
   Journal(src->generic());
-  // The copy re-attaches to the targets of the source's composite refs.
   auto comps = db_->objects().DirectComponents(version);
   if (comps.ok()) {
     for (const auto& [child, spec] : *comps) {
+      ORION_RETURN_IF_ERROR(LockWrite(child));
       Journal(child);
       const Object* c = db_->objects().Peek(child);
       if (c != nullptr && (c->is_version() || c->is_generic())) {
-        Journal(c->is_version() ? c->generic() : child);
+        const Uid generic = c->is_version() ? c->generic() : child;
+        ORION_RETURN_IF_ERROR(LockWrite(generic));
+        Journal(generic);
       }
     }
   }

@@ -54,6 +54,14 @@ bool LockManager::WouldDeadlock(TxnId txn,
   return false;
 }
 
+void LockManager::MaybeErase(const LockResource& resource) {
+  auto it = table_.find(resource);
+  if (it != table_.end() && it->second.holders.empty() &&
+      it->second.waiters == 0) {
+    table_.erase(it);
+  }
+}
+
 Status LockManager::Acquire(TxnId txn, const LockResource& resource,
                             LockMode mode,
                             std::chrono::milliseconds timeout) {
@@ -65,8 +73,10 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
     return Status::TransactionInvalid("unknown transaction " +
                                       std::to_string(txn));
   }
+  // unordered_map nodes are stable: this reference survives rehashes, and
+  // the waiters guard below keeps the entry alive across waits.
+  ResourceEntry& entry = table_[resource];
   {
-    ResourceEntry& entry = table_[resource];
     auto held = entry.holders.find(txn);
     if (held != entry.holders.end() && held->second.count(mode) > 0) {
       return Status::Ok();  // already held
@@ -74,41 +84,49 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
   }
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool waited = false;
   while (true) {
-    // Re-fetch on every round: while this thread waited, other threads may
-    // have erased the entry (Release) or rehashed the table (new
-    // resources), invalidating any reference taken before the wait.
-    ResourceEntry& entry = table_[resource];
     std::vector<TxnId> blockers = Blockers(entry, txn, mode);
     if (blockers.empty()) {
       entry.holders[txn].insert(mode);
       txn_resources_[txn].push_back(resource);
       waits_for_.erase(txn);
-      ++total_acquisitions_;
+      ++stats_.acquisitions;
+      if (waited) {
+        ++stats_.waits;
+      }
       return Status::Ok();
     }
     if (WouldDeadlock(txn, blockers)) {
       waits_for_.erase(txn);
+      MaybeErase(resource);
+      ++stats_.deadlocks;
       return Status::Deadlock(
           "waiting for " + resource.ToString() + " in " +
           std::string(LockModeName(mode)) + " would deadlock transaction " +
           std::to_string(txn));
     }
     if (timeout.count() <= 0) {
+      MaybeErase(resource);
+      ++stats_.timeouts;
       return Status::LockTimeout(
           resource.ToString() + " is held in an incompatible mode (" +
           std::string(LockModeName(mode)) + " requested)");
     }
     waits_for_[txn].insert(blockers.begin(), blockers.end());
-    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout) {
-      waits_for_.erase(txn);
+    waited = true;
+    ++entry.waiters;
+    const std::cv_status woke = entry.cv.wait_until(lk, deadline);
+    --entry.waiters;
+    // Stale edges are rebuilt each round from the fresh blocker set.
+    waits_for_.erase(txn);
+    if (woke == std::cv_status::timeout) {
+      MaybeErase(resource);
+      ++stats_.timeouts;
       return Status::LockTimeout(
           "timed out waiting for " + resource.ToString() + " in " +
           std::string(LockModeName(mode)));
     }
-    // Re-evaluate blockers after wake-up; stale edges are rebuilt each
-    // round.
-    waits_for_.erase(txn);
   }
 }
 
@@ -118,11 +136,16 @@ Status LockManager::Release(TxnId txn) {
   if (it != txn_resources_.end()) {
     for (const LockResource& r : it->second) {
       auto entry = table_.find(r);
-      if (entry != table_.end()) {
-        entry->second.holders.erase(txn);
-        if (entry->second.holders.empty()) {
-          table_.erase(entry);
-        }
+      if (entry == table_.end()) {
+        continue;
+      }
+      entry->second.holders.erase(txn);
+      // Wake only the waiters of this freed resource; waiters keep the
+      // entry alive, an idle entry is dropped.
+      if (entry->second.waiters > 0) {
+        entry->second.cv.notify_all();
+      } else if (entry->second.holders.empty()) {
+        table_.erase(entry);
       }
     }
     txn_resources_.erase(it);
@@ -131,7 +154,6 @@ Status LockManager::Release(TxnId txn) {
   for (auto& [waiter, blockers] : waits_for_) {
     blockers.erase(txn);
   }
-  cv_.notify_all();
   return Status::Ok();
 }
 
@@ -168,7 +190,12 @@ size_t LockManager::grant_count() {
 
 uint64_t LockManager::total_acquisitions() {
   std::lock_guard<std::mutex> g(mu_);
-  return total_acquisitions_;
+  return stats_.acquisitions;
+}
+
+LockManagerStats LockManager::stats() {
+  std::lock_guard<std::mutex> g(mu_);
+  return stats_;
 }
 
 }  // namespace orion

@@ -54,13 +54,27 @@ struct std::hash<orion::LockResource> {
 
 namespace orion {
 
-/// Strict-2PL lock manager over the Figure 7/8 mode lattice.
+/// Contention counters since construction (benchmarking / ops visibility).
+struct LockManagerStats {
+  uint64_t acquisitions = 0;  ///< successful grants
+  uint64_t waits = 0;         ///< grants that blocked at least once
+  uint64_t deadlocks = 0;     ///< requests refused with kDeadlock
+  uint64_t timeouts = 0;      ///< requests refused with kLockTimeout
+};
+
+/// Strict-2PL blocking lock manager over the Figure 7/8 mode lattice.
 ///
 /// A transaction may hold several modes on one resource (its own modes never
 /// conflict with each other); a request conflicts iff it is incompatible
 /// with a mode held by *another* transaction.  Incompatible requests block
 /// up to a timeout; a waits-for graph is maintained and a request that would
-/// close a cycle returns `kDeadlock` immediately instead of blocking.
+/// close a cycle returns `kDeadlock` immediately instead of blocking — the
+/// requester is the victim and is expected to abort (Session retries it).
+///
+/// Each resource entry carries its own condition variable, so releasing a
+/// transaction wakes only the waiters of the resources it actually held —
+/// under N-thread contention on disjoint resources, releases do not
+/// stampede unrelated waiters.
 ///
 /// Thread-safe; single-threaded callers can pass a zero timeout to turn
 /// `Acquire` into a try-lock (the composite-locking tests and the Figure
@@ -82,7 +96,7 @@ class LockManager {
                      std::chrono::milliseconds(0));
 
   /// Releases every lock held by `txn` (commit or abort under strict 2PL)
-  /// and forgets the transaction.
+  /// and forgets the transaction.  Wakes waiters of the freed resources.
   Status Release(TxnId txn);
 
   /// Modes held by `txn` on `resource` (empty if none).
@@ -97,10 +111,18 @@ class LockManager {
   /// Total successful acquisitions since construction (benchmarking aid).
   uint64_t total_acquisitions();
 
+  /// Snapshot of the contention counters.
+  LockManagerStats stats();
+
  private:
   struct ResourceEntry {
     // txn -> held modes.
     std::map<TxnId, std::set<LockMode>> holders;
+    // Waiters blocked on this resource.  The entry may not be erased while
+    // waiters > 0 (they hold a reference to `cv` across the wait; node
+    // stability of unordered_map keeps it valid against rehashes).
+    std::condition_variable cv;
+    int waiters = 0;
   };
 
   /// Transactions whose held modes on `entry` are incompatible with `mode`
@@ -111,13 +133,15 @@ class LockManager {
   /// True if adding edges txn -> blockers closes a cycle in waits_for_.
   bool WouldDeadlock(TxnId txn, const std::vector<TxnId>& blockers);
 
+  /// Drops `resource`'s entry if it has neither holders nor waiters.
+  void MaybeErase(const LockResource& resource);
+
   std::mutex mu_;
-  std::condition_variable cv_;
   std::unordered_map<LockResource, ResourceEntry> table_;
   std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
   std::unordered_map<TxnId, std::vector<LockResource>> txn_resources_;
   TxnId next_txn_ = 0;
-  uint64_t total_acquisitions_ = 0;
+  LockManagerStats stats_;
 };
 
 }  // namespace orion

@@ -22,11 +22,11 @@ Result<Uid> ObjectManager::AllocateAndPlace(ClassId cls, ObjectRole role,
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
   }
-  const Uid uid{++next_uid_};
+  const Uid uid{next_uid_.fetch_add(1, std::memory_order_relaxed) + 1};
   Object obj(uid, cls, role, schema_->CurrentCc());
   obj.set_created_at(clock_->Tick());
-  objects_.emplace(uid, std::move(obj));
-  extents_[cls].insert(uid);
+  Object* stored = objects_.Emplace(uid, std::move(obj)).first;
+  extents_.Update(cls, [&](std::unordered_set<Uid>& s) { s.insert(uid); });
   if (store_ != nullptr && def->segment != kInvalidSegment) {
     bool clustered = false;
     if (cluster_with.valid()) {
@@ -42,13 +42,14 @@ Result<Uid> ObjectManager::AllocateAndPlace(ClassId cls, ObjectRole role,
     if (!clustered) {
       Status placed = store_->Place(uid, def->segment);
       if (!placed.ok()) {
-        objects_.erase(uid);
-        extents_[cls].erase(uid);
+        objects_.Erase(uid);
+        extents_.Update(cls,
+                        [&](std::unordered_set<Uid>& s) { s.erase(uid); });
         return placed;
       }
     }
   }
-  NotifyCreate(objects_.at(uid));
+  NotifyCreate(*stored);
   return uid;
 }
 
@@ -695,8 +696,9 @@ Status ObjectManager::DeleteSingle(Uid uid, bool notify) {
   if (store_ != nullptr) {
     (void)store_->Remove(uid);
   }
-  extents_[obj->class_id()].erase(uid);
-  objects_.erase(uid);
+  extents_.Update(obj->class_id(),
+                  [&](std::unordered_set<Uid>& s) { s.erase(uid); });
+  objects_.Erase(uid);
   return Status::Ok();
 }
 
@@ -730,14 +732,10 @@ Result<Object*> ObjectManager::Access(Uid uid) {
   return obj;
 }
 
-Object* ObjectManager::Peek(Uid uid) {
-  auto it = objects_.find(uid);
-  return it == objects_.end() ? nullptr : &it->second;
-}
+Object* ObjectManager::Peek(Uid uid) { return objects_.Find(uid); }
 
 const Object* ObjectManager::Peek(Uid uid) const {
-  auto it = objects_.find(uid);
-  return it == objects_.end() ? nullptr : &it->second;
+  return objects_.Find(uid);
 }
 
 void ObjectManager::ApplyLogEntry(Object* o, const LogEntry& entry) {
@@ -801,18 +799,19 @@ Status ObjectManager::CatchUp(Object* o) {
 }
 
 std::vector<Uid> ObjectManager::InstancesOf(ClassId cls) const {
-  std::vector<Uid> out;
-  auto it = extents_.find(cls);
-  if (it != extents_.end()) {
-    out.assign(it->second.begin(), it->second.end());
-  }
+  std::vector<Uid> out = extents_.View(
+      cls,
+      [](const std::unordered_set<Uid>& s) {
+        return std::vector<Uid>(s.begin(), s.end());
+      },
+      std::vector<Uid>{});
   std::sort(out.begin(), out.end());
   return out;
 }
 
 Status ObjectManager::RestoreObject(Object obj) {
   const Uid uid = obj.uid();
-  if (objects_.count(uid) > 0) {
+  if (objects_.Contains(uid)) {
     return Status::AlreadyExists("object " + uid.ToString() +
                                  " already exists");
   }
@@ -820,24 +819,26 @@ Status ObjectManager::RestoreObject(Object obj) {
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(obj.class_id()));
   }
-  extents_[obj.class_id()].insert(uid);
-  auto [pos, inserted] = objects_.emplace(uid, std::move(obj));
-  (void)inserted;
+  const ClassId cls = obj.class_id();
+  extents_.Update(cls, [&](std::unordered_set<Uid>& s) { s.insert(uid); });
+  Object* stored = objects_.Emplace(uid, std::move(obj)).first;
   RestoreNextUid(uid.raw);
   if (store_ != nullptr && def->segment != kInvalidSegment) {
     (void)store_->Place(uid, def->segment);
   }
-  NotifyCreate(pos->second);
+  NotifyCreate(*stored);
   return Status::Ok();
 }
 
 void ObjectManager::RemoveObserver(ObjectObserver* observer) {
+  std::unique_lock<std::shared_mutex> g(observers_mu_);
   observers_.erase(std::remove(observers_.begin(), observers_.end(),
                                observer),
                    observers_.end());
 }
 
 void ObjectManager::NotifyCreate(const Object& obj) {
+  std::shared_lock<std::shared_mutex> g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnCreate(obj);
   }
@@ -846,12 +847,14 @@ void ObjectManager::NotifyCreate(const Object& obj) {
 void ObjectManager::NotifyUpdate(const Object& obj,
                                  const std::string& attribute,
                                  const Value& old_value) {
+  std::shared_lock<std::shared_mutex> g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnUpdate(obj, attribute, old_value);
   }
 }
 
 void ObjectManager::NotifyDelete(const Object& obj) {
+  std::shared_lock<std::shared_mutex> g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnDelete(obj);
   }
@@ -876,48 +879,51 @@ Status ObjectManager::EraseValue(Uid uid, const std::string& attribute) {
 }
 
 void ObjectManager::EraseRaw(Uid uid) {
-  auto it = objects_.find(uid);
-  if (it == objects_.end()) {
+  Object* obj = objects_.Find(uid);
+  if (obj == nullptr) {
     return;
   }
-  NotifyDelete(it->second);
-  extents_[it->second.class_id()].erase(uid);
+  NotifyDelete(*obj);
+  extents_.Update(obj->class_id(),
+                  [&](std::unordered_set<Uid>& s) { s.erase(uid); });
   if (store_ != nullptr) {
     (void)store_->Remove(uid);
   }
-  objects_.erase(it);
+  objects_.Erase(uid);
 }
 
 void ObjectManager::OverwriteRaw(Object obj) {
   const Uid uid = obj.uid();
-  auto it = objects_.find(uid);
-  if (it != objects_.end()) {
-    NotifyDelete(it->second);
-    if (it->second.class_id() != obj.class_id()) {
-      extents_[it->second.class_id()].erase(uid);
-      extents_[obj.class_id()].insert(uid);
+  Object* existing = objects_.Find(uid);
+  if (existing != nullptr) {
+    NotifyDelete(*existing);
+    if (existing->class_id() != obj.class_id()) {
+      extents_.Update(existing->class_id(),
+                      [&](std::unordered_set<Uid>& s) { s.erase(uid); });
+      extents_.Update(obj.class_id(),
+                      [&](std::unordered_set<Uid>& s) { s.insert(uid); });
     }
-    it->second = std::move(obj);
-    NotifyCreate(it->second);
+    *existing = std::move(obj);
+    NotifyCreate(*existing);
     return;
   }
   const ClassDef* def = schema_->GetClass(obj.class_id());
-  extents_[obj.class_id()].insert(uid);
+  extents_.Update(obj.class_id(),
+                  [&](std::unordered_set<Uid>& s) { s.insert(uid); });
   if (store_ != nullptr && def != nullptr &&
       def->segment != kInvalidSegment) {
     (void)store_->Place(uid, def->segment);
   }
-  auto [pos, inserted] = objects_.emplace(uid, std::move(obj));
-  (void)inserted;
-  NotifyCreate(pos->second);
+  Object* stored = objects_.Emplace(uid, std::move(obj)).first;
+  NotifyCreate(*stored);
 }
 
 std::vector<Uid> ObjectManager::AllUids() const {
   std::vector<Uid> out;
   out.reserve(objects_.size());
-  for (const auto& [uid, obj] : objects_) {
+  objects_.ForEach([&](const Uid& uid, const Object&) {
     out.push_back(uid);
-  }
+  });
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -925,10 +931,13 @@ std::vector<Uid> ObjectManager::AllUids() const {
 std::vector<Uid> ObjectManager::InstancesOfDeep(ClassId cls) const {
   std::vector<Uid> out;
   for (ClassId c : schema_->SelfAndSubclasses(cls)) {
-    auto it = extents_.find(c);
-    if (it != extents_.end()) {
-      out.insert(out.end(), it->second.begin(), it->second.end());
-    }
+    extents_.View(
+        c,
+        [&](const std::unordered_set<Uid>& s) {
+          out.insert(out.end(), s.begin(), s.end());
+          return 0;
+        },
+        0);
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -1,6 +1,9 @@
 #ifndef ORION_OBJECT_OBJECT_MANAGER_H_
 #define ORION_OBJECT_OBJECT_MANAGER_H_
 
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +13,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/striped.h"
 #include "object/object.h"
 #include "schema/schema_manager.h"
 #include "storage/object_store.h"
@@ -62,6 +66,15 @@ using AttrValues = std::vector<std::pair<std::string, Value>>;
 ///
 /// Version-model rules (§5) are layered on top by `VersionManager`, which
 /// uses the raw primitives exposed here.
+///
+/// Threading (DESIGN.md §6): the object table and the class extents are
+/// striped 16 ways; the stripes are leaf latches guarding the hash-map
+/// structure against concurrent insert/erase/rehash.  They do NOT serialize
+/// access to one object's state — that is the lock protocol's job: callers
+/// (TransactionContext / Session) must hold the appropriate S/X instance
+/// locks before reading or mutating an object, which also keeps `Object*`
+/// results of `Peek`/`Access` alive.  Observer registration is synchronized
+/// too, but observers themselves must be internally thread-safe.
 class ObjectManager {
  public:
   ObjectManager(SchemaManager* schema, ObjectStore* store,
@@ -157,7 +170,7 @@ class ObjectManager {
   Object* Peek(Uid uid);
   const Object* Peek(Uid uid) const;
 
-  bool Exists(Uid uid) const { return objects_.count(uid) > 0; }
+  bool Exists(Uid uid) const { return objects_.Contains(uid); }
 
   /// Applies all pending operation-log entries to `o` and stamps its CC.
   Status CatchUp(Object* o);
@@ -184,15 +197,19 @@ class ObjectManager {
 
   /// Fast-forwards the UID allocator past `uid`.
   void RestoreNextUid(uint64_t uid) {
-    if (uid > next_uid_) {
-      next_uid_ = uid;
+    uint64_t cur = next_uid_.load(std::memory_order_relaxed);
+    while (uid > cur && !next_uid_.compare_exchange_weak(
+                            cur, uid, std::memory_order_relaxed)) {
     }
   }
 
   // --- Observers --------------------------------------------------------------
 
   /// Registers an observer (not owned); fires for all subsequent events.
+  /// Observers are invoked from whichever session thread performs the
+  /// mutation and must be internally thread-safe under concurrent sessions.
   void AddObserver(ObjectObserver* observer) {
+    std::unique_lock<std::shared_mutex> g(observers_mu_);
     observers_.push_back(observer);
   }
   void RemoveObserver(ObjectObserver* observer);
@@ -240,10 +257,14 @@ class ObjectManager {
   SchemaManager* schema_;
   ObjectStore* store_;
   LogicalClock* clock_;
-  std::unordered_map<Uid, Object> objects_;
-  std::unordered_map<ClassId, std::unordered_set<Uid>> extents_;
+  /// 16-way striped object table; see the class comment for the latching
+  /// vs. locking split.
+  ShardedMap<Uid, Object> objects_;
+  /// Class extents, striped by class id.
+  ShardedMap<ClassId, std::unordered_set<Uid>> extents_;
+  mutable std::shared_mutex observers_mu_;
   std::vector<ObjectObserver*> observers_;
-  uint64_t next_uid_ = 0;
+  std::atomic<uint64_t> next_uid_{0};
 };
 
 }  // namespace orion

@@ -13,10 +13,13 @@ std::string KeyOf(const Value& value) { return value.ToString(); }
 AttributeIndex::AttributeIndex(ObjectManager* objects, ClassId cls,
                                std::string attribute)
     : objects_(objects), cls_(cls), attribute_(std::move(attribute)) {
-  for (Uid uid : objects_->InstancesOfDeep(cls_)) {
-    const Object* obj = objects_->Peek(uid);
-    if (obj != nullptr) {
-      IndexValue(uid, obj->Get(attribute_));
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (Uid uid : objects_->InstancesOfDeep(cls_)) {
+      const Object* obj = objects_->Peek(uid);
+      if (obj != nullptr) {
+        IndexValue(uid, obj->Get(attribute_));
+      }
     }
   }
   objects_->AddObserver(this);
@@ -68,6 +71,7 @@ void AttributeIndex::UnindexValue(Uid uid, const Value& value) {
 }
 
 std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
+  std::lock_guard<std::mutex> g(mu_);
   auto it = postings_.find(KeyOf(value));
   if (it == postings_.end()) {
     return {};
@@ -76,6 +80,7 @@ std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
 }
 
 size_t AttributeIndex::entry_count() const {
+  std::lock_guard<std::mutex> g(mu_);
   size_t n = 0;
   for (const auto& [key, uids] : postings_) {
     n += uids.size();
@@ -85,6 +90,7 @@ size_t AttributeIndex::entry_count() const {
 
 void AttributeIndex::OnCreate(const Object& object) {
   if (Covers(object)) {
+    std::lock_guard<std::mutex> g(mu_);
     IndexValue(object.uid(), object.Get(attribute_));
   }
 }
@@ -95,12 +101,14 @@ void AttributeIndex::OnUpdate(const Object& object,
   if (attribute != attribute_ || !Covers(object)) {
     return;
   }
+  std::lock_guard<std::mutex> g(mu_);
   UnindexValue(object.uid(), old_value);
   IndexValue(object.uid(), object.Get(attribute_));
 }
 
 void AttributeIndex::OnDelete(const Object& object) {
   if (Covers(object)) {
+    std::lock_guard<std::mutex> g(mu_);
     UnindexValue(object.uid(), object.Get(attribute_));
   }
 }

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
@@ -19,6 +20,10 @@ namespace orion {
 /// Keys are scalar values; a set-valued attribute indexes every element
 /// (multi-key), so equality lookups have "contains" semantics for sets,
 /// matching the query engine.  Nil values are not indexed.
+///
+/// Thread-safe: observer callbacks arrive from whichever session thread
+/// performs a mutation, so the postings sit behind a mutex (a leaf latch —
+/// nothing is called out of it).
 class AttributeIndex : public ObjectObserver {
  public:
   /// Builds the index from the current extent and registers for updates.
@@ -39,7 +44,10 @@ class AttributeIndex : public ObjectObserver {
   size_t entry_count() const;
 
   /// Distinct keys.
-  size_t key_count() const { return postings_.size(); }
+  size_t key_count() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return postings_.size();
+  }
 
   // --- ObjectObserver --------------------------------------------------------
   void OnCreate(const Object& object) override;
@@ -49,14 +57,17 @@ class AttributeIndex : public ObjectObserver {
 
  private:
   bool Covers(const Object& object) const;
+  /// Both require mu_ held.
   void IndexValue(Uid uid, const Value& value);
   void UnindexValue(Uid uid, const Value& value);
 
   ObjectManager* objects_;
   ClassId cls_;
   std::string attribute_;
+  mutable std::mutex mu_;
   /// Canonical key encoding -> posting set.  Value lacks operator< and
-  /// hashing; the deterministic ToString encoding is the key.
+  /// hashing; the deterministic ToString encoding is the key.  Guarded by
+  /// mu_.
   std::map<std::string, std::set<Uid>> postings_;
 };
 

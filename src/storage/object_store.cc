@@ -6,6 +6,7 @@ ObjectStore::ObjectStore(uint32_t objects_per_page)
     : objects_per_page_(objects_per_page == 0 ? 1 : objects_per_page) {}
 
 SegmentId ObjectStore::CreateSegment(std::string name) {
+  std::lock_guard<std::mutex> g(seg_mu_);
   segments_.push_back(Segment{std::move(name), {}});
   return static_cast<SegmentId>(segments_.size());
 }
@@ -25,92 +26,109 @@ const ObjectStore::Segment* ObjectStore::FindSegment(SegmentId id) const {
 }
 
 Status ObjectStore::Place(Uid uid, SegmentId segment) {
-  Segment* seg = FindSegment(segment);
-  if (seg == nullptr) {
-    return Status::NotFound("segment " + std::to_string(segment));
-  }
-  if (placements_.count(uid) > 0) {
+  if (placements_.Contains(uid)) {
     return Status::AlreadyExists("object " + uid.ToString() +
                                  " is already placed");
   }
-  if (seg->pages.empty() || seg->pages.back().live >= objects_per_page_) {
-    seg->pages.push_back(Page{});
+  Placement placement;
+  {
+    std::lock_guard<std::mutex> g(seg_mu_);
+    Segment* seg = FindSegment(segment);
+    if (seg == nullptr) {
+      return Status::NotFound("segment " + std::to_string(segment));
+    }
+    if (seg->pages.empty() || seg->pages.back().live >= objects_per_page_) {
+      seg->pages.push_back(Page{});
+    }
+    Page& page = seg->pages.back();
+    placement = Placement{segment,
+                          static_cast<uint32_t>(seg->pages.size() - 1),
+                          page.live};
+    ++page.live;
   }
-  Page& page = seg->pages.back();
-  const uint32_t page_index = static_cast<uint32_t>(seg->pages.size() - 1);
-  placements_[uid] = Placement{segment, page_index, page.live};
-  ++page.live;
+  // UIDs are allocated uniquely, so no other thread can race this insert
+  // for the same uid; the striped map guards the bucket structure.
+  placements_.Emplace(uid, placement);
   return Status::Ok();
 }
 
 Status ObjectStore::PlaceNear(Uid uid, Uid neighbor) {
-  auto it = placements_.find(neighbor);
-  if (it == placements_.end()) {
+  const Placement* near_ptr = placements_.Find(neighbor);
+  if (near_ptr == nullptr) {
     return Status::FailedPrecondition("neighbor " + neighbor.ToString() +
                                       " is not placed");
   }
-  if (placements_.count(uid) > 0) {
+  if (placements_.Contains(uid)) {
     return Status::AlreadyExists("object " + uid.ToString() +
                                  " is already placed");
   }
-  const Placement& near = it->second;
-  Segment* seg = FindSegment(near.segment);
-  if (seg == nullptr) {
-    return Status::Internal("placement references missing segment");
+  const Placement near = *near_ptr;
+  Placement placement;
+  {
+    std::lock_guard<std::mutex> g(seg_mu_);
+    Segment* seg = FindSegment(near.segment);
+    if (seg == nullptr) {
+      return Status::Internal("placement references missing segment");
+    }
+    // Neighbor's page first, then the nearest following page with room.
+    uint32_t page_index = near.page;
+    while (page_index < seg->pages.size() &&
+           seg->pages[page_index].live >= objects_per_page_) {
+      ++page_index;
+    }
+    if (page_index >= seg->pages.size()) {
+      seg->pages.push_back(Page{});
+      page_index = static_cast<uint32_t>(seg->pages.size() - 1);
+    }
+    Page& page = seg->pages[page_index];
+    placement = Placement{near.segment, page_index, page.live};
+    ++page.live;
   }
-  // Neighbor's page first, then the nearest following page with room.
-  uint32_t page_index = near.page;
-  while (page_index < seg->pages.size() &&
-         seg->pages[page_index].live >= objects_per_page_) {
-    ++page_index;
-  }
-  if (page_index >= seg->pages.size()) {
-    seg->pages.push_back(Page{});
-    page_index = static_cast<uint32_t>(seg->pages.size() - 1);
-  }
-  Page& page = seg->pages[page_index];
-  placements_[uid] = Placement{near.segment, page_index, page.live};
-  ++page.live;
+  placements_.Emplace(uid, placement);
   return Status::Ok();
 }
 
 Status ObjectStore::Remove(Uid uid) {
-  auto it = placements_.find(uid);
-  if (it == placements_.end()) {
+  std::optional<Placement> placement = placements_.Take(uid);
+  if (!placement.has_value()) {
     return Status::NotFound("object " + uid.ToString() + " is not placed");
   }
-  Segment* seg = FindSegment(it->second.segment);
-  if (seg != nullptr && it->second.page < seg->pages.size() &&
-      seg->pages[it->second.page].live > 0) {
-    --seg->pages[it->second.page].live;
+  std::lock_guard<std::mutex> g(seg_mu_);
+  Segment* seg = FindSegment(placement->segment);
+  if (seg != nullptr && placement->page < seg->pages.size() &&
+      seg->pages[placement->page].live > 0) {
+    --seg->pages[placement->page].live;
   }
-  placements_.erase(it);
   return Status::Ok();
 }
 
 Result<Placement> ObjectStore::Find(Uid uid) const {
-  auto it = placements_.find(uid);
-  if (it == placements_.end()) {
+  const Placement* p = placements_.Find(uid);
+  if (p == nullptr) {
     return Status::NotFound("object " + uid.ToString() + " is not placed");
   }
-  return it->second;
+  return *p;
 }
 
 bool ObjectStore::SameSegment(Uid a, Uid b) const {
-  auto ia = placements_.find(a);
-  auto ib = placements_.find(b);
-  return ia != placements_.end() && ib != placements_.end() &&
-         ia->second.segment == ib->second.segment;
+  const Placement* pa = placements_.Find(a);
+  if (pa == nullptr) {
+    return false;
+  }
+  const SegmentId seg_a = pa->segment;
+  const Placement* pb = placements_.Find(b);
+  return pb != nullptr && seg_a == pb->segment;
 }
 
 void ObjectStore::RecordAccess(Uid uid) {
-  auto it = placements_.find(uid);
-  if (it != placements_.end()) {
-    tracker_.Touch(it->second.segment, it->second.page);
+  const Placement* p = placements_.Find(uid);
+  if (p != nullptr) {
+    tracker_.Touch(p->segment, p->page);
   }
 }
 
 size_t ObjectStore::PageCount(SegmentId segment) const {
+  std::lock_guard<std::mutex> g(seg_mu_);
   const Segment* seg = FindSegment(segment);
   return seg == nullptr ? 0 : seg->pages.size();
 }

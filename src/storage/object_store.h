@@ -1,14 +1,16 @@
 #ifndef ORION_STORAGE_OBJECT_STORE_H_
 #define ORION_STORAGE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/striped.h"
 #include "common/uid.h"
 
 namespace orion {
@@ -30,24 +32,36 @@ struct Placement {
 /// Counts page touches so the clustering benchmark (DESIGN.md ABL-3) can
 /// report locality: a composite traversal over well-clustered components
 /// touches few distinct pages; a scattered one touches many.
+///
+/// Thread-safe: concurrent sessions charge accesses from worker threads.
+/// The total rides on an atomic (the hot, always-taken path); the distinct
+/// set is a short critical section.
 class PageAccessTracker {
  public:
   void Reset() {
+    std::lock_guard<std::mutex> g(mu_);
     touched_.clear();
-    total_ = 0;
+    total_.store(0, std::memory_order_relaxed);
   }
   void Touch(SegmentId segment, uint32_t page) {
-    ++total_;
+    total_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(mu_);
     touched_.insert((static_cast<uint64_t>(segment) << 32) | page);
   }
   /// Number of distinct (segment, page) pairs touched since Reset().
-  size_t distinct_pages() const { return touched_.size(); }
+  size_t distinct_pages() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return touched_.size();
+  }
   /// Total accesses since Reset().
-  size_t total_touches() const { return total_; }
+  size_t total_touches() const {
+    return total_.load(std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_set<uint64_t> touched_;
-  size_t total_ = 0;
+  std::atomic<size_t> total_{0};
 };
 
 /// Segment- and page-granular placement of objects (paper §2.3).
@@ -60,6 +74,11 @@ class PageAccessTracker {
 /// access is charged to the owning page.  Payloads live in the object
 /// manager; the store tracks placement only, which is all the locality
 /// experiments need.
+///
+/// Threading (DESIGN.md §6): the placement map is striped 16 ways; segment
+/// page chains (slot allocation) sit behind one segment mutex — page
+/// allocation is a rendezvous point by nature, and the critical section is
+/// a few integer ops.  Both are leaf latches.
 class ObjectStore {
  public:
   /// `objects_per_page` is the page capacity (a stand-in for page-size /
@@ -73,7 +92,10 @@ class ObjectStore {
   SegmentId CreateSegment(std::string name);
 
   /// Number of segments created.
-  size_t segment_count() const { return segments_.size(); }
+  size_t segment_count() const {
+    std::lock_guard<std::mutex> g(seg_mu_);
+    return segments_.size();
+  }
 
   /// Places `uid` on the last page of `segment` (append placement).
   Status Place(Uid uid, SegmentId segment);
@@ -115,13 +137,15 @@ class ObjectStore {
     std::vector<Page> pages;
   };
 
+  /// Both require seg_mu_ held.
   Segment* FindSegment(SegmentId id);
   const Segment* FindSegment(SegmentId id) const;
 
   uint32_t objects_per_page_;
-  // Segment ids are 1-based; index = id - 1.
+  mutable std::mutex seg_mu_;
+  // Segment ids are 1-based; index = id - 1.  Guarded by seg_mu_.
   std::vector<Segment> segments_;
-  std::unordered_map<Uid, Placement> placements_;
+  ShardedMap<Uid, Placement> placements_;
   PageAccessTracker tracker_;
 };
 

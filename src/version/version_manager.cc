@@ -13,6 +13,7 @@ bool VersionManager::IsVersionableClass(ClassId cls) const {
 Result<VersionedHandle> VersionManager::MakeVersioned(
     ClassId cls, const std::vector<ParentBinding>& parents,
     const AttrValues& attrs) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   if (!IsVersionableClass(cls)) {
     return Status::InvalidArgument("class is not versionable");
   }
@@ -59,6 +60,7 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
 }
 
 Result<Uid> VersionManager::Derive(Uid version) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   Object* src = objects_->Peek(version);
   if (src == nullptr || !src->is_version()) {
     return Status::InvalidArgument("Derive requires a version instance");
@@ -205,10 +207,12 @@ Status VersionManager::DeleteVersionClosure(Uid version) {
 }
 
 Status VersionManager::DeleteVersion(Uid version) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   return DeleteVersionClosure(version);
 }
 
 Status VersionManager::DeleteGeneric(Uid generic) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -309,6 +313,7 @@ Status VersionManager::DeleteGeneric(Uid generic) {
 }
 
 Status VersionManager::SetDefaultVersion(Uid generic, Uid version) {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -325,6 +330,7 @@ Status VersionManager::SetDefaultVersion(Uid generic, Uid version) {
 }
 
 Result<Uid> VersionManager::DefaultVersion(Uid generic) const {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -351,6 +357,7 @@ Result<Uid> VersionManager::DefaultVersion(Uid generic) const {
 }
 
 Result<Uid> VersionManager::ResolveBinding(Uid ref) const {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   const Object* obj = objects_->Peek(ref);
   if (obj == nullptr) {
     return Status::NotFound("object " + ref.ToString());
@@ -362,12 +369,14 @@ Result<Uid> VersionManager::ResolveBinding(Uid ref) const {
 }
 
 bool VersionManager::IsDynamicBinding(Uid ref) const {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   const Object* obj = objects_->Peek(ref);
   return obj != nullptr && obj->is_generic();
 }
 
 std::vector<std::tuple<Uid, std::vector<Uid>, Uid>>
 VersionManager::DumpGenerics() const {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   std::vector<std::tuple<Uid, std::vector<Uid>, Uid>> out;
   out.reserve(generics_.size());
   for (const auto& [generic, info] : generics_) {
@@ -377,6 +386,7 @@ VersionManager::DumpGenerics() const {
 }
 
 Result<std::vector<Uid>> VersionManager::VersionsOf(Uid generic) const {
+  std::lock_guard<std::recursive_mutex> g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());

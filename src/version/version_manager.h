@@ -1,6 +1,7 @@
 #ifndef ORION_VERSION_VERSION_MANAGER_H_
 #define ORION_VERSION_VERSION_MANAGER_H_
 
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_set>
@@ -101,7 +102,10 @@ class VersionManager {
   Result<std::vector<Uid>> VersionsOf(Uid generic) const;
 
   /// Number of live generic instances.
-  size_t generic_count() const { return generics_.size(); }
+  size_t generic_count() const {
+    std::lock_guard<std::recursive_mutex> g(mu_);
+    return generics_.size();
+  }
 
   /// All generic instances with their version lists and user defaults, in
   /// unspecified order (snapshot dump).
@@ -111,15 +115,20 @@ class VersionManager {
   /// rollback); the objects must already exist in the object manager.
   void RestoreGeneric(Uid generic, std::vector<Uid> versions,
                       Uid user_default) {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     generics_[generic] = GenericInfo{std::move(versions), user_default};
   }
 
   /// Drops a registry entry without touching objects (transaction
   /// rollback of a MakeVersioned).
-  void ForgetGeneric(Uid generic) { generics_.erase(generic); }
+  void ForgetGeneric(Uid generic) {
+    std::lock_guard<std::recursive_mutex> g(mu_);
+    generics_.erase(generic);
+  }
 
   /// The registry entry of `generic`: (versions, user default).
   Result<std::pair<std::vector<Uid>, Uid>> GenericInfoOf(Uid generic) const {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     auto it = generics_.find(generic);
     if (it == generics_.end()) {
       return Status::NotFound("generic instance " + generic.ToString());
@@ -139,6 +148,13 @@ class VersionManager {
 
   SchemaManager* schema_;
   ObjectManager* objects_;
+  /// Serializes the version registry against concurrent sessions (two
+  /// Derives on one generic race on its version list; instance locks alone
+  /// do not cover the registry).  Recursive because the CV-4X deletion
+  /// rules re-enter through DeleteVersionClosure/DeleteGeneric.  Ordering
+  /// (DESIGN.md §6): acquired before object-table stripes, never while
+  /// holding one, and never across a lock-manager wait.
+  mutable std::recursive_mutex mu_;
   std::unordered_map<Uid, GenericInfo> generics_;
   /// Generics currently being deleted by DeleteGeneric; the last-version
   /// reap in DeleteVersionClosure skips these to avoid re-entry.
