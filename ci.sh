@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: a Release build running the full suite, then a
-# ThreadSanitizer build running the concurrency-sensitive suites.
-# Usage: ./ci.sh            (both stages)
+# ThreadSanitizer build running the concurrency-sensitive suites, then an
+# AddressSanitizer build running the full suite plus a smoke benchmark.
+# Usage: ./ci.sh            (all stages)
 #        ./ci.sh release    (stage 1 only)
 #        ./ci.sh tsan       (stage 2 only)
+#        ./ci.sh asan       (stage 3 only)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -23,10 +25,25 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
         -DORION_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   # TSan halts the process on the first report, so a pass here means zero
-  # data races in everything these suites execute.
+  # data races in everything these suites execute.  Mvcc covers the
+  # lock-free read path; Snapshot covers SaveSnapshot-as-read-transaction.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot'
+fi
+
+if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
+  echo "=== stage 3: AddressSanitizer build, full suite + smoke bench ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DORION_SANITIZE=address
+  cmake --build build-asan -j "$jobs"
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+  # The epoch reclaimer, record-chain trim, and versioned index vacuum all
+  # free memory concurrently with readers; a ~1k-op contended bench pass
+  # under ASan exercises exactly those frees.
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ./bench/abl_concurrency --smoke)
 fi
 
 echo "ci.sh: all requested stages passed."

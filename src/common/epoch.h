@@ -1,0 +1,57 @@
+#ifndef ORION_COMMON_EPOCH_H_
+#define ORION_COMMON_EPOCH_H_
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+
+namespace orion {
+
+/// Registry of the read timestamps currently pinned by open read-only
+/// transactions.  The background reclaimer asks for the minimum active
+/// timestamp and may discard any object record that is shadowed by a newer
+/// record whose commit timestamp is still <= that minimum: no present or
+/// future reader can resolve to the shadowed record.
+///
+/// Registration happens once per read-only transaction begin/end, never on
+/// the per-object read path, so a plain mutex + multiset is plenty; there is
+/// no need for the lock-free epoch slots a per-read scheme would require.
+class ReadTsRegistry {
+ public:
+  /// Pins `ts` as active.  Multiple readers may pin the same timestamp.
+  void Register(uint64_t ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.insert(ts);
+  }
+
+  /// Releases one pin of `ts` (a no-op if it was never registered, which
+  /// keeps moved-from transaction handles harmless).
+  void Unregister(uint64_t ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = active_.find(ts);
+    if (it != active_.end()) {
+      active_.erase(it);
+    }
+  }
+
+  /// The oldest pinned timestamp, or `fallback` (normally the current
+  /// commit watermark) when no reader is active.
+  uint64_t MinActive(uint64_t fallback) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.empty() ? fallback : *active_.begin();
+  }
+
+  /// Number of pins currently held (diagnostics).
+  size_t ActiveCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return active_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::multiset<uint64_t> active_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_EPOCH_H_

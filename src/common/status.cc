@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "LockTimeout";
     case StatusCode::kDeadlock:
       return "Deadlock";
+    case StatusCode::kTimeout:
+      return "Timeout";
     case StatusCode::kTransactionInvalid:
       return "TransactionInvalid";
     case StatusCode::kInternal:

@@ -38,6 +38,9 @@ enum class StatusCode {
   kLockTimeout,
   /// Lock request aborted by deadlock detection.
   kDeadlock,
+  /// A retry budget (wall-clock) was exhausted before the operation
+  /// succeeded; the last underlying failure was retryable.
+  kTimeout,
   /// Operation attempted outside of / on a finished transaction.
   kTransactionInvalid,
   /// Internal invariant violation (a bug, not a user error).
@@ -85,6 +88,9 @@ class Status {
   }
   static Status Deadlock(std::string msg) {
     return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
   }
   static Status TransactionInvalid(std::string msg) {
     return Status(StatusCode::kTransactionInvalid, std::move(msg));

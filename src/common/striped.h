@@ -140,6 +140,25 @@ class ShardedMap {
     }
   }
 
+  /// Visits every entry, shard by shard, under the shard's *exclusive*
+  /// latch; `fn(key, Mapped&)` may mutate the value and returns true to
+  /// erase the entry.  Each shard is swept atomically, so a concurrent
+  /// writer cannot interleave with the visit-then-erase decision for any
+  /// key in that shard (the record-chain trimmer relies on this).
+  template <typename Fn>
+  void EraseIf(Fn fn) {
+    for (Shard& s : shards_) {
+      std::unique_lock<std::shared_mutex> g(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        if (fn(it->first, it->second)) {
+          it = s.map.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
   size_t size() const {
     size_t n = 0;
     for (const Shard& s : shards_) {

@@ -1,7 +1,9 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -15,7 +17,60 @@ Database::Database(uint32_t objects_per_page)
       authz_(&schema_, &objects_),
       locks_(),
       protocol_(&schema_, &objects_, &locks_),
-      indexes_(&objects_) {}
+      indexes_(&objects_, &records_) {
+  // Wire the copy-on-write record store before the engine is reachable by
+  // any other thread: sources copy live state (the publisher excludes
+  // concurrent writers of a uid — X lock at commit, or it IS the mutating
+  // thread), and the managers publish on every non-transactional mutation.
+  records_.Configure(
+      &clock_,
+      [this](Uid uid) -> std::optional<Object> {
+        const Object* obj = objects_.Peek(uid);
+        if (obj == nullptr) {
+          return std::nullopt;
+        }
+        return *obj;
+      },
+      [this](Uid uid) -> std::optional<std::pair<std::vector<Uid>, Uid>> {
+        auto info = versions_.GenericInfoOf(uid);
+        if (!info.ok()) {
+          return std::nullopt;
+        }
+        return *info;
+      });
+  objects_.set_record_store(&records_);
+  versions_.set_record_store(&records_);
+
+  reclaimer_ = std::thread([this] {
+    std::unique_lock<std::mutex> lk(reclaim_mu_);
+    while (!stop_reclaimer_) {
+      reclaim_cv_.wait_for(lk, std::chrono::milliseconds(20));
+      if (stop_reclaimer_) {
+        break;
+      }
+      lk.unlock();
+      ReclaimOnce();
+      lk.lock();
+    }
+  });
+}
+
+Database::~Database() {
+  {
+    std::lock_guard<std::mutex> lk(reclaim_mu_);
+    stop_reclaimer_ = true;
+  }
+  reclaim_cv_.notify_all();
+  if (reclaimer_.joinable()) {
+    reclaimer_.join();
+  }
+}
+
+uint64_t Database::ReclaimOnce() {
+  const uint64_t min_active = read_registry_.MinActive(records_.watermark());
+  records_.Trim(min_active);
+  return min_active;
+}
 
 Result<Uid> Database::Make(const std::string& class_name,
                            const std::vector<ParentBinding>& parents,
@@ -48,6 +103,8 @@ Status Database::DeleteObject(Uid uid) {
 
 Status Database::DropAttributeInstances(const std::vector<ClassId>& classes,
                                         const AttributeSpec& spec) {
+  // The whole instance sweep becomes visible to MVCC readers atomically.
+  RecordStore::Batch publish(&records_);
   struct Detached {
     Uid child;
     bool was_dependent;
@@ -179,6 +236,7 @@ Status Database::ChangeAttributeInheritance(ClassId cls,
 }
 
 Status Database::DropClass(ClassId cls) {
+  RecordStore::Batch publish(&records_);
   const ClassDef* def = schema_.GetClass(cls);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
@@ -303,6 +361,7 @@ Status Database::PromoteWeakToComposite(ClassId cls,
         "' would create a cycle in the part hierarchy");
   }
   // Apply: add the reverse references, log the change, rewrite the schema.
+  RecordStore::Batch publish(&records_);
   for (const auto& [holder, target] : pairs) {
     ORION_RETURN_IF_ERROR(objects_.AttachBacklink(target, holder, new_spec));
   }
@@ -372,6 +431,7 @@ Status Database::TightenSharedToExclusive(ClassId cls,
         "attribute '" + new_spec.name +
         "' needs a class domain for a composite type change");
   }
+  RecordStore::Batch publish(&records_);
   LogEntry entry;
   entry.cc = schema_.NextCc();
   entry.change = TypeChange::kToDependent;  // display only; flags below rule
@@ -437,6 +497,7 @@ Status Database::ChangeAttributeType(ClassId cls, const std::string& attr,
       cls, attr, to_composite, to_exclusive, to_dependent));
   if (mode == ChangeMode::kImmediate) {
     // "This is implemented by accessing all instances of the class C ..."
+    RecordStore::Batch publish(&records_);
     for (Uid uid : objects_.InstancesOfDeep(*domain)) {
       auto access = objects_.Access(uid);
       if (!access.ok()) {

@@ -1,14 +1,19 @@
 #ifndef ORION_CORE_DATABASE_H_
 #define ORION_CORE_DATABASE_H_
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "authz/authorization_manager.h"
 #include "common/clock.h"
+#include "common/epoch.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "object/record_store.h"
 #include "lock/composite_locking.h"
 #include "lock/lock_manager.h"
 #include "object/object_manager.h"
@@ -34,6 +39,7 @@ enum class ChangeMode { kImmediate, kDeferred };
 class Database {
  public:
   explicit Database(uint32_t objects_per_page = 16);
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -47,6 +53,16 @@ class Database {
   IndexManager& indexes() { return indexes_; }
   ObjectStore& store() { return store_; }
   LogicalClock& clock() { return clock_; }
+  RecordStore& records() { return records_; }
+  const RecordStore& records() const { return records_; }
+  ReadTsRegistry& read_registry() { return read_registry_; }
+
+  /// One epoch-reclamation pass: computes the minimum active read timestamp
+  /// (falling back to the commit watermark when no reader is open), trims
+  /// record chains past it, and vacuums index postings.  The background
+  /// reclaimer calls this periodically; tests call it for determinism.
+  /// Returns the minimum used.
+  uint64_t ReclaimOnce();
 
   // --- Paper-message conveniences -------------------------------------------
 
@@ -121,6 +137,9 @@ class Database {
 
   ObjectStore store_;
   LogicalClock clock_;
+  /// Copy-on-write committed-record chains (declared before the managers
+  /// that publish into it, destroyed after them).
+  RecordStore records_;
   SchemaManager schema_;
   ObjectManager objects_;
   VersionManager versions_;
@@ -128,6 +147,16 @@ class Database {
   LockManager locks_;
   CompositeLockProtocol protocol_;
   IndexManager indexes_;
+
+  /// Read timestamps pinned by open read-only transactions.
+  ReadTsRegistry read_registry_;
+
+  /// Background epoch reclaimer; joined (after stop) in the destructor,
+  /// before any member is destroyed.
+  std::mutex reclaim_mu_;
+  std::condition_variable reclaim_cv_;
+  bool stop_reclaimer_ = false;
+  std::thread reclaimer_;
 };
 
 }  // namespace orion

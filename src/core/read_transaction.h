@@ -1,0 +1,119 @@
+#ifndef ORION_CORE_READ_TRANSACTION_H_
+#define ORION_CORE_READ_TRANSACTION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "query/query.h"
+#include "query/traversal.h"
+
+namespace orion {
+
+/// A lock-free read-only transaction (the MVCC read path).
+///
+/// Construction captures the record store's commit watermark as the read
+/// timestamp and registers it with the database's epoch registry (which is
+/// what holds back the chain trimmer).  Every read then resolves "newest
+/// committed record with commit_ts <= read_ts" — no S locks, no deadlock,
+/// no retry loop, and repeatable: two reads of the same object inside one
+/// ReadTransaction always return the same state, no matter what writers
+/// commit in between.  Destruction unregisters the timestamp.
+///
+/// NOT thread-safe (the snapshot view pins states in a per-transaction
+/// cache); create one per reading thread, like Session.  Movable so
+/// `Session::BeginReadOnly()` can return it by value.
+class ReadTransaction {
+ public:
+  explicit ReadTransaction(Database* db)
+      : db_(db),
+        ts_(db->records().watermark()),
+        view_(db->records(), db->schema(), ts_) {
+    db_->read_registry().Register(ts_);
+  }
+
+  ~ReadTransaction() {
+    if (db_ != nullptr) {
+      db_->read_registry().Unregister(ts_);
+    }
+  }
+
+  ReadTransaction(ReadTransaction&& other) noexcept
+      : db_(other.db_), ts_(other.ts_), view_(std::move(other.view_)) {
+    other.db_ = nullptr;
+  }
+  ReadTransaction& operator=(ReadTransaction&&) = delete;
+  ReadTransaction(const ReadTransaction&) = delete;
+  ReadTransaction& operator=(const ReadTransaction&) = delete;
+
+  uint64_t read_ts() const { return ts_; }
+
+  /// The state of `uid` as of the read timestamp, or NotFound.  The pointer
+  /// stays valid for the transaction's lifetime.
+  Result<const Object*> Get(Uid uid) const {
+    const Object* obj = view_.Lookup(uid);
+    if (obj == nullptr) {
+      return Status::NotFound("object " + uid.ToString() +
+                              " not visible at ts " + std::to_string(ts_));
+    }
+    return obj;
+  }
+
+  bool Exists(Uid uid) const { return view_.Lookup(uid) != nullptr; }
+
+  /// Direct extent (exact class) at the read timestamp, sorted.
+  std::vector<Uid> InstancesOf(ClassId cls) const {
+    return db_->records().InstancesOfAt(cls, ts_);
+  }
+
+  /// Deep extent (class + subclasses) at the read timestamp, sorted.
+  std::vector<Uid> InstancesOfDeep(ClassId cls) const {
+    return view_.Extent(cls);
+  }
+
+  /// §3.1 navigation over the snapshot.
+  Result<std::vector<Uid>> ComponentsOf(
+      Uid object, const TraversalOptions& opts = {}) const {
+    return orion::ComponentsOf(view_, object, opts);
+  }
+
+  Result<std::vector<Uid>> ParentsOf(Uid object,
+                                     const TraversalOptions& opts = {}) const {
+    return orion::ParentsOf(view_, object, opts);
+  }
+
+  Result<bool> ComponentOf(Uid object1, Uid object2) const {
+    return orion::ComponentOf(view_, object1, object2);
+  }
+
+  /// Associative query over the snapshot; uses versioned index postings
+  /// when one applies.
+  Result<std::vector<Uid>> Select(ClassId cls, const QueryPtr& expr) const {
+    return SelectAt(db_->records(), db_->schema(), cls, expr,
+                    &db_->indexes(), ts_);
+  }
+
+  /// The version registry entry (versions, user default) of `generic` as of
+  /// the read timestamp — CV-4X reads without touching the registry mutex.
+  Result<std::pair<std::vector<Uid>, Uid>> VersionsOf(Uid generic) const {
+    auto info = db_->records().GetGenericAt(generic, ts_);
+    if (!info.has_value()) {
+      return Status::NotFound("generic instance " + generic.ToString() +
+                              " not visible at ts " + std::to_string(ts_));
+    }
+    return *info;
+  }
+
+  /// The underlying snapshot view (for free-standing traversal/query code).
+  const ObjectView& view() const { return view_; }
+
+ private:
+  Database* db_;
+  uint64_t ts_;
+  SnapshotView view_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CORE_READ_TRANSACTION_H_

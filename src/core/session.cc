@@ -5,10 +5,22 @@
 
 namespace orion {
 
+namespace {
+
+/// Per-thread jitter state (split-mix style), seeded from the thread's
+/// stack address so no two worker threads share a backoff pattern — and,
+/// unlike per-session state, uncontended even if sessions are pooled.
+uint64_t NextJitter() {
+  thread_local uint64_t state =
+      reinterpret_cast<uintptr_t>(&state) | 1;
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+}  // namespace
+
 Session::Session(Database* db, SessionOptions options)
-    : db_(db),
-      options_(options),
-      jitter_state_(reinterpret_cast<uintptr_t>(this) | 1) {}
+    : db_(db), options_(options) {}
 
 bool Session::IsRetryable(const Status& status) {
   return status.code() == StatusCode::kDeadlock ||
@@ -16,11 +28,9 @@ bool Session::IsRetryable(const Status& status) {
 }
 
 void Session::Backoff(int attempt) {
-  // Exponential base with ±50% deterministic jitter so two sessions that
-  // deadlocked each other do not re-collide in lockstep.
-  jitter_state_ = jitter_state_ * 6364136223846793005ULL +
-                  1442695040888963407ULL;
-  const uint64_t jitter = (jitter_state_ >> 33) % 100;  // [0, 100)
+  // Exponential base with ±50% jitter so two sessions that deadlocked each
+  // other do not re-collide in lockstep.
+  const uint64_t jitter = NextJitter() % 100;  // [0, 100)
   auto base = options_.backoff_base.count() << std::min(attempt, 12);
   base = std::min<decltype(base)>(base, options_.backoff_cap.count());
   const auto us = base / 2 + (base * jitter) / 100;
@@ -54,9 +64,9 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
     last = result;
   }
   ++stats_.failures;
-  return Status::LockTimeout("session gave up after " +
-                             std::to_string(options_.max_retries) +
-                             " retries; last conflict: " + last.message());
+  return Status::Timeout("session retry budget (" +
+                         std::to_string(options_.max_retries) +
+                         ") exhausted; last conflict: " + last.message());
 }
 
 }  // namespace orion

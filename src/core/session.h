@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "core/read_transaction.h"
 #include "core/transaction.h"
 
 namespace orion {
@@ -16,7 +17,8 @@ struct SessionOptions {
   /// acquisition into a try-lock (no blocking), which under contention
   /// shifts all conflict handling onto the retry loop.
   std::chrono::milliseconds lock_timeout{50};
-  /// Retries after a deadlock/timeout abort before giving up.
+  /// Retry budget: conflict aborts absorbed before `Run` gives up with
+  /// kTimeout.
   int max_retries = 16;
   /// First backoff; doubles per retry (plus jitter) up to `backoff_cap`.
   std::chrono::microseconds backoff_base{100};
@@ -54,9 +56,16 @@ class Session {
 
   /// Runs `fn` transactionally.  `fn` returning OK commits; kDeadlock /
   /// kLockTimeout (from `fn` or from the commit) aborts and retries up to
-  /// `max_retries` times; any other error aborts and is returned as-is.
-  /// `fn` must be safe to re-execute (it sees a rolled-back database).
+  /// the `max_retries` budget, after which `Run` returns kTimeout; any
+  /// other error aborts and is returned as-is.  `fn` must be safe to
+  /// re-execute (it sees a rolled-back database).
   Status Run(const std::function<Status(TransactionContext&)>& fn);
+
+  /// Opens a lock-free read-only transaction at the current commit
+  /// watermark: repeatable reads with no locks and no retry loop.  The
+  /// returned transaction is independent of this session's retry state and
+  /// may outlive it.
+  ReadTransaction BeginReadOnly() { return ReadTransaction(db_); }
 
   const SessionStats& stats() const { return stats_; }
   Database* db() { return db_; }
@@ -70,9 +79,6 @@ class Session {
   Database* db_;
   SessionOptions options_;
   SessionStats stats_;
-  /// Deterministic per-session jitter state (split-mix style), seeded from
-  /// the session's address so two sessions never share a backoff pattern.
-  uint64_t jitter_state_;
 };
 
 }  // namespace orion

@@ -1,5 +1,7 @@
 #include "core/snapshot.h"
 
+#include "core/read_transaction.h"
+
 #include <cinttypes>
 #include <cstdio>
 #include <fstream>
@@ -237,6 +239,17 @@ int ParseInt(const std::string& s) { return static_cast<int>(std::strtol(s.c_str
 }  // namespace
 
 std::string SaveSnapshot(Database& db) {
+  // The save is a read-only transaction: it pins the commit watermark and
+  // serializes the object table and version registry exactly as of that
+  // timestamp — a transactionally consistent cut taken with no S locks, so
+  // concurrent writers commit freely while the save runs.  The schema,
+  // authorization grants, and allocator/clock counters are read live (DDL
+  // and grants are not versioned, matching ORION); a snapshot raced by a
+  // concurrent schema change serializes old object states under the new
+  // schema, which access-time catch-up resolves on restore.
+  ReadTransaction rtxn(&db);
+  const uint64_t read_ts = rtxn.read_ts();
+
   std::ostringstream os;
   os << "orion-snapshot 1\n";
   os << "counters " << db.clock().Now() << " " << db.schema().CurrentCc()
@@ -281,10 +294,14 @@ std::string SaveSnapshot(Database& db) {
     }
   }
 
-  // Objects (uid order for determinism).
+  // Objects visible at the read timestamp (uid order for determinism).
   uint64_t max_uid = 0;
-  for (Uid uid : db.objects().AllUids()) {
-    const Object* obj = db.objects().Peek(uid);
+  for (Uid uid : db.records().AllUidsAt(read_ts)) {
+    auto obj_or = rtxn.Get(uid);
+    if (!obj_or.ok()) {
+      continue;
+    }
+    const Object* obj = *obj_or;
     max_uid = std::max(max_uid, uid.raw);
     os << "object " << uid.raw << " " << obj->class_id() << " "
        << static_cast<int>(obj->role()) << " " << obj->generic().raw << " "
@@ -312,12 +329,15 @@ std::string SaveSnapshot(Database& db) {
   }
   os << "next-uid " << max_uid << "\n";
 
-  // Version registry.
-  auto generics = db.versions().DumpGenerics();
-  std::sort(generics.begin(), generics.end());
-  for (const auto& [generic, versions, user_default] : generics) {
-    os << "generic " << generic.raw << " " << user_default.raw;
-    for (Uid v : versions) {
+  // Version registry at the same timestamp (CV-4X reads off the record
+  // chains, not the live registry).
+  for (Uid generic : db.records().GenericsAt(read_ts)) {
+    auto info = rtxn.VersionsOf(generic);
+    if (!info.ok()) {
+      continue;
+    }
+    os << "generic " << generic.raw << " " << info->second.raw;
+    for (Uid v : info->first) {
       os << " " << v.raw;
     }
     os << "\n";

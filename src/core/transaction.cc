@@ -10,7 +10,12 @@ TransactionContext::TransactionContext(Database* db,
     : db_(db),
       txn_(db->locks().Begin()),
       timeout_(lock_timeout),
-      user_(std::move(user)) {}
+      user_(std::move(user)) {
+  // While this transaction is open on this thread, in-place mutations do
+  // not publish committed records; Commit() publishes the whole write set
+  // under one timestamp and Abort() publishes nothing.
+  db_->records().EnterTransactionScope();
+}
 
 TransactionContext::~TransactionContext() {
   if (active_) {
@@ -316,6 +321,23 @@ Result<Uid> TransactionContext::Derive(Uid version) {
 Status TransactionContext::Commit() {
   ORION_RETURN_IF_ERROR(RequireActive());
   active_ = false;
+  // Publish every touched uid's (post-mutation) live state as one commit —
+  // BEFORE releasing the locks, so the record-store sources copy states this
+  // transaction still exclusively owns.  The journal keys are exactly the
+  // write set: every mutated, created, or deleted object and registry entry
+  // was journaled before it was touched.
+  std::vector<Uid> objects;
+  objects.reserve(journal_.size());
+  for (const auto& [uid, before] : journal_) {
+    objects.push_back(uid);
+  }
+  std::vector<Uid> generics;
+  generics.reserve(generic_journal_.size());
+  for (const auto& [uid, before] : generic_journal_) {
+    generics.push_back(uid);
+  }
+  db_->records().ExitTransactionScope();
+  db_->records().PublishBatch(objects, generics);
   journal_.clear();
   generic_journal_.clear();
   return db_->locks().Release(txn_);
@@ -348,6 +370,10 @@ Status TransactionContext::Abort() {
   }
   journal_.clear();
   generic_journal_.clear();
+  // The restores above ran inside the transaction scope, so none of them
+  // published; leaving the scope without publishing makes the abort O(its
+  // own write set) with no record-chain traffic at all.
+  db_->records().ExitTransactionScope();
   return db_->locks().Release(txn_);
 }
 

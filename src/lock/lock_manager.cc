@@ -92,6 +92,11 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
       txn_resources_[txn].push_back(resource);
       waits_for_.erase(txn);
       ++stats_.acquisitions;
+      if (IsReadMode(mode)) {
+        ++stats_.read_acquisitions;
+      } else {
+        ++stats_.write_acquisitions;
+      }
       if (waited) {
         ++stats_.waits;
       }

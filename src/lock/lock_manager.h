@@ -56,10 +56,12 @@ namespace orion {
 
 /// Contention counters since construction (benchmarking / ops visibility).
 struct LockManagerStats {
-  uint64_t acquisitions = 0;  ///< successful grants
-  uint64_t waits = 0;         ///< grants that blocked at least once
-  uint64_t deadlocks = 0;     ///< requests refused with kDeadlock
-  uint64_t timeouts = 0;      ///< requests refused with kLockTimeout
+  uint64_t acquisitions = 0;       ///< successful grants
+  uint64_t read_acquisitions = 0;  ///< grants in a read mode (IsReadMode)
+  uint64_t write_acquisitions = 0; ///< grants in a write/intent-write mode
+  uint64_t waits = 0;              ///< grants that blocked at least once
+  uint64_t deadlocks = 0;          ///< requests refused with kDeadlock
+  uint64_t timeouts = 0;           ///< requests refused with kLockTimeout
 };
 
 /// Strict-2PL blocking lock manager over the Figure 7/8 mode lattice.

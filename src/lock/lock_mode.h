@@ -33,6 +33,15 @@ inline constexpr int kNumFigure7Modes = 8;
 
 std::string_view LockModeName(LockMode mode);
 
+/// True for the pure read modes (IS, S, and their composite read variants
+/// ISO/ISOS).  IX and above express write — or intent-to-write — access.
+/// Used to split the lock-manager counters so benchmarks can show how much
+/// S-lock read traffic the MVCC read path removes.
+inline constexpr bool IsReadMode(LockMode mode) {
+  return mode == LockMode::kIS || mode == LockMode::kS ||
+         mode == LockMode::kISO || mode == LockMode::kISOS;
+}
+
 /// True if a lock in `requested` can be granted while another transaction
 /// holds `held` on the same resource.  The matrix is symmetric.
 ///

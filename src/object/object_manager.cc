@@ -50,6 +50,7 @@ Result<Uid> ObjectManager::AllocateAndPlace(ClassId cls, ObjectRole role,
     }
   }
   NotifyCreate(*stored);
+  MarkRecord(uid);
   return uid;
 }
 
@@ -255,6 +256,7 @@ Status ObjectManager::AddForwardRef(Object* parent, const AttributeSpec& spec,
     }
     slot.AddSetRef(child);
     NotifyUpdate(*parent, spec.name, old);
+    MarkRecord(parent->uid());
     return Status::Ok();
   }
   if (!slot.is_null()) {
@@ -264,6 +266,7 @@ Status ObjectManager::AddForwardRef(Object* parent, const AttributeSpec& spec,
   }
   slot = Value::Ref(child);
   NotifyUpdate(*parent, spec.name, old);
+  MarkRecord(parent->uid());
   return Status::Ok();
 }
 
@@ -314,13 +317,16 @@ void AddCompositeBacklink(ObjectManager& om, Object* child,
   const Uid key = GenericParentKey(parent);
   if (child->is_generic()) {
     UpsertGenericRef(child, key, spec.name, spec.dependent, spec.exclusive);
+    om.MarkRecord(child->uid());
     return;
   }
   child->AddReverseRef(ReverseRef{parent.uid(), spec.name, spec.dependent,
                                   spec.exclusive});
+  om.MarkRecord(child->uid());
   if (child->is_version()) {
     UpsertGenericRef(om.Peek(child->generic()), key, spec.name,
                      spec.dependent, spec.exclusive);
+    om.MarkRecord(child->generic());
   }
 }
 
@@ -333,11 +339,14 @@ void RemoveCompositeBacklink(ObjectManager& om, Object* child,
   const Uid key = GenericParentKey(parent);
   if (child->is_generic()) {
     DecrementGenericRef(child, key, attribute);
+    om.MarkRecord(child->uid());
     return;
   }
   child->RemoveReverseRef(parent.uid(), attribute);
+  om.MarkRecord(child->uid());
   if (child->is_version()) {
     DecrementGenericRef(om.Peek(child->generic()), key, attribute);
+    om.MarkRecord(child->generic());
   }
 }
 
@@ -346,6 +355,10 @@ void RemoveCompositeBacklink(ObjectManager& om, Object* child,
 Result<Uid> ObjectManager::Make(ClassId cls,
                                 const std::vector<ParentBinding>& parents,
                                 const AttrValues& attrs) {
+  // Every object this compound creation touches (the new object, bound
+  // parents, attached components and their generics) becomes visible to
+  // MVCC readers atomically, under one commit timestamp.
+  RecordStore::Batch publish(records_);
   const ClassDef* def = schema_->GetClass(cls);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
@@ -468,6 +481,7 @@ Result<Uid> ObjectManager::Make(ClassId cls,
 
 Status ObjectManager::MakeComponent(Uid child, Uid parent,
                                     const std::string& attribute) {
+  RecordStore::Batch publish(records_);
   Object* parent_obj = Peek(parent);
   if (parent_obj == nullptr) {
     return Status::NotFound("parent object " + parent.ToString());
@@ -483,6 +497,7 @@ Status ObjectManager::MakeComponent(Uid child, Uid parent,
 
 Status ObjectManager::RemoveComponent(Uid child, Uid parent,
                                       const std::string& attribute) {
+  RecordStore::Batch publish(records_);
   Object* parent_obj = Peek(parent);
   Object* child_obj = Peek(child);
   if (parent_obj == nullptr || child_obj == nullptr) {
@@ -497,12 +512,14 @@ Status ObjectManager::RemoveComponent(Uid child, Uid parent,
   const Value old = slot;
   slot.RemoveReference(child);
   NotifyUpdate(*parent_obj, attribute, old);
+  MarkRecord(parent);
   RemoveCompositeBacklink(*this, child_obj, *parent_obj, attribute);
   return Status::Ok();
 }
 
 Status ObjectManager::SetAttribute(Uid uid, const std::string& attribute,
                                    Value value) {
+  RecordStore::Batch publish(records_);
   Object* obj = Peek(uid);
   if (obj == nullptr) {
     return Status::NotFound("object " + uid.ToString());
@@ -552,6 +569,7 @@ Status ObjectManager::SetAttribute(Uid uid, const std::string& attribute,
 
 Status ObjectManager::AttachBacklink(Uid child, Uid parent,
                                      const AttributeSpec& spec) {
+  RecordStore::Batch publish(records_);
   Object* child_obj = Peek(child);
   Object* parent_obj = Peek(parent);
   if (child_obj == nullptr || parent_obj == nullptr) {
@@ -657,6 +675,7 @@ void ObjectManager::PreNotifyDeletions(const std::vector<Uid>& doomed) {
 }
 
 Status ObjectManager::DeleteSingle(Uid uid, bool notify) {
+  RecordStore::Batch publish(records_);
   Object* obj = Peek(uid);
   if (obj == nullptr) {
     return Status::NotFound("object " + uid.ToString());
@@ -672,11 +691,13 @@ Status ObjectManager::DeleteSingle(Uid uid, bool notify) {
         const Value old = it->second;
         if (it->second.RemoveReference(uid) > 0) {
           NotifyUpdate(*parent, r.attribute, old);
+          MarkRecord(parent->uid());
         }
       }
       if (obj->is_version()) {
         DecrementGenericRef(Peek(obj->generic()), GenericParentKey(*parent),
                             r.attribute);
+        MarkRecord(obj->generic());
       }
     }
   }
@@ -699,10 +720,13 @@ Status ObjectManager::DeleteSingle(Uid uid, bool notify) {
   extents_.Update(obj->class_id(),
                   [&](std::unordered_set<Uid>& s) { s.erase(uid); });
   objects_.Erase(uid);
+  MarkRecord(uid);  // publishes a tombstone record
   return Status::Ok();
 }
 
 Status ObjectManager::Delete(Uid uid) {
+  // The whole deletion closure disappears from MVCC readers atomically.
+  RecordStore::Batch publish(records_);
   Object* obj = Peek(uid);
   if (obj == nullptr) {
     return Status::NotFound("object " + uid.ToString());
@@ -795,6 +819,7 @@ Status ObjectManager::CatchUp(Object* o) {
     ApplyLogEntry(o, *e);
   }
   o->set_cc(current);
+  MarkRecord(o->uid());
   return Status::Ok();
 }
 
@@ -827,6 +852,7 @@ Status ObjectManager::RestoreObject(Object obj) {
     (void)store_->Place(uid, def->segment);
   }
   NotifyCreate(*stored);
+  MarkRecord(uid);
   return Status::Ok();
 }
 
@@ -865,6 +891,7 @@ void ObjectManager::SetValueNotify(Object* obj, const std::string& attribute,
   Value old = obj->Get(attribute);
   obj->Set(attribute, std::move(value));
   NotifyUpdate(*obj, attribute, old);
+  MarkRecord(obj->uid());
 }
 
 Status ObjectManager::EraseValue(Uid uid, const std::string& attribute) {
@@ -875,6 +902,7 @@ Status ObjectManager::EraseValue(Uid uid, const std::string& attribute) {
   Value old = obj->Get(attribute);
   obj->Erase(attribute);
   NotifyUpdate(*obj, attribute, old);
+  MarkRecord(uid);
   return Status::Ok();
 }
 
@@ -890,6 +918,7 @@ void ObjectManager::EraseRaw(Uid uid) {
     (void)store_->Remove(uid);
   }
   objects_.Erase(uid);
+  MarkRecord(uid);
 }
 
 void ObjectManager::OverwriteRaw(Object obj) {
@@ -905,6 +934,7 @@ void ObjectManager::OverwriteRaw(Object obj) {
     }
     *existing = std::move(obj);
     NotifyCreate(*existing);
+    MarkRecord(uid);
     return;
   }
   const ClassDef* def = schema_->GetClass(obj.class_id());
@@ -916,6 +946,7 @@ void ObjectManager::OverwriteRaw(Object obj) {
   }
   Object* stored = objects_.Emplace(uid, std::move(obj)).first;
   NotifyCreate(*stored);
+  MarkRecord(uid);
 }
 
 std::vector<Uid> ObjectManager::AllUids() const {

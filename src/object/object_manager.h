@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "common/striped.h"
 #include "object/object.h"
+#include "object/record_store.h"
 #include "schema/schema_manager.h"
 #include "storage/object_store.h"
 
@@ -232,6 +233,24 @@ class ObjectManager {
   const SchemaManager* schema() const { return schema_; }
   ObjectStore* store() { return store_; }
 
+  // --- MVCC record publication ----------------------------------------------
+
+  /// Attaches the copy-on-write record store (Database wires this before the
+  /// engine is reachable).  Null (the default, and what standalone unit
+  /// tests use) disables publication entirely.
+  void set_record_store(RecordStore* records) { records_ = records; }
+  RecordStore* record_store() const { return records_; }
+
+  /// Reports that the live state of `uid` changed.  Outside a transaction
+  /// this publishes a committed record immediately (or collects it into the
+  /// enclosing RecordStore::Batch); inside a transaction it is a no-op —
+  /// the transaction's commit publishes its whole write set at once.
+  void MarkRecord(Uid uid) {
+    if (records_ != nullptr) {
+      records_->MarkObject(uid);
+    }
+  }
+
   /// Direct components of `parent`: every object referenced through a
   /// composite attribute, with the spec in effect.  (Weak references are
   /// not components.)
@@ -265,6 +284,7 @@ class ObjectManager {
   mutable std::shared_mutex observers_mu_;
   std::vector<ObjectObserver*> observers_;
   std::atomic<uint64_t> next_uid_{0};
+  RecordStore* records_ = nullptr;
 };
 
 }  // namespace orion

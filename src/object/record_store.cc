@@ -1,0 +1,391 @@
+#include "object/record_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace orion {
+
+std::unordered_map<const RecordStore*, RecordStore::TlsState>&
+RecordStore::TlsMap() {
+  thread_local std::unordered_map<const RecordStore*, TlsState> map;
+  return map;
+}
+
+RecordStore::TlsState& RecordStore::Tls() const { return TlsMap()[this]; }
+
+void RecordStore::MaybeReleaseTls() const {
+  auto& map = TlsMap();
+  auto it = map.find(this);
+  if (it != map.end() && it->second.txn_depth == 0 &&
+      it->second.batch_depth == 0) {
+    map.erase(it);
+  }
+}
+
+void RecordStore::Configure(LogicalClock* clock, ObjectSource object_source,
+                            GenericSource generic_source) {
+  clock_ = clock;
+  object_source_ = std::move(object_source);
+  generic_source_ = std::move(generic_source);
+}
+
+void RecordStore::EnterTransactionScope() { ++Tls().txn_depth; }
+
+void RecordStore::ExitTransactionScope() {
+  TlsState& tls = Tls();
+  if (tls.txn_depth > 0) {
+    --tls.txn_depth;
+  }
+  MaybeReleaseTls();
+}
+
+bool RecordStore::InTransactionScope() const {
+  auto& map = TlsMap();
+  auto it = map.find(this);
+  return it != map.end() && it->second.txn_depth > 0;
+}
+
+RecordStore::Batch::Batch(RecordStore* store) : store_(store) {
+  if (store_ != nullptr) {
+    ++store_->Tls().batch_depth;
+  }
+}
+
+RecordStore::Batch::~Batch() {
+  if (store_ == nullptr) {
+    return;
+  }
+  TlsState& tls = store_->Tls();
+  if (--tls.batch_depth == 0) {
+    std::vector<Uid> objects = std::move(tls.batch_objects);
+    std::vector<Uid> generics = std::move(tls.batch_generics);
+    tls.batch_objects.clear();
+    tls.batch_generics.clear();
+    store_->MaybeReleaseTls();
+    if (!objects.empty() || !generics.empty()) {
+      store_->PublishBatch(objects, generics);
+    }
+  }
+}
+
+void RecordStore::MarkObject(Uid uid) {
+  if (clock_ == nullptr || !uid.valid()) {
+    return;
+  }
+  TlsState& tls = Tls();
+  if (tls.txn_depth > 0) {
+    MaybeReleaseTls();
+    return;  // the transaction's commit publishes its journal
+  }
+  if (tls.batch_depth > 0) {
+    tls.batch_objects.push_back(uid);
+    return;
+  }
+  MaybeReleaseTls();
+  PublishBatch({uid}, {});
+}
+
+void RecordStore::MarkGeneric(Uid uid) {
+  if (clock_ == nullptr || !uid.valid()) {
+    return;
+  }
+  TlsState& tls = Tls();
+  if (tls.txn_depth > 0) {
+    MaybeReleaseTls();
+    return;
+  }
+  if (tls.batch_depth > 0) {
+    tls.batch_generics.push_back(uid);
+    return;
+  }
+  MaybeReleaseTls();
+  PublishBatch({}, {uid});
+}
+
+uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
+                                   const std::vector<Uid>& generic_uids) {
+  if (clock_ == nullptr || (object_uids.empty() && generic_uids.empty())) {
+    return 0;
+  }
+
+  // Phase 1 — copy live states WITHOUT holding commit_mu_.  The copies are
+  // race-free because the publisher still excludes other writers from every
+  // uid it publishes (X locks at commit, or it is the mutating thread for
+  // non-transactional publication).  Calling the sources outside commit_mu_
+  // also keeps the lock order acyclic: the generic source takes
+  // VersionManager::mu_, and VersionManager publishes while holding mu_, so
+  // commit_mu_ must never be held when mu_ is acquired.
+  struct StagedObject {
+    Uid uid;
+    std::shared_ptr<const Object> state;
+  };
+  struct StagedGeneric {
+    Uid uid;
+    std::optional<std::pair<std::vector<Uid>, Uid>> info;
+  };
+  std::vector<StagedObject> staged_objects;
+  std::vector<StagedGeneric> staged_generics;
+  std::vector<Uid> seen;
+  for (Uid uid : object_uids) {
+    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(uid);
+    std::optional<Object> live = object_source_(uid);
+    std::shared_ptr<const Object> state;
+    if (live.has_value()) {
+      state = std::make_shared<const Object>(std::move(*live));
+    } else if (!objects_.Contains(uid)) {
+      continue;  // never-seen uid published as dead: nothing to record
+    }
+    staged_objects.push_back(StagedObject{uid, std::move(state)});
+  }
+  seen.clear();
+  for (Uid uid : generic_uids) {
+    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(uid);
+    auto info = generic_source_(uid);
+    if (!info.has_value() && !generics_.Contains(uid)) {
+      continue;
+    }
+    staged_generics.push_back(StagedGeneric{uid, std::move(info)});
+  }
+
+  // Phase 2 — install all records under one timestamp, then advance the
+  // watermark.  A reader's timestamp is always a published watermark, so it
+  // can never observe half a publication.
+  std::lock_guard<std::mutex> commit(commit_mu_);
+  const uint64_t ts = clock_->Tick();
+  for (StagedObject& so : staged_objects) {
+    InstallObject(so.uid, std::move(so.state), ts);
+  }
+  for (StagedGeneric& sg : staged_generics) {
+    InstallGeneric(sg.uid, std::move(sg.info), ts);
+  }
+  watermark_.store(ts, std::memory_order_release);
+  return ts;
+}
+
+void RecordStore::InstallObject(Uid uid, std::shared_ptr<const Object> state,
+                                uint64_t ts) {
+  std::shared_ptr<const Object> before;
+  objects_.Update(uid, [&](ObjectChain& chain) {
+    before = chain.head != nullptr ? chain.head->state : nullptr;
+    auto record = std::make_shared<ObjectRecord>();
+    record->commit_ts = ts;
+    record->state = state;
+    record->prev = chain.head;
+    chain.head = std::move(record);
+    if (state != nullptr) {
+      chain.cls = state->class_id();
+    }
+  });
+  if (state != nullptr) {
+    extent_members_.Update(state->class_id(), [&](std::unordered_set<Uid>& s) {
+      s.insert(uid);
+    });
+  }
+  std::lock_guard<std::mutex> lg(listeners_mu_);
+  for (RecordStoreListener* listener : listeners_) {
+    listener->OnObjectPublished(uid, before.get(), state.get(), ts);
+  }
+}
+
+void RecordStore::InstallGeneric(
+    Uid uid, std::optional<std::pair<std::vector<Uid>, Uid>> info,
+    uint64_t ts) {
+  generics_.Update(uid, [&](GenericChain& chain) {
+    auto record = std::make_shared<GenericRecord>();
+    record->commit_ts = ts;
+    record->live = info.has_value();
+    if (info.has_value()) {
+      record->versions = std::move(info->first);
+      record->user_default = info->second;
+    }
+    record->prev = chain.head;
+    chain.head = std::move(record);
+  });
+}
+
+std::shared_ptr<const Object> RecordStore::GetAt(Uid uid, uint64_t ts) const {
+  return objects_.View(
+      uid,
+      [&](const ObjectChain& chain) {
+        for (const ObjectRecord* r = chain.head.get(); r != nullptr;
+             r = r->prev.get()) {
+          if (r->commit_ts <= ts) {
+            return r->state;
+          }
+        }
+        return std::shared_ptr<const Object>();
+      },
+      std::shared_ptr<const Object>());
+}
+
+std::optional<std::pair<std::vector<Uid>, Uid>> RecordStore::GetGenericAt(
+    Uid uid, uint64_t ts) const {
+  return generics_.View(
+      uid,
+      [&](const GenericChain& chain)
+          -> std::optional<std::pair<std::vector<Uid>, Uid>> {
+        for (const GenericRecord* r = chain.head.get(); r != nullptr;
+             r = r->prev.get()) {
+          if (r->commit_ts <= ts) {
+            if (!r->live) {
+              return std::nullopt;
+            }
+            return std::make_pair(r->versions, r->user_default);
+          }
+        }
+        return std::nullopt;
+      },
+      std::optional<std::pair<std::vector<Uid>, Uid>>());
+}
+
+std::vector<Uid> RecordStore::InstancesOfAt(ClassId cls, uint64_t ts) const {
+  std::vector<Uid> members;
+  extent_members_.View(
+      cls,
+      [&](const std::unordered_set<Uid>& s) {
+        members.assign(s.begin(), s.end());
+        return true;
+      },
+      false);
+  std::vector<Uid> out;
+  for (Uid uid : members) {
+    auto state = GetAt(uid, ts);
+    if (state != nullptr && state->class_id() == cls) {
+      out.push_back(uid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Uid> RecordStore::AllUidsAt(uint64_t ts) const {
+  std::vector<Uid> candidates;
+  objects_.ForEach([&](Uid uid, const ObjectChain&) {
+    candidates.push_back(uid);
+  });
+  std::vector<Uid> out;
+  for (Uid uid : candidates) {
+    if (ExistsAt(uid, ts)) {
+      out.push_back(uid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Uid> RecordStore::GenericsAt(uint64_t ts) const {
+  std::vector<Uid> candidates;
+  generics_.ForEach([&](Uid uid, const GenericChain&) {
+    candidates.push_back(uid);
+  });
+  std::vector<Uid> out;
+  for (Uid uid : candidates) {
+    if (GetGenericAt(uid, ts).has_value()) {
+      out.push_back(uid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void RecordStore::Trim(uint64_t min_active_ts) {
+  // (uid, class) pairs whose whole chain died; extent membership is pruned
+  // after the sweep so no shard latch is held across the two maps.
+  std::vector<std::pair<Uid, ClassId>> dead;
+
+  objects_.EraseIf([&](Uid uid, ObjectChain& chain) {
+    if (chain.head == nullptr) {
+      return true;
+    }
+    // Find the pivot: the newest record with commit_ts <= min.  Everything
+    // older is unreachable by any present or future reader.
+    ObjectRecord* pivot = nullptr;
+    for (ObjectRecord* r = chain.head.get(); r != nullptr; r = r->prev.get()) {
+      if (r->commit_ts <= min_active_ts) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot != nullptr) {
+      pivot->prev = nullptr;
+    }
+    // A chain whose only record is a tombstone at/below the minimum will
+    // never be visible again: drop it entirely.
+    if (chain.head->prev == nullptr && chain.head->state == nullptr &&
+        chain.head->commit_ts <= min_active_ts) {
+      dead.emplace_back(uid, chain.cls);
+      return true;
+    }
+    return false;
+  });
+  for (const auto& [uid, cls] : dead) {
+    extent_members_.Update(cls, [uid = uid](std::unordered_set<Uid>& s) {
+      s.erase(uid);
+    });
+  }
+
+  generics_.EraseIf([&](Uid, GenericChain& chain) {
+    if (chain.head == nullptr) {
+      return true;
+    }
+    GenericRecord* pivot = nullptr;
+    for (GenericRecord* r = chain.head.get(); r != nullptr;
+         r = r->prev.get()) {
+      if (r->commit_ts <= min_active_ts) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot != nullptr) {
+      pivot->prev = nullptr;
+    }
+    return chain.head->prev == nullptr && !chain.head->live &&
+           chain.head->commit_ts <= min_active_ts;
+  });
+
+  std::lock_guard<std::mutex> lg(listeners_mu_);
+  for (RecordStoreListener* listener : listeners_) {
+    listener->OnTrim(min_active_ts);
+  }
+}
+
+void RecordStore::AddListener(RecordStoreListener* listener) {
+  std::lock_guard<std::mutex> lg(listeners_mu_);
+  listeners_.push_back(listener);
+}
+
+void RecordStore::RemoveListener(RecordStoreListener* listener) {
+  std::lock_guard<std::mutex> lg(listeners_mu_);
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+void RecordStore::ForEachObjectRecord(
+    const std::function<void(Uid, const ObjectRecord&)>& fn) const {
+  objects_.ForEach([&](Uid uid, const ObjectChain& chain) {
+    for (const ObjectRecord* r = chain.head.get(); r != nullptr;
+         r = r->prev.get()) {
+      fn(uid, *r);
+    }
+  });
+}
+
+size_t RecordStore::record_count() const {
+  size_t n = 0;
+  objects_.ForEach([&](Uid, const ObjectChain& chain) {
+    for (const ObjectRecord* r = chain.head.get(); r != nullptr;
+         r = r->prev.get()) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+}  // namespace orion

@@ -1,0 +1,241 @@
+#ifndef ORION_OBJECT_RECORD_STORE_H_
+#define ORION_OBJECT_RECORD_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/striped.h"
+#include "common/uid.h"
+#include "object/object.h"
+#include "schema/class_def.h"
+
+namespace orion {
+
+/// One committed version of an object: an immutable copy of its state
+/// stamped with the commit timestamp that installed it.  `state == nullptr`
+/// is a tombstone (the object was deleted at `commit_ts`).
+///
+/// Records form a newest-first chain.  All fields are immutable after
+/// publication EXCEPT `prev`, which the trimmer may cut to null under the
+/// owning shard's exclusive latch; every chain traversal holds at least the
+/// shared latch, so no traversal can observe the cut mid-walk.
+struct ObjectRecord {
+  uint64_t commit_ts = 0;
+  std::shared_ptr<const Object> state;
+  std::shared_ptr<ObjectRecord> prev;
+};
+
+/// One committed version of a generic instance's registry entry (§5.1
+/// version-derivation history): the version list and the user-set default.
+/// `live == false` is a tombstone (the generic was deleted / reaped).
+struct GenericRecord {
+  uint64_t commit_ts = 0;
+  bool live = false;
+  std::vector<Uid> versions;
+  Uid user_default;
+  std::shared_ptr<GenericRecord> prev;
+};
+
+/// Callback interface for committed publications.  `OnObjectPublished` fires
+/// under the store's publication mutex, after the record is installed:
+/// `before` is the state of the previous newest record (null if none or
+/// tombstone), `after` the newly published state (null for a tombstone).
+/// Only *committed* states ever reach a listener — the attribute index
+/// builds its versioned postings from this stream, which is what keeps
+/// uncommitted transactional writes out of index lookups.
+class RecordStoreListener {
+ public:
+  virtual ~RecordStoreListener() = default;
+  virtual void OnObjectPublished(Uid uid, const Object* before,
+                                 const Object* after, uint64_t commit_ts) = 0;
+  /// Fired after a trim pass; listeners may discard history that ended at or
+  /// before `min_active_ts`.
+  virtual void OnTrim(uint64_t min_active_ts) { (void)min_active_ts; }
+};
+
+/// The multi-version side of the object store: copy-on-write record chains
+/// for objects and for the version registry, a commit watermark, and the
+/// visibility rule "newest record with commit_ts <= read_ts".
+///
+/// The live tables in `ObjectManager`/`VersionManager` stay authoritative
+/// for writers (update-in-place under X locks, exactly as in PR 1); this
+/// store is a shadow of *committed* states that read-only transactions
+/// resolve against without touching the lock manager.
+///
+/// Publication sources are callbacks (set by `Database`) that copy the
+/// current live state of a uid.  They are invoked while the publisher still
+/// excludes other writers from that uid — either because the publishing
+/// transaction holds the X lock (commit publication) or because the
+/// publishing thread is the mutator itself (non-transactional immediate
+/// publication) — so the copy is race-free under the §6 threading model.
+class RecordStore {
+ public:
+  using ObjectSource = std::function<std::optional<Object>(Uid)>;
+  using GenericSource =
+      std::function<std::optional<std::pair<std::vector<Uid>, Uid>>(Uid)>;
+
+  /// Wires the clock and the live-state sources.  Must happen before any
+  /// publication; `Database`'s constructor does this before the engine is
+  /// reachable by any thread.
+  void Configure(LogicalClock* clock, ObjectSource object_source,
+                 GenericSource generic_source);
+
+  // --- Transactional suppression / batching -------------------------------
+
+  /// While a transaction is open on this thread, MarkObject/MarkGeneric are
+  /// no-ops: the transaction's own commit publishes its whole write set
+  /// under one timestamp (and an abort publishes nothing).
+  void EnterTransactionScope();
+  void ExitTransactionScope();
+  bool InTransactionScope() const;
+
+  /// RAII: groups every MarkObject/MarkGeneric issued by this thread into a
+  /// single publication with one commit timestamp, so non-transactional
+  /// compound operations (Make with bindings, a deletion closure, a DDL
+  /// instance sweep) become atomically visible to readers.  Nested batches
+  /// collect into the outermost; a null store makes the batch a no-op.
+  class Batch {
+   public:
+    explicit Batch(RecordStore* store);
+    ~Batch();
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+   private:
+    RecordStore* store_;
+  };
+
+  /// Records that the live state of `uid` changed (created, mutated, or
+  /// deleted).  Outside any transaction/batch this publishes immediately
+  /// with a fresh timestamp; inside a batch it is collected; inside a
+  /// transaction it is suppressed (see above).
+  void MarkObject(Uid uid);
+  void MarkGeneric(Uid uid);
+
+  /// Publishes the given uids' current live states as one atomic commit:
+  /// one clock tick, all records installed, then the watermark advances.
+  /// Returns the commit timestamp (0 if the store is unconfigured or the
+  /// sets are empty).  Duplicates are tolerated.
+  uint64_t PublishBatch(const std::vector<Uid>& object_uids,
+                        const std::vector<Uid>& generic_uids);
+
+  // --- Read path -----------------------------------------------------------
+
+  /// Newest committed timestamp whose records are fully visible.  Read-only
+  /// transactions capture this as their read timestamp.
+  uint64_t watermark() const {
+    return watermark_.load(std::memory_order_acquire);
+  }
+
+  /// The newest committed state of `uid` with commit_ts <= ts, or null if
+  /// the object did not exist (or was deleted) as of `ts`.
+  std::shared_ptr<const Object> GetAt(Uid uid, uint64_t ts) const;
+
+  bool ExistsAt(Uid uid, uint64_t ts) const { return GetAt(uid, ts) != nullptr; }
+
+  /// The registry entry (version list, user default) of generic `uid` as of
+  /// `ts`; nullopt if the generic did not exist then.
+  std::optional<std::pair<std::vector<Uid>, Uid>> GetGenericAt(
+      Uid uid, uint64_t ts) const;
+
+  /// Uids whose visible state at `ts` has exactly class `cls` (direct
+  /// extent; schema-closure unions are the caller's job).  Sorted.
+  std::vector<Uid> InstancesOfAt(ClassId cls, uint64_t ts) const;
+
+  /// Every uid with a visible (non-tombstone) state at `ts`.  Sorted.
+  std::vector<Uid> AllUidsAt(uint64_t ts) const;
+
+  /// Every generic uid live at `ts`.  Sorted.
+  std::vector<Uid> GenericsAt(uint64_t ts) const;
+
+  /// Visits every record of every object chain (newest first within a
+  /// chain), shard by shard under the shared latch.  Tombstone records are
+  /// visited with `record.state == nullptr`.  Index construction seeds its
+  /// versioned postings from this so readers pinned before the index was
+  /// built still get complete candidate sets.
+  void ForEachObjectRecord(
+      const std::function<void(Uid, const ObjectRecord&)>& fn) const;
+
+  // --- Reclamation ---------------------------------------------------------
+
+  /// Drops every record shadowed by a newer record with commit_ts <=
+  /// `min_active_ts`, and whole chains whose visible state at
+  /// `min_active_ts` is a tombstone with nothing newer.  Safe to run
+  /// concurrently with publication and readers.
+  void Trim(uint64_t min_active_ts);
+
+  void AddListener(RecordStoreListener* listener);
+  void RemoveListener(RecordStoreListener* listener);
+
+  // --- Diagnostics ---------------------------------------------------------
+
+  /// Total object records across all chains (tests bound this after Trim).
+  size_t record_count() const;
+  /// Number of object chains.
+  size_t chain_count() const { return objects_.size(); }
+
+ private:
+  struct ObjectChain {
+    std::shared_ptr<ObjectRecord> head;
+    /// Class of the newest non-tombstone publication; lets the trimmer
+    /// prune extent membership when it drops a dead chain.
+    ClassId cls{0};
+  };
+  struct GenericChain {
+    std::shared_ptr<GenericRecord> head;
+  };
+
+  struct TlsState {
+    int txn_depth = 0;
+    int batch_depth = 0;
+    std::vector<Uid> batch_objects;
+    std::vector<Uid> batch_generics;
+  };
+  /// Per-thread, per-store suppression/batch state.  Keyed by store so a
+  /// thread driving two databases cannot cross-suppress; entries are erased
+  /// once all depths return to zero, so address reuse after a store's
+  /// destruction cannot inherit stale state.
+  static std::unordered_map<const RecordStore*, TlsState>& TlsMap();
+  TlsState& Tls() const;
+  void MaybeReleaseTls() const;
+
+  void InstallObject(Uid uid, std::shared_ptr<const Object> state,
+                     uint64_t ts);
+  void InstallGeneric(Uid uid,
+                      std::optional<std::pair<std::vector<Uid>, Uid>> info,
+                      uint64_t ts);
+
+  LogicalClock* clock_ = nullptr;
+  ObjectSource object_source_;
+  GenericSource generic_source_;
+
+  /// Serializes publication so each commit's records become visible as a
+  /// unit: records install, THEN the watermark advances past their
+  /// timestamp.  A reader's timestamp is always a published watermark, so
+  /// it can never observe half a commit.
+  std::mutex commit_mu_;
+  std::atomic<uint64_t> watermark_{0};
+
+  ShardedMap<Uid, ObjectChain> objects_;
+  ShardedMap<Uid, GenericChain> generics_;
+  /// Uids ever published (non-tombstone) under each class; pruned on trim.
+  /// A member may be dead or reclassified at any given ts — InstancesOfAt
+  /// re-verifies through GetAt.
+  ShardedMap<ClassId, std::unordered_set<Uid>> extent_members_;
+
+  mutable std::mutex listeners_mu_;
+  std::vector<RecordStoreListener*> listeners_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_OBJECT_RECORD_STORE_H_

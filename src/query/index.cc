@@ -8,11 +8,33 @@ namespace {
 
 std::string KeyOf(const Value& value) { return value.ToString(); }
 
+/// The canonical keys a value contributes: one per non-null element for a
+/// set, one for a non-null scalar, none for Nil.
+std::vector<std::string> KeysOf(const Value& value) {
+  std::vector<std::string> keys;
+  if (value.is_null()) {
+    return keys;
+  }
+  if (value.is_set()) {
+    for (const Value& e : value.set()) {
+      if (!e.is_null()) {
+        keys.push_back(KeyOf(e));
+      }
+    }
+    return keys;
+  }
+  keys.push_back(KeyOf(value));
+  return keys;
+}
+
 }  // namespace
 
-AttributeIndex::AttributeIndex(ObjectManager* objects, ClassId cls,
-                               std::string attribute)
-    : objects_(objects), cls_(cls), attribute_(std::move(attribute)) {
+AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
+                               ClassId cls, std::string attribute)
+    : objects_(objects),
+      records_(records),
+      cls_(cls),
+      attribute_(std::move(attribute)) {
   {
     std::lock_guard<std::mutex> g(mu_);
     for (Uid uid : objects_->InstancesOfDeep(cls_)) {
@@ -23,51 +45,83 @@ AttributeIndex::AttributeIndex(ObjectManager* objects, ClassId cls,
     }
   }
   objects_->AddObserver(this);
+  if (records_ != nullptr) {
+    // Listen first, then seed: a publication racing with the seed scan at
+    // worst leaves a never-closed (false-positive) posting, never a missing
+    // one.  Seeded postings open at the record's commit timestamp, so a
+    // reader pinned before the index was created still finds every
+    // candidate its snapshot can hold.
+    records_->AddListener(this);
+    records_->ForEachObjectRecord([&](Uid uid, const ObjectRecord& record) {
+      if (record.state == nullptr || !Covers(*record.state)) {
+        return;
+      }
+      std::lock_guard<std::mutex> g(mu_);
+      for (const std::string& key : KeysOf(record.state->Get(attribute_))) {
+        std::vector<Posting>& v = versioned_[key];
+        const bool present =
+            std::any_of(v.begin(), v.end(),
+                        [&](const Posting& p) { return p.uid == uid; });
+        if (!present) {
+          v.push_back(Posting{uid, record.commit_ts, kOpenTs});
+        }
+      }
+    });
+  }
 }
 
-AttributeIndex::~AttributeIndex() { objects_->RemoveObserver(this); }
+AttributeIndex::~AttributeIndex() {
+  objects_->RemoveObserver(this);
+  if (records_ != nullptr) {
+    records_->RemoveListener(this);
+  }
+}
 
 bool AttributeIndex::Covers(const Object& object) const {
   return objects_->schema()->IsSubclassOf(object.class_id(), cls_);
 }
 
 void AttributeIndex::IndexValue(Uid uid, const Value& value) {
-  if (value.is_null()) {
-    return;
+  for (const std::string& key : KeysOf(value)) {
+    postings_[key].insert(uid);
   }
-  if (value.is_set()) {
-    for (const Value& e : value.set()) {
-      if (!e.is_null()) {
-        postings_[KeyOf(e)].insert(uid);
-      }
-    }
-    return;
-  }
-  postings_[KeyOf(value)].insert(uid);
 }
 
 void AttributeIndex::UnindexValue(Uid uid, const Value& value) {
-  auto drop = [&](const Value& v) {
-    auto it = postings_.find(KeyOf(v));
+  for (const std::string& key : KeysOf(value)) {
+    auto it = postings_.find(key);
     if (it != postings_.end()) {
       it->second.erase(uid);
       if (it->second.empty()) {
         postings_.erase(it);
       }
     }
-  };
-  if (value.is_null()) {
-    return;
   }
-  if (value.is_set()) {
-    for (const Value& e : value.set()) {
-      if (!e.is_null()) {
-        drop(e);
-      }
+}
+
+void AttributeIndex::OpenPosting(Uid uid, const std::string& key,
+                                 uint64_t ts) {
+  std::vector<Posting>& v = versioned_[key];
+  for (const Posting& p : v) {
+    if (p.uid == uid && p.remove_ts == kOpenTs) {
+      return;  // already open (seed/publication overlap); keep the earlier
     }
+  }
+  v.push_back(Posting{uid, ts, kOpenTs});
+}
+
+void AttributeIndex::ClosePosting(Uid uid, const std::string& key,
+                                  uint64_t ts) {
+  auto it = versioned_.find(key);
+  if (it == versioned_.end()) {
     return;
   }
-  drop(value);
+  for (Posting& p : it->second) {
+    if (p.uid == uid && p.remove_ts == kOpenTs) {
+      p.remove_ts = ts;
+      return;
+    }
+  }
 }
 
 std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
@@ -79,11 +133,40 @@ std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
   return std::vector<Uid>(it->second.begin(), it->second.end());
 }
 
+std::vector<Uid> AttributeIndex::LookupAt(const Value& value,
+                                          uint64_t ts) const {
+  std::vector<Uid> out;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = versioned_.find(KeyOf(value));
+    if (it == versioned_.end()) {
+      return out;
+    }
+    for (const Posting& p : it->second) {
+      if (p.add_ts <= ts && ts < p.remove_ts) {
+        out.push_back(p.uid);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 size_t AttributeIndex::entry_count() const {
   std::lock_guard<std::mutex> g(mu_);
   size_t n = 0;
   for (const auto& [key, uids] : postings_) {
     n += uids.size();
+  }
+  return n;
+}
+
+size_t AttributeIndex::versioned_entry_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  size_t n = 0;
+  for (const auto& [key, v] : versioned_) {
+    n += v.size();
   }
   return n;
 }
@@ -113,6 +196,50 @@ void AttributeIndex::OnDelete(const Object& object) {
   }
 }
 
+void AttributeIndex::OnObjectPublished(Uid uid, const Object* before,
+                                       const Object* after,
+                                       uint64_t commit_ts) {
+  const Object* classed = after != nullptr ? after : before;
+  if (classed == nullptr || !Covers(*classed)) {
+    return;
+  }
+  std::vector<std::string> old_keys =
+      before != nullptr ? KeysOf(before->Get(attribute_))
+                        : std::vector<std::string>{};
+  std::vector<std::string> new_keys =
+      after != nullptr ? KeysOf(after->Get(attribute_))
+                       : std::vector<std::string>{};
+  std::lock_guard<std::mutex> g(mu_);
+  for (const std::string& key : old_keys) {
+    if (std::find(new_keys.begin(), new_keys.end(), key) == new_keys.end()) {
+      ClosePosting(uid, key, commit_ts);
+    }
+  }
+  for (const std::string& key : new_keys) {
+    if (std::find(old_keys.begin(), old_keys.end(), key) == old_keys.end()) {
+      OpenPosting(uid, key, commit_ts);
+    }
+  }
+}
+
+void AttributeIndex::OnTrim(uint64_t min_active_ts) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = versioned_.begin(); it != versioned_.end();) {
+    std::vector<Posting>& v = it->second;
+    v.erase(std::remove_if(v.begin(), v.end(),
+                           [&](const Posting& p) {
+                             return p.remove_ts != kOpenTs &&
+                                    p.remove_ts <= min_active_ts;
+                           }),
+            v.end());
+    if (v.empty()) {
+      it = versioned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 Status IndexManager::CreateIndex(ClassId cls, const std::string& attribute) {
   const SchemaManager* schema = objects_->schema();
   if (schema->GetClass(cls) == nullptr) {
@@ -129,7 +256,7 @@ Status IndexManager::CreateIndex(ClassId cls, const std::string& attribute) {
                                    attribute + ") already exists");
     }
   }
-  indexes_.push_back(std::make_unique<AttributeIndex>(objects_, cls,
+  indexes_.push_back(std::make_unique<AttributeIndex>(objects_, records_, cls,
                                                       attribute));
   return Status::Ok();
 }

@@ -1,6 +1,7 @@
 #ifndef ORION_QUERY_INDEX_H_
 #define ORION_QUERY_INDEX_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -11,23 +12,42 @@
 
 #include "common/result.h"
 #include "object/object_manager.h"
+#include "object/record_store.h"
 
 namespace orion {
 
-/// An equality index over one attribute of one class (and its subclasses),
-/// maintained incrementally through the ObjectManager observer hook.
+/// An equality index over one attribute of one class (and its subclasses).
 ///
 /// Keys are scalar values; a set-valued attribute indexes every element
 /// (multi-key), so equality lookups have "contains" semantics for sets,
 /// matching the query engine.  Nil values are not indexed.
 ///
-/// Thread-safe: observer callbacks arrive from whichever session thread
-/// performs a mutation, so the postings sit behind a mutex (a leaf latch —
-/// nothing is called out of it).
-class AttributeIndex : public ObjectObserver {
+/// The index maintains two posting structures:
+///
+///  * *Live* postings, maintained incrementally through the ObjectManager
+///    observer hook.  They track the in-place state — including a
+///    transaction's own uncommitted writes, which is what the writer's own
+///    queries must see under 2PL.  `Lookup` and `entry_count` read these.
+///  * *Versioned* interval postings `{uid, add_ts, remove_ts}`, maintained
+///    from the RecordStore publication stream.  Only committed states are
+///    ever published, so `LookupAt(value, read_ts)` can never surface an
+///    uncommitted write to a lock-free reader.  Postings are candidates,
+///    not answers: SelectAt re-verifies each uid against the snapshot, so
+///    a stale (never-closed) posting costs a wasted probe, never a wrong
+///    result.  A posting whose interval ends at or before the minimum
+///    active read timestamp is vacuumed on `OnTrim`.
+///
+/// Thread-safe: observer and listener callbacks arrive from whichever
+/// session thread performs a mutation or commit, so both structures sit
+/// behind one mutex (a leaf latch — nothing is called out of it).
+class AttributeIndex : public ObjectObserver, public RecordStoreListener {
  public:
-  /// Builds the index from the current extent and registers for updates.
-  AttributeIndex(ObjectManager* objects, ClassId cls, std::string attribute);
+  /// Builds the live postings from the current extent and the versioned
+  /// postings from the committed record chains (every historical value is
+  /// seeded with add_ts = 0, so readers pinned before the index existed
+  /// still get complete candidate sets), then registers for updates.
+  AttributeIndex(ObjectManager* objects, RecordStore* records, ClassId cls,
+                 std::string attribute);
   ~AttributeIndex() override;
 
   AttributeIndex(const AttributeIndex&) = delete;
@@ -37,44 +57,73 @@ class AttributeIndex : public ObjectObserver {
   const std::string& attribute() const { return attribute_; }
 
   /// UIDs of instances whose attribute equals `value` (or, for set-valued
-  /// attributes, contains it), sorted.
+  /// attributes, contains it) in the live tables, sorted.
   std::vector<Uid> Lookup(const Value& value) const;
 
-  /// Number of (key, uid) postings.
+  /// Candidate UIDs whose committed state at `ts` may hold `value`: every
+  /// posting whose interval [add_ts, remove_ts) covers `ts`.  Sorted,
+  /// deduplicated.  May contain false positives (callers re-verify against
+  /// the snapshot); never false negatives for committed states.
+  std::vector<Uid> LookupAt(const Value& value, uint64_t ts) const;
+
+  /// Number of live (key, uid) postings.
   size_t entry_count() const;
 
-  /// Distinct keys.
+  /// Distinct live keys.
   size_t key_count() const {
     std::lock_guard<std::mutex> g(mu_);
     return postings_.size();
   }
 
-  // --- ObjectObserver --------------------------------------------------------
+  /// Versioned postings currently held (tests bound this after vacuum).
+  size_t versioned_entry_count() const;
+
+  // --- ObjectObserver (live postings) ---------------------------------------
   void OnCreate(const Object& object) override;
   void OnUpdate(const Object& object, const std::string& attribute,
                 const Value& old_value) override;
   void OnDelete(const Object& object) override;
 
+  // --- RecordStoreListener (versioned postings) -----------------------------
+  void OnObjectPublished(Uid uid, const Object* before, const Object* after,
+                         uint64_t commit_ts) override;
+  void OnTrim(uint64_t min_active_ts) override;
+
  private:
+  /// A visibility interval for one (key, uid): the value was committed for
+  /// `uid` from `add_ts` (inclusive) to `remove_ts` (exclusive).
+  struct Posting {
+    Uid uid;
+    uint64_t add_ts = 0;
+    uint64_t remove_ts = kOpenTs;
+  };
+  static constexpr uint64_t kOpenTs = UINT64_MAX;
+
   bool Covers(const Object& object) const;
-  /// Both require mu_ held.
+  /// All require mu_ held.
   void IndexValue(Uid uid, const Value& value);
   void UnindexValue(Uid uid, const Value& value);
+  void OpenPosting(Uid uid, const std::string& key, uint64_t ts);
+  void ClosePosting(Uid uid, const std::string& key, uint64_t ts);
 
   ObjectManager* objects_;
+  RecordStore* records_;
   ClassId cls_;
   std::string attribute_;
   mutable std::mutex mu_;
-  /// Canonical key encoding -> posting set.  Value lacks operator< and
+  /// Canonical key encoding -> live posting set.  Value lacks operator< and
   /// hashing; the deterministic ToString encoding is the key.  Guarded by
   /// mu_.
   std::map<std::string, std::set<Uid>> postings_;
+  /// Canonical key encoding -> versioned interval postings.  Guarded by mu_.
+  std::map<std::string, std::vector<Posting>> versioned_;
 };
 
 /// Owns the indexes of one database and picks them up for query planning.
 class IndexManager {
  public:
-  explicit IndexManager(ObjectManager* objects) : objects_(objects) {}
+  IndexManager(ObjectManager* objects, RecordStore* records)
+      : objects_(objects), records_(records) {}
 
   /// Creates an index on (cls, attribute).  Rejects duplicates and unknown
   /// classes/attributes.
@@ -93,6 +142,7 @@ class IndexManager {
 
  private:
   ObjectManager* objects_;
+  RecordStore* records_;
   std::vector<std::unique_ptr<AttributeIndex>> indexes_;
 };
 

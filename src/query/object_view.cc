@@ -1,0 +1,25 @@
+#include "query/object_view.h"
+
+namespace orion {
+
+Result<std::vector<std::pair<Uid, AttributeSpec>>> DirectComponentsIn(
+    const ObjectView& view, Uid parent) {
+  const Object* obj = view.Lookup(parent);
+  if (obj == nullptr) {
+    return Status::NotFound("object " + parent.ToString());
+  }
+  std::vector<std::pair<Uid, AttributeSpec>> out;
+  ORION_ASSIGN_OR_RETURN(std::vector<AttributeSpec> attrs,
+                         view.schema()->ResolvedAttributes(obj->class_id()));
+  for (const AttributeSpec& spec : attrs) {
+    if (!spec.is_composite()) {
+      continue;
+    }
+    for (Uid child : obj->Get(spec.name).ReferencedUids()) {
+      out.emplace_back(child, spec);
+    }
+  }
+  return out;
+}
+
+}  // namespace orion

@@ -96,8 +96,9 @@ class CompareExpr final : public QueryExpr {
   CompareExpr(std::string attribute, CompareOp op, Value value)
       : attribute_(std::move(attribute)), op_(op), value_(std::move(value)) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
-    (void)om;
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
+    (void)view;
     return ValueSatisfies(obj.Get(attribute_), op_, value_);
   }
 
@@ -116,26 +117,27 @@ class PathExpr final : public QueryExpr {
   PathExpr(std::vector<std::string> path, CompareOp op, Value value)
       : path_(std::move(path)), op_(op), value_(std::move(value)) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
     if (path_.empty()) {
       return Status::InvalidArgument("empty query path");
     }
-    return MatchesFrom(om, obj, 0);
+    return MatchesFrom(view, obj, 0);
   }
 
  private:
-  Result<bool> MatchesFrom(ObjectManager& om, const Object& obj,
+  Result<bool> MatchesFrom(const ObjectView& view, const Object& obj,
                            size_t step) const {
     if (step + 1 == path_.size()) {
       return ValueSatisfies(obj.Get(path_[step]), op_, value_);
     }
     // Intermediate step: follow every reference (exists semantics).
     for (Uid next : obj.Get(path_[step]).ReferencedUids()) {
-      const Object* target = om.Peek(next);
+      const Object* target = view.Lookup(next);
       if (target == nullptr) {
         continue;
       }
-      ORION_ASSIGN_OR_RETURN(bool hit, MatchesFrom(om, *target, step + 1));
+      ORION_ASSIGN_OR_RETURN(bool hit, MatchesFrom(view, *target, step + 1));
       if (hit) {
         return true;
       }
@@ -152,8 +154,9 @@ class ComponentOfQuery final : public QueryExpr {
  public:
   explicit ComponentOfQuery(Uid ancestor) : ancestor_(ancestor) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
-    return ComponentOf(om, obj.uid(), ancestor_);
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
+    return ComponentOf(view, obj.uid(), ancestor_);
   }
 
  private:
@@ -165,9 +168,10 @@ class AndExpr final : public QueryExpr {
   explicit AndExpr(std::vector<QueryPtr> operands)
       : operands_(std::move(operands)) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
     for (const QueryPtr& operand : operands_) {
-      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(om, obj));
+      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(view, obj));
       if (!hit) {
         return false;
       }
@@ -186,9 +190,10 @@ class OrExpr final : public QueryExpr {
   explicit OrExpr(std::vector<QueryPtr> operands)
       : operands_(std::move(operands)) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
     for (const QueryPtr& operand : operands_) {
-      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(om, obj));
+      ORION_ASSIGN_OR_RETURN(bool hit, operand->Matches(view, obj));
       if (hit) {
         return true;
       }
@@ -204,8 +209,9 @@ class NotExpr final : public QueryExpr {
  public:
   explicit NotExpr(QueryPtr operand) : operand_(std::move(operand)) {}
 
-  Result<bool> Matches(ObjectManager& om, const Object& obj) const override {
-    ORION_ASSIGN_OR_RETURN(bool hit, operand_->Matches(om, obj));
+  Result<bool> Matches(const ObjectView& view,
+                       const Object& obj) const override {
+    ORION_ASSIGN_OR_RETURN(bool hit, operand_->Matches(view, obj));
     return !hit;
   }
 
@@ -227,6 +233,60 @@ const CompareExpr* FindIndexableEquality(const QueryExpr* expr) {
     }
   }
   return nullptr;
+}
+
+/// Shared plan+evaluate core: candidates from `index_lookup` when an
+/// indexable equality applies, otherwise the view's extent; every candidate
+/// re-verified against its state in `view`.
+Result<std::vector<Uid>> SelectOverView(
+    const ObjectView& view, ClassId cls, const QueryPtr& expr,
+    const IndexManager* indexes,
+    const std::function<std::vector<Uid>(const AttributeIndex&,
+                                         const CompareExpr&)>& index_lookup,
+    SelectStats* stats) {
+  const SchemaManager* schema = view.schema();
+  if (schema->GetClass(cls) == nullptr) {
+    return Status::NotFound("class id " + std::to_string(cls));
+  }
+  if (expr == nullptr) {
+    return Status::InvalidArgument("null query expression");
+  }
+  std::vector<Uid> candidates;
+  bool used_index = false;
+  if (indexes != nullptr) {
+    if (const CompareExpr* eq = FindIndexableEquality(expr.get())) {
+      const AttributeIndex* index = indexes->FindIndex(cls, eq->attribute());
+      if (index != nullptr) {
+        candidates = index_lookup(*index, *eq);
+        used_index = true;
+      }
+    }
+  }
+  if (!used_index) {
+    candidates = view.Extent(cls);
+  }
+  if (stats != nullptr) {
+    stats->used_index = used_index;
+    stats->candidates = candidates.size();
+  }
+  std::vector<Uid> out;
+  for (Uid uid : candidates) {
+    const Object* obj = view.Lookup(uid);
+    if (obj == nullptr) {
+      continue;
+    }
+    // An index may return siblings outside the queried class (superclass
+    // index) or stale candidates (versioned postings): re-verify both.
+    if (used_index && !schema->IsSubclassOf(obj->class_id(), cls)) {
+      continue;
+    }
+    ORION_ASSIGN_OR_RETURN(bool hit, expr->Matches(view, *obj));
+    if (hit) {
+      out.push_back(uid);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace
@@ -260,54 +320,33 @@ Result<std::vector<Uid>> SelectWithStats(ObjectManager& om, ClassId cls,
                                          const QueryPtr& expr,
                                          const IndexManager* indexes,
                                          SelectStats* stats) {
-  if (om.schema()->GetClass(cls) == nullptr) {
-    return Status::NotFound("class id " + std::to_string(cls));
-  }
-  if (expr == nullptr) {
-    return Status::InvalidArgument("null query expression");
-  }
-  std::vector<Uid> candidates;
-  bool used_index = false;
-  if (indexes != nullptr) {
-    if (const CompareExpr* eq = FindIndexableEquality(expr.get())) {
-      const AttributeIndex* index = indexes->FindIndex(cls, eq->attribute());
-      if (index != nullptr) {
-        candidates = index->Lookup(eq->value());
-        used_index = true;
-      }
-    }
-  }
-  if (!used_index) {
-    candidates = om.InstancesOfDeep(cls);
-  }
-  if (stats != nullptr) {
-    stats->used_index = used_index;
-    stats->candidates = candidates.size();
-  }
-  std::vector<Uid> out;
-  const SchemaManager* schema = om.schema();
-  for (Uid uid : candidates) {
-    const Object* obj = om.Peek(uid);
-    if (obj == nullptr) {
-      continue;
-    }
-    // A superclass index may return siblings outside the queried class.
-    if (used_index && !schema->IsSubclassOf(obj->class_id(), cls)) {
-      continue;
-    }
-    ORION_ASSIGN_OR_RETURN(bool hit, expr->Matches(om, *obj));
-    if (hit) {
-      out.push_back(uid);
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  LiveView view(om);
+  return SelectOverView(
+      view, cls, expr, indexes,
+      [](const AttributeIndex& index, const CompareExpr& eq) {
+        return index.Lookup(eq.value());
+      },
+      stats);
 }
 
 Result<std::vector<Uid>> Select(ObjectManager& om, ClassId cls,
                                 const QueryPtr& expr,
                                 const IndexManager* indexes) {
   return SelectWithStats(om, cls, expr, indexes, nullptr);
+}
+
+Result<std::vector<Uid>> SelectAt(const RecordStore& records,
+                                  const SchemaManager& schema, ClassId cls,
+                                  const QueryPtr& expr,
+                                  const IndexManager* indexes, uint64_t ts,
+                                  SelectStats* stats) {
+  SnapshotView view(records, schema, ts);
+  return SelectOverView(
+      view, cls, expr, indexes,
+      [ts](const AttributeIndex& index, const CompareExpr& eq) {
+        return index.LookupAt(eq.value(), ts);
+      },
+      stats);
 }
 
 }  // namespace orion

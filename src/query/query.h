@@ -1,6 +1,7 @@
 #ifndef ORION_QUERY_QUERY_H_
 #define ORION_QUERY_QUERY_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/result.h"
 #include "object/object_manager.h"
 #include "query/index.h"
+#include "query/object_view.h"
 
 namespace orion {
 
@@ -33,11 +35,15 @@ std::string_view CompareOpName(CompareOp op);
 ///                                  ties the query engine to the
 ///                                  IS-PART-OF semantics
 ///   And / Or / Not                 boolean combinators
+///
+/// Evaluation goes through an ObjectView, so the same expression runs over
+/// the live tables or over a committed snapshot at a read timestamp.
 class QueryExpr {
  public:
   virtual ~QueryExpr() = default;
-  /// Evaluates against one object.
-  virtual Result<bool> Matches(ObjectManager& om, const Object& obj) const = 0;
+  /// Evaluates against one object resolved in `view`.
+  virtual Result<bool> Matches(const ObjectView& view,
+                               const Object& obj) const = 0;
 };
 
 using QueryPtr = std::shared_ptr<const QueryExpr>;
@@ -75,6 +81,17 @@ Result<std::vector<Uid>> SelectWithStats(ObjectManager& om, ClassId cls,
                                          const QueryPtr& expr,
                                          const IndexManager* indexes,
                                          SelectStats* stats);
+
+/// Associative query against the committed snapshot at `ts`: candidates
+/// come from the versioned index postings (LookupAt) when one applies,
+/// otherwise from the snapshot extent, and every candidate is re-verified
+/// against its state as of `ts`.  Never sees uncommitted writes and never
+/// touches the lock manager.
+Result<std::vector<Uid>> SelectAt(const RecordStore& records,
+                                  const SchemaManager& schema, ClassId cls,
+                                  const QueryPtr& expr,
+                                  const IndexManager* indexes, uint64_t ts,
+                                  SelectStats* stats = nullptr);
 
 }  // namespace orion
 

@@ -18,16 +18,16 @@ bool EdgePasses(const TraversalOptions& opts, bool edge_exclusive) {
   return true;
 }
 
-bool ClassPasses(const ObjectManager& om, const TraversalOptions& opts,
+bool ClassPasses(const ObjectView& view, const TraversalOptions& opts,
                  Uid uid) {
   if (opts.classes.empty()) {
     return true;
   }
-  const Object* obj = om.Peek(uid);
+  const Object* obj = view.Lookup(uid);
   if (obj == nullptr) {
     return false;
   }
-  const SchemaManager* schema = om.schema();
+  const SchemaManager* schema = view.schema();
   return std::any_of(opts.classes.begin(), opts.classes.end(),
                      [&](ClassId c) {
                        return schema->IsSubclassOf(obj->class_id(), c);
@@ -37,13 +37,12 @@ bool ClassPasses(const ObjectManager& om, const TraversalOptions& opts,
 /// Composite parents of one object, with the edge kind.  Includes the
 /// generic references of a generic instance (§5.3).
 std::vector<std::pair<Uid, bool /*exclusive*/>> ParentEdges(
-    ObjectManager& om, Uid uid) {
+    const ObjectView& view, Uid uid) {
   std::vector<std::pair<Uid, bool>> out;
-  Object* obj = om.Peek(uid);
+  const Object* obj = view.Lookup(uid);
   if (obj == nullptr) {
     return out;
   }
-  (void)om.CatchUp(obj);
   for (const ReverseRef& r : obj->reverse_refs()) {
     out.emplace_back(r.parent, r.exclusive);
   }
@@ -55,9 +54,9 @@ std::vector<std::pair<Uid, bool /*exclusive*/>> ParentEdges(
 
 }  // namespace
 
-Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
+Result<std::vector<Uid>> ComponentsOf(const ObjectView& view, Uid object,
                                       const TraversalOptions& opts) {
-  if (om.Peek(object) == nullptr) {
+  if (view.Lookup(object) == nullptr) {
     return Status::NotFound("object " + object.ToString());
   }
   std::vector<Uid> out;
@@ -70,7 +69,7 @@ Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
     if (opts.level.has_value() && depth >= *opts.level) {
       continue;
     }
-    auto comps = om.DirectComponents(cur);
+    auto comps = DirectComponentsIn(view, cur);
     if (!comps.ok()) {
       continue;
     }
@@ -81,7 +80,7 @@ Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
       if (!visited.insert(child).second) {
         continue;
       }
-      if (ClassPasses(om, opts, child)) {
+      if (ClassPasses(view, opts, child)) {
         out.push_back(child);
       }
       frontier.emplace_back(child, depth + 1);
@@ -90,30 +89,30 @@ Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
   return out;
 }
 
-Result<std::vector<Uid>> ParentsOf(ObjectManager& om, Uid object,
+Result<std::vector<Uid>> ParentsOf(const ObjectView& view, Uid object,
                                    const TraversalOptions& opts) {
-  if (om.Peek(object) == nullptr) {
+  if (view.Lookup(object) == nullptr) {
     return Status::NotFound("object " + object.ToString());
   }
   std::vector<Uid> out;
   std::unordered_set<Uid> seen;
-  for (const auto& [parent, exclusive] : ParentEdges(om, object)) {
+  for (const auto& [parent, exclusive] : ParentEdges(view, object)) {
     if (!EdgePasses(opts, exclusive)) {
       continue;
     }
     if (!seen.insert(parent).second) {
       continue;
     }
-    if (ClassPasses(om, opts, parent)) {
+    if (ClassPasses(view, opts, parent)) {
       out.push_back(parent);
     }
   }
   return out;
 }
 
-Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
+Result<std::vector<Uid>> AncestorsOf(const ObjectView& view, Uid object,
                                      const TraversalOptions& opts) {
-  if (om.Peek(object) == nullptr) {
+  if (view.Lookup(object) == nullptr) {
     return Status::NotFound("object " + object.ToString());
   }
   std::vector<Uid> out;
@@ -122,14 +121,14 @@ Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
   while (!frontier.empty()) {
     const Uid cur = frontier.front();
     frontier.pop_front();
-    for (const auto& [parent, exclusive] : ParentEdges(om, cur)) {
+    for (const auto& [parent, exclusive] : ParentEdges(view, cur)) {
       if (!EdgePasses(opts, exclusive)) {
         continue;
       }
       if (!visited.insert(parent).second) {
         continue;
       }
-      if (ClassPasses(om, opts, parent)) {
+      if (ClassPasses(view, opts, parent)) {
         out.push_back(parent);
       }
       frontier.push_back(parent);
@@ -138,9 +137,10 @@ Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
   return out;
 }
 
-Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
-                                          Uid ancestor) {
-  if (om.Peek(component) == nullptr || om.Peek(ancestor) == nullptr) {
+Result<std::optional<int>> ComponentLevel(const ObjectView& view,
+                                          Uid component, Uid ancestor) {
+  if (view.Lookup(component) == nullptr ||
+      view.Lookup(ancestor) == nullptr) {
     return Status::NotFound("object does not exist");
   }
   // Breadth-first upward from the component gives the shortest path in
@@ -153,7 +153,7 @@ Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
     if (cur == ancestor) {
       return std::optional<int>(depth);
     }
-    for (const auto& [parent, exclusive] : ParentEdges(om, cur)) {
+    for (const auto& [parent, exclusive] : ParentEdges(view, cur)) {
       (void)exclusive;
       if (visited.insert(parent).second) {
         frontier.emplace_back(parent, depth + 1);
@@ -163,18 +163,17 @@ Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
   return std::optional<int>(std::nullopt);
 }
 
-Result<bool> ComponentOf(ObjectManager& om, Uid object1, Uid object2) {
+Result<bool> ComponentOf(const ObjectView& view, Uid object1, Uid object2) {
   ORION_ASSIGN_OR_RETURN(std::optional<int> level,
-                         ComponentLevel(om, object1, object2));
+                         ComponentLevel(view, object1, object2));
   return level.has_value() && *level > 0;
 }
 
-Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2) {
-  Object* obj = om.Peek(object1);
-  if (obj == nullptr || om.Peek(object2) == nullptr) {
+Result<bool> ChildOf(const ObjectView& view, Uid object1, Uid object2) {
+  if (view.Lookup(object1) == nullptr || view.Lookup(object2) == nullptr) {
     return Status::NotFound("object does not exist");
   }
-  for (const auto& [parent, exclusive] : ParentEdges(om, object1)) {
+  for (const auto& [parent, exclusive] : ParentEdges(view, object1)) {
     (void)exclusive;
     if (parent == object2) {
       return true;
@@ -183,23 +182,65 @@ Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2) {
   return false;
 }
 
-Result<bool> ExclusiveComponentOf(ObjectManager& om, Uid object1,
+Result<bool> ExclusiveComponentOf(const ObjectView& view, Uid object1,
                                   Uid object2) {
-  ORION_ASSIGN_OR_RETURN(bool is_component, ComponentOf(om, object1, object2));
+  ORION_ASSIGN_OR_RETURN(bool is_component,
+                         ComponentOf(view, object1, object2));
   if (!is_component) {
     return false;
   }
-  Object* obj = om.Peek(object1);
+  const Object* obj = view.Lookup(object1);
   return obj != nullptr && obj->HasExclusiveParent();
 }
 
-Result<bool> SharedComponentOf(ObjectManager& om, Uid object1, Uid object2) {
-  ORION_ASSIGN_OR_RETURN(bool is_component, ComponentOf(om, object1, object2));
+Result<bool> SharedComponentOf(const ObjectView& view, Uid object1,
+                               Uid object2) {
+  ORION_ASSIGN_OR_RETURN(bool is_component,
+                         ComponentOf(view, object1, object2));
   if (!is_component) {
     return false;
   }
-  Object* obj = om.Peek(object1);
+  const Object* obj = view.Lookup(object1);
   return obj != nullptr && !obj->HasExclusiveParent();
+}
+
+// --- Live-table convenience overloads ----------------------------------------
+
+Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
+                                      const TraversalOptions& opts) {
+  return ComponentsOf(LiveView(om), object, opts);
+}
+
+Result<std::vector<Uid>> ParentsOf(ObjectManager& om, Uid object,
+                                   const TraversalOptions& opts) {
+  return ParentsOf(LiveView(om), object, opts);
+}
+
+Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
+                                     const TraversalOptions& opts) {
+  return AncestorsOf(LiveView(om), object, opts);
+}
+
+Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
+                                          Uid ancestor) {
+  return ComponentLevel(LiveView(om), component, ancestor);
+}
+
+Result<bool> ComponentOf(ObjectManager& om, Uid object1, Uid object2) {
+  return ComponentOf(LiveView(om), object1, object2);
+}
+
+Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2) {
+  return ChildOf(LiveView(om), object1, object2);
+}
+
+Result<bool> ExclusiveComponentOf(ObjectManager& om, Uid object1,
+                                  Uid object2) {
+  return ExclusiveComponentOf(LiveView(om), object1, object2);
+}
+
+Result<bool> SharedComponentOf(ObjectManager& om, Uid object1, Uid object2) {
+  return SharedComponentOf(LiveView(om), object1, object2);
 }
 
 }  // namespace orion

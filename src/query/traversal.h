@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "object/object_manager.h"
+#include "query/object_view.h"
 
 namespace orion {
 
@@ -24,12 +25,19 @@ struct TraversalOptions {
   std::optional<int> level;
 };
 
+/// Every §3 message evaluates against an ObjectView, so the same traversal
+/// runs over the live tables (the `ObjectManager&` overloads, which wrap a
+/// LiveView) or over a committed snapshot (a SnapshotView inside a
+/// read-only transaction).
+
 /// `(components-of Object [ListofClasses] [Exclusive] [Shared] [Level])`.
 ///
 /// Breadth-first over composite forward references; an edge is traversed
 /// only if its exclusive/shared kind passes the filter, so with
 /// `exclusive = true` the result is the exclusive part hierarchy.
 /// The class filter applies to reported objects, not to traversal.
+Result<std::vector<Uid>> ComponentsOf(const ObjectView& view, Uid object,
+                                      const TraversalOptions& opts = {});
 Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
                                       const TraversalOptions& opts = {});
 
@@ -40,16 +48,22 @@ Result<std::vector<Uid>> ComponentsOf(ObjectManager& om, Uid object,
 /// "if the operation parents-of is applied on the generic instance b1 in
 /// Figure 3.b, the result would be the instance a1, even if all composite
 /// references are statically bound" (§5.3).
+Result<std::vector<Uid>> ParentsOf(const ObjectView& view, Uid object,
+                                   const TraversalOptions& opts = {});
 Result<std::vector<Uid>> ParentsOf(ObjectManager& om, Uid object,
                                    const TraversalOptions& opts = {});
 
 /// `(ancestors-of Object [ListofClasses] [Exclusive] [Shared])`.
+Result<std::vector<Uid>> AncestorsOf(const ObjectView& view, Uid object,
+                                     const TraversalOptions& opts = {});
 Result<std::vector<Uid>> AncestorsOf(ObjectManager& om, Uid object,
                                      const TraversalOptions& opts = {});
 
 /// §2.2: "we say that O is a level-n component of O' if the shortest path
 /// between O and O' has n composite references."  nullopt if `component`
 /// is not a component of `ancestor`.
+Result<std::optional<int>> ComponentLevel(const ObjectView& view,
+                                          Uid component, Uid ancestor);
 Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
                                           Uid ancestor);
 
@@ -57,9 +71,11 @@ Result<std::optional<int>> ComponentLevel(ObjectManager& om, Uid component,
 
 /// `(component-of Object1 Object2)`: true if Object1 is a direct or
 /// indirect component of Object2.
+Result<bool> ComponentOf(const ObjectView& view, Uid object1, Uid object2);
 Result<bool> ComponentOf(ObjectManager& om, Uid object1, Uid object2);
 
 /// `(child-of Object1 Object2)`: true if Object1 is a direct component.
+Result<bool> ChildOf(const ObjectView& view, Uid object1, Uid object2);
 Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2);
 
 /// `(exclusive-component-of Object1 Object2)`: "True if Object1 is an
@@ -67,10 +83,14 @@ Result<bool> ChildOf(ObjectManager& om, Uid object1, Uid object2);
 /// of Object2, or it is a shared component."  (Topology Rule 3 makes an
 /// object's attachment uniformly exclusive or shared, so the object's own
 /// reverse references decide the kind.)
+Result<bool> ExclusiveComponentOf(const ObjectView& view, Uid object1,
+                                  Uid object2);
 Result<bool> ExclusiveComponentOf(ObjectManager& om, Uid object1,
                                   Uid object2);
 
 /// `(shared-component-of Object1 Object2)`.
+Result<bool> SharedComponentOf(const ObjectView& view, Uid object1,
+                               Uid object2);
 Result<bool> SharedComponentOf(ObjectManager& om, Uid object1, Uid object2);
 
 }  // namespace orion

@@ -13,6 +13,9 @@ bool VersionManager::IsVersionableClass(ClassId cls) const {
 Result<VersionedHandle> VersionManager::MakeVersioned(
     ClassId cls, const std::vector<ParentBinding>& parents,
     const AttrValues& attrs) {
+  // One atomically visible publication for the generic, the version, and
+  // everything the bindings touch.
+  RecordStore::Batch publish(records_);
   std::lock_guard<std::recursive_mutex> g(mu_);
   if (!IsVersionableClass(cls)) {
     return Status::InvalidArgument("class is not versionable");
@@ -23,12 +26,15 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
                          objects_->CreateRaw(cls, ObjectRole::kVersion));
   Object* v = objects_->Peek(version);
   v->set_generic(generic);
+  objects_->MarkRecord(version);  // set_generic bypasses the manager
   generics_[generic] = GenericInfo{{version}, kNilUid};
+  MarkGeneric(generic);
 
   auto abort = [&](const Status& status) -> Status {
     (void)objects_->DeleteSingle(version);
     (void)objects_->DeleteSingle(generic);
     generics_.erase(generic);
+    MarkGeneric(generic);
     return status;
   };
 
@@ -60,6 +66,7 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
 }
 
 Result<Uid> VersionManager::Derive(Uid version) {
+  RecordStore::Batch publish(records_);
   std::lock_guard<std::recursive_mutex> g(mu_);
   Object* src = objects_->Peek(version);
   if (src == nullptr || !src->is_version()) {
@@ -76,12 +83,15 @@ Result<Uid> VersionManager::Derive(Uid version) {
   Object* dst = objects_->Peek(derived);
   dst->set_generic(generic);
   dst->set_derived_from(version);
+  objects_->MarkRecord(derived);  // version metadata bypasses the manager
   info_it->second.versions.push_back(derived);
+  MarkGeneric(generic);
 
   auto abort = [&](const Status& status) -> Status {
     auto& versions = generics_[generic].versions;
     versions.erase(std::remove(versions.begin(), versions.end(), derived),
                    versions.end());
+    MarkGeneric(generic);
     (void)objects_->DeleteSingle(derived);
     return status;
   };
@@ -197,6 +207,7 @@ Status VersionManager::DeleteVersionClosure(Uid version) {
         !objects_->Exists(it->second.user_default)) {
       it->second.user_default = kNilUid;
     }
+    MarkGeneric(g);
     // "If the last remaining version instance of a generic instance is
     // deleted, the generic instance is also deleted."
     if (versions.empty() && reap_suppressed_.count(g) == 0) {
@@ -207,11 +218,13 @@ Status VersionManager::DeleteVersionClosure(Uid version) {
 }
 
 Status VersionManager::DeleteVersion(Uid version) {
+  RecordStore::Batch publish(records_);
   std::lock_guard<std::recursive_mutex> g(mu_);
   return DeleteVersionClosure(version);
 }
 
 Status VersionManager::DeleteGeneric(Uid generic) {
+  RecordStore::Batch publish(records_);
   std::lock_guard<std::recursive_mutex> g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
@@ -286,7 +299,9 @@ Status VersionManager::DeleteGeneric(Uid generic) {
           if (vobj != nullptr) {
             auto val = vobj->mutable_values().find(gr.attribute);
             if (val != vobj->mutable_values().end()) {
-              val->second.RemoveReference(generic);
+              if (val->second.RemoveReference(generic) > 0) {
+                objects_->MarkRecord(v);
+              }
             }
           }
         }
@@ -295,7 +310,9 @@ Status VersionManager::DeleteGeneric(Uid generic) {
         if (holder != nullptr) {
           auto val = holder->mutable_values().find(gr.attribute);
           if (val != holder->mutable_values().end()) {
-            val->second.RemoveReference(generic);
+            if (val->second.RemoveReference(generic) > 0) {
+              objects_->MarkRecord(gr.parent);
+            }
           }
         }
       }
@@ -303,6 +320,7 @@ Status VersionManager::DeleteGeneric(Uid generic) {
   }
   (void)objects_->DeleteSingle(generic);
   generics_.erase(generic);
+  MarkGeneric(generic);
 
   for (Uid target : cascade) {
     if (generics_.count(target) > 0) {
@@ -326,6 +344,7 @@ Status VersionManager::SetDefaultVersion(Uid generic, Uid version) {
                                    generic.ToString());
   }
   it->second.user_default = version;
+  MarkGeneric(generic);
   return Status::Ok();
 }
 

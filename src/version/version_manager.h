@@ -115,16 +115,27 @@ class VersionManager {
   /// rollback); the objects must already exist in the object manager.
   void RestoreGeneric(Uid generic, std::vector<Uid> versions,
                       Uid user_default) {
-    std::lock_guard<std::recursive_mutex> g(mu_);
-    generics_[generic] = GenericInfo{std::move(versions), user_default};
+    {
+      std::lock_guard<std::recursive_mutex> g(mu_);
+      generics_[generic] = GenericInfo{std::move(versions), user_default};
+    }
+    MarkGeneric(generic);
   }
 
   /// Drops a registry entry without touching objects (transaction
   /// rollback of a MakeVersioned).
   void ForgetGeneric(Uid generic) {
-    std::lock_guard<std::recursive_mutex> g(mu_);
-    generics_.erase(generic);
+    {
+      std::lock_guard<std::recursive_mutex> g(mu_);
+      generics_.erase(generic);
+    }
+    MarkGeneric(generic);
   }
+
+  /// Attaches the copy-on-write record store; registry mutations then
+  /// publish versioned GenericRecords so read-only transactions can resolve
+  /// the version-derivation history (CV-4X reads) at their timestamp.
+  void set_record_store(RecordStore* records) { records_ = records; }
 
   /// The registry entry of `generic`: (versions, user default).
   Result<std::pair<std::vector<Uid>, Uid>> GenericInfoOf(Uid generic) const {
@@ -146,6 +157,15 @@ class VersionManager {
   /// that lost its last version (unless suppressed by DeleteGeneric).
   Status DeleteVersionClosure(Uid version);
 
+  /// Publishes the registry entry of `generic` (or its tombstone) to the
+  /// record store.  Safe to call with mu_ held: publication snapshots the
+  /// entry through GenericInfoOf before taking the store's commit mutex.
+  void MarkGeneric(Uid generic) {
+    if (records_ != nullptr) {
+      records_->MarkGeneric(generic);
+    }
+  }
+
   SchemaManager* schema_;
   ObjectManager* objects_;
   /// Serializes the version registry against concurrent sessions (two
@@ -156,6 +176,7 @@ class VersionManager {
   /// holding one, and never across a lock-manager wait.
   mutable std::recursive_mutex mu_;
   std::unordered_map<Uid, GenericInfo> generics_;
+  RecordStore* records_ = nullptr;
   /// Generics currently being deleted by DeleteGeneric; the last-version
   /// reap in DeleteVersionClosure skips these to avoid re-entry.
   std::unordered_set<Uid> reap_suppressed_;
