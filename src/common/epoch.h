@@ -24,6 +24,25 @@ class ReadTsRegistry {
     active_.insert(ts);
   }
 
+  /// Captures a timestamp from `now()` and pins it, atomically with respect
+  /// to `MinActive`.  Transaction begin must use this rather than
+  /// read-the-watermark-then-Register: in that two-step form, a reclaimer
+  /// running in the gap sees an empty registry, falls back to a watermark a
+  /// concurrent commit just advanced, and trims records the not-yet-pinned
+  /// timestamp still resolves to.  With capture under the registry mutex the
+  /// race is closed, because the reclaimer evaluates its fallback BEFORE
+  /// acquiring this mutex (it is MinActive's argument): any timestamp
+  /// captured here after a MinActive call reads a watermark at least as new
+  /// as that call's fallback, so the corresponding trim kept every record
+  /// such a reader can reach.
+  template <typename WatermarkFn>
+  uint64_t RegisterCurrent(WatermarkFn&& now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t ts = now();
+    active_.insert(ts);
+    return ts;
+  }
+
   /// Releases one pin of `ts` (a no-op if it was never registered, which
   /// keeps moved-from transaction handles harmless).
   void Unregister(uint64_t ts) {

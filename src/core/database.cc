@@ -67,6 +67,10 @@ Database::~Database() {
 }
 
 uint64_t Database::ReclaimOnce() {
+  // The fallback watermark MUST be evaluated before MinActive acquires the
+  // registry mutex (here: as its argument) — ReadTsRegistry::RegisterCurrent
+  // relies on that ordering to make begin-of-read-transaction safe against a
+  // concurrent trim.
   const uint64_t min_active = read_registry_.MinActive(records_.watermark());
   records_.Trim(min_active);
   return min_active;

@@ -14,8 +14,10 @@ namespace orion {
 /// A lock-free read-only transaction (the MVCC read path).
 ///
 /// Construction captures the record store's commit watermark as the read
-/// timestamp and registers it with the database's epoch registry (which is
-/// what holds back the chain trimmer).  Every read then resolves "newest
+/// timestamp and pins it in the database's epoch registry (which is what
+/// holds back the chain trimmer) — capture and pin happen atomically under
+/// the registry mutex, so the reclaimer can never trim records between the
+/// two.  Every read then resolves "newest
 /// committed record with commit_ts <= read_ts" — no S locks, no deadlock,
 /// no retry loop, and repeatable: two reads of the same object inside one
 /// ReadTransaction always return the same state, no matter what writers
@@ -28,10 +30,9 @@ class ReadTransaction {
  public:
   explicit ReadTransaction(Database* db)
       : db_(db),
-        ts_(db->records().watermark()),
-        view_(db->records(), db->schema(), ts_) {
-    db_->read_registry().Register(ts_);
-  }
+        ts_(db->read_registry().RegisterCurrent(
+            [db] { return db->records().watermark(); })),
+        view_(db->records(), db->schema(), ts_) {}
 
   ~ReadTransaction() {
     if (db_ != nullptr) {

@@ -797,7 +797,7 @@ void ObjectManager::ApplyLogEntry(Object* o, const LogEntry& entry) {
   }
 }
 
-Status ObjectManager::CatchUp(Object* o) {
+Status ObjectManager::CatchUp(Object* o, bool publish) {
   const uint64_t current = schema_->CurrentCc();
   if (o->cc() >= current) {
     return Status::Ok();
@@ -819,7 +819,9 @@ Status ObjectManager::CatchUp(Object* o) {
     ApplyLogEntry(o, *e);
   }
   o->set_cc(current);
-  MarkRecord(o->uid());
+  if (publish) {
+    MarkRecord(o->uid());
+  }
   return Status::Ok();
 }
 

@@ -174,7 +174,15 @@ class ObjectManager {
   bool Exists(Uid uid) const { return objects_.Contains(uid); }
 
   /// Applies all pending operation-log entries to `o` and stamps its CC.
-  Status CatchUp(Object* o);
+  /// `publish` controls whether the rewrite is pushed to the record store.
+  /// Pass false on pure read paths (LiveView): they hold no writer
+  /// exclusion over `o`, so an immediate publication could copy the object
+  /// while a concurrent transaction mutates it in place, violating
+  /// PublishBatch's race-free-copy premise.  The rewrite is published by
+  /// the object's next mutation instead; until then snapshot readers
+  /// resolve the pre-catch-up state, which is exactly the deferred
+  /// schema-maintenance semantics of §4.3.
+  Status CatchUp(Object* o, bool publish = true);
 
   // --- Extents -------------------------------------------------------------------
 

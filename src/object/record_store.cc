@@ -324,10 +324,24 @@ void RecordStore::Trim(uint64_t min_active_ts) {
     }
     return false;
   });
-  for (const auto& [uid, cls] : dead) {
-    extent_members_.Update(cls, [uid = uid](std::unordered_set<Uid>& s) {
-      s.erase(uid);
-    });
+  if (!dead.empty()) {
+    // A publication may have re-created one of these uids (RestoreObject /
+    // OverwriteRaw) since the sweep, re-inserting both the chain and its
+    // extent entry; erasing the entry then would make InstancesOfAt miss a
+    // live object forever.  Publications install under commit_mu_, so
+    // holding it here and re-checking chain absence makes the prune safe:
+    // an extent entry is only erased while its chain is provably still
+    // gone.  Lock order matches InstallObject (commit_mu_, then the shard
+    // latches).
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    for (const auto& [uid, cls] : dead) {
+      if (objects_.Contains(uid)) {
+        continue;  // re-created; the new publication owns the extent entry
+      }
+      extent_members_.Update(cls, [uid = uid](std::unordered_set<Uid>& s) {
+        s.erase(uid);
+      });
+    }
   }
 
   generics_.EraseIf([&](Uid, GenericChain& chain) {

@@ -48,9 +48,12 @@ AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
   if (records_ != nullptr) {
     // Listen first, then seed: a publication racing with the seed scan at
     // worst leaves a never-closed (false-positive) posting, never a missing
-    // one.  Seeded postings open at the record's commit timestamp, so a
-    // reader pinned before the index was created still finds every
-    // candidate its snapshot can hold.
+    // one.  Seeded postings open at add_ts = 0 — not the record's commit
+    // timestamp, which is the NEWEST commit for that value and would make
+    // LookupAt silently omit the uid for a reader pinned before the index
+    // was created.  Opening at 0 keeps every pinned reader's candidate set
+    // complete; the resulting false positives for timestamps that predate
+    // the value are harmless because SelectAt re-verifies every candidate.
     records_->AddListener(this);
     records_->ForEachObjectRecord([&](Uid uid, const ObjectRecord& record) {
       if (record.state == nullptr || !Covers(*record.state)) {
@@ -59,11 +62,19 @@ AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
       std::lock_guard<std::mutex> g(mu_);
       for (const std::string& key : KeysOf(record.state->Get(attribute_))) {
         std::vector<Posting>& v = versioned_[key];
-        const bool present =
-            std::any_of(v.begin(), v.end(),
-                        [&](const Posting& p) { return p.uid == uid; });
-        if (!present) {
-          v.push_back(Posting{uid, record.commit_ts, kOpenTs});
+        // A racing publication may already have opened this (key, uid) at
+        // its commit timestamp; widen it instead of stacking a duplicate.
+        Posting* earliest = nullptr;
+        for (Posting& p : v) {
+          if (p.uid == uid &&
+              (earliest == nullptr || p.add_ts < earliest->add_ts)) {
+            earliest = &p;
+          }
+        }
+        if (earliest != nullptr) {
+          earliest->add_ts = 0;
+        } else {
+          v.push_back(Posting{uid, 0, kOpenTs});
         }
       }
     });

@@ -52,7 +52,11 @@ class LiveView final : public ObjectView {
   const Object* Lookup(Uid uid) const override {
     Object* obj = objects_->Peek(uid);
     if (obj != nullptr) {
-      (void)objects_->CatchUp(obj);
+      // publish=false: a live read holds no writer exclusion over `obj`,
+      // so the catch-up rewrite must not trigger a publication (the copy
+      // could race a concurrent in-place mutation); the next mutation of
+      // the object publishes it instead.
+      (void)objects_->CatchUp(obj, /*publish=*/false);
     }
     return obj;
   }

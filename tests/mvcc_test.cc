@@ -244,6 +244,42 @@ TEST_F(MvccTest, IndexNeverExposesUncommittedWrites) {
   ORION_EXPECT_CONSISTENT(db_);
 }
 
+// Regression: index creation seeds versioned postings with add_ts = 0, so
+// a reader pinned BEFORE the index existed still gets a complete candidate
+// set — even when the newest committed record for the matching value
+// postdates the pin (the seed must not adopt that record's commit
+// timestamp as the posting's add_ts, or LookupAt silently drops the uid).
+TEST_F(MvccTest, IndexSeededPostingsServePreexistingReaders) {
+  Uid p = *db_.Make("Part", {}, {{"N", Value::Integer(7)}});
+
+  Session session(&db_, ContendedOptions());
+  ReadTransaction pinned = session.BeginReadOnly();
+
+  // Re-commit the same value after the pin: the chain's newest N == 7
+  // record now carries a commit timestamp the pinned snapshot cannot see.
+  CommitSet(p, "N", 9);
+  CommitSet(p, "N", 7);
+
+  ASSERT_TRUE(db_.indexes().CreateIndex(part_, "N").ok());
+
+  SelectStats stats;
+  auto hit = SelectAt(db_.records(), db_.schema(), part_,
+                      Compare("N", CompareOp::kEq, Value::Integer(7)),
+                      &db_.indexes(), pinned.read_ts(), &stats);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(stats.used_index);
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0], p);
+
+  // Seeding at 0 makes old values index-visible everywhere; re-verification
+  // against the snapshot still filters states the pin never saw.
+  EXPECT_TRUE(pinned
+                  .Select(part_,
+                          Compare("N", CompareOp::kEq, Value::Integer(9)))
+                  ->empty());
+  ORION_EXPECT_CONSISTENT(db_);
+}
+
 // Class extents are versioned too: a snapshot's extent is the set of
 // instances committed at its timestamp, direct and deep.
 TEST_F(MvccTest, ExtentVisibility) {
