@@ -76,9 +76,22 @@ void PrintScenario() {
   std::printf("  scattered (own segments):   %.2f pages per composite "
               "traversal\n",
               static_cast<double>(scattered_pages) / kVehicles);
-  std::printf("  locality factor:            %.1fx fewer pages\n\n",
+  std::printf("  locality factor:            %.1fx fewer pages\n",
               static_cast<double>(scattered_pages) /
                   static_cast<double>(clustered_pages));
+  // PlaceNear outcomes from the engine's own storage.* counters: the rate
+  // at which a clustered insert actually landed on its neighbor's page.
+  const auto stats = clustered_db.Stats();
+  const double same =
+      static_cast<double>(stats.counters.at("storage.cluster_same_page"));
+  const double spill =
+      static_cast<double>(stats.counters.at("storage.cluster_spill"));
+  if (same + spill > 0) {
+    std::printf("  clustering hit rate:        %.0f%% of PlaceNear inserts "
+                "on the neighbor's page (%.0f spilled)\n",
+                100.0 * same / (same + spill), spill);
+  }
+  std::printf("\n");
 }
 
 void BM_TraverseClustered(benchmark::State& state) {

@@ -199,7 +199,15 @@ struct MixCell {
   uint64_t timeouts = 0;
   uint64_t read_lock_grants = 0;   // lock-manager grants in a read mode
   uint64_t write_lock_grants = 0;
+  /// Engine metrics delta across the measured region (setup excluded):
+  /// every counter/histogram of the cell's private Database.
+  Database::StatsSnapshot stats;
 };
+
+uint64_t CounterOf(const Database::StatsSnapshot& s, const char* name) {
+  auto it = s.counters.find(name);
+  return it == s.counters.end() ? 0 : it->second;
+}
 
 uint64_t MixWorker(Fixture& fx, ReaderPath reader, int write_pct, int worker,
                    int ops, uint64_t* reads, uint64_t* writes) {
@@ -249,6 +257,7 @@ MixCell RunMixCell(int threads, ReaderPath reader, int write_pct, int ops) {
   Fixture fx(threads, Topology::kContended);
   std::vector<uint64_t> committed(threads, 0);
   std::vector<uint64_t> reads(threads, 0), writes(threads, 0);
+  const Database::StatsSnapshot base = fx.db.Stats();
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
   for (int t = 0; t < threads; ++t) {
@@ -271,15 +280,16 @@ MixCell RunMixCell(int threads, ReaderPath reader, int write_pct, int ops) {
     cell.writes += writes[t];
   }
   cell.ops_per_sec = elapsed > 0 ? cell.committed / elapsed : 0;
-  const LockManagerStats stats = fx.db.locks().stats();
-  cell.waits = stats.waits;
-  cell.timeouts = stats.timeouts;
-  cell.read_lock_grants = stats.read_acquisitions;
-  cell.write_lock_grants = stats.write_acquisitions;
+  cell.stats = fx.db.Stats().DeltaSince(base);
+  cell.waits = CounterOf(cell.stats, "lock.waits");
+  cell.timeouts = CounterOf(cell.stats, "lock.timeouts");
+  cell.read_lock_grants = CounterOf(cell.stats, "lock.read_acquisitions");
+  cell.write_lock_grants = CounterOf(cell.stats, "lock.write_acquisitions");
   return cell;
 }
 
-void RunMixSweep(int ops_per_thread, const char* json_path) {
+void RunMixSweep(int ops_per_thread, const char* json_path,
+                 const char* prom_path, const char* metrics_json_path) {
   std::printf("\n=== read/write mix: MVCC vs S-lock readers (contended "
               "root) ===\n");
   std::printf("%d ops/thread; reads hit a shared composite; writers "
@@ -293,6 +303,7 @@ void RunMixSweep(int ops_per_thread, const char* json_path) {
        << "  \"ops_per_thread\": " << ops_per_thread << ",\n"
        << "  \"cells\": [";
   bool first = true;
+  Database::StatsSnapshot last_stats;
   for (int write_pct : {5, 50}) {
     const std::string mix =
         std::to_string(100 - write_pct) + "/" + std::to_string(write_pct);
@@ -323,7 +334,21 @@ void RunMixSweep(int ops_per_thread, const char* json_path) {
              << ", \"timeouts\": " << cell.timeouts
              << ", \"read_lock_grants\": " << cell.read_lock_grants
              << ", \"write_lock_grants\": " << cell.write_lock_grants
-             << "}";
+             << ", \"metrics\": {"
+             << "\"txn_commits\": " << CounterOf(cell.stats, "txn.commits")
+             << ", \"txn_aborts\": " << CounterOf(cell.stats, "txn.aborts")
+             << ", \"read_txns\": " << CounterOf(cell.stats, "mvcc.read_txns")
+             << ", \"lock_waits\": " << CounterOf(cell.stats, "lock.waits")
+             << ", \"session_retries\": "
+             << CounterOf(cell.stats, "session.retries")
+             << ", \"session_backoff_us\": "
+             << CounterOf(cell.stats, "session.backoff_us")
+             << ", \"records_published\": "
+             << CounterOf(cell.stats, "mvcc.records_published")
+             << ", \"records_trimmed\": "
+             << CounterOf(cell.stats, "mvcc.records_trimmed")
+             << "}}";
+        last_stats = cell.stats;
         first = false;
         if (reader == ReaderPath::kMvcc && slock_ops > 0) {
           std::printf("%-6s %-8s %8d %11.2fx  (mvcc / s-lock)\n",
@@ -334,11 +359,22 @@ void RunMixSweep(int ops_per_thread, const char* json_path) {
     }
   }
   json << "\n  ]\n}\n";
-  std::printf("\nWrote %s.\nMVCC readers resolve against the committed "
-              "record chains at a fixed timestamp: zero read-mode lock "
-              "grants, no waits, no retries — writers keep the §7 X-lock "
-              "discipline either way.\n",
-              json_path);
+  // The last cell's full metrics delta in both exposition formats — the CI
+  // checker cross-validates these against each other and the bench JSON.
+  if (prom_path != nullptr) {
+    std::ofstream(prom_path) << last_stats.ToPrometheus();
+  }
+  if (metrics_json_path != nullptr) {
+    std::ofstream(metrics_json_path) << last_stats.ToJson();
+  }
+  std::printf("\nWrote %s%s%s%s%s.\nMVCC readers resolve against the "
+              "committed record chains at a fixed timestamp: zero read-mode "
+              "lock grants, no waits, no retries — writers keep the §7 "
+              "X-lock discipline either way.\n",
+              json_path, prom_path != nullptr ? ", " : "",
+              prom_path != nullptr ? prom_path : "",
+              metrics_json_path != nullptr ? ", " : "",
+              metrics_json_path != nullptr ? metrics_json_path : "");
 }
 
 }  // namespace
@@ -354,7 +390,9 @@ int main(int argc, char** argv) {
     }
   }
   if (smoke) {
-    RunMixSweep(/*ops_per_thread=*/32, "BENCH_concurrency.json");
+    RunMixSweep(/*ops_per_thread=*/32, "BENCH_concurrency.json",
+                "BENCH_concurrency_metrics.prom",
+                "BENCH_concurrency_metrics.json");
     return 0;
   }
   std::printf("=== ABL-8: concurrent throughput ===\n");
@@ -384,6 +422,8 @@ int main(int argc, char** argv) {
               "must lock ALL containing roots of the touched component; "
               "instance locking admits finer interleavings at the price of "
               "per-object lock traffic and deadlock-driven retries.\n");
-  RunMixSweep(/*ops_per_thread=*/400, "BENCH_concurrency.json");
+  RunMixSweep(/*ops_per_thread=*/400, "BENCH_concurrency.json",
+              "BENCH_concurrency_metrics.prom",
+              "BENCH_concurrency_metrics.json");
   return 0;
 }

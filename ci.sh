@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: a Release build running the full suite, then a
 # ThreadSanitizer build running the concurrency-sensitive suites, then an
-# AddressSanitizer build running the full suite plus a smoke benchmark.
+# AddressSanitizer build running the full suite plus a smoke benchmark, then
+# a metrics-exposition round-trip check over the smoke bench's output.
 # Usage: ./ci.sh            (all stages)
 #        ./ci.sh release    (stage 1 only)
 #        ./ci.sh tsan       (stage 2 only)
 #        ./ci.sh asan       (stage 3 only)
+#        ./ci.sh metrics    (stage 4 only; reuses/creates build-release)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -29,7 +31,7 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   # lock-free read path; Snapshot covers SaveSnapshot-as-read-transaction.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability'
 fi
 
 if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
@@ -44,6 +46,19 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
   # under ASan exercises exactly those frees.
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ./bench/abl_concurrency --smoke)
+fi
+
+if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
+  echo "=== stage 4: metrics exposition round-trip ==="
+  # The smoke bench exports the engine's metrics snapshot in Prometheus and
+  # JSON form; metrics_check parses both independently (its own parsers, no
+  # shared code with the exporters) and cross-validates the values.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target abl_concurrency metrics_check
+  (cd build-release && ./bench/abl_concurrency --smoke > /dev/null &&
+    ./tools/metrics_check BENCH_concurrency_metrics.prom \
+                          BENCH_concurrency_metrics.json \
+                          BENCH_concurrency.json)
 fi
 
 echo "ci.sh: all requested stages passed."

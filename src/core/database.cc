@@ -10,14 +10,30 @@
 namespace orion {
 
 Database::Database(uint32_t objects_per_page)
-    : store_(objects_per_page),
+    : store_(objects_per_page, &metrics_),
       schema_(&store_),
       objects_(&schema_, &store_, &clock_),
       versions_(&schema_, &objects_),
       authz_(&schema_, &objects_),
-      locks_(),
+      locks_(&metrics_, &trace_),
       protocol_(&schema_, &objects_, &locks_),
-      indexes_(&objects_, &records_) {
+      indexes_(&objects_, &records_, &metrics_) {
+  em_.txn_begins = &metrics_.counter("txn.begins");
+  em_.txn_commits = &metrics_.counter("txn.commits");
+  em_.txn_aborts = &metrics_.counter("txn.aborts");
+  em_.txn_commit_us = &metrics_.histogram("txn.commit_us");
+  em_.txn_abort_us = &metrics_.histogram("txn.abort_us");
+  em_.txn_journal_size = &metrics_.histogram("txn.journal_size");
+  em_.session_commits = &metrics_.counter("session.commits");
+  em_.session_retries = &metrics_.counter("session.retries");
+  em_.session_failures = &metrics_.counter("session.failures");
+  em_.session_backoff_us = &metrics_.counter("session.backoff_us");
+  em_.read_txns = &metrics_.counter("mvcc.read_txns");
+  em_.reclaim_passes = &metrics_.counter("reclaim.passes");
+  em_.reclaim_zero_passes = &metrics_.counter("reclaim.zero_passes");
+  em_.reclaim_min_active_ts = &metrics_.gauge("reclaim.min_active_ts");
+  em_.reclaim_last_trimmed = &metrics_.gauge("reclaim.last_trimmed");
+  records_.AttachMetrics(&metrics_, &trace_);
   // Wire the copy-on-write record store before the engine is reachable by
   // any other thread: sources copy live state (the publisher excludes
   // concurrent writers of a uid — X lock at commit, or it IS the mutating
@@ -67,13 +83,37 @@ Database::~Database() {
 }
 
 uint64_t Database::ReclaimOnce() {
+  obs::Span span(&trace_, "reclaim.pass");
   // The fallback watermark MUST be evaluated before MinActive acquires the
   // registry mutex (here: as its argument) — ReadTsRegistry::RegisterCurrent
   // relies on that ordering to make begin-of-read-transaction safe against a
   // concurrent trim.
   const uint64_t min_active = read_registry_.MinActive(records_.watermark());
-  records_.Trim(min_active);
+  const size_t trimmed = records_.Trim(min_active);
+  em_.reclaim_passes->Inc();
+  if (trimmed == 0) {
+    em_.reclaim_zero_passes->Inc();
+  }
+  em_.reclaim_min_active_ts->Set(static_cast<int64_t>(min_active));
+  em_.reclaim_last_trimmed->Set(static_cast<int64_t>(trimmed));
+  span.set_tag(trimmed);
   return min_active;
+}
+
+Database::StatsSnapshot Database::Stats() {
+  // Instantaneous values live in gauges refreshed here (cold path — the
+  // name lookups are fine); everything else is already in the registry.
+  metrics_.gauge("mvcc.watermark").Set(
+      static_cast<int64_t>(records_.watermark()));
+  metrics_.gauge("mvcc.chains").Set(
+      static_cast<int64_t>(records_.chain_count()));
+  metrics_.gauge("mvcc.records").Set(
+      static_cast<int64_t>(records_.record_count()));
+  metrics_.gauge("lock.grants_held").Set(
+      static_cast<int64_t>(locks_.grant_count()));
+  metrics_.gauge("storage.distinct_pages").Set(
+      static_cast<int64_t>(store_.tracker().distinct_pages()));
+  return metrics_.Snapshot();
 }
 
 Result<Uid> Database::Make(const std::string& class_name,

@@ -17,6 +17,8 @@
 #include "lock/composite_locking.h"
 #include "lock/lock_manager.h"
 #include "object/object_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/index.h"
 #include "query/query.h"
 #include "query/traversal.h"
@@ -31,6 +33,28 @@ namespace orion {
 /// actually need to be accessed."
 enum class ChangeMode { kImmediate, kDeferred };
 
+/// Registry handles for the engine-level hot paths, resolved once by the
+/// `Database` constructor.  Transactions, sessions, read transactions and
+/// the reclaimer increment through these pointers — a registry lookup is a
+/// mutex plus a map walk and has no business inside a commit.
+struct EngineMetrics {
+  obs::Counter* txn_begins = nullptr;
+  obs::Counter* txn_commits = nullptr;
+  obs::Counter* txn_aborts = nullptr;
+  obs::Histogram* txn_commit_us = nullptr;
+  obs::Histogram* txn_abort_us = nullptr;
+  obs::Histogram* txn_journal_size = nullptr;
+  obs::Counter* session_commits = nullptr;
+  obs::Counter* session_retries = nullptr;
+  obs::Counter* session_failures = nullptr;
+  obs::Counter* session_backoff_us = nullptr;
+  obs::Counter* read_txns = nullptr;
+  obs::Counter* reclaim_passes = nullptr;
+  obs::Counter* reclaim_zero_passes = nullptr;
+  obs::Gauge* reclaim_min_active_ts = nullptr;
+  obs::Gauge* reclaim_last_trimmed = nullptr;
+};
+
 /// The ORION-style database facade: one object owning every subsystem, plus
 /// the operations whose semantics span subsystems — instance creation that
 /// routes versionable classes through the version manager, deletion that
@@ -38,6 +62,11 @@ enum class ChangeMode { kImmediate, kDeferred };
 /// its instance-level effects.
 class Database {
  public:
+  /// A coherent copy of every metric of this engine (see
+  /// `obs::MetricsSnapshot` for the exact consistency guarantee and the
+  /// Prometheus/JSON exporters).
+  using StatsSnapshot = obs::MetricsSnapshot;
+
   explicit Database(uint32_t objects_per_page = 16);
   ~Database();
 
@@ -56,6 +85,15 @@ class Database {
   RecordStore& records() { return records_; }
   const RecordStore& records() const { return records_; }
   ReadTsRegistry& read_registry() { return read_registry_; }
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::TraceBuffer& trace() { return trace_; }
+  const EngineMetrics& engine_metrics() const { return em_; }
+
+  /// Race-free snapshot of every counter, gauge and histogram of this
+  /// engine.  Point-in-time gauges (watermark, chain/record counts, held
+  /// grants, distinct pages touched) are refreshed first, so the snapshot
+  /// is self-describing; callable from any thread while workers run.
+  StatsSnapshot Stats();
 
   /// One epoch-reclamation pass: computes the minimum active read timestamp
   /// (falling back to the commit watermark when no reader is open), trims
@@ -134,6 +172,12 @@ class Database {
   /// D3: shared -> exclusive verification and X-flag rewrite.
   Status TightenSharedToExclusive(ClassId cls, const AttributeSpec& old_spec,
                                   AttributeSpec new_spec);
+
+  /// Declared before every subsystem: metric cells are resolved into raw
+  /// pointers at construction and must outlive all of their users.
+  obs::MetricsRegistry metrics_;
+  obs::TraceBuffer trace_;
+  EngineMetrics em_;
 
   ObjectStore store_;
   LogicalClock clock_;

@@ -32,7 +32,9 @@ class ReadTransaction {
       : db_(db),
         ts_(db->read_registry().RegisterCurrent(
             [db] { return db->records().watermark(); })),
-        view_(db->records(), db->schema(), ts_) {}
+        view_(db->records(), db->schema(), ts_) {
+    db->engine_metrics().read_txns->Inc();
+  }
 
   ~ReadTransaction() {
     if (db_ != nullptr) {

@@ -20,7 +20,7 @@ uint64_t NextJitter() {
 }  // namespace
 
 Session::Session(Database* db, SessionOptions options)
-    : db_(db), options_(options) {}
+    : db_(db), options_(options), em_(&db->engine_metrics()) {}
 
 bool Session::IsRetryable(const Status& status) {
   return status.code() == StatusCode::kDeadlock ||
@@ -35,6 +35,7 @@ void Session::Backoff(int attempt) {
   base = std::min<decltype(base)>(base, options_.backoff_cap.count());
   const auto us = base / 2 + (base * jitter) / 100;
   if (us > 0) {
+    em_->session_backoff_us->Add(static_cast<uint64_t>(us));
     std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 }
@@ -44,6 +45,7 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++stats_.retries;
+      em_->session_retries->Inc();
       Backoff(attempt - 1);
     }
     TransactionContext txn(db_, options_.lock_timeout, options_.user);
@@ -52,6 +54,7 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
       result = txn.Commit();
       if (result.ok()) {
         ++stats_.commits;
+        em_->session_commits->Inc();
         return result;
       }
     } else {
@@ -59,11 +62,13 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
     }
     if (!IsRetryable(result)) {
       ++stats_.failures;
+      em_->session_failures->Inc();
       return result;
     }
     last = result;
   }
   ++stats_.failures;
+  em_->session_failures->Inc();
   return Status::Timeout("session retry budget (" +
                          std::to_string(options_.max_retries) +
                          ") exhausted; last conflict: " + last.message());

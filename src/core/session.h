@@ -28,7 +28,9 @@ struct SessionOptions {
 };
 
 /// Outcome counters of one session (single-threaded access: a session
-/// belongs to exactly one worker thread).
+/// belongs to exactly one worker thread).  Every increment is mirrored into
+/// the database's `session.*` registry counters, which is where the
+/// cross-session aggregate lives.
 struct SessionStats {
   uint64_t commits = 0;
   uint64_t retries = 0;    ///< deadlock/timeout aborts that were retried
@@ -79,6 +81,7 @@ class Session {
   Database* db_;
   SessionOptions options_;
   SessionStats stats_;
+  const EngineMetrics* em_;
 };
 
 }  // namespace orion

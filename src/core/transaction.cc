@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace orion {
 
 TransactionContext::TransactionContext(Database* db,
@@ -10,7 +12,10 @@ TransactionContext::TransactionContext(Database* db,
     : db_(db),
       txn_(db->locks().Begin()),
       timeout_(lock_timeout),
-      user_(std::move(user)) {
+      user_(std::move(user)),
+      em_(&db->engine_metrics()),
+      start_us_(obs::NowMicros()) {
+  em_->txn_begins->Inc();
   // While this transaction is open on this thread, in-place mutations do
   // not publish committed records; Commit() publishes the whole write set
   // under one timestamp and Abort() publishes nothing.
@@ -338,9 +343,16 @@ Status TransactionContext::Commit() {
   }
   db_->records().ExitTransactionScope();
   db_->records().PublishBatch(objects, generics);
+  const size_t journaled = journal_.size() + generic_journal_.size();
   journal_.clear();
   generic_journal_.clear();
-  return db_->locks().Release(txn_);
+  Status released = db_->locks().Release(txn_);
+  em_->txn_commits->Inc();
+  em_->txn_journal_size->Observe(journaled);
+  const uint64_t dur_us = obs::NowMicros() - start_us_;
+  em_->txn_commit_us->Observe(dur_us);
+  db_->trace().Record("txn.commit", start_us_, dur_us, txn_);
+  return released;
 }
 
 Status TransactionContext::Abort() {
@@ -374,7 +386,12 @@ Status TransactionContext::Abort() {
   // published; leaving the scope without publishing makes the abort O(its
   // own write set) with no record-chain traffic at all.
   db_->records().ExitTransactionScope();
-  return db_->locks().Release(txn_);
+  Status released = db_->locks().Release(txn_);
+  em_->txn_aborts->Inc();
+  const uint64_t dur_us = obs::NowMicros() - start_us_;
+  em_->txn_abort_us->Observe(dur_us);
+  db_->trace().Record("txn.abort", start_us_, dur_us, txn_);
+  return released;
 }
 
 }  // namespace orion

@@ -106,6 +106,10 @@ class TransactionContext {
   TxnId txn_;
   std::chrono::milliseconds timeout_;
   std::string user_;
+  /// Engine metric handles and the begin timestamp (one clock read per
+  /// transaction; commit/abort latency histograms measure from here).
+  const EngineMetrics* em_;
+  uint64_t start_us_;
   bool active_ = true;
   /// uid -> before-image; nullopt = the object did not exist before.
   std::unordered_map<Uid, std::optional<Object>> journal_;

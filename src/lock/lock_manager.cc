@@ -9,6 +9,23 @@ std::string LockResource::ToString() const {
          std::to_string(id);
 }
 
+LockManager::LockManager(obs::MetricsRegistry* metrics,
+                         obs::TraceBuffer* trace)
+    : trace_(trace) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics = owned_metrics_.get();
+  }
+  obs::MetricsRegistry& reg = *metrics;
+  c_acquisitions_ = &reg.counter("lock.acquisitions");
+  c_read_acquisitions_ = &reg.counter("lock.read_acquisitions");
+  c_write_acquisitions_ = &reg.counter("lock.write_acquisitions");
+  c_waits_ = &reg.counter("lock.waits");
+  c_deadlocks_ = &reg.counter("lock.deadlocks");
+  c_timeouts_ = &reg.counter("lock.timeouts");
+  h_wait_us_ = &reg.histogram("lock.wait_us");
+}
+
 TxnId LockManager::Begin() {
   std::lock_guard<std::mutex> g(mu_);
   return ++next_txn_;
@@ -85,27 +102,33 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
 
   const auto deadline = std::chrono::steady_clock::now() + timeout;
   bool waited = false;
+  uint64_t wait_start_us = 0;  // clock read only on the contended path
   while (true) {
     std::vector<TxnId> blockers = Blockers(entry, txn, mode);
     if (blockers.empty()) {
       entry.holders[txn].insert(mode);
       txn_resources_[txn].push_back(resource);
       waits_for_.erase(txn);
-      ++stats_.acquisitions;
+      c_acquisitions_->Inc();
       if (IsReadMode(mode)) {
-        ++stats_.read_acquisitions;
+        c_read_acquisitions_->Inc();
       } else {
-        ++stats_.write_acquisitions;
+        c_write_acquisitions_->Inc();
       }
       if (waited) {
-        ++stats_.waits;
+        c_waits_->Inc();
+        const uint64_t waited_us = obs::NowMicros() - wait_start_us;
+        h_wait_us_->Observe(waited_us);
+        if (trace_ != nullptr) {
+          trace_->Record("lock.wait", wait_start_us, waited_us, resource.id);
+        }
       }
       return Status::Ok();
     }
     if (WouldDeadlock(txn, blockers)) {
       waits_for_.erase(txn);
       MaybeErase(resource);
-      ++stats_.deadlocks;
+      c_deadlocks_->Inc();
       return Status::Deadlock(
           "waiting for " + resource.ToString() + " in " +
           std::string(LockModeName(mode)) + " would deadlock transaction " +
@@ -113,13 +136,16 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
     }
     if (timeout.count() <= 0) {
       MaybeErase(resource);
-      ++stats_.timeouts;
+      c_timeouts_->Inc();
       return Status::LockTimeout(
           resource.ToString() + " is held in an incompatible mode (" +
           std::string(LockModeName(mode)) + " requested)");
     }
     waits_for_[txn].insert(blockers.begin(), blockers.end());
-    waited = true;
+    if (!waited) {
+      waited = true;
+      wait_start_us = obs::NowMicros();
+    }
     ++entry.waiters;
     const std::cv_status woke = entry.cv.wait_until(lk, deadline);
     --entry.waiters;
@@ -127,7 +153,7 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
     waits_for_.erase(txn);
     if (woke == std::cv_status::timeout) {
       MaybeErase(resource);
-      ++stats_.timeouts;
+      c_timeouts_->Inc();
       return Status::LockTimeout(
           "timed out waiting for " + resource.ToString() + " in " +
           std::string(LockModeName(mode)));
@@ -194,13 +220,18 @@ size_t LockManager::grant_count() {
 }
 
 uint64_t LockManager::total_acquisitions() {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_.acquisitions;
+  return c_acquisitions_->Value();
 }
 
 LockManagerStats LockManager::stats() {
-  std::lock_guard<std::mutex> g(mu_);
-  return stats_;
+  LockManagerStats s;
+  s.acquisitions = c_acquisitions_->Value();
+  s.read_acquisitions = c_read_acquisitions_->Value();
+  s.write_acquisitions = c_write_acquisitions_->Value();
+  s.waits = c_waits_->Value();
+  s.deadlocks = c_deadlocks_->Value();
+  s.timeouts = c_timeouts_->Value();
+  return s;
 }
 
 }  // namespace orion

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
@@ -16,6 +17,8 @@
 #include "common/status.h"
 #include "common/uid.h"
 #include "lock/lock_mode.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/class_def.h"
 
 namespace orion {
@@ -55,6 +58,8 @@ struct std::hash<orion::LockResource> {
 namespace orion {
 
 /// Contention counters since construction (benchmarking / ops visibility).
+/// A copy assembled by `LockManager::stats()` from the registry counters
+/// (`lock.*`); reading it never takes the lock-manager mutex.
 struct LockManagerStats {
   uint64_t acquisitions = 0;       ///< successful grants
   uint64_t read_acquisitions = 0;  ///< grants in a read mode (IsReadMode)
@@ -83,7 +88,13 @@ struct LockManagerStats {
 /// 5/9 scenario replays use that).
 class LockManager {
  public:
-  LockManager() = default;
+  /// Contention counters and the wait-time histogram register under
+  /// `lock.*` in `metrics`.  A null registry (standalone construction in
+  /// tests) gets a private one, so `stats()` always starts from zero.
+  /// Granted waits additionally emit a "lock.wait" span into `trace` when
+  /// one is attached.
+  explicit LockManager(obs::MetricsRegistry* metrics = nullptr,
+                       obs::TraceBuffer* trace = nullptr);
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
@@ -113,7 +124,9 @@ class LockManager {
   /// Total successful acquisitions since construction (benchmarking aid).
   uint64_t total_acquisitions();
 
-  /// Snapshot of the contention counters.
+  /// Snapshot of the contention counters.  Lock-free: each field is read
+  /// from its registry counter, so workers never block a stats reader (and
+  /// the old unsynchronized-copy race is gone).
   LockManagerStats stats();
 
  private:
@@ -143,7 +156,17 @@ class LockManager {
   std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
   std::unordered_map<TxnId, std::vector<LockResource>> txn_resources_;
   TxnId next_txn_ = 0;
-  LockManagerStats stats_;
+
+  // Registry-backed counters, resolved once at construction (lock.*).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* c_acquisitions_;
+  obs::Counter* c_read_acquisitions_;
+  obs::Counter* c_write_acquisitions_;
+  obs::Counter* c_waits_;
+  obs::Counter* c_deadlocks_;
+  obs::Counter* c_timeouts_;
+  obs::Histogram* h_wait_us_;
+  obs::TraceBuffer* trace_;
 };
 
 }  // namespace orion

@@ -29,6 +29,20 @@ void RecordStore::Configure(LogicalClock* clock, ObjectSource object_source,
   generic_source_ = std::move(generic_source);
 }
 
+void RecordStore::AttachMetrics(obs::MetricsRegistry* metrics,
+                                obs::TraceBuffer* trace) {
+  if (metrics != nullptr) {
+    c_publishes_ = &metrics->counter("mvcc.publishes");
+    c_records_published_ = &metrics->counter("mvcc.records_published");
+    c_records_trimmed_ = &metrics->counter("mvcc.records_trimmed");
+    c_selects_at_ = &metrics->counter("query.selects_at");
+    c_select_at_candidates_ = &metrics->counter("query.select_reverified");
+    h_publish_us_ = &metrics->histogram("mvcc.publish_us");
+    h_chain_length_ = &metrics->histogram("mvcc.chain_length");
+  }
+  trace_ = trace;
+}
+
 void RecordStore::EnterTransactionScope() { ++Tls().txn_depth; }
 
 void RecordStore::ExitTransactionScope() {
@@ -107,6 +121,11 @@ uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
   if (clock_ == nullptr || (object_uids.empty() && generic_uids.empty())) {
     return 0;
   }
+  // Clock reads only when someone is listening: publication is a
+  // heavyweight path (copies + commit_mu_), but unattached stores should
+  // still pay nothing.
+  const bool timed = h_publish_us_ != nullptr || trace_ != nullptr;
+  const uint64_t start_us = timed ? obs::NowMicros() : 0;
 
   // Phase 1 — copy live states WITHOUT holding commit_mu_.  The copies are
   // race-free because the publisher still excludes other writers from every
@@ -156,21 +175,39 @@ uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
   // Phase 2 — install all records under one timestamp, then advance the
   // watermark.  A reader's timestamp is always a published watermark, so it
   // can never observe half a publication.
-  std::lock_guard<std::mutex> commit(commit_mu_);
-  const uint64_t ts = clock_->Tick();
-  for (StagedObject& so : staged_objects) {
-    InstallObject(so.uid, std::move(so.state), ts);
+  const uint64_t records = staged_objects.size() + staged_generics.size();
+  uint64_t ts = 0;
+  {
+    std::lock_guard<std::mutex> commit(commit_mu_);
+    ts = clock_->Tick();
+    for (StagedObject& so : staged_objects) {
+      InstallObject(so.uid, std::move(so.state), ts);
+    }
+    for (StagedGeneric& sg : staged_generics) {
+      InstallGeneric(sg.uid, std::move(sg.info), ts);
+    }
+    watermark_.store(ts, std::memory_order_release);
   }
-  for (StagedGeneric& sg : staged_generics) {
-    InstallGeneric(sg.uid, std::move(sg.info), ts);
+  if (c_publishes_ != nullptr) {
+    c_publishes_->Inc();
+    c_records_published_->Add(records);
   }
-  watermark_.store(ts, std::memory_order_release);
+  if (timed) {
+    const uint64_t dur_us = obs::NowMicros() - start_us;
+    if (h_publish_us_ != nullptr) {
+      h_publish_us_->Observe(dur_us);
+    }
+    if (trace_ != nullptr) {
+      trace_->Record("mvcc.publish", start_us, dur_us, records);
+    }
+  }
   return ts;
 }
 
 void RecordStore::InstallObject(Uid uid, std::shared_ptr<const Object> state,
                                 uint64_t ts) {
   std::shared_ptr<const Object> before;
+  uint32_t chain_len = 0;
   objects_.Update(uid, [&](ObjectChain& chain) {
     before = chain.head != nullptr ? chain.head->state : nullptr;
     auto record = std::make_shared<ObjectRecord>();
@@ -181,7 +218,11 @@ void RecordStore::InstallObject(Uid uid, std::shared_ptr<const Object> state,
     if (state != nullptr) {
       chain.cls = state->class_id();
     }
+    chain_len = ++chain.length;
   });
+  if (h_chain_length_ != nullptr) {
+    h_chain_length_->Observe(chain_len);
+  }
   if (state != nullptr) {
     extent_members_.Update(state->class_id(), [&](std::unordered_set<Uid>& s) {
       s.insert(uid);
@@ -294,32 +335,44 @@ std::vector<Uid> RecordStore::GenericsAt(uint64_t ts) const {
   return out;
 }
 
-void RecordStore::Trim(uint64_t min_active_ts) {
+size_t RecordStore::Trim(uint64_t min_active_ts) {
   // (uid, class) pairs whose whole chain died; extent membership is pruned
   // after the sweep so no shard latch is held across the two maps.
   std::vector<std::pair<Uid, ClassId>> dead;
+  size_t trimmed = 0;
 
   objects_.EraseIf([&](Uid uid, ObjectChain& chain) {
     if (chain.head == nullptr) {
       return true;
     }
     // Find the pivot: the newest record with commit_ts <= min.  Everything
-    // older is unreachable by any present or future reader.
+    // older is unreachable by any present or future reader.  The walk also
+    // recounts the chain so `length` (and the trimmed tally) stays exact.
     ObjectRecord* pivot = nullptr;
+    uint32_t kept = 0;
+    uint32_t total = 0;
     for (ObjectRecord* r = chain.head.get(); r != nullptr; r = r->prev.get()) {
-      if (r->commit_ts <= min_active_ts) {
-        pivot = r;
-        break;
+      ++total;
+      if (pivot == nullptr) {
+        ++kept;
+        if (r->commit_ts <= min_active_ts) {
+          pivot = r;
+        }
       }
     }
     if (pivot != nullptr) {
       pivot->prev = nullptr;
+      trimmed += total - kept;
+      chain.length = kept;
+    } else {
+      chain.length = total;
     }
     // A chain whose only record is a tombstone at/below the minimum will
     // never be visible again: drop it entirely.
     if (chain.head->prev == nullptr && chain.head->state == nullptr &&
         chain.head->commit_ts <= min_active_ts) {
       dead.emplace_back(uid, chain.cls);
+      trimmed += chain.length;
       return true;
     }
     return false;
@@ -349,24 +402,38 @@ void RecordStore::Trim(uint64_t min_active_ts) {
       return true;
     }
     GenericRecord* pivot = nullptr;
+    uint32_t kept = 0;
     for (GenericRecord* r = chain.head.get(); r != nullptr;
          r = r->prev.get()) {
-      if (r->commit_ts <= min_active_ts) {
-        pivot = r;
-        break;
+      if (pivot == nullptr) {
+        ++kept;
+        if (r->commit_ts <= min_active_ts) {
+          pivot = r;
+        }
+      } else {
+        ++trimmed;
       }
     }
     if (pivot != nullptr) {
       pivot->prev = nullptr;
     }
-    return chain.head->prev == nullptr && !chain.head->live &&
-           chain.head->commit_ts <= min_active_ts;
+    if (chain.head->prev == nullptr && !chain.head->live &&
+        chain.head->commit_ts <= min_active_ts) {
+      trimmed += kept;
+      return true;
+    }
+    return false;
   });
+
+  if (c_records_trimmed_ != nullptr && trimmed > 0) {
+    c_records_trimmed_->Add(trimmed);
+  }
 
   std::lock_guard<std::mutex> lg(listeners_mu_);
   for (RecordStoreListener* listener : listeners_) {
     listener->OnTrim(min_active_ts);
   }
+  return trimmed;
 }
 
 void RecordStore::AddListener(RecordStoreListener* listener) {

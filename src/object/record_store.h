@@ -16,6 +16,8 @@
 #include "common/striped.h"
 #include "common/uid.h"
 #include "object/object.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/class_def.h"
 
 namespace orion {
@@ -88,6 +90,20 @@ class RecordStore {
   /// reachable by any thread.
   void Configure(LogicalClock* clock, ObjectSource object_source,
                  GenericSource generic_source);
+
+  /// Registers the `mvcc.*` metrics (publish latency, records published,
+  /// chain-length histogram, records trimmed) and the "mvcc.publish" span
+  /// sink.  Optional — an unattached store records nothing — and, like
+  /// Configure, must happen before the store is reachable by other threads.
+  void AttachMetrics(obs::MetricsRegistry* metrics, obs::TraceBuffer* trace);
+
+  /// Registry counters for the versioned query path (`SelectAt`), cached
+  /// here because the query planner only carries a `const RecordStore&`.
+  /// Null when metrics are not attached.
+  obs::Counter* select_at_counter() const { return c_selects_at_; }
+  obs::Counter* select_at_candidates_counter() const {
+    return c_select_at_candidates_;
+  }
 
   // --- Transactional suppression / batching -------------------------------
 
@@ -170,8 +186,10 @@ class RecordStore {
   /// Drops every record shadowed by a newer record with commit_ts <=
   /// `min_active_ts`, and whole chains whose visible state at
   /// `min_active_ts` is a tombstone with nothing newer.  Safe to run
-  /// concurrently with publication and readers.
-  void Trim(uint64_t min_active_ts);
+  /// concurrently with publication and readers.  Returns the number of
+  /// records (object + generic) discarded, so the reclaimer can surface
+  /// zero-progress passes.
+  size_t Trim(uint64_t min_active_ts);
 
   void AddListener(RecordStoreListener* listener);
   void RemoveListener(RecordStoreListener* listener);
@@ -189,6 +207,9 @@ class RecordStore {
     /// Class of the newest non-tombstone publication; lets the trimmer
     /// prune extent membership when it drops a dead chain.
     ClassId cls{0};
+    /// Number of records in the chain (install increments, trim recounts);
+    /// feeds the mvcc.chain_length histogram without walking the chain.
+    uint32_t length = 0;
   };
   struct GenericChain {
     std::shared_ptr<GenericRecord> head;
@@ -234,6 +255,18 @@ class RecordStore {
 
   mutable std::mutex listeners_mu_;
   std::vector<RecordStoreListener*> listeners_;
+
+  // Registry-backed instrumentation (mvcc.* / query.*); null until
+  // AttachMetrics, and every use is null-guarded so standalone stores pay
+  // nothing.
+  obs::Counter* c_publishes_ = nullptr;
+  obs::Counter* c_records_published_ = nullptr;
+  obs::Counter* c_records_trimmed_ = nullptr;
+  obs::Counter* c_selects_at_ = nullptr;
+  obs::Counter* c_select_at_candidates_ = nullptr;
+  obs::Histogram* h_publish_us_ = nullptr;
+  obs::Histogram* h_chain_length_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace orion

@@ -1,0 +1,282 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace orion::obs {
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t i) {
+  if (i == 0) {
+    return 0;
+  }
+  if (i >= 64) {
+    return UINT64_MAX;
+  }
+  return (uint64_t{1} << i) - 1;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the percentile observation, 1-based, nearest-rank method.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      return BucketUpperBound(i);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Stripe& s : stripes_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      const uint64_t n = s.count[i].load(std::memory_order_relaxed);
+      snap.buckets[i] += n;
+      snap.count += n;
+    }
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace(name, h->Snapshot());
+  }
+  return snap;
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsSnapshot MetricsSnapshot::DeltaSince(const MetricsSnapshot& base) const {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : counters) {
+    auto it = base.counters.find(name);
+    const uint64_t prior = it == base.counters.end() ? 0 : it->second;
+    delta.counters.emplace(name, value >= prior ? value - prior : 0);
+  }
+  delta.gauges = gauges;
+  for (const auto& [name, hist] : histograms) {
+    HistogramSnapshot d = hist;
+    auto it = base.histograms.find(name);
+    if (it != base.histograms.end()) {
+      const HistogramSnapshot& prior = it->second;
+      d.count = d.count >= prior.count ? d.count - prior.count : 0;
+      d.sum = d.sum >= prior.sum ? d.sum - prior.sum : 0;
+      for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+        d.buckets[i] = d.buckets[i] >= prior.buckets[i]
+                           ? d.buckets[i] - prior.buckets[i]
+                           : 0;
+      }
+    }
+    delta.histograms.emplace(name, d);
+  }
+  return delta;
+}
+
+namespace {
+
+std::string PromName(std::string_view prefix, std::string_view name) {
+  std::string out(prefix);
+  out.push_back('_');
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus(std::string_view prefix) const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PromName(prefix, name);
+    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    AppendU64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PromName(prefix, name);
+    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    AppendI64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string pname = PromName(prefix, name);
+    out += "# TYPE " + pname + " histogram\n";
+    size_t last = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[i] != 0) {
+        last = i;
+      }
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= last; ++i) {
+      cumulative += hist.buckets[i];
+      out += pname + "_bucket{le=\"";
+      AppendU64(out, HistogramSnapshot::BucketUpperBound(i));
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += pname + "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.count);
+    out.push_back('\n');
+    out += pname + "_sum ";
+    AppendU64(out, hist.sum);
+    out.push_back('\n');
+    out += pname + "_count ";
+    AppendU64(out, hist.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendU64(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": ";
+    AppendI64(out, value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"count\": ";
+    AppendU64(out, hist.count);
+    out += ", \"sum\": ";
+    AppendU64(out, hist.sum);
+    out += ", \"mean\": ";
+    AppendU64(out, hist.Mean());
+    out += ", \"p50\": ";
+    AppendU64(out, hist.Percentile(50));
+    out += ", \"p95\": ";
+    AppendU64(out, hist.Percentile(95));
+    out += ", \"p99\": ";
+    AppendU64(out, hist.Percentile(99));
+    out += ", \"buckets\": {";
+    bool first_bucket = true;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[i] == 0) {
+        continue;
+      }
+      if (!first_bucket) {
+        out += ", ";
+      }
+      first_bucket = false;
+      out.push_back('"');
+      AppendU64(out, HistogramSnapshot::BucketUpperBound(i));
+      out += "\": ";
+      AppendU64(out, hist.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace orion::obs

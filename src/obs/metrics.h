@@ -1,0 +1,183 @@
+#ifndef ORION_OBS_METRICS_H_
+#define ORION_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace orion::obs {
+
+/// Number of per-thread shards behind every hot-path cell.  A power of two;
+/// threads are assigned shards round-robin on first use, so up to kStripes
+/// threads increment without ever sharing a cache line.
+inline constexpr size_t kStripes = 16;
+inline constexpr size_t kCacheLine = 64;
+
+/// Shard index of the calling thread (stable for the thread's lifetime).
+size_t ThreadStripe();
+
+/// A monotonic counter.  `Add` is one relaxed fetch-add on the calling
+/// thread's shard — the whole hot-path budget of the metrics layer.
+/// `Value` sums the shards (racing increments may or may not be included;
+/// the result is always a value the counter actually passed through).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    cells_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Inc() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t sum = 0;
+    for (const Cell& c : cells_) {
+      sum += c.v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(kCacheLine) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// A last-writer-wins instantaneous value (watermarks, set sizes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time copy of one histogram (see Histogram for the bucketing).
+struct HistogramSnapshot {
+  /// Bucket 0 counts value 0; bucket i >= 1 counts values with bit-width i,
+  /// i.e. the range [2^(i-1), 2^i - 1].
+  static constexpr size_t kBuckets = 65;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kBuckets> buckets{};
+
+  /// Inclusive upper bound of bucket `i` (0, 1, 3, 7, ..., UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t i);
+
+  /// Upper bound of the bucket containing the p-th percentile observation
+  /// (p in [0, 100]); 0 if the histogram is empty.
+  uint64_t Percentile(double p) const;
+
+  uint64_t Mean() const { return count == 0 ? 0 : sum / count; }
+};
+
+/// A log-scale (power-of-two bucket) histogram of uint64 samples — latency
+/// in microseconds, chain lengths, journal sizes.  `Observe` is two relaxed
+/// fetch-adds on the calling thread's shard.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  static size_t BucketOf(uint64_t v) {
+    return static_cast<size_t>(std::bit_width(v));
+  }
+
+  void Observe(uint64_t v) {
+    Stripe& s = stripes_[ThreadStripe()];
+    s.count[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(kCacheLine) Stripe {
+    std::atomic<uint64_t> count[kBuckets] = {};
+    std::atomic<uint64_t> sum{0};
+  };
+  Stripe stripes_[kStripes];
+};
+
+/// A coherent copy of every metric in a registry, taken by
+/// `MetricsRegistry::Snapshot`.  Counters and histogram cells are summed
+/// with relaxed loads: the snapshot is a near-point-in-time view (each
+/// individual value is exact for some moment during the call), which is the
+/// race-free guarantee the engine offers — not a linearizable cut across
+/// metrics.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Counters and histograms become this-minus-base (names missing from
+  /// `base` keep their full value); gauges keep this snapshot's value —
+  /// a delta of an instantaneous reading has no meaning.
+  MetricsSnapshot DeltaSince(const MetricsSnapshot& base) const;
+
+  /// Prometheus exposition format.  Metric names are `<prefix>_<name>` with
+  /// every non-[a-zA-Z0-9_] character of `name` mapped to '_'; histograms
+  /// emit cumulative `_bucket{le="..."}` samples (inclusive upper bounds,
+  /// empty tail suppressed) plus `_sum` and `_count`.
+  std::string ToPrometheus(std::string_view prefix = "orion") const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, p50, p95, p99,
+  /// buckets: {"<le>": n, ...}}}}.  Only non-empty buckets appear.
+  std::string ToJson() const;
+};
+
+/// Named metrics for one engine instance.  `Database` owns one registry so
+/// its `Stats()` is self-contained; code constructed without an engine
+/// (standalone subsystems in unit tests) falls back to the process-wide
+/// `Default()` instance.
+///
+/// Lookup takes a mutex and a map walk — resolve each metric once at
+/// construction time and cache the pointer; the returned references are
+/// stable for the registry's lifetime.  Names are `subsystem.metric[_unit]`
+/// and must be unique across kinds (the exporters would emit colliding
+/// series otherwise).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide fallback registry.
+  static MetricsRegistry& Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace orion::obs
+
+#endif  // ORION_OBS_METRICS_H_

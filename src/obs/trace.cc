@@ -1,0 +1,81 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace orion::obs {
+
+uint64_t NowMicros() {
+  static const std::chrono::steady_clock::time_point anchor =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - anchor)
+          .count());
+}
+
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(std::bit_ceil(std::max<size_t>(capacity, 8))),
+      mask_(capacity_ - 1),
+      slots_(new Slot[capacity_]) {}
+
+void TraceBuffer::Record(const char* name, uint64_t start_us,
+                         uint64_t duration_us, uint64_t tag) {
+  const uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  // Invalidate, fill, publish: a reader that sees the same nonzero seq on
+  // both sides of its field reads got exactly this ticket's payload.
+  slot.seq.store(0, std::memory_order_release);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_us.store(start_us, std::memory_order_relaxed);
+  slot.duration_us.store(duration_us, std::memory_order_relaxed);
+  slot.tag.store(tag, std::memory_order_relaxed);
+  slot.thread_id.store(ThisThreadTraceId(), std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  struct Numbered {
+    uint64_t ticket;
+    TraceEvent event;
+  };
+  std::vector<Numbered> events;
+  events.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+    if (seq_before == 0) {
+      continue;  // empty or mid-write
+    }
+    TraceEvent e;
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.start_us = slot.start_us.load(std::memory_order_relaxed);
+    e.duration_us = slot.duration_us.load(std::memory_order_relaxed);
+    e.tag = slot.tag.load(std::memory_order_relaxed);
+    e.thread_id = slot.thread_id.load(std::memory_order_relaxed);
+    const uint64_t seq_after = slot.seq.load(std::memory_order_acquire);
+    if (seq_after != seq_before || e.name == nullptr) {
+      continue;  // overwritten while reading: drop rather than return torn
+    }
+    events.push_back(Numbered{seq_before - 1, e});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Numbered& a, const Numbered& b) {
+              return a.ticket < b.ticket;
+            });
+  std::vector<TraceEvent> out;
+  out.reserve(events.size());
+  for (const Numbered& n : events) {
+    out.push_back(n.event);
+  }
+  return out;
+}
+
+}  // namespace orion::obs

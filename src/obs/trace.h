@@ -1,0 +1,118 @@
+#ifndef ORION_OBS_TRACE_H_
+#define ORION_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace orion::obs {
+
+/// Microseconds on the steady clock since a process-wide anchor (first
+/// call).  Monotonic; shared by spans and the wait-time histograms so
+/// timestamps are comparable across subsystems.
+uint64_t NowMicros();
+
+/// Small dense id of the calling thread (1-based, assigned on first use);
+/// cheaper and stabler across platforms than hashing std::thread::id.
+uint32_t ThisThreadTraceId();
+
+/// One completed span as read back out of the ring.
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime label, e.g. "txn.commit"
+  uint64_t start_us = 0;       ///< NowMicros() at span open
+  uint64_t duration_us = 0;
+  uint64_t tag = 0;            ///< span-defined payload (txn id, uid, count)
+  uint32_t thread_id = 0;
+};
+
+/// A fixed-size lock-free ring of completed spans.  `Record` claims a slot
+/// with one relaxed fetch-add and fills it with relaxed atomic stores
+/// bracketed by a per-slot sequence word (a seqlock), so it is cheap enough
+/// to leave enabled under TSan and never blocks.  Old events are
+/// overwritten once the ring wraps; `Snapshot` returns only slots it could
+/// read consistently (a slot being overwritten mid-read is skipped, never
+/// returned torn).
+class TraceBuffer {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit TraceBuffer(size_t capacity = 8192);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// `name` must have static lifetime (string literals).
+  void Record(const char* name, uint64_t start_us, uint64_t duration_us,
+              uint64_t tag);
+
+  /// Consistent events currently in the ring, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Total events ever recorded (>= capacity means the ring has wrapped).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to wraparound so far.
+  uint64_t dropped() const {
+    const uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// seq == 0: slot empty or being (re)written; seq == ticket + 1 with both
+  /// reads equal: the payload belongs to that ticket and is consistent.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> start_us{0};
+    std::atomic<uint64_t> duration_us{0};
+    std::atomic<uint64_t> tag{0};
+    std::atomic<uint32_t> thread_id{0};
+  };
+
+  size_t capacity_;
+  size_t mask_;
+  std::atomic<uint64_t> next_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// RAII span: opens at construction, records into the buffer at
+/// destruction.  A null buffer makes the span free (no clock reads).
+class Span {
+ public:
+  explicit Span(TraceBuffer* buffer, const char* name, uint64_t tag = 0)
+      : buffer_(buffer),
+        name_(name),
+        tag_(tag),
+        start_us_(buffer == nullptr ? 0 : NowMicros()) {}
+
+  ~Span() {
+    if (buffer_ != nullptr) {
+      buffer_->Record(name_, start_us_, NowMicros() - start_us_, tag_);
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void set_tag(uint64_t tag) { tag_ = tag; }
+
+  uint64_t elapsed_us() const {
+    return buffer_ == nullptr ? 0 : NowMicros() - start_us_;
+  }
+
+ private:
+  TraceBuffer* buffer_;
+  const char* name_;
+  uint64_t tag_;
+  uint64_t start_us_;
+};
+
+}  // namespace orion::obs
+
+#endif  // ORION_OBS_TRACE_H_

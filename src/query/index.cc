@@ -30,11 +30,13 @@ std::vector<std::string> KeysOf(const Value& value) {
 }  // namespace
 
 AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
-                               ClassId cls, std::string attribute)
+                               ClassId cls, std::string attribute,
+                               IndexMetrics metrics)
     : objects_(objects),
       records_(records),
       cls_(cls),
-      attribute_(std::move(attribute)) {
+      attribute_(std::move(attribute)),
+      metrics_(metrics) {
   {
     std::lock_guard<std::mutex> g(mu_);
     for (Uid uid : objects_->InstancesOfDeep(cls_)) {
@@ -136,6 +138,9 @@ void AttributeIndex::ClosePosting(Uid uid, const std::string& key,
 }
 
 std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
+  if (metrics_.lookups != nullptr) {
+    metrics_.lookups->Inc();
+  }
   std::lock_guard<std::mutex> g(mu_);
   auto it = postings_.find(KeyOf(value));
   if (it == postings_.end()) {
@@ -146,6 +151,9 @@ std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
 
 std::vector<Uid> AttributeIndex::LookupAt(const Value& value,
                                           uint64_t ts) const {
+  if (metrics_.lookups_at != nullptr) {
+    metrics_.lookups_at->Inc();
+  }
   std::vector<Uid> out;
   {
     std::lock_guard<std::mutex> g(mu_);
@@ -234,20 +242,28 @@ void AttributeIndex::OnObjectPublished(Uid uid, const Object* before,
 }
 
 void AttributeIndex::OnTrim(uint64_t min_active_ts) {
-  std::lock_guard<std::mutex> g(mu_);
-  for (auto it = versioned_.begin(); it != versioned_.end();) {
-    std::vector<Posting>& v = it->second;
-    v.erase(std::remove_if(v.begin(), v.end(),
-                           [&](const Posting& p) {
-                             return p.remove_ts != kOpenTs &&
-                                    p.remove_ts <= min_active_ts;
-                           }),
-            v.end());
-    if (v.empty()) {
-      it = versioned_.erase(it);
-    } else {
-      ++it;
+  size_t vacuumed = 0;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    for (auto it = versioned_.begin(); it != versioned_.end();) {
+      std::vector<Posting>& v = it->second;
+      const size_t before = v.size();
+      v.erase(std::remove_if(v.begin(), v.end(),
+                             [&](const Posting& p) {
+                               return p.remove_ts != kOpenTs &&
+                                      p.remove_ts <= min_active_ts;
+                             }),
+              v.end());
+      vacuumed += before - v.size();
+      if (v.empty()) {
+        it = versioned_.erase(it);
+      } else {
+        ++it;
+      }
     }
+  }
+  if (metrics_.postings_vacuumed != nullptr && vacuumed > 0) {
+    metrics_.postings_vacuumed->Add(vacuumed);
   }
 }
 
@@ -268,7 +284,7 @@ Status IndexManager::CreateIndex(ClassId cls, const std::string& attribute) {
     }
   }
   indexes_.push_back(std::make_unique<AttributeIndex>(objects_, records_, cls,
-                                                      attribute));
+                                                      attribute, metrics_));
   return Status::Ok();
 }
 

@@ -13,8 +13,18 @@
 #include "common/result.h"
 #include "object/object_manager.h"
 #include "object/record_store.h"
+#include "obs/metrics.h"
 
 namespace orion {
+
+/// Registry handles shared by every index of one manager (`index.*`); any
+/// pointer may be null (standalone construction in tests), in which case
+/// that metric is simply not recorded.
+struct IndexMetrics {
+  obs::Counter* lookups = nullptr;            ///< live-posting Lookup calls
+  obs::Counter* lookups_at = nullptr;         ///< versioned LookupAt calls
+  obs::Counter* postings_vacuumed = nullptr;  ///< versioned postings dropped
+};
 
 /// An equality index over one attribute of one class (and its subclasses).
 ///
@@ -47,7 +57,7 @@ class AttributeIndex : public ObjectObserver, public RecordStoreListener {
   /// seeded with add_ts = 0, so readers pinned before the index existed
   /// still get complete candidate sets), then registers for updates.
   AttributeIndex(ObjectManager* objects, RecordStore* records, ClassId cls,
-                 std::string attribute);
+                 std::string attribute, IndexMetrics metrics = {});
   ~AttributeIndex() override;
 
   AttributeIndex(const AttributeIndex&) = delete;
@@ -110,6 +120,7 @@ class AttributeIndex : public ObjectObserver, public RecordStoreListener {
   RecordStore* records_;
   ClassId cls_;
   std::string attribute_;
+  IndexMetrics metrics_;
   mutable std::mutex mu_;
   /// Canonical key encoding -> live posting set.  Value lacks operator< and
   /// hashing; the deterministic ToString encoding is the key.  Guarded by
@@ -122,8 +133,19 @@ class AttributeIndex : public ObjectObserver, public RecordStoreListener {
 /// Owns the indexes of one database and picks them up for query planning.
 class IndexManager {
  public:
-  IndexManager(ObjectManager* objects, RecordStore* records)
-      : objects_(objects), records_(records) {}
+  /// Lookup/vacuum counters register under `index.*` in `metrics` and are
+  /// shared by every index this manager creates; a null registry records
+  /// nothing.
+  IndexManager(ObjectManager* objects, RecordStore* records,
+               obs::MetricsRegistry* metrics = nullptr)
+      : objects_(objects), records_(records) {
+    if (metrics != nullptr) {
+      metrics_.lookups = &metrics->counter("index.lookups");
+      metrics_.lookups_at = &metrics->counter("index.lookups_at");
+      metrics_.postings_vacuumed =
+          &metrics->counter("index.postings_vacuumed");
+    }
+  }
 
   /// Creates an index on (cls, attribute).  Rejects duplicates and unknown
   /// classes/attributes.
@@ -143,6 +165,7 @@ class IndexManager {
  private:
   ObjectManager* objects_;
   RecordStore* records_;
+  IndexMetrics metrics_;
   std::vector<std::unique_ptr<AttributeIndex>> indexes_;
 };
 

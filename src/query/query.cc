@@ -341,12 +341,22 @@ Result<std::vector<Uid>> SelectAt(const RecordStore& records,
                                   const IndexManager* indexes, uint64_t ts,
                                   SelectStats* stats) {
   SnapshotView view(records, schema, ts);
-  return SelectOverView(
+  SelectStats local;
+  SelectStats* effective = stats != nullptr ? stats : &local;
+  auto out = SelectOverView(
       view, cls, expr, indexes,
       [ts](const AttributeIndex& index, const CompareExpr& eq) {
         return index.LookupAt(eq.value(), ts);
       },
-      stats);
+      effective);
+  // Every candidate was re-verified against the snapshot; the ratio of
+  // re-verifications to selects is the versioned-postings false-positive
+  // cost the design pays for lock-free reads.
+  if (records.select_at_counter() != nullptr) {
+    records.select_at_counter()->Inc();
+    records.select_at_candidates_counter()->Add(effective->candidates);
+  }
+  return out;
 }
 
 }  // namespace orion

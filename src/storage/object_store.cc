@@ -2,8 +2,17 @@
 
 namespace orion {
 
-ObjectStore::ObjectStore(uint32_t objects_per_page)
-    : objects_per_page_(objects_per_page == 0 ? 1 : objects_per_page) {}
+ObjectStore::ObjectStore(uint32_t objects_per_page,
+                         obs::MetricsRegistry* metrics)
+    : objects_per_page_(objects_per_page == 0 ? 1 : objects_per_page),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      c_placements_(&metrics_->counter("storage.placements")),
+      c_cluster_same_page_(&metrics_->counter("storage.cluster_same_page")),
+      c_cluster_spill_(&metrics_->counter("storage.cluster_spill")),
+      tracker_(&metrics_->counter("storage.page_touches")) {}
 
 SegmentId ObjectStore::CreateSegment(std::string name) {
   std::lock_guard<std::mutex> g(seg_mu_);
@@ -49,6 +58,7 @@ Status ObjectStore::Place(Uid uid, SegmentId segment) {
   // UIDs are allocated uniquely, so no other thread can race this insert
   // for the same uid; the striped map guards the bucket structure.
   placements_.Emplace(uid, placement);
+  c_placements_->Inc();
   return Status::Ok();
 }
 
@@ -85,6 +95,12 @@ Status ObjectStore::PlaceNear(Uid uid, Uid neighbor) {
     ++page.live;
   }
   placements_.Emplace(uid, placement);
+  c_placements_->Inc();
+  if (placement.page == near.page) {
+    c_cluster_same_page_->Inc();
+  } else {
+    c_cluster_spill_->Inc();
+  }
   return Status::Ok();
 }
 

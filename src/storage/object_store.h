@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_set>
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "common/striped.h"
 #include "common/uid.h"
+#include "obs/metrics.h"
 
 namespace orion {
 
@@ -33,18 +35,30 @@ struct Placement {
 /// report locality: a composite traversal over well-clustered components
 /// touches few distinct pages; a scattered one touches many.
 ///
+/// A thin shim over the metrics registry: the total rides on the
+/// `storage.page_touches` counter owned by the registry (the one code path
+/// every consumer — benches, `Database::Stats()`, exporters — reads), with
+/// `Reset()` realized as a baseline offset because registry counters are
+/// monotonic.  The distinct-page set stays here (a set is not a counter);
+/// it is a short critical section off the hot path's single relaxed
+/// increment.
+///
 /// Thread-safe: concurrent sessions charge accesses from worker threads.
-/// The total rides on an atomic (the hot, always-taken path); the distinct
-/// set is a short critical section.
 class PageAccessTracker {
  public:
+  /// `total` is the registry counter behind `total_touches()`; the
+  /// baseline starts at its current value so a fresh tracker reads zero
+  /// even on a shared registry.
+  explicit PageAccessTracker(obs::Counter* total)
+      : total_(total), base_(total->Value()) {}
+
   void Reset() {
     std::lock_guard<std::mutex> g(mu_);
     touched_.clear();
-    total_.store(0, std::memory_order_relaxed);
+    base_.store(total_->Value(), std::memory_order_relaxed);
   }
   void Touch(SegmentId segment, uint32_t page) {
-    total_.fetch_add(1, std::memory_order_relaxed);
+    total_->Inc();
     std::lock_guard<std::mutex> g(mu_);
     touched_.insert((static_cast<uint64_t>(segment) << 32) | page);
   }
@@ -55,13 +69,14 @@ class PageAccessTracker {
   }
   /// Total accesses since Reset().
   size_t total_touches() const {
-    return total_.load(std::memory_order_relaxed);
+    return total_->Value() - base_.load(std::memory_order_relaxed);
   }
 
  private:
+  obs::Counter* total_;
+  std::atomic<uint64_t> base_;
   mutable std::mutex mu_;
   std::unordered_set<uint64_t> touched_;
-  std::atomic<size_t> total_{0};
 };
 
 /// Segment- and page-granular placement of objects (paper §2.3).
@@ -82,8 +97,11 @@ class PageAccessTracker {
 class ObjectStore {
  public:
   /// `objects_per_page` is the page capacity (a stand-in for page-size /
-  /// object-size); must be >= 1.
-  explicit ObjectStore(uint32_t objects_per_page = 16);
+  /// object-size); must be >= 1.  Placement and locality counters register
+  /// under `storage.*` in `metrics`; a null registry (standalone
+  /// construction in tests) gets a private one.
+  explicit ObjectStore(uint32_t objects_per_page = 16,
+                       obs::MetricsRegistry* metrics = nullptr);
 
   ObjectStore(const ObjectStore&) = delete;
   ObjectStore& operator=(const ObjectStore&) = delete;
@@ -146,6 +164,16 @@ class ObjectStore {
   // Segment ids are 1-based; index = id - 1.  Guarded by seg_mu_.
   std::vector<Segment> segments_;
   ShardedMap<Uid, Placement> placements_;
+
+  // Registry-backed counters, resolved once at construction (storage.*).
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* c_placements_;
+  /// PlaceNear outcomes: landed on the neighbor's own page vs spilled to a
+  /// following/fresh page.  same_page / (same_page + spill) is the
+  /// clustering hit rate the §2.3 experiments report.
+  obs::Counter* c_cluster_same_page_;
+  obs::Counter* c_cluster_spill_;
   PageAccessTracker tracker_;
 };
 

@@ -1,0 +1,497 @@
+// Validates the metrics exposition the bench binaries emit (DESIGN.md §8).
+//
+//   metrics_check <metrics.prom> <metrics.json> [bench.json...]
+//
+// Checks, in order:
+//   1. The Prometheus file parses: every non-comment line is
+//      `name{labels} value` with a sane metric name, every sample is
+//      preceded by a `# TYPE` for its family, histogram `_bucket` series
+//      are cumulative and consistent with `_count`.
+//   2. The JSON file parses (minimal recursive-descent parser — no
+//      third-party dependency) and has the {counters, gauges, histograms}
+//      shape.
+//   3. The two expositions agree: every counter in the JSON appears as a
+//      Prometheus sample with the same value, and vice versa.
+//   4. Any extra bench JSON files parse too (shape check only).
+//
+// Exit code 0 on success; prints the first failure and exits 1 otherwise.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& message) {
+  std::fprintf(stderr, "metrics_check: FAIL: %s\n", message.c_str());
+  std::exit(1);
+}
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    Fail(std::string("cannot open ") + path);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// --- Minimal JSON parser ----------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue v = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      Fail("trailing bytes after JSON document at offset " +
+           std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of JSON input");
+    }
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) {
+      Fail(std::string("expected '") + c + "' at offset " +
+           std::to_string(pos_) + ", found '" + text_[pos_] + "'");
+    }
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.str = ParseString();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return ParseBool();
+      case 'n':
+        ParseLiteral("null");
+        return JsonValue{};
+      default:
+        return ParseNumber();
+    }
+  }
+
+  void ParseLiteral(const char* lit) {
+    SkipSpace();
+    for (const char* p = lit; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        Fail(std::string("bad literal, expected ") + lit);
+      }
+    }
+  }
+
+  JsonValue ParseBool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_[pos_] == 't') {
+      ParseLiteral("true");
+      v.b = true;
+    } else {
+      ParseLiteral("false");
+      v.b = false;
+    }
+    return v;
+  }
+
+  JsonValue ParseNumber() {
+    SkipSpace();
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("bad JSON number at offset " + std::to_string(pos_));
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  std::string ParseString() {
+    Expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          Fail("unterminated escape in JSON string");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u':
+            if (pos_ + 4 > text_.size()) {
+              Fail("truncated \\u escape");
+            }
+            out.push_back('?');  // exposition never emits non-ASCII
+            pos_ += 4;
+            break;
+          default:
+            Fail(std::string("bad escape \\") + esc);
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated JSON string");
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue ParseArray() {
+    Expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (Peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == ']') {
+        return v;
+      }
+      if (c != ',') {
+        Fail("expected ',' or ']' in JSON array");
+      }
+    }
+  }
+
+  JsonValue ParseObject() {
+    Expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (Peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = ParseString();
+      Expect(':');
+      v.object.emplace(std::move(key), ParseValue());
+      const char c = Peek();
+      ++pos_;
+      if (c == '}') {
+        return v;
+      }
+      if (c != ',') {
+        Fail("expected ',' or '}' in JSON object");
+      }
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Prometheus exposition parser -------------------------------------------
+
+struct PromSample {
+  std::string name;    // full series name including _bucket/_sum/_count
+  std::string labels;  // raw text between braces, "" if none
+  double value = 0;
+};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty() || (!std::isalpha(static_cast<unsigned char>(name[0])) &&
+                       name[0] != '_' && name[0] != ':')) {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct PromDoc {
+  std::vector<PromSample> samples;
+  std::map<std::string, std::string> types;  // family -> counter/gauge/histogram
+};
+
+PromDoc ParsePrometheus(const std::string& text) {
+  PromDoc doc;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    const std::string at = " (line " + std::to_string(lineno) + ")";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, family, type;
+      ls >> hash >> kind >> family >> type;
+      if (kind == "TYPE") {
+        if (family.empty() || type.empty()) {
+          Fail("malformed # TYPE line" + at);
+        }
+        if (doc.types.count(family) > 0) {
+          Fail("duplicate # TYPE for family " + family + at);
+        }
+        doc.types[family] = type;
+      }
+      continue;  // HELP and other comments are free-form
+    }
+    PromSample s;
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+      ++i;
+    }
+    s.name = line.substr(0, i);
+    if (!ValidMetricName(s.name)) {
+      Fail("bad metric name '" + s.name + "'" + at);
+    }
+    if (i < line.size() && line[i] == '{') {
+      const size_t close = line.find('}', i);
+      if (close == std::string::npos) {
+        Fail("unterminated label set" + at);
+      }
+      s.labels = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      Fail("expected space before sample value" + at);
+    }
+    const std::string value_text = line.substr(i + 1);
+    char* end = nullptr;
+    s.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() ||
+        (*end != '\0' && std::string(end) != "\n")) {
+      if (value_text != "+Inf" && value_text != "-Inf" &&
+          value_text != "NaN") {
+        Fail("bad sample value '" + value_text + "'" + at);
+      }
+    }
+    doc.samples.push_back(std::move(s));
+  }
+  return doc;
+}
+
+/// Family of a series name: strips the histogram suffixes.
+std::string FamilyOf(const std::string& series) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string s(suffix);
+    if (series.size() > s.size() &&
+        series.compare(series.size() - s.size(), s.size(), s) == 0) {
+      return series.substr(0, series.size() - s.size());
+    }
+  }
+  return series;
+}
+
+void CheckPrometheus(const PromDoc& doc) {
+  if (doc.samples.empty()) {
+    Fail("Prometheus exposition contains no samples");
+  }
+  // Every sample's family must be declared, honoring that a histogram
+  // family covers its _bucket/_sum/_count series.
+  for (const PromSample& s : doc.samples) {
+    if (doc.types.count(s.name) > 0) {
+      continue;
+    }
+    const std::string family = FamilyOf(s.name);
+    auto it = doc.types.find(family);
+    if (it == doc.types.end()) {
+      Fail("sample '" + s.name + "' has no # TYPE declaration");
+    }
+    if (it->second != "histogram") {
+      Fail("series '" + s.name + "' uses histogram suffixes but family '" +
+           family + "' is typed " + it->second);
+    }
+  }
+  // Histogram checks: cumulative buckets ending in +Inf == _count.
+  for (const auto& [family, type] : doc.types) {
+    if (type != "histogram") {
+      continue;
+    }
+    double last_bucket = -1;
+    double inf_bucket = -1;
+    double count = -1;
+    bool saw_inf = false;
+    for (const PromSample& s : doc.samples) {
+      if (s.name == family + "_bucket") {
+        if (s.value + 1e-9 < last_bucket) {
+          Fail("histogram " + family + " buckets are not cumulative");
+        }
+        last_bucket = s.value;
+        if (s.labels.find("le=\"+Inf\"") != std::string::npos) {
+          saw_inf = true;
+          inf_bucket = s.value;
+        }
+      } else if (s.name == family + "_count") {
+        count = s.value;
+      }
+    }
+    if (!saw_inf) {
+      Fail("histogram " + family + " is missing the +Inf bucket");
+    }
+    if (count < 0) {
+      Fail("histogram " + family + " is missing _count");
+    }
+    if (inf_bucket != count) {
+      Fail("histogram " + family + ": +Inf bucket != _count");
+    }
+  }
+}
+
+// --- Cross-checks -----------------------------------------------------------
+
+/// `orion_` + name with non-alphanumerics mapped to '_': must match
+/// MetricsSnapshot::ToPrometheus.
+std::string PromNameOf(const std::string& json_name) {
+  std::string out = "orion_";
+  for (char c : json_name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+void CrossCheck(const PromDoc& prom, const JsonValue& json) {
+  const JsonValue* counters = json.Find("counters");
+  const JsonValue* gauges = json.Find("gauges");
+  const JsonValue* histograms = json.Find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    Fail("metrics JSON lacks the {counters, gauges, histograms} shape");
+  }
+  std::map<std::string, double> prom_values;
+  for (const PromSample& s : prom.samples) {
+    if (s.labels.empty()) {
+      prom_values[s.name] = s.value;
+    }
+  }
+  for (const auto& [name, value] : counters->object) {
+    auto it = prom_values.find(PromNameOf(name));
+    if (it == prom_values.end()) {
+      Fail("counter '" + name + "' is in the JSON but not the Prometheus "
+           "exposition");
+    }
+    if (it->second != value.number) {
+      Fail("counter '" + name + "' disagrees between expositions (" +
+           std::to_string(it->second) + " vs " +
+           std::to_string(value.number) + ")");
+    }
+  }
+  for (const auto& [name, h] : histograms->object) {
+    const JsonValue* count = h.Find("count");
+    if (count == nullptr) {
+      Fail("histogram '" + name + "' in JSON lacks a count");
+    }
+    auto it = prom_values.find(PromNameOf(name) + "_count");
+    if (it == prom_values.end()) {
+      Fail("histogram '" + name + "' is in the JSON but not the Prometheus "
+           "exposition");
+    }
+    if (it->second != count->number) {
+      Fail("histogram '" + name + "' count disagrees between expositions");
+    }
+  }
+  // Reverse direction: every Prometheus family must exist in the JSON.
+  for (const auto& [family, type] : prom.types) {
+    bool found = false;
+    for (const auto* section : {counters, gauges, histograms}) {
+      for (const auto& [name, v] : section->object) {
+        if (PromNameOf(name) == family) {
+          found = true;
+          break;
+        }
+      }
+    }
+    if (!found) {
+      Fail("Prometheus family '" + family + "' has no JSON counterpart");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <metrics.prom> <metrics.json> [bench.json...]\n",
+                 argv[0]);
+    return 2;
+  }
+  const PromDoc prom = ParsePrometheus(ReadFile(argv[1]));
+  CheckPrometheus(prom);
+  const JsonValue metrics = JsonParser(ReadFile(argv[2])).Parse();
+  CrossCheck(prom, metrics);
+  for (int i = 3; i < argc; ++i) {
+    const JsonValue doc = JsonParser(ReadFile(argv[i])).Parse();
+    if (doc.kind != JsonValue::Kind::kObject) {
+      Fail(std::string(argv[i]) + " is not a JSON object");
+    }
+  }
+  std::printf("metrics_check: OK (%zu samples, %zu families)\n",
+              prom.samples.size(), prom.types.size());
+  return 0;
+}
