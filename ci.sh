@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: a Release build running the full suite, then a
-# ThreadSanitizer build running the concurrency-sensitive suites, then an
-# AddressSanitizer build running the full suite plus a smoke benchmark, then
-# a metrics-exposition round-trip check over the smoke bench's output.
+# CI entry point.  Stages:
+#   release   Release build, full test suite (latch checker compiled out)
+#   debug     Debug build, full suite with the latch-rank checker ON
+#   tsan      ThreadSanitizer build, concurrency suites (checker ON via AUTO)
+#   asan      AddressSanitizer build, full suite + smoke benchmark
+#   ubsan     UndefinedBehaviorSanitizer build, full suite
+#   metrics   metrics-exposition round-trip over the smoke bench output
+#   lint      orion_lint self-test + source tree scan (DESIGN.md §9)
+#   tidy      clang-tidy over compile_commands.json (skipped if the tool
+#             is not installed; the pinned check set lives in .clang-tidy)
 # Usage: ./ci.sh            (all stages)
-#        ./ci.sh release    (stage 1 only)
-#        ./ci.sh tsan       (stage 2 only)
-#        ./ci.sh asan       (stage 3 only)
-#        ./ci.sh metrics    (stage 4 only; reuses/creates build-release)
+#        ./ci.sh <stage>    (one stage)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -21,21 +24,33 @@ if [[ "$stage" == "all" || "$stage" == "release" ]]; then
   ctest --test-dir build-release --output-on-failure -j "$jobs"
 fi
 
+if [[ "$stage" == "all" || "$stage" == "debug" ]]; then
+  echo "=== stage 2: Debug build, full suite under the latch-rank checker ==="
+  # ORION_LATCH_CHECK resolves ON for Debug: every latch acquisition in the
+  # whole suite is checked against the DESIGN.md §9 rank order and the
+  # global lock-order graph; one inversion anywhere aborts the test.
+  cmake -B build-debug -S . -DCMAKE_BUILD_TYPE=Debug
+  cmake --build build-debug -j "$jobs"
+  ctest --test-dir build-debug --output-on-failure -j "$jobs"
+fi
+
 if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
-  echo "=== stage 2: ThreadSanitizer build, concurrency suites ==="
+  echo "=== stage 3: ThreadSanitizer build, concurrency suites ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DORION_SANITIZE=thread
   cmake --build build-tsan -j "$jobs"
   # TSan halts the process on the first report, so a pass here means zero
   # data races in everything these suites execute.  Mvcc covers the
   # lock-free read path; Snapshot covers SaveSnapshot-as-read-transaction.
+  # The latch checker is also ON here (AUTO under sanitizers), so these
+  # suites double as a multi-threaded rank-order torture test.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck'
 fi
 
 if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
-  echo "=== stage 3: AddressSanitizer build, full suite + smoke bench ==="
+  echo "=== stage 4: AddressSanitizer build, full suite + smoke bench ==="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DORION_SANITIZE=address
   cmake --build build-asan -j "$jobs"
@@ -48,8 +63,17 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
     ./bench/abl_concurrency --smoke)
 fi
 
+if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then
+  echo "=== stage 5: UndefinedBehaviorSanitizer build, full suite ==="
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DORION_SANITIZE=undefined
+  cmake --build build-ubsan -j "$jobs"
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
+fi
+
 if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
-  echo "=== stage 4: metrics exposition round-trip ==="
+  echo "=== stage 6: metrics exposition round-trip ==="
   # The smoke bench exports the engine's metrics snapshot in Prometheus and
   # JSON form; metrics_check parses both independently (its own parsers, no
   # shared code with the exporters) and cross-validates the values.
@@ -59,6 +83,31 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
     ./tools/metrics_check BENCH_concurrency_metrics.prom \
                           BENCH_concurrency_metrics.json \
                           BENCH_concurrency.json)
+fi
+
+if [[ "$stage" == "all" || "$stage" == "lint" ]]; then
+  echo "=== stage 7: orion_lint (naked mutexes, unexplained discards, layering) ==="
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target orion_lint
+  ./build-release/tools/orion_lint --self-test
+  ./build-release/tools/orion_lint .
+fi
+
+if [[ "$stage" == "all" || "$stage" == "tidy" ]]; then
+  echo "=== stage 8: clang-tidy over compile_commands.json ==="
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+    # compile_commands.json is exported unconditionally (CMakeLists.txt);
+    # the check set and exclusions are pinned in .clang-tidy.
+    if command -v run-clang-tidy >/dev/null 2>&1; then
+      run-clang-tidy -p build-release -quiet "src/.*\.cc$"
+    else
+      find src -name '*.cc' -print0 |
+        xargs -0 -P "$jobs" -n 1 clang-tidy -p build-release --quiet
+    fi
+  else
+    echo "clang-tidy not installed; stage skipped (install LLVM to run it)."
+  fi
 fi
 
 echo "ci.sh: all requested stages passed."

@@ -2,8 +2,9 @@
 #define ORION_COMMON_EPOCH_H_
 
 #include <cstdint>
-#include <mutex>
 #include <set>
+
+#include "common/latch.h"
 
 namespace orion {
 
@@ -20,7 +21,7 @@ class ReadTsRegistry {
  public:
   /// Pins `ts` as active.  Multiple readers may pin the same timestamp.
   void Register(uint64_t ts) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LatchGuard lock(mu_);
     active_.insert(ts);
   }
 
@@ -37,7 +38,7 @@ class ReadTsRegistry {
   /// such a reader can reach.
   template <typename WatermarkFn>
   uint64_t RegisterCurrent(WatermarkFn&& now) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LatchGuard lock(mu_);
     const uint64_t ts = now();
     active_.insert(ts);
     return ts;
@@ -46,7 +47,7 @@ class ReadTsRegistry {
   /// Releases one pin of `ts` (a no-op if it was never registered, which
   /// keeps moved-from transaction handles harmless).
   void Unregister(uint64_t ts) {
-    std::lock_guard<std::mutex> lock(mu_);
+    LatchGuard lock(mu_);
     auto it = active_.find(ts);
     if (it != active_.end()) {
       active_.erase(it);
@@ -56,18 +57,18 @@ class ReadTsRegistry {
   /// The oldest pinned timestamp, or `fallback` (normally the current
   /// commit watermark) when no reader is active.
   uint64_t MinActive(uint64_t fallback) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LatchGuard lock(mu_);
     return active_.empty() ? fallback : *active_.begin();
   }
 
   /// Number of pins currently held (diagnostics).
   size_t ActiveCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    LatchGuard lock(mu_);
     return active_.size();
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable Latch mu_{"epoch.registry", LatchRank::kEpochRegistry};
   std::multiset<uint64_t> active_;
 };
 

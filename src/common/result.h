@@ -14,8 +14,10 @@ namespace orion {
 /// `Result<T>` is returned by operations that produce a value but may be
 /// rejected by a model rule, e.g. `ObjectManager::Make` (Topology Rule 3 may
 /// forbid the requested parents) or `VersionManager::Derive`.
+/// `[[nodiscard]]` for the same reason as `Status`: discarding a
+/// `Result<T>` silently drops both the value and the error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Success.
   Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT

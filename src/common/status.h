@@ -51,7 +51,11 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A cheap value type carrying success or a coded error with a message.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes every by-value `Status` return
+/// ill-formed to ignore under `-Werror=unused-result`; a deliberately
+/// dropped status must be spelled `(void)` with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -4,17 +4,17 @@
 #include <array>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
+
+#include "common/latch.h"
 
 namespace orion {
 
 /// Default stripe fan-out for the sharded containers.  16 ways keeps
 /// contention negligible at the 8-thread scale the ablation suite measures
-/// while the per-instance footprint stays small (16 shared_mutexes).
+/// while the per-instance footprint stays small (16 shared latches).
 inline constexpr size_t kDefaultStripes = 16;
 
 /// A fixed array of reader-writer latches addressed by key hash.
@@ -28,17 +28,22 @@ template <typename Key, size_t kStripes = kDefaultStripes,
           typename Hash = std::hash<Key>>
 class StripedMutexMap {
  public:
-  std::shared_mutex& For(const Key& key) {
-    return stripes_[Index(key)];
+  explicit StripedMutexMap(const char* name = "striped.shard",
+                           LatchRank rank = LatchRank::kTableShard) {
+    for (SharedLatch& s : stripes_) {
+      s.SetDebugInfo(name, rank);
+    }
   }
-  std::shared_mutex& AtStripe(size_t i) { return stripes_[i]; }
+
+  SharedLatch& For(const Key& key) { return stripes_[Index(key)]; }
+  SharedLatch& AtStripe(size_t i) { return stripes_[i]; }
 
   size_t Index(const Key& key) const { return Hash{}(key) % kStripes; }
 
   static constexpr size_t stripe_count() { return kStripes; }
 
  private:
-  mutable std::array<std::shared_mutex, kStripes> stripes_;
+  mutable std::array<SharedLatch, kStripes> stripes_;
 };
 
 /// A hash map striped `kStripes` ways, each shard an independent
@@ -53,29 +58,39 @@ class StripedMutexMap {
 ///
 /// Whole-map operations (`ForEach`, `Keys`) latch shards one at a time in
 /// index order; they see a consistent per-shard snapshot, not a global one,
-/// which is all the extent scans and diagnostics need.
+/// which is all the extent scans and diagnostics need.  No two shard
+/// latches are ever held together, so all shards share one latch name and
+/// rank (`LatchRank::kTableShard` unless the owner places them elsewhere,
+/// e.g. the record store's chains under `kRecordChainShard`).
 template <typename Key, typename Mapped, size_t kStripes = kDefaultStripes,
           typename Hash = std::hash<Key>>
 class ShardedMap {
  public:
+  explicit ShardedMap(const char* name = "table.shard",
+                      LatchRank rank = LatchRank::kTableShard) {
+    for (Shard& s : shards_) {
+      s.mu.SetDebugInfo(name, rank);
+    }
+  }
+
   /// Pointer to the mapped value, or nullptr.  Shared latch for the lookup
   /// only; see the class comment for the pointee's lifetime contract.
   Mapped* Find(const Key& key) {
     Shard& s = ShardFor(key);
-    std::shared_lock<std::shared_mutex> g(s.mu);
+    SharedLatchReadGuard g(s.mu);
     auto it = s.map.find(key);
     return it == s.map.end() ? nullptr : &it->second;
   }
   const Mapped* Find(const Key& key) const {
     const Shard& s = ShardFor(key);
-    std::shared_lock<std::shared_mutex> g(s.mu);
+    SharedLatchReadGuard g(s.mu);
     auto it = s.map.find(key);
     return it == s.map.end() ? nullptr : &it->second;
   }
 
   bool Contains(const Key& key) const {
     const Shard& s = ShardFor(key);
-    std::shared_lock<std::shared_mutex> g(s.mu);
+    SharedLatchReadGuard g(s.mu);
     return s.map.count(key) > 0;
   }
 
@@ -83,7 +98,7 @@ class ShardedMap {
   template <typename... Args>
   std::pair<Mapped*, bool> Emplace(const Key& key, Args&&... args) {
     Shard& s = ShardFor(key);
-    std::unique_lock<std::shared_mutex> g(s.mu);
+    SharedLatchWriteGuard g(s.mu);
     auto [it, inserted] =
         s.map.try_emplace(key, std::forward<Args>(args)...);
     return {&it->second, inserted};
@@ -91,14 +106,14 @@ class ShardedMap {
 
   bool Erase(const Key& key) {
     Shard& s = ShardFor(key);
-    std::unique_lock<std::shared_mutex> g(s.mu);
+    SharedLatchWriteGuard g(s.mu);
     return s.map.erase(key) > 0;
   }
 
   /// Removes and returns the mapped value, or nullopt.
   std::optional<Mapped> Take(const Key& key) {
     Shard& s = ShardFor(key);
-    std::unique_lock<std::shared_mutex> g(s.mu);
+    SharedLatchWriteGuard g(s.mu);
     auto it = s.map.find(key);
     if (it == s.map.end()) {
       return std::nullopt;
@@ -114,7 +129,7 @@ class ShardedMap {
   template <typename Fn>
   auto Update(const Key& key, Fn fn) {
     Shard& s = ShardFor(key);
-    std::unique_lock<std::shared_mutex> g(s.mu);
+    SharedLatchWriteGuard g(s.mu);
     return fn(s.map[key]);
   }
 
@@ -123,7 +138,7 @@ class ShardedMap {
   template <typename Fn, typename R>
   R View(const Key& key, Fn fn, R fallback) const {
     const Shard& s = ShardFor(key);
-    std::shared_lock<std::shared_mutex> g(s.mu);
+    SharedLatchReadGuard g(s.mu);
     auto it = s.map.find(key);
     return it == s.map.end() ? fallback : fn(it->second);
   }
@@ -133,7 +148,7 @@ class ShardedMap {
   template <typename Fn>
   void ForEach(Fn fn) const {
     for (const Shard& s : shards_) {
-      std::shared_lock<std::shared_mutex> g(s.mu);
+      SharedLatchReadGuard g(s.mu);
       for (const auto& [k, v] : s.map) {
         fn(k, v);
       }
@@ -148,7 +163,7 @@ class ShardedMap {
   template <typename Fn>
   void EraseIf(Fn fn) {
     for (Shard& s : shards_) {
-      std::unique_lock<std::shared_mutex> g(s.mu);
+      SharedLatchWriteGuard g(s.mu);
       for (auto it = s.map.begin(); it != s.map.end();) {
         if (fn(it->first, it->second)) {
           it = s.map.erase(it);
@@ -162,7 +177,7 @@ class ShardedMap {
   size_t size() const {
     size_t n = 0;
     for (const Shard& s : shards_) {
-      std::shared_lock<std::shared_mutex> g(s.mu);
+      SharedLatchReadGuard g(s.mu);
       n += s.map.size();
     }
     return n;
@@ -172,7 +187,7 @@ class ShardedMap {
 
  private:
   struct Shard {
-    mutable std::shared_mutex mu;
+    mutable SharedLatch mu;
     std::unordered_map<Key, Mapped, Hash> map;
   };
 

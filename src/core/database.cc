@@ -58,9 +58,12 @@ Database::Database(uint32_t objects_per_page)
   versions_.set_record_store(&records_);
 
   reclaimer_ = std::thread([this] {
-    std::unique_lock<std::mutex> lk(reclaim_mu_);
+    UniqueLatchGuard lk(reclaim_mu_);
     while (!stop_reclaimer_) {
-      reclaim_cv_.wait_for(lk, std::chrono::milliseconds(20));
+      // Timing out IS the schedule: each pass runs every ~20ms unless
+      // NotifyAll wakes the thread early for shutdown.
+      (void)reclaim_cv_.WaitOnceUntil(
+          lk, std::chrono::steady_clock::now() + std::chrono::milliseconds(20));
       if (stop_reclaimer_) {
         break;
       }
@@ -73,10 +76,10 @@ Database::Database(uint32_t objects_per_page)
 
 Database::~Database() {
   {
-    std::lock_guard<std::mutex> lk(reclaim_mu_);
+    LatchGuard lk(reclaim_mu_);
     stop_reclaimer_ = true;
   }
-  reclaim_cv_.notify_all();
+  reclaim_cv_.NotifyAll();
   if (reclaimer_.joinable()) {
     reclaimer_.join();
   }
@@ -170,6 +173,7 @@ Status Database::DropAttributeInstances(const std::vector<ClassId>& classes,
           }
         }
       }
+      // The instance may never have had the dropped attribute set.
       (void)objects_.EraseValue(uid, spec.name);
     }
   }

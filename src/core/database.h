@@ -1,9 +1,7 @@
 #ifndef ORION_CORE_DATABASE_H_
 #define ORION_CORE_DATABASE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -11,6 +9,7 @@
 #include "authz/authorization_manager.h"
 #include "common/clock.h"
 #include "common/epoch.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "object/record_store.h"
@@ -196,9 +195,10 @@ class Database {
   ReadTsRegistry read_registry_;
 
   /// Background epoch reclaimer; joined (after stop) in the destructor,
-  /// before any member is destroyed.
-  std::mutex reclaim_mu_;
-  std::condition_variable reclaim_cv_;
+  /// before any member is destroyed.  The latch guards only the stop flag
+  /// and the reclaimer's sleep; it is released across ReclaimOnce.
+  Latch reclaim_mu_{"db.reclaim", LatchRank::kReclaim};
+  LatchCondVar reclaim_cv_;
   bool stop_reclaimer_ = false;
   std::thread reclaimer_;
 };

@@ -58,6 +58,8 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
         return result;
       }
     } else {
+      // The retry loop keeps the operation's own status; abort-on-abort
+      // still finishes the transaction.
       (void)txn.Abort();
     }
     if (!IsRetryable(result)) {

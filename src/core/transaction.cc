@@ -24,6 +24,8 @@ TransactionContext::TransactionContext(Database* db,
 
 TransactionContext::~TransactionContext() {
   if (active_) {
+    // A destructor cannot propagate the abort status; Abort always leaves
+    // the transaction finished, which is all teardown needs.
     (void)Abort();
   }
 }
@@ -185,6 +187,8 @@ Result<Uid> TransactionContext::Make(const std::string& class_name,
     journal_.emplace(obj->generic(), std::nullopt);
     generic_journal_.emplace(obj->generic(), std::nullopt);
   }
+  // The uid was minted inside this transaction, so no other transaction
+  // can contend for it; the X lock only registers it for release.
   (void)db_->locks().Acquire(txn_, LockResource::Instance(uid), LockMode::kX,
                              timeout_);
   return uid;
@@ -318,6 +322,7 @@ Result<Uid> TransactionContext::Derive(Uid version) {
   }
   ORION_ASSIGN_OR_RETURN(Uid derived, db_->versions().Derive(version));
   journal_.emplace(derived, std::nullopt);
+  // Same as MakeObject: a just-derived uid cannot be contended.
   (void)db_->locks().Acquire(txn_, LockResource::Instance(derived),
                              LockMode::kX, timeout_);
   return derived;

@@ -27,7 +27,7 @@ LockManager::LockManager(obs::MetricsRegistry* metrics,
 }
 
 TxnId LockManager::Begin() {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   return ++next_txn_;
 }
 
@@ -85,7 +85,11 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
   if (txn == 0) {
     return Status::TransactionInvalid("invalid transaction id 0");
   }
-  std::unique_lock<std::mutex> lk(mu_);
+  // §6 rule 3, machine-checked: Acquire may block for the full lock
+  // timeout, so a caller holding ANY latch could deadlock the engine (a
+  // latch never participates in the lock manager's waits-for graph).
+  ORION_ASSERT_NO_LATCHES_HELD("LockManager::Acquire");
+  UniqueLatchGuard lk(mu_);
   if (txn > next_txn_) {
     return Status::TransactionInvalid("unknown transaction " +
                                       std::to_string(txn));
@@ -147,7 +151,7 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
       wait_start_us = obs::NowMicros();
     }
     ++entry.waiters;
-    const std::cv_status woke = entry.cv.wait_until(lk, deadline);
+    const std::cv_status woke = entry.cv.WaitOnceUntil(lk, deadline);
     --entry.waiters;
     // Stale edges are rebuilt each round from the fresh blocker set.
     waits_for_.erase(txn);
@@ -162,7 +166,7 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
 }
 
 Status LockManager::Release(TxnId txn) {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   auto it = txn_resources_.find(txn);
   if (it != txn_resources_.end()) {
     for (const LockResource& r : it->second) {
@@ -174,7 +178,7 @@ Status LockManager::Release(TxnId txn) {
       // Wake only the waiters of this freed resource; waiters keep the
       // entry alive, an idle entry is dropped.
       if (entry->second.waiters > 0) {
-        entry->second.cv.notify_all();
+        entry->second.cv.NotifyAll();
       } else if (entry->second.holders.empty()) {
         table_.erase(entry);
       }
@@ -190,7 +194,7 @@ Status LockManager::Release(TxnId txn) {
 
 std::vector<LockMode> LockManager::HeldModes(TxnId txn,
                                              const LockResource& resource) {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   auto entry = table_.find(resource);
   if (entry == table_.end()) {
     return {};
@@ -203,13 +207,13 @@ std::vector<LockMode> LockManager::HeldModes(TxnId txn,
 }
 
 bool LockManager::IsLocked(const LockResource& resource) {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   auto entry = table_.find(resource);
   return entry != table_.end() && !entry->second.holders.empty();
 }
 
 size_t LockManager::grant_count() {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   size_t n = 0;
   for (const auto& [r, entry] : table_) {
     for (const auto& [txn, modes] : entry.holders) {

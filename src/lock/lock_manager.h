@@ -2,17 +2,16 @@
 #define ORION_LOCK_LOCK_MANAGER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/uid.h"
@@ -136,7 +135,7 @@ class LockManager {
     // Waiters blocked on this resource.  The entry may not be erased while
     // waiters > 0 (they hold a reference to `cv` across the wait; node
     // stability of unordered_map keeps it valid against rehashes).
-    std::condition_variable cv;
+    LatchCondVar cv;
     int waiters = 0;
   };
 
@@ -151,7 +150,11 @@ class LockManager {
   /// Drops `resource`'s entry if it has neither holders nor waiters.
   void MaybeErase(const LockResource& resource);
 
-  std::mutex mu_;
+  /// The lock table's own latch.  A leaf in the rank order, and Acquire
+  /// additionally asserts that the calling thread holds NO latch at all:
+  /// rank order cannot express "never block on a logical lock while
+  /// holding a latch", so that rule is checked at the entry point.
+  Latch mu_{"lock.table", LatchRank::kLockTable};
   std::unordered_map<LockResource, ResourceEntry> table_;
   std::unordered_map<TxnId, std::unordered_set<TxnId>> waits_for_;
   std::unordered_map<TxnId, std::vector<LockResource>> txn_resources_;

@@ -715,6 +715,8 @@ Status ObjectManager::DeleteSingle(Uid uid, bool notify) {
     NotifyDelete(*obj);
   }
   if (store_ != nullptr) {
+    // Best-effort: the placement may already be gone (never placed, or
+    // removed by an earlier pass over the same closure).
     (void)store_->Remove(uid);
   }
   extents_.Update(obj->class_id(),
@@ -851,6 +853,8 @@ Status ObjectManager::RestoreObject(Object obj) {
   Object* stored = objects_.Emplace(uid, std::move(obj)).first;
   RestoreNextUid(uid.raw);
   if (store_ != nullptr && def->segment != kInvalidSegment) {
+    // Re-placement of a restored object; a full segment just means the
+    // object lands unclustered, which Place reports but never fails on.
     (void)store_->Place(uid, def->segment);
   }
   NotifyCreate(*stored);
@@ -859,14 +863,14 @@ Status ObjectManager::RestoreObject(Object obj) {
 }
 
 void ObjectManager::RemoveObserver(ObjectObserver* observer) {
-  std::unique_lock<std::shared_mutex> g(observers_mu_);
+  SharedLatchWriteGuard g(observers_mu_);
   observers_.erase(std::remove(observers_.begin(), observers_.end(),
                                observer),
                    observers_.end());
 }
 
 void ObjectManager::NotifyCreate(const Object& obj) {
-  std::shared_lock<std::shared_mutex> g(observers_mu_);
+  SharedLatchReadGuard g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnCreate(obj);
   }
@@ -875,14 +879,14 @@ void ObjectManager::NotifyCreate(const Object& obj) {
 void ObjectManager::NotifyUpdate(const Object& obj,
                                  const std::string& attribute,
                                  const Value& old_value) {
-  std::shared_lock<std::shared_mutex> g(observers_mu_);
+  SharedLatchReadGuard g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnUpdate(obj, attribute, old_value);
   }
 }
 
 void ObjectManager::NotifyDelete(const Object& obj) {
-  std::shared_lock<std::shared_mutex> g(observers_mu_);
+  SharedLatchReadGuard g(observers_mu_);
   for (ObjectObserver* o : observers_) {
     o->OnDelete(obj);
   }
@@ -917,6 +921,8 @@ void ObjectManager::EraseRaw(Uid uid) {
   extents_.Update(obj->class_id(),
                   [&](std::unordered_set<Uid>& s) { s.erase(uid); });
   if (store_ != nullptr) {
+    // Best-effort: the placement may already be gone (never placed, or
+    // removed by an earlier pass over the same closure).
     (void)store_->Remove(uid);
   }
   objects_.Erase(uid);
@@ -944,6 +950,8 @@ void ObjectManager::OverwriteRaw(Object obj) {
                   [&](std::unordered_set<Uid>& s) { s.insert(uid); });
   if (store_ != nullptr && def != nullptr &&
       def->segment != kInvalidSegment) {
+    // Re-placement of a restored object; a full segment just means the
+    // object lands unclustered, which Place reports but never fails on.
     (void)store_->Place(uid, def->segment);
   }
   Object* stored = objects_.Emplace(uid, std::move(obj)).first;

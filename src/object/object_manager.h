@@ -2,8 +2,6 @@
 #define ORION_OBJECT_OBJECT_MANAGER_H_
 
 #include <atomic>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,6 +9,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/striped.h"
@@ -218,7 +217,7 @@ class ObjectManager {
   /// Observers are invoked from whichever session thread performs the
   /// mutation and must be internally thread-safe under concurrent sessions.
   void AddObserver(ObjectObserver* observer) {
-    std::unique_lock<std::shared_mutex> g(observers_mu_);
+    SharedLatchWriteGuard g(observers_mu_);
     observers_.push_back(observer);
   }
   void RemoveObserver(ObjectObserver* observer);
@@ -286,10 +285,14 @@ class ObjectManager {
   LogicalClock* clock_;
   /// 16-way striped object table; see the class comment for the latching
   /// vs. locking split.
-  ShardedMap<Uid, Object> objects_;
+  ShardedMap<Uid, Object> objects_{"objtable.shard", LatchRank::kTableShard};
   /// Class extents, striped by class id.
-  ShardedMap<ClassId, std::unordered_set<Uid>> extents_;
-  mutable std::shared_mutex observers_mu_;
+  ShardedMap<ClassId, std::unordered_set<Uid>> extents_{
+      "extents.shard", LatchRank::kTableShard};
+  /// Held shared while observer callbacks run (they take index postings,
+  /// ranked above).
+  mutable SharedLatch observers_mu_{"objmgr.observers",
+                                    LatchRank::kObserverList};
   std::vector<ObjectObserver*> observers_;
   std::atomic<uint64_t> next_uid_{0};
   RecordStore* records_ = nullptr;

@@ -178,7 +178,7 @@ uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
   const uint64_t records = staged_objects.size() + staged_generics.size();
   uint64_t ts = 0;
   {
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    LatchGuard commit(commit_mu_);
     ts = clock_->Tick();
     for (StagedObject& so : staged_objects) {
       InstallObject(so.uid, std::move(so.state), ts);
@@ -228,7 +228,7 @@ void RecordStore::InstallObject(Uid uid, std::shared_ptr<const Object> state,
       s.insert(uid);
     });
   }
-  std::lock_guard<std::mutex> lg(listeners_mu_);
+  LatchGuard lg(listeners_mu_);
   for (RecordStoreListener* listener : listeners_) {
     listener->OnObjectPublished(uid, before.get(), state.get(), ts);
   }
@@ -386,7 +386,7 @@ size_t RecordStore::Trim(uint64_t min_active_ts) {
     // an extent entry is only erased while its chain is provably still
     // gone.  Lock order matches InstallObject (commit_mu_, then the shard
     // latches).
-    std::lock_guard<std::mutex> commit(commit_mu_);
+    LatchGuard commit(commit_mu_);
     for (const auto& [uid, cls] : dead) {
       if (objects_.Contains(uid)) {
         continue;  // re-created; the new publication owns the extent entry
@@ -429,7 +429,7 @@ size_t RecordStore::Trim(uint64_t min_active_ts) {
     c_records_trimmed_->Add(trimmed);
   }
 
-  std::lock_guard<std::mutex> lg(listeners_mu_);
+  LatchGuard lg(listeners_mu_);
   for (RecordStoreListener* listener : listeners_) {
     listener->OnTrim(min_active_ts);
   }
@@ -437,12 +437,12 @@ size_t RecordStore::Trim(uint64_t min_active_ts) {
 }
 
 void RecordStore::AddListener(RecordStoreListener* listener) {
-  std::lock_guard<std::mutex> lg(listeners_mu_);
+  LatchGuard lg(listeners_mu_);
   listeners_.push_back(listener);
 }
 
 void RecordStore::RemoveListener(RecordStoreListener* listener) {
-  std::lock_guard<std::mutex> lg(listeners_mu_);
+  LatchGuard lg(listeners_mu_);
   listeners_.erase(
       std::remove(listeners_.begin(), listeners_.end(), listener),
       listeners_.end());

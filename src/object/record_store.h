@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -13,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/latch.h"
 #include "common/striped.h"
 #include "common/uid.h"
 #include "object/object.h"
@@ -243,17 +243,27 @@ class RecordStore {
   /// unit: records install, THEN the watermark advances past their
   /// timestamp.  A reader's timestamp is always a published watermark, so
   /// it can never observe half a commit.
-  std::mutex commit_mu_;
+  ///
+  /// Rank kCommit — the §7 leaf rule, machine-checked: acquired only with
+  /// nothing held except the coordinator latches ranked below it (the
+  /// version registry publishes GenericRecords while holding its own
+  /// latch); inside it, only the store's own chain shards, the listener
+  /// list, and the index postings the listeners feed may be taken.
+  Latch commit_mu_{"recordstore.commit", LatchRank::kCommit};
   std::atomic<uint64_t> watermark_{0};
 
-  ShardedMap<Uid, ObjectChain> objects_;
-  ShardedMap<Uid, GenericChain> generics_;
+  ShardedMap<Uid, ObjectChain> objects_{"recordstore.objects.shard",
+                                        LatchRank::kRecordChainShard};
+  ShardedMap<Uid, GenericChain> generics_{"recordstore.generics.shard",
+                                          LatchRank::kRecordChainShard};
   /// Uids ever published (non-tombstone) under each class; pruned on trim.
   /// A member may be dead or reclassified at any given ts — InstancesOfAt
   /// re-verifies through GetAt.
-  ShardedMap<ClassId, std::unordered_set<Uid>> extent_members_;
+  ShardedMap<ClassId, std::unordered_set<Uid>> extent_members_{
+      "recordstore.extents.shard", LatchRank::kRecordChainShard};
 
-  mutable std::mutex listeners_mu_;
+  mutable Latch listeners_mu_{"recordstore.listeners",
+                              LatchRank::kListenerList};
   std::vector<RecordStoreListener*> listeners_;
 
   // Registry-backed instrumentation (mvcc.* / query.*); null until

@@ -8,9 +8,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/latch.h"
 
 namespace orion::obs {
 
@@ -172,7 +173,7 @@ class MetricsRegistry {
   static MetricsRegistry& Default();
 
  private:
-  mutable std::mutex mu_;
+  mutable Latch mu_{"obs.metrics.registry", LatchRank::kMetrics};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;

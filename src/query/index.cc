@@ -38,12 +38,19 @@ AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
       attribute_(std::move(attribute)),
       metrics_(metrics) {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    // Scan the table BEFORE latching the postings: the table walk takes
+    // extent/object shard latches (kTableShard), which rank below mu_
+    // (kIndexPostings) and so may not be acquired under it.
+    std::vector<std::pair<Uid, Value>> seed;
     for (Uid uid : objects_->InstancesOfDeep(cls_)) {
       const Object* obj = objects_->Peek(uid);
       if (obj != nullptr) {
-        IndexValue(uid, obj->Get(attribute_));
+        seed.emplace_back(uid, obj->Get(attribute_));
       }
+    }
+    LatchGuard g(mu_);
+    for (const auto& [uid, value] : seed) {
+      IndexValue(uid, value);
     }
   }
   objects_->AddObserver(this);
@@ -61,7 +68,7 @@ AttributeIndex::AttributeIndex(ObjectManager* objects, RecordStore* records,
       if (record.state == nullptr || !Covers(*record.state)) {
         return;
       }
-      std::lock_guard<std::mutex> g(mu_);
+      LatchGuard g(mu_);
       for (const std::string& key : KeysOf(record.state->Get(attribute_))) {
         std::vector<Posting>& v = versioned_[key];
         // A racing publication may already have opened this (key, uid) at
@@ -141,7 +148,7 @@ std::vector<Uid> AttributeIndex::Lookup(const Value& value) const {
   if (metrics_.lookups != nullptr) {
     metrics_.lookups->Inc();
   }
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   auto it = postings_.find(KeyOf(value));
   if (it == postings_.end()) {
     return {};
@@ -156,7 +163,7 @@ std::vector<Uid> AttributeIndex::LookupAt(const Value& value,
   }
   std::vector<Uid> out;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     auto it = versioned_.find(KeyOf(value));
     if (it == versioned_.end()) {
       return out;
@@ -173,7 +180,7 @@ std::vector<Uid> AttributeIndex::LookupAt(const Value& value,
 }
 
 size_t AttributeIndex::entry_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   size_t n = 0;
   for (const auto& [key, uids] : postings_) {
     n += uids.size();
@@ -182,7 +189,7 @@ size_t AttributeIndex::entry_count() const {
 }
 
 size_t AttributeIndex::versioned_entry_count() const {
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   size_t n = 0;
   for (const auto& [key, v] : versioned_) {
     n += v.size();
@@ -192,7 +199,7 @@ size_t AttributeIndex::versioned_entry_count() const {
 
 void AttributeIndex::OnCreate(const Object& object) {
   if (Covers(object)) {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     IndexValue(object.uid(), object.Get(attribute_));
   }
 }
@@ -203,14 +210,14 @@ void AttributeIndex::OnUpdate(const Object& object,
   if (attribute != attribute_ || !Covers(object)) {
     return;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   UnindexValue(object.uid(), old_value);
   IndexValue(object.uid(), object.Get(attribute_));
 }
 
 void AttributeIndex::OnDelete(const Object& object) {
   if (Covers(object)) {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     UnindexValue(object.uid(), object.Get(attribute_));
   }
 }
@@ -228,7 +235,7 @@ void AttributeIndex::OnObjectPublished(Uid uid, const Object* before,
   std::vector<std::string> new_keys =
       after != nullptr ? KeysOf(after->Get(attribute_))
                        : std::vector<std::string>{};
-  std::lock_guard<std::mutex> g(mu_);
+  LatchGuard g(mu_);
   for (const std::string& key : old_keys) {
     if (std::find(new_keys.begin(), new_keys.end(), key) == new_keys.end()) {
       ClosePosting(uid, key, commit_ts);
@@ -244,7 +251,7 @@ void AttributeIndex::OnObjectPublished(Uid uid, const Object* before,
 void AttributeIndex::OnTrim(uint64_t min_active_ts) {
   size_t vacuumed = 0;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     for (auto it = versioned_.begin(); it != versioned_.end();) {
       std::vector<Posting>& v = it->second;
       const size_t before = v.size();

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "object/object_manager.h"
 #include "object/record_store.h"
@@ -81,7 +81,7 @@ class AttributeIndex : public ObjectObserver, public RecordStoreListener {
 
   /// Distinct live keys.
   size_t key_count() const {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     return postings_.size();
   }
 
@@ -121,7 +121,7 @@ class AttributeIndex : public ObjectObserver, public RecordStoreListener {
   ClassId cls_;
   std::string attribute_;
   IndexMetrics metrics_;
-  mutable std::mutex mu_;
+  mutable Latch mu_{"index.postings", LatchRank::kIndexPostings};
   /// Canonical key encoding -> live posting set.  Value lacks operator< and
   /// hashing; the deterministic ToString encoding is the key.  Guarded by
   /// mu_.

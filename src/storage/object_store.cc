@@ -15,7 +15,7 @@ ObjectStore::ObjectStore(uint32_t objects_per_page,
       tracker_(&metrics_->counter("storage.page_touches")) {}
 
 SegmentId ObjectStore::CreateSegment(std::string name) {
-  std::lock_guard<std::mutex> g(seg_mu_);
+  LatchGuard g(seg_mu_);
   segments_.push_back(Segment{std::move(name), {}});
   return static_cast<SegmentId>(segments_.size());
 }
@@ -41,7 +41,7 @@ Status ObjectStore::Place(Uid uid, SegmentId segment) {
   }
   Placement placement;
   {
-    std::lock_guard<std::mutex> g(seg_mu_);
+    LatchGuard g(seg_mu_);
     Segment* seg = FindSegment(segment);
     if (seg == nullptr) {
       return Status::NotFound("segment " + std::to_string(segment));
@@ -75,7 +75,7 @@ Status ObjectStore::PlaceNear(Uid uid, Uid neighbor) {
   const Placement near = *near_ptr;
   Placement placement;
   {
-    std::lock_guard<std::mutex> g(seg_mu_);
+    LatchGuard g(seg_mu_);
     Segment* seg = FindSegment(near.segment);
     if (seg == nullptr) {
       return Status::Internal("placement references missing segment");
@@ -109,7 +109,7 @@ Status ObjectStore::Remove(Uid uid) {
   if (!placement.has_value()) {
     return Status::NotFound("object " + uid.ToString() + " is not placed");
   }
-  std::lock_guard<std::mutex> g(seg_mu_);
+  LatchGuard g(seg_mu_);
   Segment* seg = FindSegment(placement->segment);
   if (seg != nullptr && placement->page < seg->pages.size() &&
       seg->pages[placement->page].live > 0) {
@@ -144,7 +144,7 @@ void ObjectStore::RecordAccess(Uid uid) {
 }
 
 size_t ObjectStore::PageCount(SegmentId segment) const {
-  std::lock_guard<std::mutex> g(seg_mu_);
+  LatchGuard g(seg_mu_);
   const Segment* seg = FindSegment(segment);
   return seg == nullptr ? 0 : seg->pages.size();
 }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/striped.h"
@@ -53,18 +53,18 @@ class PageAccessTracker {
       : total_(total), base_(total->Value()) {}
 
   void Reset() {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     touched_.clear();
     base_.store(total_->Value(), std::memory_order_relaxed);
   }
   void Touch(SegmentId segment, uint32_t page) {
     total_->Inc();
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     touched_.insert((static_cast<uint64_t>(segment) << 32) | page);
   }
   /// Number of distinct (segment, page) pairs touched since Reset().
   size_t distinct_pages() const {
-    std::lock_guard<std::mutex> g(mu_);
+    LatchGuard g(mu_);
     return touched_.size();
   }
   /// Total accesses since Reset().
@@ -75,7 +75,7 @@ class PageAccessTracker {
  private:
   obs::Counter* total_;
   std::atomic<uint64_t> base_;
-  mutable std::mutex mu_;
+  mutable Latch mu_{"storage.page_tracker", LatchRank::kPageTracker};
   std::unordered_set<uint64_t> touched_;
 };
 
@@ -111,7 +111,7 @@ class ObjectStore {
 
   /// Number of segments created.
   size_t segment_count() const {
-    std::lock_guard<std::mutex> g(seg_mu_);
+    LatchGuard g(seg_mu_);
     return segments_.size();
   }
 
@@ -160,10 +160,11 @@ class ObjectStore {
   const Segment* FindSegment(SegmentId id) const;
 
   uint32_t objects_per_page_;
-  mutable std::mutex seg_mu_;
+  mutable Latch seg_mu_{"storage.segments", LatchRank::kSegmentTable};
   // Segment ids are 1-based; index = id - 1.  Guarded by seg_mu_.
   std::vector<Segment> segments_;
-  ShardedMap<Uid, Placement> placements_;
+  ShardedMap<Uid, Placement> placements_{"storage.placements.shard",
+                                         LatchRank::kTableShard};
 
   // Registry-backed counters, resolved once at construction (storage.*).
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;

@@ -16,7 +16,7 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
   // One atomically visible publication for the generic, the version, and
   // everything the bindings touch.
   RecordStore::Batch publish(records_);
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   if (!IsVersionableClass(cls)) {
     return Status::InvalidArgument("class is not versionable");
   }
@@ -31,8 +31,10 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
   MarkGeneric(generic);
 
   auto abort = [&](const Status& status) -> Status {
+    // Best-effort rollback of the half-built pair; the caller gets the
+    // original failure either way.
     (void)objects_->DeleteSingle(version);
-    (void)objects_->DeleteSingle(generic);
+    (void)objects_->DeleteSingle(generic);  // also best-effort
     generics_.erase(generic);
     MarkGeneric(generic);
     return status;
@@ -44,6 +46,8 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
   if (all_attrs.ok()) {
     for (const AttributeSpec& spec : *all_attrs) {
       if (!spec.initial.is_null() && !spec.is_composite()) {
+        // The attribute was just resolved from the schema and the version
+        // just created, so the set cannot be rejected.
         (void)objects_->SetAttribute(version, spec.name, spec.initial);
       }
     }
@@ -67,7 +71,7 @@ Result<VersionedHandle> VersionManager::MakeVersioned(
 
 Result<Uid> VersionManager::Derive(Uid version) {
   RecordStore::Batch publish(records_);
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   Object* src = objects_->Peek(version);
   if (src == nullptr || !src->is_version()) {
     return Status::InvalidArgument("Derive requires a version instance");
@@ -92,6 +96,7 @@ Result<Uid> VersionManager::Derive(Uid version) {
     versions.erase(std::remove(versions.begin(), versions.end(), derived),
                    versions.end());
     MarkGeneric(generic);
+    // Best-effort rollback of the half-derived version.
     (void)objects_->DeleteSingle(derived);
     return status;
   };
@@ -219,13 +224,13 @@ Status VersionManager::DeleteVersionClosure(Uid version) {
 
 Status VersionManager::DeleteVersion(Uid version) {
   RecordStore::Batch publish(records_);
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   return DeleteVersionClosure(version);
 }
 
 Status VersionManager::DeleteGeneric(Uid generic) {
   RecordStore::Batch publish(records_);
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -318,6 +323,9 @@ Status VersionManager::DeleteGeneric(Uid generic) {
       }
     }
   }
+  // The generic just lost its last version; it cannot be a composite
+  // target (CV-2 forbids referencing an empty generic), so the delete
+  // cannot be rejected.
   (void)objects_->DeleteSingle(generic);
   generics_.erase(generic);
   MarkGeneric(generic);
@@ -331,7 +339,7 @@ Status VersionManager::DeleteGeneric(Uid generic) {
 }
 
 Status VersionManager::SetDefaultVersion(Uid generic, Uid version) {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -349,7 +357,7 @@ Status VersionManager::SetDefaultVersion(Uid generic, Uid version) {
 }
 
 Result<Uid> VersionManager::DefaultVersion(Uid generic) const {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());
@@ -376,7 +384,7 @@ Result<Uid> VersionManager::DefaultVersion(Uid generic) const {
 }
 
 Result<Uid> VersionManager::ResolveBinding(Uid ref) const {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   const Object* obj = objects_->Peek(ref);
   if (obj == nullptr) {
     return Status::NotFound("object " + ref.ToString());
@@ -388,14 +396,14 @@ Result<Uid> VersionManager::ResolveBinding(Uid ref) const {
 }
 
 bool VersionManager::IsDynamicBinding(Uid ref) const {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   const Object* obj = objects_->Peek(ref);
   return obj != nullptr && obj->is_generic();
 }
 
 std::vector<std::tuple<Uid, std::vector<Uid>, Uid>>
 VersionManager::DumpGenerics() const {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   std::vector<std::tuple<Uid, std::vector<Uid>, Uid>> out;
   out.reserve(generics_.size());
   for (const auto& [generic, info] : generics_) {
@@ -405,7 +413,7 @@ VersionManager::DumpGenerics() const {
 }
 
 Result<std::vector<Uid>> VersionManager::VersionsOf(Uid generic) const {
-  std::lock_guard<std::recursive_mutex> g(mu_);
+  RecursiveLatchGuard g(mu_);
   auto it = generics_.find(generic);
   if (it == generics_.end()) {
     return Status::NotFound("generic instance " + generic.ToString());

@@ -1,7 +1,6 @@
 #ifndef ORION_VERSION_VERSION_MANAGER_H_
 #define ORION_VERSION_VERSION_MANAGER_H_
 
-#include <mutex>
 #include <string>
 #include <tuple>
 #include <unordered_set>
@@ -9,6 +8,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "object/object_manager.h"
@@ -103,7 +103,7 @@ class VersionManager {
 
   /// Number of live generic instances.
   size_t generic_count() const {
-    std::lock_guard<std::recursive_mutex> g(mu_);
+    RecursiveLatchGuard g(mu_);
     return generics_.size();
   }
 
@@ -116,7 +116,7 @@ class VersionManager {
   void RestoreGeneric(Uid generic, std::vector<Uid> versions,
                       Uid user_default) {
     {
-      std::lock_guard<std::recursive_mutex> g(mu_);
+      RecursiveLatchGuard g(mu_);
       generics_[generic] = GenericInfo{std::move(versions), user_default};
     }
     MarkGeneric(generic);
@@ -126,7 +126,7 @@ class VersionManager {
   /// rollback of a MakeVersioned).
   void ForgetGeneric(Uid generic) {
     {
-      std::lock_guard<std::recursive_mutex> g(mu_);
+      RecursiveLatchGuard g(mu_);
       generics_.erase(generic);
     }
     MarkGeneric(generic);
@@ -139,7 +139,7 @@ class VersionManager {
 
   /// The registry entry of `generic`: (versions, user default).
   Result<std::pair<std::vector<Uid>, Uid>> GenericInfoOf(Uid generic) const {
-    std::lock_guard<std::recursive_mutex> g(mu_);
+    RecursiveLatchGuard g(mu_);
     auto it = generics_.find(generic);
     if (it == generics_.end()) {
       return Status::NotFound("generic instance " + generic.ToString());
@@ -172,9 +172,12 @@ class VersionManager {
   /// Derives on one generic race on its version list; instance locks alone
   /// do not cover the registry).  Recursive because the CV-4X deletion
   /// rules re-enter through DeleteVersionClosure/DeleteGeneric.  Ordering
-  /// (DESIGN.md §6): acquired before object-table stripes, never while
-  /// holding one, and never across a lock-manager wait.
-  mutable std::recursive_mutex mu_;
+  /// (DESIGN.md §9): rank kVersionRegistry — acquired before object-table
+  /// stripes and before the record store's commit latch (registry
+  /// mutations publish while holding it), never while holding either, and
+  /// never across a lock-manager wait.
+  mutable RecursiveLatch mu_{"version.registry",
+                             LatchRank::kVersionRegistry};
   std::unordered_map<Uid, GenericInfo> generics_;
   RecordStore* records_ = nullptr;
   /// Generics currently being deleted by DeleteGeneric; the last-version

@@ -1,0 +1,187 @@
+// Tests for the latch-rank checker itself (common/latch.h, DESIGN.md §9).
+//
+// The deadlock-analysis layer is only trustworthy if its own detection is
+// tested: each invariant here is driven to an actual abort in a death-test
+// subprocess, so "the checker catches a rank inversion" is an executed
+// fact, not a claim.  When ORION_LATCH_CHECK is off (Release), the death
+// tests skip and the static_asserts below prove the wrappers add zero
+// bytes over the raw std primitives.
+
+#include "common/latch.h"
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "gtest/gtest.h"
+
+namespace orion {
+namespace {
+
+#ifndef ORION_LATCH_CHECK
+// Checker off: the wrappers must be layout-identical to the primitives
+// they replace — no name, no rank, no bookkeeping.
+static_assert(sizeof(Latch) == sizeof(std::mutex),
+              "Latch must compile down to a bare std::mutex in Release");
+static_assert(sizeof(SharedLatch) == sizeof(std::shared_mutex),
+              "SharedLatch must compile down to a bare std::shared_mutex");
+static_assert(sizeof(RecursiveLatch) == sizeof(std::recursive_mutex),
+              "RecursiveLatch must compile down to std::recursive_mutex");
+#endif
+
+class LatchCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#ifndef ORION_LATCH_CHECK
+    GTEST_SKIP() << "latch checker compiled out (ORION_LATCH_CHECK off)";
+#endif
+    // Aborts fire on checker threads too; fork-per-death-test keeps the
+    // parent suite alive.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST_F(LatchCheckTest, AscendingRanksAreFine) {
+  Latch low("test.low", LatchRank::kVersionRegistry);
+  Latch high("test.high", LatchRank::kIndexPostings);
+  LatchGuard a(low);
+  LatchGuard b(high);
+  SUCCEED();
+}
+
+TEST_F(LatchCheckTest, RankInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Latch low("test.low", LatchRank::kVersionRegistry);
+        Latch high("test.high", LatchRank::kIndexPostings);
+        LatchGuard a(high);
+        LatchGuard b(low);  // descending: must abort
+      },
+      "latch-rank inversion");
+}
+
+TEST_F(LatchCheckTest, EqualRankAborts) {
+  // Two distinct latch classes at one rank can deadlock against each
+  // other, so equal rank is an inversion too (ranks must STRICTLY ascend).
+  EXPECT_DEATH(
+      {
+        Latch a("test.shard_a", LatchRank::kTableShard);
+        Latch b("test.shard_b", LatchRank::kTableShard);
+        LatchGuard ga(a);
+        LatchGuard gb(b);
+      },
+      "latch-rank inversion");
+}
+
+TEST_F(LatchCheckTest, CommitLatchLeafRuleAborts) {
+  // The §7 rule: the commit latch is a strict leaf among subsystem
+  // latches — holding any latch of the table/subsystem bands while
+  // entering the commit gateway is an inversion.
+  EXPECT_DEATH(
+      {
+        Latch postings("test.postings", LatchRank::kIndexPostings);
+        Latch commit("test.commit", LatchRank::kCommit);
+        LatchGuard g(postings);
+        LatchGuard c(commit);  // subsystem latch nests AROUND commit
+      },
+      "latch-rank inversion");
+}
+
+TEST_F(LatchCheckTest, CoordinatorMayWrapCommit) {
+  // ...but the version registry legitimately publishes while held
+  // (record_store.cc): coordinator ranks sit below kCommit.
+  RecursiveLatch registry("test.registry", LatchRank::kVersionRegistry);
+  Latch commit("test.commit", LatchRank::kCommit);
+  RecursiveLatchGuard g(registry);
+  LatchGuard c(commit);
+  SUCCEED();
+}
+
+TEST_F(LatchCheckTest, SelfReentryOnPlainLatchAborts) {
+  EXPECT_DEATH(
+      {
+        Latch mu("test.self", LatchRank::kCommit);
+        LatchGuard a(mu);
+        mu.lock();  // same instance, non-recursive: self-deadlock
+      },
+      "self-deadlock");
+}
+
+TEST_F(LatchCheckTest, RecursiveReentryIsFine) {
+  RecursiveLatch mu("test.recursive", LatchRank::kVersionRegistry);
+  RecursiveLatchGuard a(mu);
+  RecursiveLatchGuard b(mu);
+  RecursiveLatchGuard c(mu);
+  SUCCEED();
+}
+
+TEST_F(LatchCheckTest, OrderGraphCycleAcrossThreadsAborts) {
+  // Unranked latches skip the rank rule, so only the lock-order graph can
+  // see this: thread 1 teaches it A -> B, thread 2 then closes the cycle
+  // with B -> A — even though no deadlock manifests at runtime.
+  EXPECT_DEATH(
+      {
+        Latch a("test.cycle_a", LatchRank::kUnranked);
+        Latch b("test.cycle_b", LatchRank::kUnranked);
+        std::thread t1([&] {
+          LatchGuard ga(a);
+          LatchGuard gb(b);
+        });
+        t1.join();
+        std::thread t2([&] {
+          LatchGuard gb(b);
+          LatchGuard ga(a);  // closes test.cycle_a -> test.cycle_b -> a
+        });
+        t2.join();
+      },
+      "latch order cycle");
+}
+
+TEST_F(LatchCheckTest, AssertNoneHeldAborts) {
+  EXPECT_DEATH(
+      {
+        Latch mu("test.held", LatchRank::kTableShard);
+        LatchGuard g(mu);
+        ORION_ASSERT_NO_LATCHES_HELD("LatchCheckTest");
+      },
+      "latch held across");
+}
+
+TEST_F(LatchCheckTest, AssertNoneHeldPassesWhenClear) {
+  {
+    Latch mu("test.clear", LatchRank::kTableShard);
+    LatchGuard g(mu);
+  }
+  ORION_ASSERT_NO_LATCHES_HELD("LatchCheckTest");
+  SUCCEED();
+}
+
+TEST_F(LatchCheckTest, SharedLatchReadersAreTracked) {
+  // A shared (reader) hold participates in the same rank order as an
+  // exclusive one: reader-held postings still forbid taking a shard.
+  EXPECT_DEATH(
+      {
+        SharedLatch postings("test.shared_postings",
+                             LatchRank::kIndexPostings);
+        Latch shard("test.shard", LatchRank::kTableShard);
+        SharedLatchReadGuard r(postings);
+        LatchGuard g(shard);
+      },
+      "latch-rank inversion");
+}
+
+TEST_F(LatchCheckTest, ReleaseRestoresCleanSlate) {
+  Latch high("test.high2", LatchRank::kIndexPostings);
+  Latch low("test.low2", LatchRank::kVersionRegistry);
+  {
+    LatchGuard g(high);
+  }
+  // high released: acquiring low afresh is legal.
+  LatchGuard g(low);
+#ifdef ORION_LATCH_CHECK
+  EXPECT_EQ(latch_check::HeldCount(), 1u);
+#endif
+}
+
+}  // namespace
+}  // namespace orion

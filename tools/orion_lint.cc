@@ -1,0 +1,329 @@
+// orion_lint — source-level checker for the engine invariants the compiler
+// cannot see (DESIGN.md §9).  Dependency-free; runs as a ci.sh stage and as
+// two ctest entries (OrionLint.SelfTest, OrionLint.Source).
+//
+// Rules, each suppressible per line with
+//   // orion-lint: allow(<rule>): <reason>
+//
+//   naked-mutex        std::mutex / std::shared_mutex / std::lock_guard /
+//                      std::unique_lock / std::condition_variable / ... may
+//                      appear only in common/latch.h + latch.cc.  Everything
+//                      else must use orion::Latch so the rank checker sees
+//                      every acquisition.
+//   unexplained-discard  `(void)Call(...)` throws away a Status/Result the
+//                      type system would otherwise flag ([[nodiscard]]).
+//                      Allowed only with a justifying comment on the same
+//                      line or immediately above.
+//   forbidden-include  src/common/ is the dependency root: it must not
+//                      include subsystem headers.
+//
+// Usage:
+//   orion_lint <repo-root>   lint every .h/.cc under <repo-root>/src
+//   orion_lint --self-test   run the embedded fixtures (hermetic; used by
+//                            ctest to prove each rule actually fires)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+std::vector<std::string> SplitLines(std::string_view text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string_view Trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool HasSuppression(std::string_view line, std::string_view rule) {
+  size_t pos = line.find("orion-lint: allow(");
+  if (pos == std::string_view::npos) {
+    return false;
+  }
+  std::string_view rest = line.substr(pos + 18);
+  return rest.substr(0, rule.size()) == rule && rest.size() > rule.size() &&
+         rest[rule.size()] == ')';
+}
+
+bool IsCommentLine(std::string_view line) {
+  std::string_view t = Trimmed(line);
+  return t.substr(0, 2) == "//" || t.substr(0, 2) == "/*" ||
+         t.substr(0, 1) == "*";
+}
+
+/// The tokens that bypass orion::Latch.  Matched as whole identifiers
+/// (the character after the token must not extend it), so
+/// `std::condition_variable_any` is caught by its prefix while
+/// `std::mutexes_of_doom` (hypothetical) is not falsely split.
+constexpr std::string_view kNakedTokens[] = {
+    "std::mutex",         "std::shared_mutex",  "std::recursive_mutex",
+    "std::timed_mutex",   "std::lock_guard",    "std::unique_lock",
+    "std::shared_lock",   "std::scoped_lock",   "std::condition_variable",
+};
+
+bool MentionsNakedPrimitive(std::string_view line) {
+  for (std::string_view token : kNakedTokens) {
+    size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string_view::npos) {
+      size_t end = pos + token.size();
+      char next = end < line.size() ? line[end] : ' ';
+      // Identifier continuation chars mean a different, longer name —
+      // except `_any`/`_ref`-style std suffixes, which are still naked.
+      bool extends = (next >= 'a' && next <= 'z') ||
+                     (next >= 'A' && next <= 'Z') ||
+                     (next >= '0' && next <= '9') || next == '_';
+      bool std_suffix = line.substr(end, 4) == "_any";
+      if (!extends || std_suffix) {
+        return true;
+      }
+      pos = end;
+    }
+  }
+  return false;
+}
+
+/// True if the line discards a *call* through a void cast:
+/// `(void)foo(...)`, `(void)obj->Method(...)`, `(void)ns::Fn(...)`.
+/// Plain parameter silencers — `(void)name;` — are fine.
+bool IsVoidCastCallDiscard(std::string_view line) {
+  size_t pos = line.find("(void)");
+  if (pos == std::string_view::npos) {
+    return false;
+  }
+  std::string_view rest = line.substr(pos + 6);
+  while (!rest.empty() && rest.front() == ' ') {
+    rest.remove_prefix(1);
+  }
+  // Walk the expression up to `;` or end; a call requires a '(' after at
+  // least one identifier character.
+  bool seen_ident = false;
+  for (char c : rest) {
+    bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9') || c == '_' || c == ':' ||
+                 c == '.' || c == '-' || c == '>' || c == '*';
+    if (ident) {
+      seen_ident = true;
+      continue;
+    }
+    if (c == '(') {
+      return seen_ident;
+    }
+    break;  // `;`, space before `=`, anything else: not a simple call
+  }
+  return false;
+}
+
+/// The subsystem directories src/common must never include.
+constexpr std::string_view kSubsystems[] = {
+    "object/", "query/",  "lock/", "storage/", "version/", "core/",
+    "obs/",    "schema/", "authz/", "lang/",   "notify/",
+};
+
+/// Lints one file given its repo-relative path (forward slashes) and
+/// content; pure so the self-test can feed synthetic sources.
+std::vector<Finding> LintSource(const std::string& rel_path,
+                                std::string_view content) {
+  std::vector<Finding> findings;
+  const bool in_src = rel_path.rfind("src/", 0) == 0;
+  if (!in_src) {
+    return findings;
+  }
+  const bool is_latch_impl = rel_path == "src/common/latch.h" ||
+                             rel_path == "src/common/latch.cc";
+  const bool in_common = rel_path.rfind("src/common/", 0) == 0;
+
+  std::vector<std::string> lines = SplitLines(content);
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const size_t lineno = i + 1;
+
+    if (!is_latch_impl && MentionsNakedPrimitive(line) &&
+        !HasSuppression(line, "naked-mutex")) {
+      findings.push_back(
+          {rel_path, lineno, "naked-mutex",
+           "raw std synchronization primitive; use orion::Latch / "
+           "SharedLatch (common/latch.h) so the rank checker sees it"});
+    }
+
+    if (IsVoidCastCallDiscard(line) &&
+        !HasSuppression(line, "unexplained-discard")) {
+      // A justification is a comment on the same line or a comment block
+      // ending on the immediately preceding line.
+      bool justified = line.find("//") != std::string::npos;
+      for (size_t j = i; !justified && j > 0 && IsCommentLine(lines[j - 1]);
+           --j) {
+        justified = true;
+      }
+      if (!justified) {
+        findings.push_back(
+            {rel_path, lineno, "unexplained-discard",
+             "(void)-discarded call without a justifying comment; say why "
+             "the Status/Result may be dropped"});
+      }
+    }
+
+    if (in_common) {
+      std::string_view t = Trimmed(line);
+      if (t.rfind("#include \"", 0) == 0) {
+        std::string_view inc = t.substr(10);
+        for (std::string_view subsystem : kSubsystems) {
+          if (inc.rfind(subsystem, 0) == 0 &&
+              !HasSuppression(line, "forbidden-include")) {
+            findings.push_back(
+                {rel_path, lineno, "forbidden-include",
+                 "src/common is the dependency root and must not include "
+                 "subsystem header \"" + std::string(inc.substr(
+                     0, inc.find('"'))) + "\""});
+          }
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+int LintTree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    std::fprintf(stderr, "orion_lint: no src/ under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  size_t files = 0;
+  std::vector<Finding> all;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::relative(entry.path(), root).generic_string();
+    ++files;
+    std::vector<Finding> f = LintSource(rel, buf.str());
+    all.insert(all.end(), f.begin(), f.end());
+  }
+  for (const Finding& f : all) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr, "orion_lint: %zu file(s), %zu finding(s)\n", files,
+               all.size());
+  return all.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: synthetic sources proving each rule fires (and stays quiet on
+// clean / suppressed / exempt input).  Run by ctest so "the linter catches a
+// naked mutex" is a tested claim, not a manual one.
+
+struct Fixture {
+  const char* name;
+  const char* path;
+  const char* content;
+  const char* expect_rule;  // nullptr = must be clean
+};
+
+constexpr Fixture kFixtures[] = {
+    {"naked mutex member", "src/object/bad_mutex.h",
+     "#include <mutex>\nclass T { std::mutex mu_; };\n", "naked-mutex"},
+    {"naked lock_guard", "src/query/bad_guard.cc",
+     "void F() { std::lock_guard<std::mutex> g(mu_); }\n", "naked-mutex"},
+    {"condition_variable_any", "src/lock/bad_cv.cc",
+     "std::condition_variable_any cv;\n", "naked-mutex"},
+    {"latch.h itself is exempt", "src/common/latch.h",
+     "class Latch { std::mutex mu_; };\n", nullptr},
+    {"suppressed mutex", "src/storage/ok_mutex.cc",
+     "std::mutex m;  // orion-lint: allow(naked-mutex): bootstrap only\n",
+     nullptr},
+    {"bare discard", "src/core/bad_discard.cc",
+     "void F() {\n  (void)store->Remove(uid);\n}\n", "unexplained-discard"},
+    {"discard with same-line reason", "src/core/ok_discard1.cc",
+     "void F() {\n  (void)store->Remove(uid);  // absent is fine here\n}\n",
+     nullptr},
+    {"discard with comment above", "src/core/ok_discard2.cc",
+     "void F() {\n  // Remove is best-effort during teardown.\n"
+     "  (void)store->Remove(uid);\n}\n",
+     nullptr},
+    {"parameter silencer is fine", "src/core/ok_discard3.cc",
+     "void F(int unused) { (void)unused; }\n", nullptr},
+    {"common includes subsystem", "src/common/bad_include.h",
+     "#include \"object/object_manager.h\"\n", "forbidden-include"},
+    {"common includes common", "src/common/ok_include.h",
+     "#include \"common/status.h\"\n#include <vector>\n", nullptr},
+    {"subsystem includes subsystem", "src/query/ok_include.cc",
+     "#include \"object/object_manager.h\"\n", nullptr},
+    {"outside src ignored", "tests/whatever.cc", "std::mutex m;\n", nullptr},
+};
+
+int SelfTest() {
+  int failures = 0;
+  for (const Fixture& fx : kFixtures) {
+    std::vector<Finding> findings = LintSource(fx.path, fx.content);
+    bool ok;
+    if (fx.expect_rule == nullptr) {
+      ok = findings.empty();
+    } else {
+      ok = findings.size() == 1 && findings[0].rule == fx.expect_rule;
+    }
+    std::fprintf(stderr, "[%s] %s\n", ok ? "PASS" : "FAIL", fx.name);
+    if (!ok) {
+      ++failures;
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "    got %s:%zu [%s]\n", f.file.c_str(),
+                     f.line, f.rule.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "orion_lint --self-test: %d failure(s)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string_view(argv[1]) == "--self-test") {
+    return SelfTest();
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: orion_lint <repo-root> | --self-test\n");
+    return 2;
+  }
+  return LintTree(argv[1]);
+}
