@@ -41,12 +41,13 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   cmake --build build-tsan -j "$jobs"
   # TSan halts the process on the first report, so a pass here means zero
   # data races in everything these suites execute.  Mvcc covers the
-  # lock-free read path; Snapshot covers SaveSnapshot-as-read-transaction.
+  # lock-free read path; Snapshot covers SaveSnapshot-as-read-transaction;
+  # DdlConcurrency covers the §10 DDL-storm-vs-DML-hammer protocol.
   # The latch checker is also ON here (AUTO under sanitizers), so these
   # suites double as a multi-threaded rank-order torture test.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck|DdlConcurrency'
 fi
 
 if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
@@ -61,6 +62,11 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
   # under ASan exercises exactly those frees.
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ./bench/abl_concurrency --smoke)
+  # The §10 fence path frees schema versions and swept instance state while
+  # DML sessions and pinned readers are live; the online-DDL smoke covers
+  # those frees too.
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ./bench/abl_online_ddl --smoke)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then
@@ -106,7 +112,9 @@ if [[ "$stage" == "all" || "$stage" == "tidy" ]]; then
         xargs -0 -P "$jobs" -n 1 clang-tidy -p build-release --quiet
     fi
   else
-    echo "clang-tidy not installed; stage skipped (install LLVM to run it)."
+    echo "clang-tidy not installed; stage skipped."
+    echo "Install it with:  apt-get install clang-tidy   (Debian/Ubuntu)"
+    echo "             or:  dnf install clang-tools-extra (Fedora)"
   fi
 fi
 

@@ -11,6 +11,10 @@ const char* LatchRankName(LatchRank rank) {
       return "kUnranked";
     case LatchRank::kReclaim:
       return "kReclaim";
+    case LatchRank::kSchemaFence:
+      return "kSchemaFence";
+    case LatchRank::kSchemaLattice:
+      return "kSchemaLattice";
     case LatchRank::kVersionRegistry:
       return "kVersionRegistry";
     case LatchRank::kEpochRegistry:

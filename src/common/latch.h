@@ -48,6 +48,13 @@ enum class LatchRank : uint16_t {
   /// across ReclaimOnce, but ranked outermost so a future refactor that
   /// does nest it still orders before everything else.
   kReclaim = 100,
+  /// SchemaFence::mu_ — the online-DDL fence/drain coordinator (§10).  A
+  /// DDL thread holds it only to flip fence state and snapshot the drain
+  /// set; DML threads take it per operation to register the classes they
+  /// touch.  It is never held across a lock-manager wait or a publication,
+  /// but DdlGuard's drain *blocks* on its condition variable, so it ranks
+  /// as a coordinator, below the version registry and everything physical.
+  kSchemaFence = 105,
   /// VersionManager::mu_ — the version registry.  Held across object-table
   /// operations (CV rules read and mutate instances) and across
   /// publication (the registry publishes GenericRecords while holding it).
@@ -97,6 +104,13 @@ enum class LatchRank : uint16_t {
   /// point): a latch may never be held across a lock-manager WAIT, which
   /// is stronger than rank order can express.
   kLockTable = 530,
+  /// SchemaManager::lattice_mu_ — the versioned class lattice (shared for
+  /// every read, exclusive for DDL mutation).  A leaf: lattice lookups are
+  /// pure in-memory walks that call into no other subsystem (MakeClass
+  /// creates its segment *before* taking this latch so kSegmentTable never
+  /// nests inside it), and readers resolve attributes under it from query
+  /// paths that may already hold table shards or index postings.
+  kSchemaLattice = 540,
 
   // -- Utility leaves. -----------------------------------------------------
   /// obs::MetricsRegistry::mu_ — cell registration/lookup (cold path).

@@ -32,6 +32,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "TransactionInvalid";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kSchemaConflict:
+      return "SchemaConflict";
   }
   return "Unknown";
 }

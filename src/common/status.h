@@ -43,6 +43,12 @@ enum class StatusCode {
   kTimeout,
   /// Operation attempted outside of / on a finished transaction.
   kTransactionInvalid,
+  /// The transaction collided with an online schema change (§10): either an
+  /// operation touched a class the DDL fence currently covers, or the
+  /// schema epoch moved between the transaction's first access to a class
+  /// and its commit.  Retryable — `Session::Run` re-runs the closure
+  /// against the post-DDL schema via the normal backoff path.
+  kSchemaConflict,
   /// Internal invariant violation (a bug, not a user error).
   kInternal,
 };
@@ -101,6 +107,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SchemaConflict(std::string msg) {
+    return Status(StatusCode::kSchemaConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -33,6 +33,28 @@ Database::Database(uint32_t objects_per_page)
   em_.reclaim_zero_passes = &metrics_.counter("reclaim.zero_passes");
   em_.reclaim_min_active_ts = &metrics_.gauge("reclaim.min_active_ts");
   em_.reclaim_last_trimmed = &metrics_.gauge("reclaim.last_trimmed");
+  em_.ddl_fences = &metrics_.counter("ddl.fences");
+  em_.ddl_epoch_bumps = &metrics_.counter("ddl.epoch_bumps");
+  em_.ddl_drained_txns = &metrics_.counter("ddl.drained_txns");
+  em_.ddl_conflicts = &metrics_.counter("ddl.conflicts");
+  em_.ddl_fence_wait_us = &metrics_.histogram("ddl.fence_wait_us");
+  em_.ddl_catchup_us = &metrics_.histogram("ddl.catchup_us");
+  em_.ddl_epoch = &metrics_.gauge("ddl.epoch");
+  {
+    SchemaFence::Metrics fm;
+    fm.fences = em_.ddl_fences;
+    fm.epoch_bumps = em_.ddl_epoch_bumps;
+    fm.drained_txns = em_.ddl_drained_txns;
+    fm.conflicts = em_.ddl_conflicts;
+    fm.fence_wait_us = em_.ddl_fence_wait_us;
+    fm.epoch_gauge = em_.ddl_epoch;
+    schema_fence_.set_metrics(fm);
+  }
+  // §10: immediately-sealed schema versions (additive DDL) are stamped with
+  // the record-store commit watermark, so schema history and record chains
+  // ride the same logical clock.
+  schema_.SetSealTimestampSource([this] { return records_.watermark(); });
+  objects_.set_catchup_histogram(em_.ddl_catchup_us);
   records_.AttachMetrics(&metrics_, &trace_);
   // Wire the copy-on-write record store before the engine is reachable by
   // any other thread: sources copy live state (the publisher excludes
@@ -119,6 +141,150 @@ Database::StatsSnapshot Database::Stats() {
   return metrics_.Snapshot();
 }
 
+// --- §10 online DDL: additive entry points (guard, no fence) ---------------
+
+Result<ClassId> Database::MakeClass(const ClassSpec& spec) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
+  return schema_.MakeClass(spec);
+}
+
+Status Database::AddAttribute(ClassId cls, AttributeSpec spec) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
+  return schema_.AddAttribute(cls, std::move(spec));
+}
+
+Status Database::AddSuperclass(ClassId cls, ClassId superclass) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
+  return schema_.AddSuperclass(cls, superclass);
+}
+
+// --- §10 online DDL: destructive scaffold ----------------------------------
+
+std::vector<ClassId> Database::AffectedClassClosure(
+    std::vector<ClassId> seeds,
+    const std::vector<AttributeSpec>& touched_attrs) const {
+  std::unordered_set<ClassId> closure;
+  std::deque<ClassId> work;
+  auto add_with_subclasses = [&](ClassId c) {
+    for (ClassId s : schema_.SelfAndSubclasses(c)) {
+      if (closure.insert(s).second) {
+        work.push_back(s);
+      }
+    }
+  };
+  for (ClassId c : seeds) {
+    add_with_subclasses(c);
+  }
+  for (const AttributeSpec& spec : touched_attrs) {
+    if (!spec.is_composite()) {
+      continue;
+    }
+    auto domain = schema_.FindClass(spec.domain);
+    if (domain.ok()) {
+      add_with_subclasses(*domain);
+    }
+  }
+  // Two expansions, repeated to a fixpoint:
+  //
+  //  *Downward* — Deletion-Rule cascades run down the composite hierarchy:
+  //  deleting an instance of a fenced class can delete its dependent
+  //  components, which are instances of its composite attributes' domain
+  //  classes, and so on.
+  //
+  //  *Upward* — transactions walk composites top-down: a txn registered
+  //  only on a root class R reads (and, on delete, detaches) component
+  //  instances before journaling them, so any class whose composite
+  //  attributes can reference a fenced instance must be fenced too, or an
+  //  unregistered walk could race the sweep.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    while (!work.empty()) {
+      const ClassId c = work.front();
+      work.pop_front();
+      auto attrs = schema_.ResolvedAttributes(c);
+      if (!attrs.ok()) {
+        continue;  // dropped mid-walk; nothing to chase
+      }
+      for (const AttributeSpec& spec : *attrs) {
+        if (!spec.is_composite()) {
+          continue;
+        }
+        auto domain = schema_.FindClass(spec.domain);
+        if (domain.ok()) {
+          add_with_subclasses(*domain);
+        }
+      }
+    }
+    const size_t before = closure.size();
+    for (ClassId c = 1; c <= schema_.allocated_class_count(); ++c) {
+      if (closure.count(c) > 0 || schema_.GetClass(c) == nullptr) {
+        continue;
+      }
+      auto attrs = schema_.ResolvedAttributes(c);
+      if (!attrs.ok()) {
+        continue;
+      }
+      for (const AttributeSpec& spec : *attrs) {
+        if (!spec.is_composite()) {
+          continue;
+        }
+        auto domain = schema_.FindClass(spec.domain);
+        if (!domain.ok()) {
+          continue;
+        }
+        // The attribute can hold any (reflexive) subclass of its domain, so
+        // test the domain's whole subtree against the closure.
+        bool reaches_fenced = false;
+        for (ClassId d : schema_.SelfAndSubclasses(*domain)) {
+          if (closure.count(d) > 0) {
+            reaches_fenced = true;
+            break;
+          }
+        }
+        if (reaches_fenced) {
+          add_with_subclasses(c);
+          break;
+        }
+      }
+    }
+    changed = closure.size() != before;
+  }
+  return std::vector<ClassId>(closure.begin(), closure.end());
+}
+
+Status Database::FencedSchemaWrite(SchemaFence::DdlGuard& ddl,
+                                   const std::vector<ClassId>& closure,
+                                   const std::function<Status()>& body) {
+  // 1. Fence the closure and wait out every transaction already inside it.
+  //    After this returns, this thread is the only one referencing the
+  //    closure's instances until the guard drops.
+  ddl.FenceAndDrain(closure);
+  // 2. Stage schema versions instead of sealing them one by one, so a
+  //    multi-step change (drop attribute + re-parent subclasses + ...)
+  //    becomes visible to timestamped readers at a single instant.
+  const bool deferred = schema_.BeginDeferredSeal();
+  uint64_t publish_ts = 0;
+  Status st;
+  {
+    RecordStore::Batch publish(&records_);
+    st = body();
+    publish_ts = publish.Close();
+  }
+  if (publish_ts == 0) {
+    // The body rewrote no instances (schema-only change); mint a fresh
+    // watermark so the new schema versions still get a real seal point.
+    publish_ts = records_.AdvanceWatermark();
+  }
+  if (deferred) {
+    // Seal even when the body failed: partially-applied schema versions are
+    // live already, and an unstamped pending version would stay invisible
+    // to every future snapshot.
+    schema_.SealPending(publish_ts);
+  }
+  return st;
+}
+
 Result<Uid> Database::Make(const std::string& class_name,
                            const std::vector<ParentBinding>& parents,
                            const AttrValues& attrs) {
@@ -199,6 +365,7 @@ Status Database::DropAttributeInstances(const std::vector<ClassId>& classes,
 }
 
 Status Database::DropAttribute(ClassId cls, const std::string& name) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
   const ClassDef* def = schema_.GetClass(cls);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
@@ -224,42 +391,52 @@ Status Database::DropAttribute(ClassId cls, const std::string& name) {
       affected.push_back(c);
     }
   }
-  ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
-  return schema_.DropAttributeSchemaOnly(cls, name);
+  return FencedSchemaWrite(
+      ddl, AffectedClassClosure({cls}, {spec}), [&]() -> Status {
+        ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
+        return schema_.DropAttributeSchemaOnly(cls, name);
+      });
 }
 
 Status Database::RemoveSuperclass(ClassId cls, ClassId superclass) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
   ORION_ASSIGN_OR_RETURN(std::vector<AttributeSpec> before,
                          schema_.ResolvedAttributes(cls));
-  ORION_RETURN_IF_ERROR(schema_.RemoveSuperclassSchemaOnly(cls, superclass));
-  std::unordered_set<std::string> after;
-  auto after_attrs = schema_.ResolvedAttributes(cls);
-  if (after_attrs.ok()) {
-    for (const AttributeSpec& spec : *after_attrs) {
-      after.insert(spec.name);
-    }
-  }
-  // "If this operation causes class C to lose a composite attribute A,
-  // objects that are recursively referenced by instances of C and its
-  // subclasses through A are deleted according to (1)."
-  for (const AttributeSpec& spec : before) {
-    if (after.count(spec.name) > 0) {
-      continue;
-    }
-    std::vector<ClassId> affected;
-    for (ClassId c : schema_.SelfAndSubclasses(cls)) {
-      if (!schema_.ResolveAttribute(c, spec.name).ok()) {
-        affected.push_back(c);  // the subclass lost the attribute too
+  // The closure must be computed before the schema mutation: seed with every
+  // attribute `cls` might lose — a superset of what it does lose.
+  const std::vector<ClassId> closure = AffectedClassClosure({cls}, before);
+  return FencedSchemaWrite(ddl, closure, [&]() -> Status {
+    ORION_RETURN_IF_ERROR(schema_.RemoveSuperclassSchemaOnly(cls, superclass));
+    std::unordered_set<std::string> after;
+    auto after_attrs = schema_.ResolvedAttributes(cls);
+    if (after_attrs.ok()) {
+      for (const AttributeSpec& spec : *after_attrs) {
+        after.insert(spec.name);
       }
     }
-    ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
-  }
-  return Status::Ok();
+    // "If this operation causes class C to lose a composite attribute A,
+    // objects that are recursively referenced by instances of C and its
+    // subclasses through A are deleted according to (1)."
+    for (const AttributeSpec& spec : before) {
+      if (after.count(spec.name) > 0) {
+        continue;
+      }
+      std::vector<ClassId> affected;
+      for (ClassId c : schema_.SelfAndSubclasses(cls)) {
+        if (!schema_.ResolveAttribute(c, spec.name).ok()) {
+          affected.push_back(c);  // the subclass lost the attribute too
+        }
+      }
+      ORION_RETURN_IF_ERROR(DropAttributeInstances(affected, spec));
+    }
+    return Status::Ok();
+  });
 }
 
 Status Database::ChangeAttributeInheritance(ClassId cls,
                                             const std::string& name,
                                             ClassId source) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
   ORION_ASSIGN_OR_RETURN(AttributeSpec old_spec,
                          schema_.ResolveAttribute(cls, name));
   ORION_ASSIGN_OR_RETURN(ClassId old_owner, schema_.DefiningClass(cls, name));
@@ -272,43 +449,51 @@ Status Database::ChangeAttributeInheritance(ClassId cls,
       affected.push_back(c);
     }
   }
-  ORION_RETURN_IF_ERROR(
-      schema_.SetAttributeInheritanceSchemaOnly(cls, name, source));
-  if (*schema_.DefiningClass(cls, name) == old_owner) {
-    return Status::Ok();  // resolution unchanged; values stay
-  }
-  // "Objects that are referenced through A are deleted in accordance with
-  // the Deletion Rule" — same as dropping the old attribute from the
-  // affected classes.
-  return DropAttributeInstances(affected, old_spec);
+  return FencedSchemaWrite(
+      ddl, AffectedClassClosure({cls}, {old_spec}), [&]() -> Status {
+        ORION_RETURN_IF_ERROR(
+            schema_.SetAttributeInheritanceSchemaOnly(cls, name, source));
+        if (*schema_.DefiningClass(cls, name) == old_owner) {
+          return Status::Ok();  // resolution unchanged; values stay
+        }
+        // "Objects that are referenced through A are deleted in accordance
+        // with the Deletion Rule" — same as dropping the old attribute from
+        // the affected classes.
+        return DropAttributeInstances(affected, old_spec);
+      });
 }
 
 Status Database::DropClass(ClassId cls) {
-  RecordStore::Batch publish(&records_);
+  SchemaFence::DdlGuard ddl(&schema_fence_);
   const ClassDef* def = schema_.GetClass(cls);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
   }
-  // Delete the direct extent (subclass instances keep their own class).
-  // Deletions cascade, so re-fetch until the extent drains.
-  while (true) {
-    std::vector<Uid> extent = objects_.InstancesOf(cls);
-    if (extent.empty()) {
-      break;
-    }
-    bool progressed = false;
-    for (Uid uid : extent) {
-      if (!objects_.Exists(uid)) {
-        continue;  // removed by an earlier cascade this round
+  auto own_attrs = schema_.ResolvedAttributes(cls);
+  const std::vector<ClassId> closure = AffectedClassClosure(
+      {cls}, own_attrs.ok() ? *own_attrs : std::vector<AttributeSpec>{});
+  return FencedSchemaWrite(ddl, closure, [&]() -> Status {
+    // Delete the direct extent (subclass instances keep their own class).
+    // Deletions cascade, so re-fetch until the extent drains.
+    while (true) {
+      std::vector<Uid> extent = objects_.InstancesOf(cls);
+      if (extent.empty()) {
+        break;
       }
-      ORION_RETURN_IF_ERROR(DeleteObject(uid));
-      progressed = true;
+      bool progressed = false;
+      for (Uid uid : extent) {
+        if (!objects_.Exists(uid)) {
+          continue;  // removed by an earlier cascade this round
+        }
+        ORION_RETURN_IF_ERROR(DeleteObject(uid));
+        progressed = true;
+      }
+      if (!progressed) {
+        break;
+      }
     }
-    if (!progressed) {
-      break;
-    }
-  }
-  return schema_.DropClassSchemaOnly(cls);
+    return schema_.DropClassSchemaOnly(cls);
+  });
 }
 
 namespace {
@@ -409,7 +594,7 @@ Status Database::PromoteWeakToComposite(ClassId cls,
         "' would create a cycle in the part hierarchy");
   }
   // Apply: add the reverse references, log the change, rewrite the schema.
-  RecordStore::Batch publish(&records_);
+  // (Runs inside FencedSchemaWrite's record-store batch.)
   for (const auto& [holder, target] : pairs) {
     ORION_RETURN_IF_ERROR(objects_.AttachBacklink(target, holder, new_spec));
   }
@@ -424,7 +609,7 @@ Status Database::PromoteWeakToComposite(ClassId cls,
     entry.to_composite = true;
     entry.to_exclusive = new_spec.exclusive;
     entry.to_dependent = new_spec.dependent;
-    schema_.LogForDomain(*domain).Append(entry);
+    schema_.AppendLogEntry(*domain, entry);
     for (const auto& [holder, target] : pairs) {
       Object* child = objects_.Peek(target);
       if (child != nullptr) {
@@ -479,7 +664,6 @@ Status Database::TightenSharedToExclusive(ClassId cls,
         "attribute '" + new_spec.name +
         "' needs a class domain for a composite type change");
   }
-  RecordStore::Batch publish(&records_);
   LogEntry entry;
   entry.cc = schema_.NextCc();
   entry.change = TypeChange::kToDependent;  // display only; flags below rule
@@ -488,7 +672,7 @@ Status Database::TightenSharedToExclusive(ClassId cls,
   entry.to_composite = true;
   entry.to_exclusive = true;
   entry.to_dependent = new_spec.dependent;
-  schema_.LogForDomain(*domain).Append(entry);
+  schema_.AppendLogEntry(*domain, entry);
   ORION_RETURN_IF_ERROR(schema_.ApplyTypeChangeSchemaOnly(
       cls, new_spec.name, true, true, new_spec.dependent));
   for (const auto& [holder, target] : pairs) {
@@ -503,6 +687,7 @@ Status Database::TightenSharedToExclusive(ClassId cls,
 Status Database::ChangeAttributeType(ClassId cls, const std::string& attr,
                                      bool to_composite, bool to_exclusive,
                                      bool to_dependent, ChangeMode mode) {
+  SchemaFence::DdlGuard ddl(&schema_fence_);
   ORION_ASSIGN_OR_RETURN(
       TypeChangeClass klass,
       schema_.ClassifyTypeChange(cls, attr, to_composite, to_exclusive,
@@ -515,12 +700,21 @@ Status Database::ChangeAttributeType(ClassId cls, const std::string& attr,
   new_spec.exclusive = to_exclusive;
   new_spec.dependent = to_dependent;
 
+  // The closure must cover instances rewritten under either interpretation
+  // of the attribute — the domain closure is the same for both specs, but
+  // is_composite() differs, so pass both.
+  const std::vector<ClassId> closure =
+      AffectedClassClosure({cls}, {old_spec, new_spec});
+
   if (klass.state_dependent) {
-    // D1/D2: weak -> composite; D3: shared -> exclusive.
-    if (!old_spec.is_composite()) {
-      return PromoteWeakToComposite(cls, old_spec, new_spec);
-    }
-    return TightenSharedToExclusive(cls, old_spec, new_spec);
+    // D1/D2: weak -> composite; D3: shared -> exclusive.  Verification
+    // scans instances, so it must run inside the fence too.
+    return FencedSchemaWrite(ddl, closure, [&]() -> Status {
+      if (!old_spec.is_composite()) {
+        return PromoteWeakToComposite(cls, old_spec, new_spec);
+      }
+      return TightenSharedToExclusive(cls, old_spec, new_spec);
+    });
   }
 
   // State-independent (I1-I4): record in the operation log of the domain
@@ -532,28 +726,29 @@ Status Database::ChangeAttributeType(ClassId cls, const std::string& attr,
         "' needs a class domain for a composite type change");
   }
   ORION_ASSIGN_OR_RETURN(ClassId defining, schema_.DefiningClass(cls, attr));
-  LogEntry entry;
-  entry.cc = schema_.NextCc();
-  entry.change = *klass.independent_kind;
-  entry.referencing_class = defining;
-  entry.attribute = attr;
-  entry.to_composite = to_composite;
-  entry.to_exclusive = to_exclusive;
-  entry.to_dependent = to_dependent;
-  schema_.LogForDomain(*domain).Append(entry);
-  ORION_RETURN_IF_ERROR(schema_.ApplyTypeChangeSchemaOnly(
-      cls, attr, to_composite, to_exclusive, to_dependent));
-  if (mode == ChangeMode::kImmediate) {
-    // "This is implemented by accessing all instances of the class C ..."
-    RecordStore::Batch publish(&records_);
-    for (Uid uid : objects_.InstancesOfDeep(*domain)) {
-      auto access = objects_.Access(uid);
-      if (!access.ok()) {
-        return access.status();
+  return FencedSchemaWrite(ddl, closure, [&]() -> Status {
+    LogEntry entry;
+    entry.cc = schema_.NextCc();
+    entry.change = *klass.independent_kind;
+    entry.referencing_class = defining;
+    entry.attribute = attr;
+    entry.to_composite = to_composite;
+    entry.to_exclusive = to_exclusive;
+    entry.to_dependent = to_dependent;
+    schema_.AppendLogEntry(*domain, entry);
+    ORION_RETURN_IF_ERROR(schema_.ApplyTypeChangeSchemaOnly(
+        cls, attr, to_composite, to_exclusive, to_dependent));
+    if (mode == ChangeMode::kImmediate) {
+      // "This is implemented by accessing all instances of the class C ..."
+      for (Uid uid : objects_.InstancesOfDeep(*domain)) {
+        auto access = objects_.Access(uid);
+        if (!access.ok()) {
+          return access.status();
+        }
       }
     }
-  }
-  return Status::Ok();
+    return Status::Ok();
+  });
 }
 
 }  // namespace orion

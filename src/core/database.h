@@ -1,6 +1,7 @@
 #ifndef ORION_CORE_DATABASE_H_
 #define ORION_CORE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "query/index.h"
 #include "query/query.h"
 #include "query/traversal.h"
+#include "schema/schema_fence.h"
 #include "schema/schema_manager.h"
 #include "storage/object_store.h"
 #include "version/version_manager.h"
@@ -52,6 +54,15 @@ struct EngineMetrics {
   obs::Counter* reclaim_zero_passes = nullptr;
   obs::Gauge* reclaim_min_active_ts = nullptr;
   obs::Gauge* reclaim_last_trimmed = nullptr;
+  /// §10 online DDL: fences raised, epoch bumps, transactions drained,
+  /// DML aborted on a fence, fence-drain wait time, catch-up latency.
+  obs::Counter* ddl_fences = nullptr;
+  obs::Counter* ddl_epoch_bumps = nullptr;
+  obs::Counter* ddl_drained_txns = nullptr;
+  obs::Counter* ddl_conflicts = nullptr;
+  obs::Histogram* ddl_fence_wait_us = nullptr;
+  obs::Histogram* ddl_catchup_us = nullptr;
+  obs::Gauge* ddl_epoch = nullptr;
 };
 
 /// The ORION-style database facade: one object owning every subsystem, plus
@@ -73,6 +84,7 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   SchemaManager& schema() { return schema_; }
+  SchemaFence& schema_fence() { return schema_fence_; }
   ObjectManager& objects() { return objects_; }
   VersionManager& versions() { return versions_; }
   AuthorizationManager& authz() { return authz_; }
@@ -103,10 +115,19 @@ class Database {
 
   // --- Paper-message conveniences -------------------------------------------
 
-  /// `make-class` by spec.
-  Result<ClassId> MakeClass(const ClassSpec& spec) {
-    return schema_.MakeClass(spec);
-  }
+  /// `make-class` by spec.  Additive DDL: serialized against other DDL by
+  /// the §10 guard, but needs no fence — no existing instance or in-flight
+  /// transaction can reference the new class.
+  Result<ClassId> MakeClass(const ClassSpec& spec);
+
+  /// §4.1 change (1), additive half: adds an attribute to `cls`.  No fence
+  /// needed — existing instances simply resolve the attribute as unset.
+  Status AddAttribute(ClassId cls, AttributeSpec spec);
+
+  /// §4.1 change (3), additive half: adds a superclass edge.  Additive DDL:
+  /// no instance is rewritten (inherited attributes start unset), so no
+  /// fence — the edge flips atomically under the schema latch.
+  Status AddSuperclass(ClassId cls, ClassId superclass);
 
   /// `make` by class name.  For a versionable class this creates the
   /// generic and first version instance and returns the *version* instance
@@ -159,6 +180,24 @@ class Database {
                              ChangeMode mode = ChangeMode::kImmediate);
 
  private:
+  /// §10: every class whose instances (or resolved attributes) a DDL over
+  /// `seeds` can touch — the seeds, their transitive subclasses, the same
+  /// closure of every touched attribute's domain class, and, when
+  /// components may be deleted, the referencing side of those domains.
+  std::vector<ClassId> AffectedClassClosure(
+      std::vector<ClassId> seeds,
+      const std::vector<AttributeSpec>& touched_attrs) const;
+
+  /// §10 destructive-DDL scaffold: under an already-held DdlGuard, fences
+  /// `closure`, drains conflicting transactions, runs `body` inside a
+  /// record-store batch with schema sealing deferred, and seals the schema
+  /// versions at the batch's publish timestamp (or a fresh watermark when
+  /// the body rewrote no instances) so snapshots see schema + instances
+  /// change at one instant.
+  Status FencedSchemaWrite(SchemaFence::DdlGuard& ddl,
+                           const std::vector<ClassId>& closure,
+                           const std::function<Status()>& body);
+
   /// Detaches every composite reference held through `spec` by instances of
   /// `classes` and deletes the components the Deletion Rule dooms.  Values
   /// for the attribute are erased.
@@ -184,6 +223,9 @@ class Database {
   /// that publish into it, destroyed after them).
   RecordStore records_;
   SchemaManager schema_;
+  /// §10 online-DDL coordinator (declared beside the schema it guards;
+  /// transactions and DDL entry points reach it via schema_fence()).
+  SchemaFence schema_fence_;
   ObjectManager objects_;
   VersionManager versions_;
   AuthorizationManager authz_;

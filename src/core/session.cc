@@ -23,8 +23,11 @@ Session::Session(Database* db, SessionOptions options)
     : db_(db), options_(options), em_(&db->engine_metrics()) {}
 
 bool Session::IsRetryable(const Status& status) {
+  // kSchemaConflict (§10): the transaction ran into a DDL fence or
+  // committed-epoch bump; re-running the closure sees the post-DDL schema.
   return status.code() == StatusCode::kDeadlock ||
-         status.code() == StatusCode::kLockTimeout;
+         status.code() == StatusCode::kLockTimeout ||
+         status.code() == StatusCode::kSchemaConflict;
 }
 
 void Session::Backoff(int attempt) {

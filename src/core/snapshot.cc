@@ -242,11 +242,11 @@ std::string SaveSnapshot(Database& db) {
   // The save is a read-only transaction: it pins the commit watermark and
   // serializes the object table and version registry exactly as of that
   // timestamp — a transactionally consistent cut taken with no S locks, so
-  // concurrent writers commit freely while the save runs.  The schema,
-  // authorization grants, and allocator/clock counters are read live (DDL
-  // and grants are not versioned, matching ORION); a snapshot raced by a
-  // concurrent schema change serializes old object states under the new
-  // schema, which access-time catch-up resolves on restore.
+  // concurrent writers commit freely while the save runs.  Schema versions
+  // ride the same clock (§10), so class definitions are read as of the same
+  // timestamp and a concurrent DDL is either wholly in or wholly out of the
+  // snapshot.  Authorization grants and allocator/clock counters are read
+  // live (grants are not versioned, matching ORION).
   ReadTransaction rtxn(&db);
   const uint64_t read_ts = rtxn.read_ts();
 
@@ -256,10 +256,11 @@ std::string SaveSnapshot(Database& db) {
      << "\n";
   os << "segments " << db.store().segment_count() << "\n";
 
-  // Classes in id order, dropped slots included (ids must stay dense).
+  // Classes in id order as of the read timestamp, dropped slots included
+  // (ids must stay dense).
   SchemaManager& schema = db.schema();
   for (ClassId id = 1; id <= schema.allocated_class_count(); ++id) {
-    const ClassDef* def = schema.GetClassRaw(id);
+    const ClassDef* def = schema.SchemaVersionAt(id, read_ts);
     if (def == nullptr) {
       continue;
     }
@@ -283,8 +284,8 @@ std::string SaveSnapshot(Database& db) {
     }
   }
 
-  // Deferred-change logs.
-  for (const auto& [domain, log] : schema.all_logs()) {
+  // Deferred-change logs (copied out under the schema latch).
+  for (const auto& [domain, log] : schema.LogsSnapshot()) {
     for (const LogEntry& e : log.entries()) {
       os << "log " << domain << " " << e.cc << " "
          << static_cast<int>(e.change) << " " << e.referencing_class << " "

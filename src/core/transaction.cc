@@ -14,8 +14,12 @@ TransactionContext::TransactionContext(Database* db,
       timeout_(lock_timeout),
       user_(std::move(user)),
       em_(&db->engine_metrics()),
-      start_us_(obs::NowMicros()) {
+      start_us_(obs::NowMicros()),
+      begin_epoch_(db->schema_fence().epoch()) {
   em_->txn_begins->Inc();
+  // §10: register with the schema fence so a DDL that fences a class this
+  // transaction touches knows to wait for it.
+  db_->schema_fence().BeginTxn(txn_);
   // While this transaction is open on this thread, in-place mutations do
   // not publish committed records; Commit() publishes the whole write set
   // under one timestamp and Abort() publishes nothing.
@@ -58,16 +62,39 @@ Status TransactionContext::LockWrite(Uid uid) {
   return db_->protocol().LockInstance(txn_, uid, /*write=*/true, timeout_);
 }
 
-void TransactionContext::Journal(Uid uid) {
-  if (journal_.count(uid) > 0) {
-    return;
+Status TransactionContext::CheckDml(ClassId cls) {
+  if (touched_classes_.count(cls) > 0) {
+    return Status::Ok();
   }
+  ORION_RETURN_IF_ERROR(db_->schema_fence().CheckDmlAccess(txn_, cls));
+  touched_classes_.insert(cls);
+  return Status::Ok();
+}
+
+Status TransactionContext::CheckDmlFor(Uid uid) {
+  std::shared_ptr<const Object> rec =
+      db_->records().GetAt(uid, db_->records().watermark());
+  if (rec == nullptr) {
+    return Status::Ok();  // ours (already registered) or nonexistent
+  }
+  return CheckDml(rec->class_id());
+}
+
+Status TransactionContext::Journal(Uid uid) {
+  if (journal_.count(uid) > 0) {
+    return Status::Ok();
+  }
+  // Fence registration must precede the before-image copy: the copy
+  // dereferences the live object, which only the drain protocol keeps safe
+  // against a concurrent DDL sweep.
+  ORION_RETURN_IF_ERROR(CheckDmlFor(uid));
   const Object* obj = db_->objects().Peek(uid);
   if (obj == nullptr) {
     journal_.emplace(uid, std::nullopt);
   } else {
     journal_.emplace(uid, *obj);
   }
+  return Status::Ok();
 }
 
 void TransactionContext::JournalGeneric(Uid generic) {
@@ -82,12 +109,12 @@ void TransactionContext::JournalGeneric(Uid generic) {
   }
 }
 
-void TransactionContext::JournalDeletion(Uid uid) {
+Status TransactionContext::JournalDeletion(Uid uid) {
   auto closure = db_->objects().ComputeDeletionClosure(uid);
   std::vector<Uid> doomed =
       closure.ok() ? *closure : std::vector<Uid>{uid};
   for (Uid d : doomed) {
-    Journal(d);
+    ORION_RETURN_IF_ERROR(Journal(d));
     Object* obj = db_->objects().Peek(d);
     if (obj == nullptr) {
       continue;
@@ -96,20 +123,20 @@ void TransactionContext::JournalDeletion(Uid uid) {
     // surviving components (backlinks removed), and — for versioned
     // objects — the generic bookkeeping on both sides.
     for (const ReverseRef& r : obj->reverse_refs()) {
-      Journal(r.parent);
+      ORION_RETURN_IF_ERROR(Journal(r.parent));
     }
     auto comps = db_->objects().DirectComponents(d);
     if (comps.ok()) {
       for (const auto& [child, spec] : *comps) {
-        Journal(child);
+        ORION_RETURN_IF_ERROR(Journal(child));
         const Object* child_obj = db_->objects().Peek(child);
         if (child_obj != nullptr && child_obj->is_version()) {
-          Journal(child_obj->generic());
+          ORION_RETURN_IF_ERROR(Journal(child_obj->generic()));
         }
       }
     }
     if (obj->is_version()) {
-      Journal(obj->generic());
+      ORION_RETURN_IF_ERROR(Journal(obj->generic()));
       JournalGeneric(obj->generic());
     }
     if (obj->is_generic()) {
@@ -118,30 +145,48 @@ void TransactionContext::JournalDeletion(Uid uid) {
       // and may cascade to dependent generics; journal conservatively via
       // its generic refs.
       for (const GenericRef& g : obj->generic_refs()) {
-        Journal(g.parent);
+        ORION_RETURN_IF_ERROR(Journal(g.parent));
         auto info = db_->versions().GenericInfoOf(g.parent);
         if (info.ok()) {
           JournalGeneric(g.parent);
           for (Uid v : info->first) {
-            Journal(v);
+            ORION_RETURN_IF_ERROR(Journal(v));
           }
         }
       }
       auto own = db_->versions().GenericInfoOf(d);
       if (own.ok()) {
         for (Uid v : own->first) {
-          JournalDeletion(v);
+          ORION_RETURN_IF_ERROR(JournalDeletion(v));
         }
       }
     }
   }
+  return Status::Ok();
 }
 
 Result<const Object*> TransactionContext::Read(Uid uid) {
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/false));
+  ORION_RETURN_IF_ERROR(CheckDmlFor(uid));
   ORION_RETURN_IF_ERROR(
       db_->protocol().LockInstance(txn_, uid, /*write=*/false, timeout_));
+  // Re-register after the S lock: the first committed record of a
+  // just-created object may have landed between the pre-lock check (which
+  // then saw nothing) and the lock grant.
+  ORION_RETURN_IF_ERROR(CheckDmlFor(uid));
+  // §10 + §4.3: Access runs deferred-change catch-up, which MUTATES the
+  // instance.  Under an S lock that would race other readers, so when
+  // catch-up is (conservatively) needed, upgrade to X and journal the
+  // before-image — an abort must restore the pre-catch-up state it
+  // publishes nothing for.
+  {
+    const Object* peek = db_->objects().Peek(uid);
+    if (peek != nullptr && db_->objects().CatchUpNeeded(peek)) {
+      ORION_RETURN_IF_ERROR(LockWrite(uid));
+      ORION_RETURN_IF_ERROR(Journal(uid));
+    }
+  }
   ORION_ASSIGN_OR_RETURN(Object * obj, db_->objects().Access(uid));
   return static_cast<const Object*>(obj);
 }
@@ -149,6 +194,11 @@ Result<const Object*> TransactionContext::Read(Uid uid) {
 Status TransactionContext::LockCompositeForRead(Uid root) {
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_RETURN_IF_ERROR(CheckAccess(root, /*write=*/false));
+  // Registering the root covers the whole walk: any DDL whose sweep could
+  // reach a component below `root` fences the root's class too (the
+  // upward half of Database::AffectedClassClosure), so it either drains
+  // this transaction or refuses it here.
+  ORION_RETURN_IF_ERROR(CheckDmlFor(root));
   return db_->protocol().LockComposite(txn_, root, /*write=*/false,
                                        timeout_);
 }
@@ -158,24 +208,25 @@ Result<Uid> TransactionContext::Make(const std::string& class_name,
                                      const AttrValues& attrs) {
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_ASSIGN_OR_RETURN(ClassId cls, db_->schema().FindClass(class_name));
+  ORION_RETURN_IF_ERROR(CheckDml(cls));
   ORION_RETURN_IF_ERROR(db_->locks().Acquire(
       txn_, LockResource::Class(cls), LockMode::kIX, timeout_));
   for (const ParentBinding& pb : parents) {
     ORION_RETURN_IF_ERROR(CheckAccess(pb.parent, /*write=*/true));
     ORION_RETURN_IF_ERROR(LockWrite(pb.parent));
-    Journal(pb.parent);
+    ORION_RETURN_IF_ERROR(Journal(pb.parent));
   }
   // Bottom-up assembly mutates the referenced components too — and, for
   // versioned targets, the generic's reference bookkeeping.
   for (const auto& [name, value] : attrs) {
     for (Uid target : value.ReferencedUids()) {
       ORION_RETURN_IF_ERROR(LockWrite(target));
-      Journal(target);
+      ORION_RETURN_IF_ERROR(Journal(target));
       const Object* t = db_->objects().Peek(target);
       if (t != nullptr && (t->is_version() || t->is_generic())) {
         const Uid generic = t->is_version() ? t->generic() : target;
         ORION_RETURN_IF_ERROR(LockWrite(generic));
-        Journal(generic);
+        ORION_RETURN_IF_ERROR(Journal(generic));
       }
     }
   }
@@ -199,7 +250,7 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/true));
   ORION_RETURN_IF_ERROR(LockWrite(uid));
-  Journal(uid);
+  ORION_RETURN_IF_ERROR(Journal(uid));
   // Composite assignment touches attached/detached targets and, for
   // versioned targets, their generics: X-lock each before journaling it
   // (the journal copies the object, so an unlocked copy would race with a
@@ -208,21 +259,21 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
   if (obj != nullptr) {
     for (Uid target : obj->Get(attribute).ReferencedUids()) {
       ORION_RETURN_IF_ERROR(LockWrite(target));
-      Journal(target);
+      ORION_RETURN_IF_ERROR(Journal(target));
       const Object* t = db_->objects().Peek(target);
       if (t != nullptr && t->is_version()) {
         ORION_RETURN_IF_ERROR(LockWrite(t->generic()));
-        Journal(t->generic());
+        ORION_RETURN_IF_ERROR(Journal(t->generic()));
       }
     }
   }
   for (Uid target : value.ReferencedUids()) {
     ORION_RETURN_IF_ERROR(LockWrite(target));
-    Journal(target);
+    ORION_RETURN_IF_ERROR(Journal(target));
     const Object* t = db_->objects().Peek(target);
     if (t != nullptr && t->is_version()) {
       ORION_RETURN_IF_ERROR(LockWrite(t->generic()));
-      Journal(t->generic());
+      ORION_RETURN_IF_ERROR(Journal(t->generic()));
     }
   }
   return db_->objects().SetAttribute(uid, attribute, std::move(value));
@@ -234,13 +285,13 @@ Status TransactionContext::MakeComponent(Uid child, Uid parent,
   ORION_RETURN_IF_ERROR(CheckAccess(parent, /*write=*/true));
   ORION_RETURN_IF_ERROR(LockWrite(parent));
   ORION_RETURN_IF_ERROR(LockWrite(child));
-  Journal(parent);
-  Journal(child);
+  ORION_RETURN_IF_ERROR(Journal(parent));
+  ORION_RETURN_IF_ERROR(Journal(child));
   const Object* c = db_->objects().Peek(child);
   if (c != nullptr && (c->is_version() || c->is_generic())) {
     const Uid generic = c->is_version() ? c->generic() : child;
     ORION_RETURN_IF_ERROR(LockWrite(generic));
-    Journal(generic);
+    ORION_RETURN_IF_ERROR(Journal(generic));
   }
   return db_->objects().MakeComponent(child, parent, attribute);
 }
@@ -251,13 +302,13 @@ Status TransactionContext::RemoveComponent(Uid child, Uid parent,
   ORION_RETURN_IF_ERROR(CheckAccess(parent, /*write=*/true));
   ORION_RETURN_IF_ERROR(LockWrite(parent));
   ORION_RETURN_IF_ERROR(LockWrite(child));
-  Journal(parent);
-  Journal(child);
+  ORION_RETURN_IF_ERROR(Journal(parent));
+  ORION_RETURN_IF_ERROR(Journal(child));
   const Object* c = db_->objects().Peek(child);
   if (c != nullptr && (c->is_version() || c->is_generic())) {
     const Uid generic = c->is_version() ? c->generic() : child;
     ORION_RETURN_IF_ERROR(LockWrite(generic));
-    Journal(generic);
+    ORION_RETURN_IF_ERROR(Journal(generic));
   }
   return db_->objects().RemoveComponent(child, parent, attribute);
 }
@@ -265,6 +316,9 @@ Status TransactionContext::RemoveComponent(Uid child, Uid parent,
 Status TransactionContext::Delete(Uid uid) {
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_RETURN_IF_ERROR(CheckAccess(uid, /*write=*/true));
+  // Registering the root covers the deletion walk below it (see
+  // LockCompositeForRead for the closure argument).
+  ORION_RETURN_IF_ERROR(CheckDmlFor(uid));
   ORION_RETURN_IF_ERROR(
       db_->protocol().LockComposite(txn_, uid, /*write=*/true, timeout_));
   // The composite lock covers `uid` and everything below it, but deletion
@@ -289,13 +343,14 @@ Status TransactionContext::Delete(Uid uid) {
       }
     }
   }
-  JournalDeletion(uid);
+  ORION_RETURN_IF_ERROR(JournalDeletion(uid));
   return db_->DeleteObject(uid);
 }
 
 Result<Uid> TransactionContext::Derive(Uid version) {
   ORION_RETURN_IF_ERROR(RequireActive());
   ORION_RETURN_IF_ERROR(CheckAccess(version, /*write=*/false));
+  ORION_RETURN_IF_ERROR(CheckDmlFor(version));
   const Object* src = db_->objects().Peek(version);
   if (src == nullptr) {
     return Status::NotFound("object " + version.ToString());
@@ -306,17 +361,17 @@ Result<Uid> TransactionContext::Derive(Uid version) {
   // to the source's component targets: X-lock everything that changes.
   ORION_RETURN_IF_ERROR(LockWrite(src->generic()));
   JournalGeneric(src->generic());
-  Journal(src->generic());
+  ORION_RETURN_IF_ERROR(Journal(src->generic()));
   auto comps = db_->objects().DirectComponents(version);
   if (comps.ok()) {
     for (const auto& [child, spec] : *comps) {
       ORION_RETURN_IF_ERROR(LockWrite(child));
-      Journal(child);
+      ORION_RETURN_IF_ERROR(Journal(child));
       const Object* c = db_->objects().Peek(child);
       if (c != nullptr && (c->is_version() || c->is_generic())) {
         const Uid generic = c->is_version() ? c->generic() : child;
         ORION_RETURN_IF_ERROR(LockWrite(generic));
-        Journal(generic);
+        ORION_RETURN_IF_ERROR(Journal(generic));
       }
     }
   }
@@ -330,6 +385,31 @@ Result<Uid> TransactionContext::Derive(Uid version) {
 
 Status TransactionContext::Commit() {
   ORION_RETURN_IF_ERROR(RequireActive());
+  // §10 commit-time backstop: re-derive the touched classes from the
+  // journal itself (the write set) and have the fence validate them.  This
+  // is independent of the per-operation CheckDml reports, so an op path
+  // that forgot its check still cannot publish across a fence or an epoch
+  // bump.  On refusal the transaction aborts in full and surfaces the
+  // retryable kSchemaConflict to the session loop.
+  {
+    std::unordered_set<ClassId> classes;
+    for (const auto& [uid, before] : journal_) {
+      const Object* obj = db_->objects().Peek(uid);
+      if (obj != nullptr) {
+        classes.insert(obj->class_id());
+      } else if (before.has_value()) {
+        classes.insert(before->class_id());
+      }
+    }
+    Status fence_ok = db_->schema_fence().ValidateCommit(
+        txn_, std::vector<ClassId>(classes.begin(), classes.end()),
+        begin_epoch_);
+    if (!fence_ok.ok()) {
+      // The abort rollback outcome is subsumed by the schema conflict.
+      (void)Abort();
+      return fence_ok;
+    }
+  }
   active_ = false;
   // Publish every touched uid's (post-mutation) live state as one commit —
   // BEFORE releasing the locks, so the record-store sources copy states this
@@ -352,6 +432,10 @@ Status TransactionContext::Commit() {
   journal_.clear();
   generic_journal_.clear();
   Status released = db_->locks().Release(txn_);
+  // Deregister only after publish + lock release: a draining DDL may sweep
+  // the moment the last conflicter ends, and by then this commit must be
+  // fully out of the closure's instances.
+  db_->schema_fence().EndTxn(txn_);
   em_->txn_commits->Inc();
   em_->txn_journal_size->Observe(journaled);
   const uint64_t dur_us = obs::NowMicros() - start_us_;
@@ -392,6 +476,7 @@ Status TransactionContext::Abort() {
   // own write set) with no record-chain traffic at all.
   db_->records().ExitTransactionScope();
   Status released = db_->locks().Release(txn_);
+  db_->schema_fence().EndTxn(txn_);
   em_->txn_aborts->Inc();
   const uint64_t dur_us = obs::NowMicros() - start_us_;
   em_->txn_abort_us->Observe(dur_us);

@@ -24,10 +24,16 @@ namespace orion {
 /// the journal and releases the locks.
 ///
 /// Scope notes: schema changes (DDL) are not transactional, matching
-/// ORION's behaviour; the §7 protocols this layers on are "appropriate
-/// largely for conventional short transactions" (the paper defers
-/// long-duration transactions to future work — see LockInstance-based
-/// component locking for that style).
+/// ORION's behaviour, but they ARE safe to run while transactions are in
+/// flight (§10): every transaction registers each class it touches with the
+/// database's `SchemaFence` before touching any instance of it, and a DDL
+/// operation fences its affected class closure, drains the registered
+/// conflicters, and bumps the schema epoch.  A transaction that runs into a
+/// fence fails with the retryable `kSchemaConflict` — `Session::Run`
+/// re-executes it against the new schema.  The §7 protocols this layers on
+/// are "appropriate largely for conventional short transactions" (the paper
+/// defers long-duration transactions to future work — see
+/// LockInstance-based component locking for that style).
 class TransactionContext {
  public:
   /// Starts a transaction.  `lock_timeout` bounds each lock wait (0 =
@@ -95,10 +101,23 @@ class TransactionContext {
   Status RequireActive() const;
   Status CheckAccess(Uid uid, bool write);
   Status LockWrite(Uid uid);
+  /// §10: registers `cls` with the schema fence (kSchemaConflict if it is
+  /// fenced by an in-flight DDL).  Cached per transaction, so the fence
+  /// latch is taken at most once per (txn, class).
+  Status CheckDml(ClassId cls);
+  /// CheckDml for the class of `uid`, resolved from the committed record
+  /// chain — an immutable, latched copy — never from the live table: an
+  /// unregistered Peek could race a DDL sweep deleting the object.  A uid
+  /// with no committed record belongs to this transaction (class already
+  /// registered by Make/Derive) or does not exist; both pass.
+  Status CheckDmlFor(Uid uid);
   /// Journals `uid` (before-image, or "did not exist") exactly once.
-  void Journal(Uid uid);
+  /// Registers the uid's class with the schema fence first — the journal
+  /// keys are exactly the write set, so this is what guarantees every
+  /// journaled class is registered (the §10 commit backstop relies on it).
+  Status Journal(Uid uid);
   /// Journals every object the deletion closure of `uid` will touch.
-  void JournalDeletion(Uid uid);
+  Status JournalDeletion(Uid uid);
   /// Journals the version-registry entry of `generic` exactly once.
   void JournalGeneric(Uid generic);
 
@@ -110,7 +129,12 @@ class TransactionContext {
   /// transaction; commit/abort latency histograms measure from here).
   const EngineMetrics* em_;
   uint64_t start_us_;
+  /// §10: schema epoch at begin; commit validation detects DDL completed
+  /// in the window.
+  uint64_t begin_epoch_;
   bool active_ = true;
+  /// Classes already registered with the schema fence (txn-local cache).
+  std::unordered_set<ClassId> touched_classes_;
   /// uid -> before-image; nullopt = the object did not exist before.
   std::unordered_map<Uid, std::optional<Object>> journal_;
   /// generic uid -> (versions, user default) before; nullopt = unregistered.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/trace.h"
+
 namespace orion {
 
 namespace {
@@ -804,25 +806,21 @@ Status ObjectManager::CatchUp(Object* o, bool publish) {
   if (o->cc() >= current) {
     return Status::Ok();
   }
-  // Consult the logs of the object's class and every superclass whose
-  // attributes could be the domain admitting this instance.
-  std::vector<const LogEntry*> pending;
-  for (const auto& [domain, log] : schema_->all_logs()) {
-    if (!schema_->IsSubclassOf(o->class_id(), domain)) {
-      continue;
-    }
-    for (const LogEntry* e : log.PendingSince(o->cc())) {
-      pending.push_back(e);
-    }
-  }
-  std::sort(pending.begin(), pending.end(),
-            [](const LogEntry* a, const LogEntry* b) { return a->cc < b->cc; });
-  for (const LogEntry* e : pending) {
-    ApplyLogEntry(o, *e);
+  const uint64_t start_us =
+      h_catchup_us_ != nullptr ? obs::NowMicros() : 0;
+  // The logs of the object's class and every superclass whose attributes
+  // could be the domain admitting this instance, copied out under the
+  // schema latch and merged in CC order, so no latch is held while the
+  // instance is rewritten.
+  for (const LogEntry& e : schema_->PendingChanges(o->class_id(), o->cc())) {
+    ApplyLogEntry(o, e);
   }
   o->set_cc(current);
   if (publish) {
     MarkRecord(o->uid());
+  }
+  if (h_catchup_us_ != nullptr) {
+    h_catchup_us_->Observe(obs::NowMicros() - start_us);
   }
   return Status::Ok();
 }

@@ -15,6 +15,7 @@
 #include "common/striped.h"
 #include "object/object.h"
 #include "object/record_store.h"
+#include "obs/metrics.h"
 #include "schema/schema_manager.h"
 #include "storage/object_store.h"
 
@@ -183,6 +184,18 @@ class ObjectManager {
   /// schema-maintenance semantics of §4.3.
   Status CatchUp(Object* o, bool publish = true);
 
+  /// Conservative O(1) test for "would CatchUp(o) change anything":
+  /// true whenever the object's CC trails the global counter.  CatchUp
+  /// always advances the CC to current, so a false here is authoritative
+  /// and lets hot paths skip the log walk (and transactional readers skip
+  /// the S→X upgrade CatchUp's mutation would need).
+  bool CatchUpNeeded(const Object* o) const {
+    return o->cc() < schema_->CurrentCc();
+  }
+
+  /// Optional ddl.catchup_us histogram (wired by Database).
+  void set_catchup_histogram(obs::Histogram* h) { h_catchup_us_ = h; }
+
   // --- Extents -------------------------------------------------------------------
 
   /// UIDs of direct instances of `cls` (sorted for determinism).
@@ -296,6 +309,7 @@ class ObjectManager {
   std::vector<ObjectObserver*> observers_;
   std::atomic<uint64_t> next_uid_{0};
   RecordStore* records_ = nullptr;
+  obs::Histogram* h_catchup_us_ = nullptr;
 };
 
 }  // namespace orion

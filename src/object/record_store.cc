@@ -82,6 +82,34 @@ RecordStore::Batch::~Batch() {
   }
 }
 
+uint64_t RecordStore::Batch::Close() {
+  if (store_ == nullptr) {
+    return 0;
+  }
+  TlsState& tls = store_->Tls();
+  if (tls.batch_depth != 1) {
+    return 0;  // nested: the outermost batch owns publication
+  }
+  std::vector<Uid> objects = std::move(tls.batch_objects);
+  std::vector<Uid> generics = std::move(tls.batch_generics);
+  tls.batch_objects.clear();
+  tls.batch_generics.clear();
+  if (objects.empty() && generics.empty()) {
+    return 0;
+  }
+  return store_->PublishBatch(objects, generics);
+}
+
+uint64_t RecordStore::AdvanceWatermark() {
+  if (clock_ == nullptr) {
+    return 0;
+  }
+  LatchGuard commit(commit_mu_);
+  const uint64_t ts = clock_->Tick();
+  watermark_.store(ts, std::memory_order_release);
+  return ts;
+}
+
 void RecordStore::MarkObject(Uid uid) {
   if (clock_ == nullptr || !uid.valid()) {
     return;

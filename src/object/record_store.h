@@ -126,6 +126,14 @@ class RecordStore {
     Batch(const Batch&) = delete;
     Batch& operator=(const Batch&) = delete;
 
+    /// Publishes the collected marks *now* and returns the commit
+    /// timestamp they were installed under, so the caller can seal other
+    /// state (a schema version, §10) at exactly that instant.  Returns 0
+    /// if this is a nested batch, nothing was marked, or the store is
+    /// unconfigured; the destructor then becomes a no-op for marks
+    /// already flushed (later marks collect into a fresh set as usual).
+    uint64_t Close();
+
    private:
     RecordStore* store_;
   };
@@ -151,6 +159,14 @@ class RecordStore {
   uint64_t watermark() const {
     return watermark_.load(std::memory_order_acquire);
   }
+
+  /// Ticks the clock once and publishes that (empty) instant as the new
+  /// watermark.  Used by the online-DDL path (§10) to seal a schema-only
+  /// change — one that rewrote no instances and therefore produced no
+  /// records — at a timestamp snapshots can order against: readers at or
+  /// above the returned ts see the new schema version, readers below it
+  /// the old.  Returns 0 if the store is unconfigured.
+  uint64_t AdvanceWatermark();
 
   /// The newest committed state of `uid` with commit_ts <= ts, or null if
   /// the object did not exist (or was deleted) as of `ts`.

@@ -30,9 +30,12 @@ class ObjectView {
   /// here.  The pointer stays valid for the lifetime of the view.
   virtual const Object* Lookup(Uid uid) const = 0;
 
-  /// The schema the view's states were written under.  DDL is not
-  /// versioned (matching ORION), so both views share the live schema.
-  virtual const SchemaManager* schema() const = 0;
+  /// The schema the view's states were written under, as a timestamp-bound
+  /// facade (§10): the live schema for `LiveView`, the schema as of the
+  /// read timestamp for `SnapshotView` — schema versions ride the same
+  /// logical clock as record chains, so old states resolve against the
+  /// class definitions they were committed under.
+  virtual const SchemaView* schema() const = 0;
 
   /// Deep extent: uids of instances of `cls` and its subclasses visible in
   /// this view, sorted.
@@ -47,7 +50,8 @@ Result<std::vector<std::pair<Uid, AttributeSpec>>> DirectComponentsIn(
 /// The live tables, via Peek + access-time schema catch-up.
 class LiveView final : public ObjectView {
  public:
-  explicit LiveView(ObjectManager& objects) : objects_(&objects) {}
+  explicit LiveView(ObjectManager& objects)
+      : objects_(&objects), schema_view_(objects.schema(), kSchemaLiveTs) {}
 
   const Object* Lookup(Uid uid) const override {
     Object* obj = objects_->Peek(uid);
@@ -61,7 +65,7 @@ class LiveView final : public ObjectView {
     return obj;
   }
 
-  const SchemaManager* schema() const override { return objects_->schema(); }
+  const SchemaView* schema() const override { return &schema_view_; }
 
   std::vector<Uid> Extent(ClassId cls) const override {
     return objects_->InstancesOfDeep(cls);
@@ -69,6 +73,7 @@ class LiveView final : public ObjectView {
 
  private:
   ObjectManager* objects_;
+  SchemaView schema_view_;
 };
 
 /// Committed states as of one read timestamp, resolved against the record
@@ -77,14 +82,15 @@ class LiveView final : public ObjectView {
 /// lifetime.  NOT thread-safe: one view belongs to one reading thread
 /// (a read-only transaction creates its own).
 ///
-/// Schema caveat (documented in DESIGN.md §7): DDL is not versioned, so a
-/// snapshot read concurrent with a schema change resolves old states
-/// against the new schema — exactly ORION's deferred-catch-up semantics.
+/// Schema versions ride the same logical clock as the record chains (§10),
+/// so `schema()` resolves attributes and the lattice exactly as of `ts`: a
+/// snapshot pinned before a DDL committed keeps seeing the old class
+/// definitions for its whole lifetime.
 class SnapshotView final : public ObjectView {
  public:
   SnapshotView(const RecordStore& records, const SchemaManager& schema,
                uint64_t ts)
-      : records_(&records), schema_(&schema), ts_(ts) {}
+      : records_(&records), schema_view_(&schema, ts), ts_(ts) {}
 
   uint64_t ts() const { return ts_; }
 
@@ -99,11 +105,13 @@ class SnapshotView final : public ObjectView {
     return raw;
   }
 
-  const SchemaManager* schema() const override { return schema_; }
+  const SchemaView* schema() const override { return &schema_view_; }
 
   std::vector<Uid> Extent(ClassId cls) const override {
     std::vector<Uid> out;
-    for (ClassId c : schema_->SelfAndSubclasses(cls)) {
+    // The lattice as of ts: a class dropped (or re-parented) after the
+    // snapshot pinned still contributes its then-instances.
+    for (ClassId c : schema_view_.SelfAndSubclasses(cls)) {
       std::vector<Uid> part = records_->InstancesOfAt(c, ts_);
       out.insert(out.end(), part.begin(), part.end());
     }
@@ -113,7 +121,7 @@ class SnapshotView final : public ObjectView {
 
  private:
   const RecordStore* records_;
-  const SchemaManager* schema_;
+  SchemaView schema_view_;
   uint64_t ts_;
   mutable std::unordered_map<Uid, std::shared_ptr<const Object>> pinned_;
 };

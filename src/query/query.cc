@@ -244,7 +244,7 @@ Result<std::vector<Uid>> SelectOverView(
     const std::function<std::vector<Uid>(const AttributeIndex&,
                                          const CompareExpr&)>& index_lookup,
     SelectStats* stats) {
-  const SchemaManager* schema = view.schema();
+  const SchemaView* schema = view.schema();
   if (schema->GetClass(cls) == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
   }

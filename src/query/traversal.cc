@@ -27,7 +27,7 @@ bool ClassPasses(const ObjectView& view, const TraversalOptions& opts,
   if (obj == nullptr) {
     return false;
   }
-  const SchemaManager* schema = view.schema();
+  const SchemaView* schema = view.schema();
   return std::any_of(opts.classes.begin(), opts.classes.end(),
                      [&](ClassId c) {
                        return schema->IsSubclassOf(obj->class_id(), c);

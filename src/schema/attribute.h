@@ -30,6 +30,9 @@ std::string_view RefKindName(RefKind kind);
 /// `:domain`, `set-of`, `:composite`, `:exclusive`, `:dependent`, with the
 /// paper's defaults — "The default value for both the exclusive and
 /// dependent keywords is True (to be compatible with ... ORION)."
+///
+/// Thread-safety: a plain value type; concurrent code works on copies
+/// resolved out of `SchemaManager` under its lattice latch.
 struct AttributeSpec {
   std::string name;
   /// Domain class name.  The primitive domains are "integer", "real" and

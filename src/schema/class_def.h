@@ -21,6 +21,11 @@ inline constexpr ClassId kInvalidClass = 0;
 /// Carries the locally defined attributes; inherited attributes are resolved
 /// by `SchemaManager::ResolvedAttributes` following the superclass order
 /// (first superclass wins on a name conflict, the ORION default rule).
+///
+/// Thread-safety: instances published by `SchemaManager` are immutable —
+/// DDL installs a fresh copy-on-write version instead of editing one in
+/// place (§10) — so a `const ClassDef*` from any schema accessor may be
+/// read without synchronization for the manager's lifetime.
 struct ClassDef {
   ClassId id = kInvalidClass;
   std::string name;

@@ -32,6 +32,10 @@ std::string_view TypeChangeName(TypeChange change);
 /// name (reverse references carry it, so two attributes of one referencing
 /// class with the same domain stay distinct) and the complete target flags,
 /// so replay is idempotent even when one change folds several flag updates.
+///
+/// Thread-safety: a plain value type.  Concurrent code exchanges *copies*
+/// (`SchemaManager::PendingChanges`); never share one instance across
+/// threads without external synchronization.
 struct LogEntry {
   uint64_t cc = 0;
   TypeChange change = TypeChange::kToWeak;
@@ -56,19 +60,36 @@ struct LogEntry {
 /// CC values are issued by `SchemaManager` from one global counter so that a
 /// single per-instance CC orders entries across the logs of a class and all
 /// its superclasses.
+///
+/// Thread-safety: this class itself is unsynchronized.  The instances that
+/// matter live inside `SchemaManager::logs_`, guarded by its lattice latch
+/// (kSchemaLattice): concurrent appenders go through
+/// `SchemaManager::AppendLogEntry` (exclusive latch) and concurrent readers
+/// through `SchemaManager::PendingChanges` / `LogsSnapshot`, which copy
+/// entries out under the shared latch.  Direct use (a standalone log, or a
+/// reference from `LogForDomain`) is single-threaded-only.
 class OperationLog {
  public:
-  /// Appends a change stamped with `cc` (strictly increasing per manager).
+  /// Appends a change stamped with `cc` (strictly increasing per manager) —
+  /// §4.3, "an operation log for a class C maintains, for each change, the
+  /// change type and change count".
+  /// Thread-safety: caller must hold the owning manager's lattice latch
+  /// exclusively (use `SchemaManager::AppendLogEntry`) or own the log.
   void Append(LogEntry entry) { entries_.push_back(std::move(entry)); }
 
   /// The latest CC recorded (0 if the log is empty).
+  /// Thread-safety: caller must hold the owning manager's lattice latch
+  /// (shared suffices) or own the log.
   uint64_t current_cc() const {
     return entries_.empty() ? 0 : entries_.back().cc;
   }
 
   /// Entries with CC strictly greater than `instance_cc`, in CC order —
-  /// "the changes that must be made are the ones with a CC which is greater
-  /// than the CC of the instance."
+  /// §4.3, "the changes that must be made are the ones with a CC which is
+  /// greater than the CC of the instance."
+  /// Thread-safety: the returned pointers alias log storage; caller must
+  /// hold the lattice latch for their whole lifetime.  Concurrent catch-up
+  /// uses `SchemaManager::PendingChanges`, which copies instead.
   std::vector<const LogEntry*> PendingSince(uint64_t instance_cc) const {
     std::vector<const LogEntry*> out;
     for (const LogEntry& e : entries_) {
@@ -79,6 +100,8 @@ class OperationLog {
     return out;
   }
 
+  /// Thread-safety: the returned reference aliases log storage; caller
+  /// must hold the lattice latch (shared) or own the log.
   const std::vector<LogEntry>& entries() const { return entries_; }
 
  private:

@@ -1,0 +1,147 @@
+#include "schema/schema_fence.h"
+
+#include "obs/trace.h"
+
+namespace orion {
+
+void SchemaFence::BeginTxn(uint64_t txn_id) {
+  UniqueLatchGuard guard(mu_);
+  touched_[txn_id];  // insert an empty touched set
+}
+
+void SchemaFence::EndTxn(uint64_t txn_id) {
+  UniqueLatchGuard guard(mu_);
+  touched_.erase(txn_id);
+  if (draining_.erase(txn_id) > 0) {
+    cv_.NotifyAll();  // a draining DDL may now proceed
+  }
+}
+
+Status SchemaFence::CheckDmlAccess(uint64_t txn_id, ClassId cls) {
+  UniqueLatchGuard guard(mu_);
+  auto it = touched_.find(txn_id);
+  if (it == touched_.end()) {
+    return Status::TransactionInvalid("transaction is not registered");
+  }
+  if (it->second.count(cls) > 0) {
+    // Registered before any current fence rose — the DDL's drain waits for
+    // this transaction, so it may keep going.
+    return Status::Ok();
+  }
+  if (fenced_.count(cls) > 0) {
+    if (metrics_.conflicts != nullptr) {
+      metrics_.conflicts->Inc();
+    }
+    return Status::SchemaConflict("class " + std::to_string(cls) +
+                                  " is fenced by an in-progress schema "
+                                  "change; retry");
+  }
+  it->second.insert(cls);
+  return Status::Ok();
+}
+
+Status SchemaFence::ValidateCommit(uint64_t txn_id,
+                                   const std::vector<ClassId>& classes,
+                                   uint64_t begin_epoch) {
+  // Fast path: no DDL completed since this transaction began and none is
+  // mid-sweep, so no conflict is possible.
+  if (epoch_.load(std::memory_order_acquire) == begin_epoch &&
+      !fence_active_.load(std::memory_order_acquire)) {
+    return Status::Ok();
+  }
+  UniqueLatchGuard guard(mu_);
+  auto it = touched_.find(txn_id);
+  if (it == touched_.end()) {
+    return Status::TransactionInvalid("transaction is not registered");
+  }
+  const bool epoch_moved =
+      epoch_.load(std::memory_order_acquire) != begin_epoch;
+  for (ClassId cls : classes) {
+    if (it->second.count(cls) > 0) {
+      // Registered: if the class is fenced, this transaction is in the
+      // drain set and the DDL is waiting for precisely this commit.
+      continue;
+    }
+    // The journal knows a class the per-operation checks never reported.
+    // With DDL activity in the window we cannot prove the sweep did not
+    // race this transaction's writes — abort and retry.
+    if (fenced_.count(cls) > 0 || epoch_moved) {
+      if (metrics_.conflicts != nullptr) {
+        metrics_.conflicts->Inc();
+      }
+      return Status::SchemaConflict(
+          "journal touches class " + std::to_string(cls) +
+          " across a schema change; retry");
+    }
+  }
+  return Status::Ok();
+}
+
+SchemaFence::DdlGuard::DdlGuard(SchemaFence* fence) : fence_(fence) {
+  if (fence_ == nullptr) {
+    return;
+  }
+  UniqueLatchGuard guard(fence_->mu_);
+  fence_->cv_.Wait(guard, [this] { return !fence_->ddl_active_; });
+  fence_->ddl_active_ = true;
+}
+
+SchemaFence::DdlGuard::~DdlGuard() {
+  if (fence_ == nullptr) {
+    return;
+  }
+  UniqueLatchGuard guard(fence_->mu_);
+  fence_->fenced_.clear();
+  fence_->fence_active_.store(false, std::memory_order_release);
+  fence_->ddl_active_ = false;
+  fence_->draining_.clear();
+  fence_->epoch_.fetch_add(1, std::memory_order_acq_rel);
+  if (fence_->metrics_.epoch_bumps != nullptr) {
+    fence_->metrics_.epoch_bumps->Inc();
+  }
+  if (fence_->metrics_.epoch_gauge != nullptr) {
+    fence_->metrics_.epoch_gauge->Set(static_cast<int64_t>(
+        fence_->epoch_.load(std::memory_order_acquire)));
+  }
+  fence_->cv_.NotifyAll();
+}
+
+void SchemaFence::DdlGuard::FenceAndDrain(
+    const std::vector<ClassId>& closure) {
+  if (fence_ == nullptr || fenced_) {
+    return;
+  }
+  fenced_ = true;
+  const uint64_t start_us = obs::NowMicros();
+  UniqueLatchGuard guard(fence_->mu_);
+  for (ClassId cls : closure) {
+    fence_->fenced_.insert(cls);
+  }
+  fence_->fence_active_.store(true, std::memory_order_release);
+  // Precise drain: only transactions that already touched a fenced class
+  // hold journal entries / locks the sweep could race.  Everything else
+  // keeps running — that is the whole point of the fence over a
+  // stop-the-world.
+  fence_->draining_.clear();
+  for (const auto& [txn, classes] : fence_->touched_) {
+    for (ClassId cls : classes) {
+      if (fence_->fenced_.count(cls) > 0) {
+        fence_->draining_.insert(txn);
+        break;
+      }
+    }
+  }
+  const uint64_t drained = fence_->draining_.size();
+  fence_->cv_.Wait(guard, [this] { return fence_->draining_.empty(); });
+  if (fence_->metrics_.fences != nullptr) {
+    fence_->metrics_.fences->Inc();
+  }
+  if (fence_->metrics_.drained_txns != nullptr) {
+    fence_->metrics_.drained_txns->Add(drained);
+  }
+  if (fence_->metrics_.fence_wait_us != nullptr) {
+    fence_->metrics_.fence_wait_us->Observe(obs::NowMicros() - start_us);
+  }
+}
+
+}  // namespace orion

@@ -1,0 +1,152 @@
+#ifndef ORION_SCHEMA_SCHEMA_FENCE_H_
+#define ORION_SCHEMA_SCHEMA_FENCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "schema/class_def.h"
+
+namespace orion {
+
+/// Coordinates online DDL (§10) against concurrent DML transactions.
+///
+/// The protocol, in one paragraph: every DML transaction registers with the
+/// fence at begin, reports each class it touches *before* touching any
+/// instance of it (`CheckDmlAccess`), and re-validates its touched set at
+/// commit (`ValidateCommit`).  A DDL operation takes a `DdlGuard`
+/// (serializing DDL against DDL), raises a fence over the affected class
+/// closure, and *drains*: it waits until every transaction that had already
+/// touched a fenced class is finished.  From the moment the fence is up, any
+/// transaction asking to touch a fenced class is refused with the retryable
+/// `kSchemaConflict`, so no new conflicting work starts; after the drain the
+/// DDL thread is the only one holding references into the closure's
+/// instances and may sweep them without logical locks.  Dropping the guard
+/// lowers the fence, bumps the schema epoch, and wakes every waiter.
+///
+/// Safety argument (re-derivable; DESIGN.md §10 has the long form): the
+/// fence latch makes "transaction T registered class C" and "DDL fenced
+/// class C" totally ordered.  If T registered first, T is in the drain set
+/// and DDL waits for it; if the fence came first, T's access is refused
+/// before it journals or locks any instance of C.  Either way no live
+/// journal entry, before-image, or X lock for a fenced class exists while
+/// the sweep runs.  Commit-time validation is the belt-and-braces backstop:
+/// it re-derives the touched set from the transaction's *journal* (not the
+/// per-op reports), so an op path that forgot its CheckDmlAccess still
+/// cannot commit across a fence or an epoch bump.
+///
+/// Thread-safety: fully thread-safe.  All state is guarded by `mu_`
+/// (kSchemaFence, 105 — a coordinator rank, because drains block on its
+/// condition variable); `fence_active_` and `epoch_` are additionally
+/// mirrored in atomics so the no-DDL fast path costs one relaxed load.
+class SchemaFence {
+ public:
+  /// Observability hooks (ddl.* metrics), optional; wired by Database.
+  ///
+  /// Thread-safety: set once at setup, before concurrent use.
+  struct Metrics {
+    obs::Counter* fences = nullptr;          // ddl.fences
+    obs::Counter* epoch_bumps = nullptr;     // ddl.epoch_bumps
+    obs::Counter* drained_txns = nullptr;    // ddl.drained_txns
+    obs::Counter* conflicts = nullptr;       // ddl.conflicts
+    obs::Histogram* fence_wait_us = nullptr; // ddl.fence_wait_us
+    obs::Gauge* epoch_gauge = nullptr;       // ddl.epoch
+  };
+
+  SchemaFence() = default;
+  SchemaFence(const SchemaFence&) = delete;
+  SchemaFence& operator=(const SchemaFence&) = delete;
+
+  void set_metrics(const Metrics& m) { metrics_ = m; }
+
+  /// Current schema epoch: bumped once per completed DDL operation.
+  /// Thread-safety: lock-free (atomic load).
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  // --- DML side -----------------------------------------------------------
+
+  /// Registers a transaction.  Thread-safety: takes mu_ (kSchemaFence).
+  void BeginTxn(uint64_t txn_id);
+
+  /// Deregisters a finished (committed or aborted) transaction and wakes a
+  /// draining DDL.  Thread-safety: takes mu_ (kSchemaFence).
+  void EndTxn(uint64_t txn_id);
+
+  /// Reports that `txn_id` is about to read or mutate an instance of `cls`
+  /// (or create one).  Refuses with kSchemaConflict if `cls` is currently
+  /// fenced; otherwise records the touch so a later fence drains this
+  /// transaction.  Callers cache positives per transaction, so the latch is
+  /// taken at most once per (txn, class).  The touch must be recorded even
+  /// with no DDL anywhere in sight — it is what makes a later drain
+  /// precise instead of stop-the-world.
+  /// Thread-safety: takes mu_ (kSchemaFence).
+  Status CheckDmlAccess(uint64_t txn_id, ClassId cls);
+
+  /// Commit-time backstop over the journal-derived class set: classes the
+  /// transaction registered via CheckDmlAccess always pass (a draining DDL
+  /// is waiting for precisely this commit); an *unregistered* journal class
+  /// is refused when it is fenced or the epoch moved past `begin_epoch`,
+  /// because then nothing ordered this transaction against the sweep.
+  /// Thread-safety: takes mu_ (kSchemaFence); lock-free fast path when no
+  /// DDL is active and none completed since `begin_epoch`.
+  Status ValidateCommit(uint64_t txn_id, const std::vector<ClassId>& classes,
+                        uint64_t begin_epoch);
+
+  // --- DDL side -----------------------------------------------------------
+
+  /// RAII scope for one DDL operation.  Construction serializes against
+  /// other DDL (waits for `ddl_active_` to clear); destruction lowers any
+  /// fence, bumps the epoch, and wakes everyone.
+  ///
+  /// Thread-safety: a DdlGuard is confined to the constructing thread; the
+  /// fence it manipulates is shared.
+  class DdlGuard {
+   public:
+    explicit DdlGuard(SchemaFence* fence);
+    ~DdlGuard();
+    DdlGuard(const DdlGuard&) = delete;
+    DdlGuard& operator=(const DdlGuard&) = delete;
+
+    /// Raises the fence over `closure` and blocks until every transaction
+    /// that already touched a class in it has finished.  The caller must
+    /// hold no logical locks (blocked transactions finish via their lock
+    /// timeout, so the drain terminates).  May be called once per guard.
+    /// Thread-safety: takes mu_; blocks on its condition variable.
+    void FenceAndDrain(const std::vector<ClassId>& closure);
+
+   private:
+    SchemaFence* fence_;
+    bool fenced_ = false;
+  };
+
+ private:
+  friend class DdlGuard;
+
+  /// Guards everything below; rank kSchemaFence (105).
+  Latch mu_{"schema.fence", LatchRank::kSchemaFence};
+  LatchCondVar cv_;
+  /// One DDL at a time (guards the fence/drain/sweep/seal sequence, not
+  /// just the latch-protected state).
+  bool ddl_active_ = false;
+  /// The classes currently fenced (empty unless a DDL is in its sweep).
+  std::unordered_set<ClassId> fenced_;
+  /// Classes each live transaction has touched (registered at BeginTxn,
+  /// erased at EndTxn).
+  std::unordered_map<uint64_t, std::unordered_set<ClassId>> touched_;
+  /// Transactions a raised fence is still draining.
+  std::unordered_set<uint64_t> draining_;
+  /// Fast-path mirror of !fenced_.empty().
+  std::atomic<bool> fence_active_{false};
+  /// Bumped at the end of every DDL operation.
+  std::atomic<uint64_t> epoch_{0};
+  Metrics metrics_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_SCHEMA_SCHEMA_FENCE_H_

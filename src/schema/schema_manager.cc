@@ -14,6 +14,110 @@ bool IsPrimitiveDomain(const std::string& name) {
 
 }  // namespace
 
+// --- SchemaView -----------------------------------------------------------
+
+const ClassDef* SchemaView::GetClass(ClassId id) const {
+  return schema_ == nullptr ? nullptr : schema_->GetClassAt(id, ts_);
+}
+
+bool SchemaView::IsSubclassOf(ClassId sub, ClassId super) const {
+  return schema_ != nullptr && schema_->IsSubclassOfAt(sub, super, ts_);
+}
+
+std::vector<ClassId> SchemaView::SelfAndSubclasses(ClassId id) const {
+  return schema_ == nullptr ? std::vector<ClassId>{}
+                            : schema_->SelfAndSubclassesAt(id, ts_);
+}
+
+Result<std::vector<AttributeSpec>> SchemaView::ResolvedAttributes(
+    ClassId id) const {
+  if (schema_ == nullptr) {
+    return Status::Internal("SchemaView is unbound");
+  }
+  return schema_->ResolvedAttributesAt(id, ts_);
+}
+
+Result<AttributeSpec> SchemaView::ResolveAttribute(
+    ClassId id, const std::string& name) const {
+  if (schema_ == nullptr) {
+    return Status::Internal("SchemaView is unbound");
+  }
+  return schema_->ResolveAttributeAt(id, name, ts_);
+}
+
+// --- Versioned storage internals ------------------------------------------
+
+const ClassDef* SchemaManager::VersionAtLocked(ClassId id, uint64_t ts) const {
+  if (id == kInvalidClass || id > slots_.size()) {
+    return nullptr;
+  }
+  const auto& versions = slots_[id - 1].versions;
+  if (versions.empty()) {
+    return nullptr;
+  }
+  if (ts == kSchemaLiveTs) {
+    return versions.back().second.get();  // pending included: it IS live
+  }
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (it->first != kSchemaLiveTs && it->first <= ts) {
+      return it->second.get();
+    }
+  }
+  return nullptr;  // class did not exist as of ts
+}
+
+const ClassDef* SchemaManager::GetClassLocked(ClassId id, uint64_t ts) const {
+  const ClassDef* def = VersionAtLocked(id, ts);
+  return def == nullptr || def->dropped ? nullptr : def;
+}
+
+std::shared_ptr<ClassDef> SchemaManager::StageLocked(ClassId id) const {
+  const ClassDef* live = GetClassLocked(id, kSchemaLiveTs);
+  return live == nullptr ? nullptr : std::make_shared<ClassDef>(*live);
+}
+
+void SchemaManager::InstallLocked(std::shared_ptr<const ClassDef> def) {
+  ClassSlot& slot = slots_[def->id - 1];
+  if (deferred_seal_) {
+    if (!slot.versions.empty() &&
+        slot.versions.back().first == kSchemaLiveTs) {
+      // Fold successive mutations of one DDL into the one pending version
+      // by *replacing* the shared_ptr — a reader that grabbed the old
+      // pending pointer keeps an immutable (if mid-DDL) view alive.
+      slot.versions.back().second = std::move(def);
+      return;
+    }
+    slot.versions.emplace_back(kSchemaLiveTs, std::move(def));
+    pending_.push_back(slot.versions.back().second->id);
+    return;
+  }
+  slot.versions.emplace_back(ImmediateSealTsLocked(), std::move(def));
+}
+
+bool SchemaManager::BeginDeferredSeal() {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  if (deferred_seal_) {
+    return false;
+  }
+  deferred_seal_ = true;
+  pending_.clear();
+  return true;
+}
+
+void SchemaManager::SealPending(uint64_t ts) {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  for (ClassId id : pending_) {
+    auto& versions = slots_[id - 1].versions;
+    if (!versions.empty() && versions.back().first == kSchemaLiveTs) {
+      versions.back().first = ts;
+    }
+  }
+  pending_.clear();
+  deferred_seal_ = false;
+}
+
+// --- Lattice construction -------------------------------------------------
+
 Result<ClassId> SchemaManager::MakeClass(const ClassSpec& spec) {
   if (spec.name.empty()) {
     return Status::InvalidArgument("class name must not be empty");
@@ -21,18 +125,6 @@ Result<ClassId> SchemaManager::MakeClass(const ClassSpec& spec) {
   if (IsPrimitiveDomain(spec.name)) {
     return Status::InvalidArgument("'" + spec.name +
                                    "' is a reserved primitive class name");
-  }
-  if (by_name_.count(spec.name) > 0) {
-    return Status::AlreadyExists("class '" + spec.name + "' already exists");
-  }
-  std::vector<ClassId> supers;
-  for (const std::string& super_name : spec.superclasses) {
-    auto super = FindClass(super_name);
-    if (!super.ok()) {
-      return Status::NotFound("superclass '" + super_name + "' of '" +
-                              spec.name + "' does not exist");
-    }
-    supers.push_back(*super);
   }
   std::unordered_set<std::string> seen;
   for (const AttributeSpec& attr : spec.attributes) {
@@ -44,24 +136,66 @@ Result<ClassId> SchemaManager::MakeClass(const ClassSpec& spec) {
                                      "' on class '" + spec.name + "'");
     }
   }
-
-  ClassDef def;
-  def.id = static_cast<ClassId>(classes_.size() + 1);
-  def.name = spec.name;
-  def.superclasses = std::move(supers);
-  def.own_attributes = spec.attributes;
-  def.versionable = spec.versionable;
-  if (spec.segment != kInvalidSegment) {
-    def.segment = spec.segment;
-  } else if (store_ != nullptr) {
-    def.segment = store_->CreateSegment("seg:" + spec.name);
+  // Pre-validate under the shared latch so the common error cases pay no
+  // segment creation; the authoritative checks re-run under the exclusive
+  // latch below.
+  {
+    SharedLatchReadGuard guard(lattice_mu_);
+    if (by_name_.count(spec.name) > 0) {
+      return Status::AlreadyExists("class '" + spec.name +
+                                   "' already exists");
+    }
+    for (const std::string& super_name : spec.superclasses) {
+      if (by_name_.count(super_name) == 0) {
+        return Status::NotFound("superclass '" + super_name + "' of '" +
+                                spec.name + "' does not exist");
+      }
+    }
   }
-  by_name_[def.name] = def.id;
-  classes_.push_back(std::move(def));
-  return classes_.back().id;
+  // Segment creation calls into the object store (kSegmentTable, 510) and
+  // therefore must happen BEFORE the lattice latch (540) is taken.  A lost
+  // validation race below leaks one empty segment, which is harmless.
+  SegmentId segment = spec.segment;
+  if (segment == kInvalidSegment && store_ != nullptr) {
+    segment = store_->CreateSegment("seg:" + spec.name);
+  }
+
+  SharedLatchWriteGuard guard(lattice_mu_);
+  if (by_name_.count(spec.name) > 0) {
+    return Status::AlreadyExists("class '" + spec.name + "' already exists");
+  }
+  std::vector<ClassId> supers;
+  for (const std::string& super_name : spec.superclasses) {
+    auto it = by_name_.find(super_name);
+    if (it == by_name_.end()) {
+      return Status::NotFound("superclass '" + super_name + "' of '" +
+                              spec.name + "' does not exist");
+    }
+    supers.push_back(it->second);
+  }
+
+  auto def = std::make_shared<ClassDef>();
+  def->id = static_cast<ClassId>(slots_.size() + 1);
+  def->name = spec.name;
+  def->superclasses = std::move(supers);
+  def->own_attributes = spec.attributes;
+  def->versionable = spec.versionable;
+  def->segment = segment;
+  const ClassId id = def->id;
+  by_name_[def->name] = id;
+  slots_.emplace_back();
+  if (deferred_seal_) {
+    slots_.back().versions.emplace_back(kSchemaLiveTs, std::move(def));
+    pending_.push_back(id);
+  } else {
+    slots_.back().versions.emplace_back(ImmediateSealTsLocked(),
+                                        std::move(def));
+  }
+  return id;
 }
 
 Result<ClassId> SchemaManager::FindClass(const std::string& name) const {
+  SharedLatchReadGuard guard(lattice_mu_);
   auto it = by_name_.find(name);
   if (it == by_name_.end()) {
     return Status::NotFound("class '" + name + "' does not exist");
@@ -70,64 +204,120 @@ Result<ClassId> SchemaManager::FindClass(const std::string& name) const {
 }
 
 const ClassDef* SchemaManager::GetClass(ClassId id) const {
-  if (id == kInvalidClass || id > classes_.size()) {
-    return nullptr;
-  }
-  const ClassDef& def = classes_[id - 1];
-  return def.dropped ? nullptr : &def;
+  SharedLatchReadGuard guard(lattice_mu_);
+  return GetClassLocked(id, kSchemaLiveTs);
 }
 
-ClassDef* SchemaManager::MutableClass(ClassId id) {
-  if (id == kInvalidClass || id > classes_.size()) {
-    return nullptr;
-  }
-  ClassDef& def = classes_[id - 1];
-  return def.dropped ? nullptr : &def;
+const ClassDef* SchemaManager::GetClassRaw(ClassId id) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return VersionAtLocked(id, kSchemaLiveTs);
+}
+
+size_t SchemaManager::allocated_class_count() const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return slots_.size();
 }
 
 size_t SchemaManager::live_class_count() const {
+  SharedLatchReadGuard guard(lattice_mu_);
   size_t n = 0;
-  for (const ClassDef& def : classes_) {
-    if (!def.dropped) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const ClassDef* def =
+        GetClassLocked(static_cast<ClassId>(i + 1), kSchemaLiveTs);
+    if (def != nullptr) {
       ++n;
     }
   }
   return n;
 }
 
-bool SchemaManager::IsSubclassOf(ClassId sub, ClassId super) const {
-  if (GetClass(sub) == nullptr || GetClass(super) == nullptr) {
+// --- Timestamped reads ------------------------------------------------------
+
+const ClassDef* SchemaManager::GetClassAt(ClassId id, uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return GetClassLocked(id, ts);
+}
+
+const ClassDef* SchemaManager::SchemaVersionAt(ClassId id, uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return VersionAtLocked(id, ts);
+}
+
+bool SchemaManager::IsSubclassOfAt(ClassId sub, ClassId super,
+                                   uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return IsSubclassOfLocked(sub, super, ts);
+}
+
+std::vector<ClassId> SchemaManager::SelfAndSubclassesAt(ClassId id,
+                                                        uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return SelfAndSubclassesLocked(id, ts);
+}
+
+Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributesAt(
+    ClassId id, uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return ResolvedAttributesLocked(id, ts);
+}
+
+Result<AttributeSpec> SchemaManager::ResolveAttributeAt(
+    ClassId id, const std::string& name, uint64_t ts) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return ResolveAttributeLocked(id, name, ts);
+}
+
+// --- Lattice queries --------------------------------------------------------
+
+bool SchemaManager::IsSubclassOfLocked(ClassId sub, ClassId super,
+                                       uint64_t ts) const {
+  if (GetClassLocked(sub, ts) == nullptr ||
+      GetClassLocked(super, ts) == nullptr) {
     return false;
   }
   if (sub == super) {
     return true;
   }
-  const ClassDef* def = GetClass(sub);
+  const ClassDef* def = GetClassLocked(sub, ts);
   for (ClassId parent : def->superclasses) {
-    if (IsSubclassOf(parent, super)) {
+    if (IsSubclassOfLocked(parent, super, ts)) {
       return true;
     }
   }
   return false;
 }
 
-std::vector<ClassId> SchemaManager::DirectSubclasses(ClassId id) const {
+bool SchemaManager::IsSubclassOf(ClassId sub, ClassId super) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return IsSubclassOfLocked(sub, super, kSchemaLiveTs);
+}
+
+std::vector<ClassId> SchemaManager::DirectSubclassesLocked(ClassId id,
+                                                           uint64_t ts) const {
   std::vector<ClassId> out;
-  for (const ClassDef& def : classes_) {
-    if (def.dropped) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const ClassDef* def =
+        GetClassLocked(static_cast<ClassId>(i + 1), ts);
+    if (def == nullptr) {
       continue;
     }
-    if (std::find(def.superclasses.begin(), def.superclasses.end(), id) !=
-        def.superclasses.end()) {
-      out.push_back(def.id);
+    if (std::find(def->superclasses.begin(), def->superclasses.end(), id) !=
+        def->superclasses.end()) {
+      out.push_back(def->id);
     }
   }
   return out;
 }
 
-std::vector<ClassId> SchemaManager::SelfAndSubclasses(ClassId id) const {
+std::vector<ClassId> SchemaManager::DirectSubclasses(ClassId id) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return DirectSubclassesLocked(id, kSchemaLiveTs);
+}
+
+std::vector<ClassId> SchemaManager::SelfAndSubclassesLocked(ClassId id,
+                                                            uint64_t ts) const {
   std::vector<ClassId> out;
-  if (GetClass(id) == nullptr) {
+  if (GetClassLocked(id, ts) == nullptr) {
     return out;
   }
   std::unordered_set<ClassId> visited;
@@ -139,11 +329,16 @@ std::vector<ClassId> SchemaManager::SelfAndSubclasses(ClassId id) const {
       continue;
     }
     out.push_back(cur);
-    for (ClassId sub : DirectSubclasses(cur)) {
+    for (ClassId sub : DirectSubclassesLocked(cur, ts)) {
       stack.push_back(sub);
     }
   }
   return out;
+}
+
+std::vector<ClassId> SchemaManager::SelfAndSubclasses(ClassId id) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return SelfAndSubclassesLocked(id, kSchemaLiveTs);
 }
 
 bool SchemaManager::SatisfiesDomain(ClassId cls,
@@ -151,23 +346,24 @@ bool SchemaManager::SatisfiesDomain(ClassId cls,
   if (domain_name == "any") {
     return true;
   }
-  auto domain = FindClass(domain_name);
-  if (!domain.ok()) {
+  SharedLatchReadGuard guard(lattice_mu_);
+  auto it = by_name_.find(domain_name);
+  if (it == by_name_.end()) {
     return false;  // primitive or unknown domains admit no object instances
   }
-  return IsSubclassOf(cls, *domain);
+  return IsSubclassOfLocked(cls, it->second, kSchemaLiveTs);
 }
 
-namespace {
+// --- Attribute resolution ---------------------------------------------------
 
 /// Recursive resolution honoring inheritance overrides: own attributes
 /// first, then overridden names from their designated superclasses, then
 /// the superclasses depth-first in declaration order.  The first
 /// definition of a name wins.
-void CollectResolved(const SchemaManager& schema, ClassId id,
-                     std::unordered_set<std::string>& seen,
-                     std::vector<std::pair<AttributeSpec, ClassId>>& out) {
-  const ClassDef* def = schema.GetClass(id);
+void SchemaManager::CollectResolvedLocked(
+    ClassId id, uint64_t ts, std::unordered_set<std::string>& seen,
+    std::vector<std::pair<AttributeSpec, ClassId>>& out) const {
+  const ClassDef* def = GetClassLocked(id, ts);
   if (def == nullptr) {
     return;
   }
@@ -182,7 +378,7 @@ void CollectResolved(const SchemaManager& schema, ClassId id,
     }
     std::unordered_set<std::string> sub_seen;
     std::vector<std::pair<AttributeSpec, ClassId>> sub;
-    CollectResolved(schema, source, sub_seen, sub);
+    CollectResolvedLocked(source, ts, sub_seen, sub);
     for (auto& [spec, owner] : sub) {
       if (spec.name == name) {
         seen.insert(name);
@@ -192,20 +388,18 @@ void CollectResolved(const SchemaManager& schema, ClassId id,
     }
   }
   for (ClassId super : def->superclasses) {
-    CollectResolved(schema, super, seen, out);
+    CollectResolvedLocked(super, ts, seen, out);
   }
 }
 
-}  // namespace
-
-Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributes(
-    ClassId id) const {
-  if (GetClass(id) == nullptr) {
+Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributesLocked(
+    ClassId id, uint64_t ts) const {
+  if (GetClassLocked(id, ts) == nullptr) {
     return Status::NotFound("class id " + std::to_string(id));
   }
   std::unordered_set<std::string> seen;
   std::vector<std::pair<AttributeSpec, ClassId>> collected;
-  CollectResolved(*this, id, seen, collected);
+  CollectResolvedLocked(id, ts, seen, collected);
   std::vector<AttributeSpec> out;
   out.reserve(collected.size());
   for (auto& [spec, owner] : collected) {
@@ -214,29 +408,41 @@ Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributes(
   return out;
 }
 
-Result<AttributeSpec> SchemaManager::ResolveAttribute(
-    ClassId id, const std::string& name) const {
+Result<std::vector<AttributeSpec>> SchemaManager::ResolvedAttributes(
+    ClassId id) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return ResolvedAttributesLocked(id, kSchemaLiveTs);
+}
+
+Result<AttributeSpec> SchemaManager::ResolveAttributeLocked(
+    ClassId id, const std::string& name, uint64_t ts) const {
   ORION_ASSIGN_OR_RETURN(std::vector<AttributeSpec> attrs,
-                         ResolvedAttributes(id));
+                         ResolvedAttributesLocked(id, ts));
   for (AttributeSpec& spec : attrs) {
     if (spec.name == name) {
       return std::move(spec);
     }
   }
-  const ClassDef* def = GetClass(id);
+  const ClassDef* def = GetClassLocked(id, ts);
   return Status::NotFound("class '" + (def ? def->name : "?") +
                           "' has no attribute '" + name + "'");
 }
 
-Result<ClassId> SchemaManager::DefiningClass(ClassId id,
-                                             const std::string& name) const {
-  const ClassDef* def = GetClass(id);
+Result<AttributeSpec> SchemaManager::ResolveAttribute(
+    ClassId id, const std::string& name) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return ResolveAttributeLocked(id, name, kSchemaLiveTs);
+}
+
+Result<ClassId> SchemaManager::DefiningClassLocked(
+    ClassId id, const std::string& name) const {
+  const ClassDef* def = GetClassLocked(id, kSchemaLiveTs);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(id));
   }
   std::unordered_set<std::string> seen;
   std::vector<std::pair<AttributeSpec, ClassId>> collected;
-  CollectResolved(*this, id, seen, collected);
+  CollectResolvedLocked(id, kSchemaLiveTs, seen, collected);
   for (const auto& [spec, owner] : collected) {
     if (spec.name == name) {
       return owner;
@@ -246,20 +452,25 @@ Result<ClassId> SchemaManager::DefiningClass(ClassId id,
                           name + "'");
 }
 
-namespace {
+Result<ClassId> SchemaManager::DefiningClass(ClassId id,
+                                             const std::string& name) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return DefiningClassLocked(id, name);
+}
 
-Result<bool> PredicateOver(
-    const SchemaManager& schema, ClassId id,
-    const std::optional<std::string>& attr,
-    bool (*pred)(const AttributeSpec&)) {
+// --- §3.2 class-level predicates --------------------------------------------
+
+Result<bool> SchemaManager::PredicateOverLocked(
+    ClassId id, const std::optional<std::string>& attr,
+    bool (*pred)(const AttributeSpec&)) const {
   if (attr.has_value()) {
-    auto spec = schema.ResolveAttribute(id, *attr);
+    auto spec = ResolveAttributeLocked(id, *attr, kSchemaLiveTs);
     if (!spec.ok()) {
       return spec.status();
     }
     return pred(*spec);
   }
-  auto attrs = schema.ResolvedAttributes(id);
+  auto attrs = ResolvedAttributesLocked(id, kSchemaLiveTs);
   if (!attrs.ok()) {
     return attrs.status();
   }
@@ -271,38 +482,43 @@ Result<bool> PredicateOver(
   return false;
 }
 
-}  // namespace
-
 Result<bool> SchemaManager::CompositeP(
     ClassId id, const std::optional<std::string>& attr) const {
-  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return PredicateOverLocked(id, attr, [](const AttributeSpec& s) {
     return s.is_composite();
   });
 }
 
 Result<bool> SchemaManager::ExclusiveCompositeP(
     ClassId id, const std::optional<std::string>& attr) const {
-  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return PredicateOverLocked(id, attr, [](const AttributeSpec& s) {
     return s.is_exclusive_composite();
   });
 }
 
 Result<bool> SchemaManager::SharedCompositeP(
     ClassId id, const std::optional<std::string>& attr) const {
-  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return PredicateOverLocked(id, attr, [](const AttributeSpec& s) {
     return s.is_shared_composite();
   });
 }
 
 Result<bool> SchemaManager::DependentCompositeP(
     ClassId id, const std::optional<std::string>& attr) const {
-  return PredicateOver(*this, id, attr, [](const AttributeSpec& s) {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return PredicateOverLocked(id, attr, [](const AttributeSpec& s) {
     return s.is_dependent_composite();
   });
 }
 
+// --- Schema-only evolution primitives ---------------------------------------
+
 Status SchemaManager::AddAttribute(ClassId id, AttributeSpec spec) {
-  ClassDef* def = MutableClass(id);
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(id);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(id));
   }
@@ -315,12 +531,14 @@ Status SchemaManager::AddAttribute(ClassId id, AttributeSpec spec) {
                                  "'");
   }
   def->own_attributes.push_back(std::move(spec));
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
 Status SchemaManager::DropAttributeSchemaOnly(ClassId id,
                                               const std::string& name) {
-  ClassDef* def = MutableClass(id);
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(id);
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(id));
   }
@@ -332,13 +550,15 @@ Status SchemaManager::DropAttributeSchemaOnly(ClassId id,
                             "' does not define attribute '" + name + "'");
   }
   def->own_attributes.erase(it);
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
-Status SchemaManager::CheckNoCycle(ClassId cls, ClassId new_superclass) const {
+Status SchemaManager::CheckNoCycleLocked(ClassId cls,
+                                         ClassId new_superclass) const {
   // Adding cls -> new_superclass creates a cycle iff cls is already an
   // ancestor of new_superclass.
-  if (IsSubclassOf(new_superclass, cls)) {
+  if (IsSubclassOfLocked(new_superclass, cls, kSchemaLiveTs)) {
     return Status::FailedPrecondition(
         "adding this superclass would create a cycle in the class lattice");
   }
@@ -346,22 +566,26 @@ Status SchemaManager::CheckNoCycle(ClassId cls, ClassId new_superclass) const {
 }
 
 Status SchemaManager::AddSuperclass(ClassId cls, ClassId superclass) {
-  ClassDef* def = MutableClass(cls);
-  if (def == nullptr || GetClass(superclass) == nullptr) {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(cls);
+  if (def == nullptr ||
+      GetClassLocked(superclass, kSchemaLiveTs) == nullptr) {
     return Status::NotFound("class does not exist");
   }
   if (std::find(def->superclasses.begin(), def->superclasses.end(),
                 superclass) != def->superclasses.end()) {
     return Status::AlreadyExists("already a superclass");
   }
-  ORION_RETURN_IF_ERROR(CheckNoCycle(cls, superclass));
+  ORION_RETURN_IF_ERROR(CheckNoCycleLocked(cls, superclass));
   def->superclasses.push_back(superclass);
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
 Status SchemaManager::RemoveSuperclassSchemaOnly(ClassId cls,
                                                  ClassId superclass) {
-  ClassDef* def = MutableClass(cls);
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(cls);
   if (def == nullptr) {
     return Status::NotFound("class does not exist");
   }
@@ -371,18 +595,20 @@ Status SchemaManager::RemoveSuperclassSchemaOnly(ClassId cls,
     return Status::NotFound("not a superclass");
   }
   def->superclasses.erase(it);
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
 Status SchemaManager::DropClassSchemaOnly(ClassId cls) {
-  ClassDef* def = MutableClass(cls);
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(cls);
   if (def == nullptr) {
     return Status::NotFound("class does not exist");
   }
   // "All subclasses of C become immediate subclasses of the superclasses
   // of C."
-  for (ClassId sub_id : DirectSubclasses(cls)) {
-    ClassDef* sub = MutableClass(sub_id);
+  for (ClassId sub_id : DirectSubclassesLocked(cls, kSchemaLiveTs)) {
+    std::shared_ptr<ClassDef> sub = StageLocked(sub_id);
     if (sub == nullptr) {
       continue;
     }
@@ -398,16 +624,19 @@ Status SchemaManager::DropClassSchemaOnly(ClassId cls) {
         sub->superclasses.push_back(super);
       }
     }
+    InstallLocked(std::move(sub));
   }
   by_name_.erase(def->name);
   def->dropped = true;
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
 Status SchemaManager::SetAttributeInheritanceSchemaOnly(
     ClassId cls, const std::string& name, ClassId source) {
-  ClassDef* def = MutableClass(cls);
-  if (def == nullptr || GetClass(source) == nullptr) {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  std::shared_ptr<ClassDef> def = StageLocked(cls);
+  if (def == nullptr || GetClassLocked(source, kSchemaLiveTs) == nullptr) {
     return Status::NotFound("class does not exist");
   }
   if (def->FindOwnAttribute(name) != nullptr) {
@@ -415,29 +644,36 @@ Status SchemaManager::SetAttributeInheritanceSchemaOnly(
         "class '" + def->name + "' defines '" + name +
         "' locally; inheritance does not apply");
   }
-  if (cls == source || !IsSubclassOf(cls, source)) {
+  if (cls == source || !IsSubclassOfLocked(cls, source, kSchemaLiveTs)) {
     return Status::InvalidArgument(
         "the inheritance source must be a (transitive) superclass");
   }
-  auto spec = ResolveAttribute(source, name);
+  auto spec = ResolveAttributeLocked(source, name, kSchemaLiveTs);
   if (!spec.ok()) {
-    return Status::NotFound("class '" + GetClass(source)->name +
-                            "' does not provide attribute '" + name + "'");
+    return Status::NotFound(
+        "class '" + GetClassLocked(source, kSchemaLiveTs)->name +
+        "' does not provide attribute '" + name + "'");
   }
   for (auto& [existing_name, existing_source] : def->inheritance_overrides) {
     if (existing_name == name) {
       existing_source = source;
+      InstallLocked(std::move(def));
       return Status::Ok();
     }
   }
   def->inheritance_overrides.emplace_back(name, source);
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
+
+// --- Attribute-type changes --------------------------------------------------
 
 Result<TypeChangeClass> SchemaManager::ClassifyTypeChange(
     ClassId id, const std::string& attr, bool to_composite, bool to_exclusive,
     bool to_dependent) const {
-  ORION_ASSIGN_OR_RETURN(AttributeSpec spec, ResolveAttribute(id, attr));
+  SharedLatchReadGuard guard(lattice_mu_);
+  ORION_ASSIGN_OR_RETURN(AttributeSpec spec,
+                         ResolveAttributeLocked(id, attr, kSchemaLiveTs));
   const bool from_composite = spec.composite;
   const bool from_exclusive = spec.exclusive;
   const bool from_dependent = spec.dependent;
@@ -484,8 +720,9 @@ Status SchemaManager::ApplyTypeChangeSchemaOnly(ClassId id,
                                                 bool to_composite,
                                                 bool to_exclusive,
                                                 bool to_dependent) {
-  ORION_ASSIGN_OR_RETURN(ClassId owner, DefiningClass(id, attr));
-  ClassDef* def = MutableClass(owner);
+  SharedLatchWriteGuard guard(lattice_mu_);
+  ORION_ASSIGN_OR_RETURN(ClassId owner, DefiningClassLocked(id, attr));
+  std::shared_ptr<ClassDef> def = StageLocked(owner);
   if (def == nullptr) {
     return Status::Internal("defining class vanished");
   }
@@ -496,11 +733,15 @@ Status SchemaManager::ApplyTypeChangeSchemaOnly(ClassId id,
   spec->composite = to_composite;
   spec->exclusive = to_exclusive;
   spec->dependent = to_dependent;
+  InstallLocked(std::move(def));
   return Status::Ok();
 }
 
+// --- Snapshot restore --------------------------------------------------------
+
 Status SchemaManager::RestoreClass(ClassDef def) {
-  if (def.id != classes_.size() + 1) {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  if (def.id != slots_.size() + 1) {
     return Status::InvalidArgument(
         "snapshot classes must be restored in id order");
   }
@@ -511,17 +752,58 @@ Status SchemaManager::RestoreClass(ClassDef def) {
     }
     by_name_[def.name] = def.id;
   }
-  classes_.push_back(std::move(def));
+  slots_.emplace_back();
+  slots_.back().versions.emplace_back(
+      0, std::make_shared<const ClassDef>(std::move(def)));
   return Status::Ok();
 }
 
+void SchemaManager::RestoreGlobalCc(uint64_t cc) {
+  uint64_t cur = global_cc_.load(std::memory_order_acquire);
+  while (cc > cur &&
+         !global_cc_.compare_exchange_weak(cur, cc,
+                                           std::memory_order_acq_rel)) {
+  }
+}
+
+// --- Operation logs ----------------------------------------------------------
+
 OperationLog& SchemaManager::LogForDomain(ClassId domain_class) {
+  SharedLatchWriteGuard guard(lattice_mu_);
   return logs_[domain_class];
 }
 
 const OperationLog* SchemaManager::FindLog(ClassId domain_class) const {
+  SharedLatchReadGuard guard(lattice_mu_);
   auto it = logs_.find(domain_class);
   return it == logs_.end() ? nullptr : &it->second;
+}
+
+void SchemaManager::AppendLogEntry(ClassId domain_class, LogEntry entry) {
+  SharedLatchWriteGuard guard(lattice_mu_);
+  logs_[domain_class].Append(std::move(entry));
+}
+
+std::vector<LogEntry> SchemaManager::PendingChanges(ClassId cls,
+                                                    uint64_t since_cc) const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  std::vector<LogEntry> out;
+  for (const auto& [domain, log] : logs_) {
+    if (!IsSubclassOfLocked(cls, domain, kSchemaLiveTs)) {
+      continue;
+    }
+    for (const LogEntry* e : log.PendingSince(since_cc)) {
+      out.push_back(*e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.cc < b.cc; });
+  return out;
+}
+
+std::unordered_map<ClassId, OperationLog> SchemaManager::LogsSnapshot() const {
+  SharedLatchReadGuard guard(lattice_mu_);
+  return logs_;
 }
 
 }  // namespace orion

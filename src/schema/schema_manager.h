@@ -1,11 +1,18 @@
 #ifndef ORION_SCHEMA_SCHEMA_MANAGER_H_
 #define ORION_SCHEMA_SCHEMA_MANAGER_H_
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "common/latch.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "schema/class_def.h"
@@ -15,6 +22,8 @@
 namespace orion {
 
 /// Input to `SchemaManager::MakeClass` — the `make-class` message (§2.3).
+///
+/// Thread-safety: a plain value type; confine each instance to one thread.
 struct ClassSpec {
   std::string name;
   std::vector<std::string> superclasses;
@@ -26,12 +35,60 @@ struct ClassSpec {
 };
 
 /// Classification of an attribute-type change (§4.2).
+///
+/// Thread-safety: a plain value type; confine each instance to one thread.
 struct TypeChangeClass {
   /// True for D1-D3: "a state-dependent change adds a constraint to a
   /// reference" and requires immediate verification of the X flags.
   bool state_dependent = false;
   /// For state-independent changes (I1-I4), the kind for the operation log.
   std::optional<TypeChange> independent_kind;
+};
+
+/// Timestamp meaning "the live (newest) schema".  Doubles as the seal
+/// timestamp of a *pending* version staged inside a deferred-seal DDL
+/// (§10): a pending version is visible to live readers (it IS the newest)
+/// but to no timestamped reader, because every real read timestamp is
+/// below it.
+inline constexpr uint64_t kSchemaLiveTs = UINT64_MAX;
+
+class SchemaManager;
+
+/// A read-only facade over `SchemaManager` bound to one read timestamp:
+/// `kSchemaLiveTs` for live transactions, a record-store watermark for MVCC
+/// snapshots (§7/§10 — schema versions ride the same logical clock as
+/// record chains, so a snapshot resolves attributes against the schema as
+/// of its read timestamp).
+///
+/// Thread-safety: immutable after construction; every call forwards to a
+/// `SchemaManager` *At method, which takes `lattice_mu_` (kSchemaLattice)
+/// shared.  Returned `ClassDef` pointers stay valid for the manager's
+/// lifetime (version storage is append-only).
+class SchemaView {
+ public:
+  SchemaView() = default;
+  SchemaView(const SchemaManager* schema, uint64_t ts)
+      : schema_(schema), ts_(ts) {}
+
+  /// Definition of `id` as of this view's timestamp; nullptr if the class
+  /// did not exist (or was already dropped) then.
+  const ClassDef* GetClass(ClassId id) const;
+  /// Reflexive-transitive subclass test over the lattice as of the view.
+  bool IsSubclassOf(ClassId sub, ClassId super) const;
+  /// `id` plus all transitive subclasses as of the view.
+  std::vector<ClassId> SelfAndSubclasses(ClassId id) const;
+  /// §3.1 resolution (own first, then inherited depth-first, first-wins)
+  /// against the view's class versions.
+  Result<std::vector<AttributeSpec>> ResolvedAttributes(ClassId id) const;
+  /// The effective spec of one attribute as of the view, or NotFound.
+  Result<AttributeSpec> ResolveAttribute(ClassId id,
+                                         const std::string& name) const;
+
+  uint64_t ts() const { return ts_; }
+
+ private:
+  const SchemaManager* schema_ = nullptr;
+  uint64_t ts_ = kSchemaLiveTs;
 };
 
 /// The ORION class lattice plus the schema-only halves of the §4 evolution
@@ -43,6 +100,18 @@ struct TypeChangeClass {
 /// owns everything that is purely schema: the lattice, attribute resolution
 /// with multiple inheritance, the operation logs for deferred type changes,
 /// and the class-level predicates of §3.2.
+///
+/// Thread-safety (§10): all state is guarded by `lattice_mu_`, a
+/// `SharedLatch` at rank kSchemaLattice (540) — shared for every query,
+/// exclusive for every mutation.  Class definitions are *versioned*
+/// copy-on-write: a mutator never edits a published `ClassDef` in place, it
+/// installs a new version sealed at a record-store timestamp, so a
+/// `const ClassDef*` obtained from any accessor stays valid and immutable
+/// for the manager's lifetime even across concurrent DDL.  Mutators do NOT
+/// fence concurrent DML — that is `SchemaFence`/`Database`'s job; calling a
+/// mutator directly is safe for the schema itself but leaves instances
+/// unswept.  The latch is a leaf: no method calls into another subsystem
+/// while holding it (MakeClass creates its segment before latching).
 class SchemaManager {
  public:
   /// `store` (may be null for schema-only tests) is used to create one
@@ -52,100 +121,182 @@ class SchemaManager {
   SchemaManager(const SchemaManager&) = delete;
   SchemaManager& operator=(const SchemaManager&) = delete;
 
+  // --- Version sealing (§10 online DDL) ----------------------------------
+
+  /// Installs the source of seal timestamps for immediately-sealed
+  /// versions (Database wires the record store's watermark — an atomic
+  /// load, called under the exclusive latch).  Unwired managers seal at 0.
+  /// Thread-safety: call once at setup, before concurrent use.
+  void SetSealTimestampSource(std::function<uint64_t()> source) {
+    seal_ts_source_ = std::move(source);
+  }
+
+  /// Enters deferred-seal mode: subsequent mutations stage *pending*
+  /// versions (live-visible, invisible to every timestamped reader) until
+  /// `SealPending` stamps them all with one timestamp.  Used by the fenced
+  /// DDL path so a multi-step schema change plus its instance sweep become
+  /// visible to snapshots atomically, at the sweep's publish timestamp.
+  /// Returns false if already in deferred mode (callers serialize via
+  /// DdlGuard, so this signals a bug).
+  /// Thread-safety: takes `lattice_mu_` exclusive.
+  bool BeginDeferredSeal();
+
+  /// Seals every pending version at `ts` and leaves deferred-seal mode.
+  /// `ts` must be at or above the watermark of every earlier seal (any
+  /// fresh record-store timestamp qualifies).
+  /// Thread-safety: takes `lattice_mu_` exclusive.
+  void SealPending(uint64_t ts);
+
   // --- Lattice construction -------------------------------------------
 
-  /// `make-class`.  Rejects duplicate names, unknown superclasses, duplicate
-  /// attribute names (after resolution the first definition would win, but a
-  /// local duplicate is always a mistake).
+  /// `make-class` (§2.3).  Rejects duplicate names, unknown superclasses,
+  /// duplicate attribute names (after resolution the first definition would
+  /// win, but a local duplicate is always a mistake).
+  /// Thread-safety: validates under the shared latch, creates the segment
+  /// unlatched, re-validates and installs under the exclusive latch
+  /// (kSchemaLattice).  Safe under concurrent DML; concurrent DDL is
+  /// serialized by Database's DdlGuard.
   Result<ClassId> MakeClass(const ClassSpec& spec);
 
   /// Id of a live class by name.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<ClassId> FindClass(const std::string& name) const;
 
-  /// Definition of a live class; nullptr for invalid or dropped ids.
+  /// Definition of a live class; nullptr for invalid or dropped ids.  The
+  /// pointer is immutable and lives as long as the manager (§10 versioned
+  /// storage), but may describe a superseded version once DDL commits.
+  /// Thread-safety: shared latch (kSchemaLattice).
   const ClassDef* GetClass(ClassId id) const;
 
   /// Definition including dropped classes (snapshot dump); nullptr only
   /// for never-allocated ids.
-  const ClassDef* GetClassRaw(ClassId id) const {
-    return id == kInvalidClass || id > classes_.size() ? nullptr
-                                                       : &classes_[id - 1];
-  }
+  /// Thread-safety: shared latch (kSchemaLattice).
+  const ClassDef* GetClassRaw(ClassId id) const;
 
   /// Number of allocated class ids (live + dropped).
-  size_t allocated_class_count() const { return classes_.size(); }
+  /// Thread-safety: shared latch (kSchemaLattice).
+  size_t allocated_class_count() const;
 
   /// Number of live (not dropped) classes.
+  /// Thread-safety: shared latch (kSchemaLattice).
   size_t live_class_count() const;
+
+  // --- Timestamped reads (§7/§10 MVCC integration) -----------------------
+
+  /// Definition of `id` as of timestamp `ts` (kSchemaLiveTs = live),
+  /// nullptr if the class did not exist or was dropped as of `ts`.
+  /// Thread-safety: shared latch (kSchemaLattice).
+  const ClassDef* GetClassAt(ClassId id, uint64_t ts) const;
+
+  /// Like GetClassAt but including dropped definitions (snapshot dump
+  /// needs the tombstone); nullptr only if no version existed by `ts`.
+  /// Thread-safety: shared latch (kSchemaLattice).
+  const ClassDef* SchemaVersionAt(ClassId id, uint64_t ts) const;
+
+  /// IsSubclassOf / SelfAndSubclasses / ResolvedAttributes /
+  /// ResolveAttribute evaluated against the lattice as of `ts`.
+  /// Thread-safety: shared latch (kSchemaLattice).
+  bool IsSubclassOfAt(ClassId sub, ClassId super, uint64_t ts) const;
+  std::vector<ClassId> SelfAndSubclassesAt(ClassId id, uint64_t ts) const;
+  Result<std::vector<AttributeSpec>> ResolvedAttributesAt(ClassId id,
+                                                          uint64_t ts) const;
+  Result<AttributeSpec> ResolveAttributeAt(ClassId id, const std::string& name,
+                                           uint64_t ts) const;
 
   // --- Lattice queries --------------------------------------------------
 
   /// Reflexive-transitive subclass test.
+  /// Thread-safety: shared latch (kSchemaLattice).
   bool IsSubclassOf(ClassId sub, ClassId super) const;
 
   /// Direct subclasses of `id`.
+  /// Thread-safety: shared latch (kSchemaLattice).
   std::vector<ClassId> DirectSubclasses(ClassId id) const;
 
   /// `id` plus all transitive subclasses.
+  /// Thread-safety: shared latch (kSchemaLattice).
   std::vector<ClassId> SelfAndSubclasses(ClassId id) const;
 
   /// True if an instance of `cls` may be stored in an attribute whose domain
   /// is `domain_name`: primitive "any" always, otherwise the domain must
   /// name a live class of which `cls` is a (reflexive) subclass.
+  /// Thread-safety: shared latch (kSchemaLattice).
   bool SatisfiesDomain(ClassId cls, const std::string& domain_name) const;
 
   // --- Attribute resolution ---------------------------------------------
 
-  /// All attributes visible on `id`: own first, then inherited depth-first
-  /// in superclass declaration order; the first definition of a name wins.
+  /// All attributes visible on `id` (§3.1): own first, then inherited
+  /// depth-first in superclass declaration order; the first definition of a
+  /// name wins.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<std::vector<AttributeSpec>> ResolvedAttributes(ClassId id) const;
 
   /// The effective spec of one attribute, or NotFound.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<AttributeSpec> ResolveAttribute(ClassId id,
                                          const std::string& name) const;
 
   /// The class (self or ancestor) whose own_attributes define `name` for
   /// `id`, following the same first-wins order as ResolvedAttributes.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<ClassId> DefiningClass(ClassId id, const std::string& name) const;
 
   // --- §3.2 class-level predicates ---------------------------------------
 
-  /// `compositep`: with an attribute name, is that attribute composite;
-  /// without, does the class have at least one composite attribute.
+  /// `compositep` (§3.2): with an attribute name, is that attribute
+  /// composite; without, does the class have at least one composite
+  /// attribute.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<bool> CompositeP(ClassId id,
                           const std::optional<std::string>& attr) const;
-  /// `exclusive-compositep`.
+  /// `exclusive-compositep` (§3.2).
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<bool> ExclusiveCompositeP(ClassId id,
                                    const std::optional<std::string>& attr) const;
-  /// `shared-compositep`.
+  /// `shared-compositep` (§3.2).
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<bool> SharedCompositeP(ClassId id,
                                 const std::optional<std::string>& attr) const;
-  /// `dependent-compositep`.
+  /// `dependent-compositep` (§3.2).
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<bool> DependentCompositeP(
       ClassId id, const std::optional<std::string>& attr) const;
 
   // --- Schema-only evolution primitives (§4.1) ---------------------------
 
+  /// §4.1 change (1): adds an attribute to `id`.  Instances need no sweep
+  /// (the new attribute is simply unset everywhere).
+  /// Thread-safety: exclusive latch (kSchemaLattice); installs a new class
+  /// version, never edits the published one.
   Status AddAttribute(ClassId id, AttributeSpec spec);
 
-  /// Removes `name` from the defining class.  Subclasses lose it through
-  /// resolution ("the attribute must also be dropped from all subclasses
-  /// that inherit it") unless they redefine it locally.
+  /// §4.1 change (1): removes `name` from the defining class.  Subclasses
+  /// lose it through resolution ("the attribute must also be dropped from
+  /// all subclasses that inherit it") unless they redefine it locally.
+  /// Schema half only — Database sweeps instance values and dependent
+  /// components under the DDL fence.
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write.
   Status DropAttributeSchemaOnly(ClassId id, const std::string& name);
 
+  /// §4.1 change (3): adds a superclass edge (cycle-checked).
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write.
   Status AddSuperclass(ClassId cls, ClassId superclass);
 
-  /// Detaches `superclass` from `cls`.
+  /// §4.1 change (3), schema half: detaches `superclass` from `cls`.
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write.
   Status RemoveSuperclassSchemaOnly(ClassId cls, ClassId superclass);
 
-  /// Drops `cls`; "all subclasses of C become immediate subclasses of the
-  /// superclasses of C."
+  /// §4.1 change (4), schema half: drops `cls`; "all subclasses of C
+  /// become immediate subclasses of the superclasses of C."
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write (one
+  /// new version per re-parented subclass plus the tombstone).
   Status DropClassSchemaOnly(ClassId cls);
 
   /// §4.1 change (2), schema half: makes `cls` inherit `name` from
   /// `source` (one of its superclasses, direct or transitive) instead of
   /// the default first-superclass resolution.  Rejected if `cls` defines
   /// the attribute locally or `source` does not provide it.
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write.
   Status SetAttributeInheritanceSchemaOnly(ClassId cls,
                                            const std::string& name,
                                            ClassId source);
@@ -153,16 +304,19 @@ class SchemaManager {
   // --- Attribute-type changes (§4.2) --------------------------------------
 
   /// Classifies changing `(composite, exclusive, dependent)` of `attr` on
-  /// class `id` to the given new flags.  Identity changes are rejected.
+  /// class `id` to the given new flags (§4.2: I1-I4 state-independent,
+  /// D1-D3 state-dependent).  Identity changes are rejected.
+  /// Thread-safety: shared latch (kSchemaLattice).
   Result<TypeChangeClass> ClassifyTypeChange(ClassId id,
                                              const std::string& attr,
                                              bool to_composite,
                                              bool to_exclusive,
                                              bool to_dependent) const;
 
-  /// Rewrites the stored flags of `attr` on its defining class.  Does not
-  /// touch instances — callers run verification / reverse-reference fixes
-  /// first (Database does).
+  /// §4.2, schema half: rewrites the stored flags of `attr` on its defining
+  /// class.  Does not touch instances — callers run verification /
+  /// reverse-reference fixes first (Database does, under the DDL fence).
+  /// Thread-safety: exclusive latch (kSchemaLattice); copy-on-write.
   Status ApplyTypeChangeSchemaOnly(ClassId id, const std::string& attr,
                                    bool to_composite, bool to_exclusive,
                                    bool to_dependent);
@@ -171,53 +325,125 @@ class SchemaManager {
 
   /// The log of deferred changes whose *domain* is `domain_class`; created
   /// on first use.
+  /// Thread-safety: NOT safe for concurrent use — the returned reference
+  /// bypasses the latch.  For single-threaded setup and tests only;
+  /// concurrent code appends via `AppendLogEntry` and reads via
+  /// `PendingChanges`/`LogsSnapshot`.
   OperationLog& LogForDomain(ClassId domain_class);
 
   /// Read-only view, or nullptr if no change was ever logged.
+  /// Thread-safety: NOT safe concurrently with AppendLogEntry (the pointer
+  /// bypasses the latch); for single-threaded tests only.
   const OperationLog* FindLog(ClassId domain_class) const;
 
-  /// All operation logs keyed by domain class (catch-up consults the logs
-  /// of an instance's class and every superclass).
-  const std::unordered_map<ClassId, OperationLog>& all_logs() const {
-    return logs_;
-  }
+  /// Appends a deferred-change entry (§4.3) to the domain's log.
+  /// Thread-safety: exclusive latch (kSchemaLattice).
+  void AppendLogEntry(ClassId domain_class, LogEntry entry);
+
+  /// All §4.3 log entries an instance of `cls` with change-count
+  /// `since_cc` still has to apply: the logs of `cls` and every
+  /// superclass, filtered to cc > since_cc, merged in cc order.  Returns
+  /// copies, so the caller applies them with no latch held.
+  /// Thread-safety: shared latch (kSchemaLattice); the hot catch-up path
+  /// short-circuits on the atomic CurrentCc before calling this.
+  std::vector<LogEntry> PendingChanges(ClassId cls, uint64_t since_cc) const;
+
+  /// A copy of every operation log keyed by domain class (snapshot dump).
+  /// Thread-safety: shared latch (kSchemaLattice).
+  std::unordered_map<ClassId, OperationLog> LogsSnapshot() const;
 
   /// Issues the next change count.  CCs are global so a single per-instance
   /// CC orders entries across the logs of a class and its superclasses.
-  uint64_t NextCc() { return ++global_cc_; }
+  /// Thread-safety: lock-free (atomic increment).
+  uint64_t NextCc() { return global_cc_.fetch_add(1, std::memory_order_acq_rel) + 1; }
 
   /// CC a freshly created instance must carry — "when a new instance of the
   /// class C is created, the CC of the instance is set to the current value
   /// of the CC of the class" (here: the global counter, a superset).
-  uint64_t CurrentCc() const { return global_cc_; }
+  /// Thread-safety: lock-free (atomic load).
+  uint64_t CurrentCc() const {
+    return global_cc_.load(std::memory_order_acquire);
+  }
 
   // --- Snapshot restore (src/core/snapshot.cc) ----------------------------
 
-  /// Re-inserts a class definition with its original id.  Definitions must
-  /// arrive in id order (dropped classes included, to preserve id slots).
+  /// Re-inserts a class definition with its original id, sealed at
+  /// timestamp 0 (a restored database starts one schema version deep).
+  /// Definitions must arrive in id order (dropped classes included, to
+  /// preserve id slots).
+  /// Thread-safety: exclusive latch (kSchemaLattice); restore runs before
+  /// the database accepts traffic, but latching keeps the checker honest.
   Status RestoreClass(ClassDef def);
 
   /// Re-inserts a deferred-change log entry.
+  /// Thread-safety: exclusive latch (kSchemaLattice).
   void RestoreLogEntry(ClassId domain, LogEntry entry) {
-    logs_[domain].Append(std::move(entry));
+    AppendLogEntry(domain, std::move(entry));
   }
 
   /// Fast-forwards the global change counter.
-  void RestoreGlobalCc(uint64_t cc) {
-    if (cc > global_cc_) {
-      global_cc_ = cc;
-    }
-  }
+  /// Thread-safety: lock-free (CAS max).
+  void RestoreGlobalCc(uint64_t cc);
 
  private:
-  ClassDef* MutableClass(ClassId id);
-  Status CheckNoCycle(ClassId cls, ClassId new_superclass) const;
+  /// One class id's version history: (seal_ts, definition) ascending by
+  /// seal_ts, back() = live.  Pending versions carry kSchemaLiveTs.
+  /// Versions are never erased — schema history is tiny next to record
+  /// chains, and retention is what keeps every handed-out ClassDef*
+  /// valid forever (§10; trimming below the reclaimer's min read ts is
+  /// future work, noted in DESIGN.md).
+  struct ClassSlot {
+    std::vector<std::pair<uint64_t, std::shared_ptr<const ClassDef>>> versions;
+  };
+
+  // Internal helpers.  *Locked methods require lattice_mu_ held (shared
+  // suffices for the const ones); they exist because SharedLatch rejects
+  // re-entrant lock_shared, so a public method must never call another
+  // public method.
+  const ClassDef* VersionAtLocked(ClassId id, uint64_t ts) const;
+  const ClassDef* GetClassLocked(ClassId id, uint64_t ts) const;
+  bool IsSubclassOfLocked(ClassId sub, ClassId super, uint64_t ts) const;
+  std::vector<ClassId> DirectSubclassesLocked(ClassId id, uint64_t ts) const;
+  std::vector<ClassId> SelfAndSubclassesLocked(ClassId id, uint64_t ts) const;
+  void CollectResolvedLocked(
+      ClassId id, uint64_t ts, std::unordered_set<std::string>& seen,
+      std::vector<std::pair<AttributeSpec, ClassId>>& out) const;
+  Result<std::vector<AttributeSpec>> ResolvedAttributesLocked(
+      ClassId id, uint64_t ts) const;
+  Result<AttributeSpec> ResolveAttributeLocked(ClassId id,
+                                               const std::string& name,
+                                               uint64_t ts) const;
+  Result<ClassId> DefiningClassLocked(ClassId id,
+                                      const std::string& name) const;
+  Result<bool> PredicateOverLocked(ClassId id,
+                                   const std::optional<std::string>& attr,
+                                   bool (*pred)(const AttributeSpec&)) const;
+  Status CheckNoCycleLocked(ClassId cls, ClassId new_superclass) const;
+
+  /// A private mutable copy of the live definition of `id` (follows a
+  /// pending version if one is staged), or nullptr for invalid/dropped
+  /// ids.  Mutate it, then InstallLocked it — published versions are
+  /// immutable.
+  std::shared_ptr<ClassDef> StageLocked(ClassId id) const;
+  /// Publishes a staged definition as the new live version: replaces the
+  /// pending back() in deferred-seal mode, otherwise appends sealed at
+  /// the seal-timestamp source.
+  void InstallLocked(std::shared_ptr<const ClassDef> def);
+  uint64_t ImmediateSealTsLocked() const {
+    return seal_ts_source_ ? seal_ts_source_() : 0;
+  }
 
   ObjectStore* store_;
-  std::vector<ClassDef> classes_;  // index = id - 1; dropped stay in place
+  /// Guards slots_, by_name_, logs_, deferred-seal state.  Rank 540
+  /// (kSchemaLattice): a leaf below every physical latch — see §9.
+  mutable SharedLatch lattice_mu_{"schema.lattice", LatchRank::kSchemaLattice};
+  std::vector<ClassSlot> slots_;  // index = id - 1; dropped stay in place
   std::unordered_map<std::string, ClassId> by_name_;
   std::unordered_map<ClassId, OperationLog> logs_;
-  uint64_t global_cc_ = 0;
+  std::function<uint64_t()> seal_ts_source_;
+  bool deferred_seal_ = false;
+  std::vector<ClassId> pending_;  // slots holding a pending version
+  std::atomic<uint64_t> global_cc_{0};
 };
 
 }  // namespace orion

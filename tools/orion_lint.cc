@@ -16,6 +16,10 @@
 //                      line or immediately above.
 //   forbidden-include  src/common/ is the dependency root: it must not
 //                      include subsystem headers.
+//   missing-thread-safety  public headers under src/schema/ are part of the
+//                      online-DDL surface (DESIGN.md §10) and must document
+//                      their concurrency contract: the file must contain at
+//                      least one `/// Thread-safety:` doc line.
 //
 // Usage:
 //   orion_lint <repo-root>   lint every .h/.cc under <repo-root>/src
@@ -161,8 +165,22 @@ std::vector<Finding> LintSource(const std::string& rel_path,
   const bool is_latch_impl = rel_path == "src/common/latch.h" ||
                              rel_path == "src/common/latch.cc";
   const bool in_common = rel_path.rfind("src/common/", 0) == 0;
+  const bool is_schema_header =
+      rel_path.rfind("src/schema/", 0) == 0 &&
+      rel_path.size() >= 2 &&
+      rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
 
   std::vector<std::string> lines = SplitLines(content);
+  if (is_schema_header &&
+      content.find("/// Thread-safety:") == std::string_view::npos &&
+      content.find("// orion-lint: allow(missing-thread-safety)") ==
+          std::string_view::npos) {
+    findings.push_back(
+        {rel_path, 1, "missing-thread-safety",
+         "schema headers are the online-DDL surface (DESIGN.md §10) and "
+         "must document their concurrency contract with a "
+         "`/// Thread-safety:` doc line"});
+  }
   for (size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
     const size_t lineno = i + 1;
@@ -290,6 +308,21 @@ constexpr Fixture kFixtures[] = {
     {"subsystem includes subsystem", "src/query/ok_include.cc",
      "#include \"object/object_manager.h\"\n", nullptr},
     {"outside src ignored", "tests/whatever.cc", "std::mutex m;\n", nullptr},
+    {"schema header without contract", "src/schema/bad_header.h",
+     "class SchemaThing {\n public:\n  void Mutate();\n};\n",
+     "missing-thread-safety"},
+    {"schema header with contract", "src/schema/ok_header.h",
+     "/// Thread-safety: all methods serialize on lattice_mu_.\n"
+     "class SchemaThing {};\n",
+     nullptr},
+    {"schema header suppressed", "src/schema/ok_suppressed.h",
+     "// orion-lint: allow(missing-thread-safety): constants only\n"
+     "constexpr int kFoo = 1;\n",
+     nullptr},
+    {"schema .cc exempt from contract rule", "src/schema/ok_impl.cc",
+     "void F() {}\n", nullptr},
+    {"non-schema header exempt", "src/object/ok_header.h",
+     "class T {};\n", nullptr},
 };
 
 int SelfTest() {
