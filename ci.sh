@@ -47,7 +47,7 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   # suites double as a multi-threaded rank-order torture test.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck|DdlConcurrency'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck|DdlConcurrency|Cell'
 fi
 
 if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
@@ -67,6 +67,11 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
   # those frees too.
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ./bench/abl_online_ddl --smoke)
+  # The §11 cell layer adds cross-cell 2PC (per-cell journals freed on both
+  # commit paths) and the scatter-gather query merge; its smoke exercises
+  # both plus the per-cell reclaimers.
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ./bench/abl_cells --smoke)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then

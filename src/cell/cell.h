@@ -1,0 +1,36 @@
+#ifndef ORION_CELL_CELL_H_
+#define ORION_CELL_CELL_H_
+
+#include "core/database.h"
+
+namespace orion {
+
+/// One shard of a `Cluster`: a complete, independent `Database` whose uids
+/// all carry `tag` in their top byte (common/uid.h).  A cell owns its own
+/// lock manager, record store, logical clock and reclaimer — nothing is
+/// shared between cells except the (replicated) schema content, which the
+/// cluster keeps identical by fanning every DDL out to all cells (§11).
+///
+/// Root affinity: every object created under a parent lands in the
+/// parent's cell, so a composite hierarchy is entirely cell-local and all
+/// single-hierarchy transactions run on one cell's unchanged fast path.
+class Cell {
+ public:
+  explicit Cell(CellTag tag, uint32_t objects_per_page = 16)
+      : tag_(tag), db_(objects_per_page, tag) {}
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  CellTag tag() const { return tag_; }
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+ private:
+  CellTag tag_;
+  Database db_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CELL_CELL_H_

@@ -1,0 +1,185 @@
+#include "cell/cluster.h"
+
+#include <algorithm>
+
+namespace orion {
+
+Cluster::Cluster(size_t cells, uint32_t objects_per_page) {
+  cells = std::max<size_t>(1, std::min<size_t>(cells, kMaxCellTag));
+  cells_.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    cells_.push_back(std::make_unique<Cell>(static_cast<CellTag>(i + 1),
+                                            objects_per_page));
+  }
+  for (const auto& c : cells_) {
+    Database& db = c->db();
+    db.objects().set_foreign_class_resolver(
+        [this](Uid uid) { return ForeignClassOf(uid); });
+    scatter_.sources.push_back(
+        ScatterSource{&db.objects(), &db.indexes(), &db.records()});
+  }
+  scatter_.route = [this](Uid uid) -> size_t {
+    const CellTag tag = CellTagOf(uid);
+    return tag >= 1 && tag <= cells_.size() ? tag - 1 : cells_.size();
+  };
+  cm_.txn_single = &metrics_.counter("cell.txn.single");
+  cm_.txn_cross = &metrics_.counter("cell.txn.cross");
+  cm_.txn_cross_aborts = &metrics_.counter("cell.txn.cross_aborts");
+  cm_.prepare_us = &metrics_.histogram("cell.2pc.prepare_us");
+  cm_.cell_commits.reserve(cells);
+  for (size_t i = 0; i < cells; ++i) {
+    cm_.cell_commits.push_back(
+        &metrics_.counter("cell.commits." + std::to_string(i + 1)));
+  }
+}
+
+Database* Cluster::CellOf(Uid uid) {
+  const CellTag tag = CellTagOf(uid);
+  if (tag < 1 || tag > cells_.size()) {
+    return nullptr;
+  }
+  return &cells_[tag - 1]->db();
+}
+
+const Database* Cluster::CellOf(Uid uid) const {
+  const CellTag tag = CellTagOf(uid);
+  if (tag < 1 || tag > cells_.size()) {
+    return nullptr;
+  }
+  return &cells_[tag - 1]->db();
+}
+
+ClassId Cluster::ForeignClassOf(Uid uid) const {
+  const Database* owner = CellOf(uid);
+  if (owner == nullptr) {
+    return kInvalidClass;
+  }
+  // Committed chain at the owner's watermark: an immutable copy, safe to
+  // read with no locks held in that cell.  A live-but-unpublished object
+  // resolves as unknown — exactly the visibility a foreign reader gets.
+  const auto record =
+      owner->records().GetAt(uid, owner->records().watermark());
+  return record == nullptr ? kInvalidClass : record->class_id();
+}
+
+Status Cluster::FanOut(const char* what,
+                       const std::function<Status(Database&)>& op) {
+  LatchGuard g(ddl_mu_);
+  // Authority first: if the DDL is invalid, it fails here with every cell
+  // still identical.  Schema validation is deterministic and schema-only,
+  // so a later cell can only disagree if the replicas diverged.
+  ORION_RETURN_IF_ERROR(op(authority()));
+  for (size_t i = 1; i < cells_.size(); ++i) {
+    Status s = op(cells_[i]->db());
+    if (!s.ok()) {
+      return Status::Internal(std::string("schema divergence: ") + what +
+                              " succeeded on cell 1 but failed on cell " +
+                              std::to_string(i + 1) + ": " + s.message());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<ClassId> Cluster::MakeClass(const ClassSpec& spec) {
+  ClassId authority_id = kInvalidClass;
+  ORION_RETURN_IF_ERROR(FanOut("make-class", [&](Database& db) -> Status {
+    ORION_ASSIGN_OR_RETURN(ClassId id, db.MakeClass(spec));
+    if (authority_id == kInvalidClass) {
+      authority_id = id;
+    } else if (id != authority_id) {
+      return Status::InvalidArgument(
+          "cell assigned class id " + std::to_string(id) +
+          ", authority assigned " + std::to_string(authority_id));
+    }
+    return Status::Ok();
+  }));
+  return authority_id;
+}
+
+Status Cluster::AddAttribute(ClassId cls, AttributeSpec spec) {
+  return FanOut("add-attribute", [&](Database& db) {
+    return db.AddAttribute(cls, spec);
+  });
+}
+
+Status Cluster::AddSuperclass(ClassId cls, ClassId superclass) {
+  return FanOut("add-superclass", [&](Database& db) {
+    return db.AddSuperclass(cls, superclass);
+  });
+}
+
+Status Cluster::DropAttribute(ClassId cls, const std::string& name) {
+  return FanOut("drop-attribute", [&](Database& db) {
+    return db.DropAttribute(cls, name);
+  });
+}
+
+Status Cluster::RemoveSuperclass(ClassId cls, ClassId superclass) {
+  return FanOut("remove-superclass", [&](Database& db) {
+    return db.RemoveSuperclass(cls, superclass);
+  });
+}
+
+Status Cluster::ChangeAttributeInheritance(ClassId cls,
+                                           const std::string& name,
+                                           ClassId source) {
+  return FanOut("change-attribute-inheritance", [&](Database& db) {
+    return db.ChangeAttributeInheritance(cls, name, source);
+  });
+}
+
+Status Cluster::DropClass(ClassId cls) {
+  return FanOut("drop-class",
+                [&](Database& db) { return db.DropClass(cls); });
+}
+
+Status Cluster::ChangeAttributeType(ClassId cls, const std::string& attr,
+                                    bool to_composite, bool to_exclusive,
+                                    bool to_dependent, ChangeMode mode) {
+  return FanOut("change-attribute-type", [&](Database& db) {
+    return db.ChangeAttributeType(cls, attr, to_composite, to_exclusive,
+                                  to_dependent, mode);
+  });
+}
+
+std::vector<Uid> Cluster::InstancesOf(ClassId cls) {
+  return ScatterInstancesOf(scatter_, cls);
+}
+
+std::vector<Uid> Cluster::InstancesOfDeep(ClassId cls) {
+  return ScatterInstancesOfDeep(scatter_, cls);
+}
+
+Result<std::vector<Uid>> Cluster::Select(ClassId cls, const QueryPtr& expr) {
+  return ScatterSelect(scatter_, cls, expr);
+}
+
+Result<std::vector<Uid>> Cluster::SelectNear(Uid near, ClassId cls,
+                                             const QueryPtr& expr) {
+  Database* owner = CellOf(near);
+  if (owner == nullptr) {
+    return Status::NotFound("no cell owns object " + near.ToString());
+  }
+  // Committed snapshot at the owner's watermark, like ScatterSelect: the
+  // point of a root-scoped query is running it while *other* sessions
+  // write the cell, so the live extent is off limits.
+  return SelectAt(owner->records(), *owner->objects().schema(), cls, expr,
+                  &owner->indexes(), owner->records().watermark());
+}
+
+Result<std::vector<Uid>> Cluster::ParentsOf(Uid object,
+                                            const TraversalOptions& opts) {
+  return ScatterParentsOf(scatter_, object, opts);
+}
+
+Result<std::vector<Uid>> Cluster::AncestorsOf(Uid object,
+                                              const TraversalOptions& opts) {
+  return ScatterAncestorsOf(scatter_, object, opts);
+}
+
+Result<std::vector<Uid>> Cluster::ComponentsOf(Uid object,
+                                               const TraversalOptions& opts) {
+  return ScatterComponentsOf(scatter_, object, opts);
+}
+
+}  // namespace orion

@@ -1,0 +1,42 @@
+#ifndef ORION_CELL_CLUSTER_SESSION_H_
+#define ORION_CELL_CLUSTER_SESSION_H_
+
+#include <functional>
+
+#include "cell/cluster_transaction.h"
+#include "core/session.h"
+
+namespace orion {
+
+/// The cluster counterpart of `Session`: one per worker thread, same
+/// options, same retry contract.  `Run` brackets the closure in a
+/// `ClusterTransaction`; conflict outcomes (kDeadlock, kLockTimeout,
+/// kSchemaConflict) from any participating cell — including a 2PC prepare
+/// refusal — abort every participant, back off, and re-run the closure.
+///
+/// Not thread-safe; create one per thread.  The Cluster it drives is.
+class ClusterSession {
+ public:
+  explicit ClusterSession(Cluster* cluster, SessionOptions options = {});
+
+  ClusterSession(const ClusterSession&) = delete;
+  ClusterSession& operator=(const ClusterSession&) = delete;
+
+  Status Run(const std::function<Status(ClusterTransaction&)>& fn);
+
+  const SessionStats& stats() const { return stats_; }
+  Cluster* cluster() { return cluster_; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  static bool IsRetryable(const Status& status);
+  void Backoff(int attempt);
+
+  Cluster* cluster_;
+  SessionOptions options_;
+  SessionStats stats_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CELL_CLUSTER_SESSION_H_

@@ -1,0 +1,222 @@
+#include "cell/cluster_transaction.h"
+
+namespace orion {
+
+ClusterTransaction::ClusterTransaction(Cluster* cluster,
+                                       std::chrono::milliseconds lock_timeout,
+                                       std::string user)
+    : cluster_(cluster), timeout_(lock_timeout), user_(std::move(user)) {}
+
+ClusterTransaction::~ClusterTransaction() {
+  if (active_) {
+    // Destructor rollback: nowhere to report, and Abort on an active
+    // transaction cannot fail.
+    (void)Abort();
+  }
+}
+
+TransactionContext* ClusterTransaction::ParticipantAt(CellTag tag) {
+  auto it = txns_.find(tag);
+  if (it == txns_.end()) {
+    it = txns_
+             .emplace(tag, std::make_unique<TransactionContext>(
+                               &cluster_->cell(tag).db(), timeout_, user_))
+             .first;
+  }
+  return it->second.get();
+}
+
+Result<TransactionContext*> ClusterTransaction::Participant(Uid uid) {
+  if (cluster_->CellOf(uid) == nullptr) {
+    return Status::NotFound("no cell owns object " + uid.ToString());
+  }
+  return ParticipantAt(CellTagOf(uid));
+}
+
+Result<const Object*> ClusterTransaction::Read(Uid uid) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(uid));
+  return txn->Read(uid);
+}
+
+Status ClusterTransaction::LockCompositeForRead(Uid root) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(root));
+  return txn->LockCompositeForRead(root);
+}
+
+Result<CellTag> ClusterTransaction::RouteMake(
+    const std::string& class_name, const std::vector<ParentBinding>& parents,
+    const AttrValues& attrs) {
+  // Rule 1: under a parent -> the parent's cell (root affinity).  Multiple
+  // parent bindings are legal only for shared composite attributes; they
+  // must also agree on the cell, or the hierarchy would span cells.
+  if (!parents.empty()) {
+    const CellTag tag = CellTagOf(parents[0].parent);
+    for (const ParentBinding& pb : parents) {
+      if (CellTagOf(pb.parent) != tag) {
+        return Status::InvalidArgument(
+            "parent bindings span cells: " + parents[0].parent.ToString() +
+            " and " + pb.parent.ToString() +
+            " (a composite hierarchy is cell-local)");
+      }
+    }
+    if (cluster_->CellOf(parents[0].parent) == nullptr) {
+      return Status::NotFound("no cell owns parent " +
+                              parents[0].parent.ToString());
+    }
+    return tag;
+  }
+  // Rule 2: bottom-up assembly — a composite attribute value referencing
+  // existing objects pulls the new object into their cell.  Schema is
+  // replicated; the authority resolves the specs.
+  SchemaManager& schema = cluster_->authority().schema();
+  auto cls_or = schema.FindClass(class_name);
+  if (cls_or.ok()) {
+    for (const auto& [name, value] : attrs) {
+      auto spec_or = schema.ResolveAttribute(cls_or.value(), name);
+      if (!spec_or.ok() || !spec_or.value().is_composite()) {
+        continue;
+      }
+      const std::vector<Uid> refs = value.ReferencedUids();
+      if (refs.empty()) {
+        continue;
+      }
+      const CellTag tag = CellTagOf(refs[0]);
+      for (Uid r : refs) {
+        if (CellTagOf(r) != tag) {
+          return Status::InvalidArgument(
+              "composite attribute '" + name + "' references cells " +
+              std::to_string(tag) + " and " +
+              std::to_string(CellTagOf(r)) +
+              " (a composite hierarchy is cell-local)");
+        }
+      }
+      if (cluster_->CellOf(refs[0]) == nullptr) {
+        return Status::NotFound("no cell owns component " +
+                                refs[0].ToString());
+      }
+      return tag;
+    }
+  }
+  // Rule 3: a new root.
+  return cluster_->PlaceNewRoot();
+}
+
+Result<Uid> ClusterTransaction::Make(const std::string& class_name,
+                                     const std::vector<ParentBinding>& parents,
+                                     const AttrValues& attrs) {
+  ORION_ASSIGN_OR_RETURN(CellTag tag, RouteMake(class_name, parents, attrs));
+  return ParticipantAt(tag)->Make(class_name, parents, attrs);
+}
+
+Status ClusterTransaction::SetAttribute(Uid uid, const std::string& attribute,
+                                        Value value) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(uid));
+  return txn->SetAttribute(uid, attribute, std::move(value));
+}
+
+Status ClusterTransaction::MakeComponent(Uid child, Uid parent,
+                                         const std::string& attribute) {
+  if (CellTagOf(child) != CellTagOf(parent)) {
+    return Status::InvalidArgument(
+        "composite edges cannot cross cells: " + child.ToString() +
+        " is in cell " + std::to_string(CellTagOf(child)) + ", " +
+        parent.ToString() + " in cell " +
+        std::to_string(CellTagOf(parent)) + " (use a weak reference)");
+  }
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(parent));
+  return txn->MakeComponent(child, parent, attribute);
+}
+
+Status ClusterTransaction::RemoveComponent(Uid child, Uid parent,
+                                           const std::string& attribute) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(parent));
+  return txn->RemoveComponent(child, parent, attribute);
+}
+
+Status ClusterTransaction::Delete(Uid uid) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(uid));
+  return txn->Delete(uid);
+}
+
+Result<Uid> ClusterTransaction::Derive(Uid version) {
+  ORION_ASSIGN_OR_RETURN(TransactionContext * txn, Participant(version));
+  return txn->Derive(version);
+}
+
+Status ClusterTransaction::Commit() {
+  if (!active_) {
+    return Status::InvalidArgument("cluster transaction is not active");
+  }
+  active_ = false;
+  const ClusterMetrics& cm = cluster_->cluster_metrics();
+  if (txns_.empty()) {
+    cm.txn_single->Inc();
+    return Status::Ok();
+  }
+  if (txns_.size() == 1) {
+    // Fast path: the standalone single-cell commit, unchanged.
+    cm.txn_single->Inc();
+    const CellTag tag = txns_.begin()->first;
+    Status s = txns_.begin()->second->Commit();
+    if (s.ok()) {
+      cm.cell_commits[tag - 1]->Inc();
+    }
+    return s;
+  }
+  // §11 two-phase commit.  Phase 1 in ascending tag order: each Prepare
+  // runs that cell's fence + epoch validation and registers the
+  // transaction for fence drains; a refusal has already aborted that
+  // participant, so only the still-active rest need aborting.
+  cm.txn_cross->Inc();
+  const uint64_t start_us = obs::NowMicros();
+  for (auto& [tag, txn] : txns_) {
+    Status s = txn->Prepare();
+    if (!s.ok()) {
+      for (auto& [other_tag, other] : txns_) {
+        if (other->active()) {
+          // The prepare refusal is the error to surface; rolling back the
+          // other participants cannot fail.
+          (void)other->Abort();
+        }
+      }
+      cm.txn_cross_aborts->Inc();
+      return s;
+    }
+  }
+  cm.prepare_us->Observe(obs::NowMicros() - start_us);
+  // Phase 2: the decision is now fixed — no participant can refuse.  Each
+  // cell publishes at its own next timestamp.
+  Status out = Status::Ok();
+  for (auto& [tag, txn] : txns_) {
+    Status s = txn->CommitPrepared();
+    if (!s.ok()) {
+      // Unreachable by construction (Prepare ran every validation); if it
+      // ever fires, the commit decision was violated — surface loudly.
+      out = Status::Internal("2PC decision violated in cell " +
+                             std::to_string(tag) + ": " + s.message());
+    } else {
+      cm.cell_commits[tag - 1]->Inc();
+    }
+  }
+  return out;
+}
+
+Status ClusterTransaction::Abort() {
+  if (!active_) {
+    return Status::InvalidArgument("cluster transaction is not active");
+  }
+  active_ = false;
+  Status out = Status::Ok();
+  for (auto& [tag, txn] : txns_) {
+    if (!txn->active()) {
+      continue;
+    }
+    Status s = txn->Abort();
+    if (!s.ok() && out.ok()) {
+      out = s;
+    }
+  }
+  return out;
+}
+
+}  // namespace orion

@@ -1,0 +1,100 @@
+#ifndef ORION_CELL_CLUSTER_TRANSACTION_H_
+#define ORION_CELL_CLUSTER_TRANSACTION_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cell/cluster.h"
+#include "core/transaction.h"
+
+namespace orion {
+
+/// A transaction over a `Cluster`: routes every operation to the owning
+/// cell's `TransactionContext` (created lazily, at most one per cell) and
+/// commits atomically across them.
+///
+/// Fast path: a transaction whose operations all landed in one cell
+/// commits through that cell's unchanged single-publish-timestamp
+/// `Commit()` — byte for byte the standalone path.
+///
+/// Cross-cell path (§11 two-phase commit): participants are prepared in
+/// ascending cell-tag order — `Prepare` runs every validation a
+/// participant can fail on (schema fence, epoch) and pins it in the
+/// fence's drain set — then `CommitPrepared` publishes each cell's write
+/// set at that cell's own next timestamp.  Atomicity is decision-level:
+/// after the last successful Prepare the transaction cannot fail, so
+/// either every participant publishes or none does.  The per-cell publish
+/// timestamps differ (cells have independent clocks); each cell's
+/// snapshot isolation is untouched, and cross-cell reads see the edge
+/// appear in each cell atomically at that cell's timestamp.
+///
+/// Thread-safety: confine to one thread, like `TransactionContext`.
+class ClusterTransaction {
+ public:
+  explicit ClusterTransaction(Cluster* cluster,
+                              std::chrono::milliseconds lock_timeout =
+                                  std::chrono::milliseconds(0),
+                              std::string user = "");
+  ~ClusterTransaction();
+
+  ClusterTransaction(const ClusterTransaction&) = delete;
+  ClusterTransaction& operator=(const ClusterTransaction&) = delete;
+
+  bool active() const { return active_; }
+  /// Cells this transaction has touched so far.
+  size_t participants() const { return txns_.size(); }
+
+  // --- Operations, routed to the owning cell ----------------------------------
+
+  Result<const Object*> Read(Uid uid);
+  Status LockCompositeForRead(Uid root);
+
+  /// Routing rule (§11): under a parent -> the parent's cell (all parent
+  /// bindings must agree); referencing an existing object through a
+  /// composite attribute in `attrs` -> that object's cell; otherwise a new
+  /// root, placed round-robin.
+  Result<Uid> Make(const std::string& class_name,
+                   const std::vector<ParentBinding>& parents = {},
+                   const AttrValues& attrs = {});
+
+  Status SetAttribute(Uid uid, const std::string& attribute, Value value);
+
+  /// Composite edges are cell-local (root affinity); a cross-cell pair is
+  /// rejected with kInvalidArgument before any cell is touched.
+  Status MakeComponent(Uid child, Uid parent, const std::string& attribute);
+  Status RemoveComponent(Uid child, Uid parent, const std::string& attribute);
+
+  Status Delete(Uid uid);
+  Result<Uid> Derive(Uid version);
+
+  // --- Outcome ----------------------------------------------------------------
+
+  /// Single participant: plain commit.  Several: 2PC as described above.
+  Status Commit();
+
+  /// Aborts every participant (each rolls back its before-images).
+  Status Abort();
+
+ private:
+  /// The participant for `uid`'s cell, or NotFound for an unknown tag.
+  Result<TransactionContext*> Participant(Uid uid);
+  TransactionContext* ParticipantAt(CellTag tag);
+  Result<CellTag> RouteMake(const std::string& class_name,
+                            const std::vector<ParentBinding>& parents,
+                            const AttrValues& attrs);
+
+  Cluster* cluster_;
+  std::chrono::milliseconds timeout_;
+  std::string user_;
+  bool active_ = true;
+  /// Ordered by tag: 2PC prepares ascending, so two cross-cell
+  /// transactions never prepare against each other in opposite cell order.
+  std::map<CellTag, std::unique_ptr<TransactionContext>> txns_;
+};
+
+}  // namespace orion
+
+#endif  // ORION_CELL_CLUSTER_TRANSACTION_H_

@@ -9,6 +9,8 @@ const char* LatchRankName(LatchRank rank) {
   switch (rank) {
     case LatchRank::kUnranked:
       return "kUnranked";
+    case LatchRank::kClusterDdl:
+      return "kClusterDdl";
     case LatchRank::kReclaim:
       return "kReclaim";
     case LatchRank::kSchemaFence:

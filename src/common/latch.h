@@ -44,6 +44,11 @@ enum class LatchRank : uint16_t {
   kUnranked = 0,
 
   // -- Coordinators: may be held across calls into lower subsystems. ------
+  /// Cluster::ddl_mu_ — serializes DDL fan-out across cells (§11).  Held
+  /// across per-cell FencedSchemaWrite calls, so it must order before every
+  /// per-cell coordinator — including kSchemaFence, which those calls
+  /// acquire in each participating cell.
+  kClusterDdl = 80,
   /// Database::reclaim_mu_ — the reclaimer's stop/wakeup latch.  Never held
   /// across ReclaimOnce, but ranked outermost so a future refactor that
   /// does nest it still orders before everything else.

@@ -7,11 +7,30 @@
 
 namespace orion {
 
+/// Which cell of a Cluster minted (and owns) an object.  Tag 0 is the
+/// standalone single-`Database` configuration — every uid that predates
+/// multi-cell sharding (snapshots included) parses as tag 0 unchanged.
+/// Cells of a Cluster carry tags 1..kMaxCellTag.
+using CellTag = uint8_t;
+
+/// The cell tag lives in the top byte of the raw uid (ytsaurus-style
+/// tagged id generation): routing an object to its owning cell is a shift,
+/// not a directory lookup, and the tag travels with every reference.
+inline constexpr int kCellTagShift = 56;
+inline constexpr uint64_t kCellLocalMask =
+    (uint64_t{1} << kCellTagShift) - 1;
+inline constexpr CellTag kMaxCellTag = 255;
+
 /// Object identifier (the paper's "UID", §2.1).
 ///
 /// Every object — instance, generic instance, version instance, and class
 /// object — is addressed by a Uid.  "An object O' has a reference to another
 /// object O if O' contains the object identifier (UID) of O."
+///
+/// Construction discipline: outside this header and the cell subsystem,
+/// never assemble a Uid from an integer directly — go through `MakeUid`
+/// (allocators) or `UidFromRaw` (deserialization), so a cell tag can never
+/// be forged by arithmetic.  `orion_lint` enforces this (rule raw-uid).
 struct Uid {
   uint64_t raw = 0;
 
@@ -24,11 +43,37 @@ struct Uid {
   friend constexpr bool operator!=(Uid a, Uid b) { return a.raw != b.raw; }
   friend constexpr bool operator<(Uid a, Uid b) { return a.raw < b.raw; }
 
-  std::string ToString() const { return "#" + std::to_string(raw); }
+  std::string ToString() const {
+    const auto cell = static_cast<unsigned>(raw >> kCellTagShift);
+    if (cell == 0) {
+      return "#" + std::to_string(raw);
+    }
+    return "#" + std::to_string(cell) + ":" +
+           std::to_string(raw & kCellLocalMask);
+  }
 };
 
 /// The null reference ("Nil" in the paper's Lisp syntax).
 inline constexpr Uid kNilUid{};
+
+/// The cell that owns `uid` (0 = standalone database).
+constexpr CellTag CellTagOf(Uid uid) {
+  return static_cast<CellTag>(uid.raw >> kCellTagShift);
+}
+
+/// The cell-local part of `uid` — the value of the owning allocator's
+/// counter when the uid was minted.
+constexpr uint64_t CellLocalOf(Uid uid) { return uid.raw & kCellLocalMask; }
+
+/// Mints a uid: `local` (an allocator counter) tagged with the owning cell.
+constexpr Uid MakeUid(CellTag cell, uint64_t local) {
+  return Uid{(static_cast<uint64_t>(cell) << kCellTagShift) |
+             (local & kCellLocalMask)};
+}
+
+/// Reconstructs a uid from a serialized raw value (snapshots, the lang
+/// layer's `#N` literals).  The tag byte round-trips untouched.
+constexpr Uid UidFromRaw(uint64_t raw) { return Uid{raw}; }
 
 }  // namespace orion
 

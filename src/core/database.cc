@@ -7,10 +7,13 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/session.h"
+
 namespace orion {
 
-Database::Database(uint32_t objects_per_page)
-    : store_(objects_per_page, &metrics_),
+Database::Database(uint32_t objects_per_page, CellTag cell_tag)
+    : cell_tag_(cell_tag),
+      store_(objects_per_page, &metrics_),
       schema_(&store_),
       objects_(&schema_, &store_, &clock_),
       versions_(&schema_, &objects_),
@@ -18,6 +21,8 @@ Database::Database(uint32_t objects_per_page)
       locks_(&metrics_, &trace_),
       protocol_(&schema_, &objects_, &locks_),
       indexes_(&objects_, &records_, &metrics_) {
+  // Before anything can allocate: every uid minted here carries this tag.
+  objects_.set_cell_tag(cell_tag_);
   em_.txn_begins = &metrics_.counter("txn.begins");
   em_.txn_commits = &metrics_.counter("txn.commits");
   em_.txn_aborts = &metrics_.counter("txn.aborts");
@@ -288,6 +293,29 @@ Status Database::FencedSchemaWrite(SchemaFence::DdlGuard& ddl,
 Result<Uid> Database::Make(const std::string& class_name,
                            const std::vector<ParentBinding>& parents,
                            const AttrValues& attrs) {
+  // §10.5 debt retired: the public entry point is a one-shot session
+  // transaction, so creation takes the same locks, journals the same
+  // before-images, and registers with the schema fence exactly like DML
+  // issued through a long-lived Session.
+  Session session(this);
+  Uid created = kNilUid;
+  ORION_RETURN_IF_ERROR(
+      session.Run([&](TransactionContext& txn) -> Status {
+        ORION_ASSIGN_OR_RETURN(created, txn.Make(class_name, parents, attrs));
+        return Status::Ok();
+      }));
+  return created;
+}
+
+Status Database::DeleteObject(Uid uid) {
+  Session session(this);
+  return session.Run(
+      [&](TransactionContext& txn) -> Status { return txn.Delete(uid); });
+}
+
+Result<Uid> Database::MakeRaw(const std::string& class_name,
+                              const std::vector<ParentBinding>& parents,
+                              const AttrValues& attrs) {
   ORION_ASSIGN_OR_RETURN(ClassId cls, schema_.FindClass(class_name));
   const ClassDef* def = schema_.GetClass(cls);
   if (def->versionable) {
@@ -298,7 +326,7 @@ Result<Uid> Database::Make(const std::string& class_name,
   return objects_.Make(cls, parents, attrs);
 }
 
-Status Database::DeleteObject(Uid uid) {
+Status Database::DeleteObjectRaw(Uid uid) {
   const Object* obj = objects_.Peek(uid);
   if (obj == nullptr) {
     return Status::NotFound("object " + uid.ToString());
@@ -358,7 +386,7 @@ Status Database::DropAttributeInstances(const std::vector<ClassId>& classes,
   }
   for (Uid uid : doomed) {
     if (objects_.Exists(uid)) {
-      ORION_RETURN_IF_ERROR(DeleteObject(uid));
+      ORION_RETURN_IF_ERROR(DeleteObjectRaw(uid));
     }
   }
   return Status::Ok();
@@ -485,7 +513,7 @@ Status Database::DropClass(ClassId cls) {
         if (!objects_.Exists(uid)) {
           continue;  // removed by an earlier cascade this round
         }
-        ORION_RETURN_IF_ERROR(DeleteObject(uid));
+        ORION_RETURN_IF_ERROR(DeleteObjectRaw(uid));
         progressed = true;
       }
       if (!progressed) {

@@ -77,7 +77,9 @@ class Database {
   /// Prometheus/JSON exporters).
   using StatsSnapshot = obs::MetricsSnapshot;
 
-  explicit Database(uint32_t objects_per_page = 16);
+  /// `cell_tag` stamps every uid this database mints (common/uid.h): 0 is
+  /// the standalone configuration, a Cluster assigns each cell its own tag.
+  explicit Database(uint32_t objects_per_page = 16, CellTag cell_tag = 0);
   ~Database();
 
   Database(const Database&) = delete;
@@ -99,6 +101,9 @@ class Database {
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::TraceBuffer& trace() { return trace_; }
   const EngineMetrics& engine_metrics() const { return em_; }
+
+  /// The cell tag every uid minted here carries (0 = standalone).
+  CellTag cell_tag() const { return cell_tag_; }
 
   /// Race-free snapshot of every counter, gauge and histogram of this
   /// engine.  Point-in-time gauges (watermark, chain/record counts, held
@@ -132,12 +137,19 @@ class Database {
   /// `make` by class name.  For a versionable class this creates the
   /// generic and first version instance and returns the *version* instance
   /// (its generic is reachable via `Object::generic()`).
+  ///
+  /// Runs as a one-shot transaction through the session layer (the §10.5
+  /// standing debt is retired): creation locks, journals, registers with
+  /// the schema fence, and publishes like any other DML, and conflicts
+  /// retry internally.  Code already inside a transaction uses
+  /// `TransactionContext::Make` instead.
   Result<Uid> Make(const std::string& class_name,
                    const std::vector<ParentBinding>& parents = {},
                    const AttrValues& attrs = {});
 
   /// Deletes by role: normal objects through the Deletion Rule, version
-  /// instances and generics through the §5 rules.
+  /// instances and generics through the §5 rules.  A one-shot transaction,
+  /// like `Make` — in-transaction code uses `TransactionContext::Delete`.
   Status DeleteObject(Uid uid);
 
   // --- §4 schema evolution with instance semantics ---------------------------
@@ -180,6 +192,21 @@ class Database {
                              ChangeMode mode = ChangeMode::kImmediate);
 
  private:
+  /// TransactionContext drives the raw DML variants below: it owns the
+  /// locks, the journal, and the fence registration the public wrappers
+  /// would otherwise duplicate.
+  friend class TransactionContext;
+
+  /// The pre-§10.5 non-transactional `make`: no locks, no journal, no
+  /// fence.  Reached only from inside a transaction (which did all of
+  /// that) or from a fenced DDL sweep (which drained every conflicter).
+  Result<Uid> MakeRaw(const std::string& class_name,
+                      const std::vector<ParentBinding>& parents,
+                      const AttrValues& attrs);
+
+  /// Role-dispatching delete with the same raw contract as `MakeRaw`.
+  Status DeleteObjectRaw(Uid uid);
+
   /// §10: every class whose instances (or resolved attributes) a DDL over
   /// `seeds` can touch — the seeds, their transitive subclasses, the same
   /// closure of every touched attribute's domain class, and, when
@@ -216,6 +243,7 @@ class Database {
   obs::MetricsRegistry metrics_;
   obs::TraceBuffer trace_;
   EngineMetrics em_;
+  CellTag cell_tag_ = 0;
 
   ObjectStore store_;
   LogicalClock clock_;

@@ -187,7 +187,7 @@ Result<Value> DecodeValue(const std::string& tok) {
       return Value::String(UnescapeStringPayload(tok.substr(1)));
     case '#':
       try {
-        return Value::Ref(Uid{std::stoull(tok.substr(1))});
+        return Value::Ref(UidFromRaw(std::stoull(tok.substr(1))));
       } catch (...) {
         return Status::InvalidArgument("bad ref value " + tok);
       }
@@ -453,48 +453,48 @@ Status LoadSnapshot(Database& db, const std::string& text) {
       const Uid uid{ParseU64(tok[1])};
       Object obj(uid, static_cast<ClassId>(ParseU64(tok[2])),
                  static_cast<ObjectRole>(ParseInt(tok[3])), ParseU64(tok[7]));
-      obj.set_generic(Uid{ParseU64(tok[4])});
-      obj.set_derived_from(Uid{ParseU64(tok[5])});
+      obj.set_generic(UidFromRaw(ParseU64(tok[4])));
+      obj.set_derived_from(UidFromRaw(ParseU64(tok[5])));
       obj.set_created_at(ParseU64(tok[6]));
       objects.emplace(uid, std::move(obj));
     } else if (kind == "val" && tok.size() == 4) {
-      auto it = objects.find(Uid{ParseU64(tok[1])});
+      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
       if (it == objects.end()) {
         return Status::InvalidArgument("val before object in snapshot");
       }
       ORION_ASSIGN_OR_RETURN(Value v, DecodeValue(tok[3]));
       it->second.Set(tok[2], std::move(v));
     } else if (kind == "rref" && tok.size() == 6) {
-      auto it = objects.find(Uid{ParseU64(tok[1])});
+      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
       if (it == objects.end()) {
         return Status::InvalidArgument("rref before object in snapshot");
       }
-      it->second.AddReverseRef(ReverseRef{Uid{ParseU64(tok[2])}, tok[5],
+      it->second.AddReverseRef(ReverseRef{UidFromRaw(ParseU64(tok[2])), tok[5],
                                           ParseInt(tok[3]) != 0,
                                           ParseInt(tok[4]) != 0});
     } else if (kind == "gref" && tok.size() == 7) {
-      auto it = objects.find(Uid{ParseU64(tok[1])});
+      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
       if (it == objects.end()) {
         return Status::InvalidArgument("gref before object in snapshot");
       }
       it->second.mutable_generic_refs().push_back(
-          GenericRef{Uid{ParseU64(tok[2])}, tok[6], ParseInt(tok[3]) != 0,
+          GenericRef{UidFromRaw(ParseU64(tok[2])), tok[6], ParseInt(tok[3]) != 0,
                      ParseInt(tok[4]) != 0, ParseInt(tok[5])});
     } else if (kind == "generic" && tok.size() >= 3) {
       std::vector<Uid> versions;
       for (size_t i = 3; i < tok.size(); ++i) {
-        versions.push_back(Uid{ParseU64(tok[i])});
+        versions.push_back(UidFromRaw(ParseU64(tok[i])));
       }
-      db.versions().RestoreGeneric(Uid{ParseU64(tok[1])},
+      db.versions().RestoreGeneric(UidFromRaw(ParseU64(tok[1])),
                                    std::move(versions),
-                                   Uid{ParseU64(tok[2])});
+                                   UidFromRaw(ParseU64(tok[2])));
     } else if (kind == "member" && tok.size() == 3) {
       db.authz().RestoreMembership(tok[1], tok[2]);
     } else if (kind == "grant" && tok.size() == 8) {
       GrantRecord g;
       g.user = tok[1];
       g.target.kind = static_cast<AuthTargetKind>(ParseInt(tok[2]));
-      g.target.object = Uid{ParseU64(tok[3])};
+      g.target.object = UidFromRaw(ParseU64(tok[3]));
       g.target.cls = static_cast<ClassId>(ParseU64(tok[4]));
       g.spec.strong = ParseInt(tok[5]) != 0;
       g.spec.positive = ParseInt(tok[6]) != 0;

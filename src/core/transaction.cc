@@ -39,7 +39,16 @@ Status TransactionContext::RequireActive() const {
     return Status::TransactionInvalid("transaction " + std::to_string(txn_) +
                                       " has finished");
   }
+  if (prepared_) {
+    return Status::TransactionInvalid(
+        "transaction " + std::to_string(txn_) +
+        " is prepared; only CommitPrepared or Abort may follow");
+  }
   return Status::Ok();
+}
+
+bool TransactionContext::IsForeign(Uid uid) const {
+  return CellTagOf(uid) != db_->cell_tag();
 }
 
 Status TransactionContext::CheckAccess(Uid uid, bool write) {
@@ -217,9 +226,14 @@ Result<Uid> TransactionContext::Make(const std::string& class_name,
     ORION_RETURN_IF_ERROR(Journal(pb.parent));
   }
   // Bottom-up assembly mutates the referenced components too — and, for
-  // versioned targets, the generic's reference bookkeeping.
+  // versioned targets, the generic's reference bookkeeping.  A foreign
+  // (cross-cell) target is a reference-by-uid edge: nothing on it mutates,
+  // so it is neither locked nor journaled here.
   for (const auto& [name, value] : attrs) {
     for (Uid target : value.ReferencedUids()) {
+      if (IsForeign(target)) {
+        continue;
+      }
       ORION_RETURN_IF_ERROR(LockWrite(target));
       ORION_RETURN_IF_ERROR(Journal(target));
       const Object* t = db_->objects().Peek(target);
@@ -230,7 +244,7 @@ Result<Uid> TransactionContext::Make(const std::string& class_name,
       }
     }
   }
-  ORION_ASSIGN_OR_RETURN(Uid uid, db_->Make(class_name, parents, attrs));
+  ORION_ASSIGN_OR_RETURN(Uid uid, db_->MakeRaw(class_name, parents, attrs));
   journal_.emplace(uid, std::nullopt);  // created: erase on abort
   const Object* obj = db_->objects().Peek(uid);
   if (obj != nullptr && obj->is_version()) {
@@ -254,10 +268,14 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
   // Composite assignment touches attached/detached targets and, for
   // versioned targets, their generics: X-lock each before journaling it
   // (the journal copies the object, so an unlocked copy would race with a
-  // concurrent writer).
+  // concurrent writer).  Foreign targets are reference-by-uid edges: no
+  // state of theirs changes, so they are skipped (§11).
   Object* obj = db_->objects().Peek(uid);
   if (obj != nullptr) {
     for (Uid target : obj->Get(attribute).ReferencedUids()) {
+      if (IsForeign(target)) {
+        continue;
+      }
       ORION_RETURN_IF_ERROR(LockWrite(target));
       ORION_RETURN_IF_ERROR(Journal(target));
       const Object* t = db_->objects().Peek(target);
@@ -268,6 +286,9 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
     }
   }
   for (Uid target : value.ReferencedUids()) {
+    if (IsForeign(target)) {
+      continue;
+    }
     ORION_RETURN_IF_ERROR(LockWrite(target));
     ORION_RETURN_IF_ERROR(Journal(target));
     const Object* t = db_->objects().Peek(target);
@@ -282,6 +303,13 @@ Status TransactionContext::SetAttribute(Uid uid, const std::string& attribute,
 Status TransactionContext::MakeComponent(Uid child, Uid parent,
                                          const std::string& attribute) {
   ORION_RETURN_IF_ERROR(RequireActive());
+  if (CellTagOf(child) != CellTagOf(parent)) {
+    // §11 root-affinity invariant: a composite edge needs reverse
+    // bookkeeping on the child, so composite hierarchies never span cells.
+    return Status::InvalidArgument(
+        "cannot attach " + child.ToString() + " to " + parent.ToString() +
+        ": composite edges cannot cross cells (use a weak reference)");
+  }
   ORION_RETURN_IF_ERROR(CheckAccess(parent, /*write=*/true));
   ORION_RETURN_IF_ERROR(LockWrite(parent));
   ORION_RETURN_IF_ERROR(LockWrite(child));
@@ -344,7 +372,7 @@ Status TransactionContext::Delete(Uid uid) {
     }
   }
   ORION_RETURN_IF_ERROR(JournalDeletion(uid));
-  return db_->DeleteObject(uid);
+  return db_->DeleteObjectRaw(uid);
 }
 
 Result<Uid> TransactionContext::Derive(Uid version) {
@@ -383,6 +411,19 @@ Result<Uid> TransactionContext::Derive(Uid version) {
   return derived;
 }
 
+std::vector<ClassId> TransactionContext::JournalClasses() const {
+  std::unordered_set<ClassId> classes;
+  for (const auto& [uid, before] : journal_) {
+    const Object* obj = db_->objects().Peek(uid);
+    if (obj != nullptr) {
+      classes.insert(obj->class_id());
+    } else if (before.has_value()) {
+      classes.insert(before->class_id());
+    }
+  }
+  return std::vector<ClassId>(classes.begin(), classes.end());
+}
+
 Status TransactionContext::Commit() {
   ORION_RETURN_IF_ERROR(RequireActive());
   // §10 commit-time backstop: re-derive the touched classes from the
@@ -392,24 +433,55 @@ Status TransactionContext::Commit() {
   // bump.  On refusal the transaction aborts in full and surfaces the
   // retryable kSchemaConflict to the session loop.
   {
-    std::unordered_set<ClassId> classes;
-    for (const auto& [uid, before] : journal_) {
-      const Object* obj = db_->objects().Peek(uid);
-      if (obj != nullptr) {
-        classes.insert(obj->class_id());
-      } else if (before.has_value()) {
-        classes.insert(before->class_id());
-      }
-    }
     Status fence_ok = db_->schema_fence().ValidateCommit(
-        txn_, std::vector<ClassId>(classes.begin(), classes.end()),
-        begin_epoch_);
+        txn_, JournalClasses(), begin_epoch_);
     if (!fence_ok.ok()) {
       // The abort rollback outcome is subsumed by the schema conflict.
       (void)Abort();
       return fence_ok;
     }
   }
+  return PublishAndRelease();
+}
+
+Status TransactionContext::Prepare() {
+  ORION_RETURN_IF_ERROR(RequireActive());
+  // Unlike Commit(), which publishes while still inside the validate→
+  // publish timing window the fence protocol covers, a prepared
+  // transaction publishes at an unbounded later point (after every other
+  // participant prepares).  So phase 1 must REGISTER every journal class:
+  // a fence that rises over one of them after this returns finds the class
+  // in this transaction's touched set and drains — i.e. waits for
+  // CommitPrepared or Abort — before its sweep.
+  for (ClassId cls : JournalClasses()) {
+    Status st = CheckDml(cls);
+    if (!st.ok()) {
+      // The fence refusal is the error to surface; rollback cannot fail.
+      (void)Abort();
+      return st;
+    }
+  }
+  Status fence_ok = db_->schema_fence().ValidateCommit(
+      txn_, JournalClasses(), begin_epoch_);
+  if (!fence_ok.ok()) {
+    // Same: the validation refusal outranks the (infallible) rollback.
+    (void)Abort();
+    return fence_ok;
+  }
+  prepared_ = true;
+  return Status::Ok();
+}
+
+Status TransactionContext::CommitPrepared() {
+  if (!active_ || !prepared_) {
+    return Status::TransactionInvalid(
+        "transaction " + std::to_string(txn_) +
+        (active_ ? " was not prepared" : " has finished"));
+  }
+  return PublishAndRelease();
+}
+
+Status TransactionContext::PublishAndRelease() {
   active_ = false;
   // Publish every touched uid's (post-mutation) live state as one commit —
   // BEFORE releasing the locks, so the record-store sources copy states this
@@ -445,7 +517,13 @@ Status TransactionContext::Commit() {
 }
 
 Status TransactionContext::Abort() {
-  ORION_RETURN_IF_ERROR(RequireActive());
+  // Abort is legal at any point before the outcome is decided — including
+  // after a successful Prepare (the coordinator aborts all participants
+  // when one refuses), so it checks active_ directly.
+  if (!active_) {
+    return Status::TransactionInvalid("transaction " + std::to_string(txn_) +
+                                      " has finished");
+  }
   active_ = false;
   // Pass 1: remove objects created by this transaction.
   for (const auto& [uid, before] : journal_) {

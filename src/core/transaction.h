@@ -94,11 +94,44 @@ class TransactionContext {
   /// objects, restores the version registry, and releases the locks.
   Status Abort();
 
+  // --- Two-phase commit across cells (§11) ------------------------------------
+
+  /// Phase 1: runs every commit-time validation this participant can fail
+  /// on — registers each journal-derived class with the schema fence and
+  /// re-validates the touched set — without publishing anything.  The
+  /// explicit registration is what makes the open-ended prepare→commit
+  /// window safe: a DDL fence raised after a successful Prepare finds this
+  /// transaction in its drain set and waits for phase 2 (Commit() can rely
+  /// on timing instead; Prepare() cannot).  On refusal the participant
+  /// aborts in full, exactly like Commit(), and surfaces the (retryable)
+  /// error so the coordinator aborts the other participants.  After an OK
+  /// Prepare, only CommitPrepared() or Abort() may follow — this
+  /// participant can no longer fail by itself.
+  Status Prepare();
+
+  /// Phase 2: publishes the write set at this cell's next commit timestamp,
+  /// releases the locks, and deregisters from the fence — the tail half of
+  /// Commit().  Requires a successful Prepare().
+  Status CommitPrepared();
+
+  bool prepared() const { return prepared_; }
+
   /// Number of distinct objects journaled so far.
   size_t journal_size() const { return journal_.size(); }
 
  private:
   Status RequireActive() const;
+  /// The distinct classes of every journaled object (live state first,
+  /// before-image as fallback) — the §10 commit-validation input.
+  std::vector<ClassId> JournalClasses() const;
+  /// The tail shared by Commit() and CommitPrepared(): publishes the write
+  /// set under one timestamp, releases locks, deregisters from the fence,
+  /// and records the commit metrics.
+  Status PublishAndRelease();
+  /// True for uids minted by another cell: such objects are reachable only
+  /// as reference-by-uid edges (§11), never locked or journaled here —
+  /// their owning cell's transaction covers them.
+  bool IsForeign(Uid uid) const;
   Status CheckAccess(Uid uid, bool write);
   Status LockWrite(Uid uid);
   /// §10: registers `cls` with the schema fence (kSchemaConflict if it is
@@ -133,6 +166,8 @@ class TransactionContext {
   /// in the window.
   uint64_t begin_epoch_;
   bool active_ = true;
+  /// Set by a successful Prepare(); bars further operations and Commit().
+  bool prepared_ = false;
   /// Classes already registered with the schema fence (txn-local cache).
   std::unordered_set<ClassId> touched_classes_;
   /// uid -> before-image; nullopt = the object did not exist before.

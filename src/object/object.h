@@ -147,6 +147,22 @@ class Object {
   uint64_t cc() const { return cc_; }
   void set_cc(uint64_t cc) { cc_ = cc; }
 
+  /// Rollback support: restores every mutable field from `from`, leaving
+  /// the identity fields (uid, class) untouched.  Lock acquisition peeks
+  /// an object's class *before* holding its instance lock
+  /// (`CompositeLockProtocol::LockInstance`), so an in-place restore must
+  /// not write the bytes that peek reads — even back to the same value.
+  void RestoreMutableState(Object&& from) {
+    role_ = from.role_;
+    values_ = std::move(from.values_);
+    reverse_refs_ = std::move(from.reverse_refs_);
+    generic_refs_ = std::move(from.generic_refs_);
+    generic_ = from.generic_;
+    derived_from_ = from.derived_from_;
+    created_at_ = from.created_at_;
+    cc_ = from.cc_;
+  }
+
  private:
   Uid uid_;
   ClassId class_id_;

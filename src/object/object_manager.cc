@@ -24,7 +24,8 @@ Result<Uid> ObjectManager::AllocateAndPlace(ClassId cls, ObjectRole role,
   if (def == nullptr) {
     return Status::NotFound("class id " + std::to_string(cls));
   }
-  const Uid uid{next_uid_.fetch_add(1, std::memory_order_relaxed) + 1};
+  const Uid uid =
+      MakeUid(cell_tag_, next_uid_.fetch_add(1, std::memory_order_relaxed) + 1);
   Object obj(uid, cls, role, schema_->CurrentCc());
   obj.set_created_at(clock_->Tick());
   Object* stored = objects_.Emplace(uid, std::move(obj)).first;
@@ -108,9 +109,34 @@ Status ObjectManager::CheckValueAgainstSpec(const AttributeSpec& spec,
     }
     const Object* target = Peek(v.ref());
     if (target == nullptr) {
-      return Status::NotFound("attribute '" + spec.name +
-                              "' references missing object " +
-                              v.ref().ToString());
+      // Not ours: a cluster may resolve it as another cell's object.  Such
+      // a cross-cell edge is reference-by-uid only — weak semantics, no
+      // reverse bookkeeping — so composite attributes (which must maintain
+      // reverse references on the target) cannot cross cells; that is the
+      // root-affinity invariant of §11.
+      const ClassId foreign = foreign_class_of_ == nullptr
+                                  ? kInvalidClass
+                                  : foreign_class_of_(v.ref());
+      if (foreign == kInvalidClass) {
+        return Status::NotFound("attribute '" + spec.name +
+                                "' references missing object " +
+                                v.ref().ToString());
+      }
+      if (spec.is_composite()) {
+        return Status::InvalidArgument(
+            "composite attribute '" + spec.name +
+            "' cannot reference object " + v.ref().ToString() +
+            " in another cell; composite hierarchies are cell-local "
+            "(use a weak reference)");
+      }
+      // Schema is replicated across cells, so the local lattice answers
+      // the domain question for a foreign instance.
+      if (!schema_->SatisfiesDomain(foreign, spec.domain)) {
+        return Status::InvalidArgument("object " + v.ref().ToString() +
+                                       " is not an instance of domain '" +
+                                       spec.domain + "'");
+      }
+      return Status::Ok();
     }
     if (!schema_->SatisfiesDomain(target->class_id(), spec.domain)) {
       return Status::InvalidArgument("object " + v.ref().ToString() +
@@ -933,12 +959,20 @@ void ObjectManager::OverwriteRaw(Object obj) {
   if (existing != nullptr) {
     NotifyDelete(*existing);
     if (existing->class_id() != obj.class_id()) {
+      // Class changed: only the fenced type-change sweep takes this path
+      // (DML is drained, so nobody peeks the object concurrently) and a
+      // full overwrite is safe.
       extents_.Update(existing->class_id(),
                       [&](std::unordered_set<Uid>& s) { s.erase(uid); });
       extents_.Update(obj.class_id(),
                       [&](std::unordered_set<Uid>& s) { s.insert(uid); });
+      *existing = std::move(obj);
+    } else {
+      // Same class (transaction rollback): restore in place without
+      // touching the identity fields — lock acquisition reads the class
+      // of a live object before holding its instance lock.
+      existing->RestoreMutableState(std::move(obj));
     }
-    *existing = std::move(obj);
     NotifyCreate(*existing);
     MarkRecord(uid);
     return;

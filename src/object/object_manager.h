@@ -2,6 +2,7 @@
 #define ORION_OBJECT_OBJECT_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -84,6 +85,28 @@ class ObjectManager {
 
   ObjectManager(const ObjectManager&) = delete;
   ObjectManager& operator=(const ObjectManager&) = delete;
+
+  // --- Cell identity --------------------------------------------------------
+
+  /// Every uid minted by this manager carries `tag` in its top byte (see
+  /// common/uid.h).  0 — the default — is the standalone-database
+  /// configuration; a Cluster assigns each cell its own tag.  Set once at
+  /// setup, before any allocation.
+  void set_cell_tag(CellTag tag) { cell_tag_ = tag; }
+  CellTag cell_tag() const { return cell_tag_; }
+
+  /// Resolves the class of an object this manager does NOT own — a
+  /// reference-by-uid edge into another cell.  Returns kInvalidClass when
+  /// the uid exists nowhere.  Wired by the cluster layer (reading the
+  /// foreign cell's committed record chain, never its live table); null in
+  /// standalone databases, where a missing uid is simply missing.
+  ///
+  /// Thread-safety: set once at setup; the resolver itself must be safe to
+  /// call from any session thread.
+  using ForeignClassResolver = std::function<ClassId(Uid)>;
+  void set_foreign_class_resolver(ForeignClassResolver resolver) {
+    foreign_class_of_ = std::move(resolver);
+  }
 
   // --- Creation -------------------------------------------------------------
 
@@ -216,11 +239,15 @@ class ObjectManager {
   /// physical clustering is not preserved across snapshots.
   Status RestoreObject(Object obj);
 
-  /// Fast-forwards the UID allocator past `uid`.
+  /// Fast-forwards the UID allocator past `uid` (a raw uid value).  The
+  /// cell tag is stripped first: the allocator counts cell-local uids and
+  /// re-tags them at mint time, so a snapshot restores into a cell with any
+  /// tag.
   void RestoreNextUid(uint64_t uid) {
+    const uint64_t local = uid & kCellLocalMask;
     uint64_t cur = next_uid_.load(std::memory_order_relaxed);
-    while (uid > cur && !next_uid_.compare_exchange_weak(
-                            cur, uid, std::memory_order_relaxed)) {
+    while (local > cur && !next_uid_.compare_exchange_weak(
+                              cur, local, std::memory_order_relaxed)) {
     }
   }
 
@@ -308,6 +335,8 @@ class ObjectManager {
                                     LatchRank::kObserverList};
   std::vector<ObjectObserver*> observers_;
   std::atomic<uint64_t> next_uid_{0};
+  CellTag cell_tag_ = 0;
+  ForeignClassResolver foreign_class_of_;
   RecordStore* records_ = nullptr;
   obs::Histogram* h_catchup_us_ = nullptr;
 };

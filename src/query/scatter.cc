@@ -1,0 +1,177 @@
+#include "query/scatter.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace orion {
+
+namespace {
+
+/// The source owning `uid`, or nullptr when the route falls outside the
+/// view (an unknown cell tag).
+const ScatterSource* SourceOf(const ScatterView& view, Uid uid) {
+  const size_t idx = view.route ? view.route(uid) : 0;
+  return idx < view.sources.size() ? &view.sources[idx] : nullptr;
+}
+
+/// §3.1 class filter, applied to reported objects only: keep `uid` if it is
+/// an instance of any class in `classes` (reflexive subclass test in its
+/// owning shard's schema — replicated, so any shard answers alike).
+bool PassesClassFilter(const ScatterView& view,
+                       const std::vector<ClassId>& classes, Uid uid) {
+  if (classes.empty()) {
+    return true;
+  }
+  const ScatterSource* src = SourceOf(view, uid);
+  if (src == nullptr) {
+    return false;
+  }
+  const Object* obj = src->om->Peek(uid);
+  if (obj == nullptr) {
+    return false;
+  }
+  for (ClassId cls : classes) {
+    if (src->om->schema()->IsSubclassOf(obj->class_id(), cls)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Uid> SortUnique(std::vector<Uid> uids) {
+  std::sort(uids.begin(), uids.end());
+  uids.erase(std::unique(uids.begin(), uids.end()), uids.end());
+  return uids;
+}
+
+}  // namespace
+
+std::vector<Uid> ScatterInstancesOf(const ScatterView& view, ClassId cls) {
+  std::vector<Uid> out;
+  for (const ScatterSource& src : view.sources) {
+    std::vector<Uid> part = src.om->InstancesOf(cls);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return SortUnique(std::move(out));
+}
+
+std::vector<Uid> ScatterInstancesOfDeep(const ScatterView& view,
+                                        ClassId cls) {
+  std::vector<Uid> out;
+  for (const ScatterSource& src : view.sources) {
+    std::vector<Uid> part = src.om->InstancesOfDeep(cls);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return SortUnique(std::move(out));
+}
+
+Result<std::vector<Uid>> ScatterSelect(const ScatterView& view, ClassId cls,
+                                       const QueryPtr& expr) {
+  std::vector<Uid> out;
+  for (const ScatterSource& src : view.sources) {
+    std::vector<Uid> part;
+    if (src.records != nullptr) {
+      // Committed snapshot at this shard's own watermark: lock-free and
+      // race-free against the shard's concurrent committers.
+      ORION_ASSIGN_OR_RETURN(
+          part, SelectAt(*src.records, *src.om->schema(), cls, expr,
+                         src.indexes, src.records->watermark()));
+    } else {
+      ORION_ASSIGN_OR_RETURN(part, Select(*src.om, cls, expr, src.indexes));
+    }
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return SortUnique(std::move(out));
+}
+
+Result<std::vector<Uid>> ScatterParentsOf(const ScatterView& view, Uid object,
+                                          const TraversalOptions& opts) {
+  const ScatterSource* src = SourceOf(view, object);
+  if (src == nullptr) {
+    return Status::NotFound("no shard owns object " + object.ToString());
+  }
+  return ParentsOf(*src->om, object, opts);
+}
+
+Result<std::vector<Uid>> ScatterAncestorsOf(const ScatterView& view,
+                                            Uid object,
+                                            const TraversalOptions& opts) {
+  // Per-hop expansion with re-routing: `parents-of` in the owning shard of
+  // each frontier uid.  The class filter is held back until reporting; the
+  // kind filter (exclusive/shared) applies per edge and passes through.
+  TraversalOptions hop = opts;
+  hop.classes.clear();
+  std::unordered_set<Uid> seen{object};
+  std::vector<Uid> frontier{object};
+  std::vector<Uid> found;
+  while (!frontier.empty()) {
+    std::vector<Uid> next;
+    for (Uid u : frontier) {
+      const ScatterSource* src = SourceOf(view, u);
+      if (src == nullptr) {
+        continue;  // dangling reference into an unknown shard
+      }
+      ORION_ASSIGN_OR_RETURN(std::vector<Uid> parents,
+                             ParentsOf(*src->om, u, hop));
+      for (Uid p : parents) {
+        if (seen.insert(p).second) {
+          found.push_back(p);
+          next.push_back(p);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<Uid> out;
+  for (Uid u : found) {
+    if (PassesClassFilter(view, opts.classes, u)) {
+      out.push_back(u);
+    }
+  }
+  return SortUnique(std::move(out));
+}
+
+Result<std::vector<Uid>> ScatterComponentsOf(const ScatterView& view,
+                                             Uid object,
+                                             const TraversalOptions& opts) {
+  // Level-tracked closure over direct children, re-routed per hop so the
+  // `Level` contract survives a (hypothetical) cross-shard edge.
+  TraversalOptions hop = opts;
+  hop.classes.clear();
+  hop.level = 1;
+  std::unordered_set<Uid> seen{object};
+  std::vector<Uid> frontier{object};
+  std::vector<Uid> found;
+  int depth = 0;
+  while (!frontier.empty()) {
+    if (opts.level.has_value() && depth >= *opts.level) {
+      break;
+    }
+    ++depth;
+    std::vector<Uid> next;
+    for (Uid u : frontier) {
+      const ScatterSource* src = SourceOf(view, u);
+      if (src == nullptr) {
+        continue;
+      }
+      ORION_ASSIGN_OR_RETURN(std::vector<Uid> children,
+                             ComponentsOf(*src->om, u, hop));
+      for (Uid c : children) {
+        if (seen.insert(c).second) {
+          found.push_back(c);
+          next.push_back(c);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  std::vector<Uid> out;
+  for (Uid u : found) {
+    if (PassesClassFilter(view, opts.classes, u)) {
+      out.push_back(u);
+    }
+  }
+  return SortUnique(std::move(out));
+}
+
+}  // namespace orion

@@ -1,0 +1,76 @@
+#ifndef ORION_QUERY_SCATTER_H_
+#define ORION_QUERY_SCATTER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "object/object_manager.h"
+#include "query/index.h"
+#include "query/query.h"
+#include "query/traversal.h"
+
+namespace orion {
+
+/// One shard a scatter-gather query fans out to: an object manager, its
+/// (optional) attribute indexes, and its committed record store.  The query
+/// layer stays ignorant of what a shard *is* — src/cell binds each source
+/// to one cell's database.
+struct ScatterSource {
+  ObjectManager* om = nullptr;
+  const IndexManager* indexes = nullptr;
+  /// When set, ScatterSelect evaluates against this store's committed
+  /// snapshot at its watermark (SelectAt — lock-free, safe under
+  /// concurrent committers); when null it falls back to the live extent,
+  /// which is only safe on a quiescent shard.
+  const RecordStore* records = nullptr;
+};
+
+/// A routed set of shards.  `route` maps a uid to the index of its owning
+/// source (cell-tag routing in a cluster); an index >= sources.size() means
+/// "no source owns this uid" and surfaces as NotFound from the point
+/// lookups below.
+///
+/// Thread-safety: immutable after setup; the underlying managers carry the
+/// usual locking contract (callers hold the appropriate instance locks).
+struct ScatterView {
+  std::vector<ScatterSource> sources;
+  std::function<size_t(Uid)> route;
+};
+
+/// Merged, sorted direct extent of `cls` across every source.
+std::vector<Uid> ScatterInstancesOf(const ScatterView& view, ClassId cls);
+
+/// Merged, sorted deep extent (subclass instances included).
+std::vector<Uid> ScatterInstancesOfDeep(const ScatterView& view, ClassId cls);
+
+/// Associative query fanned out to every source; each shard plans locally
+/// (index or extent scan) and the sorted per-shard results are merged.
+/// Cell tags order uids by shard, so the merge is a concatenation sort.
+/// Shards carrying a record store are read at their committed watermark
+/// (per-shard snapshot consistency; no cross-shard point in time exists).
+Result<std::vector<Uid>> ScatterSelect(const ScatterView& view, ClassId cls,
+                                       const QueryPtr& expr);
+
+/// `parents-of` routed to the owning source.  Parents of an object live in
+/// the same shard (composite edges never cross cells — the §11
+/// root-affinity invariant), so this is a point routing, not a fan-out.
+Result<std::vector<Uid>> ScatterParentsOf(const ScatterView& view, Uid object,
+                                          const TraversalOptions& opts = {});
+
+/// `ancestors-of` as a re-routing closure: each frontier uid expands in its
+/// own source, so the walk stays correct even for an edge that does cross
+/// shards (defense in depth; the invariant says there are none).  The
+/// class filter applies to reported objects only, as in §3.1.
+Result<std::vector<Uid>> ScatterAncestorsOf(const ScatterView& view,
+                                            Uid object,
+                                            const TraversalOptions& opts = {});
+
+/// `components-of` as a level-tracked re-routing closure (same contract as
+/// the single-shard overload, including `opts.level`).
+Result<std::vector<Uid>> ScatterComponentsOf(
+    const ScatterView& view, Uid object, const TraversalOptions& opts = {});
+
+}  // namespace orion
+
+#endif  // ORION_QUERY_SCATTER_H_

@@ -97,6 +97,39 @@ TEST_F(LatchCheckTest, CoordinatorMayWrapCommit) {
   SUCCEED();
 }
 
+TEST_F(LatchCheckTest, ClusterDdlWrapsPerCellFences) {
+  // §11 DDL fan-out: the cluster coordinator (kClusterDdl = 80) is held
+  // across each cell's fence protocol, so it must order before every
+  // per-cell coordinator — two cells' fences taken in sequence under it
+  // are each a fresh ascent.
+  Latch cluster_ddl("test.cluster_ddl", LatchRank::kClusterDdl);
+  Latch fence_cell1("test.fence_c1", LatchRank::kSchemaFence);
+  LatchGuard g(cluster_ddl);
+  {
+    LatchGuard f1(fence_cell1);
+  }
+  // Second cell: same rank as cell 1's fence is legal because the first
+  // was already released (only *held* latches order the next acquisition).
+  Latch fence_cell2("test.fence_c2", LatchRank::kSchemaFence);
+  LatchGuard f2(fence_cell2);
+  SUCCEED();
+}
+
+TEST_F(LatchCheckTest, FenceThenClusterDdlAborts) {
+  // The reverse nesting — reaching for the cluster DDL coordinator while
+  // inside one cell's fence — is the cross-cell deadlock shape (cell A's
+  // DDL waits on the cluster latch held by a DDL draining cell A) and
+  // must die as a rank inversion.
+  EXPECT_DEATH(
+      {
+        Latch fence("test.fence", LatchRank::kSchemaFence);
+        Latch cluster_ddl("test.cluster_ddl2", LatchRank::kClusterDdl);
+        LatchGuard f(fence);
+        LatchGuard g(cluster_ddl);
+      },
+      "latch-rank inversion");
+}
+
 TEST_F(LatchCheckTest, SelfReentryOnPlainLatchAborts) {
   EXPECT_DEATH(
       {

@@ -20,6 +20,12 @@
 //                      online-DDL surface (DESIGN.md §10) and must document
 //                      their concurrency contract: the file must contain at
 //                      least one `/// Thread-safety:` doc line.
+//   raw-uid            `Uid{...}` / `Uid(...)` with a payload forges a uid
+//                      bit pattern, bypassing the cell-tag encoding (§11).
+//                      Only common/uid.h (the factories) and src/cell/ (the
+//                      routing layer) may construct uids from raw bits;
+//                      everything else uses MakeUid / UidFromRaw / kNilUid.
+//                      The empty forms `Uid{}` / `Uid()` stay legal (nil).
 //
 // Usage:
 //   orion_lint <repo-root>   lint every .h/.cc under <repo-root>/src
@@ -147,6 +153,40 @@ bool IsVoidCastCallDiscard(std::string_view line) {
   return false;
 }
 
+/// True if the line constructs a Uid from raw bits: the whole identifier
+/// `Uid` immediately followed by `{` or `(` with a non-empty payload.
+/// `kNilUid`, `Uid u;`, `Result<Uid>` etc. do not match; the empty
+/// aggregate forms stay legal.
+bool ConstructsRawUid(std::string_view line) {
+  size_t pos = 0;
+  while ((pos = line.find("Uid", pos)) != std::string_view::npos) {
+    const size_t end = pos + 3;
+    const char prev = pos > 0 ? line[pos - 1] : ' ';
+    const bool prev_ident = (prev >= 'a' && prev <= 'z') ||
+                            (prev >= 'A' && prev <= 'Z') ||
+                            (prev >= '0' && prev <= '9') || prev == '_';
+    if (prev_ident || end >= line.size()) {
+      pos = end;
+      continue;
+    }
+    const char open = line[end];
+    if (open != '{' && open != '(') {
+      pos = end;
+      continue;
+    }
+    const char close = open == '{' ? '}' : ')';
+    size_t payload = end + 1;
+    while (payload < line.size() && line[payload] == ' ') {
+      ++payload;
+    }
+    if (payload < line.size() && line[payload] != close) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
 /// The subsystem directories src/common must never include.
 constexpr std::string_view kSubsystems[] = {
     "object/", "query/",  "lock/", "storage/", "version/", "core/",
@@ -164,6 +204,8 @@ std::vector<Finding> LintSource(const std::string& rel_path,
   }
   const bool is_latch_impl = rel_path == "src/common/latch.h" ||
                              rel_path == "src/common/latch.cc";
+  const bool may_forge_uids = rel_path == "src/common/uid.h" ||
+                              rel_path.rfind("src/cell/", 0) == 0;
   const bool in_common = rel_path.rfind("src/common/", 0) == 0;
   const bool is_schema_header =
       rel_path.rfind("src/schema/", 0) == 0 &&
@@ -208,6 +250,14 @@ std::vector<Finding> LintSource(const std::string& rel_path,
              "(void)-discarded call without a justifying comment; say why "
              "the Status/Result may be dropped"});
       }
+    }
+
+    if (!may_forge_uids && !IsCommentLine(line) && ConstructsRawUid(line) &&
+        !HasSuppression(line, "raw-uid")) {
+      findings.push_back(
+          {rel_path, lineno, "raw-uid",
+           "raw Uid construction forges the cell-tag encoding (§11); use "
+           "MakeUid / UidFromRaw from common/uid.h"});
     }
 
     if (in_common) {
@@ -323,6 +373,24 @@ constexpr Fixture kFixtures[] = {
      "void F() {}\n", nullptr},
     {"non-schema header exempt", "src/object/ok_header.h",
      "class T {};\n", nullptr},
+    {"raw uid braces", "src/object/bad_uid1.cc",
+     "Uid u = Uid{42};\n", "raw-uid"},
+    {"raw uid parens", "src/storage/bad_uid2.cc",
+     "auto u = Uid(raw_bits);\n", "raw-uid"},
+    {"factory call is fine", "src/core/ok_uid1.cc",
+     "Uid u = UidFromRaw(ParseU64(tok));\n", nullptr},
+    {"nil forms are fine", "src/core/ok_uid2.cc",
+     "Uid a = Uid{};\nUid b = Uid();\nUid c = kNilUid;\n", nullptr},
+    {"declaration is fine", "src/query/ok_uid3.cc",
+     "Result<std::vector<Uid>> F(Uid object);\n", nullptr},
+    {"uid.h may forge", "src/common/uid.h",
+     "constexpr Uid MakeUid(CellTag c, uint64_t l) { return Uid{l}; }\n",
+     nullptr},
+    {"cell layer may forge", "src/cell/ok_route.cc",
+     "Uid probe = Uid{raw};\n", nullptr},
+    {"suppressed raw uid", "src/lock/ok_uid4.cc",
+     "Uid u = Uid{1};  // orion-lint: allow(raw-uid): test-only probe\n",
+     nullptr},
 };
 
 int SelfTest() {
