@@ -5,6 +5,7 @@
 #   tsan      ThreadSanitizer build, concurrency suites (checker ON via AUTO)
 #   asan      AddressSanitizer build, full suite + smoke benchmark
 #   ubsan     UndefinedBehaviorSanitizer build, full suite
+#   recovery  crash/restart durability suite + WAL smoke bench (§12)
 #   metrics   metrics-exposition round-trip over the smoke bench output
 #   lint      orion_lint self-test + source tree scan (DESIGN.md §9)
 #   tidy      clang-tidy over compile_commands.json (skipped if the tool
@@ -72,6 +73,11 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
   # both plus the per-cell reclaimers.
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ./bench/abl_cells --smoke)
+  # The §12 WAL moves record payloads from the commit path into the flush
+  # leader's batch and frees them after the fsync; its smoke covers that
+  # handoff plus snapshot write/read and a cold replay.
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ./bench/abl_wal --smoke)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then
@@ -83,8 +89,23 @@ if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then
     ctest --test-dir build-ubsan --output-on-failure -j "$jobs"
 fi
 
+if [[ "$stage" == "all" || "$stage" == "recovery" ]]; then
+  echo "=== stage 6: durability and recovery (§12) ==="
+  # The fault-injection crash tests SIGKILL child processes at every crash
+  # point in the commit/2PC/checkpoint paths, then recover from snapshot +
+  # changelog and check the survivor against the pre-crash committed state.
+  # The WAL smoke bench then exercises the enqueue/fsync group-commit
+  # handoff under 64 threads plus a cold snapshot+replay, so the flush
+  # leader's condvar choreography gets a concurrency workout here even when
+  # the sanitizer stages are skipped.
+  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build-release -j "$jobs" --target recovery_test abl_wal
+  ctest --test-dir build-release --output-on-failure -R 'Recovery'
+  (cd build-release && ./bench/abl_wal --smoke > /dev/null)
+fi
+
 if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
-  echo "=== stage 6: metrics exposition round-trip ==="
+  echo "=== stage 7: metrics exposition round-trip ==="
   # The smoke bench exports the engine's metrics snapshot in Prometheus and
   # JSON form; metrics_check parses both independently (its own parsers, no
   # shared code with the exporters) and cross-validates the values.
@@ -97,7 +118,7 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
 fi
 
 if [[ "$stage" == "all" || "$stage" == "lint" ]]; then
-  echo "=== stage 7: orion_lint (naked mutexes, unexplained discards, layering) ==="
+  echo "=== stage 8: orion_lint (naked mutexes, unexplained discards, layering) ==="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "$jobs" --target orion_lint
   ./build-release/tools/orion_lint --self-test
@@ -105,7 +126,7 @@ if [[ "$stage" == "all" || "$stage" == "lint" ]]; then
 fi
 
 if [[ "$stage" == "all" || "$stage" == "tidy" ]]; then
-  echo "=== stage 8: clang-tidy over compile_commands.json ==="
+  echo "=== stage 9: clang-tidy over compile_commands.json ==="
   if command -v clang-tidy >/dev/null 2>&1; then
     cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
     # compile_commands.json is exported unconditionally (CMakeLists.txt);

@@ -1,6 +1,10 @@
 #include "cell/cluster.h"
 
 #include <algorithm>
+#include <set>
+
+#include "core/recovery.h"
+#include "core/snapshot_codec.h"
 
 namespace orion {
 
@@ -180,6 +184,82 @@ Result<std::vector<Uid>> Cluster::AncestorsOf(Uid object,
 Result<std::vector<Uid>> Cluster::ComponentsOf(Uid object,
                                                const TraversalOptions& opts) {
   return ScatterComponentsOf(scatter_, object, opts);
+}
+
+// --- Durability (DESIGN.md §12) --------------------------------------------
+
+Status Cluster::EnableDurability(const std::string& dir,
+                                 const wal::WalOptions& opts) {
+  if (durable_) {
+    return Status::FailedPrecondition("durability is already enabled");
+  }
+  // The decision log first: cell recovery resolves undecided prepares
+  // against it.  Decisions are framed `decision <gtid> commit` with
+  // ts = gtid (a decision per se has no commit timestamp).
+  ORION_RETURN_IF_ERROR(
+      decision_log_.Open(dir + "/cluster", opts.segment_bytes));
+  std::set<uint64_t> decided;
+  uint64_t max_gtid = 0;
+  {
+    ORION_ASSIGN_OR_RETURN(wal::LogContents decisions,
+                           decision_log_.ReadAll());
+    for (const wal::Frame& frame : decisions.frames) {
+      const size_t eol = frame.payload.find('\n');
+      const std::string line = eol == std::string::npos
+                                   ? frame.payload
+                                   : frame.payload.substr(0, eol);
+      ORION_ASSIGN_OR_RETURN(std::vector<std::string> tok,
+                             codec::Tokenize(line));
+      if (tok.size() != 3 || tok[0] != "decision" || tok[2] != "commit") {
+        return Status::InvalidArgument("malformed decision record: " + line);
+      }
+      const uint64_t gtid = codec::ParseU64(tok[1]);
+      decided.insert(gtid);
+      max_gtid = std::max(max_gtid, gtid);
+    }
+  }
+  wals_.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    Database& db = c->db();
+    auto w = std::make_unique<wal::WalManager>();
+    ORION_RETURN_IF_ERROR(
+        w->Open(dir + "/cell-" + std::to_string(c->tag()), opts));
+    RecoveryStats stats;
+    ORION_RETURN_IF_ERROR(ReplayInto(db, *w, &stats));
+    // A prepare with no commit2pc in this cell's log is resolved by the
+    // coordinator's decision: logged -> the commit happened (some cell may
+    // already have published phase 2), so this cell applies the prepare's
+    // redo payload at a fresh timestamp; unlogged -> presumed abort (the
+    // payload was never published, so dropping it IS the abort).
+    for (const auto& [gtid, body] : stats.unresolved_prepares) {
+      max_gtid = std::max(max_gtid, gtid);
+      if (decided.count(gtid) > 0) {
+        ORION_RETURN_IF_ERROR(ApplyRedoBody(db, body));
+      }
+    }
+    ORION_RETURN_IF_ERROR(db.AttachWal(w.get()));
+    // Checkpoint before serving: the replayed tail and any decision-log
+    // resolutions are subsumed into a fresh snapshot.
+    ORION_RETURN_IF_ERROR(db.Checkpoint());
+    wals_.push_back(std::move(w));
+  }
+  next_gtid_.store(max_gtid + 1, std::memory_order_relaxed);
+  durable_ = true;
+  return Status::Ok();
+}
+
+Status Cluster::LogDecision(uint64_t gtid) {
+  LatchGuard g(decision_mu_);
+  ORION_RETURN_IF_ERROR(decision_log_.Append(
+      gtid, "decision " + std::to_string(gtid) + " commit\n"));
+  return decision_log_.Sync();
+}
+
+Status Cluster::Checkpoint() {
+  for (const auto& c : cells_) {
+    ORION_RETURN_IF_ERROR(c->db().Checkpoint());
+  }
+  return Status::Ok();
 }
 
 }  // namespace orion

@@ -11,6 +11,7 @@
 #include "common/latch.h"
 #include "obs/metrics.h"
 #include "query/scatter.h"
+#include "wal/wal.h"
 
 namespace orion {
 
@@ -124,6 +125,32 @@ class Cluster {
   const ClusterMetrics& cluster_metrics() const { return cm_; }
   const ScatterView& scatter() const { return scatter_; }
 
+  // --- Durability (DESIGN.md §12) --------------------------------------------
+
+  /// Turns on cell-aware durability under `dir`: one changelog + snapshot
+  /// directory per cell (`<dir>/cell-<tag>/`) and one cluster decision log
+  /// (`<dir>/cluster/`).  If the directories hold prior state, every cell
+  /// is recovered first (this cluster must be freshly constructed):
+  /// snapshot + changelog-tail replay, then prepared-but-undecided 2PC
+  /// transactions are resolved against the decision log — a decision
+  /// record means commit (the prepare's redo payload is applied); no
+  /// record means presumed abort.  Each cell then checkpoints and attaches
+  /// its WAL.  Call once, before any transaction.
+  Status EnableDurability(const std::string& dir,
+                          const wal::WalOptions& opts = wal::WalOptions());
+  bool durable() const { return durable_; }
+
+  /// Coordinator-side 2PC bookkeeping (used by ClusterTransaction): a
+  /// fresh nonzero global transaction id, and the durable commit-decision
+  /// record written between phase 1 and phase 2.
+  uint64_t NextGtid() {
+    return next_gtid_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Status LogDecision(uint64_t gtid);
+
+  /// Checkpoints every cell (snapshot + changelog truncation).
+  Status Checkpoint();
+
  private:
   friend class ClusterTransaction;
 
@@ -140,11 +167,23 @@ class Cluster {
   /// metric pointers must outlive every cell.
   obs::MetricsRegistry metrics_;
   ClusterMetrics cm_;
+  /// Declared before cells_ (destroyed after them): each cell's database
+  /// holds a raw pointer to its WalManager.
+  std::vector<std::unique_ptr<wal::WalManager>> wals_;
   std::vector<std::unique_ptr<Cell>> cells_;
   ScatterView scatter_;
   std::atomic<uint64_t> next_root_{0};
   /// Serializes cluster-wide DDL; held across per-cell fence protocols.
   Latch ddl_mu_{"cluster.ddl", LatchRank::kClusterDdl};
+
+  bool durable_ = false;
+  /// Seeded past the largest gtid the decision log has seen; 2PC ids stay
+  /// unique across restarts.
+  std::atomic<uint64_t> next_gtid_{1};
+  /// The cluster-level commit-decision log; coordinator-only, so one latch
+  /// (taken with no other latch held) serializes appends.
+  Latch decision_mu_{"cluster.decisions", LatchRank::kWal};
+  wal::Changelog decision_log_;
 };
 
 }  // namespace orion

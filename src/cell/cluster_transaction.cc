@@ -166,8 +166,18 @@ Status ClusterTransaction::Commit() {
   // §11 two-phase commit.  Phase 1 in ascending tag order: each Prepare
   // runs that cell's fence + epoch validation and registers the
   // transaction for fence drains; a refusal has already aborted that
-  // participant, so only the still-active rest need aborting.
+  // participant, so only the still-active rest need aborting.  Under
+  // durability (§12) the participants share a coordinator-assigned gtid:
+  // each cell fsyncs a prepare record carrying its full redo payload
+  // before voting, and the decision record below is what recovery uses to
+  // resolve a prepare whose phase 2 never reached that cell's log.
   cm.txn_cross->Inc();
+  const uint64_t gtid = cluster_->durable() ? cluster_->NextGtid() : 0;
+  if (gtid != 0) {
+    for (auto& [tag, txn] : txns_) {
+      txn->set_gtid(gtid);
+    }
+  }
   const uint64_t start_us = obs::NowMicros();
   for (auto& [tag, txn] : txns_) {
     Status s = txn->Prepare();
@@ -184,6 +194,29 @@ Status ClusterTransaction::Commit() {
     }
   }
   cm.prepare_us->Observe(obs::NowMicros() - start_us);
+  if (crash_point_ == CrashPoint::kAfterPrepare) {
+    return SimulateCrash("after prepare (no decision logged)");
+  }
+  // The commit point: once the decision record is durable, the transaction
+  // commits even if every cell crashes before phase 2.  A decision-log
+  // failure is still pre-decision, so the coordinator can abort.
+  if (gtid != 0) {
+    Status decided = cluster_->LogDecision(gtid);
+    if (!decided.ok()) {
+      for (auto& [tag, txn] : txns_) {
+        if (txn->active()) {
+          // The decision-log failure is the error to surface; rollback of
+          // a prepared participant cannot fail.
+          (void)txn->Abort();
+        }
+      }
+      cm.txn_cross_aborts->Inc();
+      return decided;
+    }
+  }
+  if (crash_point_ == CrashPoint::kAfterDecision) {
+    return SimulateCrash("after decision (phase 2 never ran)");
+  }
   // Phase 2: the decision is now fixed — no participant can refuse.  Each
   // cell publishes at its own next timestamp.
   Status out = Status::Ok();
@@ -199,6 +232,17 @@ Status ClusterTransaction::Commit() {
     }
   }
   return out;
+}
+
+Status ClusterTransaction::SimulateCrash(const char* where) {
+  for (auto& [tag, txn] : txns_) {
+    if (txn->active()) {
+      // Simulating memory loss: the rollback outcome is deliberately
+      // discarded, only the on-disk logs matter to the test.
+      (void)txn->Abort();
+    }
+  }
+  return Status::Internal(std::string("simulated crash ") + where);
 }
 
 Status ClusterTransaction::Abort() {

@@ -78,6 +78,16 @@ class ClusterTransaction {
   /// Aborts every participant (each rolls back its before-images).
   Status Abort();
 
+  /// §12 crash-test hook: make Commit() abandon a cross-cell commit at a
+  /// chosen point, leaving the on-disk logs exactly as a crash would —
+  /// kAfterPrepare: prepares logged, no decision record (recovery must
+  /// presume abort); kAfterDecision: prepares + decision logged, phase 2
+  /// never runs (recovery must commit from the decision log).  The
+  /// in-memory side is rolled back (the "crashed" cluster is discarded by
+  /// the test) and Commit returns kInternal.
+  enum class CrashPoint { kNone, kAfterPrepare, kAfterDecision };
+  void set_crash_point(CrashPoint p) { crash_point_ = p; }
+
  private:
   /// The participant for `uid`'s cell, or NotFound for an unknown tag.
   Result<TransactionContext*> Participant(Uid uid);
@@ -86,10 +96,15 @@ class ClusterTransaction {
                             const std::vector<ParentBinding>& parents,
                             const AttrValues& attrs);
 
+  /// Rolls back every still-active participant and reports the simulated
+  /// crash; the durable logs keep whatever was written before `where`.
+  Status SimulateCrash(const char* where);
+
   Cluster* cluster_;
   std::chrono::milliseconds timeout_;
   std::string user_;
   bool active_ = true;
+  CrashPoint crash_point_ = CrashPoint::kNone;
   /// Ordered by tag: 2PC prepares ascending, so two cross-cell
   /// transactions never prepare against each other in opposite cell order.
   std::map<CellTag, std::unique_ptr<TransactionContext>> txns_;

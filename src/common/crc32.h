@@ -1,0 +1,20 @@
+#ifndef ORION_COMMON_CRC32_H_
+#define ORION_COMMON_CRC32_H_
+
+// CRC-32C (Castagnoli) over byte ranges.  Used by the WAL to frame
+// changelog records: a torn or bit-rotted tail fails its checksum and
+// replay stops at the last intact frame (DESIGN.md §12).  Table-driven,
+// no hardware dependency.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace orion {
+
+/// CRC-32C of `data[0..len)`.  `seed` chains partial computations:
+/// Crc32c(b, n2, Crc32c(a, n1)) == CRC of a||b.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace orion
+
+#endif  // ORION_COMMON_CRC32_H_

@@ -1,0 +1,201 @@
+#include "common/fs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace orion {
+namespace fs {
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status EnsureDir(const std::string& path) {
+  std::string accum;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t next = path.find('/', pos);
+    if (next == std::string::npos) {
+      next = path.size();
+    }
+    accum = path.substr(0, next);
+    pos = next + 1;
+    if (accum.empty()) {
+      continue;  // leading '/'
+    }
+    if (::mkdir(accum.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", accum);
+    }
+  }
+  return Status::Ok();
+}
+
+bool Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Errno("opendir", dir);
+  }
+  std::vector<std::string> names;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") {
+      continue;
+    }
+    struct stat st;
+    if (::stat((dir + "/" + name).c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Errno("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) {
+      break;
+    }
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Errno("open", tmp);
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return Errno("write", tmp);
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) {
+    return Errno("close", tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename", tmp);
+  }
+  const size_t slash = path.find_last_of('/');
+  return SyncDir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Errno("unlink", path);
+  }
+  return Status::Ok();
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Errno("open", dir);
+  }
+  // Some filesystems refuse fsync on a directory fd; that is not a torn
+  // write, so tolerate EINVAL only.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    ::close(fd);
+    return Errno("fsync dir", dir);
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+fs::AppendFile::~AppendFile() { Close(); }
+
+Status AppendFile::Open(const std::string& path) {
+  Close();
+  const bool existed = Exists(path);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Errno("open", path);
+  }
+  path_ = path;
+  if (!existed) {
+    const size_t slash = path.find_last_of('/');
+    ORION_RETURN_IF_ERROR(
+        SyncDir(slash == std::string::npos ? "." : path.substr(0, slash)));
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Append(const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd_, p + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("append", path_);
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status AppendFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Errno("fsync", path_);
+  }
+  return Status::Ok();
+}
+
+void AppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace fs
+}  // namespace orion

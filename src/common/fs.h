@@ -1,0 +1,71 @@
+#ifndef ORION_COMMON_FS_H_
+#define ORION_COMMON_FS_H_
+
+// Thin POSIX filesystem helpers for the durability layer (src/wal,
+// core/snapshot).  Everything returns Status/Result — no exceptions — and
+// every durable write is explicit about its fsync points: a WAL frame is
+// not "written" until the file (and, for creates/renames, its directory)
+// has been synced (DESIGN.md §12).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orion {
+namespace fs {
+
+/// Creates `path` (and missing parents).  Ok if it already exists.
+Status EnsureDir(const std::string& path);
+
+/// True if `path` names an existing file or directory.
+bool Exists(const std::string& path);
+
+/// Regular-file names (not paths) directly under `dir`, sorted.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Whole-file read into a string (binary-safe).
+Result<std::string> ReadFile(const std::string& path);
+
+/// Durably replaces `path`: writes `data` to a temp file in the same
+/// directory, fsyncs it, renames over `path`, fsyncs the directory.  A
+/// crash leaves either the old file or the new one, never a torn mix.
+Status WriteFileAtomic(const std::string& path, const std::string& data);
+
+/// Removes a file; Ok if it does not exist.
+Status RemoveFile(const std::string& path);
+
+/// fsyncs a directory so a rename/create within it is durable.
+Status SyncDir(const std::string& dir);
+
+/// An append-only file handle with explicit Sync.  Used for changelog
+/// segments: Append buffers into the OS, Sync makes everything appended so
+/// far durable (one fsync per group commit, not per record).
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if absent) for append; fsyncs the parent directory on
+  /// create so the new segment file itself survives a crash.
+  Status Open(const std::string& path);
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  Status Append(const void* data, size_t len);
+  Status Sync();
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace fs
+}  // namespace orion
+
+#endif  // ORION_COMMON_FS_H_

@@ -23,6 +23,8 @@ const char* LatchRankName(LatchRank rank) {
       return "kEpochRegistry";
     case LatchRank::kCommit:
       return "kCommit";
+    case LatchRank::kWal:
+      return "kWal";
     case LatchRank::kTableShard:
       return "kTableShard";
     case LatchRank::kRecordChainShard:
@@ -206,6 +208,55 @@ void OnAcquire(const void* latch, const char* name, LatchRank rank,
           "orion latch check: latch-rank inversion — acquiring '%s' "
           "(rank %s) at %s:%u while holding '%s' (rank %s, acquired at "
           "%s:%u).  Ranks must strictly ascend (DESIGN.md \u00a79).\n",
+          name, LatchRankName(rank), loc.file_name(), loc.line(),
+          max_held->name, LatchRankName(max_held->rank),
+          max_held->loc.file_name(), max_held->loc.line());
+      PrintHeldStack();
+      Die();
+    }
+    RecordEdge(stack.back(), name, loc);
+  }
+  stack.push_back(Held{latch, name, rank, 1, loc});
+}
+
+void OnCondVarWake(const void* latch, const char* name, LatchRank rank,
+                   const std::source_location& loc) {
+  std::vector<Held>& stack = HeldStack();
+  for (const Held& h : stack) {
+    if (h.latch == latch) {
+      // OnRelease popped this latch before the block, so finding it held at
+      // wake means the checker's view of the wait is corrupt (e.g. a second
+      // guard on the same latch, or a wait without the release hook).
+      std::fprintf(stderr,
+                   "orion latch check: condvar wake on '%s' at %s:%u but the "
+                   "latch is still marked held (acquired at %s:%u) — the "
+                   "wait did not release it.\n",
+                   name, loc.file_name(), loc.line(), h.loc.file_name(),
+                   h.loc.line());
+      PrintHeldStack();
+      Die();
+    }
+  }
+  if (!stack.empty()) {
+    // Re-validate the rank rule from scratch: the wake re-acquisition is a
+    // fresh acquisition, ordered against whatever the thread now holds —
+    // which may differ from what it held before the wait.
+    const Held* max_held = nullptr;
+    for (const Held& h : stack) {
+      if (h.rank != LatchRank::kUnranked &&
+          (max_held == nullptr || h.rank > max_held->rank)) {
+        max_held = &h;
+      }
+    }
+    if (rank != LatchRank::kUnranked && max_held != nullptr &&
+        rank <= max_held->rank) {
+      std::fprintf(
+          stderr,
+          "orion latch check: latch-rank inversion on condvar wake — "
+          "re-acquiring '%s' (rank %s) at wait site %s:%u while holding "
+          "'%s' (rank %s, acquired at %s:%u).  A latch acquired after the "
+          "wait began must rank above the waited-on latch (DESIGN.md "
+          "§9).\n",
           name, LatchRankName(rank), loc.file_name(), loc.line(),
           max_held->name, LatchRankName(max_held->rank),
           max_held->loc.file_name(), max_held->loc.line());

@@ -83,6 +83,13 @@ enum class LatchRank : uint16_t {
   /// table and version registry) runs before this latch is taken.
   kCommit = 200,
 
+  /// WalManager::mu_ — the per-cell changelog append queue and group-commit
+  /// state.  Ranked just above kCommit: the publish-time redo hook enqueues
+  /// the serialized record while commit_mu_ is held (append order must
+  /// equal commit order — DESIGN.md §12), and the group-commit leader then
+  /// fsyncs with NO latch held.  Nothing below kWal is ever taken under it.
+  kWal = 220,
+
   // -- Striped table shards. ----------------------------------------------
   /// Object table / class extents / placement map shards (ShardedMap).
   /// Shards never nest with each other: whole-map walks latch one shard at
@@ -137,6 +144,18 @@ void OnAcquire(const void* latch, const char* name, LatchRank rank,
 
 /// Records a release (tolerates out-of-stack-order unlock).
 void OnRelease(const void* latch);
+
+/// Records the re-acquisition performed inside a condition-variable wait
+/// when the wait returns.  Semantically the thread re-acquires the latch
+/// from scratch, so the full rank rule is RE-VALIDATED against whatever
+/// the thread accumulated while blocked — a waiter that somehow holds a
+/// higher-ranked latch at wake is an inversion even though the original
+/// acquisition was legal.  `loc` is the WAIT CALL SITE (threaded through
+/// from LatchCondVar), so a violation points at the wait, not at latch.h
+/// internals.  Also rejects a wake while the latch is still marked held
+/// (a checker-state corruption OnAcquire would misreport as re-entry).
+void OnCondVarWake(const void* latch, const char* name, LatchRank rank,
+                   const std::source_location& loc);
 
 /// Aborts if the calling thread holds any latch.  Asserted at
 /// LockManager::Acquire entry: blocking on a logical-lock wait while
@@ -469,9 +488,10 @@ class LatchCondVar {
   void NotifyAll() { cv_.notify_all(); }
 
   template <typename Pred>
-  void Wait(UniqueLatchGuard& g, Pred pred) {
+  void Wait(UniqueLatchGuard& g, Pred pred,
+            std::source_location loc = std::source_location::current()) {
     while (!pred()) {
-      WaitOnce(g);
+      WaitOnce(g, loc);
     }
   }
 
@@ -480,9 +500,10 @@ class LatchCondVar {
   template <typename Clock, typename Duration, typename Pred>
   bool WaitUntil(UniqueLatchGuard& g,
                  const std::chrono::time_point<Clock, Duration>& deadline,
-                 Pred pred) {
+                 Pred pred,
+                 std::source_location loc = std::source_location::current()) {
     while (!pred()) {
-      if (WaitOnceUntil(g, deadline) == std::cv_status::timeout) {
+      if (WaitOnceUntil(g, deadline, loc) == std::cv_status::timeout) {
         return pred();
       }
     }
@@ -491,36 +512,43 @@ class LatchCondVar {
 
   template <typename Rep, typename Period, typename Pred>
   bool WaitFor(UniqueLatchGuard& g,
-               const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+               const std::chrono::duration<Rep, Period>& dur, Pred pred,
+               std::source_location loc = std::source_location::current()) {
     return WaitUntil(g, std::chrono::steady_clock::now() + dur,
-                     std::move(pred));
+                     std::move(pred), loc);
   }
 
-  /// Single untimed block (for hand-written wait loops).
-  void WaitOnce(UniqueLatchGuard& g) {
+  /// Single untimed block (for hand-written wait loops).  The checker pops
+  /// the latch for the duration of the block and re-validates the rank
+  /// rule on wake via OnCondVarWake, attributed to the caller's wait site.
+  void WaitOnce(UniqueLatchGuard& g,
+                std::source_location loc = std::source_location::current()) {
 #ifdef ORION_LATCH_CHECK
     latch_check::OnRelease(g.latch_);
 #endif
     cv_.wait(g.lk_);
 #ifdef ORION_LATCH_CHECK
-    latch_check::OnAcquire(g.latch_, g.latch_->name_, g.latch_->rank_,
-                           /*recursive_ok=*/false,
-                           std::source_location::current());
+    latch_check::OnCondVarWake(g.latch_, g.latch_->name_, g.latch_->rank_,
+                               loc);
+#else
+    (void)loc;
 #endif
   }
 
   template <typename Clock, typename Duration>
   std::cv_status WaitOnceUntil(
       UniqueLatchGuard& g,
-      const std::chrono::time_point<Clock, Duration>& deadline) {
+      const std::chrono::time_point<Clock, Duration>& deadline,
+      std::source_location loc = std::source_location::current()) {
 #ifdef ORION_LATCH_CHECK
     latch_check::OnRelease(g.latch_);
 #endif
     std::cv_status st = cv_.wait_until(g.lk_, deadline);
 #ifdef ORION_LATCH_CHECK
-    latch_check::OnAcquire(g.latch_, g.latch_->name_, g.latch_->rank_,
-                           /*recursive_ok=*/false,
-                           std::source_location::current());
+    latch_check::OnCondVarWake(g.latch_, g.latch_->name_, g.latch_->rank_,
+                               loc);
+#else
+    (void)loc;
 #endif
     return st;
   }

@@ -1,0 +1,109 @@
+#include "core/commit_pipeline.h"
+
+#include <sstream>
+
+#include "core/snapshot_codec.h"
+#include "schema/schema_fence.h"
+
+namespace orion {
+
+namespace {
+
+RedoTag& CurrentTag() {
+  thread_local RedoTag tag;
+  return tag;
+}
+
+}  // namespace
+
+RedoTagScope::RedoTagScope(RedoTag tag) : prev_(CurrentTag()) {
+  CurrentTag() = tag;
+}
+
+RedoTagScope::~RedoTagScope() { CurrentTag() = prev_; }
+
+RedoTag RedoTagScope::Current() { return CurrentTag(); }
+
+void CommitPipeline::Configure(SchemaFence* fence, RecordStore* records) {
+  fence_ = fence;
+  records_ = records;
+}
+
+void CommitPipeline::AddSink(std::unique_ptr<CommitSink> sink) {
+  sinks_.push_back(std::move(sink));
+}
+
+Status CommitPipeline::Validate(const CommitRequest& req) {
+  return fence_->ValidateCommit(req.txn, req.classes, req.begin_epoch);
+}
+
+uint64_t CommitPipeline::Publish(const CommitRequest& req) {
+  return records_->PublishBatch(req.objects, req.generics);
+}
+
+Status CommitPipeline::Harden(uint64_t commit_ts) {
+  if (commit_ts == 0) {
+    return Status::Ok();
+  }
+  for (const std::unique_ptr<CommitSink>& sink : sinks_) {
+    ORION_RETURN_IF_ERROR(sink->Harden(commit_ts));
+  }
+  return Status::Ok();
+}
+
+Status CommitPipeline::PrepareRecord(uint64_t gtid,
+                                     const std::string& record) {
+  for (const std::unique_ptr<CommitSink>& sink : sinks_) {
+    ORION_RETURN_IF_ERROR(sink->PrepareRecord(gtid, record));
+  }
+  return Status::Ok();
+}
+
+void CommitPipeline::ResolvePrepared(uint64_t gtid) {
+  for (const std::unique_ptr<CommitSink>& sink : sinks_) {
+    sink->ResolvePrepared(gtid);
+  }
+}
+
+std::string RedoHeader(RedoTag tag, uint64_t ts) {
+  if (ts == 0) {
+    return "prepare " + std::to_string(tag.gtid) + "\n";
+  }
+  switch (tag.kind) {
+    case RedoKind::kCommit:
+      return "commit " + std::to_string(ts) + "\n";
+    case RedoKind::kCommit2pc:
+      return "commit2pc " + std::to_string(ts) + " " +
+             std::to_string(tag.gtid) + "\n";
+    case RedoKind::kDdlSweep:
+      return "ddlsweep " + std::to_string(ts) + "\n";
+  }
+  return "commit " + std::to_string(ts) + "\n";
+}
+
+std::string SerializeRedoBody(
+    const std::vector<RecordStore::StagedObject>& objects,
+    const std::vector<RecordStore::StagedGeneric>& generics) {
+  std::ostringstream os;
+  for (const RecordStore::StagedObject& so : objects) {
+    if (so.state == nullptr) {
+      os << "delobject " << so.uid.raw << "\n";
+    } else {
+      codec::AppendObjectLines(os, *so.state);
+    }
+  }
+  for (const RecordStore::StagedGeneric& sg : generics) {
+    if (!sg.info.has_value()) {
+      os << "delgeneric " << sg.uid.raw << "\n";
+    } else {
+      os << "generic " << sg.uid.raw << " " << sg.info->second.raw;
+      for (Uid v : sg.info->first) {
+        os << " " << v.raw;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace orion

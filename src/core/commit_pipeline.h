@@ -1,0 +1,143 @@
+#ifndef ORION_CORE_COMMIT_PIPELINE_H_
+#define ORION_CORE_COMMIT_PIPELINE_H_
+
+// The commit path as an explicit stage chain (DESIGN.md §12).  What used
+// to be an implicit sequence threaded through TransactionContext —
+// journal-derived validation, fence check, atomic publication, durability
+// — is one object with pluggable sinks:
+//
+//   Validate(req)   §10 fence backstop over the write set's classes
+//   Publish(req)    RecordStore::PublishBatch at ONE timestamp (the redo
+//                   record is emitted as a by-product, tagged by the
+//                   ambient RedoTagScope)
+//   Harden(ts)      every CommitSink blocks until the commit is durable
+//
+// A database with no sinks degenerates to exactly the old in-memory
+// behaviour: Harden returns immediately.  The WAL attaches as a sink
+// (Database::AttachWal); tests can attach their own to observe or fail
+// commits at the durability boundary.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/uid.h"
+#include "object/record_store.h"
+#include "schema/class_def.h"
+
+namespace orion {
+
+class SchemaFence;
+
+/// What kind of publication the redo hook is witnessing; selects the
+/// record's header line.
+enum class RedoKind {
+  kCommit,     // single-cell transaction commit
+  kCommit2pc,  // phase 2 of a cross-cell commit (header carries the gtid)
+  kDdlSweep,   // a DDL instance sweep (never replayed — see DESIGN.md §12)
+};
+
+struct RedoTag {
+  RedoKind kind = RedoKind::kCommit;
+  uint64_t gtid = 0;
+};
+
+/// RAII thread-local tag: the publication paths wrap PublishBatch in a
+/// scope so the redo hook — called deep inside the record store, which
+/// knows nothing about transactions — can label the record it is writing.
+/// Untagged publications default to a plain commit.
+class RedoTagScope {
+ public:
+  explicit RedoTagScope(RedoTag tag);
+  ~RedoTagScope();
+  RedoTagScope(const RedoTagScope&) = delete;
+  RedoTagScope& operator=(const RedoTagScope&) = delete;
+
+  static RedoTag Current();
+
+ private:
+  RedoTag prev_;
+};
+
+/// A durability (or observation) stage attached to the commit pipeline.
+class CommitSink {
+ public:
+  virtual ~CommitSink() = default;
+
+  /// Blocks until the commit published at `commit_ts` is durable.  Called
+  /// AFTER locks are released (early lock release is safe because the
+  /// changelog is a commit-order prefix: losing this commit loses every
+  /// later one too — DESIGN.md §12).
+  virtual Status Harden(uint64_t commit_ts) = 0;
+
+  /// 2PC phase 1: durably store `record` (a full redo payload) before the
+  /// cell votes yes.  Default: voting costs nothing.
+  virtual Status PrepareRecord(uint64_t gtid, const std::string& record) {
+    (void)gtid;
+    (void)record;
+    return Status::Ok();
+  }
+
+  /// The transaction behind `gtid` has been decided (either way); any
+  /// state pinned by PrepareRecord can be dropped.
+  virtual void ResolvePrepared(uint64_t gtid) { (void)gtid; }
+};
+
+/// One commit's inputs to the pipeline, derived from the transaction's
+/// journal (the journal keys ARE the write set).
+struct CommitRequest {
+  uint64_t txn = 0;
+  uint64_t begin_epoch = 0;
+  std::vector<ClassId> classes;
+  std::vector<Uid> objects;
+  std::vector<Uid> generics;
+};
+
+class CommitPipeline {
+ public:
+  /// Wired once by Database's constructor, before the engine is reachable.
+  void Configure(SchemaFence* fence, RecordStore* records);
+
+  /// Appends a durability stage.  Must not race in-flight commits — attach
+  /// at startup (Database::AttachWal) or in single-threaded tests.
+  void AddSink(std::unique_ptr<CommitSink> sink);
+  bool has_sinks() const { return !sinks_.empty(); }
+
+  /// Stage 1 — the §10 fence backstop over the write set's classes.
+  Status Validate(const CommitRequest& req);
+
+  /// Stage 2 — publishes the write set atomically at one timestamp
+  /// (returns it; 0 if the write set was empty).  Infallible by design:
+  /// everything that can refuse ran in Validate.
+  uint64_t Publish(const CommitRequest& req);
+
+  /// Stage 3 — blocks until every sink reports the commit durable.
+  Status Harden(uint64_t commit_ts);
+
+  /// 2PC forwarding to every sink.
+  Status PrepareRecord(uint64_t gtid, const std::string& record);
+  void ResolvePrepared(uint64_t gtid);
+
+ private:
+  SchemaFence* fence_ = nullptr;
+  RecordStore* records_ = nullptr;
+  std::vector<std::unique_ptr<CommitSink>> sinks_;
+};
+
+/// The header line of a redo record: `commit <ts>`, `commit2pc <ts>
+/// <gtid>`, `ddlsweep <ts>`, or — when ts is 0 — `prepare <gtid>`.
+std::string RedoHeader(RedoTag tag, uint64_t ts);
+
+/// Serializes a staged write set into redo body lines: the snapshot object
+/// grammar (`object`/`val`/`rref`/`gref`) for live states, plus
+/// `delobject`, `generic`, and `delgeneric`.  Shared by the record store's
+/// publish-time serializer hook and the 2PC prepare path.
+std::string SerializeRedoBody(
+    const std::vector<RecordStore::StagedObject>& objects,
+    const std::vector<RecordStore::StagedGeneric>& generics);
+
+}  // namespace orion
+
+#endif  // ORION_CORE_COMMIT_PIPELINE_H_

@@ -8,8 +8,31 @@
 #include <unordered_set>
 
 #include "core/session.h"
+#include "core/snapshot.h"
+#include "wal/wal.h"
 
 namespace orion {
+
+namespace {
+
+/// The WAL as a commit-pipeline durability stage (DESIGN.md §12).
+class WalSink : public CommitSink {
+ public:
+  explicit WalSink(wal::WalManager* wal) : wal_(wal) {}
+
+  Status Harden(uint64_t commit_ts) override { return wal_->Sync(commit_ts); }
+
+  Status PrepareRecord(uint64_t gtid, const std::string& record) override {
+    return wal_->AppendPrepare(gtid, record);
+  }
+
+  void ResolvePrepared(uint64_t gtid) override { wal_->ResolvePrepare(gtid); }
+
+ private:
+  wal::WalManager* wal_;
+};
+
+}  // namespace
 
 Database::Database(uint32_t objects_per_page, CellTag cell_tag)
     : cell_tag_(cell_tag),
@@ -83,6 +106,7 @@ Database::Database(uint32_t objects_per_page, CellTag cell_tag)
       });
   objects_.set_record_store(&records_);
   versions_.set_record_store(&records_);
+  pipeline_.Configure(&schema_fence_, &records_);
 
   reclaimer_ = std::thread([this] {
     UniqueLatchGuard lk(reclaim_mu_);
@@ -150,17 +174,24 @@ Database::StatsSnapshot Database::Stats() {
 
 Result<ClassId> Database::MakeClass(const ClassSpec& spec) {
   SchemaFence::DdlGuard ddl(&schema_fence_);
-  return schema_.MakeClass(spec);
+  ORION_ASSIGN_OR_RETURN(const ClassId id, schema_.MakeClass(spec));
+  // Checkpoint-on-DDL, still inside the guard: the changelog carries DML
+  // only, so the snapshot must capture the new schema before any DML
+  // against it can be logged (DESIGN.md §12).
+  ORION_RETURN_IF_ERROR(Checkpoint());
+  return id;
 }
 
 Status Database::AddAttribute(ClassId cls, AttributeSpec spec) {
   SchemaFence::DdlGuard ddl(&schema_fence_);
-  return schema_.AddAttribute(cls, std::move(spec));
+  ORION_RETURN_IF_ERROR(schema_.AddAttribute(cls, std::move(spec)));
+  return Checkpoint();
 }
 
 Status Database::AddSuperclass(ClassId cls, ClassId superclass) {
   SchemaFence::DdlGuard ddl(&schema_fence_);
-  return schema_.AddSuperclass(cls, superclass);
+  ORION_RETURN_IF_ERROR(schema_.AddSuperclass(cls, superclass));
+  return Checkpoint();
 }
 
 // --- §10 online DDL: destructive scaffold ----------------------------------
@@ -272,6 +303,12 @@ Status Database::FencedSchemaWrite(SchemaFence::DdlGuard& ddl,
   uint64_t publish_ts = 0;
   Status st;
   {
+    // Tag the sweep's publication: its redo record is written (keeping the
+    // changelog a commit-order prefix) but NEVER replayed — recovery gets
+    // the sweep's effects from the checkpoint below instead, because a
+    // replayed sweep against a snapshot that already contains it would not
+    // be idempotent for Deletion-Rule cascades (DESIGN.md §12).
+    RedoTagScope redo_tag(RedoTag{RedoKind::kDdlSweep, 0});
     RecordStore::Batch publish(&records_);
     st = body();
     publish_ts = publish.Close();
@@ -287,7 +324,48 @@ Status Database::FencedSchemaWrite(SchemaFence::DdlGuard& ddl,
     // to every future snapshot.
     schema_.SealPending(publish_ts);
   }
-  return st;
+  // Checkpoint while the fence still blocks conflicting DML: replay skips
+  // ddlsweep records, so the snapshot is the ONLY durable carrier of the
+  // sweep's effects — and of partially-applied state when the body failed.
+  const Status ckpt = Checkpoint();
+  return st.ok() ? ckpt : st;
+}
+
+// --- Durability (DESIGN.md §12) --------------------------------------------
+
+Status Database::AttachWal(wal::WalManager* wal) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("a WAL is already attached");
+  }
+  if (wal == nullptr || !wal->is_open()) {
+    return Status::FailedPrecondition("AttachWal requires an open WAL");
+  }
+  wal_ = wal;
+  wal->AttachMetrics(&metrics_);
+  pipeline_.AddSink(std::make_unique<WalSink>(wal));
+  // The redo hook runs inside PublishBatch, under commit_mu_, so enqueue
+  // order equals commit order — the changelog is a commit-order prefix of
+  // history, which is what makes early lock release before Harden safe.
+  records_.SetRedoSink(
+      [](const std::vector<RecordStore::StagedObject>& objects,
+         const std::vector<RecordStore::StagedGeneric>& generics) {
+        return SerializeRedoBody(objects, generics);
+      },
+      [this](uint64_t ts, std::string body) {
+        wal_->Enqueue(ts, RedoHeader(RedoTagScope::Current(), ts) +
+                              std::move(body));
+      });
+  return Status::Ok();
+}
+
+Status Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::Ok();
+  }
+  uint64_t snap_ts = 0;
+  const std::string text = SaveSnapshot(*this, &snap_ts);
+  ORION_RETURN_IF_ERROR(wal_->WriteSnapshot(snap_ts, text));
+  return wal_->TruncateBelow(snap_ts);
 }
 
 Result<Uid> Database::Make(const std::string& class_name,

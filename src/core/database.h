@@ -9,6 +9,7 @@
 
 #include "authz/authorization_manager.h"
 #include "common/clock.h"
+#include "core/commit_pipeline.h"
 #include "common/epoch.h"
 #include "common/latch.h"
 #include "common/result.h"
@@ -28,6 +29,10 @@
 #include "version/version_manager.h"
 
 namespace orion {
+
+namespace wal {
+class WalManager;
+}  // namespace wal
 
 /// Execution mode for state-independent attribute-type changes (§4.3):
 /// "the changes may be made 'immediately' or 'deferred' until the objects
@@ -98,12 +103,32 @@ class Database {
   RecordStore& records() { return records_; }
   const RecordStore& records() const { return records_; }
   ReadTsRegistry& read_registry() { return read_registry_; }
+  CommitPipeline& commit_pipeline() { return pipeline_; }
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::TraceBuffer& trace() { return trace_; }
   const EngineMetrics& engine_metrics() const { return em_; }
 
   /// The cell tag every uid minted here carries (0 = standalone).
   CellTag cell_tag() const { return cell_tag_; }
+
+  // --- Durability (DESIGN.md §12) --------------------------------------------
+
+  /// Attaches an open WAL as the commit pipeline's durability sink: every
+  /// publish emits a redo record into `wal`'s changelog, commits block in
+  /// Harden until their record is fsynced (group commit), 2PC prepares are
+  /// logged before the cell votes, and every DDL entry point checkpoints.
+  /// Call once, at startup, on a database with no in-flight transactions;
+  /// `wal` must outlive this database.
+  Status AttachWal(wal::WalManager* wal);
+
+  /// Whether a WAL is attached (durability on).
+  bool durable() const { return wal_ != nullptr; }
+
+  /// Writes a snapshot of the current committed state to the WAL directory
+  /// and truncates changelog segments the snapshot has subsumed.  No-op
+  /// without an attached WAL.  Called automatically after every DDL (the
+  /// changelog carries DML only — see DESIGN.md §12).
+  Status Checkpoint();
 
   /// Race-free snapshot of every counter, gauge and histogram of this
   /// engine.  Point-in-time gauges (watermark, chain/record counts, held
@@ -263,6 +288,12 @@ class Database {
 
   /// Read timestamps pinned by open read-only transactions.
   ReadTsRegistry read_registry_;
+
+  /// The commit stage chain (validate → publish → harden); sinkless until
+  /// AttachWal, which is exactly the old in-memory commit path.
+  CommitPipeline pipeline_;
+  /// Attached durability backend, or null (in-memory engine).
+  wal::WalManager* wal_ = nullptr;
 
   /// Background epoch reclaimer; joined (after stop) in the destructor,
   /// before any member is destroyed.  The latch guards only the stop flag

@@ -1,0 +1,211 @@
+#include "core/recovery.h"
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/snapshot.h"
+#include "core/snapshot_codec.h"
+#include "obs/metrics.h"
+#include "wal/wal.h"
+
+namespace orion {
+
+namespace {
+
+/// One redo record split into header fields and body text.
+struct ParsedHeader {
+  std::string kind;  // commit | commit2pc | prepare | ddlsweep
+  uint64_t ts = 0;
+  uint64_t gtid = 0;
+  size_t body_start = 0;  // offset of the first body line in the payload
+};
+
+Status ParseHeader(const std::string& payload, ParsedHeader* out) {
+  const size_t eol = payload.find('\n');
+  const std::string line =
+      eol == std::string::npos ? payload : payload.substr(0, eol);
+  out->body_start = eol == std::string::npos ? payload.size() : eol + 1;
+  ORION_ASSIGN_OR_RETURN(std::vector<std::string> tok, codec::Tokenize(line));
+  if (tok.empty()) {
+    return Status::InvalidArgument("redo record with empty header");
+  }
+  out->kind = tok[0];
+  if (out->kind == "commit" && tok.size() == 2) {
+    out->ts = codec::ParseU64(tok[1]);
+  } else if (out->kind == "commit2pc" && tok.size() == 3) {
+    out->ts = codec::ParseU64(tok[1]);
+    out->gtid = codec::ParseU64(tok[2]);
+  } else if (out->kind == "prepare" && tok.size() == 2) {
+    out->gtid = codec::ParseU64(tok[1]);
+  } else if (out->kind == "ddlsweep" && tok.size() == 2) {
+    out->ts = codec::ParseU64(tok[1]);
+  } else {
+    return Status::InvalidArgument("malformed redo header: " + line);
+  }
+  return Status::Ok();
+}
+
+/// A redo body decoded into apply-ready pieces.
+struct ParsedBody {
+  codec::ObjectStager stager;
+  std::vector<Uid> deleted_objects;
+  /// (generic, versions, user default)
+  std::vector<std::tuple<Uid, std::vector<Uid>, Uid>> generics;
+  std::vector<Uid> deleted_generics;
+};
+
+Status ParseBody(const std::string& payload, size_t body_start,
+                 ParsedBody* out) {
+  size_t pos = body_start;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = payload.size();
+    }
+    const std::string line = payload.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) {
+      continue;
+    }
+    ORION_ASSIGN_OR_RETURN(std::vector<std::string> tok,
+                           codec::Tokenize(line));
+    if (tok.empty()) {
+      continue;
+    }
+    const std::string& kind = tok[0];
+    if (codec::ObjectStager::Handles(kind)) {
+      ORION_RETURN_IF_ERROR(out->stager.Feed(tok));
+    } else if (kind == "delobject" && tok.size() == 2) {
+      out->deleted_objects.push_back(UidFromRaw(codec::ParseU64(tok[1])));
+    } else if (kind == "generic" && tok.size() >= 3) {
+      std::vector<Uid> versions;
+      versions.reserve(tok.size() - 3);
+      for (size_t i = 3; i < tok.size(); ++i) {
+        versions.push_back(UidFromRaw(codec::ParseU64(tok[i])));
+      }
+      out->generics.emplace_back(UidFromRaw(codec::ParseU64(tok[1])),
+                                 std::move(versions),
+                                 UidFromRaw(codec::ParseU64(tok[2])));
+    } else if (kind == "delgeneric" && tok.size() == 2) {
+      out->deleted_generics.push_back(UidFromRaw(codec::ParseU64(tok[1])));
+    } else {
+      return Status::InvalidArgument("malformed redo body line: " + line);
+    }
+  }
+  return Status::Ok();
+}
+
+/// Applies a parsed body inside one record-store batch so the whole record
+/// publishes at a single timestamp, exactly like the original commit.
+/// `target_ts` > 0 pre-advances the clock so the batch publishes at the
+/// record's original commit timestamp (replay is single-threaded); 0 takes
+/// a fresh timestamp (decision-log resolution).
+Status ApplyParsedBody(Database& db, uint64_t target_ts, ParsedBody body) {
+  if (target_ts > 0) {
+    db.clock().AdvanceTo(target_ts - 1);
+  }
+  uint64_t max_raw = 0;
+  RecordStore::Batch publish(&db.records());
+  for (auto& [uid, obj] : body.stager.objects()) {
+    max_raw = std::max(max_raw, uid.raw);
+    db.objects().OverwriteRaw(std::move(obj));
+  }
+  for (Uid uid : body.deleted_objects) {
+    max_raw = std::max(max_raw, uid.raw);
+    db.objects().EraseRaw(uid);
+  }
+  for (auto& [generic, versions, user_default] : body.generics) {
+    max_raw = std::max(max_raw, generic.raw);
+    db.versions().RestoreGeneric(generic, std::move(versions), user_default);
+  }
+  for (Uid generic : body.deleted_generics) {
+    db.versions().ForgetGeneric(generic);
+  }
+  // Keep the allocator ahead of every uid the log materialized, so
+  // post-recovery creates can never re-mint one.
+  if (max_raw != 0) {
+    db.objects().RestoreNextUid(max_raw);
+  }
+  publish.Close();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ReplayInto(Database& db, wal::WalManager& wal, RecoveryStats* stats) {
+  const uint64_t start_us = obs::NowMicros();
+  if (!wal.is_open()) {
+    return Status::FailedPrecondition("ReplayInto requires an open WAL");
+  }
+  ORION_ASSIGN_OR_RETURN(auto snap, wal.LatestSnapshot());
+  // Emptiness, not ts, is the no-snapshot sentinel: a checkpoint taken
+  // before the first commit legitimately pins read_ts 0 (schema-only
+  // state) and must still be loaded.
+  if (!snap.second.empty()) {
+    ORION_RETURN_IF_ERROR(LoadSnapshot(db, snap.second));
+    stats->snapshot_ts = snap.first;
+  }
+  ORION_ASSIGN_OR_RETURN(wal::LogContents log, wal.ReadLog());
+  stats->truncated_tail = log.truncated_tail;
+  for (wal::Frame& frame : log.frames) {
+    ParsedHeader header;
+    ORION_RETURN_IF_ERROR(ParseHeader(frame.payload, &header));
+    if (header.kind == "prepare") {
+      // Undecided until a commit2pc (or the caller's decision log) says
+      // otherwise; keep only the body — it replays via ApplyRedoBody.
+      stats->unresolved_prepares[header.gtid] =
+          frame.payload.substr(header.body_start);
+      continue;
+    }
+    if (header.gtid != 0) {
+      // Phase 2 made it to the log: the prepare is decided and applied (or
+      // about to be, below) through its commit2pc record.
+      stats->unresolved_prepares.erase(header.gtid);
+    }
+    // A ddlsweep record is never replayed: the checkpoint taken inside the
+    // DDL fence is the durable carrier of the sweep's effects, and a
+    // Deletion-Rule cascade replayed over a snapshot that already contains
+    // it would not be idempotent (DESIGN.md §12).
+    if (header.kind == "ddlsweep" || header.ts <= stats->snapshot_ts) {
+      ++stats->skipped_records;
+      continue;
+    }
+    ParsedBody body;
+    ORION_RETURN_IF_ERROR(ParseBody(frame.payload, header.body_start, &body));
+    ORION_RETURN_IF_ERROR(ApplyParsedBody(db, header.ts, std::move(body)));
+    ++stats->replayed_commits;
+  }
+  stats->recovery_us = obs::NowMicros() - start_us;
+  db.metrics().counter("wal.replayed_records").Add(stats->replayed_commits);
+  db.metrics().histogram("wal.recovery_us").Observe(stats->recovery_us);
+  return Status::Ok();
+}
+
+Status ApplyRedoBody(Database& db, const std::string& body) {
+  ParsedBody parsed;
+  ORION_RETURN_IF_ERROR(ParseBody(body, 0, &parsed));
+  return ApplyParsedBody(db, /*target_ts=*/0, std::move(parsed));
+}
+
+Status RecoverDatabase(Database& db, wal::WalManager& wal,
+                       RecoveryStats* stats) {
+  RecoveryStats local;
+  if (stats == nullptr) {
+    stats = &local;
+  }
+  ORION_RETURN_IF_ERROR(ReplayInto(db, wal, stats));
+  // Standalone cells have no coordinator to consult: an undecided prepare
+  // is presumed aborted (its effects were never published, so dropping the
+  // stash IS the abort) and its segment pin never re-established.
+  stats->unresolved_prepares.clear();
+  ORION_RETURN_IF_ERROR(db.AttachWal(&wal));
+  // Checkpoint before serving: the replayed tail is subsumed into a fresh
+  // snapshot, so a second crash never replays it twice.
+  return db.Checkpoint();
+}
+
+}  // namespace orion

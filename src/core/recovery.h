@@ -1,0 +1,61 @@
+#ifndef ORION_CORE_RECOVERY_H_
+#define ORION_CORE_RECOVERY_H_
+
+// Startup recovery (DESIGN.md §12): load the latest snapshot, replay the
+// changelog tail idempotently (commit timestamps above the snapshot cut),
+// and surface prepared-but-undecided 2PC transactions for resolution
+// against the cluster decision log.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace orion {
+
+class Database;
+
+namespace wal {
+class WalManager;
+}  // namespace wal
+
+struct RecoveryStats {
+  /// The snapshot cut replay started from (0 = no snapshot on disk).
+  uint64_t snapshot_ts = 0;
+  /// Commit records applied (commit + decided commit2pc above the cut).
+  uint64_t replayed_commits = 0;
+  /// Records skipped: at or below the cut, or ddlsweep (checkpoint-carried).
+  uint64_t skipped_records = 0;
+  /// True when the changelog ended in a torn or corrupt frame — expected
+  /// after a crash; the frames before it are the committed prefix.
+  bool truncated_tail = false;
+  uint64_t recovery_us = 0;
+  /// gtid -> redo body of prepare records with no matching commit2pc in
+  /// the log: undecided at crash time.  Cluster recovery resolves them
+  /// against the decision log (commit -> ApplyRedoBody; absent ->
+  /// presumed abort); standalone RecoverDatabase presumes abort.
+  std::map<uint64_t, std::string> unresolved_prepares;
+};
+
+/// Loads the newest snapshot from `wal`'s directory into `db` (which must
+/// be freshly constructed when a snapshot exists) and replays the
+/// changelog tail.  Does NOT attach the WAL or resolve prepares — callers
+/// (RecoverDatabase, Cluster recovery) decide both.
+Status ReplayInto(Database& db, wal::WalManager& wal, RecoveryStats* stats);
+
+/// Applies one redo body (the lines after a record's header) as a single
+/// commit at a fresh timestamp — the cluster resolution path for a
+/// decided-commit prepare found at recovery.
+Status ApplyRedoBody(Database& db, const std::string& body);
+
+/// Standalone recovery: ReplayInto, presume-abort any undecided prepares,
+/// attach `wal` as the database's durability sink, and checkpoint so the
+/// replayed tail is subsumed before new commits append.  `db` must be
+/// freshly constructed; `stats` may be null.
+Status RecoverDatabase(Database& db, wal::WalManager& wal,
+                       RecoveryStats* stats = nullptr);
+
+}  // namespace orion
+
+#endif  // ORION_CORE_RECOVERY_H_

@@ -1,244 +1,25 @@
 #include "core/snapshot.h"
 
 #include "core/read_transaction.h"
+#include "core/snapshot_codec.h"
 
 #include <cinttypes>
-#include <cstdio>
 #include <fstream>
 #include <map>
 #include <sstream>
 
 namespace orion {
 
-namespace {
+using codec::DecodeValue;
+using codec::EncodeString;
+using codec::EncodeValue;
+using codec::ParseInt;
+using codec::ParseU64;
+using codec::Tokenize;
 
-// ---------- token helpers ----------------------------------------------------
+std::string SaveSnapshot(Database& db) { return SaveSnapshot(db, nullptr); }
 
-std::string EncodeString(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
-
-/// Splits a line into tokens; double-quoted tokens may contain spaces and
-/// the escapes \" \\ \n.
-Result<std::vector<std::string>> Tokenize(const std::string& line) {
-  std::vector<std::string> out;
-  size_t i = 0;
-  while (i < line.size()) {
-    if (line[i] == ' ') {
-      ++i;
-      continue;
-    }
-    if (line[i] == '"') {
-      std::string tok;
-      ++i;
-      while (i < line.size() && line[i] != '"') {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          ++i;
-          tok += line[i] == 'n' ? '\n' : line[i];
-        } else {
-          tok += line[i];
-        }
-        ++i;
-      }
-      if (i >= line.size()) {
-        return Status::InvalidArgument("unterminated string in snapshot");
-      }
-      ++i;  // closing quote
-      out.push_back(std::move(tok));
-      continue;
-    }
-    size_t start = i;
-    while (i < line.size() && line[i] != ' ') {
-      ++i;
-    }
-    out.push_back(line.substr(start, i - start));
-  }
-  return out;
-}
-
-// Inner value encoding: a single string (later wrapped by EncodeString so
-// it survives tokenization as one token).  The structural characters
-// , { } \ and newlines inside string payloads are escaped so set splitting
-// stays trivial.
-std::string EscapeStringPayload(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '\\':
-        out += "\\\\";
-        break;
-      case ',':
-        out += "\\c";
-        break;
-      case '{':
-        out += "\\o";
-        break;
-      case '}':
-        out += "\\e";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
-std::string UnescapeStringPayload(const std::string& s) {
-  std::string out;
-  for (size_t i = 0; i < s.size(); ++i) {
-    if (s[i] != '\\' || i + 1 >= s.size()) {
-      out += s[i];
-      continue;
-    }
-    ++i;
-    switch (s[i]) {
-      case 'c':
-        out += ',';
-        break;
-      case 'o':
-        out += '{';
-        break;
-      case 'e':
-        out += '}';
-        break;
-      case 'n':
-        out += '\n';
-        break;
-      default:
-        out += s[i];
-    }
-  }
-  return out;
-}
-
-std::string EncodeValueInner(const Value& v) {
-  switch (v.type()) {
-    case ValueType::kNull:
-      return "n";
-    case ValueType::kInteger:
-      return "i" + std::to_string(v.integer());
-    case ValueType::kReal: {
-      char buf[64];
-      std::snprintf(buf, sizeof(buf), "r%.17g", v.real());
-      return buf;
-    }
-    case ValueType::kString:
-      return "s" + EscapeStringPayload(v.string());
-    case ValueType::kRef:
-      return "#" + std::to_string(v.ref().raw);
-    case ValueType::kSet: {
-      std::string out = "{";
-      for (size_t i = 0; i < v.set().size(); ++i) {
-        if (i > 0) {
-          out += ",";
-        }
-        out += EncodeValueInner(v.set()[i]);
-      }
-      return out + "}";
-    }
-  }
-  return "n";
-}
-
-std::string EncodeValue(const Value& v) {
-  return EncodeString(EncodeValueInner(v));
-}
-
-Result<Value> DecodeValue(const std::string& tok) {
-  if (tok.empty()) {
-    return Status::InvalidArgument("empty value token");
-  }
-  switch (tok[0]) {
-    case 'n':
-      return Value::Null();
-    case 'i':
-      try {
-        return Value::Integer(std::stoll(tok.substr(1)));
-      } catch (...) {
-        return Status::InvalidArgument("bad integer value " + tok);
-      }
-    case 'r':
-      try {
-        return Value::Real(std::stod(tok.substr(1)));
-      } catch (...) {
-        return Status::InvalidArgument("bad real value " + tok);
-      }
-    case 's':
-      return Value::String(UnescapeStringPayload(tok.substr(1)));
-    case '#':
-      try {
-        return Value::Ref(UidFromRaw(std::stoull(tok.substr(1))));
-      } catch (...) {
-        return Status::InvalidArgument("bad ref value " + tok);
-      }
-    case '{': {
-      if (tok.back() != '}') {
-        return Status::InvalidArgument("bad set value " + tok);
-      }
-      std::vector<Value> elems;
-      const std::string body = tok.substr(1, tok.size() - 2);
-      std::string cur;
-      int depth = 0;
-      auto flush = [&]() -> Status {
-        if (cur.empty()) {
-          return Status::Ok();
-        }
-        ORION_ASSIGN_OR_RETURN(Value v, DecodeValue(cur));
-        elems.push_back(std::move(v));
-        cur.clear();
-        return Status::Ok();
-      };
-      for (size_t i = 0; i < body.size(); ++i) {
-        const char c = body[i];
-        if (c == '\\' && i + 1 < body.size()) {
-          cur += c;
-          cur += body[++i];
-        } else if (c == '{') {
-          ++depth;
-          cur += c;
-        } else if (c == '}') {
-          --depth;
-          cur += c;
-        } else if (c == ',' && depth == 0) {
-          ORION_RETURN_IF_ERROR(flush());
-        } else {
-          cur += c;
-        }
-      }
-      ORION_RETURN_IF_ERROR(flush());
-      return Value::Set(std::move(elems));
-    }
-    default:
-      return Status::InvalidArgument("bad value token " + tok);
-  }
-}
-
-uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
-int ParseInt(const std::string& s) { return static_cast<int>(std::strtol(s.c_str(), nullptr, 10)); }
-
-}  // namespace
-
-std::string SaveSnapshot(Database& db) {
+std::string SaveSnapshot(Database& db, uint64_t* read_ts_out) {
   // The save is a read-only transaction: it pins the commit watermark and
   // serializes the object table and version registry exactly as of that
   // timestamp — a transactionally consistent cut taken with no S locks, so
@@ -249,6 +30,9 @@ std::string SaveSnapshot(Database& db) {
   // live (grants are not versioned, matching ORION).
   ReadTransaction rtxn(&db);
   const uint64_t read_ts = rtxn.read_ts();
+  if (read_ts_out != nullptr) {
+    *read_ts_out = read_ts;
+  }
 
   std::ostringstream os;
   os << "orion-snapshot 1\n";
@@ -302,31 +86,8 @@ std::string SaveSnapshot(Database& db) {
     if (!obj_or.ok()) {
       continue;
     }
-    const Object* obj = *obj_or;
     max_uid = std::max(max_uid, uid.raw);
-    os << "object " << uid.raw << " " << obj->class_id() << " "
-       << static_cast<int>(obj->role()) << " " << obj->generic().raw << " "
-       << obj->derived_from().raw << " " << obj->created_at() << " "
-       << obj->cc() << "\n";
-    // Values in attribute-name order for determinism.
-    std::map<std::string, const Value*> ordered;
-    for (const auto& [name, value] : obj->values()) {
-      ordered[name] = &value;
-    }
-    for (const auto& [name, value] : ordered) {
-      os << "val " << uid.raw << " " << EncodeString(name) << " "
-         << EncodeValue(*value) << "\n";
-    }
-    for (const ReverseRef& r : obj->reverse_refs()) {
-      os << "rref " << uid.raw << " " << r.parent.raw << " "
-         << (r.dependent ? 1 : 0) << " " << (r.exclusive ? 1 : 0) << " "
-         << EncodeString(r.attribute) << "\n";
-    }
-    for (const GenericRef& g : obj->generic_refs()) {
-      os << "gref " << uid.raw << " " << g.parent.raw << " "
-         << (g.dependent ? 1 : 0) << " " << (g.exclusive ? 1 : 0) << " "
-         << g.ref_count << " " << EncodeString(g.attribute) << "\n";
-    }
+    codec::AppendObjectLines(os, **obj_or);
   }
   os << "next-uid " << max_uid << "\n";
 
@@ -384,7 +145,7 @@ Status LoadSnapshot(Database& db, const std::string& text) {
 
   // Staging: classes and objects are applied in id order after parsing.
   std::map<ClassId, ClassDef> classes;
-  std::map<Uid, Object> objects;
+  codec::ObjectStager stager;
   uint64_t clock_now = 0, global_cc = 0, next_uid = 0;
   bool saw_end = false;
 
@@ -397,7 +158,9 @@ Status LoadSnapshot(Database& db, const std::string& text) {
       continue;
     }
     const std::string& kind = tok[0];
-    if (kind == "counters" && tok.size() == 3) {
+    if (codec::ObjectStager::Handles(kind)) {
+      ORION_RETURN_IF_ERROR(stager.Feed(tok));
+    } else if (kind == "counters" && tok.size() == 3) {
       clock_now = ParseU64(tok[1]);
       global_cc = ParseU64(tok[2]);
     } else if (kind == "segments" && tok.size() == 2) {
@@ -449,37 +212,6 @@ Status LoadSnapshot(Database& db, const std::string& text) {
       e.to_exclusive = ParseInt(tok[7]) != 0;
       e.to_dependent = ParseInt(tok[8]) != 0;
       db.schema().RestoreLogEntry(domain, std::move(e));
-    } else if (kind == "object" && tok.size() == 8) {
-      const Uid uid{ParseU64(tok[1])};
-      Object obj(uid, static_cast<ClassId>(ParseU64(tok[2])),
-                 static_cast<ObjectRole>(ParseInt(tok[3])), ParseU64(tok[7]));
-      obj.set_generic(UidFromRaw(ParseU64(tok[4])));
-      obj.set_derived_from(UidFromRaw(ParseU64(tok[5])));
-      obj.set_created_at(ParseU64(tok[6]));
-      objects.emplace(uid, std::move(obj));
-    } else if (kind == "val" && tok.size() == 4) {
-      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
-      if (it == objects.end()) {
-        return Status::InvalidArgument("val before object in snapshot");
-      }
-      ORION_ASSIGN_OR_RETURN(Value v, DecodeValue(tok[3]));
-      it->second.Set(tok[2], std::move(v));
-    } else if (kind == "rref" && tok.size() == 6) {
-      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
-      if (it == objects.end()) {
-        return Status::InvalidArgument("rref before object in snapshot");
-      }
-      it->second.AddReverseRef(ReverseRef{UidFromRaw(ParseU64(tok[2])), tok[5],
-                                          ParseInt(tok[3]) != 0,
-                                          ParseInt(tok[4]) != 0});
-    } else if (kind == "gref" && tok.size() == 7) {
-      auto it = objects.find(UidFromRaw(ParseU64(tok[1])));
-      if (it == objects.end()) {
-        return Status::InvalidArgument("gref before object in snapshot");
-      }
-      it->second.mutable_generic_refs().push_back(
-          GenericRef{UidFromRaw(ParseU64(tok[2])), tok[6], ParseInt(tok[3]) != 0,
-                     ParseInt(tok[4]) != 0, ParseInt(tok[5])});
     } else if (kind == "generic" && tok.size() >= 3) {
       std::vector<Uid> versions;
       for (size_t i = 3; i < tok.size(); ++i) {
@@ -515,7 +247,7 @@ Status LoadSnapshot(Database& db, const std::string& text) {
   for (auto& [id, def] : classes) {
     ORION_RETURN_IF_ERROR(db.schema().RestoreClass(std::move(def)));
   }
-  for (auto& [uid, obj] : objects) {
+  for (auto& [uid, obj] : stager.objects()) {
     ORION_RETURN_IF_ERROR(db.objects().RestoreObject(std::move(obj)));
   }
   db.objects().RestoreNextUid(next_uid);

@@ -19,6 +19,11 @@ namespace orion {
 /// §2.3 clustering locality is not preserved across snapshots.
 std::string SaveSnapshot(Database& db);
 
+/// As above, but also reports the pinned read timestamp — the exact cut
+/// the snapshot captured.  Checkpointing uses it to truncate the changelog:
+/// every commit at or below `*read_ts` is inside the snapshot.
+std::string SaveSnapshot(Database& db, uint64_t* read_ts);
+
 /// Writes `SaveSnapshot(db)` to `path`.
 Status SaveSnapshotToFile(Database& db, const std::string& path);
 

@@ -1,0 +1,63 @@
+#ifndef ORION_CORE_SNAPSHOT_CODEC_H_
+#define ORION_CORE_SNAPSHOT_CODEC_H_
+
+// The line-oriented text codec shared by snapshots (core/snapshot.cc) and
+// WAL redo records (core/commit_pipeline.cc, core/recovery.cc).  One
+// grammar, two consumers: a snapshot is the full database state, a redo
+// record is the after-image of one commit's write set — both spell an
+// object as the same `object` / `val` / `rref` / `gref` line group, so
+// replay and restore share one parser (DESIGN.md §12).
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "object/object.h"
+
+namespace orion {
+namespace codec {
+
+/// Double-quotes `s`, escaping `"` `\` and newline, so it tokenizes back
+/// as one token.
+std::string EncodeString(const std::string& s);
+
+/// Splits a line into tokens; double-quoted tokens may contain spaces and
+/// the escapes \" \\ \n.
+Result<std::vector<std::string>> Tokenize(const std::string& line);
+
+/// Value <-> single-token encoding (type-tagged, sets nest).
+std::string EncodeValue(const Value& v);
+Result<Value> DecodeValue(const std::string& tok);
+
+uint64_t ParseU64(const std::string& s);
+int ParseInt(const std::string& s);
+
+/// Emits the `object` line and its `val`/`rref`/`gref` satellite lines for
+/// one object, values in attribute-name order for determinism.
+void AppendObjectLines(std::ostream& os, const Object& obj);
+
+/// Accumulates parsed object-line groups.  Feed it every tokenized line
+/// whose kind Handles() accepts; `objects()` then holds the staged
+/// instances keyed by uid, ready for RestoreObject/OverwriteRaw.
+class ObjectStager {
+ public:
+  /// True for the line kinds this stager consumes
+  /// ("object", "val", "rref", "gref").
+  static bool Handles(const std::string& kind);
+
+  Status Feed(const std::vector<std::string>& tok);
+
+  std::map<Uid, Object>& objects() { return objects_; }
+
+ private:
+  std::map<Uid, Object> objects_;
+};
+
+}  // namespace codec
+}  // namespace orion
+
+#endif  // ORION_CORE_SNAPSHOT_CODEC_H_

@@ -424,17 +424,37 @@ std::vector<ClassId> TransactionContext::JournalClasses() const {
   return std::vector<ClassId>(classes.begin(), classes.end());
 }
 
+CommitRequest TransactionContext::BuildCommitRequest(bool with_write_set) const {
+  CommitRequest req;
+  req.txn = txn_;
+  req.begin_epoch = begin_epoch_;
+  // The journal keys are exactly the write set: every mutated, created, or
+  // deleted object and registry entry was journaled before it was touched.
+  req.classes = JournalClasses();
+  if (with_write_set) {
+    req.objects.reserve(journal_.size());
+    for (const auto& [uid, before] : journal_) {
+      req.objects.push_back(uid);
+    }
+    req.generics.reserve(generic_journal_.size());
+    for (const auto& [uid, before] : generic_journal_) {
+      req.generics.push_back(uid);
+    }
+  }
+  return req;
+}
+
 Status TransactionContext::Commit() {
   ORION_RETURN_IF_ERROR(RequireActive());
-  // §10 commit-time backstop: re-derive the touched classes from the
-  // journal itself (the write set) and have the fence validate them.  This
-  // is independent of the per-operation CheckDml reports, so an op path
-  // that forgot its check still cannot publish across a fence or an epoch
-  // bump.  On refusal the transaction aborts in full and surfaces the
-  // retryable kSchemaConflict to the session loop.
+  // §10 commit-time backstop, now pipeline stage 1: re-derive the touched
+  // classes from the journal itself (the write set) and have the fence
+  // validate them.  This is independent of the per-operation CheckDml
+  // reports, so an op path that forgot its check still cannot publish
+  // across a fence or an epoch bump.  On refusal the transaction aborts in
+  // full and surfaces the retryable kSchemaConflict to the session loop.
   {
-    Status fence_ok = db_->schema_fence().ValidateCommit(
-        txn_, JournalClasses(), begin_epoch_);
+    Status fence_ok =
+        db_->commit_pipeline().Validate(BuildCommitRequest(false));
     if (!fence_ok.ok()) {
       // The abort rollback outcome is subsumed by the schema conflict.
       (void)Abort();
@@ -461,12 +481,33 @@ Status TransactionContext::Prepare() {
       return st;
     }
   }
-  Status fence_ok = db_->schema_fence().ValidateCommit(
-      txn_, JournalClasses(), begin_epoch_);
+  Status fence_ok =
+      db_->commit_pipeline().Validate(BuildCommitRequest(false));
   if (!fence_ok.ok()) {
     // Same: the validation refusal outranks the (infallible) rollback.
     (void)Abort();
     return fence_ok;
+  }
+  // §12: a 2PC participant's yes-vote is a promise that survives a crash,
+  // so before voting it logs a prepare record carrying the FULL redo
+  // payload (staged from the live states its X locks still protect).
+  // Recovery that finds the prepare without a matching commit2pc resolves
+  // it from the cluster decision log.
+  if (gtid_ != 0 && db_->commit_pipeline().has_sinks()) {
+    const CommitRequest req = BuildCommitRequest(true);
+    std::vector<RecordStore::StagedObject> staged_objects;
+    std::vector<RecordStore::StagedGeneric> staged_generics;
+    db_->records().StageForRedo(req.objects, req.generics, &staged_objects,
+                                &staged_generics);
+    const std::string record =
+        RedoHeader(RedoTag{RedoKind::kCommit2pc, gtid_}, /*ts=*/0) +
+        SerializeRedoBody(staged_objects, staged_generics);
+    Status logged = db_->commit_pipeline().PrepareRecord(gtid_, record);
+    if (!logged.ok()) {
+      // Cannot promise durability — vote no and abort in full.
+      (void)Abort();
+      return logged;
+    }
   }
   prepared_ = true;
   return Status::Ok();
@@ -485,21 +526,17 @@ Status TransactionContext::PublishAndRelease() {
   active_ = false;
   // Publish every touched uid's (post-mutation) live state as one commit —
   // BEFORE releasing the locks, so the record-store sources copy states this
-  // transaction still exclusively owns.  The journal keys are exactly the
-  // write set: every mutated, created, or deleted object and registry entry
-  // was journaled before it was touched.
-  std::vector<Uid> objects;
-  objects.reserve(journal_.size());
-  for (const auto& [uid, before] : journal_) {
-    objects.push_back(uid);
-  }
-  std::vector<Uid> generics;
-  generics.reserve(generic_journal_.size());
-  for (const auto& [uid, before] : generic_journal_) {
-    generics.push_back(uid);
-  }
+  // transaction still exclusively owns.
+  const CommitRequest req = BuildCommitRequest(true);
   db_->records().ExitTransactionScope();
-  db_->records().PublishBatch(objects, generics);
+  uint64_t commit_ts = 0;
+  {
+    // Tag the publication so the redo hook (deep inside the record store)
+    // writes the right header: commit2pc for a 2PC phase 2, commit else.
+    RedoTagScope redo_tag(RedoTag{
+        gtid_ != 0 ? RedoKind::kCommit2pc : RedoKind::kCommit, gtid_});
+    commit_ts = db_->commit_pipeline().Publish(req);
+  }
   const size_t journaled = journal_.size() + generic_journal_.size();
   journal_.clear();
   generic_journal_.clear();
@@ -508,12 +545,21 @@ Status TransactionContext::PublishAndRelease() {
   // the moment the last conflicter ends, and by then this commit must be
   // fully out of the closure's instances.
   db_->schema_fence().EndTxn(txn_);
+  // Early lock release: Harden blocks on the group-commit fsync AFTER the
+  // locks dropped.  Safe because the changelog is a commit-order prefix —
+  // a crash that loses this commit also loses everything that read it
+  // (which cannot have hardened either; it is later in the log).
+  Status hardened = db_->commit_pipeline().Harden(commit_ts);
+  if (prepared_ && gtid_ != 0) {
+    // Phase 2 is on disk; the prepare record no longer pins its segment.
+    db_->commit_pipeline().ResolvePrepared(gtid_);
+  }
   em_->txn_commits->Inc();
   em_->txn_journal_size->Observe(journaled);
   const uint64_t dur_us = obs::NowMicros() - start_us_;
   em_->txn_commit_us->Observe(dur_us);
   db_->trace().Record("txn.commit", start_us_, dur_us, txn_);
-  return released;
+  return hardened.ok() ? released : hardened;
 }
 
 Status TransactionContext::Abort() {
@@ -555,6 +601,12 @@ Status TransactionContext::Abort() {
   db_->records().ExitTransactionScope();
   Status released = db_->locks().Release(txn_);
   db_->schema_fence().EndTxn(txn_);
+  if (prepared_ && gtid_ != 0) {
+    // The decided-abort releases the prepare record's segment pin; the
+    // record itself stays in the log and is presumed aborted on replay
+    // (no commit2pc, no decision-log entry).
+    db_->commit_pipeline().ResolvePrepared(gtid_);
+  }
   em_->txn_aborts->Inc();
   const uint64_t dur_us = obs::NowMicros() - start_us_;
   em_->txn_abort_us->Observe(dur_us);

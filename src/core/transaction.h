@@ -116,6 +116,14 @@ class TransactionContext {
 
   bool prepared() const { return prepared_; }
 
+  /// §11 + §12: tags this participant with the coordinator's global
+  /// transaction id.  A tagged Prepare() logs a durable prepare record
+  /// (the full redo payload) before voting yes, and phase 2 publishes
+  /// under a `commit2pc` header so recovery can match the two.  Set by
+  /// ClusterTransaction before phase 1; 0 = not a 2PC participant.
+  void set_gtid(uint64_t gtid) { gtid_ = gtid; }
+  uint64_t gtid() const { return gtid_; }
+
   /// Number of distinct objects journaled so far.
   size_t journal_size() const { return journal_.size(); }
 
@@ -124,6 +132,10 @@ class TransactionContext {
   /// The distinct classes of every journaled object (live state first,
   /// before-image as fallback) — the §10 commit-validation input.
   std::vector<ClassId> JournalClasses() const;
+  /// The pipeline inputs derived from this transaction's journals; the
+  /// write-set uid vectors are filled only when `with_write_set`
+  /// (validation-only callers skip the copy).
+  CommitRequest BuildCommitRequest(bool with_write_set) const;
   /// The tail shared by Commit() and CommitPrepared(): publishes the write
   /// set under one timestamp, releases locks, deregisters from the fence,
   /// and records the commit metrics.
@@ -168,6 +180,8 @@ class TransactionContext {
   bool active_ = true;
   /// Set by a successful Prepare(); bars further operations and Commit().
   bool prepared_ = false;
+  /// Coordinator-assigned global transaction id (0 = single-cell commit).
+  uint64_t gtid_ = 0;
   /// Classes already registered with the schema fence (txn-local cache).
   std::unordered_set<ClassId> touched_classes_;
   /// uid -> before-image; nullopt = the object did not exist before.

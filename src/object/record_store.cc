@@ -144,6 +144,44 @@ void RecordStore::MarkGeneric(Uid uid) {
   PublishBatch({}, {uid});
 }
 
+void RecordStore::SetRedoSink(RedoSerializer serialize, RedoHook hook) {
+  redo_serialize_ = std::move(serialize);
+  redo_hook_ = std::move(hook);
+}
+
+void RecordStore::StageForRedo(const std::vector<Uid>& object_uids,
+                               const std::vector<Uid>& generic_uids,
+                               std::vector<StagedObject>* objects,
+                               std::vector<StagedGeneric>* generics) const {
+  std::vector<Uid> seen;
+  for (Uid uid : object_uids) {
+    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(uid);
+    std::optional<Object> live = object_source_(uid);
+    std::shared_ptr<const Object> state;
+    if (live.has_value()) {
+      state = std::make_shared<const Object>(std::move(*live));
+    } else if (!objects_.Contains(uid)) {
+      continue;  // never-seen uid published as dead: nothing to record
+    }
+    objects->push_back(StagedObject{uid, std::move(state)});
+  }
+  seen.clear();
+  for (Uid uid : generic_uids) {
+    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
+      continue;
+    }
+    seen.push_back(uid);
+    auto info = generic_source_(uid);
+    if (!info.has_value() && !generics_.Contains(uid)) {
+      continue;
+    }
+    generics->push_back(StagedGeneric{uid, std::move(info)});
+  }
+}
+
 uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
                                    const std::vector<Uid>& generic_uids) {
   if (clock_ == nullptr || (object_uids.empty() && generic_uids.empty())) {
@@ -162,42 +200,18 @@ uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
   // also keeps the lock order acyclic: the generic source takes
   // VersionManager::mu_, and VersionManager publishes while holding mu_, so
   // commit_mu_ must never be held when mu_ is acquired.
-  struct StagedObject {
-    Uid uid;
-    std::shared_ptr<const Object> state;
-  };
-  struct StagedGeneric {
-    Uid uid;
-    std::optional<std::pair<std::vector<Uid>, Uid>> info;
-  };
   std::vector<StagedObject> staged_objects;
   std::vector<StagedGeneric> staged_generics;
-  std::vector<Uid> seen;
-  for (Uid uid : object_uids) {
-    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
-      continue;
-    }
-    seen.push_back(uid);
-    std::optional<Object> live = object_source_(uid);
-    std::shared_ptr<const Object> state;
-    if (live.has_value()) {
-      state = std::make_shared<const Object>(std::move(*live));
-    } else if (!objects_.Contains(uid)) {
-      continue;  // never-seen uid published as dead: nothing to record
-    }
-    staged_objects.push_back(StagedObject{uid, std::move(state)});
-  }
-  seen.clear();
-  for (Uid uid : generic_uids) {
-    if (std::find(seen.begin(), seen.end(), uid) != seen.end()) {
-      continue;
-    }
-    seen.push_back(uid);
-    auto info = generic_source_(uid);
-    if (!info.has_value() && !generics_.Contains(uid)) {
-      continue;
-    }
-    staged_generics.push_back(StagedGeneric{uid, std::move(info)});
+  StageForRedo(object_uids, generic_uids, &staged_objects, &staged_generics);
+
+  // The redo body is a by-product of the staging pass: serialized here with
+  // no latches held, handed to the hook under commit_mu_ once the timestamp
+  // is known.
+  std::string redo_body;
+  const bool redo = redo_hook_ != nullptr &&
+                    !(staged_objects.empty() && staged_generics.empty());
+  if (redo) {
+    redo_body = redo_serialize_(staged_objects, staged_generics);
   }
 
   // Phase 2 — install all records under one timestamp, then advance the
@@ -215,6 +229,12 @@ uint64_t RecordStore::PublishBatch(const std::vector<Uid>& object_uids,
       InstallGeneric(sg.uid, std::move(sg.info), ts);
     }
     watermark_.store(ts, std::memory_order_release);
+    if (redo) {
+      // Still inside commit_mu_: the changelog receives records in exactly
+      // the order commits became visible, so its on-disk order is a prefix
+      // of history (DESIGN.md §12).
+      redo_hook_(ts, std::move(redo_body));
+    }
   }
   if (c_publishes_ != nullptr) {
     c_publishes_->Inc();

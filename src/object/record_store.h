@@ -85,11 +85,48 @@ class RecordStore {
   using GenericSource =
       std::function<std::optional<std::pair<std::vector<Uid>, Uid>>(Uid)>;
 
+  /// One entry of a publication's staged write set: the copied live state
+  /// (null = the uid is published as dead, i.e. a tombstone).
+  struct StagedObject {
+    Uid uid;
+    std::shared_ptr<const Object> state;
+  };
+  struct StagedGeneric {
+    Uid uid;
+    std::optional<std::pair<std::vector<Uid>, Uid>> info;
+  };
+
+  /// Serializes a staged write set into a logical redo body (the commit
+  /// pipeline supplies the snapshot-codec implementation so this layer
+  /// stays independent of core/).
+  using RedoSerializer = std::function<std::string(
+      const std::vector<StagedObject>&, const std::vector<StagedGeneric>&)>;
+  /// Delivers one commit's serialized redo body, invoked under the commit
+  /// latch immediately after the watermark advances — so the changelog's
+  /// append order equals commit order (DESIGN.md §12).  MUST NOT block on
+  /// I/O and may only take latches ranked above kCommit.
+  using RedoHook = std::function<void(uint64_t ts, std::string body)>;
+
   /// Wires the clock and the live-state sources.  Must happen before any
   /// publication; `Database`'s constructor does this before the engine is
   /// reachable by any thread.
   void Configure(LogicalClock* clock, ObjectSource object_source,
                  GenericSource generic_source);
+
+  /// Attaches the redo sink: every PublishBatch additionally emits its
+  /// write set through `serialize` (phase 1, no latches held) and hands
+  /// the body to `hook` (phase 2, under the commit latch).  Same
+  /// reachability caveat as Configure.
+  void SetRedoSink(RedoSerializer serialize, RedoHook hook);
+
+  /// Phase 1 of publication, exposed for 2PC prepare records: copies the
+  /// current live state of every uid into staged vectors without taking
+  /// the commit latch.  The caller must hold whatever excludes writers
+  /// from those uids (the preparing transaction's X locks).
+  void StageForRedo(const std::vector<Uid>& object_uids,
+                    const std::vector<Uid>& generic_uids,
+                    std::vector<StagedObject>* objects,
+                    std::vector<StagedGeneric>* generics) const;
 
   /// Registers the `mvcc.*` metrics (publish latency, records published,
   /// chain-length histogram, records trimmed) and the "mvcc.publish" span
@@ -254,6 +291,8 @@ class RecordStore {
   LogicalClock* clock_ = nullptr;
   ObjectSource object_source_;
   GenericSource generic_source_;
+  RedoSerializer redo_serialize_;
+  RedoHook redo_hook_;
 
   /// Serializes publication so each commit's records become visible as a
   /// unit: records install, THEN the watermark advances past their

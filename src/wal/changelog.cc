@@ -1,0 +1,191 @@
+#include "wal/changelog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace orion {
+namespace wal {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;  // u32 len + u32 crc + u64 ts
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+/// Parses `data` into frames, stopping at the first torn or corrupt one.
+/// Returns true when the whole buffer parsed cleanly.
+bool ScanFrames(const std::string& data, std::vector<Frame>* out) {
+  size_t off = 0;
+  while (off + kHeaderBytes <= data.size()) {
+    const uint32_t len = GetU32(data.data() + off);
+    const uint32_t crc = GetU32(data.data() + off + 4);
+    if (len < 8 || off + 8 + len > data.size()) {
+      return false;  // torn tail
+    }
+    if (Crc32c(data.data() + off + 8, len) != crc) {
+      return false;  // corrupt frame
+    }
+    Frame f;
+    f.ts = GetU64(data.data() + off + 8);
+    f.payload.assign(data.data() + off + kHeaderBytes, len - 8);
+    out->push_back(std::move(f));
+    off += 8 + len;
+  }
+  return off == data.size();
+}
+
+}  // namespace
+
+std::string Changelog::SegmentPath(unsigned index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg-%08u.log", index);
+  return dir_ + "/" + name;
+}
+
+Status Changelog::OpenActive() {
+  active_max_ts_ = 0;
+  active_bytes_ = 0;
+  return active_.Open(SegmentPath(active_index_));
+}
+
+Status Changelog::Open(const std::string& dir, uint64_t segment_bytes) {
+  if (active_.is_open()) {
+    return Status::FailedPrecondition("changelog already open");
+  }
+  dir_ = dir;
+  segment_bytes_ = segment_bytes;
+  sealed_.clear();
+  ORION_RETURN_IF_ERROR(fs::EnsureDir(dir_));
+
+  // Seal every segment already on disk.  Each is scanned for its max
+  // timestamp (TruncateBelow needs it); a torn tail in the old active
+  // segment is fine — the bad frame is simply where ReadAll will stop.
+  ORION_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir_));
+  unsigned next_index = 0;
+  for (const std::string& name : names) {
+    unsigned index = 0;
+    if (std::sscanf(name.c_str(), "seg-%08u.log", &index) != 1) {
+      continue;
+    }
+    SegmentInfo info;
+    info.index = index;
+    info.path = dir_ + "/" + name;
+    ORION_ASSIGN_OR_RETURN(std::string data, fs::ReadFile(info.path));
+    std::vector<Frame> frames;
+    ScanFrames(data, &frames);
+    for (const Frame& f : frames) {
+      info.max_ts = std::max(info.max_ts, f.ts);
+    }
+    next_index = std::max(next_index, index + 1);
+    sealed_.push_back(std::move(info));
+  }
+  std::sort(sealed_.begin(), sealed_.end(),
+            [](const SegmentInfo& a, const SegmentInfo& b) {
+              return a.index < b.index;
+            });
+  active_index_ = next_index;
+  return OpenActive();
+}
+
+Status Changelog::Append(uint64_t ts, std::string_view payload) {
+  if (!active_.is_open()) {
+    return Status::FailedPrecondition("changelog not open");
+  }
+  std::string buf;
+  buf.reserve(kHeaderBytes + payload.size());
+  std::string body;
+  body.reserve(8 + payload.size());
+  PutU64(body, ts);
+  body.append(payload.data(), payload.size());
+  PutU32(buf, static_cast<uint32_t>(body.size()));
+  PutU32(buf, Crc32c(body.data(), body.size()));
+  buf += body;
+  ORION_RETURN_IF_ERROR(active_.Append(buf.data(), buf.size()));
+  active_max_ts_ = std::max(active_max_ts_, ts);
+  active_bytes_ += buf.size();
+  return Status::Ok();
+}
+
+Status Changelog::Sync() {
+  if (!active_.is_open()) {
+    return Status::FailedPrecondition("changelog not open");
+  }
+  ORION_RETURN_IF_ERROR(active_.Sync());
+  if (active_bytes_ < segment_bytes_) {
+    return Status::Ok();
+  }
+  // Roll AFTER the fsync: everything in the sealed segment is durable, so
+  // sealed segments can never carry a torn tail (only a crash-interrupted
+  // active segment can).
+  active_.Close();
+  sealed_.push_back(
+      SegmentInfo{active_index_, SegmentPath(active_index_), active_max_ts_});
+  ++active_index_;
+  return OpenActive();
+}
+
+Result<LogContents> Changelog::ReadAll() const {
+  LogContents out;
+  for (const SegmentInfo& info : sealed_) {
+    ORION_ASSIGN_OR_RETURN(std::string data, fs::ReadFile(info.path));
+    if (!ScanFrames(data, &out.frames)) {
+      out.truncated_tail = true;
+      return out;
+    }
+  }
+  if (active_.is_open()) {
+    ORION_ASSIGN_OR_RETURN(std::string data,
+                           fs::ReadFile(SegmentPath(active_index_)));
+    out.truncated_tail = !ScanFrames(data, &out.frames);
+  }
+  return out;
+}
+
+Status Changelog::TruncateBelow(uint64_t ts, unsigned min_keep_segment) {
+  std::vector<SegmentInfo> kept;
+  bool removed = false;
+  for (SegmentInfo& info : sealed_) {
+    if (info.index < min_keep_segment && info.max_ts < ts) {
+      ORION_RETURN_IF_ERROR(fs::RemoveFile(info.path));
+      removed = true;
+    } else {
+      kept.push_back(std::move(info));
+    }
+  }
+  sealed_ = std::move(kept);
+  return removed ? fs::SyncDir(dir_) : Status::Ok();
+}
+
+void Changelog::Close() { active_.Close(); }
+
+}  // namespace wal
+}  // namespace orion

@@ -1,0 +1,103 @@
+#ifndef ORION_WAL_CHANGELOG_H_
+#define ORION_WAL_CHANGELOG_H_
+
+// An append-only segmented changelog with CRC-framed records — the
+// physical layer under WalManager (DESIGN.md §12).  Each frame is
+//
+//   [u32 len][u32 crc32c][u64 ts][payload]       (little-endian)
+//
+// where len = 8 + payload size and the CRC covers ts + payload.  Reading
+// stops at the first torn or corrupt frame: because frames are appended in
+// commit order and fsynced in batches, everything before the first bad
+// frame is exactly the committed-and-hardened prefix, and everything after
+// it was never acknowledged.
+//
+// Segments are files `seg-%08u.log` inside the log directory.  Appends
+// never roll mid-batch; `Sync` rolls to a fresh segment AFTER its fsync
+// once the active segment exceeds its size budget, so one fsync always
+// covers exactly one file.  `Open` on an existing directory seals every
+// segment found (the previous active tail may be torn — it is never
+// appended to again) and starts a new one.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fs.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace orion {
+namespace wal {
+
+struct Frame {
+  uint64_t ts = 0;  // commit timestamp; 0 for 2PC prepare frames
+  std::string payload;
+};
+
+struct LogContents {
+  std::vector<Frame> frames;
+  /// True when reading stopped at a torn or CRC-corrupt frame; `frames`
+  /// then holds the valid prefix.
+  bool truncated_tail = false;
+};
+
+class Changelog {
+ public:
+  Changelog() = default;
+  ~Changelog() { Close(); }
+  Changelog(const Changelog&) = delete;
+  Changelog& operator=(const Changelog&) = delete;
+
+  /// Opens (creating if needed) the log directory, seals any existing
+  /// segments, and starts a fresh active segment.
+  Status Open(const std::string& dir, uint64_t segment_bytes);
+  bool is_open() const { return active_.is_open(); }
+  const std::string& dir() const { return dir_; }
+
+  /// Writes one frame to the active segment.  Does NOT make it durable —
+  /// call Sync.  Never rolls the segment.
+  Status Append(uint64_t ts, std::string_view payload);
+
+  /// One fsync covering every frame appended since the last Sync, then
+  /// rolls to a new segment if the active one is over budget.
+  Status Sync();
+
+  /// Index of the segment the next Append lands in.
+  unsigned current_segment() const { return active_index_; }
+
+  /// Every frame across all segments in order, stopping at the first
+  /// torn/corrupt frame (committed-prefix semantics).
+  Result<LogContents> ReadAll() const;
+
+  /// Deletes sealed segments whose index is below `min_keep_segment` and
+  /// whose every frame has ts < `ts`.  The active segment is never
+  /// deleted.  Caller must ensure no concurrent Append/Sync.
+  Status TruncateBelow(uint64_t ts, unsigned min_keep_segment);
+
+  void Close();
+
+ private:
+  struct SegmentInfo {
+    unsigned index = 0;
+    std::string path;
+    uint64_t max_ts = 0;
+  };
+
+  std::string SegmentPath(unsigned index) const;
+  Status OpenActive();
+
+  std::string dir_;
+  uint64_t segment_bytes_ = 0;
+  std::vector<SegmentInfo> sealed_;  // ascending index order
+  unsigned active_index_ = 0;
+  uint64_t active_max_ts_ = 0;
+  uint64_t active_bytes_ = 0;
+  fs::AppendFile active_;
+};
+
+}  // namespace wal
+}  // namespace orion
+
+#endif  // ORION_WAL_CHANGELOG_H_

@@ -1,0 +1,277 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace orion {
+namespace wal {
+
+namespace {
+
+/// Adaptive group-commit gather: how long arrivals may stall before the
+/// leader flushes.  Well under one fsync, so a stalled cohort costs little;
+/// well over one commit's CPU time, so an active cohort is never cut off.
+constexpr std::chrono::microseconds kGroupIdleGap{30};
+
+std::string SnapshotName(uint64_t ts) {
+  return "snap-" + std::to_string(ts) + ".snap";
+}
+
+/// Parses "snap-<ts>.snap" into ts; false for any other name.
+bool ParseSnapshotName(const std::string& name, uint64_t* ts) {
+  constexpr const char kPrefix[] = "snap-";
+  constexpr const char kSuffix[] = ".snap";
+  const size_t prefix_len = sizeof(kPrefix) - 1;
+  const size_t suffix_len = sizeof(kSuffix) - 1;
+  if (name.size() <= prefix_len + suffix_len ||
+      name.compare(0, prefix_len, kPrefix) != 0 ||
+      name.compare(name.size() - suffix_len, suffix_len, kSuffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *ts = std::strtoull(digits.c_str(), nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+Status WalManager::Open(const std::string& dir, const WalOptions& opts) {
+  if (open_) {
+    return Status::FailedPrecondition("wal already open");
+  }
+  dir_ = dir;
+  opts_ = opts;
+  ORION_RETURN_IF_ERROR(log_.Open(dir, opts.segment_bytes));
+  open_ = true;
+  return Status::Ok();
+}
+
+void WalManager::AttachMetrics(obs::MetricsRegistry* registry) {
+  appends_ = &registry->counter("wal.appends");
+  fsyncs_ = &registry->counter("wal.fsyncs");
+  group_size_ = &registry->histogram("wal.group_size");
+}
+
+void WalManager::Enqueue(uint64_t ts, std::string record) {
+  UniqueLatchGuard g(mu_);
+  pending_.push_back(PendingRecord{next_seq_++, ts, 0, std::move(record)});
+  batch_cv_.NotifyOne();
+}
+
+void WalManager::FlushLocked(UniqueLatchGuard& g) {
+  flush_in_progress_ = true;
+  if (opts_.group_window.count() > 0 && pending_.size() < opts_.group_max) {
+    // Adaptive gather: keep extending the wait while companions are still
+    // arriving (each short wait is refreshed by an Enqueue), and flush the
+    // moment arrivals stall or the batch is full.  A single fixed-length
+    // wait either cuts off a cohort mid-arrival or burns dead time after
+    // the last companion — this tracks the cohort instead.
+    const auto deadline =
+        std::chrono::steady_clock::now() + opts_.group_window;
+    size_t seen = pending_.size();
+    while (pending_.size() < opts_.group_max &&
+           std::chrono::steady_clock::now() < deadline) {
+      batch_cv_.WaitFor(g, kGroupIdleGap,
+                        [&] { return pending_.size() >= opts_.group_max; });
+      if (pending_.size() == seen) {
+        break;  // nobody new showed up within the idle gap
+      }
+      seen = pending_.size();
+    }
+  }
+  const size_t n = std::min(opts_.group_max, pending_.size());
+  std::vector<PendingRecord> batch(
+      std::make_move_iterator(pending_.begin()),
+      std::make_move_iterator(pending_.begin() + n));
+  pending_.erase(pending_.begin(), pending_.begin() + n);
+  // All of the batch lands in the current segment: Append never rolls, and
+  // Sync rolls only after its fsync.
+  const unsigned segment = log_.current_segment();
+  flushing_max_seq_ = batch.back().seq;
+  for (const PendingRecord& p : batch) {
+    flushing_max_ts_ = std::max(flushing_max_ts_, p.ts);
+  }
+  // Re-bucket: waiters that parked on future_cv_ before the batch was
+  // chosen re-check against the bounds above and move to durable_cv_ if
+  // this flush covers them.  Their wakeups overlap the fsync below.
+  future_cv_.NotifyAll();
+
+  g.unlock();
+  Status st = Status::Ok();
+  for (const PendingRecord& p : batch) {
+    st = log_.Append(p.ts, p.payload);
+    if (!st.ok()) {
+      break;
+    }
+  }
+  if (st.ok()) {
+    st = log_.Sync();
+  }
+  g.lock();
+
+  if (!st.ok()) {
+    io_status_ = st;
+  } else {
+    for (const PendingRecord& p : batch) {
+      durable_seq_ = std::max(durable_seq_, p.seq);
+      if (p.ts != 0) {
+        durable_ts_ = std::max(durable_ts_, p.ts);
+      }
+      if (p.gtid != 0) {
+        prepared_segments_[p.gtid] = segment;
+      }
+    }
+    if (appends_ != nullptr) {
+      appends_->Add(batch.size());
+      fsyncs_->Inc();
+      group_size_->Observe(batch.size());
+    }
+  }
+  flush_in_progress_ = false;
+  flushing_max_seq_ = 0;
+  flushing_max_ts_ = 0;
+  // Wake exactly the batch's waiters, plus one future waiter to lead the
+  // next flush (if none is parked yet, the next Sync caller leads itself).
+  // An I/O error is terminal for every waiter, so all of them surface it.
+  durable_cv_.NotifyAll();
+  if (io_status_.ok()) {
+    future_cv_.NotifyOne();
+  } else {
+    future_cv_.NotifyAll();
+  }
+}
+
+Status WalManager::Sync(uint64_t ts) {
+  if (!open_ || ts == 0) {
+    return Status::Ok();
+  }
+  UniqueLatchGuard g(mu_);
+  while (durable_ts_ < ts) {
+    if (!io_status_.ok()) {
+      return io_status_;
+    }
+    if (flush_in_progress_) {
+      // Enqueue order is commit order, so ts <= flushing_max_ts_ means the
+      // in-flight batch carries this record.
+      if (ts <= flushing_max_ts_) {
+        durable_cv_.WaitOnce(g);
+      } else {
+        future_cv_.WaitOnce(g);
+      }
+    } else if (pending_.empty()) {
+      return Status::Internal("wal: sync past last enqueued record");
+    } else {
+      FlushLocked(g);
+    }
+  }
+  return io_status_;
+}
+
+Status WalManager::AppendPrepare(uint64_t gtid, std::string record) {
+  if (!open_) {
+    return Status::FailedPrecondition("wal not open");
+  }
+  UniqueLatchGuard g(mu_);
+  const uint64_t seq = next_seq_++;
+  pending_.push_back(PendingRecord{seq, 0, gtid, std::move(record)});
+  batch_cv_.NotifyOne();
+  while (durable_seq_ < seq) {
+    if (!io_status_.ok()) {
+      return io_status_;
+    }
+    if (flush_in_progress_) {
+      if (seq <= flushing_max_seq_) {
+        durable_cv_.WaitOnce(g);
+      } else {
+        future_cv_.WaitOnce(g);
+      }
+    } else {
+      FlushLocked(g);
+    }
+  }
+  return io_status_;
+}
+
+void WalManager::ResolvePrepare(uint64_t gtid) {
+  UniqueLatchGuard g(mu_);
+  prepared_segments_.erase(gtid);
+}
+
+Status WalManager::WriteSnapshot(uint64_t ts, const std::string& text) {
+  return fs::WriteFileAtomic(dir_ + "/" + SnapshotName(ts), text);
+}
+
+Result<std::pair<uint64_t, std::string>> WalManager::LatestSnapshot() const {
+  ORION_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir_));
+  uint64_t best = 0;
+  bool found = false;
+  for (const std::string& name : names) {
+    uint64_t ts = 0;
+    if (ParseSnapshotName(name, &ts) && (!found || ts > best)) {
+      best = ts;
+      found = true;
+    }
+  }
+  if (!found) {
+    return std::make_pair(uint64_t{0}, std::string());
+  }
+  ORION_ASSIGN_OR_RETURN(std::string text,
+                         fs::ReadFile(dir_ + "/" + SnapshotName(best)));
+  return std::make_pair(best, std::move(text));
+}
+
+Result<LogContents> WalManager::ReadLog() const {
+  UniqueLatchGuard g(mu_);
+  return log_.ReadAll();
+}
+
+Status WalManager::TruncateBelow(uint64_t snapshot_ts) {
+  UniqueLatchGuard g(mu_);
+  // The leader does file I/O with mu_ dropped; segment surgery must not
+  // run concurrently with it.
+  durable_cv_.Wait(g, [&] { return !flush_in_progress_; });
+  unsigned min_keep = log_.current_segment();
+  for (const auto& [gtid, segment] : prepared_segments_) {
+    min_keep = std::min(min_keep, segment);
+  }
+  // `snapshot_ts + 1`: a frame at exactly the snapshot timestamp is inside
+  // the snapshot (the save pins read_ts = snapshot_ts).
+  ORION_RETURN_IF_ERROR(log_.TruncateBelow(snapshot_ts + 1, min_keep));
+
+  ORION_ASSIGN_OR_RETURN(std::vector<std::string> names, fs::ListDir(dir_));
+  for (const std::string& name : names) {
+    uint64_t ts = 0;
+    if (ParseSnapshotName(name, &ts) && ts < snapshot_ts) {
+      ORION_RETURN_IF_ERROR(fs::RemoveFile(dir_ + "/" + name));
+    }
+  }
+  return Status::Ok();
+}
+
+uint64_t WalManager::durable_ts() const {
+  UniqueLatchGuard g(mu_);
+  return durable_ts_;
+}
+
+void WalManager::Close() {
+  if (!open_) {
+    return;
+  }
+  {
+    UniqueLatchGuard g(mu_);
+    durable_cv_.Wait(g, [&] { return !flush_in_progress_; });
+    while (!pending_.empty() && io_status_.ok()) {
+      FlushLocked(g);
+    }
+  }
+  log_.Close();
+  open_ = false;
+}
+
+}  // namespace wal
+}  // namespace orion

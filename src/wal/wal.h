@@ -1,0 +1,157 @@
+#ifndef ORION_WAL_WAL_H_
+#define ORION_WAL_WAL_H_
+
+// Per-cell write-ahead changelog with group commit (DESIGN.md §12).
+//
+// The commit path enqueues each commit's serialized redo record while the
+// record store's commit latch is held (kWal ranks just above kCommit), so
+// queue order — and therefore file order — equals commit order.  Hardening
+// is leader-based group commit: the first committer to need durability
+// becomes the flush leader, optionally waits `group_window` for companions
+// to enqueue, appends up to `group_max` records, and issues ONE fsync for
+// the whole batch; companions just wait for the durable watermark to pass
+// their timestamp.  Because the log is a commit-order prefix, a crash
+// preserves exactly the committed-and-hardened prefix of history.
+//
+// 2PC prepare records ride the same queue with ts = 0 framing; the segment
+// each lands in is pinned until the transaction is resolved so truncation
+// can never drop an undecided prepare.  Snapshots live beside the log as
+// `snap-<ts>.snap`; TruncateBelow drops whole segments subsumed by a
+// snapshot.
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/latch.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "wal/changelog.h"
+
+namespace orion {
+namespace wal {
+
+struct WalOptions {
+  /// Roll the active segment after it exceeds this many bytes.
+  uint64_t segment_bytes = 4u << 20;
+  /// How long a flush leader waits for companion commits before fsyncing.
+  /// Zero still batches naturally: everything enqueued while the previous
+  /// fsync was in flight joins the next batch.
+  std::chrono::microseconds group_window{0};
+  /// Maximum records hardened by one fsync.
+  size_t group_max = 64;
+};
+
+class WalManager {
+ public:
+  WalManager() { mu_.SetDebugInfo("wal.manager", LatchRank::kWal); }
+  ~WalManager() { Close(); }
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Opens the changelog under `dir` (created if needed).  Existing
+  /// segments are preserved for ReadLog — recovery replays them before the
+  /// first new append.
+  Status Open(const std::string& dir, const WalOptions& opts = WalOptions());
+  bool is_open() const { return open_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Resolves wal.* metrics (appends, fsyncs, group_size) from `registry`.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  /// Queues one commit record.  Called from the publish hook while the
+  /// commit latch is held — MUST NOT block on I/O.  Errors surface at the
+  /// matching Sync.
+  void Enqueue(uint64_t ts, std::string record);
+
+  /// Blocks until every record with commit timestamp <= `ts` is durable
+  /// (participating as flush leader if nobody else is).  ts == 0 is a
+  /// no-op.
+  Status Sync(uint64_t ts);
+
+  /// Appends a 2PC prepare record and waits for it to be durable — the
+  /// cell's vote is only valid once this returns OK.  Pins the segment the
+  /// record landed in until ResolvePrepare.
+  Status AppendPrepare(uint64_t gtid, std::string record);
+
+  /// Drops the segment pin left by AppendPrepare (commit, abort, or
+  /// recovery resolution).
+  void ResolvePrepare(uint64_t gtid);
+
+  /// Writes `snap-<ts>.snap` atomically beside the log.
+  Status WriteSnapshot(uint64_t ts, const std::string& text);
+
+  /// The newest on-disk snapshot as (ts, text); (0, "") when none exists.
+  Result<std::pair<uint64_t, std::string>> LatestSnapshot() const;
+
+  /// Every changelog frame in commit order (committed-prefix semantics).
+  Result<LogContents> ReadLog() const;
+
+  /// Drops sealed segments wholly below `snapshot_ts` (respecting prepare
+  /// pins) and snapshot files older than the one at `snapshot_ts`.
+  Status TruncateBelow(uint64_t snapshot_ts);
+
+  uint64_t durable_ts() const;
+
+  /// Flushes anything still queued, then closes the changelog.
+  void Close();
+
+ private:
+  struct PendingRecord {
+    uint64_t seq = 0;
+    uint64_t ts = 0;    // 0 for prepare records
+    uint64_t gtid = 0;  // nonzero only for prepare records
+    std::string payload;
+  };
+
+  /// Leader body: waits the group window, appends one batch, fsyncs once,
+  /// publishes the new durable watermark.  Enter with `g` held and
+  /// flush_in_progress_ false; returns with `g` held.
+  void FlushLocked(UniqueLatchGuard& g);
+
+  std::string dir_;
+  WalOptions opts_;
+  bool open_ = false;
+
+  mutable Latch mu_;
+  /// Waiters the in-flight batch will satisfy (plus TruncateBelow/Close
+  /// waiting for the leader to step down).  The flush completion wakes
+  /// exactly this set — waking every parked committer instead makes each
+  /// flush a thundering herd whose spurious context switches dominate the
+  /// commit path on small machines.
+  LatchCondVar durable_cv_;
+  /// Waiters beyond the in-flight batch.  One is woken at flush completion
+  /// to lead the next flush; the rest are re-bucketed at flush *start*, so
+  /// their wakeups burn the idle CPU time under the leader's fsync, not
+  /// the commit path.
+  LatchCondVar future_cv_;
+  /// Record arrivals: only the in-flight leader's group-window wait.
+  LatchCondVar batch_cv_;
+  Changelog log_;
+  std::vector<PendingRecord> pending_;
+  uint64_t next_seq_ = 1;
+  uint64_t durable_seq_ = 0;
+  uint64_t durable_ts_ = 0;
+  bool flush_in_progress_ = false;
+  /// Upper bounds of the in-flight batch (0 when no flush is running, or
+  /// while the leader is still gathering its batch): waiters at or below
+  /// them park on durable_cv_, everyone else on future_cv_.
+  uint64_t flushing_max_seq_ = 0;
+  uint64_t flushing_max_ts_ = 0;
+  Status io_status_ = Status::Ok();
+  /// gtid -> segment index of its unresolved prepare record.
+  std::map<uint64_t, unsigned> prepared_segments_;
+
+  obs::Counter* appends_ = nullptr;
+  obs::Counter* fsyncs_ = nullptr;
+  obs::Histogram* group_size_ = nullptr;
+};
+
+}  // namespace wal
+}  // namespace orion
+
+#endif  // ORION_WAL_WAL_H_

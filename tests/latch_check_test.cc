@@ -9,11 +9,20 @@
 
 #include "common/latch.h"
 
+#include <chrono>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
 
 #include "gtest/gtest.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define ORION_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ORION_TEST_UNDER_TSAN 1
+#endif
+#endif
 
 namespace orion {
 namespace {
@@ -201,6 +210,57 @@ TEST_F(LatchCheckTest, SharedLatchReadersAreTracked) {
         LatchGuard g(shard);
       },
       "latch-rank inversion");
+}
+
+TEST_F(LatchCheckTest, CondVarWakeReValidatesAgainstCurrentHolds) {
+  // A wait releases its latch, so the wake re-acquisition is a *fresh*
+  // acquisition ordered against whatever the thread holds at wake time —
+  // which can differ from what it held when the wait began.  Here the
+  // thread legally ascends fence(105) -> registry(110), then waits on the
+  // fence: the wake must re-acquire rank 105 under held rank 110, the
+  // exact inversion a plain acquire would refuse.
+#ifdef ORION_TEST_UNDER_TSAN
+  // Unlike the other death tests (one bad edge), this one completes a real
+  // lock-order cycle, so TSan's own deadlock detector reports it and — with
+  // halt_on_error=1 — kills the child before the checker's message.
+  GTEST_SKIP() << "TSan reports the intentional cycle first";
+#endif
+  EXPECT_DEATH(
+      {
+        Latch fence("test.wake_fence", LatchRank::kSchemaFence);
+        Latch registry("test.wake_registry", LatchRank::kVersionRegistry);
+        LatchCondVar cv;
+        std::thread notifier([&] {
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          cv.NotifyAll();
+        });
+        UniqueLatchGuard f(fence);
+        LatchGuard r(registry);  // ascending: legal while fence is held
+        cv.WaitOnce(f);          // wake re-acquires 105 under held 110
+        notifier.join();
+      },
+      "latch-rank inversion on condvar wake");
+}
+
+TEST_F(LatchCheckTest, CondVarWakeUnderLowerRanksIsFine) {
+  // The legal shape: waiting on the *highest*-ranked hold, so the wake
+  // re-acquisition still strictly ascends past everything else held.
+  Latch registry("test.ok_registry", LatchRank::kVersionRegistry);
+  Latch postings("test.ok_postings", LatchRank::kIndexPostings);
+  LatchCondVar cv;
+  bool notified = false;
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    UniqueLatchGuard g(postings);
+    notified = true;
+    cv.NotifyAll();
+  });
+  LatchGuard r(registry);
+  UniqueLatchGuard p(postings);
+  const bool woke = cv.WaitFor(p, std::chrono::seconds(30),
+                               [&] { return notified; });
+  notifier.join();
+  EXPECT_TRUE(woke);
 }
 
 TEST_F(LatchCheckTest, ReleaseRestoresCleanSlate) {

@@ -13,7 +13,10 @@
 //   unexplained-discard  `(void)Call(...)` throws away a Status/Result the
 //                      type system would otherwise flag ([[nodiscard]]).
 //                      Allowed only with a justifying comment on the same
-//                      line or immediately above.
+//                      line or immediately above.  The statement is joined
+//                      through its terminating `;` first, so a wrapped
+//                      call is still seen and a comment on any of its
+//                      continuation lines still justifies it.
 //   forbidden-include  src/common/ is the dependency root: it must not
 //                      include subsystem headers.
 //   missing-thread-safety  public headers under src/schema/ are part of the
@@ -235,20 +238,33 @@ std::vector<Finding> LintSource(const std::string& rel_path,
            "SharedLatch (common/latch.h) so the rank checker sees it"});
     }
 
-    if (IsVoidCastCallDiscard(line) &&
-        !HasSuppression(line, "unexplained-discard")) {
-      // A justification is a comment on the same line or a comment block
-      // ending on the immediately preceding line.
-      bool justified = line.find("//") != std::string::npos;
-      for (size_t j = i; !justified && j > 0 && IsCommentLine(lines[j - 1]);
-           --j) {
-        justified = true;
+    if (line.find("(void)") != std::string::npos) {
+      // A discard can span lines (formatters wrap long receivers), so the
+      // statement is joined through its terminating `;` before the
+      // call-shape test.  The finding stays attributed to the (void) line;
+      // a comment or suppression anywhere on the joined statement counts.
+      std::string stmt = line;
+      size_t stmt_end = i;
+      while (stmt.find(';') == std::string::npos &&
+             stmt_end + 1 < lines.size() && stmt_end - i < 8) {
+        ++stmt_end;
+        stmt += Trimmed(lines[stmt_end]);
       }
-      if (!justified) {
-        findings.push_back(
-            {rel_path, lineno, "unexplained-discard",
-             "(void)-discarded call without a justifying comment; say why "
-             "the Status/Result may be dropped"});
+      if (IsVoidCastCallDiscard(stmt) &&
+          !HasSuppression(stmt, "unexplained-discard")) {
+        // A justification is a comment on any line of the statement or a
+        // comment block ending on the immediately preceding line.
+        bool justified = stmt.find("//") != std::string::npos;
+        for (size_t j = i; !justified && j > 0 && IsCommentLine(lines[j - 1]);
+             --j) {
+          justified = true;
+        }
+        if (!justified) {
+          findings.push_back(
+              {rel_path, lineno, "unexplained-discard",
+               "(void)-discarded call without a justifying comment; say why "
+               "the Status/Result may be dropped"});
+        }
       }
     }
 
@@ -351,6 +367,24 @@ constexpr Fixture kFixtures[] = {
      nullptr},
     {"parameter silencer is fine", "src/core/ok_discard3.cc",
      "void F(int unused) { (void)unused; }\n", nullptr},
+    {"multi-line bare discard", "src/core/bad_discard2.cc",
+     "void F() {\n  (void)coordinator\n      ->ResolvePrepared(\n"
+     "          gtid);\n}\n",
+     "unexplained-discard"},
+    {"multi-line discard, reason on continuation", "src/core/ok_discard4.cc",
+     "void F() {\n  (void)store->Remove(\n"
+     "      uid);  // absent is fine here\n}\n",
+     nullptr},
+    {"multi-line discard, comment above", "src/core/ok_discard5.cc",
+     "void F() {\n  // Remove is best-effort during teardown.\n"
+     "  (void)store->Remove(\n      uid);\n}\n",
+     nullptr},
+    {"multi-line discard, suppression on continuation",
+     "src/core/ok_discard6.cc",
+     "void F() {\n  (void)store->Remove(\n"
+     "      uid);  // orion-lint: allow(unexplained-discard): racy peer\n"
+     "}\n",
+     nullptr},
     {"common includes subsystem", "src/common/bad_include.h",
      "#include \"object/object_manager.h\"\n", "forbidden-include"},
     {"common includes common", "src/common/ok_include.h",
