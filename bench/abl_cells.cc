@@ -290,6 +290,44 @@ double RunBare(int ops_per_thread) {
   return elapsed > 0 ? total / elapsed : 0;
 }
 
+// --- observability facade export (§13) --------------------------------------
+//
+// One more small cross-heavy run on a fresh 2-cell cluster, then every
+// registry is exported for tools/metrics_check --cluster: each cell's own
+// snapshot, the cluster registry's own snapshot, and the merged facade
+// (Cluster::Stats()) in both exposition formats — written in that order,
+// so background-driven counters (reclaimer passes) are monotone from the
+// parts to the merged snapshot.  The cluster trace buffer is exported as
+// Chrome-trace JSON for metrics_check --trace / orion_trace.
+void ExportFacade(int ops_per_thread) {
+  ClusterFixture fx(2);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&fx, t, ops_per_thread] {
+      Worker(fx, t, ops_per_thread, /*cross_pct=*/50);
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (size_t i = 1; i <= fx.cluster.size(); ++i) {
+    std::ofstream("BENCH_cells_cell" + std::to_string(i) + ".json")
+        << fx.cluster.cell(static_cast<CellTag>(i)).db().Stats().ToJson();
+  }
+  std::ofstream("BENCH_cells_own.json")
+      << fx.cluster.metrics().Snapshot().ToJson();
+  // Both merged formats come from ONE snapshot: the checker cross-reads
+  // them and the background reclaimer never sleeps.
+  const Cluster::StatsSnapshot merged = fx.cluster.Stats();
+  std::ofstream("BENCH_cells_cluster.prom") << merged.ToPrometheus();
+  std::ofstream("BENCH_cells_cluster.json") << merged.ToJson();
+  std::ofstream("BENCH_cells_trace.json")
+      << fx.cluster.trace().ToChromeTraceJson();
+  std::printf("\nWrote BENCH_cells_cell{1,2}.json, BENCH_cells_own.json, "
+              "BENCH_cells_cluster.{prom,json}, BENCH_cells_trace.json "
+              "(2-cell facade export for metrics_check --cluster/--trace).\n");
+}
+
 void RunSweep(int ops_per_thread) {
   std::printf("=== ABL-9: multi-cell scaling (§11) ===\n");
   std::printf("%d roots x %d parts, %d threads, %d ops/thread; ops are one "
@@ -368,5 +406,6 @@ int main(int argc, char** argv) {
   // cell counts, the bare baseline) so the sanitizer legs see 2PC commits,
   // prepare-refusal aborts, and the scatter merge.
   RunSweep(/*ops_per_thread=*/smoke ? 12 : 250);
+  ExportFacade(/*ops_per_thread=*/smoke ? 12 : 50);
   return 0;
 }

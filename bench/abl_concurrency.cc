@@ -202,6 +202,9 @@ struct MixCell {
   /// Engine metrics delta across the measured region (setup excluded):
   /// every counter/histogram of the cell's private Database.
   Database::StatsSnapshot stats;
+  /// §13 Chrome-trace export of the cell's trace buffer, captured after the
+  /// workers quiesce (so every retained tree is complete).
+  std::string trace_json;
 };
 
 uint64_t CounterOf(const Database::StatsSnapshot& s, const char* name) {
@@ -281,6 +284,7 @@ MixCell RunMixCell(int threads, ReaderPath reader, int write_pct, int ops) {
   }
   cell.ops_per_sec = elapsed > 0 ? cell.committed / elapsed : 0;
   cell.stats = fx.db.Stats().DeltaSince(base);
+  cell.trace_json = fx.db.trace().ToChromeTraceJson();
   cell.waits = CounterOf(cell.stats, "lock.waits");
   cell.timeouts = CounterOf(cell.stats, "lock.timeouts");
   cell.read_lock_grants = CounterOf(cell.stats, "lock.read_acquisitions");
@@ -289,7 +293,8 @@ MixCell RunMixCell(int threads, ReaderPath reader, int write_pct, int ops) {
 }
 
 void RunMixSweep(int ops_per_thread, const char* json_path,
-                 const char* prom_path, const char* metrics_json_path) {
+                 const char* prom_path, const char* metrics_json_path,
+                 const char* trace_path) {
   std::printf("\n=== read/write mix: MVCC vs S-lock readers (contended "
               "root) ===\n");
   std::printf("%d ops/thread; reads hit a shared composite; writers "
@@ -304,6 +309,7 @@ void RunMixSweep(int ops_per_thread, const char* json_path,
        << "  \"cells\": [";
   bool first = true;
   Database::StatsSnapshot last_stats;
+  std::string last_trace;
   for (int write_pct : {5, 50}) {
     const std::string mix =
         std::to_string(100 - write_pct) + "/" + std::to_string(write_pct);
@@ -349,6 +355,7 @@ void RunMixSweep(int ops_per_thread, const char* json_path,
              << CounterOf(cell.stats, "mvcc.records_trimmed")
              << "}}";
         last_stats = cell.stats;
+        last_trace = cell.trace_json;
         first = false;
         if (reader == ReaderPath::kMvcc && slock_ops > 0) {
           std::printf("%-6s %-8s %8d %11.2fx  (mvcc / s-lock)\n",
@@ -366,6 +373,11 @@ void RunMixSweep(int ops_per_thread, const char* json_path,
   }
   if (metrics_json_path != nullptr) {
     std::ofstream(metrics_json_path) << last_stats.ToJson();
+  }
+  // The last cell's span trees (§13): metrics_check --trace validates the
+  // export's shape and orion_trace proves every tree is connected.
+  if (trace_path != nullptr) {
+    std::ofstream(trace_path) << last_trace;
   }
   std::printf("\nWrote %s%s%s%s%s.\nMVCC readers resolve against the "
               "committed record chains at a fixed timestamp: zero read-mode "
@@ -392,7 +404,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     RunMixSweep(/*ops_per_thread=*/32, "BENCH_concurrency.json",
                 "BENCH_concurrency_metrics.prom",
-                "BENCH_concurrency_metrics.json");
+                "BENCH_concurrency_metrics.json",
+                "BENCH_concurrency_trace.json");
     return 0;
   }
   std::printf("=== ABL-8: concurrent throughput ===\n");
@@ -424,6 +437,7 @@ int main(int argc, char** argv) {
               "per-object lock traffic and deadlock-driven retries.\n");
   RunMixSweep(/*ops_per_thread=*/400, "BENCH_concurrency.json",
               "BENCH_concurrency_metrics.prom",
-              "BENCH_concurrency_metrics.json");
+              "BENCH_concurrency_metrics.json",
+              "BENCH_concurrency_trace.json");
   return 0;
 }

@@ -110,11 +110,26 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
   # JSON form; metrics_check parses both independently (its own parsers, no
   # shared code with the exporters) and cross-validates the values.
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release -j "$jobs" --target abl_concurrency metrics_check
+  cmake --build build-release -j "$jobs" \
+        --target abl_concurrency abl_cells metrics_check orion_trace
   (cd build-release && ./bench/abl_concurrency --smoke > /dev/null &&
     ./tools/metrics_check BENCH_concurrency_metrics.prom \
                           BENCH_concurrency_metrics.json \
-                          BENCH_concurrency.json)
+                          BENCH_concurrency.json &&
+    ./tools/metrics_check --trace BENCH_concurrency_trace.json &&
+    ./tools/orion_trace BENCH_concurrency_trace.json > /dev/null)
+  # The §13 facade: abl_cells exports each cell's registry, the cluster's
+  # own, and the merged Cluster::Stats() snapshot; --cluster proves the
+  # merge reconciles (counters/histograms sum, gauges labeled per cell, no
+  # family double-counted or lost).  The cluster trace export must also be
+  # a forest of connected trees.
+  (cd build-release && ./bench/abl_cells --smoke > /dev/null &&
+    ./tools/metrics_check --cluster BENCH_cells_cluster.prom \
+                          BENCH_cells_cluster.json \
+                          BENCH_cells_own.json \
+                          BENCH_cells_cell1.json BENCH_cells_cell2.json &&
+    ./tools/metrics_check --trace BENCH_cells_trace.json &&
+    ./tools/orion_trace BENCH_cells_trace.json > /dev/null)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "lint" ]]; then

@@ -16,8 +16,9 @@ namespace orion {
 /// single-hierarchy transactions run on one cell's unchanged fast path.
 class Cell {
  public:
-  explicit Cell(CellTag tag, uint32_t objects_per_page = 16)
-      : tag_(tag), db_(objects_per_page, tag) {}
+  explicit Cell(CellTag tag, uint32_t objects_per_page = 16,
+                const obs::TraceOptions& trace_opts = obs::TraceOptions())
+      : tag_(tag), db_(objects_per_page, tag, trace_opts) {}
 
   Cell(const Cell&) = delete;
   Cell& operator=(const Cell&) = delete;

@@ -8,12 +8,15 @@
 
 namespace orion {
 
-Cluster::Cluster(size_t cells, uint32_t objects_per_page) {
+Cluster::Cluster(size_t cells, uint32_t objects_per_page,
+                 const obs::TraceOptions& trace_opts)
+    : trace_(trace_opts) {
+  trace_.AttachMetrics(&metrics_);
   cells = std::max<size_t>(1, std::min<size_t>(cells, kMaxCellTag));
   cells_.reserve(cells);
   for (size_t i = 0; i < cells; ++i) {
     cells_.push_back(std::make_unique<Cell>(static_cast<CellTag>(i + 1),
-                                            objects_per_page));
+                                            objects_per_page, trace_opts));
   }
   for (const auto& c : cells_) {
     Database& db = c->db();
@@ -30,6 +33,8 @@ Cluster::Cluster(size_t cells, uint32_t objects_per_page) {
   cm_.txn_cross = &metrics_.counter("cell.txn.cross");
   cm_.txn_cross_aborts = &metrics_.counter("cell.txn.cross_aborts");
   cm_.prepare_us = &metrics_.histogram("cell.2pc.prepare_us");
+  cm_.decisions = &metrics_.counter("cluster.decisions");
+  cm_.decision_log_segment = &metrics_.gauge("cluster.decision_log.segment");
   cm_.cell_commits.reserve(cells);
   for (size_t i = 0; i < cells; ++i) {
     cm_.cell_commits.push_back(
@@ -252,7 +257,45 @@ Status Cluster::LogDecision(uint64_t gtid) {
   LatchGuard g(decision_mu_);
   ORION_RETURN_IF_ERROR(decision_log_.Append(
       gtid, "decision " + std::to_string(gtid) + " commit\n"));
-  return decision_log_.Sync();
+  ORION_RETURN_IF_ERROR(decision_log_.Sync());
+  cm_.decisions->Inc();
+  return Status::Ok();
+}
+
+Cluster::StatsSnapshot Cluster::Stats() {
+  // Refresh the facade's own point-in-time gauges before snapshotting.
+  if (durable_) {
+    cm_.decision_log_segment->Set(
+        static_cast<int64_t>(decision_log_.current_segment()));
+  }
+  // The cluster's own registry (cell.* mix counters, 2PC latency, decision
+  // log, the cluster trace buffer's health) passes through unlabeled.
+  StatsSnapshot out = metrics_.Snapshot();
+  for (const auto& c : cells_) {
+    const std::string label = "|cell=" + std::to_string(c->tag());
+    StatsSnapshot cell = c->db().Stats();
+    // Counters are rates: the cluster-wide value is the sum.  A family the
+    // cluster registry also owns (trace.*) sums in as well — the facade
+    // counts every buffer, cluster-level and per-cell.
+    for (const auto& [name, value] : cell.counters) {
+      out.counters[name] += value;
+    }
+    // Gauges are point-in-time per-cell facts (watermarks, chain counts);
+    // summing them is meaningless, so they stay per cell, labeled.
+    for (const auto& [name, value] : cell.gauges) {
+      out.gauges[name + label] = value;
+    }
+    // Histograms merge bucket-wise: the cluster-wide distribution.
+    for (const auto& [name, hist] : cell.histograms) {
+      obs::HistogramSnapshot& merged = out.histograms[name];
+      merged.count += hist.count;
+      merged.sum += hist.sum;
+      for (size_t i = 0; i < obs::HistogramSnapshot::kBuckets; ++i) {
+        merged.buckets[i] += hist.buckets[i];
+      }
+    }
+  }
+  return out;
 }
 
 Status Cluster::Checkpoint() {

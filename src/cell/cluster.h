@@ -10,6 +10,7 @@
 #include "cell/cell.h"
 #include "common/latch.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/scatter.h"
 #include "wal/wal.h"
 
@@ -27,6 +28,10 @@ struct ClusterMetrics {
   obs::Counter* txn_cross_aborts = nullptr;
   /// Wall time of the whole prepare phase of one cross-cell commit.
   obs::Histogram* prepare_us = nullptr;
+  /// Commit decisions appended to the cluster decision log.
+  obs::Counter* decisions = nullptr;
+  /// Active segment index of the decision log (refreshed by Stats()).
+  obs::Gauge* decision_log_segment = nullptr;
   /// Commits applied per cell, indexed by `tag - 1`.
   std::vector<obs::Counter*> cell_commits;
 };
@@ -53,8 +58,13 @@ struct ClusterMetrics {
 /// other entry point may be called from any session thread.
 class Cluster {
  public:
-  /// `cells` is clamped to [1, kMaxCellTag].
-  explicit Cluster(size_t cells, uint32_t objects_per_page = 16);
+  using StatsSnapshot = obs::MetricsSnapshot;
+
+  /// `cells` is clamped to [1, kMaxCellTag].  `trace_opts` sizes every
+  /// cell's trace buffer AND the cluster's own (which collects cross-cell
+  /// session trees — see ClusterSession::Run).
+  explicit Cluster(size_t cells, uint32_t objects_per_page = 16,
+                   const obs::TraceOptions& trace_opts = obs::TraceOptions());
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -125,6 +135,21 @@ class Cluster {
   const ClusterMetrics& cluster_metrics() const { return cm_; }
   const ScatterView& scatter() const { return scatter_; }
 
+  /// §13: the cluster-level trace buffer — cross-cell session roots open
+  /// their trace here, so one 2PC commit's spans (per-cell prepares, WAL
+  /// waits, the decision) land in a single tree.
+  obs::TraceBuffer& trace() { return trace_; }
+
+  /// One labeled cluster-wide snapshot (the observability facade): the
+  /// cluster's own registry plus every cell's, merged as
+  ///   - counters and histograms: summed across cells (same family);
+  ///   - gauges: kept per cell under `name|cell=<tag>` (point-in-time
+  ///     values like watermarks are not meaningful summed).
+  /// `ToPrometheus` renders the `|k=v` suffix as a proper label block;
+  /// `ToJson` keeps the raw keys.  tools/metrics_check --cluster verifies
+  /// this snapshot reconciles with the per-cell exports.
+  StatsSnapshot Stats();
+
   // --- Durability (DESIGN.md §12) --------------------------------------------
 
   /// Turns on cell-aware durability under `dir`: one changelog + snapshot
@@ -167,6 +192,8 @@ class Cluster {
   /// metric pointers must outlive every cell.
   obs::MetricsRegistry metrics_;
   ClusterMetrics cm_;
+  /// Cross-cell trace trees (see trace()); sized by the ctor's trace_opts.
+  obs::TraceBuffer trace_;
   /// Declared before cells_ (destroyed after them): each cell's database
   /// holds a raw pointer to its WalManager.
   std::vector<std::unique_ptr<wal::WalManager>> wals_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace orion {
 
 namespace {
@@ -38,6 +40,10 @@ void ClusterSession::Backoff(int attempt) {
 
 Status ClusterSession::Run(
     const std::function<Status(ClusterTransaction&)>& fn) {
+  // §13 root span on the CLUSTER's trace buffer: a cross-cell commit's
+  // spans — per-cell prepares, each cell's WAL wait, the decision — all
+  // collect into one tree here, not scattered across per-cell rings.
+  obs::TraceRoot trace_root(&cluster_->trace(), "session.run");
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -59,11 +65,13 @@ Status ClusterSession::Run(
     }
     if (!IsRetryable(result)) {
       ++stats_.failures;
+      trace_root.MarkError();
       return result;
     }
     last = result;
   }
   ++stats_.failures;
+  trace_root.MarkError();
   return Status::Timeout("cluster session retry budget (" +
                          std::to_string(options_.max_retries) +
                          ") exhausted; last conflict: " + last.message());

@@ -1,11 +1,17 @@
 #include "cell/cluster_transaction.h"
 
+#include "obs/trace.h"
+
 namespace orion {
 
 ClusterTransaction::ClusterTransaction(Cluster* cluster,
                                        std::chrono::milliseconds lock_timeout,
                                        std::string user)
-    : cluster_(cluster), timeout_(lock_timeout), user_(std::move(user)) {}
+    : cluster_(cluster), timeout_(lock_timeout), user_(std::move(user)) {
+  // §13: adopt the ambient trace (the cluster session root) as this
+  // coordinator's causal parent; zero when untraced.
+  trace_ctx_ = obs::CaptureChildContext(&trace_parent_);
+}
 
 ClusterTransaction::~ClusterTransaction() {
   if (active_) {
@@ -173,6 +179,23 @@ Status ClusterTransaction::Commit() {
   // resolve a prepare whose phase 2 never reached that cell's log.
   cm.txn_cross->Inc();
   const uint64_t gtid = cluster_->durable() ? cluster_->NextGtid() : 0;
+  // §13: the coordinator's own span brackets the whole cross-cell commit.
+  // Installing its context ambient makes the per-cell prepare/commit spans
+  // below its children; the guard emits the span on EVERY exit — refusal,
+  // decision-log failure, simulated crash — so flight-retained abort trees
+  // stay connected.
+  obs::TraceContextScope trace_scope(trace_ctx_);
+  struct TwoPcSpan {
+    Cluster* cluster;
+    uint64_t start_us;
+    uint64_t gtid;
+    obs::TraceContext ctx;
+    uint64_t parent;
+    ~TwoPcSpan() {
+      obs::EmitSpan(&cluster->trace(), "txn.2pc", start_us,
+                    obs::NowMicros() - start_us, gtid, ctx, parent);
+    }
+  } twopc_span{cluster_, obs::NowMicros(), gtid, trace_ctx_, trace_parent_};
   if (gtid != 0) {
     for (auto& [tag, txn] : txns_) {
       txn->set_gtid(gtid);
@@ -180,6 +203,9 @@ Status ClusterTransaction::Commit() {
   }
   const uint64_t start_us = obs::NowMicros();
   for (auto& [tag, txn] : txns_) {
+    // Per-cell phase-1 span, tagged with the cell; the participant's own
+    // spans (WAL prepare, fence checks) nest under its captured context.
+    obs::Span prepare_span(&cluster_->trace(), "2pc.prepare", tag);
     Status s = txn->Prepare();
     if (!s.ok()) {
       for (auto& [other_tag, other] : txns_) {
@@ -221,6 +247,7 @@ Status ClusterTransaction::Commit() {
   // cell publishes at its own next timestamp.
   Status out = Status::Ok();
   for (auto& [tag, txn] : txns_) {
+    obs::Span commit_span(&cluster_->trace(), "2pc.commit", tag);
     Status s = txn->CommitPrepared();
     if (!s.ok()) {
       // Unreachable by construction (Prepare ran every validation); if it

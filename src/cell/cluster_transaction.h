@@ -104,6 +104,11 @@ class ClusterTransaction {
   std::chrono::milliseconds timeout_;
   std::string user_;
   bool active_ = true;
+  /// §13: the coordinator's own span identity ("txn.2pc"), captured from
+  /// the ambient trace (the cluster session root) at construction.  The
+  /// per-cell prepare/commit spans parent to it; it parents to the root.
+  obs::TraceContext trace_ctx_{};
+  uint64_t trace_parent_ = 0;
   CrashPoint crash_point_ = CrashPoint::kNone;
   /// Ordered by tag: 2PC prepares ascending, so two cross-cell
   /// transactions never prepare against each other in opposite cell order.

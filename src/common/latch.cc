@@ -41,6 +41,8 @@ const char* LatchRankName(LatchRank rank) {
       return "kPageTracker";
     case LatchRank::kLockTable:
       return "kLockTable";
+    case LatchRank::kTraceFlight:
+      return "kTraceFlight";
     case LatchRank::kMetrics:
       return "kMetrics";
   }

@@ -125,6 +125,11 @@ enum class LatchRank : uint16_t {
   kSchemaLattice = 540,
 
   // -- Utility leaves. -----------------------------------------------------
+  /// obs::TraceBuffer::flight_mu_ — the tail-based flight recorder's
+  /// retained-trace list.  A leaf: taken only at trace close (once per
+  /// session root, never per span) and by exporters, and CloseTrace calls
+  /// into no other subsystem while holding it.
+  kTraceFlight = 560,
   /// obs::MetricsRegistry::mu_ — cell registration/lookup (cold path).
   kMetrics = 600,
 };

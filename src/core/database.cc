@@ -34,8 +34,10 @@ class WalSink : public CommitSink {
 
 }  // namespace
 
-Database::Database(uint32_t objects_per_page, CellTag cell_tag)
-    : cell_tag_(cell_tag),
+Database::Database(uint32_t objects_per_page, CellTag cell_tag,
+                   const obs::TraceOptions& trace_opts)
+    : trace_(trace_opts),
+      cell_tag_(cell_tag),
       store_(objects_per_page, &metrics_),
       schema_(&store_),
       objects_(&schema_, &store_, &clock_),
@@ -46,6 +48,9 @@ Database::Database(uint32_t objects_per_page, CellTag cell_tag)
       indexes_(&objects_, &records_, &metrics_) {
   // Before anything can allocate: every uid minted here carries this tag.
   objects_.set_cell_tag(cell_tag_);
+  // trace.dropped / trace.sampled / trace.retained live beside the engine
+  // metrics so one Stats() snapshot covers the tracer's own health.
+  trace_.AttachMetrics(&metrics_);
   em_.txn_begins = &metrics_.counter("txn.begins");
   em_.txn_commits = &metrics_.counter("txn.commits");
   em_.txn_aborts = &metrics_.counter("txn.aborts");
@@ -76,6 +81,7 @@ Database::Database(uint32_t objects_per_page, CellTag cell_tag)
     fm.conflicts = em_.ddl_conflicts;
     fm.fence_wait_us = em_.ddl_fence_wait_us;
     fm.epoch_gauge = em_.ddl_epoch;
+    fm.trace = &trace_;
     schema_fence_.set_metrics(fm);
   }
   // §10: immediately-sealed schema versions (additive DDL) are stamped with
@@ -341,7 +347,7 @@ Status Database::AttachWal(wal::WalManager* wal) {
     return Status::FailedPrecondition("AttachWal requires an open WAL");
   }
   wal_ = wal;
-  wal->AttachMetrics(&metrics_);
+  wal->AttachMetrics(&metrics_, &trace_);
   pipeline_.AddSink(std::make_unique<WalSink>(wal));
   // The redo hook runs inside PublishBatch, under commit_mu_, so enqueue
   // order equals commit order — the changelog is a commit-order prefix of

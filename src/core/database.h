@@ -84,7 +84,10 @@ class Database {
 
   /// `cell_tag` stamps every uid this database mints (common/uid.h): 0 is
   /// the standalone configuration, a Cluster assigns each cell its own tag.
-  explicit Database(uint32_t objects_per_page = 16, CellTag cell_tag = 0);
+  /// `trace_opts` sizes the §13 trace ring / flight recorder and sets the
+  /// sampling and slow-trace retention policy.
+  explicit Database(uint32_t objects_per_page = 16, CellTag cell_tag = 0,
+                    const obs::TraceOptions& trace_opts = obs::TraceOptions());
   ~Database();
 
   Database(const Database&) = delete;
@@ -266,7 +269,7 @@ class Database {
   /// Declared before every subsystem: metric cells are resolved into raw
   /// pointers at construction and must outlive all of their users.
   obs::MetricsRegistry metrics_;
-  obs::TraceBuffer trace_;
+  obs::TraceBuffer trace_;  // sized by the constructor's trace_opts
   EngineMetrics em_;
   CellTag cell_tag_ = 0;
 

@@ -10,6 +10,7 @@
 #include "core/snapshot.h"
 #include "core/snapshot_codec.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wal/wal.h"
 
 namespace orion {
@@ -141,6 +142,10 @@ Status ReplayInto(Database& db, wal::WalManager& wal, RecoveryStats* stats) {
   if (!wal.is_open()) {
     return Status::FailedPrecondition("ReplayInto requires an open WAL");
   }
+  // §13: replay as its own trace — snapshot load and frame application
+  // spans recorded below collect under it, so a slow recovery is
+  // inspectable in the flight recorder like any slow transaction.
+  obs::TraceRoot trace_root(&db.trace(), "recovery.replay");
   ORION_ASSIGN_OR_RETURN(auto snap, wal.LatestSnapshot());
   // Emptiness, not ts, is the no-snapshot sentinel: a checkpoint taken
   // before the first commit legitimately pins read_ts 0 (schema-only

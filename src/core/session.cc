@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace orion {
 
 namespace {
@@ -44,6 +46,11 @@ void Session::Backoff(int attempt) {
 }
 
 Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
+  // §13 root span: every span the attempts below record — txn outcomes,
+  // lock waits, WAL waits — parents into this trace's tree.  A failed
+  // session (deadlock, timeout, exhausted retries) is marked so the
+  // flight recorder retains the whole tree.
+  obs::TraceRoot trace_root(&db_->trace(), "session.run");
   Status last = Status::Ok();
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
@@ -68,12 +75,14 @@ Status Session::Run(const std::function<Status(TransactionContext&)>& fn) {
     if (!IsRetryable(result)) {
       ++stats_.failures;
       em_->session_failures->Inc();
+      trace_root.MarkError();
       return result;
     }
     last = result;
   }
   ++stats_.failures;
   em_->session_failures->Inc();
+  trace_root.MarkError();
   return Status::Timeout("session retry budget (" +
                          std::to_string(options_.max_retries) +
                          ") exhausted; last conflict: " + last.message());

@@ -16,6 +16,9 @@ TransactionContext::TransactionContext(Database* db,
       em_(&db->engine_metrics()),
       start_us_(obs::NowMicros()),
       begin_epoch_(db->schema_fence().epoch()) {
+  // §13: adopt the ambient trace (the session root, or a coordinator's
+  // span) as this transaction's causal parent; zero when untraced.
+  trace_ctx_ = obs::CaptureChildContext(&trace_parent_);
   em_->txn_begins->Inc();
   // §10: register with the schema fence so a DDL that fences a class this
   // transaction touches knows to wait for it.
@@ -446,6 +449,9 @@ CommitRequest TransactionContext::BuildCommitRequest(bool with_write_set) const 
 
 Status TransactionContext::Commit() {
   ORION_RETURN_IF_ERROR(RequireActive());
+  // §13: spans recorded below (WAL waits, the outcome) parent to this
+  // transaction's span, not to whatever the thread was doing before.
+  obs::TraceContextScope trace_scope(trace_ctx_);
   // §10 commit-time backstop, now pipeline stage 1: re-derive the touched
   // classes from the journal itself (the write set) and have the fence
   // validate them.  This is independent of the per-operation CheckDml
@@ -466,6 +472,10 @@ Status TransactionContext::Commit() {
 
 Status TransactionContext::Prepare() {
   ORION_RETURN_IF_ERROR(RequireActive());
+  // §13: re-adopt this participant's span — the coordinator drives several
+  // participants interleaved from one thread, so each re-installs its own
+  // context at its outcome entry points.
+  obs::TraceContextScope trace_scope(trace_ctx_);
   // Unlike Commit(), which publishes while still inside the validate→
   // publish timing window the fence protocol covers, a prepared
   // transaction publishes at an unbounded later point (after every other
@@ -519,6 +529,7 @@ Status TransactionContext::CommitPrepared() {
         "transaction " + std::to_string(txn_) +
         (active_ ? " was not prepared" : " has finished"));
   }
+  obs::TraceContextScope trace_scope(trace_ctx_);
   return PublishAndRelease();
 }
 
@@ -558,7 +569,8 @@ Status TransactionContext::PublishAndRelease() {
   em_->txn_journal_size->Observe(journaled);
   const uint64_t dur_us = obs::NowMicros() - start_us_;
   em_->txn_commit_us->Observe(dur_us);
-  db_->trace().Record("txn.commit", start_us_, dur_us, txn_);
+  obs::EmitSpan(&db_->trace(), "txn.commit", start_us_, dur_us, txn_,
+                trace_ctx_, trace_parent_);
   return hardened.ok() ? released : hardened;
 }
 
@@ -570,6 +582,7 @@ Status TransactionContext::Abort() {
     return Status::TransactionInvalid("transaction " + std::to_string(txn_) +
                                       " has finished");
   }
+  obs::TraceContextScope trace_scope(trace_ctx_);
   active_ = false;
   // Pass 1: remove objects created by this transaction.
   for (const auto& [uid, before] : journal_) {
@@ -610,7 +623,8 @@ Status TransactionContext::Abort() {
   em_->txn_aborts->Inc();
   const uint64_t dur_us = obs::NowMicros() - start_us_;
   em_->txn_abort_us->Observe(dur_us);
-  db_->trace().Record("txn.abort", start_us_, dur_us, txn_);
+  obs::EmitSpan(&db_->trace(), "txn.abort", start_us_, dur_us, txn_,
+                trace_ctx_, trace_parent_);
   return released;
 }
 

@@ -180,6 +180,14 @@ class TransactionContext {
   bool active_ = true;
   /// Set by a successful Prepare(); bars further operations and Commit().
   bool prepared_ = false;
+  /// §13 causal identity, captured from the thread's ambient trace at
+  /// begin: this transaction's span id (children parent to it) and the
+  /// span to parent the outcome span to.  Zero outside a traced session.
+  /// Re-installed via TraceContextScope at each outcome entry point —
+  /// never held ambient across the open phase, because 2PC participants
+  /// are driven interleaved from one coordinator thread.
+  obs::TraceContext trace_ctx_{};
+  uint64_t trace_parent_ = 0;
   /// Coordinator-assigned global transaction id (0 = single-cell commit).
   uint64_t gtid_ = 0;
   /// Classes already registered with the schema fence (txn-local cache).

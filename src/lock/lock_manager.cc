@@ -123,9 +123,11 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
         c_waits_->Inc();
         const uint64_t waited_us = obs::NowMicros() - wait_start_us;
         h_wait_us_->Observe(waited_us);
-        if (trace_ != nullptr) {
-          trace_->Record("lock.wait", wait_start_us, waited_us, resource.id);
-        }
+        // §13: parents to the ambient transaction span when one is open
+        // (the collector append takes no latch, so holding mu_ is fine);
+        // flat ring record otherwise.
+        obs::RecordSpan(trace_, "lock.wait", wait_start_us, waited_us,
+                        resource.id);
       }
       return Status::Ok();
     }
@@ -133,6 +135,13 @@ Status LockManager::Acquire(TxnId txn, const LockResource& resource,
       waits_for_.erase(txn);
       MaybeErase(resource);
       c_deadlocks_->Inc();
+      // §13: the acquisition that closed the cycle, in the victim's tree —
+      // the flight recorder retains the whole tree, so the span shows
+      // WHERE the deadlock bit even when detection was immediate (0us).
+      const uint64_t now_us = obs::NowMicros();
+      obs::RecordSpan(trace_, "lock.deadlock",
+                      waited ? wait_start_us : now_us,
+                      waited ? now_us - wait_start_us : 0, resource.id);
       return Status::Deadlock(
           "waiting for " + resource.ToString() + " in " +
           std::string(LockModeName(mode)) + " would deadlock transaction " +

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <set>
 
 namespace orion::obs {
 
@@ -142,6 +143,38 @@ std::string PromName(std::string_view prefix, std::string_view name) {
   return out;
 }
 
+/// Splits a registry key of the form `family|k=v[,k=v...]` (the label-key
+/// convention Cluster::Stats uses for non-summable per-cell series) into
+/// the family part and a rendered Prometheus label block (`k="v",...`,
+/// empty for a plain key).  ToJson keeps the raw keys; only the
+/// Prometheus exposition needs the split.
+std::string_view SplitLabels(std::string_view key, std::string& labels_out) {
+  const size_t bar = key.find('|');
+  if (bar == std::string_view::npos) {
+    return key;
+  }
+  std::string_view rest = key.substr(bar + 1);
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view pair =
+        comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      continue;  // malformed pair: skip it rather than emit broken syntax
+    }
+    if (!labels_out.empty()) {
+      labels_out.push_back(',');
+    }
+    labels_out += PromName("", pair.substr(0, eq)).substr(1);
+    labels_out += "=\"";
+    labels_out += pair.substr(eq + 1);
+    labels_out.push_back('"');
+  }
+  return key.substr(0, bar);
+}
+
 void AppendU64(std::string& out, uint64_t v) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
@@ -175,21 +208,47 @@ void AppendJsonString(std::string& out, std::string_view s) {
 
 std::string MetricsSnapshot::ToPrometheus(std::string_view prefix) const {
   std::string out;
+  // One `# TYPE` line per family: `name|cell=1` and `name|cell=2` are
+  // samples of the same family `name`.  The keys sort family-adjacent
+  // (std::map), but a set keeps the dedup robust to interleaving names.
+  std::set<std::string> typed;
+  auto type_line = [&](const std::string& pname, const char* kind) {
+    if (typed.insert(pname).second) {
+      out += "# TYPE " + pname + " " + kind + "\n";
+    }
+  };
   for (const auto& [name, value] : counters) {
-    const std::string pname = PromName(prefix, name);
-    out += "# TYPE " + pname + " counter\n" + pname + " ";
+    std::string labels;
+    const std::string pname = PromName(prefix, SplitLabels(name, labels));
+    type_line(pname, "counter");
+    out += pname;
+    if (!labels.empty()) {
+      out += "{" + labels + "}";
+    }
+    out += " ";
     AppendU64(out, value);
     out.push_back('\n');
   }
   for (const auto& [name, value] : gauges) {
-    const std::string pname = PromName(prefix, name);
-    out += "# TYPE " + pname + " gauge\n" + pname + " ";
+    std::string labels;
+    const std::string pname = PromName(prefix, SplitLabels(name, labels));
+    type_line(pname, "gauge");
+    out += pname;
+    if (!labels.empty()) {
+      out += "{" + labels + "}";
+    }
+    out += " ";
     AppendI64(out, value);
     out.push_back('\n');
   }
   for (const auto& [name, hist] : histograms) {
-    const std::string pname = PromName(prefix, name);
-    out += "# TYPE " + pname + " histogram\n";
+    std::string labels;
+    const std::string pname = PromName(prefix, SplitLabels(name, labels));
+    // `{cell="1",le="3"}`: extra labels precede the bucket bound.
+    const std::string le_open =
+        labels.empty() ? "_bucket{le=\"" : "_bucket{" + labels + ",le=\"";
+    const std::string suffix = labels.empty() ? "" : "{" + labels + "}";
+    type_line(pname, "histogram");
     size_t last = 0;
     for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
       if (hist.buckets[i] != 0) {
@@ -199,19 +258,19 @@ std::string MetricsSnapshot::ToPrometheus(std::string_view prefix) const {
     uint64_t cumulative = 0;
     for (size_t i = 0; i <= last; ++i) {
       cumulative += hist.buckets[i];
-      out += pname + "_bucket{le=\"";
+      out += pname + le_open;
       AppendU64(out, HistogramSnapshot::BucketUpperBound(i));
       out += "\"} ";
       AppendU64(out, cumulative);
       out.push_back('\n');
     }
-    out += pname + "_bucket{le=\"+Inf\"} ";
+    out += pname + le_open + "+Inf\"} ";
     AppendU64(out, hist.count);
     out.push_back('\n');
-    out += pname + "_sum ";
+    out += pname + "_sum" + suffix + " ";
     AppendU64(out, hist.sum);
     out.push_back('\n');
-    out += pname + "_count ";
+    out += pname + "_count" + suffix + " ";
     AppendU64(out, hist.count);
     out.push_back('\n');
   }

@@ -142,6 +142,10 @@ void SchemaFence::DdlGuard::FenceAndDrain(
   if (fence_->metrics_.fence_wait_us != nullptr) {
     fence_->metrics_.fence_wait_us->Observe(obs::NowMicros() - start_us);
   }
+  // §13: the drain wait as a span (tag = transactions drained), parented
+  // to the DDL issuer's trace when one is ambient.
+  obs::RecordSpan(fence_->metrics_.trace, "ddl.fence_drain", start_us,
+                  obs::NowMicros() - start_us, drained);
 }
 
 }  // namespace orion

@@ -10,6 +10,7 @@
 #include "common/latch.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "schema/class_def.h"
 
 namespace orion {
@@ -56,6 +57,7 @@ class SchemaFence {
     obs::Counter* conflicts = nullptr;       // ddl.conflicts
     obs::Histogram* fence_wait_us = nullptr; // ddl.fence_wait_us
     obs::Gauge* epoch_gauge = nullptr;       // ddl.epoch
+    obs::TraceBuffer* trace = nullptr;       // §13 "ddl.fence_drain" spans
   };
 
   SchemaFence() = default;

@@ -51,10 +51,14 @@ Status WalManager::Open(const std::string& dir, const WalOptions& opts) {
   return Status::Ok();
 }
 
-void WalManager::AttachMetrics(obs::MetricsRegistry* registry) {
+void WalManager::AttachMetrics(obs::MetricsRegistry* registry,
+                               obs::TraceBuffer* trace) {
   appends_ = &registry->counter("wal.appends");
   fsyncs_ = &registry->counter("wal.fsyncs");
   group_size_ = &registry->histogram("wal.group_size");
+  fsync_us_ = &registry->histogram("wal.fsync_us");
+  durable_ts_gauge_ = &registry->gauge("wal.durable_ts");
+  trace_ = trace;
 }
 
 void WalManager::Enqueue(uint64_t ts, std::string record) {
@@ -110,7 +114,17 @@ void WalManager::FlushLocked(UniqueLatchGuard& g) {
     }
   }
   if (st.ok()) {
+    // Timed in the unlocked window, so the histogram and span measure the
+    // device, not queueing behind mu_.  The span lands in the LEADER's own
+    // trace (tag = batch size); followers record their wait as "wal.sync".
+    const uint64_t fsync_start_us = obs::NowMicros();
     st = log_.Sync();
+    const uint64_t fsync_dur_us = obs::NowMicros() - fsync_start_us;
+    if (fsync_us_ != nullptr) {
+      fsync_us_->Observe(fsync_dur_us);
+    }
+    obs::RecordSpan(trace_, "wal.fsync", fsync_start_us, fsync_dur_us,
+                    batch.size());
   }
   g.lock();
 
@@ -125,6 +139,9 @@ void WalManager::FlushLocked(UniqueLatchGuard& g) {
       if (p.gtid != 0) {
         prepared_segments_[p.gtid] = segment;
       }
+    }
+    if (durable_ts_gauge_ != nullptr) {
+      durable_ts_gauge_->Set(static_cast<int64_t>(durable_ts_));
     }
     if (appends_ != nullptr) {
       appends_->Add(batch.size());
@@ -150,6 +167,9 @@ Status WalManager::Sync(uint64_t ts) {
   if (!open_ || ts == 0) {
     return Status::Ok();
   }
+  // §13: the committer's durability wait — leading or following — as one
+  // span (tag = the timestamp waited for), child of the ambient txn span.
+  const uint64_t sync_start_us = obs::NowMicros();
   UniqueLatchGuard g(mu_);
   while (durable_ts_ < ts) {
     if (!io_status_.ok()) {
@@ -169,6 +189,8 @@ Status WalManager::Sync(uint64_t ts) {
       FlushLocked(g);
     }
   }
+  obs::RecordSpan(trace_, "wal.sync", sync_start_us,
+                  obs::NowMicros() - sync_start_us, ts);
   return io_status_;
 }
 
@@ -176,6 +198,9 @@ Status WalManager::AppendPrepare(uint64_t gtid, std::string record) {
   if (!open_) {
     return Status::FailedPrecondition("wal not open");
   }
+  // §13: the prepare append + durability wait — a participant's yes-vote
+  // cost — as one span tagged with the gtid.
+  const uint64_t prepare_start_us = obs::NowMicros();
   UniqueLatchGuard g(mu_);
   const uint64_t seq = next_seq_++;
   pending_.push_back(PendingRecord{seq, 0, gtid, std::move(record)});
@@ -194,6 +219,8 @@ Status WalManager::AppendPrepare(uint64_t gtid, std::string record) {
       FlushLocked(g);
     }
   }
+  obs::RecordSpan(trace_, "wal.prepare", prepare_start_us,
+                  obs::NowMicros() - prepare_start_us, gtid);
   return io_status_;
 }
 

@@ -30,6 +30,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wal/changelog.h"
 
 namespace orion {
@@ -60,8 +61,11 @@ class WalManager {
   bool is_open() const { return open_; }
   const std::string& dir() const { return dir_; }
 
-  /// Resolves wal.* metrics (appends, fsyncs, group_size) from `registry`.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  /// Resolves wal.* metrics (appends, fsyncs, group_size, fsync_us,
+  /// durable_ts) from `registry`; `trace` (optional) receives the §13
+  /// wal.fsync / wal.sync / wal.prepare spans.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     obs::TraceBuffer* trace = nullptr);
 
   /// Queues one commit record.  Called from the publish hook while the
   /// commit latch is held — MUST NOT block on I/O.  Errors surface at the
@@ -149,6 +153,9 @@ class WalManager {
   obs::Counter* appends_ = nullptr;
   obs::Counter* fsyncs_ = nullptr;
   obs::Histogram* group_size_ = nullptr;
+  obs::Histogram* fsync_us_ = nullptr;
+  obs::Gauge* durable_ts_gauge_ = nullptr;
+  obs::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace wal

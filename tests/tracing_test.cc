@@ -1,0 +1,411 @@
+// §13 causal tracing: context propagation across sessions, cells, 2PC and
+// the WAL (one cross-cell commit must export one connected span tree), the
+// tail-based flight recorder (deadlocked / aborted transactions are
+// retained 100%, clean fast ones follow the sampling policy), and the
+// Cluster::Stats() observability facade's reconciliation with the per-cell
+// registries.  Suite names carry "Observability" / "Cell" so the TSan CI
+// leg runs them under the race detector.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cell/cluster.h"
+#include "cell/cluster_session.h"
+#include "cell/cluster_transaction.h"
+#include "core/database.h"
+#include "core/session.h"
+#include "obs/trace.h"
+
+namespace orion {
+namespace {
+
+using obs::TraceBuffer;
+using obs::TraceEvent;
+using obs::TraceOptions;
+using std::chrono::milliseconds;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+/// Events of the trace containing `marker`, highest trace id wins (the
+/// most recent such transaction in the ring).
+std::vector<TraceEvent> TraceWith(const std::vector<TraceEvent>& events,
+                                  const std::string& marker) {
+  uint64_t best = 0;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id != 0 && marker == e.name) {
+      best = std::max(best, e.trace_id);
+    }
+  }
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.trace_id == best && best != 0) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+/// The §13 acceptance predicate: exactly one root, and every span reaches
+/// it through parent links that stay inside the tree.
+void ExpectConnectedTree(const std::vector<TraceEvent>& tree,
+                         const char* root_name) {
+  ASSERT_FALSE(tree.empty());
+  std::set<uint64_t> ids;
+  int roots = 0;
+  for (const TraceEvent& e : tree) {
+    EXPECT_TRUE(ids.insert(e.span_id).second)
+        << "duplicate span id " << e.span_id;
+    if (e.parent_id == 0) {
+      ++roots;
+      EXPECT_STREQ(e.name, root_name);
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  for (const TraceEvent& e : tree) {
+    if (e.parent_id != 0) {
+      EXPECT_TRUE(ids.count(e.parent_id) > 0)
+          << e.name << " parents to span " << e.parent_id
+          << " which is not in the tree";
+    }
+  }
+}
+
+size_t CountNamed(const std::vector<TraceEvent>& tree, const std::string& n) {
+  size_t count = 0;
+  for (const TraceEvent& e : tree) {
+    count += n == e.name ? 1 : 0;
+  }
+  return count;
+}
+
+// --- Cross-cell propagation -------------------------------------------------
+
+TEST(CellTracingTest, CrossCellTwoPcCommitExportsOneConnectedTree) {
+  const std::string dir = FreshDir("orion_tracing_2pc");
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster.EnableDurability(dir).ok());
+  ASSERT_TRUE(cluster
+                  .MakeClass(ClassSpec{
+                      .name = "Doc",
+                      .attributes = {WeakAttr("N", "integer")}})
+                  .ok());
+
+  ClusterSession session(&cluster);
+  Uid a = kNilUid, b = kNilUid;
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_ASSIGN_OR_RETURN(
+                        a, txn.Make("Doc", {}, {{"N", Value::Integer(0)}}));
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_ASSIGN_OR_RETURN(
+                        b, txn.Make("Doc", {}, {{"N", Value::Integer(0)}}));
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_NE(CellTagOf(a), CellTagOf(b));  // round-robin placement
+
+  // One cross-cell transaction: writes in both cells, committed via 2PC
+  // with a durable prepare in each cell's WAL.
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_RETURN_IF_ERROR(
+                        txn.SetAttribute(a, "N", Value::Integer(1)));
+                    return txn.SetAttribute(b, "N", Value::Integer(2));
+                  })
+                  .ok());
+
+  const std::vector<TraceEvent> tree =
+      TraceWith(cluster.trace().Snapshot(), "txn.2pc");
+  ExpectConnectedTree(tree, "session.run");
+
+  // Every layer the commit crossed shows up in the ONE tree: the
+  // coordinator span, both per-cell prepare and phase-2 spans (tagged with
+  // the cell), both participants' outcome spans, and the durable prepares
+  // the cells' WALs wrote.
+  EXPECT_EQ(CountNamed(tree, "txn.2pc"), 1u);
+  EXPECT_EQ(CountNamed(tree, "txn.commit"), 2u);
+  EXPECT_GE(CountNamed(tree, "wal.prepare"), 2u);
+  std::set<uint64_t> prepare_cells, commit_cells;
+  for (const TraceEvent& e : tree) {
+    if (std::string("2pc.prepare") == e.name) {
+      prepare_cells.insert(e.tag);
+    }
+    if (std::string("2pc.commit") == e.name) {
+      commit_cells.insert(e.tag);
+    }
+  }
+  EXPECT_EQ(prepare_cells, (std::set<uint64_t>{1, 2}));
+  EXPECT_EQ(commit_cells, (std::set<uint64_t>{1, 2}));
+}
+
+TEST(CellTracingTest, SingleCellSessionTreeIsConnectedToo) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster
+                  .MakeClass(ClassSpec{
+                      .name = "Doc",
+                      .attributes = {WeakAttr("N", "integer")}})
+                  .ok());
+  ClusterSession session(&cluster);
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    return txn.Make("Doc", {}, {{"N", Value::Integer(7)}})
+                        .status();
+                  })
+                  .ok());
+  const std::vector<TraceEvent> tree =
+      TraceWith(cluster.trace().Snapshot(), "txn.commit");
+  ExpectConnectedTree(tree, "session.run");
+  EXPECT_EQ(CountNamed(tree, "txn.commit"), 1u);
+  EXPECT_EQ(CountNamed(tree, "txn.2pc"), 0u);  // fast path, no coordinator
+}
+
+// --- Tail-based flight recorder ---------------------------------------------
+
+TEST(ObservabilityTracingTest, FlightRecorderRetainsEveryDeadlockedTree) {
+  // Slow-trace retention is pushed out of reach so the ONLY way into the
+  // flight recorder here is an error — the property under test is "100%
+  // of deadlocked/aborted transactions keep their full tree".
+  TraceOptions topts;
+  topts.slow_us = 60'000'000;
+  Database db(/*objects_per_page=*/16, /*cell_tag=*/0, topts);
+  ClassId doc = *db.MakeClass(ClassSpec{
+      .name = "Doc", .attributes = {WeakAttr("N", "integer")}});
+  (void)doc;
+  const Uid a = *db.Make("Doc", {}, {{"N", Value::Integer(0)}});
+  const Uid b = *db.Make("Doc", {}, {{"N", Value::Integer(0)}});
+
+  // Classic AB/BA deadlock, no retries: the victim's Run fails and its
+  // root marks the trace failed.
+  SessionOptions opts;
+  opts.lock_timeout = milliseconds(250);
+  opts.max_retries = 0;
+  std::atomic<bool> holds_a{false};
+  std::atomic<bool> holds_b{false};
+  auto wait_for = [](std::atomic<bool>& flag) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (!flag.load() && std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+  };
+  Status s1, s2;
+  std::thread t1([&] {
+    Session session(&db, opts);
+    s1 = session.Run([&](TransactionContext& txn) -> Status {
+      ORION_RETURN_IF_ERROR(txn.SetAttribute(a, "N", Value::Integer(1)));
+      holds_a.store(true);
+      wait_for(holds_b);
+      return txn.SetAttribute(b, "N", Value::Integer(1));
+    });
+  });
+  std::thread t2([&] {
+    Session session(&db, opts);
+    s2 = session.Run([&](TransactionContext& txn) -> Status {
+      ORION_RETURN_IF_ERROR(txn.SetAttribute(b, "N", Value::Integer(2)));
+      holds_b.store(true);
+      wait_for(holds_a);
+      return txn.SetAttribute(a, "N", Value::Integer(2));
+    });
+  });
+  t1.join();
+  t2.join();
+
+  const size_t failed = (s1.ok() ? 0 : 1) + (s2.ok() ? 0 : 1);
+  ASSERT_GE(failed, 1u);  // somebody lost the deadlock
+
+  const auto flight = db.trace().FlightSnapshot();
+  ASSERT_EQ(flight.size(), failed);  // 100% retention, nothing else leaked in
+  for (const auto& tree : flight) {
+    ExpectConnectedTree(tree, "session.run");
+    // The victim's abort is part of its retained tree, as is the
+    // acquisition that closed the cycle (an eager detection records a 0us
+    // lock.deadlock span; one that waited a few rounds first may also
+    // carry lock.wait spans).
+    EXPECT_GE(CountNamed(tree, "txn.abort"), 1u);
+    EXPECT_GE(CountNamed(tree, "lock.deadlock"), 1u);
+  }
+}
+
+TEST(ObservabilityTracingTest, CleanFastTracesFollowTheSamplingPolicy) {
+  TraceOptions opts;
+  opts.capacity = 64;
+  opts.flight_capacity = 4;
+  opts.slow_us = 60'000'000;
+  opts.sample_period = 0;  // sampling off: clean fast traces vanish
+  TraceBuffer buf(opts);
+  {
+    obs::TraceRoot root(&buf, "session.run");
+    obs::Span child(&buf, "txn.commit", /*tag=*/1);
+  }
+  EXPECT_TRUE(buf.Snapshot().empty());
+  EXPECT_TRUE(buf.FlightSnapshot().empty());
+
+  // An error trace is retained regardless of the sampling policy.
+  {
+    obs::TraceRoot root(&buf, "session.run");
+    { obs::Span child(&buf, "txn.abort", /*tag=*/2); }
+    root.MarkError();
+  }
+  const auto flight = buf.FlightSnapshot();
+  ASSERT_EQ(flight.size(), 1u);
+  ExpectConnectedTree(flight[0], "session.run");
+  EXPECT_EQ(CountNamed(flight[0], "txn.abort"), 1u);
+}
+
+TEST(ObservabilityTracingTest, SlowTracesAreRetainedAndOldestTreesEvicted) {
+  TraceOptions opts;
+  opts.flight_capacity = 2;
+  opts.slow_us = 0;  // every trace qualifies as slow
+  opts.sample_period = 0;
+  TraceBuffer buf(opts);
+  for (uint64_t i = 0; i < 3; ++i) {
+    obs::TraceRoot root(&buf, "session.run", /*tag=*/i);
+  }
+  const auto flight = buf.FlightSnapshot();
+  ASSERT_EQ(flight.size(), 2u);  // oldest of the three evicted
+  EXPECT_EQ(flight[0].back().tag, 1u);
+  EXPECT_EQ(flight[1].back().tag, 2u);
+}
+
+TEST(ObservabilityTracingTest, DroppedCounterTracksRingOverwrites) {
+  obs::MetricsRegistry registry;
+  TraceOptions opts;
+  opts.capacity = 8;
+  TraceBuffer buf(opts);
+  buf.AttachMetrics(&registry);
+  for (int i = 0; i < 20; ++i) {
+    buf.Record("flat", /*start_us=*/1, /*duration_us=*/1, /*tag=*/0);
+  }
+  EXPECT_EQ(buf.dropped(), 12u);
+  EXPECT_EQ(registry.counter("trace.dropped").Value(), 12u);
+}
+
+TEST(ObservabilityTracingTest, BufferCapacityIsADatabaseOption) {
+  TraceOptions opts;
+  opts.capacity = 16;
+  Database db(/*objects_per_page=*/16, /*cell_tag=*/0, opts);
+  EXPECT_EQ(db.trace().capacity(), 16u);
+  Cluster cluster(2, /*objects_per_page=*/16, opts);
+  EXPECT_EQ(cluster.trace().capacity(), 16u);
+  EXPECT_EQ(cluster.cell(1).db().trace().capacity(), 16u);
+}
+
+// --- Cluster::Stats() facade ------------------------------------------------
+
+TEST(CellTracingTest, ClusterStatsReconcilesWithPerCellRegistries) {
+  Cluster cluster(2);
+  ASSERT_TRUE(cluster
+                  .MakeClass(ClassSpec{
+                      .name = "Doc",
+                      .attributes = {WeakAttr("N", "integer")}})
+                  .ok());
+  ClusterSession session(&cluster);
+  Uid a = kNilUid, b = kNilUid;
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_ASSIGN_OR_RETURN(
+                        a, txn.Make("Doc", {}, {{"N", Value::Integer(0)}}));
+                    return Status::Ok();
+                  })
+                  .ok());
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_ASSIGN_OR_RETURN(
+                        b, txn.Make("Doc", {}, {{"N", Value::Integer(0)}}));
+                    return Status::Ok();
+                  })
+                  .ok());
+  // A cross-cell commit so the cluster's own 2PC families move too.
+  ASSERT_TRUE(session
+                  .Run([&](ClusterTransaction& txn) -> Status {
+                    ORION_RETURN_IF_ERROR(
+                        txn.SetAttribute(a, "N", Value::Integer(1)));
+                    return txn.SetAttribute(b, "N", Value::Integer(2));
+                  })
+                  .ok());
+
+  const obs::MetricsSnapshot own = cluster.metrics().Snapshot();
+  const obs::MetricsSnapshot c1 = cluster.cell(1).db().Stats();
+  const obs::MetricsSnapshot c2 = cluster.cell(2).db().Stats();
+  const Cluster::StatsSnapshot merged = cluster.Stats();
+
+  // Counters merge by summing.  Background reclaimer passes may tick a few
+  // families between the four snapshots, so the general contract checked
+  // here is monotone containment; the workload-driven commit counter (the
+  // background never touches it) must reconcile exactly.
+  for (const auto* part : {&own, &c1, &c2}) {
+    for (const auto& [name, value] : part->counters) {
+      auto it = merged.counters.find(name);
+      ASSERT_NE(it, merged.counters.end()) << "family lost: " << name;
+    }
+  }
+  for (const auto& [name, value] : merged.counters) {
+    uint64_t sum = 0;
+    auto add = [&](const obs::MetricsSnapshot& part) {
+      auto it = part.counters.find(name);
+      sum += it == part.counters.end() ? 0 : it->second;
+    };
+    add(own);
+    add(c1);
+    add(c2);
+    EXPECT_GE(value, sum) << "family over-merged: " << name;
+    if (name == "txn.commits") {
+      EXPECT_EQ(value, sum);  // no double count, no loss
+    }
+  }
+  const uint64_t commits_merged = merged.counters.at("txn.commits");
+  EXPECT_EQ(commits_merged, c1.counters.at("txn.commits") +
+                                c2.counters.at("txn.commits"));
+
+  // Gauges stay per cell, labeled; the cluster's own gauges pass through
+  // unlabeled.  No gauge family may vanish in the merge.
+  for (const auto& [name, value] : c1.gauges) {
+    EXPECT_TRUE(merged.gauges.count(name + "|cell=1") > 0)
+        << "cell-1 gauge lost: " << name;
+  }
+  for (const auto& [name, value] : c2.gauges) {
+    EXPECT_TRUE(merged.gauges.count(name + "|cell=2") > 0)
+        << "cell-2 gauge lost: " << name;
+  }
+  for (const auto& [name, value] : own.gauges) {
+    EXPECT_TRUE(merged.gauges.count(name) > 0)
+        << "cluster gauge lost: " << name;
+  }
+
+  // Histograms merge bucket-wise: counts add across cells.
+  for (const auto& [name, hist] : merged.histograms) {
+    uint64_t sum = 0;
+    for (const auto* part : {&own, &c1, &c2}) {
+      auto it = part->histograms.find(name);
+      sum += it == part->histograms.end() ? 0 : it->second.count;
+    }
+    EXPECT_GE(hist.count, sum) << "histogram over-merged: " << name;
+  }
+
+  // The labeled snapshot renders as valid Prometheus exposition: each
+  // per-cell gauge sample carries a {cell="N"} label block.
+  const std::string prom = merged.ToPrometheus();
+  EXPECT_NE(prom.find("{cell=\"1\"}"), std::string::npos);
+  EXPECT_NE(prom.find("{cell=\"2\"}"), std::string::npos);
+  EXPECT_EQ(prom.find("|cell="), std::string::npos);  // raw keys never leak
+}
+
+}  // namespace
+}  // namespace orion

@@ -1,8 +1,12 @@
-// Validates the metrics exposition the bench binaries emit (DESIGN.md §8).
+// Validates the metrics exposition the bench binaries emit (DESIGN.md §8),
+// plus the §13 trace export and the cluster observability facade.
 //
 //   metrics_check <metrics.prom> <metrics.json> [bench.json...]
+//   metrics_check --trace <trace.json>
+//   metrics_check --cluster <cluster.prom> <cluster.json> <own.json> \
+//                 <cell1.json> [cell2.json...]
 //
-// Checks, in order:
+// Default mode checks, in order:
 //   1. The Prometheus file parses: every non-comment line is
 //      `name{labels} value` with a sane metric name, every sample is
 //      preceded by a `# TYPE` for its family, histogram `_bucket` series
@@ -13,6 +17,23 @@
 //   3. The two expositions agree: every counter in the JSON appears as a
 //      Prometheus sample with the same value, and vice versa.
 //   4. Any extra bench JSON files parse too (shape check only).
+//
+// --trace validates a TraceBuffer Chrome-trace export: the
+// {"traceEvents": [...]} shape, every event a complete ("X") event with
+// numeric ts/dur and a {trace_id, span_id, parent_id, tag} args block, and
+// — the §13 invariant — every span of every trace reachable from that
+// trace's root through parent_id links (flat trace_id == 0 spans exempt).
+//
+// --cluster reconciles a Cluster::Stats() export against the registries it
+// merged: <own.json> is the cluster's own (coordinator) registry and each
+// <cellN.json> is one cell's Database::Stats(), all exported BEFORE the
+// cluster snapshot.  Counters and histogram counts must satisfy
+// cluster == own + sum(cells) exactly — no double-count, no missing family
+// — except families a background thread advances between exports
+// (reclaim.*, trace.dropped), which must only be monotone (cluster >=
+// own + sum).  Gauges are point-in-time, so only their labeling is
+// checked: every cell gauge appears as `name|cell=<tag>`, tag taken from
+// the cell file's position (1-based).
 //
 // Exit code 0 on success; prints the first failure and exits 1 otherwise.
 
@@ -472,13 +493,273 @@ void CrossCheck(const PromDoc& prom, const JsonValue& json) {
   }
 }
 
+// --- §13 trace export validation (--trace) ----------------------------------
+
+uint64_t NumberField(const JsonValue& obj, const char* key,
+                     const std::string& where) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    Fail("trace event " + where + " lacks numeric field '" + key + "'");
+  }
+  return static_cast<uint64_t>(v->number);
+}
+
+void CheckTraceExport(const JsonValue& doc) {
+  const JsonValue* events = doc.Find("traceEvents");
+  if (doc.kind != JsonValue::Kind::kObject || events == nullptr ||
+      events->kind != JsonValue::Kind::kArray) {
+    Fail("trace export lacks the {\"traceEvents\": [...]} shape");
+  }
+  // trace_id -> (span ids, child [span, parent] links).
+  struct Trace {
+    std::map<uint64_t, size_t> spans;  // span_id -> multiplicity
+    std::vector<std::pair<uint64_t, uint64_t>> links;
+    size_t roots = 0;
+  };
+  std::map<uint64_t, Trace> traces;
+  size_t flat = 0;
+  size_t index = 0;
+  for (const JsonValue& ev : events->array) {
+    const std::string where = "#" + std::to_string(index++);
+    if (ev.kind != JsonValue::Kind::kObject) {
+      Fail("trace event " + where + " is not an object");
+    }
+    const JsonValue* name = ev.Find("name");
+    const JsonValue* ph = ev.Find("ph");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->str.empty()) {
+      Fail("trace event " + where + " lacks a string name");
+    }
+    if (ph == nullptr || ph->str != "X") {
+      Fail("trace event " + where + " is not a complete ('X') event");
+    }
+    NumberField(ev, "ts", where);
+    NumberField(ev, "dur", where);
+    const JsonValue* args = ev.Find("args");
+    if (args == nullptr || args->kind != JsonValue::Kind::kObject) {
+      Fail("trace event " + where + " lacks an args object");
+    }
+    const uint64_t trace_id = NumberField(*args, "trace_id", where);
+    const uint64_t span_id = NumberField(*args, "span_id", where);
+    const uint64_t parent_id = NumberField(*args, "parent_id", where);
+    NumberField(*args, "tag", where);
+    if (trace_id == 0) {
+      ++flat;
+      continue;
+    }
+    if (span_id == 0) {
+      Fail("trace event " + where + " has trace_id but span_id 0");
+    }
+    Trace& t = traces[trace_id];
+    ++t.spans[span_id];
+    if (parent_id == 0) {
+      ++t.roots;
+    } else {
+      t.links.emplace_back(span_id, parent_id);
+    }
+  }
+  size_t spans = 0;
+  for (const auto& [id, t] : traces) {
+    if (t.roots == 0) {
+      Fail("trace " + std::to_string(id) + " has no root span");
+    }
+    for (const auto& [span, parent] : t.links) {
+      if (t.spans.count(parent) == 0) {
+        Fail("trace " + std::to_string(id) + ": span " +
+             std::to_string(span) + " links to missing parent " +
+             std::to_string(parent));
+      }
+      ++spans;
+    }
+    spans += t.roots;
+  }
+  std::printf(
+      "metrics_check: trace OK (%zu traces, %zu spans, %zu flat)\n",
+      traces.size(), spans, flat);
+}
+
+// --- Cluster facade reconciliation (--cluster) ------------------------------
+
+const JsonValue& Section(const JsonValue& doc, const char* key,
+                         const std::string& file) {
+  const JsonValue* v = doc.Find(key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) {
+    Fail(file + " lacks the '" + key + "' section");
+  }
+  return *v;
+}
+
+/// True for families a background thread (the per-cell reclaimer) advances
+/// between the per-part exports and the cluster snapshot: equality cannot
+/// hold, monotonicity must.
+bool BackgroundDriven(const std::string& family) {
+  return family.compare(0, 8, "reclaim.") == 0 || family == "trace.dropped";
+}
+
+double HistCount(const JsonValue& hist, const std::string& family) {
+  const JsonValue* count = hist.Find("count");
+  if (count == nullptr || count->kind != JsonValue::Kind::kNumber) {
+    Fail("histogram '" + family + "' lacks a numeric count");
+  }
+  return count->number;
+}
+
+void CheckCluster(const PromDoc& prom, const JsonValue& cluster,
+                  const JsonValue& own,
+                  const std::vector<const JsonValue*>& cells,
+                  const std::vector<std::string>& files) {
+  const JsonValue& c_counters = Section(cluster, "counters", files[1]);
+  const JsonValue& c_gauges = Section(cluster, "gauges", files[1]);
+  const JsonValue& c_hists = Section(cluster, "histograms", files[1]);
+  // counters: cluster == own + sum(cells), per family, both directions.
+  auto part_sum = [&](const char* section, const std::string& family,
+                      double* sum) {
+    bool found = false;
+    const bool hist = section == std::string("histograms");
+    const JsonValue* v = Section(own, section, files[2]).Find(family);
+    if (v != nullptr) {
+      *sum += hist ? HistCount(*v, family) : v->number;
+      found = true;
+    }
+    for (const JsonValue* cell : cells) {
+      const JsonValue* cv = Section(*cell, section, "cell file").Find(family);
+      if (cv != nullptr) {
+        *sum += hist ? HistCount(*cv, family) : cv->number;
+        found = true;
+      }
+    }
+    return found;
+  };
+  for (const char* section : {"counters", "histograms"}) {
+    const JsonValue& merged =
+        section == std::string("counters") ? c_counters : c_hists;
+    for (const auto& [family, value] : merged.object) {
+      double sum = 0;
+      if (!part_sum(section, family, &sum)) {
+        Fail("cluster " + std::string(section) + " family '" + family +
+             "' exists in no per-part registry (invented family)");
+      }
+      const double merged_value = section == std::string("counters")
+                                      ? value.number
+                                      : HistCount(value, family);
+      if (BackgroundDriven(family)) {
+        if (merged_value + 1e-9 < sum) {
+          Fail("cluster " + std::string(section) + " '" + family +
+               "' went backwards: " + std::to_string(merged_value) +
+               " < part sum " + std::to_string(sum));
+        }
+      } else if (merged_value != sum) {
+        Fail("cluster " + std::string(section) + " '" + family +
+             "' != own + sum(cells): " + std::to_string(merged_value) +
+             " vs " + std::to_string(sum) + " (double-count or loss)");
+      }
+    }
+    // Reverse: every per-part family must be in the merged snapshot.
+    auto require_family = [&](const JsonValue& doc, const std::string& file) {
+      for (const auto& [family, v] : Section(doc, section, file).object) {
+        if (merged.Find(family) == nullptr) {
+          Fail(file + " " + section + " family '" + family +
+               "' is missing from the cluster snapshot");
+        }
+      }
+    };
+    require_family(own, files[2]);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      require_family(*cells[i], files[3 + i]);
+    }
+  }
+  // Gauges: cluster-own gauges pass through unlabeled; each cell's appear
+  // as `name|cell=<tag>` (tag = 1-based file position).  Values are
+  // point-in-time and not compared.
+  for (const auto& [name, v] : Section(own, "gauges", files[2]).object) {
+    if (c_gauges.Find(name) == nullptr) {
+      Fail("cluster gauge '" + name + "' (own registry) is missing");
+    }
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const std::string label = "|cell=" + std::to_string(i + 1);
+    for (const auto& [name, v] :
+         Section(*cells[i], "gauges", files[3 + i]).object) {
+      if (c_gauges.Find(name + label) == nullptr) {
+        Fail("cell " + std::to_string(i + 1) + " gauge '" + name +
+             "' is missing its labeled cluster series '" + name + label +
+             "'");
+      }
+    }
+  }
+  // Labeled keys must round-trip through the Prometheus renderer: the
+  // `|cell=N` suffix becomes a proper {cell="N"} label block on the same
+  // family name.
+  for (const auto& [key, v] : c_gauges.object) {
+    const size_t bar = key.find('|');
+    if (bar == std::string::npos) {
+      continue;
+    }
+    const std::string family = PromNameOf(key.substr(0, bar));
+    bool found = false;
+    for (const PromSample& s : prom.samples) {
+      if (s.name == family && !s.labels.empty()) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Fail("labeled gauge '" + key + "' has no labeled Prometheus sample '" +
+           family + "{...}'");
+    }
+  }
+  std::printf(
+      "metrics_check: cluster OK (%zu counters, %zu gauges, %zu histograms "
+      "reconciled across %zu cells)\n",
+      c_counters.object.size(), c_gauges.object.size(),
+      c_hists.object.size(), cells.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--trace") {
+    if (argc != 3) {
+      std::fprintf(stderr, "usage: %s --trace <trace.json>\n", argv[0]);
+      return 2;
+    }
+    CheckTraceExport(JsonParser(ReadFile(argv[2])).Parse());
+    return 0;
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--cluster") {
+    if (argc < 6) {
+      std::fprintf(stderr,
+                   "usage: %s --cluster <cluster.prom> <cluster.json> "
+                   "<own.json> <cell1.json> [cell2.json...]\n",
+                   argv[0]);
+      return 2;
+    }
+    const PromDoc prom = ParsePrometheus(ReadFile(argv[2]));
+    CheckPrometheus(prom);
+    const JsonValue cluster = JsonParser(ReadFile(argv[3])).Parse();
+    const JsonValue own = JsonParser(ReadFile(argv[4])).Parse();
+    std::vector<JsonValue> cell_docs;
+    std::vector<std::string> files = {argv[0], argv[3], argv[4]};
+    cell_docs.reserve(argc - 5);
+    for (int i = 5; i < argc; ++i) {
+      cell_docs.push_back(JsonParser(ReadFile(argv[i])).Parse());
+      files.push_back(argv[i]);
+    }
+    std::vector<const JsonValue*> cells;
+    cells.reserve(cell_docs.size());
+    for (const JsonValue& doc : cell_docs) {
+      cells.push_back(&doc);
+    }
+    CheckCluster(prom, cluster, own, cells, files);
+    return 0;
+  }
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <metrics.prom> <metrics.json> [bench.json...]\n",
-                 argv[0]);
+                 "usage: %s <metrics.prom> <metrics.json> [bench.json...]\n"
+                 "       %s --trace <trace.json>\n"
+                 "       %s --cluster <cluster.prom> <cluster.json> "
+                 "<own.json> <cell1.json> [cell2.json...]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const PromDoc prom = ParsePrometheus(ReadFile(argv[1]));
