@@ -7,9 +7,12 @@
 #   ubsan     UndefinedBehaviorSanitizer build, full suite
 #   recovery  crash/restart durability suite + WAL smoke bench (§12)
 #   metrics   metrics-exposition round-trip over the smoke bench output
-#   lint      orion_lint self-test + source tree scan (DESIGN.md §9)
-#   tidy      clang-tidy over compile_commands.json (skipped if the tool
-#             is not installed; the pinned check set lives in .clang-tidy)
+#   lint      orion_lint + orion_check self-tests, source tree scans, and
+#             a seeded-violation proof that the stage fails on regressions
+#             (DESIGN.md §9.2, §9.4)
+#   tidy      clang-tidy over compile_commands.json (FAILS with exit 3 if
+#             the tool is not installed when requested explicitly; the
+#             pinned check set lives in .clang-tidy)
 # Usage: ./ci.sh            (all stages)
 #        ./ci.sh <stage>    (one stage)
 set -euo pipefail
@@ -133,11 +136,37 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
 fi
 
 if [[ "$stage" == "all" || "$stage" == "lint" ]]; then
-  echo "=== stage 8: orion_lint (naked mutexes, unexplained discards, layering) ==="
+  echo "=== stage 8: orion_lint + orion_check (source-level invariants) ==="
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
-  cmake --build build-release -j "$jobs" --target orion_lint
+  cmake --build build-release -j "$jobs" --target orion_lint orion_check
   ./build-release/tools/orion_lint --self-test
   ./build-release/tools/orion_lint .
+  # Whole-program latch-discipline analysis: rank completeness, static
+  # nesting order, §9.1 rank-table drift (DESIGN.md §9.4).
+  ./build-release/tools/orion_check --self-test
+  ./build-release/tools/orion_check .
+  # Seeded-violation proof: the stage must actually FAIL on a regression,
+  # not just run.  A scratch tree with one unranked latch must exit
+  # nonzero and name the rule.
+  seeded="$(mktemp -d)"
+  mkdir -p "$seeded/src/common" "$seeded/src/core"
+  cp src/common/latch.h src/common/latch.cc "$seeded/src/common/"
+  cp DESIGN.md "$seeded/"
+  printf 'class Seeded { Latch bad_; };\n' > "$seeded/src/core/seeded.h"
+  if ./build-release/tools/orion_check "$seeded" 2> "$seeded/out.txt"; then
+    echo "ci.sh: orion_check FAILED to flag the seeded unranked latch" >&2
+    cat "$seeded/out.txt" >&2
+    rm -rf "$seeded"
+    exit 1
+  fi
+  if ! grep -q 'unranked-latch' "$seeded/out.txt"; then
+    echo "ci.sh: orion_check flagged the seeded tree for the wrong rule" >&2
+    cat "$seeded/out.txt" >&2
+    rm -rf "$seeded"
+    exit 1
+  fi
+  rm -rf "$seeded"
+  echo "orion_check: seeded-violation proof passed (unranked-latch fired)."
 fi
 
 if [[ "$stage" == "all" || "$stage" == "tidy" ]]; then
@@ -153,9 +182,23 @@ if [[ "$stage" == "all" || "$stage" == "tidy" ]]; then
         xargs -0 -P "$jobs" -n 1 clang-tidy -p build-release --quiet
     fi
   else
-    echo "clang-tidy not installed; stage skipped."
-    echo "Install it with:  apt-get install clang-tidy   (Debian/Ubuntu)"
-    echo "             or:  dnf install clang-tools-extra (Fedora)"
+    # Not a silent skip: an explicit `./ci.sh tidy` in an environment
+    # without LLVM is a FAILED stage with its own exit code, so automation
+    # cannot mistake "never ran" for "ran clean".  Under `all` the stage
+    # degrades to a loud warning so lint-only containers still get a green
+    # run from the stages they can execute (README documents this debt).
+    echo "ci.sh: TIDY STAGE NOT RUN — clang-tidy is not installed." >&2
+    echo "In an LLVM-equipped environment, run exactly:" >&2
+    echo "  cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release" >&2
+    echo "  run-clang-tidy -p build-release -quiet 'src/.*\\.cc$'" >&2
+    echo "or, without run-clang-tidy:" >&2
+    echo "  find src -name '*.cc' -print0 | xargs -0 -P \"\$(nproc)\" -n 1 \\" >&2
+    echo "    clang-tidy -p build-release --quiet" >&2
+    echo "(check set and exclusions are pinned in .clang-tidy)" >&2
+    if [[ "$stage" == "tidy" ]]; then
+      exit 3
+    fi
+    echo "ci.sh: continuing remaining stages (stage was 'all')." >&2
   fi
 fi
 

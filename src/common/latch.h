@@ -39,8 +39,10 @@ namespace orion {
 ///                 <  subsystem leaves  <  utility leaves
 enum class LatchRank : uint16_t {
   /// Participates in re-entrancy and cycle detection only; rank checks are
-  /// skipped.  New latches land here until they can be placed (ROADMAP
-  /// tracks unranked debt).
+  /// skipped.  `orion_check` (DESIGN.md §9.4) fails CI on any kUnranked
+  /// latch in src/ and on any drift between this enum and the §9.1 rank
+  /// table, so a new latch must be placed — and its row written — in the
+  /// PR that introduces it.
   kUnranked = 0,
 
   // -- Coordinators: may be held across calls into lower subsystems. ------

@@ -1,0 +1,388 @@
+#include "lint/lexer.h"
+
+namespace orion::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || (c >= '0' && c <= '9');
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+bool IsHorizWs(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+
+/// The cursor: a position + 1-based line over the file contents.  All
+/// consumption goes through it so line accounting can never drift.
+struct Cursor {
+  std::string_view src;
+  size_t pos = 0;
+  size_t line = 1;
+
+  bool Done() const { return pos >= src.size(); }
+  char At(size_t off = 0) const {
+    return pos + off < src.size() ? src[pos + off] : '\0';
+  }
+  void Advance() {
+    if (src[pos] == '\n') {
+      ++line;
+    }
+    ++pos;
+  }
+
+  /// Length of a line splice (backslash-newline, CRLF tolerated) at the
+  /// current position, or 0.
+  size_t SpliceLen() const {
+    if (At() != '\\') {
+      return 0;
+    }
+    if (At(1) == '\n') {
+      return 2;
+    }
+    if (At(1) == '\r' && At(2) == '\n') {
+      return 3;
+    }
+    return 0;
+  }
+
+  /// Consumes any run of line splices.  Returns true if at least one was
+  /// consumed.  Never called inside raw strings (splices revert there).
+  bool SkipSplices() {
+    bool any = false;
+    size_t n;
+    while ((n = SpliceLen()) != 0) {
+      for (size_t i = 0; i < n; ++i) {
+        Advance();
+      }
+      any = true;
+    }
+    return any;
+  }
+};
+
+/// True if only horizontal whitespace separates `pos` from the preceding
+/// newline (or file start) — i.e. a `#` here opens a directive.
+bool AtLogicalLineStart(std::string_view src, size_t pos) {
+  while (pos > 0) {
+    char c = src[pos - 1];
+    if (c == '\n') {
+      return true;
+    }
+    if (!IsHorizWs(c)) {
+      return false;
+    }
+    --pos;
+  }
+  return true;
+}
+
+/// Matches a raw-string introducer ((u8|u|U|L)?R") at the cursor; returns
+/// the prefix length up to and including the opening quote, or 0.
+size_t RawStringIntroLen(const Cursor& c) {
+  size_t i = 0;
+  if (c.At() == 'u' && c.At(1) == '8') {
+    i = 2;
+  } else if (c.At() == 'u' || c.At() == 'U' || c.At() == 'L') {
+    i = 1;
+  }
+  if (c.At(i) == 'R' && c.At(i + 1) == '"') {
+    return i + 2;
+  }
+  return 0;
+}
+
+void LexRawString(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  size_t intro = RawStringIntroLen(c);
+  for (size_t i = 0; i < intro; ++i) {
+    text += c.At();
+    c.Advance();
+  }
+  // Delimiter up to '('.
+  std::string delim;
+  while (!c.Done() && c.At() != '(' && delim.size() < 16) {
+    delim += c.At();
+    text += c.At();
+    c.Advance();
+  }
+  if (!c.Done()) {
+    text += c.At();
+    c.Advance();  // '('
+  }
+  const std::string closer = ")" + delim + "\"";
+  // No splice processing in here: raw string contents are verbatim.
+  while (!c.Done()) {
+    if (c.src.compare(c.pos, closer.size(), closer) == 0) {
+      for (size_t i = 0; i < closer.size(); ++i) {
+        text += c.At();
+        c.Advance();
+      }
+      break;
+    }
+    text += c.At();
+    c.Advance();
+  }
+  out.tokens.push_back({TokKind::kString, std::move(text), start_line});
+}
+
+/// Ordinary string or char literal ('"' or '\'' at the cursor).
+void LexQuoted(Cursor& c, LexedFile& out) {
+  const char quote = c.At();
+  const size_t start_line = c.line;
+  std::string text;
+  text += quote;
+  c.Advance();
+  while (!c.Done()) {
+    c.SkipSplices();
+    if (c.Done()) {
+      break;
+    }
+    char ch = c.At();
+    if (ch == '\n') {
+      break;  // unterminated; be tolerant, close at end of line
+    }
+    if (ch == '\\') {
+      text += ch;
+      c.Advance();
+      if (!c.Done() && c.At() != '\n') {
+        text += c.At();
+        c.Advance();
+      }
+      continue;
+    }
+    text += ch;
+    c.Advance();
+    if (ch == quote) {
+      break;
+    }
+  }
+  out.tokens.push_back(
+      {quote == '"' ? TokKind::kString : TokKind::kChar, std::move(text),
+       start_line});
+}
+
+void LexLineComment(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  text += "//";
+  c.Advance();
+  c.Advance();
+  while (!c.Done()) {
+    if (c.SkipSplices()) {
+      text += ' ';  // the comment continues on the next physical line
+      continue;
+    }
+    if (c.At() == '\n') {
+      break;
+    }
+    text += c.At();
+    c.Advance();
+  }
+  out.comments.push_back({std::move(text), start_line, c.line});
+}
+
+void LexBlockComment(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  text += "/*";
+  c.Advance();
+  c.Advance();
+  while (!c.Done()) {
+    if (c.At() == '*' && c.At(1) == '/') {
+      text += "*/";
+      c.Advance();
+      c.Advance();
+      break;
+    }
+    text += c.At();
+    c.Advance();
+  }
+  out.comments.push_back({std::move(text), start_line, c.line});
+}
+
+/// A whole preprocessor directive as one token.  Stops at an unquoted
+/// comment opener so a trailing `// orion-lint: allow(...)` still lands in
+/// the comment side-channel.
+void LexDirective(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  bool in_quotes = false;
+  while (!c.Done()) {
+    if (!in_quotes && c.SkipSplices()) {
+      text += ' ';
+      continue;
+    }
+    char ch = c.At();
+    if (ch == '\n') {
+      break;
+    }
+    if (ch == '"') {
+      in_quotes = !in_quotes;
+    }
+    if (!in_quotes && ch == '/' && (c.At(1) == '/' || c.At(1) == '*')) {
+      break;
+    }
+    text += ch;
+    c.Advance();
+  }
+  out.tokens.push_back({TokKind::kPreprocessor, std::move(text), start_line});
+}
+
+void LexIdent(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  while (!c.Done()) {
+    if (c.SkipSplices()) {
+      continue;  // identifier continues after the splice
+    }
+    if (!IsIdentChar(c.At())) {
+      break;
+    }
+    text += c.At();
+    c.Advance();
+  }
+  out.tokens.push_back({TokKind::kIdent, std::move(text), start_line});
+}
+
+void LexNumber(Cursor& c, LexedFile& out) {
+  const size_t start_line = c.line;
+  std::string text;
+  while (!c.Done()) {
+    if (c.SkipSplices()) {
+      continue;
+    }
+    char ch = c.At();
+    bool take = IsIdentChar(ch) || ch == '.' ||
+                (ch == '\'' && IsIdentChar(c.At(1))) ||
+                ((ch == '+' || ch == '-') && !text.empty() &&
+                 (text.back() == 'e' || text.back() == 'E' ||
+                  text.back() == 'p' || text.back() == 'P'));
+    if (!take) {
+      break;
+    }
+    text += ch;
+    c.Advance();
+  }
+  out.tokens.push_back({TokKind::kNumber, std::move(text), start_line});
+}
+
+}  // namespace
+
+bool CommentAllows(std::string_view comment_text, std::string_view rule) {
+  size_t pos = comment_text.find("orion-lint: allow(");
+  if (pos == std::string_view::npos) {
+    return false;
+  }
+  std::string_view rest = comment_text.substr(pos + 18);
+  return rest.substr(0, rule.size()) == rule && rest.size() > rule.size() &&
+         rest[rule.size()] == ')';
+}
+
+bool LexedFile::CommentOnLine(size_t line) const {
+  for (const Comment& c : comments) {
+    if (c.first_line <= line && line <= c.last_line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LexedFile::AnyCommentContains(std::string_view needle) const {
+  for (const Comment& c : comments) {
+    if (c.text.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LexedFile::CommentNearContains(size_t first_line, size_t last_line,
+                                    std::string_view needle) const {
+  for (const Comment& c : comments) {
+    const bool overlaps =
+        c.first_line <= last_line && c.last_line + 1 >= first_line;
+    if (overlaps && c.text.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LexedFile::Suppressed(std::string_view rule, size_t line) const {
+  return SuppressedRange(rule, line, line);
+}
+
+bool LexedFile::SuppressedRange(std::string_view rule, size_t first_line,
+                                size_t last_line) const {
+  for (const Comment& c : comments) {
+    const bool overlaps =
+        c.first_line <= last_line && c.last_line + 1 >= first_line;
+    if (overlaps && CommentAllows(c.text, rule)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LexedFile Lex(std::string_view content) {
+  LexedFile out;
+  Cursor c{content};
+  while (!c.Done()) {
+    c.SkipSplices();
+    if (c.Done()) {
+      break;
+    }
+    const char ch = c.At();
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n') {
+      c.Advance();
+      continue;
+    }
+    if (ch == '/' && c.At(1) == '/') {
+      LexLineComment(c, out);
+      continue;
+    }
+    if (ch == '/' && c.At(1) == '*') {
+      LexBlockComment(c, out);
+      continue;
+    }
+    if (ch == '#' && AtLogicalLineStart(content, c.pos)) {
+      LexDirective(c, out);
+      continue;
+    }
+    if (RawStringIntroLen(c) != 0) {
+      LexRawString(c, out);
+      continue;
+    }
+    if (ch == '"' || ch == '\'') {
+      LexQuoted(c, out);
+      continue;
+    }
+    if (IsIdentStart(ch)) {
+      LexIdent(c, out);
+      continue;
+    }
+    if (IsDigit(ch) || (ch == '.' && IsDigit(c.At(1)))) {
+      LexNumber(c, out);
+      continue;
+    }
+    // Punctuation: fuse the two sequences the checkers walk.
+    if (ch == ':' && c.At(1) == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", c.line});
+      c.Advance();
+      c.Advance();
+      continue;
+    }
+    if (ch == '-' && c.At(1) == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", c.line});
+      c.Advance();
+      c.Advance();
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, ch), c.line});
+    c.Advance();
+  }
+  return out;
+}
+
+}  // namespace orion::lint

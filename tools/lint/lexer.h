@@ -1,0 +1,100 @@
+#ifndef ORION_TOOLS_LINT_LEXER_H_
+#define ORION_TOOLS_LINT_LEXER_H_
+
+// A real (single-pass, dependency-free) C++ tokenizer shared by orion_lint
+// and orion_check.  It exists so the source checkers reason about TOKENS,
+// not lines: a `std::mutex` inside a raw string, a latch name inside a
+// comment, or a declaration split by a line splice must neither false-fire
+// nor hide from a rule.
+//
+// Scope — exactly what a source-level invariant checker needs, no more:
+//   * line comments (// ... incl. splice continuation) and block comments
+//     (/* ... */) are lexed OUT of the token stream and collected
+//     separately with their line ranges, so rules can ask "is there a
+//     comment covering / preceding this line?" (suppressions,
+//     justification comments, doc-contract lines);
+//   * string literals ("...", with escapes and encoding prefixes), char
+//     literals ('...', digit separators excluded), and raw string
+//     literals (R"delim(...)delim", splices NOT processed inside, per the
+//     standard's reversion rule) become single tokens — their contents
+//     can never match an identifier rule;
+//   * preprocessor directives (a `#` first on its logical line) become one
+//     kPreprocessor token carrying the full (splice-joined) directive
+//     text, so include rules see the real path even when wrapped;
+//   * line splices (backslash-newline) are handled INSIDE identifiers,
+//     numbers, strings, comments and directives — `std::mu\<nl>tex` lexes
+//     as the identifier `mutex` (reported at its start line);
+//   * `::` and `->` are fused into single punctuator tokens (receiver
+//     chains and qualified names are what the checkers walk); every other
+//     punctuator is one character.
+//
+// Tokens carry the line they START on; findings attribute there.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orion::lint {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,        // ordinary or raw string literal, prefix included
+  kChar,          // character literal
+  kPunct,         // "::", "->", or a single punctuation character
+  kPreprocessor,  // whole directive, '#' through (spliced) end of line
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line = 0;  // 1-based line the token starts on
+};
+
+struct Comment {
+  std::string text;       // including the // or /* */ delimiters
+  size_t first_line = 0;  // 1-based
+  size_t last_line = 0;   // == first_line for single-line comments
+};
+
+/// One lexed translation unit: the code token stream plus the comment
+/// side-channel, with the queries the rules are written against.
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+
+  /// Any comment whose [first_line, last_line] range covers `line`.
+  bool CommentOnLine(size_t line) const;
+
+  /// True if some comment anywhere in the file contains `needle`.
+  bool AnyCommentContains(std::string_view needle) const;
+
+  /// True if a comment containing `needle` covers any line in
+  /// [first_line, last_line], or ends on the line immediately above
+  /// first_line (the "comment above the statement" idiom).
+  bool CommentNearContains(size_t first_line, size_t last_line,
+                           std::string_view needle) const;
+
+  /// The `orion-lint: allow(<rule>): <reason>` suppression idiom.  A
+  /// finding on `line` is suppressed by a matching comment on the line
+  /// itself OR on the immediately preceding line (the natural place when
+  /// the flagged statement is long).
+  bool Suppressed(std::string_view rule, size_t line) const;
+
+  /// Statement-spanning variant: suppression anywhere on the statement's
+  /// lines, or on the line immediately above its first line.
+  bool SuppressedRange(std::string_view rule, size_t first_line,
+                       size_t last_line) const;
+};
+
+/// True if `comment_text` contains `orion-lint: allow(<rule>)` for exactly
+/// `rule` (longer rule names do not match a prefix).  Exposed for rules
+/// that scan comments directly.
+bool CommentAllows(std::string_view comment_text, std::string_view rule);
+
+LexedFile Lex(std::string_view content);
+
+}  // namespace orion::lint
+
+#endif  // ORION_TOOLS_LINT_LEXER_H_

@@ -1,0 +1,1502 @@
+// orion_check — whole-program static analysis of the latch-rank discipline
+// (DESIGN.md §9.4).  Where common/latch.h enforces the §9.1 rank order at
+// RUNTIME (only on interleavings the test suite happens to execute), this
+// tool proves three properties about every path in src/ — including ones
+// no test reaches — from the token stream alone (shared tokenizer:
+// lint/lexer.{h,cc}, also under orion_lint):
+//
+//   unranked-latch       Rank completeness.  Every Latch / SharedLatch /
+//                        RecursiveLatch construction site must carry an
+//                        explicit non-kUnranked rank: a literal
+//                        `LatchRank::k...` in the initializer, a
+//                        SetDebugInfo call on the same member in the same
+//                        file, or (for latch arrays behind a rank-typed
+//                        constructor parameter) that parameter's declared
+//                        default.  Any `LatchRank::kUnranked` token outside
+//                        common/latch.{h,cc} is a finding in itself.
+//   unbound-condvar      A LatchCondVar waits on SOME latch; a file that
+//                        declares one but contains no rank-resolved latch
+//                        has nothing for OnCondVarWake's re-validation to
+//                        check against.
+//   latch-order          Static nesting order.  Per-function latch
+//                        acquisition sequences are extracted from the five
+//                        guard types (LatchGuard, RecursiveLatchGuard,
+//                        SharedLatchRead/WriteGuard, UniqueLatchGuard),
+//                        member names are resolved to declared ranks
+//                        through a symbol table built from every header
+//                        (one receiver hop is followed: `fence_->mu_`
+//                        resolves through DdlGuard's `SchemaFence* fence_`
+//                        member), and any lexically nested pair that is
+//                        not strictly ascending is a finding — the static
+//                        counterpart of the runtime held-stack.
+//                        Re-entering the same RecursiveLatch member is the
+//                        one legal exception, guard scopes are tracked
+//                        through braces, and UniqueLatchGuard
+//                        unlock()/lock() toggles are honored.
+//   latch-across-acquire A `.Acquire(` / `->Acquire(` call (the lock
+//                        manager's blocking entry point) while any guard is
+//                        statically live: §6 rule 3, no latch may be held
+//                        across a logical-lock wait.
+//   rank-table-drift     Doc drift.  The DESIGN.md §9.1 rank table must
+//                        round-trip against reality in both directions:
+//                        every LatchRank enum entry (except kUnranked) has
+//                        a row with the matching value and vice versa;
+//                        every `Class::member` the table names exists at a
+//                        construction site with exactly that rank; every
+//                        backticked latch name string in a row is the name
+//                        literal of a site with that rank; and every
+//                        literal-ranked construction site in src/ is
+//                        listed in its rank's row.
+//
+// Findings are suppressible with the existing idiom,
+//   // orion-lint: allow(<rule>): <reason>
+// on the finding line or the line immediately above (rank-table-drift
+// findings attributed to DESIGN.md are not suppressible — fix the table).
+//
+// Usage:
+//   orion_check <repo-root>   analyze src/**.{h,cc} + DESIGN.md §9.1
+//   orion_check --self-test   run the embedded fixtures (hermetic; ctest
+//                             proves each analysis fires AND stays quiet)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace {
+
+using orion::lint::Lex;
+using orion::lint::LexedFile;
+using orion::lint::TokKind;
+using orion::lint::Token;
+
+struct Finding {
+  std::string file;
+  size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, forward slashes
+  std::string content;
+};
+
+bool IsLatchType(std::string_view t) {
+  return t == "Latch" || t == "SharedLatch" || t == "RecursiveLatch";
+}
+
+bool IsGuardType(std::string_view t) {
+  return t == "LatchGuard" || t == "RecursiveLatchGuard" ||
+         t == "SharedLatchReadGuard" || t == "SharedLatchWriteGuard" ||
+         t == "UniqueLatchGuard";
+}
+
+bool IsLatchImplFile(std::string_view path) {
+  return path == "src/common/latch.h" || path == "src/common/latch.cc";
+}
+
+bool TokIs(const Token& t, TokKind k, std::string_view text) {
+  return t.kind == k && t.text == text;
+}
+bool IsPunct(const Token& t, std::string_view text) {
+  return TokIs(t, TokKind::kPunct, text);
+}
+bool IsIdent(const Token& t) { return t.kind == TokKind::kIdent; }
+
+// ---------------------------------------------------------------------------
+// Symbol tables (pass 1).
+
+/// One Latch/SharedLatch/RecursiveLatch construction site.
+struct LatchSite {
+  std::string file;
+  size_t line = 0;
+  std::string cls;   // innermost enclosing class/struct ("" at file scope)
+  std::string var;   // member / variable name
+  std::string type;  // Latch | SharedLatch | RecursiveLatch
+  enum Kind { kExplicit, kDefault, kCollection } kind = kExplicit;
+  std::string rank;      // resolved rank name; "" = unresolved
+  bool rank_literal = false;  // rank written as a literal (site or
+                              // SetDebugInfo), not a parameter default
+  std::string name_str;  // latch name string literal, if seen
+};
+
+struct SetDebugCall {
+  std::string file;
+  size_t line = 0;
+  std::string cls;       // enclosing class of the call site
+  std::string receiver;  // last identifier before .SetDebugInfo
+  std::string rank;      // literal rank, or resolved parameter default
+  bool literal = false;
+  std::string name_str;
+};
+
+struct Program {
+  std::map<std::string, int> ranks;  // LatchRank enum: name -> value
+  size_t enum_line = 0;              // line of the enum in latch.h
+  std::vector<LatchSite> sites;
+  std::vector<SetDebugCall> set_calls;
+  // (class, member) -> declared type name, one hop of receiver resolution.
+  std::map<std::pair<std::string, std::string>, std::string> member_types;
+  std::vector<Finding> findings;
+  size_t files = 0;
+  size_t acquisitions = 0;
+  size_t unresolved_acquisitions = 0;
+};
+
+/// Token indexes of '{' that open a class/struct body -> class name.
+std::map<size_t, std::string> ClassOpeners(const std::vector<Token>& toks) {
+  std::map<size_t, std::string> openers;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdent(toks[i]) ||
+        (toks[i].text != "class" && toks[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && TokIs(toks[i - 1], TokKind::kIdent, "enum")) {
+      continue;  // enum class: not a member scope
+    }
+    // The class name is the next identifier.
+    size_t n = i + 1;
+    while (n < toks.size() && !IsIdent(toks[n])) {
+      ++n;
+    }
+    if (n >= toks.size()) {
+      continue;
+    }
+    // Find the body '{' before any declaration terminator, skipping
+    // template-argument / parenthesized nests in base clauses.  A `,` is a
+    // terminator only before the base-clause `:` (it would mean we are in
+    // a template parameter list, `template <class T, ...>`); after the `:`
+    // commas separate base specifiers.
+    int angle = 0;
+    int paren = 0;
+    bool in_bases = false;
+    for (size_t j = n + 1; j < toks.size() && j < n + 200; ++j) {
+      const Token& t = toks[j];
+      if (t.kind != TokKind::kPunct) {
+        continue;
+      }
+      if (t.text == "<") {
+        ++angle;
+      } else if (t.text == ">") {
+        --angle;
+      } else if (t.text == "(") {
+        ++paren;
+      } else if (t.text == ")") {
+        --paren;
+      } else if (angle <= 0 && paren <= 0) {
+        if (t.text == "{") {
+          openers[j] = toks[n].text;
+          break;
+        }
+        if (t.text == ":") {
+          in_bases = true;
+        } else if (t.text == ";" || t.text == "=" ||
+                   (t.text == "," && !in_bases)) {
+          break;  // forward declaration / template parameter / alias
+        }
+      }
+    }
+  }
+  return openers;
+}
+
+/// Brace-scope walker shared by both passes: tracks depth, the class
+/// stack, and (for .cc files) the class named by an `X::F(...) {`
+/// out-of-line member definition.
+struct ScopeWalker {
+  const std::vector<Token>& toks;
+  std::map<size_t, std::string> openers;
+  struct ClassScope {
+    std::string name;
+    int depth;
+  };
+  std::vector<ClassScope> classes;
+  int depth = 0;
+  int func_depth = -1;  // depth of the current out-of-line function body
+  std::string func_class;
+  std::string pending_func_class;
+
+  explicit ScopeWalker(const std::vector<Token>& t)
+      : toks(t), openers(ClassOpeners(t)) {}
+
+  /// Consumes token i's effect on scope state.  Call exactly once per
+  /// index, in order.
+  void Step(size_t i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kIdent && classes.empty() && func_depth < 0 &&
+        pending_func_class.empty()) {
+      // Out-of-line member definition heads: `X::F(`, `X::~X(`, and the
+      // innermost class of `A::B::F(`.  Guarded against call expressions
+      // (`std::move(arg)` in a constructor's member-init list) by the
+      // preceding token: a function head follows a return type, `;`, `}`,
+      // `{` (namespace open), `*`/`&`/`>` (pointer / template return) or
+      // `::` (namespace qualification) — never `(`, `,` or `=`, and the
+      // first match since the last top-level `;` wins.
+      const bool member = i + 3 < toks.size() &&
+                          IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2]) &&
+                          IsPunct(toks[i + 3], "(");
+      const bool dtor = i + 4 < toks.size() && IsPunct(toks[i + 1], "::") &&
+                        IsPunct(toks[i + 2], "~") && IsIdent(toks[i + 3]) &&
+                        IsPunct(toks[i + 4], "(");
+      bool head_position = i == 0;
+      if (i > 0) {
+        const Token& p = toks[i - 1];
+        head_position =
+            (p.kind == TokKind::kIdent && p.text != "return") ||
+            (p.kind == TokKind::kPunct &&
+             (p.text == ";" || p.text == "}" || p.text == "{" ||
+              p.text == "*" || p.text == "&" || p.text == ">" ||
+              p.text == "::"));
+      }
+      if ((member || dtor) && head_position) {
+        pending_func_class = t.text;
+      }
+    }
+    if (IsPunct(t, "{")) {
+      ++depth;
+      auto it = openers.find(i);
+      if (it != openers.end()) {
+        classes.push_back({it->second, depth});
+      } else if (classes.empty() && func_depth < 0 &&
+                 !pending_func_class.empty()) {
+        func_depth = depth;
+        func_class = pending_func_class;
+        pending_func_class.clear();
+      }
+    } else if (IsPunct(t, "}")) {
+      if (!classes.empty() && classes.back().depth == depth) {
+        classes.pop_back();
+      }
+      if (func_depth == depth) {
+        func_depth = -1;
+        func_class.clear();
+      }
+      --depth;
+    } else if (IsPunct(t, ";") && classes.empty() && func_depth < 0) {
+      // A declaration ended without a body (`void A::F();`): discard the
+      // pending head so it cannot leak onto the next definition.  No `;`
+      // can occur between a real head and its `{` (member-init lists use
+      // commas), so this never drops a live head.
+      pending_func_class.clear();
+    }
+  }
+
+  std::string EnclosingClass() const {
+    if (!classes.empty()) {
+      return classes.back().name;
+    }
+    return func_class;
+  }
+  int ClassBodyDepth() const {
+    return classes.empty() ? -1 : classes.back().depth;
+  }
+};
+
+std::string StripQuotes(std::string_view s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return std::string(s.substr(1, s.size() - 2));
+  }
+  return std::string(s);
+}
+
+/// Scans an initializer / argument list starting at the opening token
+/// (which must be '{' or '('); returns the index one past the matching
+/// close, filling the first string literal and the `LatchRank::kX` rank
+/// (or a bare identifier candidate for parameter-resolved ranks).
+struct InitScan {
+  size_t end = 0;
+  std::string name_str;
+  std::string rank;        // literal LatchRank::kX if present
+  std::string rank_ident;  // last plain identifier argument, if any
+  bool any_tokens = false;
+};
+InitScan ScanInit(const std::vector<Token>& toks, size_t open) {
+  InitScan out;
+  const std::string_view open_text = toks[open].text;
+  const std::string_view close_text = open_text == "{" ? "}" : ")";
+  int nest = 0;
+  size_t i = open;
+  for (; i < toks.size() && i < open + 256; ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{" || t.text == "(") {
+        ++nest;
+      } else if (t.text == "}" || t.text == ")") {
+        --nest;
+        if (nest == 0 && t.text == close_text) {
+          ++i;
+          break;
+        }
+      }
+      continue;
+    }
+    if (i == open) {
+      continue;
+    }
+    out.any_tokens = true;
+    if (t.kind == TokKind::kString && out.name_str.empty()) {
+      out.name_str = StripQuotes(t.text);
+    }
+    if (TokIs(t, TokKind::kIdent, "LatchRank") && i + 2 < toks.size() &&
+        IsPunct(toks[i + 1], "::") && IsIdent(toks[i + 2])) {
+      out.rank = toks[i + 2].text;
+    } else if (IsIdent(t) && t.text != "LatchRank") {
+      out.rank_ident = t.text;
+    }
+  }
+  out.end = i;
+  return out;
+}
+
+/// Collects `LatchRank <name> = LatchRank::kX` parameter defaults.
+std::map<std::string, std::string> ParamRankDefaults(
+    const std::vector<Token>& toks) {
+  std::map<std::string, std::string> defaults;
+  for (size_t i = 0; i + 5 < toks.size(); ++i) {
+    if (TokIs(toks[i], TokKind::kIdent, "LatchRank") && IsIdent(toks[i + 1]) &&
+        IsPunct(toks[i + 2], "=") &&
+        TokIs(toks[i + 3], TokKind::kIdent, "LatchRank") &&
+        IsPunct(toks[i + 4], "::") && IsIdent(toks[i + 5])) {
+      defaults[toks[i + 1].text] = toks[i + 5].text;
+    }
+  }
+  return defaults;
+}
+
+/// Parses `enum class LatchRank { kX = N, ... }` out of latch.h tokens.
+void ParseRankEnum(const LexedFile& lexed, Program& prog) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!(TokIs(toks[i], TokKind::kIdent, "enum") &&
+          TokIs(toks[i + 1], TokKind::kIdent, "class") &&
+          TokIs(toks[i + 2], TokKind::kIdent, "LatchRank"))) {
+      continue;
+    }
+    prog.enum_line = toks[i].line;
+    size_t j = i + 3;
+    while (j < toks.size() && !IsPunct(toks[j], "{")) {
+      ++j;
+    }
+    for (; j < toks.size() && !IsPunct(toks[j], "}"); ++j) {
+      if (IsIdent(toks[j]) && toks[j].text.rfind('k', 0) == 0 &&
+          j + 2 < toks.size() && IsPunct(toks[j + 1], "=") &&
+          toks[j + 2].kind == TokKind::kNumber) {
+        prog.ranks[toks[j].text] = std::atoi(toks[j + 2].text.c_str());
+      }
+    }
+    return;
+  }
+}
+
+/// Pass 1 over one file: construction sites, SetDebugInfo calls, member
+/// types, condvar declarations, and stray kUnranked tokens.
+void CollectSymbols(const SourceFile& f, const LexedFile& lexed,
+                    Program& prog) {
+  const std::vector<Token>& toks = lexed.tokens;
+  const std::map<std::string, std::string> defaults =
+      ParamRankDefaults(toks);
+  ScopeWalker scope(toks);
+  bool has_condvar = false;
+  size_t condvar_line = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    scope.Step(i);
+    const Token& t = toks[i];
+
+    // -- Member types, one hop: `T* name_;`, `T name_;`, `ptr<T> name_;`.
+    if (IsPunct(t, ";") && scope.depth == scope.ClassBodyDepth() &&
+        i >= 3 && IsIdent(toks[i - 1])) {
+      const std::string& member = toks[i - 1].text;
+      const Token& prev = toks[i - 2];
+      std::string type;
+      if (prev.kind == TokKind::kPunct &&
+          (prev.text == "*" || prev.text == "&") && IsIdent(toks[i - 3])) {
+        type = toks[i - 3].text;
+      } else if (IsPunct(prev, ">")) {
+        // last identifier inside the template argument list
+        for (size_t j = i - 3; j > 0 && j > i - 16; --j) {
+          if (IsIdent(toks[j])) {
+            type = toks[j].text;
+            break;
+          }
+          if (IsPunct(toks[j], "<")) {
+            break;
+          }
+        }
+      } else if (IsIdent(prev)) {
+        type = prev.text;
+      }
+      if (!type.empty() && !scope.EnclosingClass().empty()) {
+        prog.member_types[{scope.EnclosingClass(), member}] = type;
+      }
+    }
+
+    if (!IsIdent(t)) {
+      continue;
+    }
+    const bool after_decl_kw =
+        i > 0 && IsIdent(toks[i - 1]) &&
+        (toks[i - 1].text == "class" || toks[i - 1].text == "struct" ||
+         toks[i - 1].text == "friend");
+
+    // -- stray kUnranked (legal only inside common/latch.{h,cc}). --------
+    if (t.text == "kUnranked" && i >= 2 && IsPunct(toks[i - 1], "::") &&
+        TokIs(toks[i - 2], TokKind::kIdent, "LatchRank") &&
+        !lexed.Suppressed("unranked-latch", t.line)) {
+      prog.findings.push_back(
+          {f.path, t.line, "unranked-latch",
+           "LatchRank::kUnranked outside common/latch.h defeats the rank "
+           "checker; give the latch a real rank (DESIGN.md §9.1)"});
+    }
+
+    // -- LatchCondVar declarations. --------------------------------------
+    if (t.text == "LatchCondVar" && !after_decl_kw && i + 2 < toks.size() &&
+        IsIdent(toks[i + 1]) && IsPunct(toks[i + 2], ";") && !has_condvar) {
+      has_condvar = true;
+      condvar_line = t.line;
+    }
+
+    // -- SetDebugInfo calls. ---------------------------------------------
+    if (t.text == "SetDebugInfo" && i >= 2 && IsPunct(toks[i - 1], ".") &&
+        IsIdent(toks[i - 2]) && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      InitScan scan = ScanInit(toks, i + 1);
+      SetDebugCall call{f.path,       t.line, scope.EnclosingClass(),
+                        toks[i - 2].text, "",     false,
+                        scan.name_str};
+      if (!scan.rank.empty()) {
+        call.rank = scan.rank;
+        call.literal = true;
+      } else if (!scan.rank_ident.empty()) {
+        auto it = defaults.find(scan.rank_ident);
+        if (it != defaults.end()) {
+          call.rank = it->second;
+        }
+      }
+      prog.set_calls.push_back(std::move(call));
+    }
+
+    // -- Latch construction sites. ---------------------------------------
+    if (IsLatchType(t.text) && !after_decl_kw && i + 1 < toks.size()) {
+      const Token& nxt = toks[i + 1];
+      if (IsIdent(nxt) && i + 2 < toks.size()) {
+        const Token& after = toks[i + 2];
+        if (IsPunct(after, "{") || IsPunct(after, "(")) {
+          InitScan scan = ScanInit(toks, i + 2);
+          // A paren form with neither a string nor a rank is a function
+          // declaration (`Latch F(int);`), not a construction.
+          const bool func_decl = after.text == "(" &&
+                                 scan.name_str.empty() && scan.rank.empty();
+          if (!func_decl) {
+            prog.sites.push_back({f.path, t.line, scope.EnclosingClass(),
+                                  nxt.text, t.text, LatchSite::kExplicit,
+                                  scan.rank, !scan.rank.empty(),
+                                  scan.name_str});
+          }
+        } else if (IsPunct(after, ";") || IsPunct(after, "=")) {
+          prog.sites.push_back({f.path, t.line, scope.EnclosingClass(),
+                                nxt.text, t.text, LatchSite::kDefault, "",
+                                false, ""});
+        }
+      } else if (nxt.kind == TokKind::kPunct &&
+                 (nxt.text == "," || nxt.text == ">")) {
+        // Template argument: `std::array<SharedLatch, N> stripes_;`.
+        size_t j = i + 1;
+        while (j < toks.size() && j < i + 32 && !IsPunct(toks[j], ">")) {
+          ++j;
+        }
+        if (j + 1 < toks.size() && IsIdent(toks[j + 1]) &&
+            j + 2 < toks.size() &&
+            (IsPunct(toks[j + 2], ";") || IsPunct(toks[j + 2], "=") ||
+             IsPunct(toks[j + 2], "{"))) {
+          prog.sites.push_back({f.path, t.line, scope.EnclosingClass(),
+                                toks[j + 1].text, t.text,
+                                LatchSite::kCollection, "", false, ""});
+        }
+      }
+    }
+
+  }
+
+  if (has_condvar && !lexed.Suppressed("unbound-condvar", condvar_line)) {
+    bool ranked_latch_in_file = false;
+    for (const LatchSite& s : prog.sites) {
+      if (s.file == f.path && !s.rank.empty() && s.rank != "kUnranked") {
+        ranked_latch_in_file = true;
+        break;
+      }
+    }
+    // Default sites resolve later; a SetDebugInfo call with a rank counts.
+    for (const SetDebugCall& c : prog.set_calls) {
+      if (c.file == f.path && !c.rank.empty() && c.rank != "kUnranked") {
+        ranked_latch_in_file = true;
+        break;
+      }
+    }
+    if (!ranked_latch_in_file) {
+      prog.findings.push_back(
+          {f.path, condvar_line, "unbound-condvar",
+           "LatchCondVar declared in a file with no rank-resolved latch: "
+           "the latch it waits on must carry a rank so OnCondVarWake has "
+           "something to re-validate (DESIGN.md §9.1)"});
+    }
+  }
+}
+
+/// Resolves default/collection sites through SetDebugInfo calls and emits
+/// rank-completeness findings.  Mutates sites in place.
+void ResolveSites(Program& prog,
+                  const std::map<std::string, LexedFile>& lexed_by_path) {
+  for (LatchSite& s : prog.sites) {
+    if (s.kind == LatchSite::kExplicit) {
+      continue;
+    }
+    // Exact receiver-name match first (wal.h: `mu_.SetDebugInfo(...)`).
+    for (const SetDebugCall& c : prog.set_calls) {
+      if (c.file == s.file && c.receiver == s.var && !c.rank.empty()) {
+        s.rank = c.rank;
+        s.rank_literal = c.literal;
+        s.name_str = c.name_str;
+        break;
+      }
+    }
+    // Collections are filled element-by-element through a loop variable;
+    // accept any rank-carrying SetDebugInfo in the same class.
+    if (s.rank.empty() && s.kind == LatchSite::kCollection) {
+      for (const SetDebugCall& c : prog.set_calls) {
+        if (c.file == s.file && c.cls == s.cls && !c.rank.empty()) {
+          s.rank = c.rank;
+          s.rank_literal = c.literal;
+          s.name_str = c.name_str;
+          break;
+        }
+      }
+    }
+  }
+
+  for (const LatchSite& s : prog.sites) {
+    const auto lex_it = lexed_by_path.find(s.file);
+    if (lex_it != lexed_by_path.end() &&
+        lex_it->second.Suppressed("unranked-latch", s.line)) {
+      continue;
+    }
+    if (s.rank.empty()) {
+      const char* how =
+          s.kind == LatchSite::kExplicit
+              ? "constructed without an explicit LatchRank"
+              : "default-constructed and never given a rank via "
+                "SetDebugInfo in this file";
+      prog.findings.push_back(
+          {s.file, s.line, "unranked-latch",
+           s.type + " '" + s.var + "' " + how +
+               "; every latch must carry a non-kUnranked rank "
+               "(DESIGN.md §9.1)"});
+    } else if (prog.ranks.count(s.rank) == 0) {
+      prog.findings.push_back(
+          {s.file, s.line, "unranked-latch",
+           s.type + " '" + s.var + "' uses rank '" + s.rank +
+               "' which is not a LatchRank enumerator in common/latch.h"});
+    }
+    // rank == kUnranked at a site is reported by the stray-token rule.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: static acquisition ordering.
+
+struct RankLookup {
+  const Program& prog;
+  // (class, var) -> site index; var -> consistent rank name or "".
+  std::map<std::pair<std::string, std::string>, size_t> by_cls_var;
+  std::map<std::string, std::string> by_var;  // "" = ambiguous
+
+  explicit RankLookup(const Program& p) : prog(p) {
+    for (size_t i = 0; i < p.sites.size(); ++i) {
+      const LatchSite& s = p.sites[i];
+      by_cls_var[{s.cls, s.var}] = i;
+      auto it = by_var.find(s.var);
+      if (it == by_var.end()) {
+        by_var[s.var] = s.rank;
+      } else if (it->second != s.rank) {
+        it->second.clear();  // ambiguous across classes
+      }
+    }
+  }
+
+  /// Resolves a guard argument's identifier chain to a site.  Returns the
+  /// site index or npos.
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+  size_t Resolve(const std::string& enclosing_class,
+                 const std::vector<std::string>& chain) const {
+    if (chain.empty()) {
+      return kNone;
+    }
+    const std::string& leaf = chain.back();
+    if (chain.size() >= 2) {
+      // One receiver hop: type of `chain[size-2]` as a member of the
+      // enclosing class (or unique globally), then (type, leaf).
+      const std::string& recv = chain[chain.size() - 2];
+      auto mt = prog.member_types.find({enclosing_class, recv});
+      if (mt != prog.member_types.end()) {
+        auto hit = by_cls_var.find({mt->second, leaf});
+        if (hit != by_cls_var.end()) {
+          return hit->second;
+        }
+      }
+    }
+    auto direct = by_cls_var.find({enclosing_class, leaf});
+    if (direct != by_cls_var.end()) {
+      return direct->second;
+    }
+    // Fall back to a globally unambiguous member name.
+    auto uniq = by_var.find(leaf);
+    if (uniq != by_var.end() && !uniq->second.empty()) {
+      for (const auto& [key, idx] : by_cls_var) {
+        if (key.second == leaf) {
+          return idx;
+        }
+      }
+    }
+    return kNone;
+  }
+};
+
+void AnalyzeAcquisitions(const SourceFile& f, const LexedFile& lexed,
+                         const RankLookup& lookup, Program& prog) {
+  const std::vector<Token>& toks = lexed.tokens;
+  ScopeWalker scope(toks);
+
+  struct Held {
+    std::string guard_var;
+    size_t site = RankLookup::kNone;
+    int rank_value = -1;  // -1 = unresolved
+    std::string rank_name;
+    std::string latch_var;
+    bool recursive = false;
+    int decl_depth = 0;
+    size_t line = 0;
+    bool active = true;
+  };
+  std::vector<Held> held;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const int depth_before = scope.depth;
+    scope.Step(i);
+    const Token& t = toks[i];
+    if (IsPunct(t, "}")) {
+      // Guards declared deeper than the new depth just died.
+      while (!held.empty() && held.back().decl_depth > scope.depth) {
+        held.pop_back();
+      }
+      continue;
+    }
+    (void)depth_before;
+    if (!IsIdent(t)) {
+      continue;
+    }
+
+    // -- unlock()/lock() toggles on a tracked guard variable. ------------
+    if (i + 3 < toks.size() && IsPunct(toks[i + 1], ".") &&
+        IsIdent(toks[i + 2]) && IsPunct(toks[i + 3], "(") &&
+        (toks[i + 2].text == "unlock" || toks[i + 2].text == "lock")) {
+      for (auto it = held.rbegin(); it != held.rend(); ++it) {
+        if (it->guard_var == t.text) {
+          it->active = toks[i + 2].text == "lock";
+          break;
+        }
+      }
+    }
+
+    // -- §6 rule 3: no latch across LockManager::Acquire. ----------------
+    if (t.text == "Acquire" && i > 0 &&
+        (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) &&
+        i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+      for (const Held& h : held) {
+        if (!h.active) {
+          continue;
+        }
+        if (!lexed.Suppressed("latch-across-acquire", t.line)) {
+          prog.findings.push_back(
+              {f.path, t.line, "latch-across-acquire",
+               "lock-manager Acquire reached while latch '" + h.latch_var +
+                   "' (acquired line " + std::to_string(h.line) +
+                   ") is statically held; §6 rule 3 forbids blocking on a "
+                   "logical lock under any latch"});
+        }
+        break;  // one finding per call is enough
+      }
+    }
+
+    // -- guard construction = acquisition. -------------------------------
+    const bool after_decl_kw =
+        i > 0 && IsIdent(toks[i - 1]) &&
+        (toks[i - 1].text == "class" || toks[i - 1].text == "struct" ||
+         toks[i - 1].text == "friend" || toks[i - 1].text == "explicit");
+    if (!IsGuardType(t.text) || after_decl_kw || i + 2 >= toks.size() ||
+        !IsIdent(toks[i + 1]) || !IsPunct(toks[i + 2], "(")) {
+      continue;
+    }
+    // First constructor argument: the latch expression.
+    std::vector<std::string> chain;
+    bool opaque = false;
+    int nest = 0;
+    for (size_t j = i + 2; j < toks.size() && j < i + 64; ++j) {
+      const Token& a = toks[j];
+      if (a.kind == TokKind::kPunct) {
+        if (a.text == "(") {
+          ++nest;
+          if (nest > 1) {
+            opaque = true;  // a call inside the argument
+          }
+        } else if (a.text == ")") {
+          --nest;
+          if (nest == 0) {
+            break;
+          }
+        } else if (a.text == "," && nest == 1) {
+          break;
+        } else if (a.text == "." || a.text == "->" || a.text == "&" ||
+                   a.text == "*" || a.text == "::") {
+          continue;
+        } else {
+          opaque = true;
+        }
+      } else if (IsIdent(a)) {
+        chain.push_back(a.text);
+      }
+    }
+    ++prog.acquisitions;
+    Held h;
+    h.guard_var = toks[i + 1].text;
+    h.decl_depth = scope.depth;
+    h.line = t.line;
+    h.latch_var = chain.empty() ? "<unknown>" : chain.back();
+    if (!opaque) {
+      h.site = lookup.Resolve(scope.EnclosingClass(), chain);
+    }
+    if (h.site != RankLookup::kNone) {
+      const LatchSite& s = prog.sites[h.site];
+      h.rank_name = s.rank;
+      h.recursive = s.type == "RecursiveLatch";
+      auto rv = prog.ranks.find(s.rank);
+      if (rv != prog.ranks.end()) {
+        h.rank_value = rv->second;
+      }
+    }
+    if (h.rank_value < 0) {
+      ++prog.unresolved_acquisitions;
+    }
+
+    // The §9.1 rule, statically: strictly ascending ranks, same-instance
+    // RecursiveLatch re-entry excepted.
+    if (h.rank_value >= 0) {
+      for (const Held& prev : held) {
+        if (!prev.active || prev.rank_value < 0) {
+          continue;
+        }
+        const bool reentry =
+            prev.site == h.site && h.recursive && prev.recursive;
+        if (h.rank_value <= prev.rank_value && !reentry &&
+            !lexed.Suppressed("latch-order", t.line)) {
+          prog.findings.push_back(
+              {f.path, t.line, "latch-order",
+               "acquires '" + h.latch_var + "' (" + h.rank_name + "=" +
+                   std::to_string(h.rank_value) + ") while holding '" +
+                   prev.latch_var + "' (" + prev.rank_name + "=" +
+                   std::to_string(prev.rank_value) + "', acquired line " +
+                   std::to_string(prev.line) +
+                   "); ranks must strictly ascend (DESIGN.md §9.1)"});
+        }
+      }
+    }
+    held.push_back(std::move(h));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: DESIGN.md §9.1 rank-table drift.
+
+struct TableRow {
+  std::string rank;
+  int value = 0;
+  std::string latch_col;
+  size_t line = 0;
+};
+
+std::vector<std::string> BacktickSpans(std::string_view s) {
+  std::vector<std::string> spans;
+  size_t pos = 0;
+  while (true) {
+    size_t open = s.find('`', pos);
+    if (open == std::string_view::npos) {
+      break;
+    }
+    size_t close = s.find('`', open + 1);
+    if (close == std::string_view::npos) {
+      break;
+    }
+    spans.emplace_back(s.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return spans;
+}
+
+std::string_view TrimWs(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Extracts the §9.1 rank-table rows from the full DESIGN.md text.
+std::vector<TableRow> ParseRankTable(std::string_view design) {
+  std::vector<TableRow> rows;
+  size_t line_no = 0;
+  bool in_section = false;
+  size_t start = 0;
+  while (start <= design.size()) {
+    size_t end = design.find('\n', start);
+    std::string_view line = design.substr(
+        start, end == std::string_view::npos ? design.size() - start
+                                             : end - start);
+    ++line_no;
+    std::string_view t = TrimWs(line);
+    if (t.rfind("### 9.1", 0) == 0) {
+      in_section = true;
+    } else if (in_section &&
+               (t.rfind("### ", 0) == 0 || t.rfind("## ", 0) == 0)) {
+      break;
+    } else if (in_section && t.rfind("| `k", 0) == 0) {
+      // | `kRank` | value | latch column | why |
+      std::vector<std::string_view> cells;
+      size_t p = 0;
+      while (p < t.size()) {
+        size_t bar = t.find('|', p + 1);
+        if (bar == std::string_view::npos) {
+          break;
+        }
+        cells.push_back(TrimWs(t.substr(p + 1, bar - p - 1)));
+        p = bar;
+      }
+      if (cells.size() >= 3) {
+        std::vector<std::string> rank_span =
+            BacktickSpans(cells[0]);
+        if (!rank_span.empty()) {
+          rows.push_back({rank_span[0],
+                          std::atoi(std::string(cells[1]).c_str()),
+                          std::string(cells[2]), line_no});
+        }
+      }
+    }
+    if (end == std::string_view::npos) {
+      break;
+    }
+    start = end + 1;
+  }
+  return rows;
+}
+
+bool LooksLikeLatchName(std::string_view s) {
+  if (s.find('.') == std::string_view::npos) {
+    return false;
+  }
+  for (char c : s) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '.' ||
+          c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void AnalyzeDrift(std::string_view design, const std::string& design_path,
+                  Program& prog) {
+  const std::vector<TableRow> rows = ParseRankTable(design);
+  if (rows.empty()) {
+    prog.findings.push_back(
+        {design_path, 1, "rank-table-drift",
+         "no §9.1 rank table found (rows `| \\`kX\\` | value | ... |` "
+         "under a '### 9.1' heading)"});
+    return;
+  }
+  std::map<std::string, const TableRow*> by_rank;
+  for (const TableRow& r : rows) {
+    if (r.rank == "kUnranked") {
+      prog.findings.push_back(
+          {design_path, r.line, "rank-table-drift",
+           "kUnranked must not appear as a rank-table row; it is the "
+           "absence of a rank"});
+      continue;
+    }
+    if (by_rank.count(r.rank) != 0) {
+      prog.findings.push_back(
+          {design_path, r.line, "rank-table-drift",
+           "duplicate rank-table row for " + r.rank});
+      continue;
+    }
+    by_rank[r.rank] = &r;
+    // Row -> enum.
+    auto ev = prog.ranks.find(r.rank);
+    if (ev == prog.ranks.end()) {
+      prog.findings.push_back(
+          {design_path, r.line, "rank-table-drift",
+           "table row " + r.rank +
+               " is not a LatchRank enumerator in common/latch.h"});
+    } else if (ev->second != r.value) {
+      prog.findings.push_back(
+          {design_path, r.line, "rank-table-drift",
+           "table says " + r.rank + " = " + std::to_string(r.value) +
+               " but common/latch.h says " + std::to_string(ev->second)});
+    }
+  }
+  // Enum -> row.
+  for (const auto& [name, value] : prog.ranks) {
+    if (name == "kUnranked") {
+      continue;
+    }
+    if (by_rank.count(name) == 0) {
+      prog.findings.push_back(
+          {design_path, rows.front().line, "rank-table-drift",
+           "LatchRank::" + name + " (= " + std::to_string(value) +
+               ") has no row in the §9.1 rank table"});
+    }
+  }
+  // Row contents -> construction sites.
+  for (const TableRow& r : rows) {
+    for (const std::string& span : BacktickSpans(r.latch_col)) {
+      size_t sep = span.rfind("::");
+      if (sep != std::string::npos) {
+        // `Namespace::Class::member` — match on the last two components.
+        std::string member = span.substr(sep + 2);
+        std::string rest = span.substr(0, sep);
+        size_t csep = rest.rfind("::");
+        std::string cls =
+            csep == std::string::npos ? rest : rest.substr(csep + 2);
+        bool found = false;
+        for (const LatchSite& s : prog.sites) {
+          if (s.cls == cls && s.var == member) {
+            found = true;
+            if (s.rank != r.rank) {
+              prog.findings.push_back(
+                  {design_path, r.line, "rank-table-drift",
+                   "table lists " + span + " under " + r.rank +
+                       " but its construction site (" + s.file + ":" +
+                       std::to_string(s.line) + ") resolves to " +
+                       (s.rank.empty() ? std::string("<no rank>")
+                                       : s.rank)});
+            }
+            break;
+          }
+        }
+        if (!found) {
+          prog.findings.push_back(
+              {design_path, r.line, "rank-table-drift",
+               "table lists " + span +
+                   " but no such latch member is constructed anywhere "
+                   "in src/"});
+        }
+      } else if (LooksLikeLatchName(span)) {
+        bool found = false;
+        for (const LatchSite& s : prog.sites) {
+          if (s.name_str == span && s.rank == r.rank) {
+            found = true;
+            break;
+          }
+        }
+        for (const SetDebugCall& c : prog.set_calls) {
+          if (c.name_str == span && c.rank == r.rank) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          prog.findings.push_back(
+              {design_path, r.line, "rank-table-drift",
+               "table names latch \"" + span + "\" under " + r.rank +
+                   " but no construction site with that name and rank "
+                   "exists in src/"});
+        }
+      }
+    }
+  }
+  // Construction sites -> rows: every literal-ranked named member must be
+  // listed.  Parameter-defaulted ranks (latch arrays behind a
+  // rank-configurable wrapper) are band prose, not per-member rows.
+  for (const LatchSite& s : prog.sites) {
+    if (!s.rank_literal || s.cls.empty() || s.rank.empty() ||
+        s.rank == "kUnranked") {
+      continue;
+    }
+    auto row = by_rank.find(s.rank);
+    if (row == by_rank.end()) {
+      continue;  // missing row already reported against the enum
+    }
+    const std::string want = s.cls + "::" + s.var;
+    if (row->second->latch_col.find(want) == std::string::npos) {
+      prog.findings.push_back(
+          {s.file, s.line, "rank-table-drift",
+           "latch " + want + " (" + s.rank +
+               ") is not listed in its DESIGN.md §9.1 rank-table row — "
+               "the table must name every literal-ranked latch"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+std::vector<Finding> AnalyzeProgram(const std::vector<SourceFile>& files,
+                                    std::string_view design,
+                                    const std::string& design_path,
+                                    Program* stats_out = nullptr) {
+  Program prog;
+  std::map<std::string, LexedFile> lexed_by_path;
+  for (const SourceFile& f : files) {
+    if (f.path.rfind("src/", 0) != 0) {
+      continue;
+    }
+    lexed_by_path.emplace(f.path, Lex(f.content));
+  }
+  // Pass 0: the rank enum.
+  auto latch_h = lexed_by_path.find("src/common/latch.h");
+  if (latch_h != lexed_by_path.end()) {
+    ParseRankEnum(latch_h->second, prog);
+  }
+  if (prog.ranks.empty()) {
+    prog.findings.push_back(
+        {"src/common/latch.h", 1, "unranked-latch",
+         "could not parse `enum class LatchRank` — the analyzer has no "
+         "rank universe to check against"});
+    if (stats_out != nullptr) {
+      *stats_out = prog;
+    }
+    return prog.findings;
+  }
+  // Pass 1: symbols.
+  for (const SourceFile& f : files) {
+    auto it = lexed_by_path.find(f.path);
+    if (it == lexed_by_path.end() || IsLatchImplFile(f.path)) {
+      continue;
+    }
+    ++prog.files;
+    CollectSymbols(f, it->second, prog);
+  }
+  ResolveSites(prog, lexed_by_path);
+  // Pass 2: acquisition ordering.
+  RankLookup lookup(prog);
+  for (const SourceFile& f : files) {
+    auto it = lexed_by_path.find(f.path);
+    if (it == lexed_by_path.end() || IsLatchImplFile(f.path)) {
+      continue;
+    }
+    AnalyzeAcquisitions(f, it->second, lookup, prog);
+  }
+  // Pass 3: doc drift.
+  if (!design.empty()) {
+    AnalyzeDrift(design, design_path, prog);
+  }
+  if (stats_out != nullptr) {
+    *stats_out = prog;
+  }
+  return prog.findings;
+}
+
+int AnalyzeTree(const std::filesystem::path& root) {
+  namespace fs = std::filesystem;
+  const fs::path src = root / "src";
+  if (!fs::exists(src)) {
+    std::fprintf(stderr, "orion_check: no src/ under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+  std::vector<SourceFile> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    files.push_back(
+        {fs::relative(entry.path(), root).generic_string(), buf.str()});
+  }
+  std::string design;
+  {
+    std::ifstream in(root / "DESIGN.md", std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    design = buf.str();
+  }
+  Program stats;
+  std::vector<Finding> findings =
+      AnalyzeProgram(files, design, "DESIGN.md", &stats);
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  std::fprintf(stderr,
+               "orion_check: %zu file(s), %zu rank(s), %zu latch site(s), "
+               "%zu acquisition(s) (%zu unresolved), %zu finding(s)\n",
+               stats.files, stats.ranks.size(), stats.sites.size(),
+               stats.acquisitions, stats.unresolved_acquisitions,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: synthetic programs proving each analysis fires on a seeded
+// violation and stays quiet on clean code.  Run by ctest.
+
+/// A minimal latch.h standing in for the real one (the analyzer only needs
+/// the enum; the wrapper classes are declaration-skipped).
+constexpr const char* kMiniLatchH = R"(
+enum class LatchRank : uint16_t {
+  kUnranked = 0,
+  kReclaim = 100,
+  kCommit = 200,
+  kTableShard = 300,
+  kLockTable = 530,
+  kMetrics = 600,
+};
+class Latch {};
+class SharedLatch {};
+class RecursiveLatch {};
+class LatchCondVar {};
+)";
+
+/// A DESIGN.md §9.1 table matching kMiniLatchH and the clean fixtures.
+constexpr const char* kMiniDesign = R"(### 9.1 Latch ranks
+
+| Rank | Value | Latch | Why it sits here |
+|---|---|---|---|
+| `kReclaim` | 100 | `Rec::r_` `U::lo_` | reclaimer |
+| `kCommit` | 200 | `T::mu_` (`t.commit`) `U::hi_` | gateway |
+| `kTableShard` | 300 | table shards | striped |
+| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |
+| `kMetrics` | 600 | `Reg::m_` | cold path |
+
+### 9.2 next section
+)";
+
+/// Clean companions used by several fixtures (they carry the sites the
+/// mini design table lists).
+constexpr const char* kCleanCompanions = R"(
+class Rec { RecursiveLatch r_{"rec.r", LatchRank::kReclaim}; };
+class T {
+  Latch mu_{"t.commit", LatchRank::kCommit};
+};
+class LockMgr { Latch table_mu_{"lock.table", LatchRank::kLockTable}; };
+class Reg { Latch m_{"reg.m", LatchRank::kMetrics}; };
+)";
+
+struct CheckFixture {
+  const char* name;
+  const char* extra_path;     // additional file beside latch.h+companions
+  const char* extra_content;  // may be nullptr
+  const char* design;         // nullptr = skip drift analysis
+  const char* expect_rule;    // nullptr = must be clean; else every
+                              // finding must carry this rule, >= 1 finding
+};
+
+constexpr CheckFixture kCheckFixtures[] = {
+    // ---- rank completeness --------------------------------------------
+    {"explicit rank is quiet", "src/core/a.h",
+     "class A { Latch mu_{\"a.mu\", LatchRank::kCommit}; };\n", nullptr,
+     nullptr},
+    {"missing rank argument fires", "src/core/b.h",
+     "class B { Latch mu_{\"b.mu\"}; };\n", nullptr, "unranked-latch"},
+    {"explicit kUnranked fires", "src/core/c.h",
+     "class C { Latch mu_{\"c.mu\", LatchRank::kUnranked}; };\n", nullptr,
+     "unranked-latch"},
+    {"default-constructed without SetDebugInfo fires", "src/core/d.h",
+     "class D { Latch mu_; };\n", nullptr, "unranked-latch"},
+    {"SetDebugInfo in constructor is quiet", "src/wal/e.h",
+     "class E {\n public:\n"
+     "  E() { mu_.SetDebugInfo(\"e.mu\", LatchRank::kCommit); }\n"
+     " private:\n  Latch mu_;\n};\n",
+     nullptr, nullptr},
+    {"SetDebugInfo with kUnranked fires", "src/wal/f.h",
+     "class F {\n public:\n"
+     "  F() { mu_.SetDebugInfo(\"f.mu\", LatchRank::kUnranked); }\n"
+     " private:\n  Latch mu_;\n};\n",
+     nullptr, "unranked-latch"},
+    {"latch array behind defaulted rank parameter is quiet",
+     "src/common/g.h",
+     "template <typename K>\nclass G {\n public:\n"
+     "  explicit G(const char* name = \"g.shard\",\n"
+     "             LatchRank rank = LatchRank::kTableShard) {\n"
+     "    for (SharedLatch& s : stripes_) { s.SetDebugInfo(name, rank); }\n"
+     "  }\n private:\n  std::array<SharedLatch, 16> stripes_;\n};\n",
+     nullptr, nullptr},
+    {"latch array never ranked fires", "src/common/h.h",
+     "class H { std::array<SharedLatch, 16> stripes_; };\n", nullptr,
+     "unranked-latch"},
+    {"multi-line constructor call is quiet", "src/core/i.h",
+     "class I {\n  Latch mu_{\n      \"i.mu\",\n"
+     "      LatchRank::kCommit};\n};\n",
+     nullptr, nullptr},
+    {"line-spliced rank still resolves", "src/core/j.h",
+     "class J { Latch mu_{\"j.mu\", LatchRank::kCom\\\nmit}; };\n", nullptr,
+     nullptr},
+    {"latch declarations inside comments and raw strings are invisible",
+     "src/core/k.cc",
+     "// Latch ghost_; would fire if comments were scanned\n"
+     "/* SharedLatch spooky_{\"x\"}; */\n"
+     "const char* kDoc = R\"(Latch bad_{\"y\"}; LatchRank::kUnranked)\";\n",
+     nullptr, nullptr},
+    {"suppression on the preceding line is honored", "src/core/l.h",
+     "class L {\n  // orion-lint: allow(unranked-latch): placed in PR 9\n"
+     "  Latch mu_;\n};\n",
+     nullptr, nullptr},
+    // ---- condvar binding ----------------------------------------------
+    {"condvar beside a ranked latch is quiet", "src/core/m.h",
+     "class M { Latch mu_{\"m.mu\", LatchRank::kCommit}; LatchCondVar cv_; "
+     "};\n",
+     nullptr, nullptr},
+    {"condvar with no ranked latch in the file fires", "src/core/n.h",
+     "class N { LatchCondVar cv_; };\n", nullptr, "unbound-condvar"},
+    // ---- static nesting order -----------------------------------------
+    {"ascending nesting is quiet", "src/core/o.cc",
+     "class O {\n"
+     "  Latch lo_{\"o.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"o.hi\", LatchRank::kCommit};\n"
+     "  void F() { LatchGuard a(lo_); LatchGuard b(hi_); }\n"
+     "};\n",
+     nullptr, nullptr},
+    {"descending nesting fires", "src/core/p.cc",
+     "class P {\n"
+     "  Latch lo_{\"p.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"p.hi\", LatchRank::kCommit};\n"
+     "  void F() { LatchGuard a(hi_); LatchGuard b(lo_); }\n"
+     "};\n",
+     nullptr, "latch-order"},
+    {"equal-rank nesting fires", "src/core/q.cc",
+     "class Q {\n"
+     "  Latch a_{\"q.a\", LatchRank::kCommit};\n"
+     "  Latch b_{\"q.b\", LatchRank::kCommit};\n"
+     "  void F() { LatchGuard a(a_); LatchGuard b(b_); }\n"
+     "};\n",
+     nullptr, "latch-order"},
+    {"recursive re-entry of the same latch is quiet", "src/core/r.cc",
+     "class R {\n"
+     "  RecursiveLatch mu_{\"r.mu\", LatchRank::kCommit};\n"
+     "  void F() {\n"
+     "    RecursiveLatchGuard a(mu_);\n"
+     "    { RecursiveLatchGuard b(mu_); }\n"
+     "  }\n};\n",
+     nullptr, nullptr},
+    {"closed scope releases the latch", "src/core/s.cc",
+     "class S {\n"
+     "  Latch lo_{\"s.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"s.hi\", LatchRank::kCommit};\n"
+     "  void F() {\n"
+     "    { LatchGuard a(hi_); }\n"
+     "    LatchGuard b(lo_);\n"
+     "  }\n};\n",
+     nullptr, nullptr},
+    {"unlock() releases across a descending acquisition", "src/core/t.cc",
+     "class TT {\n"
+     "  Latch lo_{\"t.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"t.hi\", LatchRank::kCommit};\n"
+     "  void F() {\n"
+     "    UniqueLatchGuard g(hi_);\n"
+     "    g.unlock();\n"
+     "    LatchGuard b(lo_);\n"
+     "  }\n};\n",
+     nullptr, nullptr},
+    {"out-of-line member definitions resolve through the header",
+     "src/core/u.cc",
+     "void U::F() { LatchGuard a(hi_); LatchGuard b(lo_); }\n", nullptr,
+     "latch-order"},  // header for U is injected below
+    {"constructor init list does not hijack the function's class",
+     "src/core/u2.cc",
+     "U::U(std::string s)\n"
+     "    : name_(std::move(s)) {\n"
+     "  LatchGuard a(hi_);\n"
+     "  LatchGuard b(lo_);\n"
+     "}\n",
+     nullptr, "latch-order"},
+    {"destructor bodies resolve to their class", "src/core/u3.cc",
+     "U::~U() { LatchGuard a(hi_); LatchGuard b(lo_); }\n", nullptr,
+     "latch-order"},
+    {"base-specifier list does not hide the class scope", "src/core/v2.cc",
+     "class Obs {};\nclass Lst {};\n"
+     "class V2 : public Obs, public Lst {\n"
+     "  Latch lo_{\"v2.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"v2.hi\", LatchRank::kCommit};\n"
+     "  void F() { LatchGuard a(hi_); LatchGuard b(lo_); }\n"
+     "};\n",
+     nullptr, "latch-order"},
+    {"cross-class receiver hop resolves the rank", "src/core/v.cc",
+     "class Inner { public: Latch mu_{\"v.in\", LatchRank::kReclaim}; };\n"
+     "class Outer {\n"
+     "  Latch big_{\"v.big\", LatchRank::kCommit};\n"
+     "  Inner* inner_;\n"
+     "  void F() { LatchGuard a(big_); LatchGuard b(inner_->mu_); }\n"
+     "};\n",
+     nullptr, "latch-order"},
+    {"latch-order suppression on the preceding line", "src/core/w.cc",
+     "class W {\n"
+     "  Latch lo_{\"w.lo\", LatchRank::kReclaim};\n"
+     "  Latch hi_{\"w.hi\", LatchRank::kCommit};\n"
+     "  void F() {\n"
+     "    LatchGuard a(hi_);\n"
+     "    // orion-lint: allow(latch-order): intentional for the fixture\n"
+     "    LatchGuard b(lo_);\n"
+     "  }\n};\n",
+     nullptr, nullptr},
+    // ---- §6 rule 3 -----------------------------------------------------
+    {"Acquire under a held latch fires", "src/core/x.cc",
+     "class X {\n"
+     "  Latch mu_{\"x.mu\", LatchRank::kCommit};\n"
+     "  void F() { LatchGuard g(mu_); locks_->Acquire(txn, res, mode); }\n"
+     "};\n",
+     nullptr, "latch-across-acquire"},
+    {"Acquire after the guard scope closes is quiet", "src/core/y.cc",
+     "class Y {\n"
+     "  Latch mu_{\"y.mu\", LatchRank::kCommit};\n"
+     "  void F() {\n"
+     "    { LatchGuard g(mu_); }\n"
+     "    locks_->Acquire(txn, res, mode);\n"
+     "  }\n};\n",
+     nullptr, nullptr},
+    // ---- rank-table drift ---------------------------------------------
+    {"matching table round-trips clean", nullptr, nullptr, kMiniDesign,
+     nullptr},
+    {"value mismatch fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::r_` | reclaimer |\n"
+     "| `kCommit` | 250 | `T::mu_` (`t.commit`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n"
+     "| `kMetrics` | 600 | `Reg::m_` | cold |\n\n### 9.2 next\n",
+     "rank-table-drift"},
+    {"missing row for an enum rank fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::r_` | reclaimer |\n"
+     "| `kCommit` | 200 | `T::mu_` (`t.commit`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n\n### 9.2\n",
+     "rank-table-drift"},
+    {"stale row naming a vanished rank fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::r_` | reclaimer |\n"
+     "| `kCommit` | 200 | `T::mu_` (`t.commit`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n"
+     "| `kMetrics` | 600 | `Reg::m_` | cold |\n"
+     "| `kGhost` | 999 | `Ghost::g_` | gone |\n\n### 9.2\n",
+     "rank-table-drift"},
+    {"row naming a vanished member fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::gone_` | reclaimer |\n"
+     "| `kCommit` | 200 | `T::mu_` (`t.commit`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n"
+     "| `kMetrics` | 600 | `Reg::m_` | cold |\n\n### 9.2\n",
+     "rank-table-drift"},
+    {"row with the wrong rank for a member fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::r_` `T::mu_` | reclaimer |\n"
+     "| `kCommit` | 200 | (`t.commit`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n"
+     "| `kMetrics` | 600 | `Reg::m_` | cold |\n\n### 9.2\n",
+     "rank-table-drift"},
+    {"unlisted literal-ranked site fires", "src/core/z.h",
+     "class Z { Latch extra_{\"z.extra\", LatchRank::kMetrics}; };\n",
+     kMiniDesign, "rank-table-drift"},
+    {"stale latch name string fires",
+     nullptr, nullptr,
+     "### 9.1 Latch ranks\n\n"
+     "| Rank | Value | Latch | Why |\n|---|---|---|---|\n"
+     "| `kReclaim` | 100 | `Rec::r_` | reclaimer |\n"
+     "| `kCommit` | 200 | `T::mu_` (`t.renamed`) | gateway |\n"
+     "| `kTableShard` | 300 | shards | striped |\n"
+     "| `kLockTable` | 530 | `LockMgr::table_mu_` | leaf |\n"
+     "| `kMetrics` | 600 | `Reg::m_` | cold |\n\n### 9.2\n",
+     "rank-table-drift"},
+};
+
+/// Header injected for the out-of-line definition fixture.
+constexpr const char* kHeaderForU = R"(
+class U {
+  Latch lo_{"u.lo", LatchRank::kReclaim};
+  Latch hi_{"u.hi", LatchRank::kCommit};
+  void F();
+};
+)";
+
+int SelfTest() {
+  int failures = 0;
+  for (const CheckFixture& fx : kCheckFixtures) {
+    std::vector<SourceFile> files;
+    files.push_back({"src/common/latch.h", kMiniLatchH});
+    files.push_back({"src/common/companions.h", kCleanCompanions});
+    files.push_back({"src/core/u_header.h", kHeaderForU});
+    if (fx.extra_path != nullptr) {
+      files.push_back({fx.extra_path, fx.extra_content});
+    }
+    std::vector<Finding> findings = AnalyzeProgram(
+        files, fx.design == nullptr ? "" : fx.design, "DESIGN.md");
+    bool ok;
+    if (fx.expect_rule == nullptr) {
+      ok = findings.empty();
+    } else {
+      ok = !findings.empty();
+      for (const Finding& f : findings) {
+        ok = ok && f.rule == fx.expect_rule;
+      }
+    }
+    std::fprintf(stderr, "[%s] %s\n", ok ? "PASS" : "FAIL", fx.name);
+    if (!ok) {
+      ++failures;
+      for (const Finding& f : findings) {
+        std::fprintf(stderr, "    got %s:%zu [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+      }
+    }
+  }
+  std::fprintf(stderr, "orion_check --self-test: %d failure(s)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 2 && std::string_view(argv[1]) == "--self-test") {
+    return SelfTest();
+  }
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: orion_check <repo-root> | --self-test\n");
+    return 2;
+  }
+  return AnalyzeTree(argv[1]);
+}

@@ -1,9 +1,15 @@
 // orion_lint — source-level checker for the engine invariants the compiler
-// cannot see (DESIGN.md §9).  Dependency-free; runs as a ci.sh stage and as
-// two ctest entries (OrionLint.SelfTest, OrionLint.Source).
+// cannot see (DESIGN.md §9.2).  Built on the shared C++ tokenizer in
+// lint/lexer.{h,cc} (also the substrate of tools/orion_check), so every
+// rule reasons about real tokens: nothing fires inside strings, raw
+// strings or comments, and declarations split across lines or line splices
+// are still seen.  Dependency-free; runs as a ci.sh stage and as two ctest
+// entries (OrionLint.SelfTest, OrionLint.Source).
 //
-// Rules, each suppressible per line with
+// Rules, each suppressible with
 //   // orion-lint: allow(<rule>): <reason>
+// on the finding line OR on the immediately preceding line (the natural
+// place when the flagged statement is long).
 //
 //   naked-mutex        std::mutex / std::shared_mutex / std::lock_guard /
 //                      std::unique_lock / std::condition_variable / ... may
@@ -12,11 +18,11 @@
 //                      every acquisition.
 //   unexplained-discard  `(void)Call(...)` throws away a Status/Result the
 //                      type system would otherwise flag ([[nodiscard]]).
-//                      Allowed only with a justifying comment on the same
-//                      line or immediately above.  The statement is joined
-//                      through its terminating `;` first, so a wrapped
-//                      call is still seen and a comment on any of its
-//                      continuation lines still justifies it.
+//                      Allowed only with a justifying comment touching the
+//                      statement (any of its lines, or the line above).
+//                      The statement is token-spanned through its
+//                      terminating `;`, so wrapped calls need no
+//                      line-joining heuristics.
 //   forbidden-include  src/common/ is the dependency root: it must not
 //                      include subsystem headers.
 //   missing-thread-safety  public headers under src/schema/ are part of the
@@ -43,7 +49,15 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/lexer.h"
+
 namespace {
+
+using orion::lint::Comment;
+using orion::lint::Lex;
+using orion::lint::LexedFile;
+using orion::lint::TokKind;
+using orion::lint::Token;
 
 struct Finding {
   std::string file;
@@ -52,140 +66,22 @@ struct Finding {
   std::string message;
 };
 
-std::vector<std::string> SplitLines(std::string_view text) {
-  std::vector<std::string> lines;
-  size_t start = 0;
-  while (start <= text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string_view::npos) {
-      lines.emplace_back(text.substr(start));
-      break;
-    }
-    lines.emplace_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-std::string_view Trimmed(std::string_view s) {
-  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
-                        s.back() == '\r')) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
-
-bool HasSuppression(std::string_view line, std::string_view rule) {
-  size_t pos = line.find("orion-lint: allow(");
-  if (pos == std::string_view::npos) {
-    return false;
-  }
-  std::string_view rest = line.substr(pos + 18);
-  return rest.substr(0, rule.size()) == rule && rest.size() > rule.size() &&
-         rest[rule.size()] == ')';
-}
-
-bool IsCommentLine(std::string_view line) {
-  std::string_view t = Trimmed(line);
-  return t.substr(0, 2) == "//" || t.substr(0, 2) == "/*" ||
-         t.substr(0, 1) == "*";
-}
-
-/// The tokens that bypass orion::Latch.  Matched as whole identifiers
-/// (the character after the token must not extend it), so
-/// `std::condition_variable_any` is caught by its prefix while
-/// `std::mutexes_of_doom` (hypothetical) is not falsely split.
-constexpr std::string_view kNakedTokens[] = {
-    "std::mutex",         "std::shared_mutex",  "std::recursive_mutex",
-    "std::timed_mutex",   "std::lock_guard",    "std::unique_lock",
-    "std::shared_lock",   "std::scoped_lock",   "std::condition_variable",
+/// The std names that bypass orion::Latch.  Matched as the whole
+/// identifier token after `std::`, so `std::mutexes_of_doom`
+/// (hypothetical) can never be split-matched and nothing inside a string
+/// or comment can fire.
+constexpr std::string_view kNakedNames[] = {
+    "mutex",          "shared_mutex",     "recursive_mutex",
+    "timed_mutex",    "shared_timed_mutex", "recursive_timed_mutex",
+    "lock_guard",     "unique_lock",      "shared_lock",
+    "scoped_lock",    "condition_variable", "condition_variable_any",
 };
 
-bool MentionsNakedPrimitive(std::string_view line) {
-  for (std::string_view token : kNakedTokens) {
-    size_t pos = 0;
-    while ((pos = line.find(token, pos)) != std::string_view::npos) {
-      size_t end = pos + token.size();
-      char next = end < line.size() ? line[end] : ' ';
-      // Identifier continuation chars mean a different, longer name —
-      // except `_any`/`_ref`-style std suffixes, which are still naked.
-      bool extends = (next >= 'a' && next <= 'z') ||
-                     (next >= 'A' && next <= 'Z') ||
-                     (next >= '0' && next <= '9') || next == '_';
-      bool std_suffix = line.substr(end, 4) == "_any";
-      if (!extends || std_suffix) {
-        return true;
-      }
-      pos = end;
-    }
-  }
-  return false;
-}
-
-/// True if the line discards a *call* through a void cast:
-/// `(void)foo(...)`, `(void)obj->Method(...)`, `(void)ns::Fn(...)`.
-/// Plain parameter silencers — `(void)name;` — are fine.
-bool IsVoidCastCallDiscard(std::string_view line) {
-  size_t pos = line.find("(void)");
-  if (pos == std::string_view::npos) {
-    return false;
-  }
-  std::string_view rest = line.substr(pos + 6);
-  while (!rest.empty() && rest.front() == ' ') {
-    rest.remove_prefix(1);
-  }
-  // Walk the expression up to `;` or end; a call requires a '(' after at
-  // least one identifier character.
-  bool seen_ident = false;
-  for (char c : rest) {
-    bool ident = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                 (c >= '0' && c <= '9') || c == '_' || c == ':' ||
-                 c == '.' || c == '-' || c == '>' || c == '*';
-    if (ident) {
-      seen_ident = true;
-      continue;
-    }
-    if (c == '(') {
-      return seen_ident;
-    }
-    break;  // `;`, space before `=`, anything else: not a simple call
-  }
-  return false;
-}
-
-/// True if the line constructs a Uid from raw bits: the whole identifier
-/// `Uid` immediately followed by `{` or `(` with a non-empty payload.
-/// `kNilUid`, `Uid u;`, `Result<Uid>` etc. do not match; the empty
-/// aggregate forms stay legal.
-bool ConstructsRawUid(std::string_view line) {
-  size_t pos = 0;
-  while ((pos = line.find("Uid", pos)) != std::string_view::npos) {
-    const size_t end = pos + 3;
-    const char prev = pos > 0 ? line[pos - 1] : ' ';
-    const bool prev_ident = (prev >= 'a' && prev <= 'z') ||
-                            (prev >= 'A' && prev <= 'Z') ||
-                            (prev >= '0' && prev <= '9') || prev == '_';
-    if (prev_ident || end >= line.size()) {
-      pos = end;
-      continue;
-    }
-    const char open = line[end];
-    if (open != '{' && open != '(') {
-      pos = end;
-      continue;
-    }
-    const char close = open == '{' ? '}' : ')';
-    size_t payload = end + 1;
-    while (payload < line.size() && line[payload] == ' ') {
-      ++payload;
-    }
-    if (payload < line.size() && line[payload] != close) {
+bool IsNakedName(std::string_view name) {
+  for (std::string_view n : kNakedNames) {
+    if (name == n) {
       return true;
     }
-    pos = end;
   }
   return false;
 }
@@ -193,8 +89,53 @@ bool ConstructsRawUid(std::string_view line) {
 /// The subsystem directories src/common must never include.
 constexpr std::string_view kSubsystems[] = {
     "object/", "query/",  "lock/", "storage/", "version/", "core/",
-    "obs/",    "schema/", "authz/", "lang/",   "notify/",
+    "obs/",    "schema/", "authz/", "lang/",   "notify/",  "cell/",
+    "wal/",
 };
+
+bool IsChainPunct(const Token& t) {
+  return t.kind == TokKind::kPunct &&
+         (t.text == "::" || t.text == "." || t.text == "->" ||
+          t.text == "*");
+}
+
+/// True if some comment overlaps [first_line, last_line] or ends on the
+/// line immediately above first_line — the "justifying comment" contract
+/// of unexplained-discard.
+bool HasNearbyComment(const LexedFile& lexed, size_t first_line,
+                      size_t last_line) {
+  for (const Comment& c : lexed.comments) {
+    if (c.first_line <= last_line && c.last_line + 1 >= first_line) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Extracts the quoted path of an `#include "..."` directive, or empty.
+std::string_view LocalIncludePath(std::string_view directive) {
+  size_t pos = directive.find('#');
+  if (pos == std::string_view::npos) {
+    return {};
+  }
+  std::string_view rest = directive.substr(pos + 1);
+  while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+    rest.remove_prefix(1);
+  }
+  if (rest.rfind("include", 0) != 0) {
+    return {};
+  }
+  rest.remove_prefix(7);
+  while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+    rest.remove_prefix(1);
+  }
+  if (rest.empty() || rest.front() != '"') {
+    return {};
+  }
+  rest.remove_prefix(1);
+  size_t close = rest.find('"');
+  return close == std::string_view::npos ? rest : rest.substr(0, close);
+}
 
 /// Lints one file given its repo-relative path (forward slashes) and
 /// content; pure so the self-test can feed synthetic sources.
@@ -215,80 +156,125 @@ std::vector<Finding> LintSource(const std::string& rel_path,
       rel_path.size() >= 2 &&
       rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
 
-  std::vector<std::string> lines = SplitLines(content);
-  if (is_schema_header &&
-      content.find("/// Thread-safety:") == std::string_view::npos &&
-      content.find("// orion-lint: allow(missing-thread-safety)") ==
-          std::string_view::npos) {
-    findings.push_back(
-        {rel_path, 1, "missing-thread-safety",
-         "schema headers are the online-DDL surface (DESIGN.md §10) and "
-         "must document their concurrency contract with a "
-         "`/// Thread-safety:` doc line"});
-  }
-  for (size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    const size_t lineno = i + 1;
+  const LexedFile lexed = Lex(content);
+  const std::vector<Token>& toks = lexed.tokens;
 
-    if (!is_latch_impl && MentionsNakedPrimitive(line) &&
-        !HasSuppression(line, "naked-mutex")) {
+  if (is_schema_header &&
+      !lexed.AnyCommentContains("/// Thread-safety:")) {
+    bool allowed = false;
+    for (const Comment& c : lexed.comments) {
+      if (orion::lint::CommentAllows(c.text, "missing-thread-safety")) {
+        allowed = true;
+      }
+    }
+    if (!allowed) {
       findings.push_back(
-          {rel_path, lineno, "naked-mutex",
+          {rel_path, 1, "missing-thread-safety",
+           "schema headers are the online-DDL surface (DESIGN.md §10) and "
+           "must document their concurrency contract with a "
+           "`/// Thread-safety:` doc line"});
+    }
+  }
+
+  // One finding per (rule, line): `std::lock_guard<std::mutex>` is one
+  // naked-mutex report, exactly as the line-based linter produced.
+  size_t last_naked_line = 0;
+  size_t last_uid_line = 0;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    // -- naked-mutex: the token triple `std` `::` <naked name>. ----------
+    if (!is_latch_impl && t.kind == TokKind::kIdent && t.text == "std" &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        toks[i + 1].text == "::" && toks[i + 2].kind == TokKind::kIdent &&
+        IsNakedName(toks[i + 2].text) && t.line != last_naked_line &&
+        !lexed.Suppressed("naked-mutex", t.line)) {
+      last_naked_line = t.line;
+      findings.push_back(
+          {rel_path, t.line, "naked-mutex",
            "raw std synchronization primitive; use orion::Latch / "
            "SharedLatch (common/latch.h) so the rank checker sees it"});
     }
 
-    if (line.find("(void)") != std::string::npos) {
-      // A discard can span lines (formatters wrap long receivers), so the
-      // statement is joined through its terminating `;` before the
-      // call-shape test.  The finding stays attributed to the (void) line;
-      // a comment or suppression anywhere on the joined statement counts.
-      std::string stmt = line;
-      size_t stmt_end = i;
-      while (stmt.find(';') == std::string::npos &&
-             stmt_end + 1 < lines.size() && stmt_end - i < 8) {
-        ++stmt_end;
-        stmt += Trimmed(lines[stmt_end]);
+    // -- unexplained-discard: `(` `void` `)` then a call expression. -----
+    if (t.kind == TokKind::kPunct && t.text == "(" && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent && toks[i + 1].text == "void" &&
+        toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == ")") {
+      // Walk the receiver chain: identifiers joined by :: . -> * ; a call
+      // needs at least one identifier before its opening parenthesis.
+      size_t j = i + 3;
+      bool seen_ident = false;
+      while (j < toks.size() &&
+             (toks[j].kind == TokKind::kIdent || IsChainPunct(toks[j]))) {
+        seen_ident = seen_ident || toks[j].kind == TokKind::kIdent;
+        ++j;
       }
-      if (IsVoidCastCallDiscard(stmt) &&
-          !HasSuppression(stmt, "unexplained-discard")) {
-        // A justification is a comment on any line of the statement or a
-        // comment block ending on the immediately preceding line.
-        bool justified = stmt.find("//") != std::string::npos;
-        for (size_t j = i; !justified && j > 0 && IsCommentLine(lines[j - 1]);
-             --j) {
-          justified = true;
+      const bool is_call = seen_ident && j < toks.size() &&
+                           toks[j].kind == TokKind::kPunct &&
+                           toks[j].text == "(";
+      if (is_call) {
+        // Span the statement to its terminating `;` (paren-depth aware,
+        // bounded so a pathological file cannot stall the lint).
+        size_t last_line = toks[j].line;
+        int depth = 0;
+        for (size_t k = j; k < toks.size() && k < j + 512; ++k) {
+          last_line = toks[k].line;
+          if (toks[k].kind != TokKind::kPunct) {
+            continue;
+          }
+          if (toks[k].text == "(") {
+            ++depth;
+          } else if (toks[k].text == ")") {
+            --depth;
+          } else if (toks[k].text == ";" && depth <= 0) {
+            break;
+          }
         }
-        if (!justified) {
+        const bool justified = HasNearbyComment(lexed, t.line, last_line);
+        if (!justified &&
+            !lexed.SuppressedRange("unexplained-discard", t.line,
+                                   last_line)) {
           findings.push_back(
-              {rel_path, lineno, "unexplained-discard",
+              {rel_path, t.line, "unexplained-discard",
                "(void)-discarded call without a justifying comment; say why "
                "the Status/Result may be dropped"});
         }
       }
     }
 
-    if (!may_forge_uids && !IsCommentLine(line) && ConstructsRawUid(line) &&
-        !HasSuppression(line, "raw-uid")) {
-      findings.push_back(
-          {rel_path, lineno, "raw-uid",
-           "raw Uid construction forges the cell-tag encoding (§11); use "
-           "MakeUid / UidFromRaw from common/uid.h"});
+    // -- raw-uid: `Uid` immediately opening a non-empty `{...}`/`(...)`. -
+    // A `-> Uid {` trailing-return-type followed by a function body is a
+    // declaration, not a construction.
+    const bool trailing_return = i > 0 && toks[i - 1].kind == TokKind::kPunct &&
+                                 toks[i - 1].text == "->";
+    if (!may_forge_uids && !trailing_return && t.kind == TokKind::kIdent &&
+        t.text == "Uid" && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::kPunct &&
+        (toks[i + 1].text == "{" || toks[i + 1].text == "(")) {
+      const std::string_view close = toks[i + 1].text == "{" ? "}" : ")";
+      const bool empty = toks[i + 2].kind == TokKind::kPunct &&
+                         toks[i + 2].text == close;
+      if (!empty && t.line != last_uid_line &&
+          !lexed.Suppressed("raw-uid", t.line)) {
+        last_uid_line = t.line;
+        findings.push_back(
+            {rel_path, t.line, "raw-uid",
+             "raw Uid construction forges the cell-tag encoding (§11); use "
+             "MakeUid / UidFromRaw from common/uid.h"});
+      }
     }
 
-    if (in_common) {
-      std::string_view t = Trimmed(line);
-      if (t.rfind("#include \"", 0) == 0) {
-        std::string_view inc = t.substr(10);
-        for (std::string_view subsystem : kSubsystems) {
-          if (inc.rfind(subsystem, 0) == 0 &&
-              !HasSuppression(line, "forbidden-include")) {
-            findings.push_back(
-                {rel_path, lineno, "forbidden-include",
-                 "src/common is the dependency root and must not include "
-                 "subsystem header \"" + std::string(inc.substr(
-                     0, inc.find('"'))) + "\""});
-          }
+    // -- forbidden-include: subsystem headers from src/common. -----------
+    if (in_common && t.kind == TokKind::kPreprocessor) {
+      std::string_view inc = LocalIncludePath(t.text);
+      for (std::string_view subsystem : kSubsystems) {
+        if (inc.rfind(subsystem, 0) == 0 &&
+            !lexed.Suppressed("forbidden-include", t.line)) {
+          findings.push_back(
+              {rel_path, t.line, "forbidden-include",
+               "src/common is the dependency root and must not include "
+               "subsystem header \"" + std::string(inc) + "\""});
         }
       }
     }
@@ -356,6 +342,26 @@ constexpr Fixture kFixtures[] = {
     {"suppressed mutex", "src/storage/ok_mutex.cc",
      "std::mutex m;  // orion-lint: allow(naked-mutex): bootstrap only\n",
      nullptr},
+    {"suppression on the preceding line", "src/storage/ok_mutex2.cc",
+     "// orion-lint: allow(naked-mutex): bootstrap only\n"
+     "std::mutex m;\n",
+     nullptr},
+    {"suppression two lines up does not count", "src/storage/bad_mutex3.cc",
+     "// orion-lint: allow(naked-mutex): too far away\n"
+     "int pad;\nstd::mutex m;\n",
+     "naked-mutex"},
+    // The tokenizer keeps string/comment contents out of every rule.
+    {"mutex inside a raw string", "src/object/ok_rawstr.cc",
+     "const char* kDoc = R\"(std::mutex and std::lock_guard here)\";\n",
+     nullptr},
+    {"mutex inside an ordinary string", "src/object/ok_str.cc",
+     "const char* kMsg = \"std::mutex is banned\";\n", nullptr},
+    {"latch names inside comments", "src/object/ok_comment.cc",
+     "// std::mutex is wrapped by orion::Latch (DESIGN.md §9)\n"
+     "/* std::condition_variable too */\nint x;\n",
+     nullptr},
+    {"line-spliced naked mutex still fires", "src/object/bad_splice.cc",
+     "std::mu\\\ntex m;\n", "naked-mutex"},
     {"bare discard", "src/core/bad_discard.cc",
      "void F() {\n  (void)store->Remove(uid);\n}\n", "unexplained-discard"},
     {"discard with same-line reason", "src/core/ok_discard1.cc",
@@ -385,12 +391,20 @@ constexpr Fixture kFixtures[] = {
      "      uid);  // orion-lint: allow(unexplained-discard): racy peer\n"
      "}\n",
      nullptr},
+    {"discard text inside a string", "src/core/ok_discard7.cc",
+     "const char* kEx = \"(void)store->Remove(uid);\";\n", nullptr},
     {"common includes subsystem", "src/common/bad_include.h",
      "#include \"object/object_manager.h\"\n", "forbidden-include"},
     {"common includes common", "src/common/ok_include.h",
      "#include \"common/status.h\"\n#include <vector>\n", nullptr},
     {"subsystem includes subsystem", "src/query/ok_include.cc",
      "#include \"object/object_manager.h\"\n", nullptr},
+    {"spliced include still flagged", "src/common/bad_include2.h",
+     "#include \\\n    \"object/object_manager.h\"\n", "forbidden-include"},
+    {"include suppressed on its own line", "src/common/ok_include2.h",
+     "#include \"object/object.h\"  "
+     "// orion-lint: allow(forbidden-include): doc-only bridge\n",
+     nullptr},
     {"outside src ignored", "tests/whatever.cc", "std::mutex m;\n", nullptr},
     {"schema header without contract", "src/schema/bad_header.h",
      "class SchemaThing {\n public:\n  void Mutate();\n};\n",
@@ -425,6 +439,13 @@ constexpr Fixture kFixtures[] = {
     {"suppressed raw uid", "src/lock/ok_uid4.cc",
      "Uid u = Uid{1};  // orion-lint: allow(raw-uid): test-only probe\n",
      nullptr},
+    {"raw uid suppressed on preceding line", "src/lock/ok_uid5.cc",
+     "// orion-lint: allow(raw-uid): test-only probe\nUid u = Uid{1};\n",
+     nullptr},
+    {"uid construction inside a string", "src/lock/ok_uid6.cc",
+     "const char* kEx = \"Uid{42} forges bits\";\n", nullptr},
+    {"lambda trailing-return Uid is fine", "src/version/ok_uid7.cc",
+     "auto rebind = [&](Uid target) -> Uid { return kNilUid; };\n", nullptr},
 };
 
 int SelfTest() {
