@@ -51,7 +51,7 @@ if [[ "$stage" == "all" || "$stage" == "tsan" ]]; then
   # suites double as a multi-threaded rank-order torture test.
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck|DdlConcurrency|Cell'
+          -R 'Concurrency|ThreadSafeLogicalClock|ShardedTables|LockManager|Transaction|CompositeLocking|LockStress|Mvcc|Snapshot|Observability|LatchCheck|DdlConcurrency|Cell|Rpc'
 fi
 
 if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
@@ -81,6 +81,13 @@ if [[ "$stage" == "all" || "$stage" == "asan" ]]; then
   # handoff plus snapshot write/read and a cold replay.
   (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
     ./bench/abl_wal --smoke)
+  # The §14 RPC front-end owns socket + thread lifecycles (accept loop,
+  # per-connection threads, Stop() join), per-cell session pools that
+  # check sessions in and out across connections, and the coalescing
+  # read/write buffers on both halves of the wire; its smoke drives all
+  # of those plus the shed/retry path under ASan.
+  (cd build-asan && ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+    ./bench/abl_rpc --smoke)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "ubsan" ]]; then
@@ -114,7 +121,7 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
   # shared code with the exporters) and cross-validates the values.
   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build build-release -j "$jobs" \
-        --target abl_concurrency abl_cells metrics_check orion_trace
+        --target abl_concurrency abl_cells abl_rpc metrics_check orion_trace
   (cd build-release && ./bench/abl_concurrency --smoke > /dev/null &&
     ./tools/metrics_check BENCH_concurrency_metrics.prom \
                           BENCH_concurrency_metrics.json \
@@ -133,6 +140,19 @@ if [[ "$stage" == "all" || "$stage" == "metrics" ]]; then
                           BENCH_cells_cell1.json BENCH_cells_cell2.json &&
     ./tools/metrics_check --trace BENCH_cells_trace.json &&
     ./tools/orion_trace BENCH_cells_trace.json > /dev/null)
+  # The §14 RPC facade: abl_rpc exports the same per-cell / own / merged
+  # snapshot set after the server has STOPPED, so --cluster additionally
+  # proves the rpc.* family reconciles (requests == served + shed) and
+  # that the in-flight and connection gauges drained to zero (§14.7).
+  # Its trace export carries remote-parented "rpc.server" roots (§14.6);
+  # --trace and orion_trace must treat those as roots, not dangling spans.
+  (cd build-release && ./bench/abl_rpc --smoke > /dev/null &&
+    ./tools/metrics_check --cluster BENCH_rpc_cluster.prom \
+                          BENCH_rpc_cluster.json \
+                          BENCH_rpc_own.json \
+                          BENCH_rpc_cell1.json BENCH_rpc_cell2.json &&
+    ./tools/metrics_check --trace BENCH_rpc_trace.json &&
+    ./tools/orion_trace BENCH_rpc_trace.json > /dev/null)
 fi
 
 if [[ "$stage" == "all" || "$stage" == "lint" ]]; then

@@ -15,6 +15,10 @@ namespace orion {
 /// refusal — abort every participant, back off, and re-run the closure.
 ///
 /// Not thread-safe; create one per thread.  The Cluster it drives is.
+/// Like `Session`, a ClusterSession keeps no thread-affine state between
+/// `Run` calls (thread-local jitter RNG; ambient trace context scoped
+/// inside `Run`), so pooled reuse across OS threads is safe under the
+/// pool's hand-off synchronization — see the invariant note on `Session`.
 class ClusterSession {
  public:
   explicit ClusterSession(Cluster* cluster, SessionOptions options = {});

@@ -43,6 +43,10 @@ const char* LatchRankName(LatchRank rank) {
       return "kLockTable";
     case LatchRank::kTraceFlight:
       return "kTraceFlight";
+    case LatchRank::kRpcServer:
+      return "kRpcServer";
+    case LatchRank::kRpcPool:
+      return "kRpcPool";
     case LatchRank::kMetrics:
       return "kMetrics";
   }

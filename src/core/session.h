@@ -49,6 +49,19 @@ struct SessionStats {
 ///
 /// A Session is NOT thread-safe; create one per thread.  The Database it
 /// drives is.
+///
+/// Pooled reuse across OS threads (the RPC server's `rpc::SessionPool`)
+/// is safe under hand-off synchronization: a Session object keeps NO
+/// thread-affine state between `Run` calls.  The backoff jitter RNG is
+/// deliberately `thread_local` (per OS thread, not per session — see
+/// `NextJitter` in session.cc), so a session that hops threads between
+/// requests just draws from the new thread's stream; and the §13 ambient
+/// trace context is installed and restored *inside* `Run` by its
+/// `TraceRoot`, so nothing ambient leaks past a `Run` return.  The only
+/// requirement is the usual one for any non-thread-safe object: the
+/// hand-off from one thread to the next must happen-before the next use
+/// (the pool's latch provides this), and at most one thread uses the
+/// session at a time.
 class Session {
  public:
   explicit Session(Database* db, SessionOptions options = {});

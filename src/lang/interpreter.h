@@ -54,6 +54,16 @@ class Interpreter {
   /// Value bound to `name`, or NotFound.
   Result<Value> Lookup(const std::string& name) const;
 
+  /// Parses a `(select ...)` predicate expression into a query tree — the
+  /// same grammar the `select` form accepts (comparisons, and/or/not,
+  /// path, part-of).  Public for callers that plan the query themselves
+  /// (the RPC server parses the predicate here, then scatters it with
+  /// `Cluster::Select`); evaluation of embedded values uses this
+  /// interpreter's environment.
+  Result<QueryPtr> ParseQueryExpr(const Sexpr& expr) {
+    return ParseQuery(expr);
+  }
+
   /// Binds `name` in the global environment.
   void Bind(std::string name, Value value) {
     env_[std::move(name)] = std::move(value);

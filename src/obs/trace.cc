@@ -296,13 +296,32 @@ TraceContextScope::~TraceContextScope() {
 }
 
 TraceRoot::TraceRoot(TraceBuffer* buffer, const char* name, uint64_t tag)
+    : TraceRoot(buffer, name, tag, TraceContext{}) {}
+
+TraceRoot::TraceRoot(TraceBuffer* buffer, const char* name, uint64_t tag,
+                     TraceContext remote_parent)
     : buffer_(buffer), name_(name), tag_(tag) {
   if (buffer_ == nullptr) {
     return;
   }
   start_us_ = NowMicros();
-  ctx_ = TraceContext{NextTraceId(), NextSpanId()};
   AmbientTrace& ambient = Ambient();
+  if (ambient.collector != nullptr) {
+    // Nested root: an outer trace is already open on this thread (e.g. a
+    // one-shot session inside an RPC handler's adopting root).  Forking a
+    // second trace here would disconnect the causal chain, so degrade to
+    // a child span of the ambient trace — same protocol as `Span`.
+    nested_collector_ = ambient.collector;
+    parent_id_ = ambient.ctx.span_id;
+    ctx_ = TraceContext{ambient.ctx.trace_id, NextSpanId()};
+    prev_ctx_ = ambient.ctx;
+    ambient.ctx = ctx_;
+    return;
+  }
+  const bool adopted = remote_parent.trace_id != 0;
+  ctx_ = TraceContext{adopted ? remote_parent.trace_id : NextTraceId(),
+                      NextSpanId()};
+  parent_id_ = adopted ? remote_parent.span_id : 0;
   prev_ctx_ = ambient.ctx;
   prev_collector_ = ambient.collector;
   ambient.ctx = ctx_;
@@ -314,8 +333,6 @@ TraceRoot::~TraceRoot() {
     return;
   }
   AmbientTrace& ambient = Ambient();
-  ambient.ctx = prev_ctx_;
-  ambient.collector = prev_collector_;
   const uint64_t dur_us = NowMicros() - start_us_;
   TraceEvent root;
   root.name = name_;
@@ -325,7 +342,21 @@ TraceRoot::~TraceRoot() {
   root.thread_id = ThisThreadTraceId();
   root.trace_id = ctx_.trace_id;
   root.span_id = ctx_.span_id;
-  root.parent_id = 0;
+  root.parent_id = parent_id_;
+  if (nested_collector_ != nullptr) {
+    // Restore the outer context only if still ambient (same guard as
+    // Span::~Span against out-of-stack-order destruction).  The outer
+    // root owns retention, so MarkError here cannot force flight
+    // retention of the enclosing tree — the enclosing root decides.
+    if (ambient.collector == nested_collector_ &&
+        ambient.ctx.span_id == ctx_.span_id) {
+      ambient.ctx = prev_ctx_;
+    }
+    nested_collector_->push_back(root);
+    return;
+  }
+  ambient.ctx = prev_ctx_;
+  ambient.collector = prev_collector_;
   events_.push_back(root);
   buffer_->CloseTrace(std::move(events_), error_, dur_us);
 }

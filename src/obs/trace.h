@@ -225,9 +225,26 @@ class TraceContextScope {
 /// and hands the completed tree to `buffer->CloseTrace` at destruction.
 /// A null buffer makes the whole trace free (no ids, no clock reads, and
 /// every span recorded below falls back to its own buffer).
+///
+/// Nesting: a TraceRoot constructed while this thread already has an
+/// ambient trace open does NOT fork a second tree — it degrades to a
+/// child span of the ambient trace (same contract as `Span`), so a
+/// session root opened inside an RPC handler's root lands in the
+/// handler's tree instead of splitting the causal chain (§13, §14).
 class TraceRoot {
  public:
   TraceRoot(TraceBuffer* buffer, const char* name, uint64_t tag = 0);
+
+  /// Adopting root (§14): continues a trace whose upper half lives in
+  /// another process.  A nonzero `remote_parent` supplies the trace id
+  /// this root joins and the span id it parents to; the tree exported
+  /// here is remote-parented — its root names a parent span that is not
+  /// in this process's export (tools/orion_trace treats such a root as
+  /// connected).  A zero `remote_parent` behaves exactly like the plain
+  /// constructor.
+  TraceRoot(TraceBuffer* buffer, const char* name, uint64_t tag,
+            TraceContext remote_parent);
+
   ~TraceRoot();
 
   TraceRoot(const TraceRoot&) = delete;
@@ -249,6 +266,12 @@ class TraceRoot {
   bool error_ = false;
   TraceContext prev_ctx_{};
   std::vector<TraceEvent>* prev_collector_ = nullptr;
+  /// Root parent: 0 for a locally rooted trace, the remote span id for an
+  /// adopting root.
+  uint64_t parent_id_ = 0;
+  /// Nested mode (ambient trace already open at construction): append the
+  /// root event to the outer collector instead of closing a trace.
+  std::vector<TraceEvent>* nested_collector_ = nullptr;
 };
 
 /// RAII span: opens at construction, records at destruction.  Under an

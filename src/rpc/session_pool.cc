@@ -1,0 +1,86 @@
+#include "rpc/session_pool.h"
+
+namespace orion::rpc {
+
+SessionPool::SessionPool(Cluster* cluster, SessionOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      cell_idle_(cluster->size()) {}
+
+SessionPool::CellLease::~CellLease() {
+  if (session_ != nullptr) {
+    pool_->Return(tag_, std::move(session_));
+  }
+}
+
+SessionPool::ClusterLease::~ClusterLease() {
+  if (session_ != nullptr) {
+    pool_->Return(std::move(session_));
+  }
+}
+
+Result<SessionPool::CellLease> SessionPool::AcquireCell(CellTag tag) {
+  if (tag < 1 || static_cast<size_t>(tag) > cell_idle_.size()) {
+    return Status::NotFound("no cell with tag " + std::to_string(tag));
+  }
+  {
+    UniqueLatchGuard g(mu_);
+    auto& idle = cell_idle_[tag - 1];
+    if (!idle.empty()) {
+      std::unique_ptr<Session> s = std::move(idle.back());
+      idle.pop_back();
+      return CellLease(this, tag, std::move(s));
+    }
+    ++created_;
+  }
+  // Construction outside the latch: Session's ctor resolves metric
+  // handles from the cell's registry (a kMetrics latch), and kRpcPool
+  // must stay a leaf.
+  return CellLease(this, tag,
+                   std::make_unique<Session>(
+                       &cluster_->cell(tag).db(), options_));
+}
+
+SessionPool::ClusterLease SessionPool::AcquireCluster() {
+  {
+    UniqueLatchGuard g(mu_);
+    if (!cluster_idle_.empty()) {
+      std::unique_ptr<ClusterSession> s = std::move(cluster_idle_.back());
+      cluster_idle_.pop_back();
+      return ClusterLease(this, std::move(s));
+    }
+    ++created_;
+  }
+  return ClusterLease(this,
+                      std::make_unique<ClusterSession>(cluster_, options_));
+}
+
+void SessionPool::Return(CellTag tag, std::unique_ptr<Session> s) {
+  UniqueLatchGuard g(mu_);
+  cell_idle_[tag - 1].push_back(std::move(s));
+}
+
+void SessionPool::Return(std::unique_ptr<ClusterSession> s) {
+  UniqueLatchGuard g(mu_);
+  cluster_idle_.push_back(std::move(s));
+}
+
+uint64_t SessionPool::created() const {
+  UniqueLatchGuard g(mu_);
+  return created_;
+}
+
+size_t SessionPool::idle_cluster_sessions() const {
+  UniqueLatchGuard g(mu_);
+  return cluster_idle_.size();
+}
+
+size_t SessionPool::idle_cell_sessions(CellTag tag) const {
+  UniqueLatchGuard g(mu_);
+  if (tag < 1 || static_cast<size_t>(tag) > cell_idle_.size()) {
+    return 0;
+  }
+  return cell_idle_[tag - 1].size();
+}
+
+}  // namespace orion::rpc

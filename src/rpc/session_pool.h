@@ -1,0 +1,116 @@
+#ifndef ORION_RPC_SESSION_POOL_H_
+#define ORION_RPC_SESSION_POOL_H_
+
+// Per-cell `Session` and cluster-wide `ClusterSession` pools for the RPC
+// server (§14.4): a wire request checks a session out, runs exactly one
+// `Run` closure on it, and returns it.  Sessions are expensive to keep
+// per-connection (a 10k-connection server would hold 10k idle retry
+// loops' worth of state) and cheap to hand off — see the pooled-reuse
+// invariant documented on `Session`: no thread-affine state survives a
+// `Run` return, so a pooled session may serve a different OS thread on
+// every checkout as long as the hand-off itself synchronizes.
+//
+/// Thread-safety: `SessionPool` is fully thread-safe; any connection
+/// thread may acquire/release concurrently.  The leases it returns are
+/// NOT thread-safe (they wrap `Session`/`ClusterSession`) and must stay
+/// on the acquiring thread until released; the pool's latch provides the
+/// happens-before edge between one thread's release and the next
+/// thread's acquire.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cell/cluster_session.h"
+#include "common/latch.h"
+#include "core/session.h"
+
+namespace orion::rpc {
+
+class SessionPool {
+ public:
+  /// Every pooled session is created with `options` (the server's
+  /// session knobs) against `cluster` or one of its cells.
+  SessionPool(Cluster* cluster, SessionOptions options);
+
+  SessionPool(const SessionPool&) = delete;
+  SessionPool& operator=(const SessionPool&) = delete;
+
+  /// RAII checkout of a per-cell session; returns it to the pool on
+  /// destruction.  Move-only, single-thread use.
+  class CellLease {
+   public:
+    CellLease(SessionPool* pool, CellTag tag, std::unique_ptr<Session> s)
+        : pool_(pool), tag_(tag), session_(std::move(s)) {}
+    ~CellLease();
+
+    CellLease(CellLease&&) = default;
+    CellLease(const CellLease&) = delete;
+    CellLease& operator=(const CellLease&) = delete;
+    CellLease& operator=(CellLease&&) = delete;
+
+    Session* operator->() { return session_.get(); }
+    Session& operator*() { return *session_; }
+
+   private:
+    SessionPool* pool_;
+    CellTag tag_;
+    std::unique_ptr<Session> session_;
+  };
+
+  /// RAII checkout of a cluster session (cross-cell transactions).
+  class ClusterLease {
+   public:
+    ClusterLease(SessionPool* pool, std::unique_ptr<ClusterSession> s)
+        : pool_(pool), session_(std::move(s)) {}
+    ~ClusterLease();
+
+    ClusterLease(ClusterLease&&) = default;
+    ClusterLease(const ClusterLease&) = delete;
+    ClusterLease& operator=(const ClusterLease&) = delete;
+    ClusterLease& operator=(ClusterLease&&) = delete;
+
+    ClusterSession* operator->() { return session_.get(); }
+    ClusterSession& operator*() { return *session_; }
+
+   private:
+    SessionPool* pool_;
+    std::unique_ptr<ClusterSession> session_;
+  };
+
+  /// A session on the cell owning `tag`; kNotFound for a tag no cell
+  /// has.  Reuses an idle pooled session or creates one (the pool is
+  /// sized by demand — admission control, not the pool, bounds
+  /// concurrency).
+  Result<CellLease> AcquireCell(CellTag tag);
+
+  ClusterLease AcquireCluster();
+
+  /// Sessions ever constructed (cell + cluster) — a reuse diagnostic:
+  /// steady-state equals peak concurrency, not request count.
+  uint64_t created() const;
+  size_t idle_cluster_sessions() const;
+  size_t idle_cell_sessions(CellTag tag) const;
+
+ private:
+  friend class CellLease;
+  friend class ClusterLease;
+
+  void Return(CellTag tag, std::unique_ptr<Session> s);
+  void Return(std::unique_ptr<ClusterSession> s);
+
+  Cluster* cluster_;
+  SessionOptions options_;
+
+  /// Guards the idle lists and the created counter; never held while a
+  /// session runs (leases run latch-free).
+  mutable Latch mu_{"rpc.pool", LatchRank::kRpcPool};
+  /// Indexed by `tag - 1`.
+  std::vector<std::vector<std::unique_ptr<Session>>> cell_idle_;
+  std::vector<std::unique_ptr<ClusterSession>> cluster_idle_;
+  uint64_t created_ = 0;
+};
+
+}  // namespace orion::rpc
+
+#endif  // ORION_RPC_SESSION_POOL_H_

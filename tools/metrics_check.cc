@@ -22,7 +22,9 @@
 // {"traceEvents": [...]} shape, every event a complete ("X") event with
 // numeric ts/dur and a {trace_id, span_id, parent_id, tag} args block, and
 // — the §13 invariant — every span of every trace reachable from that
-// trace's root through parent_id links (flat trace_id == 0 spans exempt).
+// trace's root through parent_id links (flat trace_id == 0 spans exempt;
+// an "rpc.server" span with an absent parent is a §14.6 adopting root —
+// its parent lives in the client process — and counts as a root).
 //
 // --cluster reconciles a Cluster::Stats() export against the registries it
 // merged: <own.json> is the cluster's own (coordinator) registry and each
@@ -33,7 +35,10 @@
 // (reclaim.*, trace.dropped), which must only be monotone (cluster >=
 // own + sum).  Gauges are point-in-time, so only their labeling is
 // checked: every cell gauge appears as `name|cell=<tag>`, tag taken from
-// the cell file's position (1-based).
+// the cell file's position (1-based).  When the export carries the §14
+// rpc.* family it must also reconcile internally (requests ==
+// request_us.count + shed) and be quiescent (rpc.connections and
+// rpc.in_flight both zero — the server was stopped before the export).
 //
 // Exit code 0 on success; prints the first failure and exits 1 otherwise.
 
@@ -511,9 +516,14 @@ void CheckTraceExport(const JsonValue& doc) {
     Fail("trace export lacks the {\"traceEvents\": [...]} shape");
   }
   // trace_id -> (span ids, child [span, parent] links).
+  struct Link {
+    uint64_t span = 0;
+    uint64_t parent = 0;
+    std::string name;
+  };
   struct Trace {
     std::map<uint64_t, size_t> spans;  // span_id -> multiplicity
-    std::vector<std::pair<uint64_t, uint64_t>> links;
+    std::vector<Link> links;
     size_t roots = 0;
   };
   std::map<uint64_t, Trace> traces;
@@ -555,21 +565,28 @@ void CheckTraceExport(const JsonValue& doc) {
     if (parent_id == 0) {
       ++t.roots;
     } else {
-      t.links.emplace_back(span_id, parent_id);
+      t.links.push_back(Link{span_id, parent_id, name->str});
     }
   }
   size_t spans = 0;
-  for (const auto& [id, t] : traces) {
-    if (t.roots == 0) {
-      Fail("trace " + std::to_string(id) + " has no root span");
-    }
-    for (const auto& [span, parent] : t.links) {
-      if (t.spans.count(parent) == 0) {
+  for (auto& [id, t] : traces) {
+    for (const Link& link : t.links) {
+      if (t.spans.count(link.parent) == 0) {
+        // §14.6 carve-out: an "rpc.server" span with an absent parent is
+        // an adopting root — its parent is the client's "rpc.call" span
+        // in another process's buffer, not a lost link.
+        if (link.name == "rpc.server") {
+          ++t.roots;  // counted into `spans` with the other roots below
+          continue;
+        }
         Fail("trace " + std::to_string(id) + ": span " +
-             std::to_string(span) + " links to missing parent " +
-             std::to_string(parent));
+             std::to_string(link.span) + " links to missing parent " +
+             std::to_string(link.parent));
       }
       ++spans;
+    }
+    if (t.roots == 0) {
+      Fail("trace " + std::to_string(id) + " has no root span");
     }
     spans += t.roots;
   }
@@ -706,6 +723,37 @@ void CheckCluster(const PromDoc& prom, const JsonValue& cluster,
     if (!found) {
       Fail("labeled gauge '" + key + "' has no labeled Prometheus sample '" +
            family + "{...}'");
+    }
+  }
+  // §14 rpc front-end (when one ran): every decoded request frame was
+  // either shed at admission or measured by the dispatch histogram, and —
+  // §14.7 quiescence — a stopped server's export carries authoritatively
+  // zero rpc.connections / rpc.in_flight gauges.
+  const JsonValue* rpc_requests = c_counters.Find("rpc.requests");
+  if (rpc_requests != nullptr) {
+    const JsonValue* shed = c_counters.Find("rpc.shed");
+    const JsonValue* hist = c_hists.Find("rpc.request_us");
+    if (shed == nullptr || hist == nullptr) {
+      Fail("rpc.requests is exported but rpc.shed / rpc.request_us is "
+           "missing (partial rpc.* family)");
+    }
+    const double accounted = HistCount(*hist, "rpc.request_us") + shed->number;
+    if (accounted != rpc_requests->number) {
+      Fail("rpc.requests != rpc.request_us.count + rpc.shed: " +
+           std::to_string(rpc_requests->number) + " vs " +
+           std::to_string(accounted) + " (requests lost at admission)");
+    }
+    for (const char* gauge : {"rpc.in_flight", "rpc.connections"}) {
+      const JsonValue* v = c_gauges.Find(gauge);
+      if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+        Fail("rpc.* family is exported but gauge '" + std::string(gauge) +
+             "' is missing");
+      }
+      if (v->number != 0) {
+        Fail("quiescent export has nonzero '" + std::string(gauge) +
+             "' = " + std::to_string(v->number) +
+             " (server not stopped before export, §14.7)");
+      }
     }
   }
   std::printf(

@@ -25,10 +25,11 @@
 //                      line-joining heuristics.
 //   forbidden-include  src/common/ is the dependency root: it must not
 //                      include subsystem headers.
-//   missing-thread-safety  public headers under src/schema/ are part of the
-//                      online-DDL surface (DESIGN.md §10) and must document
-//                      their concurrency contract: the file must contain at
-//                      least one `/// Thread-safety:` doc line.
+//   missing-thread-safety  public headers under src/schema/ (the online-DDL
+//                      surface, DESIGN.md §10) and src/rpc/ (the wire
+//                      surface, §14) must document their concurrency
+//                      contract: the file must contain at least one
+//                      `/// Thread-safety:` doc line.
 //   raw-uid            `Uid{...}` / `Uid(...)` with a payload forges a uid
 //                      bit pattern, bypassing the cell-tag encoding (§11).
 //                      Only common/uid.h (the factories) and src/cell/ (the
@@ -151,15 +152,21 @@ std::vector<Finding> LintSource(const std::string& rel_path,
   const bool may_forge_uids = rel_path == "src/common/uid.h" ||
                               rel_path.rfind("src/cell/", 0) == 0;
   const bool in_common = rel_path.rfind("src/common/", 0) == 0;
-  const bool is_schema_header =
-      rel_path.rfind("src/schema/", 0) == 0 &&
+  // Headers that must carry a `/// Thread-safety:` contract: schema/ is
+  // the online-DDL surface (DESIGN.md §10), rpc/ is the wire surface
+  // shared between the accept loop, connection threads, and callers
+  // (§14) — both are places where an undocumented concurrency contract
+  // becomes somebody else's data race.
+  const bool needs_contract =
+      (rel_path.rfind("src/schema/", 0) == 0 ||
+       rel_path.rfind("src/rpc/", 0) == 0) &&
       rel_path.size() >= 2 &&
       rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
 
   const LexedFile lexed = Lex(content);
   const std::vector<Token>& toks = lexed.tokens;
 
-  if (is_schema_header &&
+  if (needs_contract &&
       !lexed.AnyCommentContains("/// Thread-safety:")) {
     bool allowed = false;
     for (const Comment& c : lexed.comments) {
@@ -170,8 +177,8 @@ std::vector<Finding> LintSource(const std::string& rel_path,
     if (!allowed) {
       findings.push_back(
           {rel_path, 1, "missing-thread-safety",
-           "schema headers are the online-DDL surface (DESIGN.md §10) and "
-           "must document their concurrency contract with a "
+           "schema and rpc headers are concurrency surfaces (DESIGN.md "
+           "§10, §14) and must document their contract with a "
            "`/// Thread-safety:` doc line"});
     }
   }
@@ -418,6 +425,15 @@ constexpr Fixture kFixtures[] = {
      "constexpr int kFoo = 1;\n",
      nullptr},
     {"schema .cc exempt from contract rule", "src/schema/ok_impl.cc",
+     "void F() {}\n", nullptr},
+    {"rpc header without contract", "src/rpc/bad_header.h",
+     "class WireThing {\n public:\n  void Send();\n};\n",
+     "missing-thread-safety"},
+    {"rpc header with contract", "src/rpc/ok_header.h",
+     "/// Thread-safety: one owner thread; Stop() may race Serve().\n"
+     "class WireThing {};\n",
+     nullptr},
+    {"rpc .cc exempt from contract rule", "src/rpc/ok_impl.cc",
      "void F() {}\n", nullptr},
     {"non-schema header exempt", "src/object/ok_header.h",
      "class T {};\n", nullptr},

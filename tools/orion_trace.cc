@@ -12,8 +12,11 @@
 // must either be a root (parent_id == 0) or name a parent present in the
 // same trace.  Ring wrap-around cannot break this on a quiescent export —
 // children are recorded before their parents, so eviction (oldest first)
-// only ever removes subtrees — which makes any dangling parent a real
-// propagation bug.  Exit code 1 on the first disconnected trace.
+// only ever removes subtrees — which makes a dangling parent a real
+// propagation bug, with one carve-out: an "rpc.server" span whose parent
+// is absent is an adopting root (§14.6) — its parent is the client's
+// "rpc.call" span in another process — and is treated as a root here.
+// Exit code 1 on the first disconnected trace.
 //
 // Standalone by design, like the other tools/ binaries: no engine
 // libraries, its own minimal JSON parser.
@@ -350,7 +353,14 @@ bool PrintTrace(uint64_t trace_id, const std::vector<SpanRow>& rows) {
     if (r.parent_id == 0) {
       roots.push_back(&r);
     } else if (by_id.count(r.parent_id) == 0) {
-      dangling.push_back(&r);
+      if (r.name == "rpc.server") {
+        // §14.6 adopting root: its parent span is the client's "rpc.call",
+        // which lives in another process's buffer — remote-parented by
+        // design, not a propagation bug.
+        roots.push_back(&r);
+      } else {
+        dangling.push_back(&r);
+      }
     } else {
       kids[r.parent_id].push_back(&r);
     }
